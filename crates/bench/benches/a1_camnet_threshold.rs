@@ -1,0 +1,4 @@
+//! Ablation A1: camnet ask-threshold sweep. See EXPERIMENTS.md.
+fn main() {
+    println!("{}", sas_bench::run_a1(sas_bench::REPS, 6_000));
+}

@@ -1,0 +1,4 @@
+//! Ablation A2: CPN smart-packet ratio sweep. See EXPERIMENTS.md.
+fn main() {
+    println!("{}", sas_bench::run_a2(sas_bench::REPS, 3_000));
+}

@@ -1,0 +1,4 @@
+//! Ablation A3: meta model-pool patience sweep. See EXPERIMENTS.md.
+fn main() {
+    println!("{}", sas_bench::run_a3(sas_bench::REPS, 4_000));
+}

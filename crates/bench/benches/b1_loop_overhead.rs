@@ -1,0 +1,124 @@
+//! B1 — micro-benchmark of the self-awareness loop itself: cost of
+//! one `SelfAwareAgent::step` per possessed level set, plus the core
+//! model primitives. Engineering sanity check: the paper's pitch only
+//! works if the loop is cheap relative to the decisions it improves.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use selfaware::prelude::*;
+use simkernel::{SeedTree, Tick};
+
+struct World {
+    load: f64,
+    queue: f64,
+    temp: f64,
+}
+
+fn make_agent(levels: LevelSet) -> SelfAwareAgent<World, usize> {
+    let goal = Goal::new("g")
+        .objective(Objective::new("load", Direction::Minimize, 1.0, 1.0))
+        .objective(Objective::new("queue", Direction::Minimize, 10.0, 1.0));
+    let policy = UtilityPolicy::new(
+        vec![(0usize, "a".into()), (1, "b".into()), (2, "c".into())],
+        Box::new(|a: &usize, kb: &KnowledgeBase| {
+            let load = kb.last_or("forecast.load", 0.5);
+            *a as f64 * load
+        }),
+    );
+    SelfAwareAgent::builder("bench")
+        .levels(levels)
+        .sensor("load", Scope::Public, |w: &World| w.load)
+        .sensor("queue", Scope::Private, |w: &World| w.queue)
+        .sensor("temp", Scope::Private, |w: &World| w.temp)
+        .goal(goal)
+        .policy(Box::new(policy))
+        .build()
+        .expect("valid agent")
+}
+
+fn bench_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b1_agent_step");
+    let cases = [
+        ("stimulus", LevelSet::new().with(Level::Stimulus)),
+        (
+            "stimulus+time",
+            LevelSet::new().with(Level::Stimulus).with(Level::Time),
+        ),
+        (
+            "stimulus+time+goal",
+            LevelSet::new()
+                .with(Level::Stimulus)
+                .with(Level::Time)
+                .with(Level::Goal),
+        ),
+        ("full", LevelSet::full()),
+    ];
+    for (name, levels) in cases {
+        group.bench_function(name, |b| {
+            b.iter_batched_ref(
+                || (make_agent(levels), SeedTree::new(1).rng("bench"), 0u64),
+                |(agent, rng, t)| {
+                    *t += 1;
+                    let world = World {
+                        load: (*t as f64 * 0.1).sin().abs(),
+                        queue: (*t % 17) as f64,
+                        temp: 40.0 + (*t % 13) as f64,
+                    };
+                    let d = agent.step(&world, Tick(*t), rng);
+                    agent.reward(if d.action == 0 { 1.0 } else { 0.0 });
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b1_model_primitives");
+    group.bench_function("ewma_observe", |b| {
+        let mut m = Ewma::new(0.2);
+        let mut x = 0.0_f64;
+        b.iter(|| {
+            x += 0.1;
+            m.observe(std::hint::black_box(x.sin()));
+            std::hint::black_box(m.forecast())
+        });
+    });
+    group.bench_function("holt_observe", |b| {
+        let mut m = Holt::new(0.3, 0.1);
+        let mut x = 0.0_f64;
+        b.iter(|| {
+            x += 0.1;
+            m.observe(std::hint::black_box(x.sin()));
+            std::hint::black_box(m.forecast())
+        });
+    });
+    group.bench_function("ucb1_select_update", |b| {
+        let mut bandit = Ucb1::new(16, 1.4);
+        let mut rng = SeedTree::new(2).rng("ucb");
+        b.iter(|| {
+            let arm = bandit.select(&mut rng);
+            bandit.update(arm, 0.5);
+            std::hint::black_box(arm)
+        });
+    });
+    group.bench_function("page_hinkley_observe", |b| {
+        let mut d = PageHinkley::new(0.05, 50.0);
+        let mut x = 0.0_f64;
+        b.iter(|| {
+            x += 0.01;
+            std::hint::black_box(d.observe(x.sin()))
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_loop, bench_models
+}
+criterion_main!(benches);

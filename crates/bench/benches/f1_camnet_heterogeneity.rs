@@ -1,0 +1,4 @@
+//! Regenerates Figure F1. See EXPERIMENTS.md.
+fn main() {
+    println!("{}", sas_bench::run_f1(6_000));
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure F2. See EXPERIMENTS.md.
+fn main() {
+    println!("{}", sas_bench::run_f2(3_000));
+}

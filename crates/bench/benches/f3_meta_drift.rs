@@ -1,0 +1,4 @@
+//! Regenerates Figure F3. See EXPERIMENTS.md.
+fn main() {
+    println!("{}", sas_bench::run_f3(4_000));
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure F4. See EXPERIMENTS.md.
+fn main() {
+    println!("{}", sas_bench::run_f4(sas_bench::REPS, 4_000));
+}

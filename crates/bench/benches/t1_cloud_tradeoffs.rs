@@ -1,0 +1,7 @@
+//! Regenerates Table T1. See EXPERIMENTS.md.
+fn main() {
+    println!(
+        "{}",
+        sas_bench::run_t1(sas_bench::REPS, sas_bench::CLOUD_STEPS)
+    );
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table T3. See EXPERIMENTS.md.
+fn main() {
+    println!("{}", sas_bench::run_t3(sas_bench::REPS, 6_000));
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table T4. See EXPERIMENTS.md.
+fn main() {
+    println!("{}", sas_bench::run_t4(sas_bench::REPS, 3_000));
+}

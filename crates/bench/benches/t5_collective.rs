@@ -1,0 +1,4 @@
+//! Regenerates Table T5. See EXPERIMENTS.md.
+fn main() {
+    println!("{}", sas_bench::run_t5(10));
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table T6. See EXPERIMENTS.md.
+fn main() {
+    println!("{}", sas_bench::run_t6(sas_bench::REPS, 4_000));
+}

@@ -1,0 +1,828 @@
+//! Experiment implementations (T1–T6, F1–F4). See EXPERIMENTS.md for
+//! the claim each one tests and the expected shape.
+
+use selfaware::collective::{centralized_estimate, hierarchical_estimate, GossipNetwork};
+use selfaware::levels::{Level, LevelSet};
+use selfaware::meta::ModelPool;
+use selfaware::models::ar::ArModel;
+use selfaware::models::ewma::Ewma;
+use selfaware::models::holt::Holt;
+use selfaware::models::{Forecaster, OnlineModel};
+use simkernel::series::render_multi;
+use simkernel::table::{num, num_ci};
+use simkernel::{MetricSet, Replications, SeedTree, Table, Tick, TimeSeries};
+use std::fmt::Write as _;
+
+/// Default replication count for table experiments.
+pub const REPS: u32 = 5;
+/// Default horizon (ticks) for cloud scenarios.
+pub const CLOUD_STEPS: u64 = 6_000;
+
+fn cloud_strategies() -> Vec<cloudsim::Strategy> {
+    vec![
+        cloudsim::Strategy::Random,
+        cloudsim::Strategy::RoundRobin,
+        cloudsim::Strategy::LeastLoaded,
+        cloudsim::Strategy::SelfAware {
+            levels: LevelSet::full(),
+        },
+    ]
+}
+
+fn run_cloud(strategy: &cloudsim::Strategy, seeds: SeedTree, steps: u64) -> MetricSet {
+    let cfg = cloudsim::ScenarioConfig::standard(strategy.clone(), steps, &seeds);
+    cloudsim::run_scenario(&cfg, &seeds).metrics
+}
+
+/// T1 — self-awareness improves run-time trade-off management
+/// (cloud: QoS vs cost under churn and drifting demand).
+#[must_use]
+pub fn run_t1(reps: u32, steps: u64) -> Table {
+    let mut table = Table::new(
+        format!("T1: cloud trade-off management ({steps} ticks, {reps} reps, mean±95CI)"),
+        &[
+            "strategy",
+            "completion",
+            "violations",
+            "p95 lat",
+            "cost",
+            "utility",
+        ],
+    );
+    for strategy in cloud_strategies() {
+        let agg = Replications::new(0x71, reps).run(|seeds| run_cloud(&strategy, seeds, steps));
+        table.row_owned(vec![
+            strategy.label(),
+            num_ci(agg.mean("completion_ratio"), agg.ci95("completion_ratio")),
+            num_ci(agg.mean("violation_rate"), agg.ci95("violation_rate")),
+            num(agg.mean("p95_latency")),
+            num_ci(agg.mean("cost_ratio"), agg.ci95("cost_ratio")),
+            num_ci(agg.mean("utility"), agg.ci95("utility")),
+        ]);
+    }
+    table
+}
+
+/// T2 — ablation over the levels of self-awareness (cloud scenario).
+#[must_use]
+pub fn run_t2(reps: u32, steps: u64) -> Table {
+    let ladder: Vec<(&str, LevelSet)> = vec![
+        ("none (pre-self-aware)", LevelSet::new()),
+        ("+stimulus", LevelSet::new().with(Level::Stimulus)),
+        (
+            "+time",
+            LevelSet::new().with(Level::Stimulus).with(Level::Time),
+        ),
+        (
+            "+goal",
+            LevelSet::new()
+                .with(Level::Stimulus)
+                .with(Level::Time)
+                .with(Level::Goal),
+        ),
+        ("full (+meta)", LevelSet::full()),
+    ];
+    let mut table = Table::new(
+        format!("T2: level-of-self-awareness ablation ({steps} ticks, {reps} reps)"),
+        &["levels", "completion", "violations", "cost", "utility"],
+    );
+    for (name, levels) in ladder {
+        let strategy = cloudsim::Strategy::SelfAware { levels };
+        let agg = Replications::new(0x72, reps).run(|seeds| run_cloud(&strategy, seeds, steps));
+        table.row_owned(vec![
+            name.to_string(),
+            num_ci(agg.mean("completion_ratio"), agg.ci95("completion_ratio")),
+            num_ci(agg.mean("violation_rate"), agg.ci95("violation_rate")),
+            num_ci(agg.mean("cost_ratio"), agg.ci95("cost_ratio")),
+            num_ci(agg.mean("utility"), agg.ci95("utility")),
+        ]);
+    }
+    table
+}
+
+fn camnet_strategies() -> Vec<camnet::HandoverStrategy> {
+    vec![
+        camnet::HandoverStrategy::Broadcast,
+        camnet::HandoverStrategy::Smooth { k: 3 },
+        camnet::HandoverStrategy::Static { k: 3 },
+        camnet::HandoverStrategy::self_aware_default(),
+    ]
+}
+
+/// T3 — camera-network handover: tracking quality vs communication.
+#[must_use]
+pub fn run_t3(reps: u32, steps: u64) -> Table {
+    let mut table = Table::new(
+        format!("T3: camera handover strategies ({steps} ticks, {reps} reps)"),
+        &[
+            "strategy",
+            "quality",
+            "untracked",
+            "msgs/tick",
+            "ask ratio",
+            "diversity",
+            "utility",
+        ],
+    );
+    for strategy in camnet_strategies() {
+        let agg = Replications::new(0x73, reps).run(|seeds| {
+            camnet::run_camnet(&camnet::CamnetConfig::standard(strategy, steps), &seeds).metrics
+        });
+        table.row_owned(vec![
+            strategy.label(),
+            num_ci(agg.mean("track_quality"), agg.ci95("track_quality")),
+            num(agg.mean("untracked_ratio")),
+            num_ci(agg.mean("messages_per_tick"), agg.ci95("messages_per_tick")),
+            num(agg.mean("ask_ratio")),
+            num(agg.mean("heterogeneity_final")),
+            num_ci(agg.mean("utility"), agg.ci95("utility")),
+        ]);
+    }
+    table
+}
+
+/// F1 — emergent heterogeneity: policy divergence over time per
+/// strategy (single representative seed; the divergence trajectory is
+/// the figure).
+#[must_use]
+pub fn run_f1(steps: u64) -> String {
+    let mut series = Vec::new();
+    for strategy in camnet_strategies() {
+        let result = camnet::run_camnet(
+            &camnet::CamnetConfig::standard(strategy, steps),
+            &SeedTree::new(0xF1),
+        );
+        series.push(result.heterogeneity);
+    }
+    let refs: Vec<&TimeSeries> = series.iter().collect();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "F1: camera policy divergence over time ({steps} ticks, seed 0xF1)"
+    );
+    let _ = writeln!(
+        out,
+        "(broadcast stays homogeneous; smooth/static heterogeneity is designed-in and flat;\n\
+         the self-aware network's heterogeneity *emerges* and grows)"
+    );
+    out.push_str(&render_multi(&refs, 24));
+    out
+}
+
+/// F2 — routing under DoS: delay time-series and per-phase means.
+#[must_use]
+pub fn run_f2(steps: u64) -> String {
+    let strategies = [
+        cpn::RoutingStrategy::StaticShortest,
+        cpn::RoutingStrategy::Periodic { period: 50 },
+        cpn::RoutingStrategy::cpn_default(),
+    ];
+    let (from, to) = cpn::CpnConfig::attack_window(steps);
+    let mut out = String::new();
+    let mut table = Table::new(
+        format!("F2: routing under DoS (attack {from}..{to}, {steps} ticks)"),
+        &[
+            "strategy",
+            "delivery",
+            "delay pre",
+            "delay attack",
+            "delay post",
+        ],
+    );
+    let mut series = Vec::new();
+    for strategy in strategies {
+        let result = cpn::run_cpn(
+            &cpn::CpnConfig::standard(strategy, steps),
+            &SeedTree::new(0xF2),
+        );
+        let m = &result.metrics;
+        table.row_owned(vec![
+            strategy.label(),
+            num(m.get("delivery_ratio").unwrap_or(0.0)),
+            num(m.get("delay_pre").unwrap_or(0.0)),
+            num(m.get("delay_attack").unwrap_or(0.0)),
+            num(m.get("delay_post").unwrap_or(0.0)),
+        ]);
+        series.push(result.delay);
+    }
+    let _ = writeln!(out, "{table}");
+    let refs: Vec<&TimeSeries> = series.iter().collect();
+    out.push_str(&render_multi(&refs, 30));
+    out
+}
+
+/// T4 — heterogeneous multicore scheduling: throughput vs energy vs
+/// thermal stress under a phase-switching mix.
+#[must_use]
+pub fn run_t4(reps: u32, steps: u64) -> Table {
+    let mut table = Table::new(
+        format!("T4: multicore schedulers ({steps} ticks, {reps} reps)"),
+        &[
+            "scheduler",
+            "completion",
+            "mean lat",
+            "miss rate",
+            "energy/task",
+            "throttle",
+            "utility",
+        ],
+    );
+    for scheduler in [
+        multicore::Scheduler::StaticPin,
+        multicore::Scheduler::Greedy,
+        multicore::Scheduler::SelfAware,
+    ] {
+        let agg = Replications::new(0x74, reps).run(|seeds| {
+            multicore::run_multicore(
+                &multicore::MulticoreConfig::standard(scheduler, steps),
+                &seeds,
+            )
+            .metrics
+        });
+        table.row_owned(vec![
+            scheduler.label().to_string(),
+            num_ci(agg.mean("completion_ratio"), agg.ci95("completion_ratio")),
+            num(agg.mean("mean_latency")),
+            num_ci(
+                agg.mean("deadline_miss_rate"),
+                agg.ci95("deadline_miss_rate"),
+            ),
+            num_ci(agg.mean("energy_per_task"), agg.ci95("energy_per_task")),
+            num(agg.mean("throttle_ratio")),
+            num_ci(agg.mean("utility"), agg.ci95("utility")),
+        ]);
+    }
+    table
+}
+
+/// F3 — meta-self-awareness under concept drift: fixed forecasters vs
+/// the self-selecting model pool on a regime-switching signal.
+#[must_use]
+pub fn run_f3(steps: u64) -> String {
+    use workloads::signal::{SignalGen, SignalSpec};
+    let regimes = vec![
+        (0, SignalSpec::Flat { level: 10.0 }),
+        (
+            steps / 4,
+            SignalSpec::Trend {
+                start: 10.0,
+                slope: 0.3,
+            },
+        ),
+        (
+            steps / 2,
+            SignalSpec::Oscillation {
+                center: 40.0,
+                amplitude: 8.0,
+                period: 40.0,
+            },
+        ),
+        (3 * steps / 4, SignalSpec::Flat { level: 25.0 }),
+    ];
+    let mut gen = SignalGen::new(regimes, 0.5, SeedTree::new(0xF3).rng("signal"));
+
+    let mut ewma = Ewma::new(0.3);
+    let mut holt = Holt::new(0.5, 0.3);
+    let mut ar = ArModel::new(2, 64);
+    let mut pool = ModelPool::new(0.1, 8);
+    pool.add("ewma", Box::new(Ewma::new(0.3)));
+    pool.add("holt", Box::new(Holt::new(0.5, 0.3)));
+    pool.add("ar", Box::new(ArModel::new(2, 64)));
+
+    let mut err_series: Vec<TimeSeries> = ["ewma", "holt", "ar", "meta-pool"]
+        .iter()
+        .map(|n| TimeSeries::new(*n))
+        .collect();
+    let mut total_err = [0.0f64; 4];
+    let mut count = 0u64;
+    let mut window_err = [0.0f64; 4];
+    let mut window_n = 0u64;
+
+    for t in 0..steps {
+        let x = gen.sample(Tick(t));
+        let preds = [
+            ewma.forecast(),
+            holt.forecast(),
+            ar.forecast(),
+            pool.forecast(),
+        ];
+        if preds.iter().all(Option::is_some) {
+            for (i, p) in preds.iter().enumerate() {
+                let e = (p.unwrap() - x).abs();
+                total_err[i] += e;
+                window_err[i] += e;
+            }
+            count += 1;
+            window_n += 1;
+        }
+        if t % 50 == 49 && window_n > 0 {
+            for (i, s) in err_series.iter_mut().enumerate() {
+                s.push(Tick(t), window_err[i] / window_n as f64);
+            }
+            window_err = [0.0; 4];
+            window_n = 0;
+        }
+        ewma.observe(x);
+        holt.observe(x);
+        ar.observe(x);
+        pool.observe(x);
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "F3: forecast error under concept drift ({steps} ticks, regime changes at 1/4, 1/2, 3/4)"
+    );
+    let mut table = Table::new(
+        "mean absolute one-step error",
+        &["model", "mae", "vs meta-pool"],
+    );
+    let pool_mae = total_err[3] / count.max(1) as f64;
+    for (i, name) in ["ewma", "holt", "ar", "meta-pool"].iter().enumerate() {
+        let mae = total_err[i] / count.max(1) as f64;
+        table.row_owned(vec![
+            (*name).to_string(),
+            num(mae),
+            format!("{:+.1}%", (mae / pool_mae - 1.0) * 100.0),
+        ]);
+    }
+    let _ = writeln!(out, "{table}");
+    let _ = writeln!(out, "model switches by the pool: {}", pool.switches());
+    let _ = writeln!(out, "windowed error over time:");
+    let refs: Vec<&TimeSeries> = err_series.iter().collect();
+    out.push_str(&render_multi(&refs, 24));
+    out
+}
+
+/// T5 — collective awareness without a global component: accuracy vs
+/// coordination cost vs hot-spot load, over network sizes.
+#[must_use]
+pub fn run_t5(reps: u32) -> Table {
+    let mut table = Table::new(
+        format!("T5: collective estimation architectures ({reps} reps)"),
+        &[
+            "N",
+            "architecture",
+            "node error",
+            "messages",
+            "hot-spot load",
+        ],
+    );
+    for n in [10usize, 50, 200] {
+        let agg = Replications::new(0x75, reps).run(|seeds| {
+            use rand::Rng as _;
+            let mut rng = seeds.rng("obs");
+            // Each node observes a global quantity plus noise.
+            let truth = 20.0;
+            let obs: Vec<f64> = (0..n).map(|_| truth + rng.gen_range(-2.0..2.0)).collect();
+            let sample_mean = obs.iter().sum::<f64>() / n as f64;
+
+            let central = centralized_estimate(&obs);
+            let hier = hierarchical_estimate(&obs, 4);
+            let mut gossip = GossipNetwork::new(obs.clone());
+            let mut grng = seeds.rng("gossip");
+            // Rounds ~ log2(n) * 4 suffice for tight convergence.
+            let rounds = (4.0 * (n as f64).log2()).ceil() as u32;
+            gossip.run(rounds, &mut grng);
+            let gout = gossip.outcome();
+
+            let mut m = MetricSet::new();
+            m.set("central_err", central.mean_abs_error(sample_mean));
+            m.set("central_msgs", central.messages as f64);
+            m.set("central_load", central.max_node_load as f64);
+            m.set("hier_err", hier.mean_abs_error(sample_mean));
+            m.set("hier_msgs", hier.messages as f64);
+            m.set("hier_load", hier.max_node_load as f64);
+            m.set("gossip_err", gout.mean_abs_error(sample_mean));
+            m.set("gossip_msgs", gout.messages as f64);
+            m.set("gossip_load", gout.max_node_load as f64);
+            m
+        });
+        for arch in ["central", "hier", "gossip"] {
+            table.row_owned(vec![
+                n.to_string(),
+                arch.to_string(),
+                format!("{:.4}", agg.mean(&format!("{arch}_err"))),
+                format!("{:.0}", agg.mean(&format!("{arch}_msgs"))),
+                format!("{:.0}", agg.mean(&format!("{arch}_load"))),
+            ]);
+        }
+    }
+    table
+}
+
+/// F4 — dependence on a-priori models: design-time-ranked dispatch vs
+/// self-aware dispatch as the deployed world diverges from the
+/// designer's beliefs.
+#[must_use]
+pub fn run_f4(reps: u32, steps: u64) -> String {
+    let mut static_series = TimeSeries::new("static-ranked");
+    let mut aware_series = TimeSeries::new("self-aware");
+    let divergences = [0.0, 0.25, 0.5, 0.75, 1.0];
+    let mut out = String::new();
+    let mut table = Table::new(
+        format!("F4: utility vs design-divergence ({steps} ticks, {reps} reps)"),
+        &["divergence", "static-ranked", "self-aware", "gap"],
+    );
+    for (i, &delta) in divergences.iter().enumerate() {
+        let agg = Replications::new(0xF4, reps).run(|seeds| {
+            // Design-time belief: the spec the designer was given.
+            let designed: Vec<cloudsim::NodeSpec> = (0..12)
+                .map(|j| {
+                    let capacity = 1.0 + (j % 4) as f64;
+                    if j % 3 == 0 {
+                        cloudsim::NodeSpec::reliable(capacity)
+                    } else {
+                        cloudsim::NodeSpec::volunteer(capacity)
+                    }
+                })
+                .collect();
+            // Reality: capacities rotated by a delta-dependent amount —
+            // the machines that actually showed up are not the ones in
+            // the design document.
+            let shift = (delta * 6.0_f64).round() as usize;
+            let actual: Vec<cloudsim::NodeSpec> =
+                (0..12).map(|j| designed[(j + shift) % 12]).collect();
+            let believed: Vec<f64> = designed.iter().map(|s| s.capacity).collect();
+
+            let run = |strategy: cloudsim::Strategy, seeds: &SeedTree| {
+                let mut cfg = cloudsim::ScenarioConfig::standard(strategy, steps, seeds);
+                cfg.specs = actual.clone();
+                cloudsim::run_scenario(&cfg, seeds).metrics
+            };
+            let stat = run(
+                cloudsim::Strategy::StaticRanked {
+                    believed_capacity: believed,
+                },
+                &seeds,
+            );
+            let aware = run(
+                cloudsim::Strategy::SelfAware {
+                    levels: LevelSet::full(),
+                },
+                &seeds,
+            );
+            let mut m = MetricSet::new();
+            m.set("static", stat.get("utility").unwrap_or(0.0));
+            m.set("aware", aware.get("utility").unwrap_or(0.0));
+            m
+        });
+        let s = agg.mean("static");
+        let a = agg.mean("aware");
+        table.row_owned(vec![
+            format!("{delta:.2}"),
+            num_ci(s, agg.ci95("static")),
+            num_ci(a, agg.ci95("aware")),
+            num(a - s),
+        ]);
+        static_series.push(Tick(i as u64), s);
+        aware_series.push(Tick(i as u64), a);
+    }
+    let _ = writeln!(out, "{table}");
+    let _ = writeln!(out, "utility across the divergence sweep:");
+    out.push_str(&render_multi(&[&static_series, &aware_series], 5));
+    out
+}
+
+/// T6 — attention under a monitoring budget: utility of budgeted
+/// sensing policies on a field of drifting signals.
+#[must_use]
+pub fn run_t6(reps: u32, steps: u64) -> Table {
+    use selfaware::attention::AttentionAllocator;
+    let n_signals = 16usize;
+    let mut table = Table::new(
+        format!(
+            "T6: monitoring under budget ({n_signals} signals, {steps} ticks, {reps} reps; \
+             cell = mean tracking error, lower is better)"
+        ),
+        &[
+            "budget",
+            "attention",
+            "round-robin",
+            "random",
+            "attn advantage",
+        ],
+    );
+    for budget in [1usize, 2, 4, 8] {
+        let agg = Replications::new(0x76, reps).run(|seeds| {
+            use rand::Rng as _;
+            let mut world_rng = seeds.rng("world");
+            // Signals: a few fast random walks, the rest near-static.
+            let volatilities: Vec<f64> = (0..n_signals)
+                .map(|i| if i % 4 == 0 { 1.0 } else { 0.02 })
+                .collect();
+            let mut truth: Vec<f64> = vec![0.0; n_signals];
+
+            let mut attn = AttentionAllocator::new(n_signals, 0.1, 0.05);
+            let mut beliefs = vec![vec![0.0f64; n_signals]; 3]; // attn, rr, random
+            let mut errors = [0.0f64; 3];
+            let mut rr_next = 0usize;
+            let mut policy_rng = seeds.rng("policy");
+            let mut samples = 0u64;
+            for t in 0..steps {
+                // World moves.
+                for i in 0..n_signals {
+                    truth[i] += world_rng.gen_range(-volatilities[i]..=volatilities[i]);
+                }
+                // Attention policy.
+                let picked = attn.select(budget as f64, Tick(t), &mut policy_rng);
+                for &i in &picked {
+                    attn.feed(i, truth[i], Tick(t));
+                    beliefs[0][i] = truth[i];
+                }
+                // Round-robin policy.
+                for _ in 0..budget {
+                    let i = rr_next % n_signals;
+                    rr_next += 1;
+                    beliefs[1][i] = truth[i];
+                }
+                // Random policy.
+                for _ in 0..budget {
+                    let i = policy_rng.gen_range(0..n_signals);
+                    beliefs[2][i] = truth[i];
+                }
+                // Score: mean absolute belief error across signals.
+                for (p, belief) in beliefs.iter().enumerate() {
+                    let err: f64 = belief
+                        .iter()
+                        .zip(&truth)
+                        .map(|(b, t)| (b - t).abs())
+                        .sum::<f64>()
+                        / n_signals as f64;
+                    errors[p] += err;
+                }
+                samples += 1;
+            }
+            let mut m = MetricSet::new();
+            m.set("attention", errors[0] / samples as f64);
+            m.set("round_robin", errors[1] / samples as f64);
+            m.set("random", errors[2] / samples as f64);
+            m
+        });
+        let a = agg.mean("attention");
+        let rr = agg.mean("round_robin");
+        let rnd = agg.mean("random");
+        table.row_owned(vec![
+            budget.to_string(),
+            num_ci(a, agg.ci95("attention")),
+            num(rr),
+            num(rnd),
+            format!("{:+.1}%", (1.0 - a / rr.min(rnd)) * 100.0),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Smoke tests at reduced scale: every experiment runs and produces
+    // non-empty output with the expected headline ordering.
+
+    #[test]
+    fn t1_small_self_aware_wins() {
+        let t = run_t1(2, 1500);
+        assert_eq!(t.len(), 4);
+        // utility column is last; self-aware row is last.
+        let parse = |s: &str| s.split('±').next().unwrap().parse::<f64>().unwrap();
+        let sa = parse(t.cell(3, 5).unwrap());
+        let random = parse(t.cell(0, 5).unwrap());
+        assert!(sa > random, "self-aware {sa} vs random {random}");
+    }
+
+    #[test]
+    fn t2_small_runs() {
+        let t = run_t2(2, 1200);
+        assert_eq!(t.len(), 5);
+        let parse = |s: &str| s.split('±').next().unwrap().parse::<f64>().unwrap();
+        let none = parse(t.cell(0, 4).unwrap());
+        let full = parse(t.cell(4, 4).unwrap());
+        assert!(full > none, "full stack {full} should beat none {none}");
+    }
+
+    #[test]
+    fn t3_small_runs() {
+        let t = run_t3(2, 2000);
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn f1_renders() {
+        let s = run_f1(2000);
+        assert!(s.contains("self-aware"));
+        assert!(s.contains("broadcast"));
+        assert!(s.contains("scale:"));
+    }
+
+    #[test]
+    fn f2_cpn_wins_attack_phase() {
+        let s = run_f2(1800);
+        assert!(s.contains("cpn"));
+        assert!(s.contains("static-shortest"));
+    }
+
+    #[test]
+    fn t4_small_runs() {
+        let t = run_t4(2, 1500);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn f3_pool_is_competitive() {
+        let s = run_f3(2000);
+        assert!(s.contains("meta-pool"));
+        assert!(s.contains("model switches"));
+    }
+
+    #[test]
+    fn t5_gossip_has_no_hotspot() {
+        let t = run_t5(3);
+        assert_eq!(t.len(), 9);
+        // For N=200 rows (last three), gossip hot-spot load should be
+        // far below central's.
+        let central_load: f64 = t.cell(6, 4).unwrap().parse().unwrap();
+        let gossip_load: f64 = t.cell(8, 4).unwrap().parse().unwrap();
+        assert!(gossip_load < central_load / 4.0);
+    }
+
+    #[test]
+    fn f4_gap_grows_with_divergence() {
+        let s = run_f4(2, 1500);
+        assert!(s.contains("divergence"));
+        assert!(s.contains("self-aware"));
+    }
+
+    #[test]
+    fn t6_attention_beats_baselines_at_tight_budget() {
+        let t = run_t6(2, 1500);
+        assert_eq!(t.len(), 4);
+        let a: f64 = t
+            .cell(0, 1)
+            .unwrap()
+            .split('±')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        let rr: f64 = t.cell(0, 2).unwrap().parse().unwrap();
+        assert!(
+            a < rr,
+            "attention error {a} should beat round-robin {rr} at budget 1"
+        );
+    }
+}
+
+/// A1 (ablation) — the camera network's ask-threshold knob: how the
+/// affinity threshold of the self-aware handover strategy trades
+/// tracking quality against communication.
+#[must_use]
+pub fn run_a1(reps: u32, steps: u64) -> Table {
+    let mut table = Table::new(
+        format!("A1: camnet self-aware ask-threshold sweep ({steps} ticks, {reps} reps)"),
+        &["threshold", "quality", "untracked", "msgs/tick", "utility"],
+    );
+    for threshold in [0.1, 0.2, 0.25, 0.35, 0.5] {
+        let strategy = camnet::HandoverStrategy::SelfAware {
+            threshold,
+            epsilon: 0.05,
+        };
+        let agg = Replications::new(0xA1, reps).run(|seeds| {
+            camnet::run_camnet(&camnet::CamnetConfig::standard(strategy, steps), &seeds).metrics
+        });
+        table.row_owned(vec![
+            format!("{threshold:.2}"),
+            num_ci(agg.mean("track_quality"), agg.ci95("track_quality")),
+            num(agg.mean("untracked_ratio")),
+            num_ci(agg.mean("messages_per_tick"), agg.ci95("messages_per_tick")),
+            num_ci(agg.mean("utility"), agg.ci95("utility")),
+        ]);
+    }
+    table
+}
+
+/// A2 (ablation) — the CPN's smart-packet ratio: how much exploration
+/// traffic the network needs to keep re-planning under attack.
+#[must_use]
+pub fn run_a2(reps: u32, steps: u64) -> Table {
+    let mut table = Table::new(
+        format!("A2: cpn smart-packet ratio sweep ({steps} ticks, {reps} reps)"),
+        &[
+            "smart ratio",
+            "delivery",
+            "delay pre",
+            "delay attack",
+            "delay post",
+        ],
+    );
+    for smart_ratio in [0.0, 0.05, 0.1, 0.25, 0.5] {
+        let strategy = cpn::RoutingStrategy::Cpn {
+            smart_ratio,
+            epsilon: 0.1,
+        };
+        let agg = Replications::new(0xA2, reps)
+            .run(|seeds| cpn::run_cpn(&cpn::CpnConfig::standard(strategy, steps), &seeds).metrics);
+        table.row_owned(vec![
+            format!("{smart_ratio:.2}"),
+            num_ci(agg.mean("delivery_ratio"), agg.ci95("delivery_ratio")),
+            num(agg.mean("delay_pre")),
+            num_ci(agg.mean("delay_attack"), agg.ci95("delay_attack")),
+            num(agg.mean("delay_post")),
+        ]);
+    }
+    table
+}
+
+/// A3 (ablation) — the meta model-pool's switching hysteresis
+/// (`patience`): too eager thrashes on noise, too patient lags regime
+/// changes.
+#[must_use]
+pub fn run_a3(reps: u32, steps: u64) -> Table {
+    use workloads::signal::{SignalGen, SignalSpec};
+    let mut table = Table::new(
+        format!("A3: model-pool patience sweep ({steps} ticks, {reps} reps)"),
+        &["patience", "mae", "switches"],
+    );
+    for patience in [1u32, 4, 8, 32, 128] {
+        let agg = Replications::new(0xA3, reps).run(|seeds| {
+            let regimes = vec![
+                (0, SignalSpec::Flat { level: 10.0 }),
+                (
+                    steps / 4,
+                    SignalSpec::Trend {
+                        start: 10.0,
+                        slope: 0.3,
+                    },
+                ),
+                (
+                    steps / 2,
+                    SignalSpec::Oscillation {
+                        center: 40.0,
+                        amplitude: 8.0,
+                        period: 40.0,
+                    },
+                ),
+                (3 * steps / 4, SignalSpec::Flat { level: 25.0 }),
+            ];
+            let mut gen = SignalGen::new(regimes, 0.5, seeds.rng("signal"));
+            let mut pool = ModelPool::new(0.1, patience);
+            pool.add("ewma", Box::new(Ewma::new(0.3)));
+            pool.add("holt", Box::new(Holt::new(0.5, 0.3)));
+            pool.add("ar", Box::new(ArModel::new(2, 64)));
+            let mut err = 0.0;
+            let mut n = 0u64;
+            for t in 0..steps {
+                let x = gen.sample(Tick(t));
+                if let Some(p) = pool.forecast() {
+                    err += (p - x).abs();
+                    n += 1;
+                }
+                pool.observe(x);
+            }
+            let mut m = MetricSet::new();
+            m.set("mae", err / n.max(1) as f64);
+            m.set("switches", f64::from(pool.switches()));
+            m
+        });
+        table.row_owned(vec![
+            patience.to_string(),
+            num_ci(agg.mean("mae"), agg.ci95("mae")),
+            format!("{:.1}", agg.mean("switches")),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod ablation_tests {
+    use super::*;
+
+    #[test]
+    fn a1_threshold_monotone_in_messages() {
+        let t = run_a1(2, 1500);
+        assert_eq!(t.len(), 5);
+        // Higher threshold → fewer messages (weak monotone check on
+        // the extremes).
+        let parse = |s: &str| s.split('±').next().unwrap().parse::<f64>().unwrap();
+        let loose = parse(t.cell(0, 3).unwrap());
+        let tight = parse(t.cell(4, 3).unwrap());
+        assert!(tight < loose, "tight {tight} vs loose {loose}");
+    }
+
+    #[test]
+    fn a2_runs() {
+        let t = run_a2(2, 1200);
+        assert_eq!(t.len(), 5);
+    }
+
+    #[test]
+    fn a3_extremes_are_worse_or_equal() {
+        let t = run_a3(3, 2000);
+        assert_eq!(t.len(), 5);
+        // Eager switching (patience 1) must switch much more often
+        // than patient (128).
+        let eager: f64 = t.cell(0, 2).unwrap().parse().unwrap();
+        let patient: f64 = t.cell(4, 2).unwrap().parse().unwrap();
+        assert!(eager > patient, "eager {eager} vs patient {patient}");
+    }
+}

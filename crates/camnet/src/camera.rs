@@ -1,0 +1,250 @@
+//! Camera geometry and per-neighbour learned affinity.
+
+use workloads::trajectories::Point;
+
+/// A fixed smart camera with a circular field of view.
+///
+/// Each camera also carries a learned *affinity* score per other
+/// camera: its running estimate of how often that neighbour wins the
+/// handovers it is invited to. The self-aware strategy reads and
+/// updates these; static strategies ignore them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Camera {
+    id: usize,
+    position: Point,
+    fov_radius: f64,
+    affinity: Vec<f64>,
+    invites: Vec<u64>,
+}
+
+impl Camera {
+    /// Prior affinity before any handover evidence.
+    pub const AFFINITY_PRIOR: f64 = 0.5;
+
+    /// Creates camera `id` at `position` with `fov_radius`, in a
+    /// network of `n_cameras`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fov_radius <= 0` or `id >= n_cameras`.
+    #[must_use]
+    pub fn new(id: usize, position: Point, fov_radius: f64, n_cameras: usize) -> Self {
+        assert!(fov_radius > 0.0, "fov radius must be positive");
+        assert!(id < n_cameras, "camera id out of range");
+        Self {
+            id,
+            position,
+            fov_radius,
+            affinity: vec![Self::AFFINITY_PRIOR; n_cameras],
+            invites: vec![0; n_cameras],
+        }
+    }
+
+    /// Camera id.
+    #[must_use]
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Camera position.
+    #[must_use]
+    pub fn position(&self) -> Point {
+        self.position
+    }
+
+    /// Field-of-view radius.
+    #[must_use]
+    pub fn fov_radius(&self) -> f64 {
+        self.fov_radius
+    }
+
+    /// Whether a world point is inside the field of view.
+    #[must_use]
+    pub fn sees(&self, p: Point) -> bool {
+        self.position.distance(p) <= self.fov_radius
+    }
+
+    /// Tracking quality for an object at `p`: 1 at the centre of the
+    /// FOV, falling linearly to 0 at its edge (and beyond).
+    #[must_use]
+    pub fn quality(&self, p: Point) -> f64 {
+        let d = self.position.distance(p);
+        (1.0 - d / self.fov_radius).max(0.0)
+    }
+
+    /// Learned affinity for camera `other` (probability-like score
+    /// that inviting them to an auction is worthwhile).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` is out of range.
+    #[must_use]
+    pub fn affinity(&self, other: usize) -> f64 {
+        self.affinity[other]
+    }
+
+    /// Updates affinity for `other` after an auction they were
+    /// invited to: `won` is whether they took the object over.
+    ///
+    /// Wins reinforce strongly; losses decay gently (losing one
+    /// auction usually means "the object was not near you this time",
+    /// not "you are never useful" — an asymmetry Esterle-style
+    /// pheromone link strengths share).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` is out of range.
+    pub fn record_auction(&mut self, other: usize, won: bool) {
+        let a = &mut self.affinity[other];
+        if won {
+            *a += 0.3 * (1.0 - *a);
+        } else {
+            *a *= 0.94;
+        }
+        self.invites[other] += 1;
+    }
+
+    /// Times camera `other` has been invited by this one.
+    #[must_use]
+    pub fn invite_count(&self, other: usize) -> u64 {
+        self.invites[other]
+    }
+
+    /// The camera's ask-preference distribution over peers (excluding
+    /// itself): softmax-free normalised affinities — the camera's
+    /// *latent beliefs* about who wins its handovers.
+    #[must_use]
+    pub fn preference(&self) -> Vec<f64> {
+        let mut v: Vec<f64> = self
+            .affinity
+            .iter()
+            .enumerate()
+            .map(|(j, &a)| if j == self.id { 0.0 } else { a.max(1e-9) })
+            .collect();
+        normalise(&mut v);
+        v
+    }
+
+    /// The camera's *behavioural* ask distribution: the proportion of
+    /// auction invitations actually sent to each peer. This — not the
+    /// latent beliefs — is what the F1 heterogeneity metric compares,
+    /// because a broadcast camera may *learn* distinct affinities yet
+    /// still ask everyone (behaviourally homogeneous), while a
+    /// self-aware camera's invitations themselves specialise. Uniform
+    /// over peers until the first invitation.
+    #[must_use]
+    pub fn ask_distribution(&self) -> Vec<f64> {
+        let total: u64 = self.invites.iter().sum();
+        let n = self.invites.len();
+        if total == 0 {
+            let mut v = vec![1.0 / (n.max(2) - 1) as f64; n];
+            v[self.id] = 0.0;
+            return v;
+        }
+        let mut v: Vec<f64> = self.invites.iter().map(|&c| c as f64).collect();
+        v[self.id] = 0.0;
+        normalise(&mut v);
+        v
+    }
+}
+
+fn normalise(v: &mut [f64]) {
+    let sum: f64 = v.iter().sum();
+    if sum > 0.0 {
+        for x in v {
+            *x /= sum;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cam() -> Camera {
+        Camera::new(0, Point::new(0.5, 0.5), 0.2, 4)
+    }
+
+    #[test]
+    fn sees_and_quality() {
+        let c = cam();
+        assert!(c.sees(Point::new(0.5, 0.5)));
+        assert!(c.sees(Point::new(0.6, 0.5)));
+        assert!(!c.sees(Point::new(0.9, 0.9)));
+        assert!((c.quality(Point::new(0.5, 0.5)) - 1.0).abs() < 1e-12);
+        assert!((c.quality(Point::new(0.6, 0.5)) - 0.5).abs() < 1e-9);
+        assert_eq!(c.quality(Point::new(0.9, 0.9)), 0.0);
+    }
+
+    #[test]
+    fn affinity_learning_moves_toward_outcomes() {
+        let mut c = cam();
+        assert_eq!(c.affinity(1), Camera::AFFINITY_PRIOR);
+        for _ in 0..50 {
+            c.record_auction(1, true);
+            c.record_auction(2, false);
+        }
+        assert!(c.affinity(1) > 0.95);
+        assert!(c.affinity(2) < 0.05);
+        assert_eq!(c.invite_count(1), 50);
+        assert_eq!(c.invite_count(3), 0);
+    }
+
+    #[test]
+    fn preference_excludes_self_and_normalises() {
+        let mut c = cam();
+        c.record_auction(1, true);
+        let p = c.preference();
+        assert_eq!(p.len(), 4);
+        assert_eq!(p[0], 0.0, "self excluded");
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(p[1] > p[2]);
+    }
+
+    #[test]
+    fn accessors() {
+        let c = cam();
+        assert_eq!(c.id(), 0);
+        assert_eq!(c.fov_radius(), 0.2);
+        assert_eq!(c.position(), Point::new(0.5, 0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "fov radius must be positive")]
+    fn zero_fov_panics() {
+        let _ = Camera::new(0, Point::new(0.0, 0.0), 0.0, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "camera id out of range")]
+    fn bad_id_panics() {
+        let _ = Camera::new(5, Point::new(0.0, 0.0), 0.1, 2);
+    }
+}
+
+#[cfg(test)]
+mod ask_distribution_tests {
+    use super::*;
+
+    #[test]
+    fn uniform_before_any_invites() {
+        let c = Camera::new(1, Point::new(0.5, 0.5), 0.2, 4);
+        let d = c.ask_distribution();
+        assert_eq!(d[1], 0.0);
+        assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!((d[0] - d[2]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reflects_actual_invitations() {
+        let mut c = Camera::new(0, Point::new(0.5, 0.5), 0.2, 4);
+        for _ in 0..9 {
+            c.record_auction(1, false);
+        }
+        c.record_auction(2, true);
+        let d = c.ask_distribution();
+        assert!((d[1] - 0.9).abs() < 1e-9);
+        assert!((d[2] - 0.1).abs() < 1e-9);
+        assert_eq!(d[3], 0.0);
+    }
+}

@@ -1,0 +1,34 @@
+//! # camnet — a distributed smart-camera network simulator
+//!
+//! Reproduces the paper's flagship case study (refs 11, 13, 17, 48):
+//! a decentralised network of smart cameras tracking moving objects,
+//! where responsibility for each object is *traded between cameras* in
+//! a market-style handover auction. The design tension is exactly the
+//! paper's run-time trade-off: tracking quality (ask widely, never
+//! lose an object) versus communication cost (each ask is a message a
+//! bandwidth-constrained camera can ill afford).
+//!
+//! Lewis et al. \[13\] showed that when each camera *learns for itself*
+//! whom to ask, cameras "learn to be different from each other, in
+//! line with their own perceptions of the world" — emergent
+//! heterogeneity with near-broadcast utility at a fraction of the
+//! cost. Experiments T3 and F1 reproduce that result's shape.
+//!
+//! * [`camera`] — camera geometry and per-neighbour learned affinity;
+//! * [`strategy`] — handover strategies (broadcast, smooth, static,
+//!   self-aware learning);
+//! * [`diversity`] — the policy-divergence heterogeneity metric;
+//! * [`sim`] — the world: objects, ownership, auctions, metrics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod camera;
+pub mod diversity;
+pub mod sim;
+pub mod strategy;
+
+pub use camera::Camera;
+pub use diversity::policy_divergence;
+pub use sim::{run_camnet, CamnetConfig, CamnetResult};
+pub use strategy::HandoverStrategy;

@@ -1,0 +1,213 @@
+//! Handover strategies: whom does a camera invite to the auction when
+//! an object is slipping out of view?
+//!
+//! Following Esterle/Lewis (refs 11, 13), the spectrum runs from
+//! maximum-communication [`HandoverStrategy::Broadcast`] to learned,
+//! per-camera ask-sets ([`HandoverStrategy::SelfAware`]) — the latter
+//! being where heterogeneity *emerges* (each camera's learned ask-set
+//! reflects its own position and the objects it actually sees).
+
+use crate::camera::Camera;
+use rand::Rng as _;
+use simkernel::rng::Rng;
+
+/// Auction-invitation strategy, shared by all cameras in a run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum HandoverStrategy {
+    /// Invite every other camera.
+    Broadcast,
+    /// Invite the `k` spatially nearest cameras (fixed at deploy time
+    /// from camera positions).
+    Smooth {
+        /// Number of nearest neighbours invited.
+        k: usize,
+    },
+    /// Invite a fixed random subset of `k` cameras chosen once per
+    /// camera at deploy time.
+    Static {
+        /// Subset size.
+        k: usize,
+    },
+    /// Self-aware: invite cameras whose learned affinity exceeds a
+    /// threshold, plus ε-exploration so dormant neighbours are
+    /// retried. Each camera's ask-set is its own.
+    SelfAware {
+        /// Affinity threshold above which a peer is always invited.
+        threshold: f64,
+        /// Per-peer exploration probability.
+        epsilon: f64,
+    },
+}
+
+impl HandoverStrategy {
+    /// Canonical configuration used by T3/F1.
+    #[must_use]
+    pub fn self_aware_default() -> Self {
+        HandoverStrategy::SelfAware {
+            threshold: 0.25,
+            epsilon: 0.05,
+        }
+    }
+
+    /// Short table label.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            HandoverStrategy::Broadcast => "broadcast".into(),
+            HandoverStrategy::Smooth { k } => format!("smooth(k={k})"),
+            HandoverStrategy::Static { k } => format!("static(k={k})"),
+            HandoverStrategy::SelfAware { .. } => "self-aware".into(),
+        }
+    }
+
+    /// Computes the invite list for an auction run by `owner`.
+    ///
+    /// `static_sets` are the per-camera deploy-time subsets used by
+    /// [`HandoverStrategy::Static`]; `neighbours` are per-camera
+    /// nearest-neighbour lists used by [`HandoverStrategy::Smooth`].
+    pub fn invitees(
+        &self,
+        owner: &Camera,
+        cameras: &[Camera],
+        neighbours: &[Vec<usize>],
+        static_sets: &[Vec<usize>],
+        rng: &mut Rng,
+    ) -> Vec<usize> {
+        let me = owner.id();
+        match *self {
+            HandoverStrategy::Broadcast => (0..cameras.len()).filter(|&j| j != me).collect(),
+            HandoverStrategy::Smooth { .. } => neighbours[me].clone(),
+            HandoverStrategy::Static { .. } => static_sets[me].clone(),
+            HandoverStrategy::SelfAware { threshold, epsilon } => (0..cameras.len())
+                .filter(|&j| {
+                    j != me && (owner.affinity(j) >= threshold || rng.gen::<f64>() < epsilon)
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Precomputes each camera's `k` nearest neighbours.
+#[must_use]
+pub fn nearest_neighbours(cameras: &[Camera], k: usize) -> Vec<Vec<usize>> {
+    cameras
+        .iter()
+        .map(|c| {
+            let mut others: Vec<usize> = (0..cameras.len()).filter(|&j| j != c.id()).collect();
+            others.sort_by(|&a, &b| {
+                let da = c.position().distance(cameras[a].position());
+                let db = c.position().distance(cameras[b].position());
+                da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+            });
+            others.truncate(k);
+            others
+        })
+        .collect()
+}
+
+/// Draws each camera's deploy-time random subset of size `k`.
+#[must_use]
+pub fn random_subsets(n: usize, k: usize, rng: &mut Rng) -> Vec<Vec<usize>> {
+    use rand::seq::SliceRandom as _;
+    (0..n)
+        .map(|me| {
+            let mut others: Vec<usize> = (0..n).filter(|&j| j != me).collect();
+            others.shuffle(rng);
+            others.truncate(k);
+            others
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::trajectories::Point;
+
+    fn grid(n_side: usize) -> Vec<Camera> {
+        let n = n_side * n_side;
+        let mut v = Vec::new();
+        for i in 0..n {
+            let x = (i % n_side) as f64 / n_side as f64 + 0.5 / n_side as f64;
+            let y = (i / n_side) as f64 / n_side as f64 + 0.5 / n_side as f64;
+            v.push(Camera::new(i, Point::new(x, y), 0.3, n));
+        }
+        v
+    }
+
+    fn rng() -> Rng {
+        simkernel::SeedTree::new(2).rng("strat")
+    }
+
+    #[test]
+    fn broadcast_invites_everyone_else() {
+        let cams = grid(3);
+        let mut r = rng();
+        let inv = HandoverStrategy::Broadcast.invitees(&cams[4], &cams, &[], &[], &mut r);
+        assert_eq!(inv.len(), 8);
+        assert!(!inv.contains(&4));
+    }
+
+    #[test]
+    fn smooth_uses_nearest() {
+        let cams = grid(3);
+        let nn = nearest_neighbours(&cams, 3);
+        let mut r = rng();
+        let inv = HandoverStrategy::Smooth { k: 3 }.invitees(&cams[0], &cams, &nn, &[], &mut r);
+        assert_eq!(inv.len(), 3);
+        // Corner camera 0's nearest are 1 (right), 3 (below), 4 (diag).
+        assert!(inv.contains(&1) && inv.contains(&3));
+    }
+
+    #[test]
+    fn static_sets_are_fixed_and_sized() {
+        let mut r = rng();
+        let sets = random_subsets(9, 3, &mut r);
+        assert_eq!(sets.len(), 9);
+        for (me, s) in sets.iter().enumerate() {
+            assert_eq!(s.len(), 3);
+            assert!(!s.contains(&me));
+        }
+        let cams = grid(3);
+        let inv = HandoverStrategy::Static { k: 3 }.invitees(&cams[2], &cams, &[], &sets, &mut r);
+        assert_eq!(inv, sets[2]);
+    }
+
+    #[test]
+    fn self_aware_filters_by_affinity() {
+        let mut cams = grid(3);
+        // Camera 0 learns camera 1 always wins, others never do.
+        for _ in 0..60 {
+            cams[0].record_auction(1, true);
+            for j in 2..9 {
+                cams[0].record_auction(j, false);
+            }
+        }
+        let strat = HandoverStrategy::SelfAware {
+            threshold: 0.3,
+            epsilon: 0.0,
+        };
+        let mut r = rng();
+        let inv = strat.invitees(&cams[0], &cams, &[], &[], &mut r);
+        assert_eq!(inv, vec![1]);
+    }
+
+    #[test]
+    fn self_aware_epsilon_explores() {
+        let cams = grid(3);
+        let strat = HandoverStrategy::SelfAware {
+            threshold: 2.0, // nothing passes threshold
+            epsilon: 1.0,   // but everything explored
+        };
+        let mut r = rng();
+        let inv = strat.invitees(&cams[0], &cams, &[], &[], &mut r);
+        assert_eq!(inv.len(), 8);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(HandoverStrategy::Broadcast.label(), "broadcast");
+        assert_eq!(HandoverStrategy::Smooth { k: 2 }.label(), "smooth(k=2)");
+        assert_eq!(HandoverStrategy::self_aware_default().label(), "self-aware");
+    }
+}

@@ -1,0 +1,36 @@
+//! # cloudsim — a volunteer-cloud simulator
+//!
+//! The paper's running cloud example (Sections II–III, refs 14, 15,
+//! 56, 58): a service built on *volunteered, unreliable, churning*
+//! resources must meet quality-of-service goals while controlling
+//! cost, under demand that drifts and cycles. This crate provides:
+//!
+//! * [`node`] — heterogeneous worker nodes with capacity, per-tick
+//!   failure probability, and on/off churn;
+//! * [`request`] — the request lifecycle and SLA accounting;
+//! * [`cluster`] — the node pool: churn, dispatch, processing;
+//! * [`strategy`] — dispatchers and autoscalers, from the
+//!   non-self-aware baselines (random, round-robin, least-loaded,
+//!   design-time-ranked) to the level-gated self-aware controller used
+//!   by the T2 ablation;
+//! * [`sim`] — the end-to-end scenario runner producing the metrics
+//!   reported in T1/T2/F4.
+//!
+//! The central trade-off (paper Section I: evaluation "must inherently
+//! be multi-objective") is throughput vs SLA violations vs rented
+//! capacity cost.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod node;
+pub mod request;
+pub mod sim;
+pub mod strategy;
+
+pub use cluster::Cluster;
+pub use node::{Node, NodeSpec};
+pub use request::{Request, RequestOutcome};
+pub use sim::{run_scenario, ScenarioConfig, ScenarioResult};
+pub use strategy::Strategy;

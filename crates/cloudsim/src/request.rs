@@ -1,0 +1,184 @@
+//! Request lifecycle and SLA accounting.
+
+use serde::{Deserialize, Serialize};
+use simkernel::Tick;
+
+/// A unit of demand submitted to the cloud.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Monotone id.
+    pub id: u64,
+    /// Service demand in work units (on a unit-capacity node this
+    /// takes `work` ticks).
+    pub work: f64,
+    /// Arrival time.
+    pub arrived: Tick,
+    /// SLA deadline: the response time (completion − arrival) must not
+    /// exceed this many ticks.
+    pub deadline: u64,
+}
+
+impl Request {
+    /// Creates a request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `work <= 0` or `deadline == 0`.
+    #[must_use]
+    pub fn new(id: u64, work: f64, arrived: Tick, deadline: u64) -> Self {
+        assert!(work > 0.0, "work must be positive");
+        assert!(deadline > 0, "deadline must be positive");
+        Self {
+            id,
+            work,
+            arrived,
+            deadline,
+        }
+    }
+}
+
+/// Terminal outcome of a request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RequestOutcome {
+    /// Finished; `latency` is the response time in ticks.
+    Completed {
+        /// The request.
+        request: Request,
+        /// Completion time.
+        at: Tick,
+        /// Node that served it.
+        node: usize,
+        /// Response time in ticks.
+        latency: u64,
+    },
+    /// Lost to a node failure or node going offline mid-service.
+    Failed {
+        /// The request.
+        request: Request,
+        /// Failure time.
+        at: Tick,
+        /// Node that lost it.
+        node: usize,
+    },
+    /// No eligible node at dispatch time.
+    Rejected {
+        /// The request.
+        request: Request,
+        /// Rejection time.
+        at: Tick,
+    },
+}
+
+impl RequestOutcome {
+    /// The request this outcome concerns.
+    #[must_use]
+    pub fn request(&self) -> &Request {
+        match self {
+            RequestOutcome::Completed { request, .. }
+            | RequestOutcome::Failed { request, .. }
+            | RequestOutcome::Rejected { request, .. } => request,
+        }
+    }
+
+    /// Whether the outcome violates the SLA (failed, rejected, or late).
+    #[must_use]
+    pub fn violates_sla(&self) -> bool {
+        match self {
+            RequestOutcome::Completed {
+                request, latency, ..
+            } => *latency > request.deadline,
+            RequestOutcome::Failed { .. } | RequestOutcome::Rejected { .. } => true,
+        }
+    }
+
+    /// Whether the request completed (regardless of lateness).
+    #[must_use]
+    pub fn completed(&self) -> bool {
+        matches!(self, RequestOutcome::Completed { .. })
+    }
+
+    /// Response latency, if completed.
+    #[must_use]
+    pub fn latency(&self) -> Option<u64> {
+        match self {
+            RequestOutcome::Completed { latency, .. } => Some(*latency),
+            _ => None,
+        }
+    }
+
+    /// The node involved, if any.
+    #[must_use]
+    pub fn node(&self) -> Option<usize> {
+        match self {
+            RequestOutcome::Completed { node, .. } | RequestOutcome::Failed { node, .. } => {
+                Some(*node)
+            }
+            RequestOutcome::Rejected { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req() -> Request {
+        Request::new(1, 5.0, Tick(10), 20)
+    }
+
+    #[test]
+    fn completed_on_time_meets_sla() {
+        let o = RequestOutcome::Completed {
+            request: req(),
+            at: Tick(25),
+            node: 2,
+            latency: 15,
+        };
+        assert!(!o.violates_sla());
+        assert!(o.completed());
+        assert_eq!(o.latency(), Some(15));
+        assert_eq!(o.node(), Some(2));
+        assert_eq!(o.request().id, 1);
+    }
+
+    #[test]
+    fn late_completion_violates() {
+        let o = RequestOutcome::Completed {
+            request: req(),
+            at: Tick(40),
+            node: 0,
+            latency: 30,
+        };
+        assert!(o.violates_sla());
+        assert!(o.completed());
+    }
+
+    #[test]
+    fn failed_and_rejected_violate() {
+        let f = RequestOutcome::Failed {
+            request: req(),
+            at: Tick(12),
+            node: 1,
+        };
+        let r = RequestOutcome::Rejected {
+            request: req(),
+            at: Tick(10),
+        };
+        assert!(f.violates_sla() && r.violates_sla());
+        assert!(!f.completed() && !r.completed());
+        assert_eq!(f.latency(), None);
+        assert_eq!(r.node(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "work must be positive")]
+    fn zero_work_panics() {
+        let _ = Request::new(0, 0.0, Tick(0), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadline must be positive")]
+    fn zero_deadline_panics() {
+        let _ = Request::new(0, 1.0, Tick(0), 0);
+    }
+}

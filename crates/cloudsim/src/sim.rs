@@ -1,0 +1,390 @@
+//! End-to-end scenario runner: demand generation → dispatch →
+//! processing → multi-objective scoring.
+
+use crate::cluster::Cluster;
+use crate::node::NodeSpec;
+use crate::request::{Request, RequestOutcome};
+use crate::strategy::Strategy;
+use selfaware::goals::{Direction, Goal, Objective};
+use simkernel::rng::SeedTree;
+use simkernel::stats::Percentiles;
+use simkernel::{MetricSet, Tick, TimeSeries};
+use workloads::rates::{poisson, DiurnalRate, RateFn};
+use workloads::Schedule;
+
+/// Configuration of one cloud scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// Node specs (the *actual* machines).
+    pub specs: Vec<NodeSpec>,
+    /// Simulation length in ticks.
+    pub steps: u64,
+    /// Mean demand, requests per tick.
+    pub base_rate: f64,
+    /// Diurnal swing around the mean.
+    pub amplitude: f64,
+    /// Diurnal period in ticks.
+    pub period: f64,
+    /// Extra disturbances applied to the demand rate.
+    pub schedule: Schedule,
+    /// Mean request work units (exponential).
+    pub mean_work: f64,
+    /// SLA deadline in ticks.
+    pub deadline: u64,
+    /// Dispatch strategy.
+    pub strategy: Strategy,
+}
+
+impl ScenarioConfig {
+    /// The standard T1/T2 scenario: 12-node heterogeneous volunteer
+    /// pool, diurnal demand with a mid-run surge, given strategy.
+    #[must_use]
+    pub fn standard(strategy: Strategy, steps: u64, seeds: &SeedTree) -> Self {
+        let specs = (0..12)
+            .map(|i| {
+                let capacity = 1.0 + (i % 4) as f64;
+                if i % 3 == 0 {
+                    NodeSpec::reliable(capacity)
+                } else {
+                    NodeSpec::volunteer(capacity)
+                }
+            })
+            .collect();
+        let _ = seeds; // specs are deterministic; seeds reserved for variants
+        Self {
+            specs,
+            steps,
+            base_rate: 3.5,
+            amplitude: 2.5,
+            period: 600.0,
+            schedule: Schedule::none()
+                .and(workloads::Disturbance::scale(Tick(steps / 2), 1.4))
+                .and(workloads::Disturbance::spike(
+                    Tick(steps * 3 / 4),
+                    3.0,
+                    steps / 20,
+                )),
+            mean_work: 3.0,
+            deadline: 12,
+            strategy,
+        }
+    }
+}
+
+/// Outputs of one scenario run.
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    /// Scalar metrics (see [`run_scenario`] for keys).
+    pub metrics: MetricSet,
+    /// Per-tick SLA-violation fraction (bucketable for figures).
+    pub violations: TimeSeries,
+    /// Per-tick completed-request mean latency.
+    pub latency: TimeSeries,
+}
+
+/// The composite utility goal used to score all cloud strategies:
+/// maximise completion ratio, minimise SLA violations, minimise rented
+/// cost — the paper's "trade-offs between goals at run time".
+#[must_use]
+pub fn cloud_goal() -> Goal {
+    Goal::new("cloud-qos-vs-cost")
+        .objective(Objective::new(
+            "completion_ratio",
+            Direction::Maximize,
+            1.0,
+            2.0,
+        ))
+        .objective(Objective::new(
+            "violation_rate",
+            Direction::Minimize,
+            0.25,
+            2.0,
+        ))
+        .objective(Objective::new("cost_ratio", Direction::Minimize, 1.0, 1.0))
+}
+
+/// Runs one scenario. Metric keys produced:
+///
+/// * `arrived`, `completed` — request counts;
+/// * `completion_ratio` — completed / arrived;
+/// * `violation_rate` — SLA violations / arrived;
+/// * `mean_latency`, `p95_latency` — over completed requests;
+/// * `cost_ratio` — rented-node-ticks / (steps × nodes);
+/// * `utility` — [`cloud_goal`] composite;
+/// * `drift_events` — meta-level detections (0 for baselines).
+#[must_use]
+pub fn run_scenario(cfg: &ScenarioConfig, seeds: &SeedTree) -> ScenarioResult {
+    let n = cfg.specs.len();
+    let mut cluster = Cluster::new(cfg.specs.clone(), seeds);
+    let mut controller = cfg.strategy.build(n);
+    let mut rate_fn = DiurnalRate::new(cfg.base_rate, cfg.amplitude, cfg.period);
+    let mut arrivals_rng = seeds.rng("arrivals");
+    let mut work_rng = seeds.rng("work");
+    let mut strat_rng = seeds.rng("strategy");
+
+    let mut arrived = 0u64;
+    let mut completed = 0u64;
+    let mut violations = 0u64;
+    let mut latencies = Percentiles::new();
+    let mut lat_sum = 0.0;
+    let mut violations_series = TimeSeries::new(cfg.strategy.label());
+    let mut latency_series = TimeSeries::new(cfg.strategy.label());
+    let mut next_id = 0u64;
+
+    for t in 0..cfg.steps {
+        let now = Tick(t);
+        let rate = cfg.schedule.apply(rate_fn.rate(now), now);
+        let count = poisson(rate, &mut arrivals_rng);
+        controller.begin_tick(&mut cluster, count, now, &mut strat_rng);
+
+        let mut tick_outcomes: Vec<RequestOutcome> = Vec::new();
+        for _ in 0..count {
+            use rand::Rng as _;
+            arrived += 1;
+            let u: f64 = work_rng.gen::<f64>();
+            let work = -cfg.mean_work * u.max(1e-12).ln();
+            let req = Request::new(next_id, work, now, cfg.deadline);
+            next_id += 1;
+            match controller.dispatch(&cluster, &req, &mut strat_rng) {
+                Some(nodeidx) => {
+                    if let Some(fail) = cluster.dispatch(nodeidx, req, now) {
+                        tick_outcomes.push(fail);
+                    }
+                }
+                None => tick_outcomes.push(RequestOutcome::Rejected {
+                    request: req,
+                    at: now,
+                }),
+            }
+        }
+        tick_outcomes.extend(cluster.step(now));
+
+        let mut tick_viol = 0u64;
+        let tick_total = tick_outcomes.len();
+        for outcome in &tick_outcomes {
+            controller.feedback(outcome, now);
+            if outcome.violates_sla() {
+                violations += 1;
+                tick_viol += 1;
+            }
+            if let Some(lat) = outcome.latency() {
+                completed += 1;
+                latencies.push(lat as f64);
+                lat_sum += lat as f64;
+            }
+        }
+        if tick_total > 0 {
+            violations_series.push(now, tick_viol as f64 / tick_total as f64);
+        }
+        if let Some(RequestOutcome::Completed { latency, .. }) =
+            tick_outcomes.iter().find(|o| o.completed())
+        {
+            latency_series.push(now, *latency as f64);
+        }
+    }
+
+    let mut metrics = MetricSet::new();
+    let arrived_f = arrived.max(1) as f64;
+    metrics.set("arrived", arrived as f64);
+    metrics.set("completed", completed as f64);
+    metrics.set("completion_ratio", completed as f64 / arrived_f);
+    metrics.set("violation_rate", violations as f64 / arrived_f);
+    metrics.set(
+        "mean_latency",
+        if completed > 0 {
+            lat_sum / completed as f64
+        } else {
+            0.0
+        },
+    );
+    metrics.set("p95_latency", latencies.p95().unwrap_or(0.0));
+    metrics.set(
+        "cost_ratio",
+        cluster.rented_node_ticks() as f64 / (cfg.steps.max(1) * n as u64) as f64,
+    );
+    metrics.set("drift_events", f64::from(controller.drift_events()));
+    let utility = cloud_goal().utility(|k| metrics.get(k));
+    metrics.set("utility", utility);
+
+    ScenarioResult {
+        metrics,
+        violations: violations_series,
+        latency: latency_series,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selfaware::levels::LevelSet;
+
+    fn run(strategy: Strategy, seed: u64, steps: u64) -> ScenarioResult {
+        let seeds = SeedTree::new(seed);
+        let cfg = ScenarioConfig::standard(strategy, steps, &seeds);
+        run_scenario(&cfg, &seeds)
+    }
+
+    #[test]
+    fn scenario_produces_sane_metrics() {
+        let r = run(Strategy::LeastLoaded, 1, 1500);
+        let m = &r.metrics;
+        assert!(m.get("arrived").unwrap() > 1000.0);
+        let cr = m.get("completion_ratio").unwrap();
+        assert!((0.3..=1.0).contains(&cr), "completion ratio {cr}");
+        let vr = m.get("violation_rate").unwrap();
+        assert!((0.0..=1.0).contains(&vr));
+        assert!(m.get("p95_latency").unwrap() >= m.get("mean_latency").unwrap() * 0.5);
+        assert!(m.get("utility").is_some());
+        assert!(!r.violations.is_empty());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run(Strategy::RoundRobin, 9, 500);
+        let b = run(Strategy::RoundRobin, 9, 500);
+        assert_eq!(a.metrics, b.metrics);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = run(Strategy::RoundRobin, 1, 500);
+        let b = run(Strategy::RoundRobin, 2, 500);
+        assert_ne!(
+            a.metrics.get("completed"),
+            b.metrics.get("completed"),
+            "distinct seeds should give distinct sample paths"
+        );
+    }
+
+    #[test]
+    fn self_aware_beats_random_on_utility() {
+        // The paper's central hypothesis, in miniature.
+        let mut sa_wins = 0;
+        for seed in 0..3 {
+            let sa = run(
+                Strategy::SelfAware {
+                    levels: LevelSet::full(),
+                },
+                seed,
+                2000,
+            );
+            let rnd = run(Strategy::Random, seed, 2000);
+            if sa.metrics.get("utility") > rnd.metrics.get("utility") {
+                sa_wins += 1;
+            }
+        }
+        assert!(sa_wins >= 2, "self-aware won {sa_wins}/3 seeds");
+    }
+
+    #[test]
+    fn self_aware_cheaper_than_rent_all_baselines() {
+        let sa = run(
+            Strategy::SelfAware {
+                levels: LevelSet::full(),
+            },
+            4,
+            2000,
+        );
+        let ll = run(Strategy::LeastLoaded, 4, 2000);
+        assert!(
+            sa.metrics.get("cost_ratio").unwrap() < ll.metrics.get("cost_ratio").unwrap(),
+            "autoscaling should cut rented cost"
+        );
+    }
+
+    #[test]
+    fn cloud_goal_prefers_good_outcomes() {
+        let g = cloud_goal();
+        let good = g.utility(|k| match k {
+            "completion_ratio" => Some(0.98),
+            "violation_rate" => Some(0.01),
+            "cost_ratio" => Some(0.4),
+            _ => None,
+        });
+        let bad = g.utility(|k| match k {
+            "completion_ratio" => Some(0.6),
+            "violation_rate" => Some(0.3),
+            "cost_ratio" => Some(1.0),
+            _ => None,
+        });
+        assert!(good > bad);
+    }
+}
+
+#[cfg(test)]
+mod probe {
+    use super::*;
+    use selfaware::levels::LevelSet;
+
+    #[test]
+    #[ignore]
+    fn print_t1_metrics() {
+        for strategy in [
+            Strategy::Random,
+            Strategy::RoundRobin,
+            Strategy::LeastLoaded,
+            Strategy::SelfAware {
+                levels: LevelSet::full(),
+            },
+        ] {
+            let mut u = 0.0;
+            let mut v = 0.0;
+            let mut c = 0.0;
+            let mut comp = 0.0;
+            for seed in 0..3u64 {
+                let seeds = SeedTree::new(seed);
+                let cfg = ScenarioConfig::standard(strategy.clone(), 6000, &seeds);
+                let m = run_scenario(&cfg, &seeds).metrics;
+                u += m.get("utility").unwrap() / 3.0;
+                v += m.get("violation_rate").unwrap() / 3.0;
+                c += m.get("cost_ratio").unwrap() / 3.0;
+                comp += m.get("completion_ratio").unwrap() / 3.0;
+            }
+            println!(
+                "{:<14} util {u:.3} viol {v:.3} cost {c:.3} compl {comp:.3}",
+                strategy.label()
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod probe_ablation {
+    use super::*;
+    use selfaware::levels::{Level, LevelSet};
+
+    #[test]
+    #[ignore]
+    fn print_t2_ladder() {
+        let ladder = [
+            ("none", LevelSet::new()),
+            ("+stimulus", LevelSet::new().with(Level::Stimulus)),
+            (
+                "+time",
+                LevelSet::new().with(Level::Stimulus).with(Level::Time),
+            ),
+            (
+                "+goal",
+                LevelSet::new()
+                    .with(Level::Stimulus)
+                    .with(Level::Time)
+                    .with(Level::Goal),
+            ),
+            ("full(+meta)", LevelSet::full()),
+        ];
+        for (name, levels) in ladder {
+            let mut u = 0.0;
+            let mut v = 0.0;
+            let mut c = 0.0;
+            for seed in 0..3u64 {
+                let seeds = SeedTree::new(seed);
+                let cfg = ScenarioConfig::standard(Strategy::SelfAware { levels }, 6000, &seeds);
+                let m = run_scenario(&cfg, &seeds).metrics;
+                u += m.get("utility").unwrap() / 3.0;
+                v += m.get("violation_rate").unwrap() / 3.0;
+                c += m.get("cost_ratio").unwrap() / 3.0;
+            }
+            println!("{name:<12} util {u:.3} viol {v:.3} cost {c:.3}");
+        }
+    }
+}

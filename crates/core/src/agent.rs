@@ -1,0 +1,774 @@
+//! The self-aware agent: the observe → learn → reason → act →
+//! explain loop.
+//!
+//! This is the "generic loop" at the heart of the paper — Cox's
+//! metacognitive feedback loop (Section III: "being aware of oneself is
+//! not merely about possessing information, but also about using that
+//! information") realised as a composable Rust type. The
+//! [`AgentBuilder`] wires together exactly the capabilities implied by
+//! the chosen [`LevelSet`]:
+//!
+//! * **stimulus** — sensors are sampled into the knowledge base;
+//! * **time** — per-signal forecasters publish `forecast.<key>`
+//!   signals (and `forecast5.<key>` at horizon 5);
+//! * **interaction** — percepts about *other entities* are absorbed
+//!   via [`SelfAwareAgent::tell`] (the collective module builds on
+//!   this);
+//! * **goal** — a [`Goal`] is evaluated every step and published as
+//!   the private `self.utility` signal;
+//! * **meta** — forecasting is handled by a self-selecting
+//!   [`ModelPool`] instead of a fixed model, and an
+//!   [`ExplorationGovernor`] retunes the policy's exploration rate
+//!   when the reward stream drifts.
+//!
+//! The ablation experiment T2 constructs one agent per level subset
+//! and measures the utility each achieves in the same environment.
+
+use crate::attention::AttentionAllocator;
+use crate::error::{Result, SelfAwareError};
+use crate::explain::{Explanation, ExplanationLog};
+use crate::expression::{Decision, Policy};
+use crate::goals::Goal;
+use crate::knowledge::KnowledgeBase;
+use crate::levels::{Level, LevelSet};
+use crate::meta::{ExplorationGovernor, ModelPool};
+use crate::models::ewma::Ewma;
+use crate::models::holt::Holt;
+use crate::models::{Forecaster, OnlineModel};
+use crate::sensors::{Percept, Scope, SensorHub};
+use simkernel::rng::Rng;
+use simkernel::Tick;
+use std::collections::BTreeMap;
+
+/// Horizon used for the published medium-term forecast signal.
+pub const FORECAST_HORIZON: u32 = 5;
+
+enum Predictor {
+    Fixed(Ewma),
+    Pool(ModelPool),
+}
+
+impl Predictor {
+    fn observe(&mut self, x: f64) {
+        match self {
+            Predictor::Fixed(m) => m.observe(x),
+            Predictor::Pool(p) => p.observe(x),
+        }
+    }
+
+    fn forecast(&self) -> Option<f64> {
+        match self {
+            Predictor::Fixed(m) => m.forecast(),
+            Predictor::Pool(p) => p.forecast(),
+        }
+    }
+
+    fn forecast_h(&self, h: u32) -> Option<f64> {
+        match self {
+            Predictor::Fixed(m) => m.forecast_h(h),
+            Predictor::Pool(p) => p.forecast_h(h),
+        }
+    }
+}
+
+struct AttentionConfig {
+    alloc: AttentionAllocator,
+    budget: f64,
+}
+
+/// A self-aware agent over environment `E` with action type `A`.
+///
+/// Construct with [`SelfAwareAgent::builder`]. See the
+/// [module docs](self) for the loop structure, and `examples/quickstart.rs`
+/// for an end-to-end walkthrough.
+pub struct SelfAwareAgent<E, A: Clone> {
+    name: String,
+    levels: LevelSet,
+    hub: SensorHub<E>,
+    kb: KnowledgeBase,
+    predictors: BTreeMap<String, Predictor>,
+    goal: Option<Goal>,
+    policy: Box<dyn Policy<A>>,
+    attention: Option<AttentionConfig>,
+    governor: Option<ExplorationGovernor>,
+    log: ExplanationLog,
+    steps: u64,
+}
+
+impl<E, A: Clone> SelfAwareAgent<E, A> {
+    /// Starts building an agent.
+    #[must_use]
+    pub fn builder(name: impl Into<String>) -> AgentBuilder<E, A> {
+        AgentBuilder::new(name)
+    }
+
+    /// The agent's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The self-awareness levels this agent possesses.
+    #[must_use]
+    pub fn levels(&self) -> LevelSet {
+        self.levels
+    }
+
+    /// Read access to the knowledge base.
+    #[must_use]
+    pub fn knowledge(&self) -> &KnowledgeBase {
+        &self.kb
+    }
+
+    /// The explanation log (self-explanation output).
+    #[must_use]
+    pub fn explanations(&self) -> &ExplanationLog {
+        &self.log
+    }
+
+    /// Number of loop iterations executed.
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Current goal utility from the knowledge base, if the agent is
+    /// goal-aware and a goal is set.
+    #[must_use]
+    pub fn utility(&self) -> Option<f64> {
+        if !self.levels.contains(Level::Goal) {
+            return None;
+        }
+        self.goal.as_ref().map(|g| g.utility(|k| self.kb.last(k)))
+    }
+
+    /// Injects a percept about another entity (interaction
+    /// awareness). Ignored — deliberately — if the agent lacks
+    /// [`Level::Interaction`]: a non-interaction-aware agent has no
+    /// representation for others.
+    pub fn tell(&mut self, percept: Percept) {
+        if self.levels.contains(Level::Interaction) {
+            self.kb.absorb(&percept);
+        }
+    }
+
+    fn make_predictor(&self) -> Predictor {
+        if self.levels.contains(Level::Meta) {
+            let mut pool = ModelPool::new(0.1, 8);
+            pool.add("ewma", Box::new(Ewma::new(0.3)));
+            pool.add("holt", Box::new(Holt::new(0.5, 0.3)));
+            Predictor::Pool(pool)
+        } else {
+            Predictor::Fixed(Ewma::new(0.3))
+        }
+    }
+
+    /// Runs one iteration of the self-awareness loop and returns the
+    /// decision.
+    pub fn step(&mut self, env: &E, now: Tick, rng: &mut Rng) -> Decision<A> {
+        self.steps += 1;
+
+        // ---- observe (stimulus awareness) ----
+        if self.levels.contains(Level::Stimulus) && !self.hub.is_empty() {
+            let percepts = match &mut self.attention {
+                Some(att) => {
+                    let picked = att.alloc.select(att.budget, now, rng);
+                    let ps = self.hub.sample_subset(&picked, env, now);
+                    for (&i, p) in picked.iter().zip(&ps) {
+                        att.alloc.feed(i, p.value, now);
+                    }
+                    ps
+                }
+                None => self.hub.sample_all(env, now),
+            };
+            for p in &percepts {
+                self.kb.absorb(p);
+            }
+
+            // ---- learn & predict (time awareness) ----
+            if self.levels.contains(Level::Time) {
+                for p in &percepts {
+                    let predictor = match self.predictors.get_mut(&p.key) {
+                        Some(pr) => pr,
+                        None => {
+                            let pr = self.make_predictor();
+                            self.predictors.entry(p.key.clone()).or_insert(pr)
+                        }
+                    };
+                    predictor.observe(p.value);
+                    if let Some(f) = predictor.forecast() {
+                        self.kb.absorb(&Percept::new(
+                            format!("forecast.{}", p.key),
+                            f,
+                            Scope::Private,
+                            now,
+                        ));
+                    }
+                    if let Some(f) = predictor.forecast_h(FORECAST_HORIZON) {
+                        self.kb.absorb(&Percept::new(
+                            format!("forecast{FORECAST_HORIZON}.{}", p.key),
+                            f,
+                            Scope::Private,
+                            now,
+                        ));
+                    }
+                }
+            }
+        }
+
+        // ---- goal awareness: publish own utility ----
+        if self.levels.contains(Level::Goal) {
+            if let Some(goal) = &self.goal {
+                let u = goal.utility(|k| self.kb.last(k));
+                self.kb
+                    .absorb(&Percept::new("self.utility", u, Scope::Private, now));
+            }
+        }
+
+        // ---- decide & explain ----
+        let decision = self.policy.decide(&self.kb, now, rng);
+        if let Some(ex) = &decision.explanation {
+            self.log.record(ex.clone());
+        } else {
+            self.log
+                .record(Explanation::new(now, decision.label.clone()));
+        }
+        decision
+    }
+
+    /// Reports the realised reward of the last decision. With meta
+    /// awareness, the reward stream also drives exploration
+    /// self-adaptation.
+    pub fn reward(&mut self, r: f64) {
+        self.policy.feedback(r);
+        if self.levels.contains(Level::Meta) {
+            if let Some(gov) = &mut self.governor {
+                gov.observe_reward(r);
+                self.policy.set_exploration(gov.epsilon());
+            }
+        }
+    }
+
+    /// Number of reward-drift events the meta level has noticed.
+    #[must_use]
+    pub fn drift_events(&self) -> u32 {
+        self.governor
+            .as_ref()
+            .map_or(0, ExplorationGovernor::drift_count)
+    }
+
+    /// Per-sensor attention sample counts, if attention is enabled.
+    #[must_use]
+    pub fn attention_counts(&self) -> Option<&[u64]> {
+        self.attention.as_ref().map(|a| a.alloc.sample_counts())
+    }
+}
+
+impl<E, A: Clone> std::fmt::Debug for SelfAwareAgent<E, A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SelfAwareAgent")
+            .field("name", &self.name)
+            .field("levels", &self.levels.to_string())
+            .field("steps", &self.steps)
+            .field("signals", &self.kb.signal_count())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Builder for [`SelfAwareAgent`].
+pub struct AgentBuilder<E, A: Clone> {
+    name: String,
+    levels: LevelSet,
+    hub: SensorHub<E>,
+    goal: Option<Goal>,
+    policy: Option<Box<dyn Policy<A>>>,
+    attention_budget: Option<f64>,
+    history: usize,
+    log_capacity: usize,
+}
+
+impl<E, A: Clone> AgentBuilder<E, A> {
+    fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            levels: LevelSet::full(),
+            hub: SensorHub::new(),
+            goal: None,
+            policy: None,
+            attention_budget: None,
+            history: 128,
+            log_capacity: 256,
+        }
+    }
+
+    /// Sets the possessed level set (default: full stack).
+    #[must_use]
+    pub fn levels(mut self, levels: LevelSet) -> Self {
+        self.levels = levels;
+        self
+    }
+
+    /// Adds a closure sensor.
+    #[must_use]
+    pub fn sensor(
+        mut self,
+        key: impl Into<String>,
+        scope: Scope,
+        f: impl FnMut(&E) -> f64 + 'static,
+    ) -> Self
+    where
+        E: 'static,
+    {
+        self.hub.add_fn(key, scope, f);
+        self
+    }
+
+    /// Adds a boxed sensor.
+    #[must_use]
+    pub fn boxed_sensor(mut self, sensor: Box<dyn crate::sensors::Sensor<E>>) -> Self {
+        self.hub.add(sensor);
+        self
+    }
+
+    /// Sets the goal (required for goal-level utility publication).
+    #[must_use]
+    pub fn goal(mut self, goal: Goal) -> Self {
+        self.goal = Some(goal);
+        self
+    }
+
+    /// Sets the decision policy (required).
+    #[must_use]
+    pub fn policy(mut self, policy: Box<dyn Policy<A>>) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Enables budgeted attention over the sensors.
+    #[must_use]
+    pub fn attention_budget(mut self, budget: f64) -> Self {
+        self.attention_budget = Some(budget);
+        self
+    }
+
+    /// Sets per-signal history depth (default 128).
+    #[must_use]
+    pub fn history(mut self, window: usize) -> Self {
+        self.history = window;
+        self
+    }
+
+    /// Sets explanation log capacity (default 256).
+    #[must_use]
+    pub fn log_capacity(mut self, capacity: usize) -> Self {
+        self.log_capacity = capacity;
+        self
+    }
+
+    /// Builds the agent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SelfAwareError::MissingComponent`] if no policy was
+    /// set, and [`SelfAwareError::InvalidParameter`] if an attention
+    /// budget was configured without any sensors, or a non-positive
+    /// history/budget was given.
+    pub fn build(self) -> Result<SelfAwareAgent<E, A>> {
+        let policy = self
+            .policy
+            .ok_or(SelfAwareError::MissingComponent("policy"))?;
+        if self.history == 0 {
+            return Err(SelfAwareError::InvalidParameter {
+                name: "history",
+                constraint: "must be positive",
+            });
+        }
+        if self.log_capacity == 0 {
+            return Err(SelfAwareError::InvalidParameter {
+                name: "log_capacity",
+                constraint: "must be positive",
+            });
+        }
+        let attention = match self.attention_budget {
+            Some(budget) => {
+                if budget <= 0.0 {
+                    return Err(SelfAwareError::InvalidParameter {
+                        name: "attention_budget",
+                        constraint: "must be positive",
+                    });
+                }
+                if self.hub.is_empty() {
+                    return Err(SelfAwareError::InvalidParameter {
+                        name: "attention_budget",
+                        constraint: "requires at least one sensor",
+                    });
+                }
+                Some(AttentionConfig {
+                    alloc: AttentionAllocator::new(self.hub.len(), 0.1, 0.2),
+                    budget,
+                })
+            }
+            None => None,
+        };
+        let governor = self
+            .levels
+            .contains(Level::Meta)
+            .then(|| ExplorationGovernor::new(0.02, 0.3, 0.995, 0.2, 25.0));
+        Ok(SelfAwareAgent {
+            name: self.name,
+            levels: self.levels,
+            hub: self.hub,
+            kb: KnowledgeBase::new(self.history),
+            predictors: BTreeMap::new(),
+            goal: self.goal,
+            policy,
+            attention,
+            governor,
+            log: ExplanationLog::new(self.log_capacity),
+            steps: 0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expression::{ConstantPolicy, UtilityPolicy};
+    use crate::goals::{Direction, Objective};
+
+    struct World {
+        load: f64,
+    }
+
+    fn rng() -> Rng {
+        simkernel::SeedTree::new(21).rng("agent")
+    }
+
+    fn base_builder(levels: LevelSet) -> AgentBuilder<World, usize> {
+        SelfAwareAgent::builder("test")
+            .levels(levels)
+            .sensor("load", Scope::Public, |w: &World| w.load)
+            .policy(Box::new(ConstantPolicy::new(0usize, "hold")))
+    }
+
+    #[test]
+    fn build_requires_policy() {
+        let err = SelfAwareAgent::<World, usize>::builder("x")
+            .build()
+            .unwrap_err();
+        assert_eq!(err, SelfAwareError::MissingComponent("policy"));
+    }
+
+    #[test]
+    fn stimulus_agent_senses() {
+        let mut a = base_builder(LevelSet::new().with(Level::Stimulus))
+            .build()
+            .unwrap();
+        let mut r = rng();
+        a.step(&World { load: 0.4 }, Tick(0), &mut r);
+        assert_eq!(a.knowledge().last("load"), Some(0.4));
+        assert_eq!(a.steps(), 1);
+        // No time level → no forecast signal.
+        assert!(a.knowledge().last("forecast.load").is_none());
+    }
+
+    #[test]
+    fn pre_self_aware_agent_is_blind() {
+        let mut a = base_builder(LevelSet::new()).build().unwrap();
+        let mut r = rng();
+        a.step(&World { load: 0.4 }, Tick(0), &mut r);
+        assert!(a.knowledge().last("load").is_none());
+    }
+
+    #[test]
+    fn time_agent_publishes_forecasts() {
+        let levels = LevelSet::new().with(Level::Stimulus).with(Level::Time);
+        let mut a = base_builder(levels).build().unwrap();
+        let mut r = rng();
+        for t in 0..10u64 {
+            a.step(&World { load: 0.5 }, Tick(t), &mut r);
+        }
+        let f = a.knowledge().last("forecast.load").unwrap();
+        assert!((f - 0.5).abs() < 1e-9);
+        assert!(a.knowledge().last("forecast5.load").is_some());
+    }
+
+    #[test]
+    fn goal_agent_publishes_utility() {
+        let levels = LevelSet::new().with(Level::Stimulus).with(Level::Goal);
+        let goal = Goal::new("g").objective(Objective::new("load", Direction::Minimize, 1.0, 1.0));
+        let mut a = base_builder(levels).goal(goal).build().unwrap();
+        let mut r = rng();
+        a.step(&World { load: 0.25 }, Tick(0), &mut r);
+        assert!((a.knowledge().last("self.utility").unwrap() - 0.75).abs() < 1e-9);
+        assert!((a.utility().unwrap() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utility_is_none_without_goal_level() {
+        let goal = Goal::new("g").objective(Objective::new("load", Direction::Minimize, 1.0, 1.0));
+        let mut a = base_builder(LevelSet::new().with(Level::Stimulus))
+            .goal(goal)
+            .build()
+            .unwrap();
+        let mut r = rng();
+        a.step(&World { load: 0.25 }, Tick(0), &mut r);
+        assert!(a.utility().is_none());
+        assert!(a.knowledge().last("self.utility").is_none());
+    }
+
+    #[test]
+    fn interaction_gates_tell() {
+        let mut social = base_builder(
+            LevelSet::new()
+                .with(Level::Stimulus)
+                .with(Level::Interaction),
+        )
+        .build()
+        .unwrap();
+        let mut loner = base_builder(LevelSet::new().with(Level::Stimulus))
+            .build()
+            .unwrap();
+        let gossip = Percept::new("peer.load", 0.9, Scope::Public, Tick(0));
+        social.tell(gossip.clone());
+        loner.tell(gossip);
+        assert_eq!(social.knowledge().last("peer.load"), Some(0.9));
+        assert!(loner.knowledge().last("peer.load").is_none());
+    }
+
+    #[test]
+    fn meta_agent_uses_model_pool_and_governor() {
+        let mut a = base_builder(LevelSet::full()).build().unwrap();
+        let mut r = rng();
+        for t in 0..50u64 {
+            a.step(&World { load: t as f64 }, Tick(t), &mut r);
+            a.reward(1.0);
+        }
+        // Ramp signal: the pool's holt member should forecast ahead of
+        // a plain EWMA — the published forecast tracks the ramp closely.
+        let f = a.knowledge().last("forecast.load").unwrap();
+        assert!(f > 45.0, "meta forecast should track the ramp, got {f}");
+        assert_eq!(a.drift_events(), 0);
+    }
+
+    #[test]
+    fn explanations_are_logged() {
+        let mut a = base_builder(LevelSet::new().with(Level::Stimulus))
+            .build()
+            .unwrap();
+        let mut r = rng();
+        for t in 0..5u64 {
+            a.step(&World { load: 0.1 }, Tick(t), &mut r);
+        }
+        assert_eq!(a.explanations().len(), 5);
+        assert_eq!(a.explanations().latest().unwrap().action, "hold");
+    }
+
+    #[test]
+    fn attention_limits_sampling() {
+        let mut a = SelfAwareAgent::<World, usize>::builder("att")
+            .levels(LevelSet::new().with(Level::Stimulus))
+            .sensor("s0", Scope::Public, |w: &World| w.load)
+            .sensor("s1", Scope::Public, |w: &World| w.load * 2.0)
+            .sensor("s2", Scope::Public, |w: &World| w.load * 3.0)
+            .attention_budget(1.0)
+            .policy(Box::new(ConstantPolicy::new(0usize, "hold")))
+            .build()
+            .unwrap();
+        let mut r = rng();
+        for t in 0..30u64 {
+            a.step(&World { load: 1.0 }, Tick(t), &mut r);
+        }
+        let counts = a.attention_counts().unwrap();
+        assert_eq!(counts.iter().sum::<u64>(), 30, "one sample per tick");
+    }
+
+    #[test]
+    fn attention_requires_sensors() {
+        let err = SelfAwareAgent::<World, usize>::builder("x")
+            .attention_budget(1.0)
+            .policy(Box::new(ConstantPolicy::new(0usize, "hold")))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SelfAwareError::InvalidParameter { .. }));
+    }
+
+    #[test]
+    fn utility_policy_agent_end_to_end() {
+        // Goal-aware agent that switches action based on forecast load.
+        let goal = Goal::new("g").objective(Objective::new("load", Direction::Minimize, 1.0, 1.0));
+        let policy = UtilityPolicy::new(
+            vec![(0usize, "low-power".into()), (1, "boost".into())],
+            Box::new(|a: &usize, kb: &KnowledgeBase| {
+                let expected = kb.last_or("forecast.load", kb.last_or("load", 0.0));
+                if *a == 1 {
+                    expected // boost pays off under high load
+                } else {
+                    1.0 - expected
+                }
+            }),
+        );
+        let mut a = SelfAwareAgent::builder("e2e")
+            .levels(LevelSet::new().with(Level::Stimulus).with(Level::Time))
+            .sensor("load", Scope::Public, |w: &World| w.load)
+            .goal(goal)
+            .policy(Box::new(policy))
+            .build()
+            .unwrap();
+        let mut r = rng();
+        let mut last = 0;
+        for t in 0..20u64 {
+            let d = a.step(&World { load: 0.9 }, Tick(t), &mut r);
+            last = d.action;
+        }
+        assert_eq!(last, 1, "high load should select boost");
+    }
+}
+
+/// Summary of a closed-loop episode run by
+/// [`SelfAwareAgent::run_episode`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpisodeStats {
+    /// Ticks executed.
+    pub ticks: u64,
+    /// Sum of rewards over the episode.
+    pub total_reward: f64,
+    /// Mean reward per tick.
+    pub mean_reward: f64,
+    /// Goal utility at the final tick, if goal-aware.
+    pub final_utility: Option<f64>,
+}
+
+impl<E, A: Clone> SelfAwareAgent<E, A> {
+    /// Drives the full closed loop for `ticks` steps: the agent
+    /// observes `env`, decides, the [`Actuator`] applies the decision
+    /// back to `env`, `evolve` advances the world one tick, and
+    /// `reward` scores the new state.
+    ///
+    /// This is the whole sense→decide→act→world-moves→reward cycle in
+    /// one call — the shape every example and case-study controller
+    /// shares.
+    ///
+    /// [`Actuator`]: crate::expression::Actuator
+    #[allow(clippy::too_many_arguments)] // one parameter per loop phase; a config struct would obscure the cycle
+    pub fn run_episode(
+        &mut self,
+        env: &mut E,
+        ticks: u64,
+        start: Tick,
+        rng: &mut Rng,
+        actuator: &mut dyn crate::expression::Actuator<E, A>,
+        mut evolve: impl FnMut(&mut E, Tick),
+        mut reward: impl FnMut(&E) -> f64,
+    ) -> EpisodeStats {
+        let mut total = 0.0;
+        for i in 0..ticks {
+            let now = start + Tick(i);
+            let decision = self.step(env, now, rng);
+            actuator.apply(env, &decision.action);
+            evolve(env, now);
+            let r = reward(env);
+            self.reward(r);
+            total += r;
+        }
+        EpisodeStats {
+            ticks,
+            total_reward: total,
+            mean_reward: if ticks > 0 { total / ticks as f64 } else { 0.0 },
+            final_utility: self.utility(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod episode_tests {
+    use super::*;
+    use crate::expression::{FnActuator, UtilityPolicy};
+    use crate::goals::{Direction, Goal, Objective};
+    use crate::knowledge::KnowledgeBase;
+
+    struct Heater {
+        temp: f64,
+        power: f64,
+    }
+
+    #[test]
+    fn closed_loop_regulates_toward_setpoint() {
+        // Keep temp near 20 by toggling power; the loop wiring is what
+        // is under test.
+        let goal =
+            Goal::new("warm").objective(Objective::new("temp", Direction::Maximize, 20.0, 1.0));
+        let policy = UtilityPolicy::new(
+            vec![(0usize, "off".into()), (1, "on".into())],
+            Box::new(|a: &usize, kb: &KnowledgeBase| {
+                let t = kb.last_or("temp", 0.0);
+                if *a == 1 {
+                    20.0 - t // heat when cold
+                } else {
+                    t - 20.0
+                }
+            }),
+        );
+        let mut agent = SelfAwareAgent::builder("thermostat")
+            .levels(LevelSet::new().with(Level::Stimulus).with(Level::Goal))
+            .sensor("temp", Scope::Private, |h: &Heater| h.temp)
+            .goal(goal)
+            .policy(Box::new(policy))
+            .build()
+            .unwrap();
+        let mut env = Heater {
+            temp: 5.0,
+            power: 0.0,
+        };
+        let mut rng = simkernel::SeedTree::new(8).rng("ep");
+        let mut actuator =
+            FnActuator::new(|h: &mut Heater, a: &usize| h.power = if *a == 1 { 2.0 } else { 0.0 });
+        let stats = agent.run_episode(
+            &mut env,
+            200,
+            Tick::ZERO,
+            &mut rng,
+            &mut actuator,
+            |h, _| h.temp += h.power - 0.5, // heating minus leakage
+            |h| 1.0 - (h.temp - 20.0).abs() / 20.0,
+        );
+        assert_eq!(stats.ticks, 200);
+        assert!(
+            (env.temp - 20.0).abs() < 3.0,
+            "thermostat should hover near setpoint, got {}",
+            env.temp
+        );
+        assert!(stats.final_utility.is_some());
+        assert!(stats.mean_reward > 0.5);
+        assert!((stats.mean_reward * 200.0 - stats.total_reward).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_tick_episode_is_empty() {
+        let mut agent = SelfAwareAgent::<Heater, usize>::builder("idle")
+            .levels(LevelSet::new())
+            .policy(Box::new(crate::expression::ConstantPolicy::new(
+                0usize, "x",
+            )))
+            .build()
+            .unwrap();
+        let mut env = Heater {
+            temp: 0.0,
+            power: 0.0,
+        };
+        let mut rng = simkernel::SeedTree::new(9).rng("ep0");
+        let mut actuator = FnActuator::new(|_: &mut Heater, _: &usize| {});
+        let stats = agent.run_episode(
+            &mut env,
+            0,
+            Tick::ZERO,
+            &mut rng,
+            &mut actuator,
+            |_, _| {},
+            |_| 1.0,
+        );
+        assert_eq!(stats.ticks, 0);
+        assert_eq!(stats.total_reward, 0.0);
+        assert_eq!(stats.mean_reward, 0.0);
+    }
+}

@@ -1,0 +1,281 @@
+//! Architectural self-description and validation.
+//!
+//! Kounev's challenge, endorsed by the paper (Section III): the field
+//! needs "systematic engineering methodologies for self-aware
+//! systems". One concrete piece of methodology this crate can supply
+//! is *architectural introspection*: an agent can emit a structured
+//! description of its own awareness architecture — which levels it
+//! possesses, what it senses, what it models, what goal it serves —
+//! and that description can be mechanically checked for the common
+//! mis-assemblies (a goal level with no goal, attention with nothing
+//! to attend to, meta-awareness with nothing meta to monitor, ...).
+//!
+//! This is self-explanation one level up: not "why did I act",
+//! but "what kind of self-aware system am I".
+
+use crate::agent::SelfAwareAgent;
+use crate::levels::{Level, LevelSet};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A structured description of an agent's awareness architecture.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SelfDescription {
+    /// Agent name.
+    pub name: String,
+    /// Possessed levels.
+    pub levels: Vec<String>,
+    /// Signal keys currently represented in the knowledge base.
+    pub signals: Vec<String>,
+    /// Whether a goal is installed.
+    pub has_goal: bool,
+    /// Whether attention (budgeted sensing) is configured.
+    pub has_attention: bool,
+    /// Loop iterations executed so far.
+    pub steps: u64,
+    /// Explanations retained.
+    pub explanations: usize,
+}
+
+impl fmt::Display for SelfDescription {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "self-description of `{}`:", self.name)?;
+        writeln!(f, "  levels: {}", self.levels.join("+"))?;
+        writeln!(
+            f,
+            "  knowledge: {} signals ({})",
+            self.signals.len(),
+            self.signals.join(", ")
+        )?;
+        writeln!(
+            f,
+            "  goal: {} | attention: {}",
+            if self.has_goal { "installed" } else { "none" },
+            if self.has_attention {
+                "budgeted"
+            } else {
+                "full"
+            },
+        )?;
+        write!(
+            f,
+            "  history: {} steps, {} retained explanations",
+            self.steps, self.explanations
+        )
+    }
+}
+
+/// Severity of an architectural finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Severity {
+    /// The assembly will not do what the level set advertises.
+    Defect,
+    /// Legal but usually unintended.
+    Warning,
+}
+
+/// One finding from [`validate`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Finding {
+    /// Severity class.
+    pub severity: Severity,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let tag = match self.severity {
+            Severity::Defect => "DEFECT",
+            Severity::Warning => "WARN",
+        };
+        write!(f, "[{tag}] {}", self.message)
+    }
+}
+
+/// Describes an agent's architecture.
+#[must_use]
+pub fn describe<E, A: Clone>(agent: &SelfAwareAgent<E, A>) -> SelfDescription {
+    SelfDescription {
+        name: agent.name().to_string(),
+        levels: agent
+            .levels()
+            .iter()
+            .map(|l| l.name().to_string())
+            .collect(),
+        signals: agent
+            .knowledge()
+            .keys()
+            .into_iter()
+            .map(str::to_string)
+            .collect(),
+        has_goal: agent.utility().is_some() || agent.knowledge().last("self.utility").is_some(),
+        has_attention: agent.attention_counts().is_some(),
+        steps: agent.steps(),
+        explanations: agent.explanations().len(),
+    }
+}
+
+/// Checks a level set (plus assembly facts) for common mis-assemblies.
+///
+/// Pure function of the declared architecture, so it can run at build
+/// time in a deployment pipeline as well as against a live agent.
+#[must_use]
+pub fn validate(
+    levels: LevelSet,
+    has_sensors: bool,
+    has_goal: bool,
+    has_attention: bool,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let defect = |msg: &str| Finding {
+        severity: Severity::Defect,
+        message: msg.to_string(),
+    };
+    let warn = |msg: &str| Finding {
+        severity: Severity::Warning,
+        message: msg.to_string(),
+    };
+
+    if levels.contains(Level::Stimulus) && !has_sensors {
+        findings.push(defect(
+            "stimulus awareness declared but no sensors are registered: the agent is blind",
+        ));
+    }
+    if !levels.contains(Level::Stimulus) && has_sensors {
+        findings.push(warn(
+            "sensors registered but stimulus awareness absent: they will never be sampled",
+        ));
+    }
+    if levels.contains(Level::Time) && !levels.contains(Level::Stimulus) {
+        findings.push(defect(
+            "time awareness without stimulus awareness: there is no percept stream to model",
+        ));
+    }
+    if levels.contains(Level::Goal) && !has_goal {
+        findings.push(defect(
+            "goal awareness declared but no goal installed: no utility can be evaluated",
+        ));
+    }
+    if !levels.contains(Level::Goal) && has_goal {
+        findings.push(warn(
+            "a goal is installed but goal awareness is absent: utility will not be published",
+        ));
+    }
+    if levels.contains(Level::Meta) && !levels.contains(Level::Time) {
+        findings.push(warn(
+            "meta-self-awareness without time awareness: there are no self-models to monitor, \
+             only the reward stream",
+        ));
+    }
+    if has_attention && !levels.contains(Level::Stimulus) {
+        findings.push(warn(
+            "attention configured but stimulus awareness absent: nothing will be attended to",
+        ));
+    }
+    findings
+}
+
+/// `true` if `findings` contains no [`Severity::Defect`].
+#[must_use]
+pub fn is_sound(findings: &[Finding]) -> bool {
+    findings.iter().all(|f| f.severity != Severity::Defect)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expression::ConstantPolicy;
+    use crate::goals::{Direction, Goal, Objective};
+    use crate::sensors::Scope;
+    use simkernel::{SeedTree, Tick};
+
+    struct World;
+
+    #[test]
+    fn well_formed_full_stack_is_sound() {
+        let f = validate(LevelSet::full(), true, true, false);
+        assert!(is_sound(&f), "findings: {f:?}");
+        // Full stack with everything installed yields no findings at all.
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn blind_stimulus_agent_is_defective() {
+        let f = validate(LevelSet::new().with(Level::Stimulus), false, false, false);
+        assert!(!is_sound(&f));
+        assert!(f[0].to_string().contains("blind"));
+    }
+
+    #[test]
+    fn time_without_stimulus_is_defective() {
+        let f = validate(LevelSet::new().with(Level::Time), false, false, false);
+        assert!(!is_sound(&f));
+    }
+
+    #[test]
+    fn goal_level_without_goal_is_defective() {
+        let f = validate(
+            LevelSet::new().with(Level::Stimulus).with(Level::Goal),
+            true,
+            false,
+            false,
+        );
+        assert!(!is_sound(&f));
+    }
+
+    #[test]
+    fn warnings_do_not_break_soundness() {
+        // Sensors without stimulus: warning only.
+        let f = validate(LevelSet::new(), true, false, false);
+        assert!(is_sound(&f));
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn meta_without_time_warns() {
+        let f = validate(
+            LevelSet::new().with(Level::Stimulus).with(Level::Meta),
+            true,
+            false,
+            false,
+        );
+        assert!(is_sound(&f));
+        assert!(f.iter().any(|x| x.message.contains("meta")));
+    }
+
+    #[test]
+    fn describe_reflects_agent_state() {
+        let goal = Goal::new("g").objective(Objective::new("x", Direction::Maximize, 1.0, 1.0));
+        let mut agent = SelfAwareAgent::builder("desc")
+            .levels(LevelSet::full())
+            .sensor("x", Scope::Public, |_: &World| 1.0)
+            .goal(goal)
+            .policy(Box::new(ConstantPolicy::new(0usize, "hold")))
+            .build()
+            .unwrap();
+        let mut rng = SeedTree::new(1).rng("d");
+        agent.step(&World, Tick(0), &mut rng);
+        let d = describe(&agent);
+        assert_eq!(d.name, "desc");
+        assert_eq!(d.levels.len(), 5);
+        assert!(d.signals.iter().any(|s| s == "x"));
+        assert!(d.has_goal);
+        assert!(!d.has_attention);
+        assert_eq!(d.steps, 1);
+        assert_eq!(d.explanations, 1);
+        let rendered = d.to_string();
+        assert!(rendered.contains("self-description of `desc`"));
+        assert!(rendered.contains("stimulus+interaction+time+goal+meta"));
+    }
+
+    #[test]
+    fn finding_display() {
+        let f = Finding {
+            severity: Severity::Defect,
+            message: "boom".into(),
+        };
+        assert_eq!(f.to_string(), "[DEFECT] boom");
+    }
+}

@@ -1,0 +1,396 @@
+//! Collective self-awareness without a global component.
+//!
+//! Framework concept 3 (paper Section IV, after Mitchell \[45\]):
+//! "self-awareness can be a property of collective systems, even when
+//! there is no single component with a global awareness of the whole
+//! system." This module provides the three canonical architectures for
+//! a collective estimating a global quantity from per-node
+//! observations, with explicit message accounting so experiment T5 can
+//! compare accuracy against coordination cost and per-node hot-spot
+//! load:
+//!
+//! * [`centralized_estimate`] — everyone reports to node 0 (the
+//!   architecture the paper argues is increasingly infeasible);
+//! * [`hierarchical_estimate`] — tree aggregation (Guang et al. \[63\],
+//!   Amoretti & Cagnoni \[62\]);
+//! * [`GossipNetwork`] — fully decentralised pairwise averaging; every
+//!   node converges to the global mean with no aggregation point at
+//!   all.
+
+use simkernel::rng::Rng;
+use simkernel::Tick;
+
+/// Result of a collective estimation round: the estimate available at
+/// each node, plus coordination cost accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollectiveOutcome {
+    /// Per-node estimate of the global quantity.
+    pub estimates: Vec<f64>,
+    /// Total messages exchanged.
+    pub messages: u64,
+    /// Maximum messages handled by any single node (hot-spot load).
+    pub max_node_load: u64,
+}
+
+impl CollectiveOutcome {
+    /// Mean absolute error of the per-node estimates against `truth`.
+    #[must_use]
+    pub fn mean_abs_error(&self, truth: f64) -> f64 {
+        if self.estimates.is_empty() {
+            return 0.0;
+        }
+        self.estimates
+            .iter()
+            .map(|e| (e - truth).abs())
+            .sum::<f64>()
+            / self.estimates.len() as f64
+    }
+
+    /// Worst-node absolute error against `truth`.
+    #[must_use]
+    pub fn max_abs_error(&self, truth: f64) -> f64 {
+        self.estimates
+            .iter()
+            .map(|e| (e - truth).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Central aggregation: every node sends its observation to node 0,
+/// which computes the mean and broadcasts it back.
+///
+/// Messages: `2 (n-1)`; node 0 handles all of them.
+///
+/// # Panics
+///
+/// Panics if `observations` is empty.
+#[must_use]
+pub fn centralized_estimate(observations: &[f64]) -> CollectiveOutcome {
+    assert!(!observations.is_empty(), "need at least one observation");
+    let n = observations.len() as u64;
+    let mean = observations.iter().sum::<f64>() / observations.len() as f64;
+    CollectiveOutcome {
+        estimates: vec![mean; observations.len()],
+        messages: 2 * (n - 1),
+        max_node_load: 2 * (n - 1),
+    }
+}
+
+/// Tree aggregation with branching factor `branching`: observations
+/// flow up a balanced tree (partial means aggregated at each level),
+/// the root's mean flows back down.
+///
+/// Messages: `2 (n-1)` as well, but the hot-spot load is only
+/// `2 · branching` — the point of hierarchy is load spreading, not
+/// message count.
+///
+/// # Panics
+///
+/// Panics if `observations` is empty or `branching < 2`.
+#[must_use]
+pub fn hierarchical_estimate(observations: &[f64], branching: usize) -> CollectiveOutcome {
+    assert!(!observations.is_empty(), "need at least one observation");
+    assert!(branching >= 2, "branching factor must be at least 2");
+    let n = observations.len();
+    // Aggregate (sum, count) pairs level by level.
+    let mut level: Vec<(f64, usize)> = observations.iter().map(|&x| (x, 1)).collect();
+    let mut messages = 0u64;
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len() / branching + 1);
+        for chunk in level.chunks(branching) {
+            let sum: f64 = chunk.iter().map(|c| c.0).sum();
+            let count: usize = chunk.iter().map(|c| c.1).sum();
+            // Each non-head member of the chunk sends one message to
+            // the chunk head.
+            messages += chunk.len().saturating_sub(1) as u64;
+            next.push((sum, count));
+        }
+        level = next;
+    }
+    let (sum, count) = level[0];
+    let mean = sum / count as f64;
+    // Downward broadcast mirrors the upward tree.
+    let messages = 2 * messages;
+    CollectiveOutcome {
+        estimates: vec![mean; n],
+        messages,
+        max_node_load: 2 * branching as u64,
+    }
+}
+
+/// Fully decentralised gossip averaging.
+///
+/// Each round, `n/2` random disjoint pairs exchange values and both
+/// move to the pairwise mean. Pairwise averaging conserves the global
+/// mean exactly, so the collective converges (geometrically) to it —
+/// achieving collective awareness with no aggregation point.
+///
+/// # Example
+///
+/// ```
+/// use selfaware::collective::GossipNetwork;
+/// use simkernel::SeedTree;
+///
+/// let mut g = GossipNetwork::new((0..32).map(|i| i as f64).collect());
+/// let mut rng = SeedTree::new(1).rng("gossip");
+/// for _ in 0..40 {
+///     g.round(&mut rng);
+/// }
+/// let truth = 15.5;
+/// for &v in g.values() {
+///     assert!((v - truth).abs() < 0.5);
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GossipNetwork {
+    values: Vec<f64>,
+    messages: u64,
+    per_node: Vec<u64>,
+    rounds: u32,
+}
+
+impl GossipNetwork {
+    /// Creates a gossip network from per-node initial observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is empty.
+    #[must_use]
+    pub fn new(initial: Vec<f64>) -> Self {
+        assert!(!initial.is_empty(), "need at least one node");
+        let n = initial.len();
+        Self {
+            values: initial,
+            messages: 0,
+            per_node: vec![0; n],
+            rounds: 0,
+        }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the network has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Current per-node values.
+    #[must_use]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Executes one gossip round: a random perfect matching of nodes;
+    /// each matched pair exchanges values (2 messages) and averages.
+    pub fn round(&mut self, rng: &mut Rng) {
+        use rand::seq::SliceRandom as _;
+        let n = self.values.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(rng);
+        for pair in order.chunks(2) {
+            if let [a, b] = *pair {
+                let mean = (self.values[a] + self.values[b]) / 2.0;
+                self.values[a] = mean;
+                self.values[b] = mean;
+                self.messages += 2;
+                self.per_node[a] += 2;
+                self.per_node[b] += 2;
+            }
+        }
+        self.rounds += 1;
+    }
+
+    /// Runs `rounds` gossip rounds.
+    pub fn run(&mut self, rounds: u32, rng: &mut Rng) {
+        for _ in 0..rounds {
+            self.round(rng);
+        }
+    }
+
+    /// Rounds executed so far.
+    #[must_use]
+    pub fn rounds(&self) -> u32 {
+        self.rounds
+    }
+
+    /// Snapshot as a [`CollectiveOutcome`].
+    #[must_use]
+    pub fn outcome(&self) -> CollectiveOutcome {
+        CollectiveOutcome {
+            estimates: self.values.clone(),
+            messages: self.messages,
+            max_node_load: self.per_node.iter().copied().max().unwrap_or(0),
+        }
+    }
+
+    /// Spread (max − min) of current node values: a convergence
+    /// indicator the nodes themselves can estimate locally.
+    #[must_use]
+    pub fn spread(&self) -> f64 {
+        let min = self.values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = self
+            .values
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        max - min
+    }
+}
+
+/// A disturbance event for dynamic-collective tests: replace node
+/// `node`'s value at time `at` (models a node re-observing a changed
+/// local condition mid-gossip).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Reobservation {
+    /// Node index.
+    pub node: usize,
+    /// New locally observed value.
+    pub value: f64,
+    /// When it happens.
+    pub at: Tick,
+}
+
+impl GossipNetwork {
+    /// Applies a re-observation (paper: ongoing change — the
+    /// collective must keep re-converging as the world moves).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node index is out of range.
+    pub fn reobserve(&mut self, r: Reobservation) {
+        assert!(r.node < self.values.len(), "node out of range");
+        self.values[r.node] = r.value;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> Rng {
+        simkernel::SeedTree::new(33).rng("collective")
+    }
+
+    #[test]
+    fn centralized_is_exact_but_hot() {
+        let obs: Vec<f64> = (0..10).map(f64::from).collect();
+        let out = centralized_estimate(&obs);
+        assert!((out.estimates[0] - 4.5).abs() < 1e-12);
+        assert_eq!(out.messages, 18);
+        assert_eq!(out.max_node_load, 18);
+        assert_eq!(out.mean_abs_error(4.5), 0.0);
+    }
+
+    #[test]
+    fn hierarchical_is_exact_with_low_hotspot() {
+        let obs: Vec<f64> = (0..27).map(f64::from).collect();
+        let out = hierarchical_estimate(&obs, 3);
+        let truth = 13.0;
+        assert!(out.max_abs_error(truth) < 1e-9);
+        assert_eq!(out.max_node_load, 6);
+        assert!(out.messages > 0);
+        // Hot-spot load strictly lower than centralised.
+        let central = centralized_estimate(&obs);
+        assert!(out.max_node_load < central.max_node_load);
+    }
+
+    #[test]
+    fn hierarchy_message_count_matches_tree() {
+        // 9 leaves, branching 3: 6 up messages at level 0, 2 at level 1
+        // → 8 up, 16 total.
+        let obs = vec![1.0; 9];
+        let out = hierarchical_estimate(&obs, 3);
+        assert_eq!(out.messages, 16);
+    }
+
+    #[test]
+    fn gossip_preserves_mean_and_converges() {
+        let init: Vec<f64> = (0..64).map(f64::from).collect();
+        let truth = init.iter().sum::<f64>() / 64.0;
+        let mut g = GossipNetwork::new(init);
+        let mut r = rng();
+        let spread0 = g.spread();
+        g.run(50, &mut r);
+        // Mean conserved.
+        let mean = g.values().iter().sum::<f64>() / 64.0;
+        assert!((mean - truth).abs() < 1e-9);
+        // Converged.
+        assert!(g.spread() < spread0 / 1000.0);
+        assert!(g.outcome().mean_abs_error(truth) < 0.01);
+        assert_eq!(g.rounds(), 50);
+    }
+
+    #[test]
+    fn gossip_has_no_hotspot() {
+        let mut g = GossipNetwork::new(vec![1.0; 32]);
+        let mut r = rng();
+        g.run(10, &mut r);
+        let out = g.outcome();
+        // Every node handles ~2 messages per round; nothing like a
+        // central node's O(n) load.
+        assert!(out.max_node_load <= 20);
+        assert_eq!(out.messages, 32 * 10);
+    }
+
+    #[test]
+    fn gossip_odd_node_count() {
+        let mut g = GossipNetwork::new(vec![0.0, 10.0, 20.0]);
+        let mut r = rng();
+        g.run(60, &mut r);
+        for &v in g.values() {
+            assert!((v - 10.0).abs() < 0.5, "value {v} should converge to 10");
+        }
+    }
+
+    #[test]
+    fn gossip_reconverges_after_reobservation() {
+        let mut g = GossipNetwork::new(vec![5.0; 16]);
+        let mut r = rng();
+        g.run(5, &mut r);
+        g.reobserve(Reobservation {
+            node: 3,
+            value: 21.0,
+            at: Tick(5),
+        });
+        g.run(40, &mut r);
+        let new_truth = (5.0 * 15.0 + 21.0) / 16.0;
+        assert!(g.outcome().max_abs_error(new_truth) < 0.05);
+    }
+
+    #[test]
+    fn single_node_network() {
+        let mut g = GossipNetwork::new(vec![7.0]);
+        let mut r = rng();
+        g.round(&mut r);
+        assert_eq!(g.values(), &[7.0]);
+        assert_eq!(g.outcome().messages, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one node")]
+    fn empty_gossip_panics() {
+        let _ = GossipNetwork::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "branching factor must be at least 2")]
+    fn bad_branching_panics() {
+        let _ = hierarchical_estimate(&[1.0], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "node out of range")]
+    fn reobserve_out_of_range_panics() {
+        let mut g = GossipNetwork::new(vec![1.0]);
+        g.reobserve(Reobservation {
+            node: 5,
+            value: 0.0,
+            at: Tick(0),
+        });
+    }
+}

@@ -1,0 +1,77 @@
+//! Error types for the `selfaware` crate.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors produced by the self-awareness framework.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SelfAwareError {
+    /// A component referenced a signal key that is not in the
+    /// knowledge base.
+    UnknownSignal(String),
+    /// An agent was built without a required component.
+    MissingComponent(&'static str),
+    /// A parameter was outside its valid domain.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Human-readable constraint that was violated.
+        constraint: &'static str,
+    },
+    /// A model was asked to predict before seeing any data.
+    ModelCold(&'static str),
+}
+
+impl fmt::Display for SelfAwareError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelfAwareError::UnknownSignal(key) => write!(f, "unknown signal key `{key}`"),
+            SelfAwareError::MissingComponent(what) => {
+                write!(f, "agent is missing required component: {what}")
+            }
+            SelfAwareError::InvalidParameter { name, constraint } => {
+                write!(f, "invalid parameter `{name}`: {constraint}")
+            }
+            SelfAwareError::ModelCold(model) => {
+                write!(f, "model `{model}` has no observations yet")
+            }
+        }
+    }
+}
+
+impl StdError for SelfAwareError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, SelfAwareError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            SelfAwareError::UnknownSignal("load".into()).to_string(),
+            "unknown signal key `load`"
+        );
+        assert!(SelfAwareError::MissingComponent("policy")
+            .to_string()
+            .contains("policy"));
+        assert!(SelfAwareError::InvalidParameter {
+            name: "alpha",
+            constraint: "must be in (0,1]"
+        }
+        .to_string()
+        .contains("alpha"));
+        assert!(SelfAwareError::ModelCold("ewma")
+            .to_string()
+            .contains("ewma"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SelfAwareError>();
+    }
+}

@@ -1,0 +1,294 @@
+//! Self-explanation: reporting the reasons behind action (or
+//! inaction).
+//!
+//! Schubert and Cox (paper Section III) identify self-explanation as a
+//! benefit of self-awareness beyond adaptation: "self-aware systems
+//! will be able to explain or justify themselves to external entities,
+//! such as humans or other systems, based on their self-awareness."
+//! The conclusion reiterates it: "a form of reporting in which the
+//! reasons behind action (or inaction) are made clear."
+//!
+//! An [`Explanation`] captures the decision, the evidence (factor
+//! values the agent believed at decision time), the expected utility,
+//! and the rejected alternatives; the [`ExplanationLog`] retains a
+//! bounded history an operator can query.
+
+use serde::{Deserialize, Serialize};
+use simkernel::Tick;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// One piece of evidence behind a decision.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Factor {
+    /// Signal or belief name.
+    pub name: String,
+    /// Believed value at decision time.
+    pub value: f64,
+}
+
+/// A considered-but-rejected alternative.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Alternative {
+    /// Action label.
+    pub action: String,
+    /// Its expected utility at decision time.
+    pub expected_utility: f64,
+}
+
+/// A record of why an action was chosen.
+///
+/// # Example
+///
+/// ```
+/// use selfaware::explain::Explanation;
+/// use simkernel::Tick;
+///
+/// let e = Explanation::new(Tick(10), "scale-up")
+///     .because("load", 0.92)
+///     .because("forecast.load", 0.97)
+///     .expecting(0.8)
+///     .rejected("hold", 0.55);
+/// let text = e.to_string();
+/// assert!(text.contains("scale-up"));
+/// assert!(text.contains("load=0.92"));
+/// assert!(text.contains("hold"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Explanation {
+    /// Decision time.
+    pub at: Tick,
+    /// The chosen action's label.
+    pub action: String,
+    /// Evidence the decision rested on.
+    pub factors: Vec<Factor>,
+    /// Expected utility of the chosen action, if computed.
+    pub expected_utility: Option<f64>,
+    /// Alternatives that were considered and rejected.
+    pub alternatives: Vec<Alternative>,
+}
+
+impl Explanation {
+    /// Starts an explanation for choosing `action` at time `at`.
+    #[must_use]
+    pub fn new(at: Tick, action: impl Into<String>) -> Self {
+        Self {
+            at,
+            action: action.into(),
+            factors: Vec::new(),
+            expected_utility: None,
+            alternatives: Vec::new(),
+        }
+    }
+
+    /// Adds an evidence factor (builder style).
+    #[must_use]
+    pub fn because(mut self, name: impl Into<String>, value: f64) -> Self {
+        self.factors.push(Factor {
+            name: name.into(),
+            value,
+        });
+        self
+    }
+
+    /// Records the expected utility of the choice (builder style).
+    #[must_use]
+    pub fn expecting(mut self, utility: f64) -> Self {
+        self.expected_utility = Some(utility);
+        self
+    }
+
+    /// Records a rejected alternative (builder style).
+    #[must_use]
+    pub fn rejected(mut self, action: impl Into<String>, expected_utility: f64) -> Self {
+        self.alternatives.push(Alternative {
+            action: action.into(),
+            expected_utility,
+        });
+        self
+    }
+}
+
+impl fmt::Display for Explanation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: chose `{}`", self.at, self.action)?;
+        if let Some(u) = self.expected_utility {
+            write!(f, " (expected utility {u:.3})")?;
+        }
+        if !self.factors.is_empty() {
+            let fs: Vec<String> = self
+                .factors
+                .iter()
+                .map(|fa| format!("{}={}", fa.name, trim_float(fa.value)))
+                .collect();
+            write!(f, " because {}", fs.join(", "))?;
+        }
+        if !self.alternatives.is_empty() {
+            let alts: Vec<String> = self
+                .alternatives
+                .iter()
+                .map(|a| format!("`{}` ({:.3})", a.action, a.expected_utility))
+                .collect();
+            write!(f, "; rejected {}", alts.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+fn trim_float(v: f64) -> String {
+    let s = format!("{v:.2}");
+    s.trim_end_matches('0').trim_end_matches('.').to_string()
+}
+
+/// A bounded log of explanations.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ExplanationLog {
+    entries: VecDeque<Explanation>,
+    capacity: usize,
+    recorded: u64,
+}
+
+impl ExplanationLog {
+    /// Creates a log that retains the most recent `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        Self {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+            recorded: 0,
+        }
+    }
+
+    /// Appends an explanation.
+    pub fn record(&mut self, e: Explanation) {
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+        }
+        self.entries.push_back(e);
+        self.recorded += 1;
+    }
+
+    /// The most recent explanation, if any.
+    #[must_use]
+    pub fn latest(&self) -> Option<&Explanation> {
+        self.entries.back()
+    }
+
+    /// Retained explanations, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &Explanation> {
+        self.entries.iter()
+    }
+
+    /// Number of retained entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has been retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lifetime count of recorded explanations (including evicted).
+    #[must_use]
+    pub fn recorded_count(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Explanations whose action label contains `needle`.
+    #[must_use]
+    pub fn find_by_action(&self, needle: &str) -> Vec<&Explanation> {
+        self.entries
+            .iter()
+            .filter(|e| e.action.contains(needle))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(t: u64, action: &str) -> Explanation {
+        Explanation::new(Tick(t), action)
+            .because("load", 0.5)
+            .expecting(0.7)
+            .rejected("other", 0.3)
+    }
+
+    #[test]
+    fn builder_collects_everything() {
+        let e = sample(3, "act");
+        assert_eq!(e.at, Tick(3));
+        assert_eq!(e.action, "act");
+        assert_eq!(e.factors.len(), 1);
+        assert_eq!(e.expected_utility, Some(0.7));
+        assert_eq!(e.alternatives.len(), 1);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = sample(3, "scale-up").to_string();
+        assert!(s.starts_with("t3: chose `scale-up`"));
+        assert!(s.contains("expected utility 0.700"));
+        assert!(s.contains("load=0.5"));
+        assert!(s.contains("rejected `other` (0.300)"));
+    }
+
+    #[test]
+    fn display_minimal() {
+        let s = Explanation::new(Tick(0), "hold").to_string();
+        assert_eq!(s, "t0: chose `hold`");
+    }
+
+    #[test]
+    fn log_bounds_capacity() {
+        let mut log = ExplanationLog::new(3);
+        for t in 0..10 {
+            log.record(sample(t, "a"));
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.recorded_count(), 10);
+        assert_eq!(log.latest().unwrap().at, Tick(9));
+        let ticks: Vec<u64> = log.iter().map(|e| e.at.value()).collect();
+        assert_eq!(ticks, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn find_by_action_filters() {
+        let mut log = ExplanationLog::new(10);
+        log.record(sample(1, "scale-up"));
+        log.record(sample(2, "scale-down"));
+        log.record(sample(3, "hold"));
+        assert_eq!(log.find_by_action("scale").len(), 2);
+        assert_eq!(log.find_by_action("hold").len(), 1);
+        assert!(log.find_by_action("reboot").is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = ExplanationLog::new(0);
+    }
+
+    #[test]
+    fn empty_log() {
+        let log = ExplanationLog::new(4);
+        assert!(log.is_empty());
+        assert!(log.latest().is_none());
+    }
+
+    #[test]
+    fn trim_float_output() {
+        assert_eq!(trim_float(0.50), "0.5");
+        assert_eq!(trim_float(2.00), "2");
+        assert_eq!(trim_float(1.25), "1.25");
+    }
+}

@@ -1,0 +1,463 @@
+//! Self-expression: acting on self-knowledge.
+//!
+//! In the EPiCS framework the counterpart of self-awareness is
+//! *self-expression* — behaviour determined by the agent's own models
+//! rather than by a fixed design-time script. A [`Policy`] turns the
+//! contents of the knowledge base into a [`Decision`]; implementations
+//! range from the degenerate [`ConstantPolicy`] (the non-self-aware
+//! baseline) through [`BanditPolicy`] (learned action values) to
+//! [`UtilityPolicy`] (explicit goal-aware expected-utility
+//! maximisation, with self-explanation built in).
+
+use crate::explain::Explanation;
+use crate::knowledge::KnowledgeBase;
+use crate::models::bandit::Bandit;
+use simkernel::rng::Rng;
+use simkernel::Tick;
+
+/// The outcome of a policy invocation.
+#[derive(Debug, Clone)]
+pub struct Decision<A> {
+    /// The selected action.
+    pub action: A,
+    /// Human-readable label of the action (for explanations/logs).
+    pub label: String,
+    /// Why, if the policy can say.
+    pub explanation: Option<Explanation>,
+}
+
+/// A decision-maker over action type `A`.
+pub trait Policy<A> {
+    /// Chooses an action from current self-knowledge.
+    fn decide(&mut self, kb: &KnowledgeBase, now: Tick, rng: &mut Rng) -> Decision<A>;
+
+    /// Reports the reward of the most recent decision (no-op by
+    /// default, for policies that do not learn).
+    fn feedback(&mut self, reward: f64) {
+        let _ = reward;
+    }
+
+    /// Adjusts the policy's exploration intensity in `[0, 1]` (no-op
+    /// by default). Used by meta-level governors.
+    fn set_exploration(&mut self, rate: f64) {
+        let _ = rate;
+    }
+}
+
+/// Always chooses the same action: the design-time-pinned baseline the
+/// paper argues against.
+#[derive(Debug, Clone)]
+pub struct ConstantPolicy<A: Clone> {
+    action: A,
+    label: String,
+}
+
+impl<A: Clone> ConstantPolicy<A> {
+    /// Creates a policy that always returns `action`.
+    #[must_use]
+    pub fn new(action: A, label: impl Into<String>) -> Self {
+        Self {
+            action,
+            label: label.into(),
+        }
+    }
+}
+
+impl<A: Clone> Policy<A> for ConstantPolicy<A> {
+    fn decide(&mut self, _kb: &KnowledgeBase, now: Tick, _rng: &mut Rng) -> Decision<A> {
+        Decision {
+            action: self.action.clone(),
+            label: self.label.clone(),
+            explanation: Some(Explanation::new(now, self.label.clone())),
+        }
+    }
+}
+
+/// Chooses uniformly at random among the actions: the zero-knowledge
+/// baseline.
+#[derive(Debug, Clone)]
+pub struct RandomPolicy<A: Clone> {
+    actions: Vec<(A, String)>,
+}
+
+impl<A: Clone> RandomPolicy<A> {
+    /// Creates a random policy over labelled actions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `actions` is empty.
+    #[must_use]
+    pub fn new(actions: Vec<(A, String)>) -> Self {
+        assert!(!actions.is_empty(), "need at least one action");
+        Self { actions }
+    }
+}
+
+impl<A: Clone> Policy<A> for RandomPolicy<A> {
+    fn decide(&mut self, _kb: &KnowledgeBase, now: Tick, rng: &mut Rng) -> Decision<A> {
+        use rand::Rng as _;
+        let i = rng.gen_range(0..self.actions.len());
+        let (a, label) = &self.actions[i];
+        Decision {
+            action: a.clone(),
+            label: label.clone(),
+            explanation: Some(Explanation::new(now, label.clone()).because("random", 1.0)),
+        }
+    }
+}
+
+/// Learns action values with any [`Bandit`] and maps arms to actions.
+pub struct BanditPolicy<A: Clone> {
+    actions: Vec<(A, String)>,
+    bandit: Box<dyn Bandit>,
+    last_arm: Option<usize>,
+}
+
+impl<A: Clone> BanditPolicy<A> {
+    /// Creates a bandit policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `actions` is empty or its length differs from
+    /// `bandit.arms()`.
+    #[must_use]
+    pub fn new(actions: Vec<(A, String)>, bandit: Box<dyn Bandit>) -> Self {
+        assert!(!actions.is_empty(), "need at least one action");
+        assert_eq!(
+            actions.len(),
+            bandit.arms(),
+            "bandit arm count must match action count"
+        );
+        Self {
+            actions,
+            bandit,
+            last_arm: None,
+        }
+    }
+
+    /// The underlying bandit (for inspection).
+    #[must_use]
+    pub fn bandit(&self) -> &dyn Bandit {
+        &*self.bandit
+    }
+}
+
+impl<A: Clone> Policy<A> for BanditPolicy<A> {
+    fn decide(&mut self, _kb: &KnowledgeBase, now: Tick, rng: &mut Rng) -> Decision<A> {
+        let arm = self.bandit.select(rng);
+        self.last_arm = Some(arm);
+        let (a, label) = &self.actions[arm];
+        let mut ex = Explanation::new(now, label.clone())
+            .expecting(self.bandit.expected(arm))
+            .because("pulls", self.bandit.pulls() as f64);
+        for (i, (_, l)) in self.actions.iter().enumerate() {
+            if i != arm {
+                ex = ex.rejected(l.clone(), self.bandit.expected(i));
+            }
+        }
+        Decision {
+            action: a.clone(),
+            label: label.clone(),
+            explanation: Some(ex),
+        }
+    }
+
+    fn feedback(&mut self, reward: f64) {
+        if let Some(arm) = self.last_arm.take() {
+            self.bandit.update(arm, reward);
+        }
+    }
+}
+
+impl<A: Clone> std::fmt::Debug for BanditPolicy<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BanditPolicy")
+            .field("actions", &self.actions.len())
+            .field("pulls", &self.bandit.pulls())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Goal-aware expected-utility maximisation: scores every candidate
+/// action against the knowledge base with a caller-supplied model and
+/// picks the argmax (ε-greedy exploration optional). Produces full
+/// explanations with rejected alternatives.
+pub struct UtilityPolicy<A: Clone> {
+    actions: Vec<(A, String)>,
+    score: ScoreFn<A>,
+    epsilon: f64,
+}
+
+/// Scoring function used by [`UtilityPolicy`]: expected utility of an
+/// action given current self-knowledge.
+pub type ScoreFn<A> = Box<dyn Fn(&A, &KnowledgeBase) -> f64>;
+
+impl<A: Clone> UtilityPolicy<A> {
+    /// Creates a utility policy with scoring function `score`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `actions` is empty.
+    #[must_use]
+    pub fn new(actions: Vec<(A, String)>, score: ScoreFn<A>) -> Self {
+        assert!(!actions.is_empty(), "need at least one action");
+        Self {
+            actions,
+            score,
+            epsilon: 0.0,
+        }
+    }
+
+    /// Enables ε-greedy exploration (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon ∉ [0, 1]`.
+    #[must_use]
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        assert!((0.0..=1.0).contains(&epsilon), "epsilon must be in [0,1]");
+        self.epsilon = epsilon;
+        self
+    }
+}
+
+impl<A: Clone> Policy<A> for UtilityPolicy<A> {
+    fn decide(&mut self, kb: &KnowledgeBase, now: Tick, rng: &mut Rng) -> Decision<A> {
+        use rand::Rng as _;
+        let scores: Vec<f64> = self
+            .actions
+            .iter()
+            .map(|(a, _)| (self.score)(a, kb))
+            .collect();
+        let chosen = if rng.gen::<f64>() < self.epsilon {
+            rng.gen_range(0..self.actions.len())
+        } else {
+            (0..scores.len())
+                .max_by(|&a, &b| {
+                    scores[a]
+                        .partial_cmp(&scores[b])
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .expect("actions is non-empty")
+        };
+        let (a, label) = &self.actions[chosen];
+        let mut ex = Explanation::new(now, label.clone()).expecting(scores[chosen]);
+        for (i, (_, l)) in self.actions.iter().enumerate() {
+            if i != chosen {
+                ex = ex.rejected(l.clone(), scores[i]);
+            }
+        }
+        Decision {
+            action: a.clone(),
+            label: label.clone(),
+            explanation: Some(ex),
+        }
+    }
+
+    fn set_exploration(&mut self, rate: f64) {
+        self.epsilon = rate.clamp(0.0, 1.0);
+    }
+}
+
+impl<A: Clone> std::fmt::Debug for UtilityPolicy<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UtilityPolicy")
+            .field("actions", &self.actions.len())
+            .field("epsilon", &self.epsilon)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::bandit::EpsilonGreedy;
+    use crate::sensors::{Percept, Scope};
+
+    fn rng() -> Rng {
+        simkernel::SeedTree::new(10).rng("policy")
+    }
+
+    fn kb_with(key: &str, v: f64) -> KnowledgeBase {
+        let mut kb = KnowledgeBase::new(8);
+        kb.absorb(&Percept::new(key, v, Scope::Public, Tick(0)));
+        kb
+    }
+
+    #[test]
+    fn constant_policy_is_constant() {
+        let mut p = ConstantPolicy::new(7usize, "seven");
+        let kb = KnowledgeBase::new(8);
+        let mut r = rng();
+        for _ in 0..5 {
+            let d = p.decide(&kb, Tick(0), &mut r);
+            assert_eq!(d.action, 7);
+            assert_eq!(d.label, "seven");
+        }
+    }
+
+    #[test]
+    fn random_policy_covers_actions() {
+        let mut p = RandomPolicy::new(vec![(0usize, "a".into()), (1, "b".into())]);
+        let kb = KnowledgeBase::new(8);
+        let mut r = rng();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..50 {
+            seen.insert(p.decide(&kb, Tick(0), &mut r).action);
+        }
+        assert_eq!(seen.len(), 2);
+    }
+
+    #[test]
+    fn bandit_policy_learns() {
+        let actions = vec![(0usize, "bad".into()), (1, "good".into())];
+        let mut p = BanditPolicy::new(actions, Box::new(EpsilonGreedy::new(2, 0.1, None)));
+        let kb = KnowledgeBase::new(8);
+        let mut r = rng();
+        for _ in 0..500 {
+            let d = p.decide(&kb, Tick(0), &mut r);
+            p.feedback(if d.action == 1 { 1.0 } else { 0.0 });
+        }
+        assert_eq!(p.bandit().best_arm(), 1);
+        // The explanation carries rejected alternatives.
+        let d = p.decide(&kb, Tick(1), &mut r);
+        let ex = d.explanation.unwrap();
+        assert_eq!(ex.alternatives.len(), 1);
+    }
+
+    #[test]
+    fn feedback_without_decision_is_harmless() {
+        let actions = vec![(0usize, "x".into())];
+        let mut p = BanditPolicy::new(actions, Box::new(EpsilonGreedy::new(1, 0.0, None)));
+        p.feedback(1.0); // no prior decide
+        assert_eq!(p.bandit().pulls(), 0);
+    }
+
+    #[test]
+    fn utility_policy_argmaxes_knowledge() {
+        let actions = vec![(0usize, "low".into()), (1, "high".into())];
+        let mut p = UtilityPolicy::new(
+            actions,
+            Box::new(|a: &usize, kb: &KnowledgeBase| {
+                let load = kb.last_or("load", 0.0);
+                if *a == 1 {
+                    load
+                } else {
+                    1.0 - load
+                }
+            }),
+        );
+        let mut r = rng();
+        let d = p.decide(&kb_with("load", 0.9), Tick(0), &mut r);
+        assert_eq!(d.action, 1);
+        let d = p.decide(&kb_with("load", 0.1), Tick(0), &mut r);
+        assert_eq!(d.action, 0);
+        let ex = d.explanation.unwrap();
+        assert!(ex.expected_utility.unwrap() > 0.8);
+        assert_eq!(ex.alternatives.len(), 1);
+    }
+
+    #[test]
+    fn utility_policy_exploration_hook() {
+        let actions = vec![(0usize, "a".into()), (1, "b".into())];
+        let mut p = UtilityPolicy::new(actions, Box::new(|a: &usize, _: &KnowledgeBase| *a as f64));
+        p.set_exploration(1.0);
+        let kb = KnowledgeBase::new(8);
+        let mut r = rng();
+        let mut zeros = 0;
+        for _ in 0..100 {
+            if p.decide(&kb, Tick(0), &mut r).action == 0 {
+                zeros += 1;
+            }
+        }
+        assert!(zeros > 20, "full exploration should pick both, got {zeros}");
+    }
+
+    #[test]
+    #[should_panic(expected = "bandit arm count must match action count")]
+    fn bandit_arity_mismatch_panics() {
+        let _ = BanditPolicy::new(
+            vec![(0usize, "a".into())],
+            Box::new(EpsilonGreedy::new(3, 0.1, None)),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one action")]
+    fn empty_actions_panics() {
+        let _ = RandomPolicy::<usize>::new(vec![]);
+    }
+}
+
+/// The acting half of self-expression: applies a chosen action to the
+/// environment. Keeping actuation behind a trait lets the same policy
+/// drive a simulator in tests and a real effector in deployment.
+pub trait Actuator<E, A> {
+    /// Applies `action` to the environment.
+    fn apply(&mut self, env: &mut E, action: &A);
+}
+
+/// An actuator defined by a closure.
+///
+/// # Example
+///
+/// ```
+/// use selfaware::expression::{Actuator, FnActuator};
+///
+/// struct Plant { capacity: f64 }
+/// let mut act = FnActuator::new(|p: &mut Plant, a: &f64| p.capacity = *a);
+/// let mut plant = Plant { capacity: 1.0 };
+/// act.apply(&mut plant, &4.0);
+/// assert_eq!(plant.capacity, 4.0);
+/// ```
+pub struct FnActuator<E, A, F: FnMut(&mut E, &A)> {
+    f: F,
+    _marker: std::marker::PhantomData<fn(&mut E, &A)>,
+}
+
+impl<E, A, F: FnMut(&mut E, &A)> FnActuator<E, A, F> {
+    /// Wraps a closure as an actuator.
+    #[must_use]
+    pub fn new(f: F) -> Self {
+        Self {
+            f,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<E, A, F: FnMut(&mut E, &A)> Actuator<E, A> for FnActuator<E, A, F> {
+    fn apply(&mut self, env: &mut E, action: &A) {
+        (self.f)(env, action);
+    }
+}
+
+impl<E, A, F: FnMut(&mut E, &A)> std::fmt::Debug for FnActuator<E, A, F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FnActuator").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod actuator_tests {
+    use super::*;
+
+    #[test]
+    fn closure_actuator_mutates_env() {
+        let mut counter = 0u32;
+        let mut act = FnActuator::new(|c: &mut u32, delta: &u32| *c += *delta);
+        act.apply(&mut counter, &3);
+        act.apply(&mut counter, &4);
+        assert_eq!(counter, 7);
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let mut act: Box<dyn Actuator<Vec<i32>, i32>> =
+            Box::new(FnActuator::new(|v: &mut Vec<i32>, x: &i32| v.push(*x)));
+        let mut v = Vec::new();
+        act.apply(&mut v, &1);
+        act.apply(&mut v, &2);
+        assert_eq!(v, vec![1, 2]);
+    }
+}

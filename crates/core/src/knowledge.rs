@@ -1,0 +1,284 @@
+//! The knowledge base: an agent's accumulated self-knowledge.
+//!
+//! Kounev's self-aware systems "build models of the system's
+//! architecture and its interactions with its environment ... used to
+//! enable run-time reasoning and adaptation" (paper Section III). The
+//! [`KnowledgeBase`] is the passive half of that: per-signal histories
+//! with cheap streaming summaries, from which the active half (the
+//! models in [`crate::models`]) learns.
+//!
+//! History depth is bounded per signal; an agent's memory footprint is
+//! therefore O(signals × window), independent of run length — a
+//! prerequisite for the resource-constrained deployments the paper
+//! highlights (Section V, fog/mist computing).
+
+use crate::sensors::{Percept, Scope};
+use simkernel::{OnlineStats, Tick};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Bounded history plus running summary of one signal.
+#[derive(Debug, Clone)]
+pub struct SignalHistory {
+    scope: Scope,
+    window: VecDeque<(Tick, f64)>,
+    capacity: usize,
+    stats: OnlineStats,
+    last: Option<(Tick, f64)>,
+}
+
+impl SignalHistory {
+    fn new(scope: Scope, capacity: usize) -> Self {
+        Self {
+            scope,
+            window: VecDeque::with_capacity(capacity),
+            capacity,
+            stats: OnlineStats::new(),
+            last: None,
+        }
+    }
+
+    fn record(&mut self, at: Tick, value: f64) {
+        if self.window.len() == self.capacity {
+            self.window.pop_front();
+        }
+        self.window.push_back((at, value));
+        self.stats.push(value);
+        self.last = Some((at, value));
+    }
+
+    /// Most recent value, if any.
+    #[must_use]
+    pub fn last(&self) -> Option<f64> {
+        self.last.map(|(_, v)| v)
+    }
+
+    /// Time of the most recent observation, if any.
+    #[must_use]
+    pub fn last_at(&self) -> Option<Tick> {
+        self.last.map(|(t, _)| t)
+    }
+
+    /// The signal's scope (public/private self-knowledge).
+    #[must_use]
+    pub fn scope(&self) -> Scope {
+        self.scope
+    }
+
+    /// All retained `(tick, value)` samples, oldest first.
+    pub fn window(&self) -> impl Iterator<Item = (Tick, f64)> + '_ {
+        self.window.iter().copied()
+    }
+
+    /// Retained values only, oldest first.
+    #[must_use]
+    pub fn values(&self) -> Vec<f64> {
+        self.window.iter().map(|&(_, v)| v).collect()
+    }
+
+    /// Number of retained samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Whether no samples are retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.window.is_empty()
+    }
+
+    /// Lifetime streaming statistics (not limited to the window).
+    #[must_use]
+    pub fn stats(&self) -> &OnlineStats {
+        &self.stats
+    }
+
+    /// Mean of the retained window only.
+    #[must_use]
+    pub fn window_mean(&self) -> f64 {
+        if self.window.is_empty() {
+            return 0.0;
+        }
+        self.window.iter().map(|&(_, v)| v).sum::<f64>() / self.window.len() as f64
+    }
+}
+
+/// An agent's store of self-knowledge, keyed by signal name.
+///
+/// # Example
+///
+/// ```
+/// use selfaware::knowledge::KnowledgeBase;
+/// use selfaware::sensors::{Percept, Scope};
+/// use simkernel::Tick;
+///
+/// let mut kb = KnowledgeBase::new(64);
+/// for t in 0..10u64 {
+///     kb.absorb(&Percept::new("load", t as f64, Scope::Public, Tick(t)));
+/// }
+/// assert_eq!(kb.last("load"), Some(9.0));
+/// assert_eq!(kb.history("load").unwrap().len(), 10);
+/// assert!(kb.last("unknown").is_none());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct KnowledgeBase {
+    signals: BTreeMap<String, SignalHistory>,
+    default_capacity: usize,
+    absorbed: u64,
+}
+
+impl KnowledgeBase {
+    /// Creates a knowledge base whose signals retain up to
+    /// `default_capacity` recent samples each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `default_capacity` is zero.
+    #[must_use]
+    pub fn new(default_capacity: usize) -> Self {
+        assert!(default_capacity > 0, "capacity must be positive");
+        Self {
+            signals: BTreeMap::new(),
+            default_capacity,
+            absorbed: 0,
+        }
+    }
+
+    /// Ingests one percept.
+    pub fn absorb(&mut self, percept: &Percept) {
+        self.absorbed += 1;
+        self.signals
+            .entry(percept.key.clone())
+            .or_insert_with(|| SignalHistory::new(percept.scope, self.default_capacity))
+            .record(percept.at, percept.value);
+    }
+
+    /// Ingests many percepts.
+    pub fn absorb_all<'a, I: IntoIterator<Item = &'a Percept>>(&mut self, percepts: I) {
+        for p in percepts {
+            self.absorb(p);
+        }
+    }
+
+    /// Most recent value of `key`, if the signal has been observed.
+    #[must_use]
+    pub fn last(&self, key: &str) -> Option<f64> {
+        self.signals.get(key).and_then(SignalHistory::last)
+    }
+
+    /// Most recent value of `key`, or `default` if never observed.
+    #[must_use]
+    pub fn last_or(&self, key: &str, default: f64) -> f64 {
+        self.last(key).unwrap_or(default)
+    }
+
+    /// Full history record for `key`, if the signal exists.
+    #[must_use]
+    pub fn history(&self, key: &str) -> Option<&SignalHistory> {
+        self.signals.get(key)
+    }
+
+    /// Signal keys, in lexicographic order.
+    #[must_use]
+    pub fn keys(&self) -> Vec<&str> {
+        self.signals.keys().map(String::as_str).collect()
+    }
+
+    /// Number of distinct signals observed.
+    #[must_use]
+    pub fn signal_count(&self) -> usize {
+        self.signals.len()
+    }
+
+    /// Total percepts absorbed over the agent's lifetime.
+    #[must_use]
+    pub fn absorbed_count(&self) -> u64 {
+        self.absorbed
+    }
+
+    /// How stale signal `key` is at time `now` (ticks since last
+    /// observation); `None` if never observed.
+    #[must_use]
+    pub fn staleness(&self, key: &str, now: Tick) -> Option<u64> {
+        self.signals
+            .get(key)
+            .and_then(SignalHistory::last_at)
+            .map(|t| now.value().saturating_sub(t.value()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn percept(key: &str, v: f64, t: u64) -> Percept {
+        Percept::new(key, v, Scope::Public, Tick(t))
+    }
+
+    #[test]
+    fn absorb_and_query() {
+        let mut kb = KnowledgeBase::new(8);
+        kb.absorb(&percept("a", 1.0, 0));
+        kb.absorb(&percept("a", 2.0, 1));
+        kb.absorb(&percept("b", 5.0, 1));
+        assert_eq!(kb.last("a"), Some(2.0));
+        assert_eq!(kb.last("b"), Some(5.0));
+        assert_eq!(kb.last_or("c", -1.0), -1.0);
+        assert_eq!(kb.signal_count(), 2);
+        assert_eq!(kb.absorbed_count(), 3);
+        assert_eq!(kb.keys(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn window_is_bounded() {
+        let mut kb = KnowledgeBase::new(4);
+        for t in 0..10 {
+            kb.absorb(&percept("s", t as f64, t));
+        }
+        let h = kb.history("s").unwrap();
+        assert_eq!(h.len(), 4);
+        assert_eq!(h.values(), vec![6.0, 7.0, 8.0, 9.0]);
+        // lifetime stats still cover all 10 samples
+        assert_eq!(h.stats().count(), 10);
+        assert!((h.window_mean() - 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn staleness_tracks_time() {
+        let mut kb = KnowledgeBase::new(4);
+        kb.absorb(&percept("s", 1.0, 5));
+        assert_eq!(kb.staleness("s", Tick(9)), Some(4));
+        assert_eq!(kb.staleness("s", Tick(5)), Some(0));
+        assert_eq!(kb.staleness("other", Tick(9)), None);
+    }
+
+    #[test]
+    fn scope_is_preserved() {
+        let mut kb = KnowledgeBase::new(4);
+        kb.absorb(&Percept::new("priv", 1.0, Scope::Private, Tick(0)));
+        assert_eq!(kb.history("priv").unwrap().scope(), Scope::Private);
+    }
+
+    #[test]
+    fn absorb_all_bulk() {
+        let mut kb = KnowledgeBase::new(4);
+        let ps: Vec<Percept> = (0..3).map(|t| percept("s", t as f64, t)).collect();
+        kb.absorb_all(&ps);
+        assert_eq!(kb.absorbed_count(), 3);
+        assert_eq!(kb.history("s").unwrap().last_at(), Some(Tick(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = KnowledgeBase::new(0);
+    }
+
+    #[test]
+    fn empty_history_queries() {
+        let kb = KnowledgeBase::new(4);
+        assert!(kb.history("x").is_none());
+        assert!(kb.last("x").is_none());
+        assert_eq!(kb.signal_count(), 0);
+    }
+}

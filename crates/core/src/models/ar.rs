@@ -1,0 +1,296 @@
+//! Windowed autoregressive model AR(p), fitted by ordinary least
+//! squares over a sliding window. Captures oscillatory / mean-reverting
+//! structure that level-trend smoothers miss (e.g. diurnal load).
+
+// Textbook index-form linear algebra reads clearer than iterator chains here.
+#![allow(clippy::needless_range_loop)]
+use super::{Forecaster, OnlineModel};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// AR(p) forecaster over a sliding window.
+///
+/// Coefficients are refitted lazily (at most once per observation) by
+/// solving the normal equations with Gaussian elimination; `p` is small
+/// (≤ 8 in practice) so the refit is O(window · p²).
+///
+/// # Example
+///
+/// ```
+/// use selfaware::models::ar::ArModel;
+/// use selfaware::models::{Forecaster, OnlineModel};
+///
+/// // AR(2) can represent a pure oscillation; EWMA cannot.
+/// let mut m = ArModel::new(2, 64);
+/// for t in 0..64 {
+///     m.observe((t as f64 * 0.7).sin());
+/// }
+/// let pred = m.forecast().unwrap();
+/// let truth = (64.0_f64 * 0.7).sin();
+/// assert!((pred - truth).abs() < 0.1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArModel {
+    order: usize,
+    window: VecDeque<f64>,
+    capacity: usize,
+    coeffs: Vec<f64>,
+    intercept: f64,
+    fitted: bool,
+    n: u64,
+}
+
+impl ArModel {
+    /// Creates an AR model of order `order` fitted over the most
+    /// recent `window` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order == 0` or `window < 4 * order`.
+    #[must_use]
+    pub fn new(order: usize, window: usize) -> Self {
+        assert!(order > 0, "order must be positive");
+        assert!(
+            window >= 4 * order,
+            "window must be at least 4x the order for a stable fit"
+        );
+        Self {
+            order,
+            window: VecDeque::with_capacity(window),
+            capacity: window,
+            coeffs: vec![0.0; order],
+            intercept: 0.0,
+            fitted: false,
+            n: 0,
+        }
+    }
+
+    /// Model order p.
+    #[must_use]
+    pub fn order(&self) -> usize {
+        self.order
+    }
+
+    /// Fitted coefficients (most-recent-lag first); zeros until warm.
+    #[must_use]
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    fn refit(&mut self) {
+        let p = self.order;
+        let data: Vec<f64> = self.window.iter().copied().collect();
+        if data.len() < 2 * p + 2 {
+            return;
+        }
+        // Design: rows t = p..n, features [1, x_{t-1}, ..., x_{t-p}].
+        let dim = p + 1;
+        let mut ata = vec![vec![0.0; dim]; dim];
+        let mut atb = vec![0.0; dim];
+        for t in p..data.len() {
+            let mut row = Vec::with_capacity(dim);
+            row.push(1.0);
+            for lag in 1..=p {
+                row.push(data[t - lag]);
+            }
+            for i in 0..dim {
+                for j in 0..dim {
+                    ata[i][j] += row[i] * row[j];
+                }
+                atb[i] += row[i] * data[t];
+            }
+        }
+        // Ridge regularisation for numerical safety.
+        for (i, row) in ata.iter_mut().enumerate() {
+            row[i] += 1e-6;
+        }
+        if let Some(sol) = solve(ata, atb) {
+            self.intercept = sol[0];
+            self.coeffs.copy_from_slice(&sol[1..]);
+            self.fitted = true;
+        }
+    }
+}
+
+/// Gaussian elimination with partial pivoting. Returns `None` for a
+/// singular system.
+fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    for col in 0..n {
+        let pivot = (col..n).max_by(|&i, &j| {
+            a[i][col]
+                .abs()
+                .partial_cmp(&a[j][col].abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })?;
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in (col + 1)..n {
+            let factor = a[row][col] / a[col][col];
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut sum = b[row];
+        for col in (row + 1)..n {
+            sum -= a[row][col] * x[col];
+        }
+        x[row] = sum / a[row][row];
+    }
+    Some(x)
+}
+
+impl OnlineModel for ArModel {
+    fn observe(&mut self, x: f64) {
+        if self.window.len() == self.capacity {
+            self.window.pop_front();
+        }
+        self.window.push_back(x);
+        self.n += 1;
+        self.refit();
+    }
+
+    fn observations(&self) -> u64 {
+        self.n
+    }
+}
+
+impl Forecaster for ArModel {
+    fn forecast(&self) -> Option<f64> {
+        if !self.fitted || self.window.len() < self.order {
+            return None;
+        }
+        let mut pred = self.intercept;
+        for (lag, &c) in self.coeffs.iter().enumerate() {
+            let idx = self.window.len() - 1 - lag;
+            pred += c * self.window[idx];
+        }
+        Some(pred)
+    }
+
+    fn forecast_h(&self, h: u32) -> Option<f64> {
+        if !self.fitted || self.window.len() < self.order {
+            return None;
+        }
+        // Roll the model forward h steps on a scratch buffer.
+        let mut buf: Vec<f64> = self.window.iter().copied().collect();
+        let mut last = 0.0;
+        for _ in 0..h.max(1) {
+            let mut pred = self.intercept;
+            for (lag, &c) in self.coeffs.iter().enumerate() {
+                pred += c * buf[buf.len() - 1 - lag];
+            }
+            buf.push(pred);
+            last = pred;
+        }
+        Some(last)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_identity() {
+        let a = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let x = solve(a, vec![3.0, 4.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_singular_returns_none() {
+        let a = vec![vec![1.0, 1.0], vec![1.0, 1.0]];
+        assert!(solve(a, vec![1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn cold_before_enough_data() {
+        let mut m = ArModel::new(2, 16);
+        for x in [1.0, 2.0, 3.0] {
+            m.observe(x);
+        }
+        assert_eq!(m.forecast(), None);
+    }
+
+    #[test]
+    fn learns_ar1_process() {
+        // x_t = 0.8 x_{t-1} + 1.0 (deterministic), fixed point = 5.
+        let mut m = ArModel::new(1, 64);
+        let mut x = 0.0;
+        for _ in 0..64 {
+            m.observe(x);
+            x = 0.8 * x + 1.0;
+        }
+        assert!((m.coefficients()[0] - 0.8).abs() < 0.05);
+        let pred = m.forecast().unwrap();
+        assert!((pred - x).abs() < 0.05);
+    }
+
+    #[test]
+    fn learns_oscillation() {
+        let mut m = ArModel::new(2, 128);
+        for t in 0..128 {
+            m.observe((t as f64 * 0.5).sin());
+        }
+        let pred = m.forecast().unwrap();
+        let truth = (128.0_f64 * 0.5).sin();
+        assert!((pred - truth).abs() < 0.05);
+    }
+
+    #[test]
+    fn multi_step_rollout() {
+        let mut m = ArModel::new(1, 64);
+        let mut x = 0.0;
+        for _ in 0..64 {
+            m.observe(x);
+            x = 0.5 * x + 1.0;
+        }
+        // 3-step truth from current x.
+        let mut truth = x;
+        for _ in 0..2 {
+            truth = 0.5 * truth + 1.0;
+        }
+        let pred = m.forecast_h(3).unwrap();
+        assert!((pred - truth).abs() < 0.05);
+    }
+
+    #[test]
+    fn window_slides() {
+        let mut m = ArModel::new(1, 8);
+        for t in 0..100 {
+            m.observe(t as f64);
+        }
+        assert_eq!(m.observations(), 100);
+        assert_eq!(m.window.len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "order must be positive")]
+    fn zero_order_panics() {
+        let _ = ArModel::new(0, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be at least")]
+    fn tiny_window_panics() {
+        let _ = ArModel::new(4, 8);
+    }
+
+    #[test]
+    fn constant_signal_predicts_constant() {
+        let mut m = ArModel::new(2, 32);
+        for _ in 0..32 {
+            m.observe(5.0);
+        }
+        assert!((m.forecast().unwrap() - 5.0).abs() < 1e-3);
+    }
+}

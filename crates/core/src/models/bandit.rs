@@ -1,0 +1,578 @@
+//! Multi-armed bandits: the paper's archetypal "simple learning
+//! scheme" for self-expression (cf. the cognitive packet network's
+//! route learning, Section III, and the camera-network handover
+//! strategies of ref \[13\]).
+//!
+//! All bandits implement the object-safe [`Bandit`] trait so substrate
+//! crates can swap exploration strategies behind one interface.
+
+use serde::{Deserialize, Serialize};
+use simkernel::rng::Rng;
+
+/// An action-value learner over a fixed arm set.
+pub trait Bandit {
+    /// Number of arms.
+    fn arms(&self) -> usize;
+    /// Chooses an arm.
+    fn select(&mut self, rng: &mut Rng) -> usize;
+    /// Reports the reward obtained by pulling `arm`.
+    fn update(&mut self, arm: usize, reward: f64);
+    /// Current value estimate of `arm`.
+    fn expected(&self, arm: usize) -> f64;
+    /// Total pulls so far.
+    fn pulls(&self) -> u64;
+
+    /// The arm with the highest current estimate (exploitation-only
+    /// view; ties to the lowest index).
+    fn best_arm(&self) -> usize {
+        (0..self.arms())
+            .max_by(|&a, &b| {
+                self.expected(a)
+                    .partial_cmp(&self.expected(b))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .unwrap_or(0)
+    }
+
+    /// Normalised probability-like preference vector over arms (from
+    /// the value estimates, softmax with unit temperature). Used by
+    /// diversity metrics in the camera-network experiments.
+    fn preference(&self) -> Vec<f64> {
+        let vals: Vec<f64> = (0..self.arms()).map(|a| self.expected(a)).collect();
+        softmax(&vals, 1.0)
+    }
+}
+
+/// Numerically stable softmax with temperature `tau`.
+#[must_use]
+pub fn softmax(values: &[f64], tau: f64) -> Vec<f64> {
+    if values.is_empty() {
+        return Vec::new();
+    }
+    let t = tau.max(1e-9);
+    let m = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = values.iter().map(|v| ((v - m) / t).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+fn sample_discrete(probs: &[f64], rng: &mut Rng) -> usize {
+    use rand::Rng as _;
+    let mut u: f64 = rng.gen::<f64>();
+    for (i, &p) in probs.iter().enumerate() {
+        if u < p {
+            return i;
+        }
+        u -= p;
+    }
+    probs.len().saturating_sub(1)
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct ArmStats {
+    pulls: u64,
+    value: f64,
+}
+
+/// ε-greedy bandit with incremental (optionally recency-weighted)
+/// value estimates.
+///
+/// With `step_size = None` the estimate is the sample mean (stationary
+/// rewards); with `Some(α)` it is an exponential recency-weighted
+/// average, appropriate for the *non-stationary* environments the
+/// paper emphasises.
+///
+/// # Example
+///
+/// ```
+/// use selfaware::models::bandit::{Bandit, EpsilonGreedy};
+/// use simkernel::SeedTree;
+///
+/// let mut b = EpsilonGreedy::new(3, 0.1, None);
+/// let mut rng = SeedTree::new(1).rng("bandit");
+/// for _ in 0..300 {
+///     let arm = b.select(&mut rng);
+///     let reward = if arm == 2 { 1.0 } else { 0.0 };
+///     b.update(arm, reward);
+/// }
+/// assert_eq!(b.best_arm(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpsilonGreedy {
+    arms: Vec<ArmStats>,
+    epsilon: f64,
+    step_size: Option<f64>,
+    total_pulls: u64,
+}
+
+impl EpsilonGreedy {
+    /// Creates an ε-greedy bandit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_arms == 0`, `epsilon ∉ [0, 1]`, or
+    /// `step_size ∉ (0, 1]` when provided.
+    #[must_use]
+    pub fn new(n_arms: usize, epsilon: f64, step_size: Option<f64>) -> Self {
+        assert!(n_arms > 0, "need at least one arm");
+        assert!((0.0..=1.0).contains(&epsilon), "epsilon must be in [0,1]");
+        if let Some(a) = step_size {
+            assert!(a > 0.0 && a <= 1.0, "step size must be in (0,1]");
+        }
+        Self {
+            arms: vec![
+                ArmStats {
+                    pulls: 0,
+                    value: 0.0
+                };
+                n_arms
+            ],
+            epsilon,
+            step_size,
+            total_pulls: 0,
+        }
+    }
+
+    /// Current exploration rate.
+    #[must_use]
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Replaces the exploration rate (used by meta-level parameter
+    /// self-adaptation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon ∉ [0, 1]`.
+    pub fn set_epsilon(&mut self, epsilon: f64) {
+        assert!((0.0..=1.0).contains(&epsilon), "epsilon must be in [0,1]");
+        self.epsilon = epsilon;
+    }
+}
+
+impl Bandit for EpsilonGreedy {
+    fn arms(&self) -> usize {
+        self.arms.len()
+    }
+
+    fn select(&mut self, rng: &mut Rng) -> usize {
+        use rand::Rng as _;
+        if rng.gen::<f64>() < self.epsilon {
+            rng.gen_range(0..self.arms.len())
+        } else {
+            self.best_arm()
+        }
+    }
+
+    fn update(&mut self, arm: usize, reward: f64) {
+        let a = &mut self.arms[arm];
+        a.pulls += 1;
+        self.total_pulls += 1;
+        let step = self.step_size.unwrap_or(1.0 / a.pulls as f64);
+        a.value += step * (reward - a.value);
+    }
+
+    fn expected(&self, arm: usize) -> f64 {
+        self.arms[arm].value
+    }
+
+    fn pulls(&self) -> u64 {
+        self.total_pulls
+    }
+}
+
+/// UCB1 bandit (Auer et al.): deterministic optimism in the face of
+/// uncertainty; strong on stationary rewards.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ucb1 {
+    arms: Vec<ArmStats>,
+    c: f64,
+    total_pulls: u64,
+}
+
+impl Ucb1 {
+    /// Creates a UCB1 bandit with exploration constant `c`
+    /// (the classic value is √2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_arms == 0` or `c < 0`.
+    #[must_use]
+    pub fn new(n_arms: usize, c: f64) -> Self {
+        assert!(n_arms > 0, "need at least one arm");
+        assert!(c >= 0.0, "exploration constant must be non-negative");
+        Self {
+            arms: vec![
+                ArmStats {
+                    pulls: 0,
+                    value: 0.0
+                };
+                n_arms
+            ],
+            c,
+            total_pulls: 0,
+        }
+    }
+
+    /// Upper confidence bound of `arm` at the current pull count.
+    #[must_use]
+    pub fn ucb(&self, arm: usize) -> f64 {
+        let a = &self.arms[arm];
+        if a.pulls == 0 {
+            return f64::INFINITY;
+        }
+        let t = (self.total_pulls.max(1)) as f64;
+        a.value + self.c * (t.ln() / a.pulls as f64).sqrt()
+    }
+}
+
+impl Bandit for Ucb1 {
+    fn arms(&self) -> usize {
+        self.arms.len()
+    }
+
+    fn select(&mut self, _rng: &mut Rng) -> usize {
+        (0..self.arms.len())
+            .max_by(|&a, &b| {
+                self.ucb(a)
+                    .partial_cmp(&self.ucb(b))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .unwrap_or(0)
+    }
+
+    fn update(&mut self, arm: usize, reward: f64) {
+        let a = &mut self.arms[arm];
+        a.pulls += 1;
+        self.total_pulls += 1;
+        a.value += (reward - a.value) / a.pulls as f64;
+    }
+
+    fn expected(&self, arm: usize) -> f64 {
+        self.arms[arm].value
+    }
+
+    fn pulls(&self) -> u64 {
+        self.total_pulls
+    }
+}
+
+/// Exp3 (exponential-weight) bandit: designed for adversarial /
+/// non-stationary rewards — the regime the paper's environments live
+/// in. Rewards must lie in `[0, 1]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Exp3 {
+    weights: Vec<f64>,
+    gamma: f64,
+    last_probs: Vec<f64>,
+    total_pulls: u64,
+}
+
+impl Exp3 {
+    /// Creates an Exp3 bandit with exploration mix `gamma ∈ (0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_arms == 0` or `gamma ∉ (0, 1]`.
+    #[must_use]
+    pub fn new(n_arms: usize, gamma: f64) -> Self {
+        assert!(n_arms > 0, "need at least one arm");
+        assert!(gamma > 0.0 && gamma <= 1.0, "gamma must be in (0,1]");
+        Self {
+            weights: vec![1.0; n_arms],
+            gamma,
+            last_probs: vec![1.0 / n_arms as f64; n_arms],
+            total_pulls: 0,
+        }
+    }
+
+    fn probs(&self) -> Vec<f64> {
+        let k = self.weights.len() as f64;
+        let wsum: f64 = self.weights.iter().sum();
+        self.weights
+            .iter()
+            .map(|w| (1.0 - self.gamma) * (w / wsum) + self.gamma / k)
+            .collect()
+    }
+}
+
+impl Bandit for Exp3 {
+    fn arms(&self) -> usize {
+        self.weights.len()
+    }
+
+    fn select(&mut self, rng: &mut Rng) -> usize {
+        let p = self.probs();
+        self.last_probs = p.clone();
+        sample_discrete(&p, rng)
+    }
+
+    fn update(&mut self, arm: usize, reward: f64) {
+        let reward = reward.clamp(0.0, 1.0);
+        let p = self.last_probs[arm].max(1e-9);
+        let est = reward / p;
+        let k = self.weights.len() as f64;
+        self.weights[arm] *= (self.gamma * est / k).exp();
+        // Renormalise to avoid overflow in long runs.
+        let max_w = self.weights.iter().cloned().fold(f64::MIN, f64::max);
+        if max_w > 1e100 {
+            for w in &mut self.weights {
+                *w /= max_w;
+            }
+        }
+        self.total_pulls += 1;
+    }
+
+    fn expected(&self, arm: usize) -> f64 {
+        // Exp3 maintains weights, not value estimates; expose the
+        // normalised weight as the preference proxy.
+        let wsum: f64 = self.weights.iter().sum();
+        self.weights[arm] / wsum
+    }
+
+    fn pulls(&self) -> u64 {
+        self.total_pulls
+    }
+}
+
+/// Boltzmann (softmax) bandit with recency-weighted values: smooth
+/// stochastic preference, tunable temperature.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SoftmaxBandit {
+    arms: Vec<ArmStats>,
+    tau: f64,
+    step_size: f64,
+    total_pulls: u64,
+}
+
+impl SoftmaxBandit {
+    /// Creates a softmax bandit with temperature `tau` and value step
+    /// size `step_size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_arms == 0`, `tau <= 0`, or `step_size ∉ (0, 1]`.
+    #[must_use]
+    pub fn new(n_arms: usize, tau: f64, step_size: f64) -> Self {
+        assert!(n_arms > 0, "need at least one arm");
+        assert!(tau > 0.0, "temperature must be positive");
+        assert!(
+            step_size > 0.0 && step_size <= 1.0,
+            "step size must be in (0,1]"
+        );
+        Self {
+            arms: vec![
+                ArmStats {
+                    pulls: 0,
+                    value: 0.0
+                };
+                n_arms
+            ],
+            tau,
+            step_size,
+            total_pulls: 0,
+        }
+    }
+
+    /// Current temperature.
+    #[must_use]
+    pub fn tau(&self) -> f64 {
+        self.tau
+    }
+
+    /// Replaces the temperature (meta-level self-adaptation hook).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tau <= 0`.
+    pub fn set_tau(&mut self, tau: f64) {
+        assert!(tau > 0.0, "temperature must be positive");
+        self.tau = tau;
+    }
+}
+
+impl Bandit for SoftmaxBandit {
+    fn arms(&self) -> usize {
+        self.arms.len()
+    }
+
+    fn select(&mut self, rng: &mut Rng) -> usize {
+        let vals: Vec<f64> = self.arms.iter().map(|a| a.value).collect();
+        let p = softmax(&vals, self.tau);
+        sample_discrete(&p, rng)
+    }
+
+    fn update(&mut self, arm: usize, reward: f64) {
+        let a = &mut self.arms[arm];
+        a.pulls += 1;
+        self.total_pulls += 1;
+        a.value += self.step_size * (reward - a.value);
+    }
+
+    fn expected(&self, arm: usize) -> f64 {
+        self.arms[arm].value
+    }
+
+    fn pulls(&self) -> u64 {
+        self.total_pulls
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng as _;
+
+    fn run_bernoulli<B: Bandit>(b: &mut B, probs: &[f64], steps: u32, seed: u64) -> f64 {
+        let mut rng = simkernel::SeedTree::new(seed).rng("bandit-test");
+        let mut total = 0.0;
+        for _ in 0..steps {
+            let arm = b.select(&mut rng);
+            let r = if rng.gen::<f64>() < probs[arm] {
+                1.0
+            } else {
+                0.0
+            };
+            b.update(arm, r);
+            total += r;
+        }
+        total / f64::from(steps)
+    }
+
+    #[test]
+    fn epsilon_greedy_finds_best_arm() {
+        let mut b = EpsilonGreedy::new(4, 0.1, None);
+        let avg = run_bernoulli(&mut b, &[0.1, 0.2, 0.8, 0.3], 3000, 1);
+        assert_eq!(b.best_arm(), 2);
+        assert!(avg > 0.6, "average reward {avg} should approach 0.8");
+    }
+
+    #[test]
+    fn ucb1_finds_best_arm() {
+        let mut b = Ucb1::new(4, std::f64::consts::SQRT_2);
+        run_bernoulli(&mut b, &[0.1, 0.2, 0.8, 0.3], 3000, 2);
+        assert_eq!(b.best_arm(), 2);
+        assert!((b.expected(2) - 0.8).abs() < 0.1);
+    }
+
+    #[test]
+    fn ucb1_tries_every_arm_first() {
+        let mut b = Ucb1::new(5, 1.0);
+        let mut rng = simkernel::SeedTree::new(3).rng("x");
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..5 {
+            let arm = b.select(&mut rng);
+            b.update(arm, 0.5);
+            seen.insert(arm);
+        }
+        assert_eq!(seen.len(), 5);
+    }
+
+    #[test]
+    fn exp3_finds_best_arm() {
+        let mut b = Exp3::new(3, 0.1);
+        run_bernoulli(&mut b, &[0.2, 0.9, 0.3], 5000, 4);
+        assert_eq!(b.best_arm(), 1);
+    }
+
+    #[test]
+    fn softmax_finds_best_arm() {
+        let mut b = SoftmaxBandit::new(3, 0.1, 0.1);
+        run_bernoulli(&mut b, &[0.2, 0.3, 0.9], 4000, 5);
+        assert_eq!(b.best_arm(), 2);
+    }
+
+    #[test]
+    fn recency_weighted_adapts_to_switch() {
+        // Arm 0 good for the first half, arm 1 for the second; the
+        // recency-weighted learner must follow the switch.
+        let mut b = EpsilonGreedy::new(2, 0.1, Some(0.1));
+        let mut rng = simkernel::SeedTree::new(6).rng("switch");
+        for t in 0..4000 {
+            let arm = b.select(&mut rng);
+            let good = if t < 2000 { 0 } else { 1 };
+            let p = if arm == good { 0.9 } else { 0.1 };
+            let r = if rng.gen::<f64>() < p { 1.0 } else { 0.0 };
+            b.update(arm, r);
+        }
+        assert_eq!(b.best_arm(), 1);
+    }
+
+    #[test]
+    fn sample_mean_slower_to_adapt_than_recency() {
+        let run = |step: Option<f64>| {
+            let mut b = EpsilonGreedy::new(2, 0.1, step);
+            let mut rng = simkernel::SeedTree::new(7).rng("cmp");
+            let mut second_half = 0.0;
+            for t in 0..4000 {
+                let arm = b.select(&mut rng);
+                let good = if t < 2000 { 0 } else { 1 };
+                let p = if arm == good { 0.9 } else { 0.1 };
+                let r = if rng.gen::<f64>() < p { 1.0 } else { 0.0 };
+                b.update(arm, r);
+                if t >= 2000 {
+                    second_half += r;
+                }
+            }
+            second_half
+        };
+        assert!(run(Some(0.1)) > run(None));
+    }
+
+    #[test]
+    fn softmax_helper_properties() {
+        let p = softmax(&[1.0, 2.0, 3.0], 1.0);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+        // Low temperature sharpens.
+        let sharp = softmax(&[1.0, 2.0, 3.0], 0.1);
+        assert!(sharp[2] > p[2]);
+        assert!(softmax(&[], 1.0).is_empty());
+    }
+
+    #[test]
+    fn preference_vector_is_distribution() {
+        let mut b = EpsilonGreedy::new(3, 0.1, None);
+        b.update(0, 1.0);
+        b.update(1, 0.0);
+        let pref = b.preference();
+        assert_eq!(pref.len(), 3);
+        assert!((pref.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(pref[0] > pref[1]);
+    }
+
+    #[test]
+    fn exp3_rewards_clamped_and_stable() {
+        let mut b = Exp3::new(2, 0.3);
+        let mut rng = simkernel::SeedTree::new(8).rng("clamp");
+        for _ in 0..10_000 {
+            let arm = b.select(&mut rng);
+            b.update(arm, 100.0); // out-of-range reward gets clamped
+        }
+        assert!(b.expected(0).is_finite());
+        assert!(b.expected(1).is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be in [0,1]")]
+    fn bad_epsilon_panics() {
+        let _ = EpsilonGreedy::new(2, 1.5, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one arm")]
+    fn zero_arms_panics() {
+        let _ = Ucb1::new(0, 1.0);
+    }
+
+    #[test]
+    fn set_epsilon_and_tau() {
+        let mut e = EpsilonGreedy::new(2, 0.5, None);
+        e.set_epsilon(0.01);
+        assert_eq!(e.epsilon(), 0.01);
+        let mut s = SoftmaxBandit::new(2, 1.0, 0.5);
+        s.set_tau(0.2);
+        assert_eq!(s.tau(), 0.2);
+    }
+}

@@ -1,0 +1,186 @@
+//! Scalar (1-D) Kalman filter: optimal linear state estimation for a
+//! noisy level signal, with explicit uncertainty — the filter knows
+//! *how sure it is*, which feeds meta-self-awareness and attention.
+
+use super::{Forecaster, OnlineModel};
+use serde::{Deserialize, Serialize};
+
+/// 1-D Kalman filter with a random-walk state model.
+///
+/// ```text
+/// state:       x_t = x_{t-1} + w,  w ~ N(0, q)
+/// measurement: z_t = x_t + v,      v ~ N(0, r)
+/// ```
+///
+/// # Example
+///
+/// ```
+/// use selfaware::models::kalman::Kalman1d;
+/// use selfaware::models::{Forecaster, OnlineModel};
+///
+/// let mut k = Kalman1d::new(0.01, 1.0);
+/// for _ in 0..100 {
+///     k.observe(5.0);
+/// }
+/// assert!((k.forecast().unwrap() - 5.0).abs() < 0.01);
+/// assert!(k.variance() < 0.2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Kalman1d {
+    q: f64,
+    r: f64,
+    x: f64,
+    p: f64,
+    n: u64,
+}
+
+impl Kalman1d {
+    /// Creates a filter with process noise `q` and measurement noise
+    /// `r` (both variances).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q < 0` or `r <= 0`.
+    #[must_use]
+    pub fn new(q: f64, r: f64) -> Self {
+        assert!(q >= 0.0, "process noise must be non-negative");
+        assert!(r > 0.0, "measurement noise must be positive");
+        Self {
+            q,
+            r,
+            x: 0.0,
+            p: 1e6, // diffuse prior
+            n: 0,
+        }
+    }
+
+    /// Current state estimate variance (uncertainty).
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        self.p
+    }
+
+    /// Current Kalman gain (how much the last measurement moved the
+    /// estimate); in `[0, 1]`.
+    #[must_use]
+    pub fn gain(&self) -> f64 {
+        (self.p + self.q) / (self.p + self.q + self.r)
+    }
+
+    /// Normalised innovation of a hypothetical measurement `z`
+    /// (distance from prediction in standard deviations).
+    #[must_use]
+    pub fn innovation_sigma(&self, z: f64) -> f64 {
+        let s = (self.p + self.q + self.r).sqrt();
+        if s < 1e-12 {
+            0.0
+        } else {
+            (z - self.x) / s
+        }
+    }
+}
+
+impl OnlineModel for Kalman1d {
+    fn observe(&mut self, z: f64) {
+        // Predict.
+        let p_pred = self.p + self.q;
+        // Update.
+        let k = p_pred / (p_pred + self.r);
+        self.x += k * (z - self.x);
+        self.p = (1.0 - k) * p_pred;
+        self.n += 1;
+    }
+
+    fn observations(&self) -> u64 {
+        self.n
+    }
+}
+
+impl Forecaster for Kalman1d {
+    fn forecast(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng as _;
+
+    #[test]
+    fn converges_and_uncertainty_shrinks() {
+        let mut k = Kalman1d::new(0.0, 1.0);
+        let p0 = k.variance();
+        for _ in 0..50 {
+            k.observe(3.0);
+        }
+        assert!((k.forecast().unwrap() - 3.0).abs() < 1e-6);
+        assert!(k.variance() < p0 / 1000.0);
+    }
+
+    #[test]
+    fn filters_noise_better_than_raw() {
+        let mut rng = simkernel::SeedTree::new(5).rng("kal");
+        let mut k = Kalman1d::new(0.001, 1.0);
+        let truth = 10.0;
+        let mut raw_err = 0.0;
+        let mut kal_err = 0.0;
+        let mut count = 0.0;
+        for _ in 0..2000 {
+            let z = truth + rng.gen_range(-1.0..1.0);
+            k.observe(z);
+            if k.observations() > 100 {
+                raw_err += (z - truth).abs();
+                kal_err += (k.forecast().unwrap() - truth).abs();
+                count += 1.0;
+            }
+        }
+        assert!(kal_err / count < 0.2 * (raw_err / count));
+    }
+
+    #[test]
+    fn tracks_random_walk() {
+        let mut rng = simkernel::SeedTree::new(6).rng("walk");
+        let mut k = Kalman1d::new(0.5, 0.5);
+        let mut truth = 0.0;
+        for _ in 0..500 {
+            truth += rng.gen_range(-0.5..0.5);
+            k.observe(truth + rng.gen_range(-0.5..0.5));
+        }
+        assert!((k.forecast().unwrap() - truth).abs() < 1.5);
+    }
+
+    #[test]
+    fn gain_reflects_noise_ratio() {
+        // Trust measurements when r is small relative to q.
+        let mut trusting = Kalman1d::new(1.0, 0.01);
+        let mut sceptical = Kalman1d::new(0.01, 10.0);
+        for _ in 0..100 {
+            trusting.observe(1.0);
+            sceptical.observe(1.0);
+        }
+        assert!(trusting.gain() > sceptical.gain());
+    }
+
+    #[test]
+    fn innovation_sigma_flags_surprise() {
+        let mut k = Kalman1d::new(0.001, 0.1);
+        for _ in 0..100 {
+            k.observe(2.0);
+        }
+        assert!(k.innovation_sigma(2.0).abs() < 0.5);
+        assert!(k.innovation_sigma(20.0) > 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "measurement noise must be positive")]
+    fn zero_r_panics() {
+        let _ = Kalman1d::new(0.1, 0.0);
+    }
+
+    #[test]
+    fn cold_forecast_is_none() {
+        let k = Kalman1d::new(0.1, 1.0);
+        assert_eq!(k.forecast(), None);
+    }
+}

@@ -1,0 +1,252 @@
+//! Empirical discrete-state Markov chain: regime tracking and
+//! next-state prediction for signals that move between qualitative
+//! modes (idle/busy/overloaded, attack/no-attack, ...).
+
+use serde::{Deserialize, Serialize};
+use simkernel::rng::Rng;
+
+/// First-order Markov chain learned from observed state transitions.
+///
+/// States are `usize` indices in `0..n_states`. Transition counts use
+/// Laplace smoothing so unseen transitions retain small probability.
+///
+/// # Example
+///
+/// ```
+/// use selfaware::models::markov::MarkovChain;
+///
+/// let mut m = MarkovChain::new(2);
+/// // Strongly alternating process: 0→1→0→1 ...
+/// for t in 0..100 {
+///     m.record(t % 2, (t + 1) % 2);
+/// }
+/// assert_eq!(m.most_likely_next(0), 1);
+/// assert!(m.transition_prob(0, 1) > 0.9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MarkovChain {
+    n_states: usize,
+    counts: Vec<Vec<f64>>,
+    last_state: Option<usize>,
+    transitions: u64,
+}
+
+impl MarkovChain {
+    /// Creates a chain over `n_states` states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_states < 2`.
+    #[must_use]
+    pub fn new(n_states: usize) -> Self {
+        assert!(n_states >= 2, "need at least two states");
+        Self {
+            n_states,
+            counts: vec![vec![0.0; n_states]; n_states],
+            last_state: None,
+            transitions: 0,
+        }
+    }
+
+    /// Number of states.
+    #[must_use]
+    pub fn n_states(&self) -> usize {
+        self.n_states
+    }
+
+    /// Records an explicit transition `from → to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either state is out of range.
+    pub fn record(&mut self, from: usize, to: usize) {
+        assert!(
+            from < self.n_states && to < self.n_states,
+            "state out of range"
+        );
+        self.counts[from][to] += 1.0;
+        self.transitions += 1;
+        self.last_state = Some(to);
+    }
+
+    /// Feeds a state observation; transitions are inferred from
+    /// consecutive observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    pub fn observe_state(&mut self, state: usize) {
+        assert!(state < self.n_states, "state out of range");
+        if let Some(prev) = self.last_state {
+            self.counts[prev][state] += 1.0;
+            self.transitions += 1;
+        }
+        self.last_state = Some(state);
+    }
+
+    /// Laplace-smoothed transition probability `from → to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either state is out of range.
+    #[must_use]
+    pub fn transition_prob(&self, from: usize, to: usize) -> f64 {
+        assert!(
+            from < self.n_states && to < self.n_states,
+            "state out of range"
+        );
+        let row_sum: f64 = self.counts[from].iter().sum();
+        (self.counts[from][to] + 1.0) / (row_sum + self.n_states as f64)
+    }
+
+    /// Most likely successor of `from` (ties broken by lowest index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is out of range.
+    #[must_use]
+    pub fn most_likely_next(&self, from: usize) -> usize {
+        assert!(from < self.n_states, "state out of range");
+        let row = &self.counts[from];
+        let mut best = 0;
+        for (i, &c) in row.iter().enumerate() {
+            if c > row[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Samples a successor of `from` from the smoothed distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is out of range.
+    pub fn sample_next(&self, from: usize, rng: &mut Rng) -> usize {
+        use rand::Rng as _;
+        let probs: Vec<f64> = (0..self.n_states)
+            .map(|to| self.transition_prob(from, to))
+            .collect();
+        let mut u: f64 = rng.gen::<f64>();
+        for (i, &p) in probs.iter().enumerate() {
+            if u < p {
+                return i;
+            }
+            u -= p;
+        }
+        self.n_states - 1
+    }
+
+    /// Stationary distribution estimate via 64 power iterations from
+    /// uniform. Returns a probability vector over states.
+    #[must_use]
+    pub fn stationary(&self) -> Vec<f64> {
+        let n = self.n_states;
+        let mut pi = vec![1.0 / n as f64; n];
+        for _ in 0..64 {
+            let mut next = vec![0.0; n];
+            for (from, &pf) in pi.iter().enumerate() {
+                for (to, slot) in next.iter_mut().enumerate() {
+                    *slot += pf * self.transition_prob(from, to);
+                }
+            }
+            pi = next;
+        }
+        pi
+    }
+
+    /// Number of recorded transitions.
+    #[must_use]
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn laplace_prior_is_uniform() {
+        let m = MarkovChain::new(3);
+        for to in 0..3 {
+            assert!((m.transition_prob(0, to) - 1.0 / 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn observe_state_infers_transitions() {
+        let mut m = MarkovChain::new(2);
+        for s in [0, 1, 0, 1, 0, 1] {
+            m.observe_state(s);
+        }
+        assert_eq!(m.transitions(), 5);
+        assert!(m.transition_prob(0, 1) > 0.7);
+        assert!(m.transition_prob(1, 0) > 0.6);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let mut m = MarkovChain::new(4);
+        for t in 0..50usize {
+            m.record(t % 4, (t * 3 + 1) % 4);
+        }
+        for from in 0..4 {
+            let s: f64 = (0..4).map(|to| m.transition_prob(from, to)).sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn stationary_of_symmetric_chain_is_uniform() {
+        let mut m = MarkovChain::new(2);
+        for _ in 0..100 {
+            m.record(0, 1);
+            m.record(1, 0);
+        }
+        let pi = m.stationary();
+        assert!((pi[0] - 0.5).abs() < 0.01);
+        assert!((pi[1] - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn stationary_favours_sticky_state() {
+        let mut m = MarkovChain::new(2);
+        // state 0 very sticky, state 1 flees immediately
+        for _ in 0..90 {
+            m.record(0, 0);
+        }
+        for _ in 0..10 {
+            m.record(0, 1);
+        }
+        for _ in 0..100 {
+            m.record(1, 0);
+        }
+        let pi = m.stationary();
+        assert!(pi[0] > 0.8);
+    }
+
+    #[test]
+    fn sampling_respects_distribution() {
+        let mut m = MarkovChain::new(2);
+        for _ in 0..1000 {
+            m.record(0, 1);
+        }
+        let mut rng = simkernel::SeedTree::new(3).rng("mc");
+        let ones = (0..500).filter(|_| m.sample_next(0, &mut rng) == 1).count();
+        assert!(ones > 450, "got {ones}/500 ones");
+    }
+
+    #[test]
+    #[should_panic(expected = "state out of range")]
+    fn out_of_range_state_panics() {
+        let mut m = MarkovChain::new(2);
+        m.record(0, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least two states")]
+    fn single_state_panics() {
+        let _ = MarkovChain::new(1);
+    }
+}

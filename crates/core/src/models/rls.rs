@@ -1,0 +1,221 @@
+//! Recursive least squares: online multi-feature linear self-models.
+//!
+//! Kounev's *self-prediction* (paper Section III) — "the ability to
+//! predict the effects of environmental changes and of actions" —
+//! needs an input→output model of the system itself, learned at run
+//! time. [`Rls`] fits `y ≈ wᵀx` incrementally with exponential
+//! forgetting, so the self-model tracks a drifting system.
+
+// Textbook index-form linear algebra reads clearer than iterator chains here.
+#![allow(clippy::needless_range_loop)]
+use serde::{Deserialize, Serialize};
+
+/// Recursive least squares with forgetting factor.
+///
+/// # Example
+///
+/// ```
+/// use selfaware::models::rls::Rls;
+///
+/// // Learn y = 2 x0 - 3 x1 + 1 (use a bias feature of 1.0).
+/// let mut m = Rls::new(3, 1.0, 1000.0);
+/// for i in 0..200 {
+///     let x0 = (i % 7) as f64;
+///     let x1 = (i % 5) as f64;
+///     m.observe(&[x0, x1, 1.0], 2.0 * x0 - 3.0 * x1 + 1.0);
+/// }
+/// let w = m.weights();
+/// assert!((w[0] - 2.0).abs() < 1e-2);
+/// assert!((w[1] + 3.0).abs() < 1e-2);
+/// assert!((w[2] - 1.0).abs() < 1e-2);
+/// assert!((m.predict(&[1.0, 1.0, 1.0]) - 0.0).abs() < 1e-2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Rls {
+    dim: usize,
+    weights: Vec<f64>,
+    /// Inverse covariance matrix, row-major `dim × dim`.
+    p: Vec<f64>,
+    lambda: f64,
+    p_cap: f64,
+    n: u64,
+}
+
+impl Rls {
+    /// Creates an RLS estimator over `dim` features with forgetting
+    /// factor `lambda` (1.0 = no forgetting) and prior covariance
+    /// scale `p0` (large = weak prior).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`, `lambda ∉ (0, 1]`, or `p0 <= 0`.
+    #[must_use]
+    pub fn new(dim: usize, lambda: f64, p0: f64) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        assert!(lambda > 0.0 && lambda <= 1.0, "lambda must be in (0,1]");
+        assert!(p0 > 0.0, "prior covariance must be positive");
+        let mut p = vec![0.0; dim * dim];
+        for i in 0..dim {
+            p[i * dim + i] = p0;
+        }
+        Self {
+            dim,
+            weights: vec![0.0; dim],
+            p,
+            lambda,
+            p_cap: p0,
+            n: 0,
+        }
+    }
+
+    /// Feature dimension.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Current weight vector.
+    #[must_use]
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Number of observations absorbed.
+    #[must_use]
+    pub fn observations(&self) -> u64 {
+        self.n
+    }
+
+    /// Predicts `y` for feature vector `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != dim`.
+    #[must_use]
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.dim, "feature dimension mismatch");
+        self.weights.iter().zip(x).map(|(w, xi)| w * xi).sum()
+    }
+
+    /// Absorbs one `(x, y)` pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != dim`.
+    pub fn observe(&mut self, x: &[f64], y: f64) {
+        assert_eq!(x.len(), self.dim, "feature dimension mismatch");
+        let d = self.dim;
+        // px = P x
+        let mut px = vec![0.0; d];
+        for i in 0..d {
+            for j in 0..d {
+                px[i] += self.p[i * d + j] * x[j];
+            }
+        }
+        // g = px / (λ + xᵀ px)
+        let denom = self.lambda + x.iter().zip(&px).map(|(xi, pi)| xi * pi).sum::<f64>();
+        let g: Vec<f64> = px.iter().map(|v| v / denom).collect();
+        // w += g (y − wᵀx)
+        let err = y - self.predict(x);
+        for i in 0..d {
+            self.weights[i] += g[i] * err;
+        }
+        // P = (P − g pxᵀ) / λ
+        for i in 0..d {
+            for j in 0..d {
+                self.p[i * d + j] = (self.p[i * d + j] - g[i] * px[j]) / self.lambda;
+            }
+        }
+        // Numerical hygiene: with λ < 1 over long runs, floating-point
+        // asymmetry in P compounds until the filter diverges
+        // (covariance wind-up). Re-symmetrise every step and cap the
+        // diagonal at the prior scale.
+        for i in 0..d {
+            for j in (i + 1)..d {
+                let s = 0.5 * (self.p[i * d + j] + self.p[j * d + i]);
+                self.p[i * d + j] = s;
+                self.p[j * d + i] = s;
+            }
+            let diag = &mut self.p[i * d + i];
+            *diag = diag.clamp(1e-12, self.p_cap);
+        }
+        self.n += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng as _;
+
+    #[test]
+    fn learns_exact_linear_map() {
+        let mut m = Rls::new(2, 1.0, 1e4);
+        for i in 0..100 {
+            let x = [(i % 11) as f64, 1.0];
+            m.observe(&x, 5.0 * x[0] - 2.0);
+        }
+        assert!((m.weights()[0] - 5.0).abs() < 1e-3);
+        assert!((m.weights()[1] + 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn robust_to_noise() {
+        let mut rng = simkernel::SeedTree::new(1).rng("rls");
+        let mut m = Rls::new(2, 1.0, 1e4);
+        for _ in 0..5000 {
+            let x = [rng.gen_range(-1.0..1.0), 1.0];
+            let y = 3.0 * x[0] + 0.5 + rng.gen_range(-0.1..0.1);
+            m.observe(&x, y);
+        }
+        assert!((m.weights()[0] - 3.0).abs() < 0.05);
+        assert!((m.weights()[1] - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn forgetting_tracks_weight_drift() {
+        let mut rng = simkernel::SeedTree::new(2).rng("rls2");
+        let mut forgetting = Rls::new(2, 0.98, 1e4);
+        let mut rigid = Rls::new(2, 1.0, 1e4);
+        // First regime: y = x0; second regime: y = -x0.
+        for phase in 0..2 {
+            let w = if phase == 0 { 1.0 } else { -1.0 };
+            for _ in 0..2000 {
+                let x = [rng.gen_range(-1.0..1.0), 1.0];
+                let y = w * x[0];
+                forgetting.observe(&x, y);
+                rigid.observe(&x, y);
+            }
+        }
+        assert!(
+            (forgetting.weights()[0] + 1.0).abs() < 0.1,
+            "forgetting RLS should track the new regime, got {}",
+            forgetting.weights()[0]
+        );
+        assert!(
+            (rigid.weights()[0] + 1.0).abs() > (forgetting.weights()[0] + 1.0).abs(),
+            "non-forgetting RLS should lag"
+        );
+    }
+
+    #[test]
+    fn prediction_before_training_is_zero() {
+        let m = Rls::new(3, 1.0, 100.0);
+        assert_eq!(m.predict(&[1.0, 2.0, 3.0]), 0.0);
+        assert_eq!(m.observations(), 0);
+        assert_eq!(m.dim(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature dimension mismatch")]
+    fn wrong_dim_panics() {
+        let m = Rls::new(2, 1.0, 100.0);
+        let _ = m.predict(&[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda must be in (0,1]")]
+    fn bad_lambda_panics() {
+        let _ = Rls::new(2, 1.2, 100.0);
+    }
+}

@@ -1,0 +1,284 @@
+//! Holt–Winters additive seasonal forecasting: level + trend +
+//! seasonal components.
+//!
+//! The cloud case study's demand is diurnal (paper Section II:
+//! workloads "change in their characteristics over time" — but often
+//! *cyclically*). A forecaster that knows the season can anticipate
+//! the evening peak hours ahead, where level/trend models only
+//! extrapolate the last slope. [`HoltWinters`] is the classic additive
+//! triple-exponential smoother; it needs the period as prior
+//! knowledge, which is exactly the kind of coarse design-time hint
+//! (24 h cycles exist) the paper's run-time philosophy still permits.
+
+use super::{Forecaster, OnlineModel};
+use serde::{Deserialize, Serialize};
+
+/// Additive Holt–Winters forecaster with period `m`.
+///
+/// ```text
+/// level_t  = α (x_t − season_{t−m}) + (1−α)(level_{t−1} + trend_{t−1})
+/// trend_t  = β (level_t − level_{t−1}) + (1−β) trend_{t−1}
+/// season_t = γ (x_t − level_t) + (1−γ) season_{t−m}
+/// forecast(h) = level + h·trend + season_{t−m+h mod m}
+/// ```
+///
+/// The first `m` observations initialise the seasonal profile (level =
+/// their mean, season = deviation from it); forecasts are available
+/// from observation `m + 1`.
+///
+/// # Example
+///
+/// ```
+/// use selfaware::models::seasonal::HoltWinters;
+/// use selfaware::models::{Forecaster, OnlineModel};
+///
+/// // Pure seasonal signal, period 8.
+/// let mut hw = HoltWinters::new(0.2, 0.05, 0.3, 8);
+/// let wave = |t: u64| (t % 8) as f64;
+/// for t in 0..80 {
+///     hw.observe(wave(t));
+/// }
+/// let pred = hw.forecast().unwrap();
+/// assert!((pred - wave(80)).abs() < 0.5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HoltWinters {
+    alpha: f64,
+    beta: f64,
+    gamma: f64,
+    period: usize,
+    level: f64,
+    trend: f64,
+    season: Vec<f64>,
+    warmup: Vec<f64>,
+    n: u64,
+}
+
+impl HoltWinters {
+    /// Creates a forecaster with level/trend/season smoothing factors
+    /// and seasonal period `period`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any smoothing factor is outside `(0, 1]` or
+    /// `period < 2`.
+    #[must_use]
+    pub fn new(alpha: f64, beta: f64, gamma: f64, period: usize) -> Self {
+        for (name, v) in [("alpha", alpha), ("beta", beta), ("gamma", gamma)] {
+            assert!(v > 0.0 && v <= 1.0, "{name} must be in (0,1]");
+        }
+        assert!(period >= 2, "period must be at least 2");
+        Self {
+            alpha,
+            beta,
+            gamma,
+            period,
+            level: 0.0,
+            trend: 0.0,
+            season: vec![0.0; period],
+            warmup: Vec::with_capacity(period),
+            n: 0,
+        }
+    }
+
+    /// The seasonal period.
+    #[must_use]
+    pub fn period(&self) -> usize {
+        self.period
+    }
+
+    /// Current level estimate (0 while warming up).
+    #[must_use]
+    pub fn level(&self) -> f64 {
+        self.level
+    }
+
+    /// Current per-step trend estimate.
+    #[must_use]
+    pub fn trend(&self) -> f64 {
+        self.trend
+    }
+
+    /// The learned seasonal profile (deviations from level), indexed
+    /// by phase.
+    #[must_use]
+    pub fn seasonal_profile(&self) -> &[f64] {
+        &self.season
+    }
+
+    fn phase(&self) -> usize {
+        (self.n as usize) % self.period
+    }
+
+    fn is_warm(&self) -> bool {
+        self.n as usize > self.period
+    }
+}
+
+impl OnlineModel for HoltWinters {
+    fn observe(&mut self, x: f64) {
+        let m = self.period;
+        if (self.n as usize) < m {
+            // Collect one full cycle to initialise.
+            self.warmup.push(x);
+            self.n += 1;
+            if self.n as usize == m {
+                let mean = self.warmup.iter().sum::<f64>() / m as f64;
+                self.level = mean;
+                self.trend = 0.0;
+                for (i, &v) in self.warmup.iter().enumerate() {
+                    self.season[i] = v - mean;
+                }
+            }
+            return;
+        }
+        let phase = self.phase();
+        let prev_level = self.level;
+        let s_old = self.season[phase];
+        self.level = self.alpha * (x - s_old) + (1.0 - self.alpha) * (self.level + self.trend);
+        self.trend = self.beta * (self.level - prev_level) + (1.0 - self.beta) * self.trend;
+        self.season[phase] = self.gamma * (x - self.level) + (1.0 - self.gamma) * s_old;
+        self.n += 1;
+    }
+
+    fn observations(&self) -> u64 {
+        self.n
+    }
+}
+
+impl Forecaster for HoltWinters {
+    fn forecast(&self) -> Option<f64> {
+        self.forecast_h(1)
+    }
+
+    fn forecast_h(&self, h: u32) -> Option<f64> {
+        if !self.is_warm() {
+            return None;
+        }
+        let h = h.max(1) as usize;
+        let phase = (self.n as usize + h - 1) % self.period;
+        Some(self.level + h as f64 * self.trend + self.season[phase])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::holt::Holt;
+
+    fn seasonal_signal(t: u64) -> f64 {
+        10.0 + [0.0, 3.0, 6.0, 4.0, 1.0, -2.0, -5.0, -3.0][(t % 8) as usize]
+    }
+
+    #[test]
+    fn cold_until_one_full_cycle() {
+        let mut hw = HoltWinters::new(0.3, 0.1, 0.3, 8);
+        for t in 0..=8u64 {
+            assert_eq!(hw.forecast(), None, "still cold at t={t}");
+            hw.observe(seasonal_signal(t));
+        }
+        assert!(hw.forecast().is_some());
+    }
+
+    #[test]
+    fn learns_pure_seasonal_pattern() {
+        let mut hw = HoltWinters::new(0.2, 0.05, 0.4, 8);
+        let mut err = 0.0;
+        let mut count = 0;
+        for t in 0..160u64 {
+            if t > 80 {
+                if let Some(p) = hw.forecast() {
+                    err += (p - seasonal_signal(t)).abs();
+                    count += 1;
+                }
+            }
+            hw.observe(seasonal_signal(t));
+        }
+        assert!(count > 0);
+        assert!(
+            err / f64::from(count) < 0.2,
+            "mae {}",
+            err / f64::from(count)
+        );
+    }
+
+    #[test]
+    fn beats_holt_on_seasonal_data() {
+        let mut hw = HoltWinters::new(0.2, 0.05, 0.4, 8);
+        let mut holt = Holt::new(0.5, 0.2);
+        let (mut err_hw, mut err_holt) = (0.0, 0.0);
+        for t in 0..400u64 {
+            let x = seasonal_signal(t);
+            if t > 100 {
+                err_hw += (hw.forecast().unwrap() - x).abs();
+                err_holt += (holt.forecast().unwrap() - x).abs();
+            }
+            hw.observe(x);
+            holt.observe(x);
+        }
+        assert!(
+            err_hw < err_holt / 3.0,
+            "holt-winters {err_hw} vs holt {err_holt}"
+        );
+    }
+
+    #[test]
+    fn tracks_season_plus_trend() {
+        let mut hw = HoltWinters::new(0.3, 0.1, 0.4, 4);
+        let signal = |t: u64| 0.5 * t as f64 + [0.0, 2.0, 0.0, -2.0][(t % 4) as usize];
+        for t in 0..200u64 {
+            hw.observe(signal(t));
+        }
+        let pred = hw.forecast().unwrap();
+        assert!(
+            (pred - signal(200)).abs() < 0.5,
+            "pred {pred} truth {}",
+            signal(200)
+        );
+        assert!((hw.trend() - 0.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn multi_step_forecast_respects_phase() {
+        let mut hw = HoltWinters::new(0.2, 0.05, 0.4, 8);
+        for t in 0..120u64 {
+            hw.observe(seasonal_signal(t));
+        }
+        for h in 1..=8u32 {
+            let pred = hw.forecast_h(h).unwrap();
+            let truth = seasonal_signal(120 + u64::from(h) - 1);
+            assert!(
+                (pred - truth).abs() < 0.5,
+                "h={h}: pred {pred}, truth {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn seasonal_profile_shape() {
+        let mut hw = HoltWinters::new(0.2, 0.05, 0.4, 8);
+        for t in 0..160u64 {
+            hw.observe(seasonal_signal(t));
+        }
+        let profile = hw.seasonal_profile();
+        assert_eq!(profile.len(), 8);
+        // Phase 2 is the peak (+6), phase 6 the trough (−5).
+        let max_phase = (0..8).max_by(|&a, &b| profile[a].partial_cmp(&profile[b]).unwrap());
+        let min_phase = (0..8).min_by(|&a, &b| profile[a].partial_cmp(&profile[b]).unwrap());
+        assert_eq!(max_phase, Some(2));
+        assert_eq!(min_phase, Some(6));
+        assert_eq!(hw.period(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be at least 2")]
+    fn tiny_period_panics() {
+        let _ = HoltWinters::new(0.2, 0.1, 0.2, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma must be in (0,1]")]
+    fn bad_gamma_panics() {
+        let _ = HoltWinters::new(0.2, 0.1, 0.0, 4);
+    }
+}

@@ -1,0 +1,350 @@
+//! Sensors and percepts: how an agent acquires raw self-knowledge.
+//!
+//! The paper's first framework concept (Section IV) is the distinction
+//! between **public** and **private** self-awareness processes:
+//! knowledge grounded in phenomena *external* to the individual (its
+//! public self — how it appears to, and interacts with, the world)
+//! versus phenomena *internal* to it (its private experience — queue
+//! depths, temperatures, its own decision statistics). Every
+//! [`Percept`] therefore carries a [`Scope`].
+//!
+//! Sensors are generic over the environment type `E` so that each
+//! case-study simulator can expose its own world view without the
+//! framework depending on any domain.
+
+use serde::{Deserialize, Serialize};
+use simkernel::Tick;
+use std::fmt;
+
+/// Whether a piece of self-knowledge originates outside or inside the
+/// agent (paper Section IV, public vs private self-awareness).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scope {
+    /// Externally observable phenomena: the agent's interactions with,
+    /// and appearance within, its environment.
+    Public,
+    /// Internal phenomena: private experience not observable from
+    /// outside (own state, own reasoning statistics).
+    Private,
+}
+
+impl fmt::Display for Scope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Scope::Public => "public",
+            Scope::Private => "private",
+        })
+    }
+}
+
+/// A single timestamped observation of a named signal.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Percept {
+    /// Signal key, e.g. `"load"`, `"temp.core0"`.
+    pub key: String,
+    /// Observed value.
+    pub value: f64,
+    /// Public or private origin.
+    pub scope: Scope,
+    /// Simulation time of the observation.
+    pub at: Tick,
+}
+
+impl Percept {
+    /// Creates a percept.
+    #[must_use]
+    pub fn new(key: impl Into<String>, value: f64, scope: Scope, at: Tick) -> Self {
+        Self {
+            key: key.into(),
+            value,
+            scope,
+            at,
+        }
+    }
+}
+
+impl fmt::Display for Percept {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{} {} {}={:.4}]",
+            self.at, self.scope, self.key, self.value
+        )
+    }
+}
+
+/// A source of observations about the environment `E` (or the agent
+/// itself).
+///
+/// Implementors are usually tiny adapters over simulator state; the
+/// [`FnSensor`] wrapper covers the common closure case.
+pub trait Sensor<E> {
+    /// The signal key this sensor produces.
+    fn key(&self) -> &str;
+    /// Whether the signal is public or private self-knowledge.
+    fn scope(&self) -> Scope;
+    /// Reads the current value from the environment.
+    fn read(&mut self, env: &E, at: Tick) -> f64;
+    /// Relative cost of sampling this sensor (used by
+    /// [`crate::attention`] when monitoring is budgeted). Default 1.
+    fn cost(&self) -> f64 {
+        1.0
+    }
+}
+
+/// A sensor defined by a closure.
+///
+/// # Example
+///
+/// ```
+/// use selfaware::sensors::{FnSensor, Scope, Sensor};
+/// use simkernel::Tick;
+///
+/// struct World { load: f64 }
+/// let mut s = FnSensor::new("load", Scope::Public, |w: &World| w.load);
+/// let w = World { load: 0.7 };
+/// assert_eq!(s.read(&w, Tick(0)), 0.7);
+/// assert_eq!(s.key(), "load");
+/// ```
+pub struct FnSensor<E, F: FnMut(&E) -> f64> {
+    key: String,
+    scope: Scope,
+    cost: f64,
+    f: F,
+    _marker: std::marker::PhantomData<fn(&E)>,
+}
+
+impl<E, F: FnMut(&E) -> f64> FnSensor<E, F> {
+    /// Creates a closure-backed sensor with unit cost.
+    #[must_use]
+    pub fn new(key: impl Into<String>, scope: Scope, f: F) -> Self {
+        Self {
+            key: key.into(),
+            scope,
+            cost: 1.0,
+            f,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Sets the sampling cost (builder style).
+    #[must_use]
+    pub fn with_cost(mut self, cost: f64) -> Self {
+        self.cost = cost;
+        self
+    }
+}
+
+impl<E, F: FnMut(&E) -> f64> Sensor<E> for FnSensor<E, F> {
+    fn key(&self) -> &str {
+        &self.key
+    }
+    fn scope(&self) -> Scope {
+        self.scope
+    }
+    fn read(&mut self, env: &E, _at: Tick) -> f64 {
+        (self.f)(env)
+    }
+    fn cost(&self) -> f64 {
+        self.cost
+    }
+}
+
+impl<E, F: FnMut(&E) -> f64> fmt::Debug for FnSensor<E, F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FnSensor")
+            .field("key", &self.key)
+            .field("scope", &self.scope)
+            .field("cost", &self.cost)
+            .finish_non_exhaustive()
+    }
+}
+
+/// An ordered collection of sensors over environment `E`.
+///
+/// The hub is what the agent's observe phase iterates; the attention
+/// mechanism selects a subset of hub indices each step.
+pub struct SensorHub<E> {
+    sensors: Vec<Box<dyn Sensor<E>>>,
+}
+
+impl<E> SensorHub<E> {
+    /// Creates an empty hub.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            sensors: Vec::new(),
+        }
+    }
+
+    /// Adds a sensor; returns its index.
+    pub fn add(&mut self, sensor: Box<dyn Sensor<E>>) -> usize {
+        self.sensors.push(sensor);
+        self.sensors.len() - 1
+    }
+
+    /// Adds a closure sensor (convenience).
+    pub fn add_fn(
+        &mut self,
+        key: impl Into<String>,
+        scope: Scope,
+        f: impl FnMut(&E) -> f64 + 'static,
+    ) -> usize
+    where
+        E: 'static,
+    {
+        self.add(Box::new(FnSensor::new(key, scope, f)))
+    }
+
+    /// Number of sensors.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sensors.len()
+    }
+
+    /// Whether the hub has no sensors.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sensors.is_empty()
+    }
+
+    /// Signal keys in registration order.
+    #[must_use]
+    pub fn keys(&self) -> Vec<String> {
+        self.sensors.iter().map(|s| s.key().to_string()).collect()
+    }
+
+    /// Reads sensor `idx`, producing a percept.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn sample(&mut self, idx: usize, env: &E, at: Tick) -> Percept {
+        let s = &mut self.sensors[idx];
+        let value = s.read(env, at);
+        Percept::new(s.key().to_string(), value, s.scope(), at)
+    }
+
+    /// Reads every sensor (full attention).
+    pub fn sample_all(&mut self, env: &E, at: Tick) -> Vec<Percept> {
+        (0..self.sensors.len())
+            .map(|i| self.sample(i, env, at))
+            .collect()
+    }
+
+    /// Reads the given subset of sensor indices.
+    pub fn sample_subset(&mut self, indices: &[usize], env: &E, at: Tick) -> Vec<Percept> {
+        indices.iter().map(|&i| self.sample(i, env, at)).collect()
+    }
+
+    /// Sampling cost of sensor `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[must_use]
+    pub fn cost(&self, idx: usize) -> f64 {
+        self.sensors[idx].cost()
+    }
+}
+
+impl<E> Default for SensorHub<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> fmt::Debug for SensorHub<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SensorHub")
+            .field("keys", &self.keys())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct World {
+        load: f64,
+        queue: f64,
+    }
+
+    fn hub() -> SensorHub<World> {
+        let mut h = SensorHub::new();
+        h.add_fn("load", Scope::Public, |w: &World| w.load);
+        h.add_fn("queue", Scope::Private, |w: &World| w.queue);
+        h
+    }
+
+    #[test]
+    fn percept_display() {
+        let p = Percept::new("x", 1.5, Scope::Private, Tick(3));
+        assert_eq!(p.to_string(), "[t3 private x=1.5000]");
+    }
+
+    #[test]
+    fn hub_sample_all() {
+        let mut h = hub();
+        let w = World {
+            load: 0.5,
+            queue: 3.0,
+        };
+        let ps = h.sample_all(&w, Tick(1));
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps[0].key, "load");
+        assert_eq!(ps[0].scope, Scope::Public);
+        assert_eq!(ps[1].value, 3.0);
+        assert_eq!(ps[1].scope, Scope::Private);
+    }
+
+    #[test]
+    fn hub_sample_subset() {
+        let mut h = hub();
+        let w = World {
+            load: 0.1,
+            queue: 9.0,
+        };
+        let ps = h.sample_subset(&[1], &w, Tick(2));
+        assert_eq!(ps.len(), 1);
+        assert_eq!(ps[0].key, "queue");
+        assert_eq!(ps[0].at, Tick(2));
+    }
+
+    #[test]
+    fn hub_keys_and_len() {
+        let h = hub();
+        assert_eq!(h.len(), 2);
+        assert!(!h.is_empty());
+        assert_eq!(h.keys(), vec!["load".to_string(), "queue".to_string()]);
+        assert!(SensorHub::<World>::new().is_empty());
+    }
+
+    #[test]
+    fn sensor_cost_builder() {
+        let s = FnSensor::new("x", Scope::Public, |_: &World| 0.0).with_cost(2.5);
+        assert_eq!(s.cost(), 2.5);
+        let mut h = SensorHub::new();
+        h.add(Box::new(s));
+        assert_eq!(h.cost(0), 2.5);
+    }
+
+    #[test]
+    fn scope_display() {
+        assert_eq!(Scope::Public.to_string(), "public");
+        assert_eq!(Scope::Private.to_string(), "private");
+    }
+
+    #[test]
+    fn closure_sensor_sees_mutating_env() {
+        let mut h = hub();
+        let mut w = World {
+            load: 0.0,
+            queue: 0.0,
+        };
+        assert_eq!(h.sample(0, &w, Tick(0)).value, 0.0);
+        w.load = 0.9;
+        assert_eq!(h.sample(0, &w, Tick(1)).value, 0.9);
+    }
+}

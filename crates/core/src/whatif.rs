@@ -1,0 +1,282 @@
+//! Self-prediction: predicting the effects of one's own actions.
+//!
+//! Kounev's self-aware systems vision (paper Section III) names
+//! **self-prediction** — "the ability to predict the effects of
+//! environmental changes and of actions" — as a defining property.
+//! This module provides two pieces:
+//!
+//! * [`ActionEffectModel`] — a learned input→output self-model: for
+//!   each candidate action, an online RLS regression from context
+//!   features to the resulting value of an outcome signal. After
+//!   enough (action, context, outcome) experience, the agent can ask
+//!   "what would signal `y` become if I did `a` now?" without doing it.
+//! * [`utility_with`] — counterfactual goal evaluation: the utility
+//!   the current `Goal` *would* score if some
+//!   signals took hypothesised values, everything else as believed.
+//!
+//! Together they support model-predictive self-expression: score every
+//! action by `utility_with(goal, kb, predicted effects of the action)`
+//! and pick the argmax — Winfield's "internal model used to moderate
+//! actions" (Section III) in its simplest form.
+
+use crate::error::{Result, SelfAwareError};
+use crate::goals::Goal;
+use crate::knowledge::KnowledgeBase;
+use crate::models::rls::Rls;
+
+/// A learned per-action effect model over one outcome signal.
+///
+/// # Example
+///
+/// ```
+/// use selfaware::whatif::ActionEffectModel;
+///
+/// // Outcome: latency. Action 0 = eco, action 1 = boost.
+/// // True world: latency = 10*load (eco), 4*load (boost).
+/// let mut m = ActionEffectModel::new(2, 2); // feature = [load, bias]
+/// for i in 0..200 {
+///     let load = (i % 10) as f64 / 10.0;
+///     m.observe(0, &[load, 1.0], 10.0 * load);
+///     m.observe(1, &[load, 1.0], 4.0 * load);
+/// }
+/// let eco = m.predict(0, &[0.8, 1.0]).unwrap();
+/// let boost = m.predict(1, &[0.8, 1.0]).unwrap();
+/// assert!((eco - 8.0).abs() < 0.2);
+/// assert!((boost - 3.2).abs() < 0.2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ActionEffectModel {
+    models: Vec<Rls>,
+    min_observations: u64,
+}
+
+impl ActionEffectModel {
+    /// Creates a model over `n_actions` actions and `feature_dim`
+    /// context features (include a constant-1 bias feature for an
+    /// intercept).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn new(n_actions: usize, feature_dim: usize) -> Self {
+        assert!(n_actions > 0, "need at least one action");
+        assert!(feature_dim > 0, "need at least one feature");
+        Self {
+            models: (0..n_actions)
+                .map(|_| Rls::new(feature_dim, 0.995, 1e4))
+                .collect(),
+            min_observations: 5,
+        }
+    }
+
+    /// Sets how many observations an action needs before predictions
+    /// are considered warm (builder style; default 5).
+    #[must_use]
+    pub fn with_min_observations(mut self, n: u64) -> Self {
+        self.min_observations = n;
+        self
+    }
+
+    /// Number of actions modelled.
+    #[must_use]
+    pub fn n_actions(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Records that doing `action` in context `features` produced
+    /// `outcome`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `action` is out of range or the feature dimension is
+    /// wrong.
+    pub fn observe(&mut self, action: usize, features: &[f64], outcome: f64) {
+        self.models[action].observe(features, outcome);
+    }
+
+    /// Predicts the outcome of doing `action` in context `features`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SelfAwareError::ModelCold`] until the action has been
+    /// observed at least `min_observations` times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `action` is out of range or the feature dimension is
+    /// wrong.
+    pub fn predict(&self, action: usize, features: &[f64]) -> Result<f64> {
+        let m = &self.models[action];
+        if m.observations() < self.min_observations {
+            return Err(SelfAwareError::ModelCold("action effect model"));
+        }
+        Ok(m.predict(features))
+    }
+
+    /// Observations recorded for `action`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `action` is out of range.
+    #[must_use]
+    pub fn observations(&self, action: usize) -> u64 {
+        self.models[action].observations()
+    }
+}
+
+/// Counterfactual utility: evaluates `goal` against the knowledge base
+/// with `overrides` substituted for the named signals.
+///
+/// # Example
+///
+/// ```
+/// use selfaware::goals::{Direction, Goal, Objective};
+/// use selfaware::knowledge::KnowledgeBase;
+/// use selfaware::sensors::{Percept, Scope};
+/// use selfaware::whatif::utility_with;
+/// use simkernel::Tick;
+///
+/// let goal = Goal::new("g")
+///     .objective(Objective::new("latency", Direction::Minimize, 10.0, 1.0));
+/// let mut kb = KnowledgeBase::new(8);
+/// kb.absorb(&Percept::new("latency", 8.0, Scope::Public, Tick(0)));
+///
+/// let now = utility_with(&goal, &kb, &[]);
+/// let if_boosted = utility_with(&goal, &kb, &[("latency", 3.0)]);
+/// assert!(if_boosted > now);
+/// ```
+#[must_use]
+pub fn utility_with(goal: &Goal, kb: &KnowledgeBase, overrides: &[(&str, f64)]) -> f64 {
+    goal.utility(|key| {
+        overrides
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|&(_, v)| v)
+            .or_else(|| kb.last(key))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::goals::{Direction, Objective};
+    use crate::sensors::{Percept, Scope};
+    use simkernel::Tick;
+
+    #[test]
+    fn learns_distinct_action_effects() {
+        let mut m = ActionEffectModel::new(3, 2);
+        for i in 0..100 {
+            let x = (i % 7) as f64;
+            m.observe(0, &[x, 1.0], 2.0 * x);
+            m.observe(1, &[x, 1.0], 5.0 - x);
+            m.observe(2, &[x, 1.0], 0.0);
+        }
+        assert!((m.predict(0, &[3.0, 1.0]).unwrap() - 6.0).abs() < 0.1);
+        assert!((m.predict(1, &[3.0, 1.0]).unwrap() - 2.0).abs() < 0.1);
+        assert!(m.predict(2, &[3.0, 1.0]).unwrap().abs() < 0.1);
+    }
+
+    #[test]
+    fn cold_actions_refuse_to_predict() {
+        let mut m = ActionEffectModel::new(2, 1);
+        for _ in 0..10 {
+            m.observe(0, &[1.0], 1.0);
+        }
+        assert!(m.predict(0, &[1.0]).is_ok());
+        assert_eq!(
+            m.predict(1, &[1.0]).unwrap_err(),
+            SelfAwareError::ModelCold("action effect model")
+        );
+        assert_eq!(m.observations(1), 0);
+    }
+
+    #[test]
+    fn min_observations_configurable() {
+        let mut m = ActionEffectModel::new(1, 1).with_min_observations(2);
+        m.observe(0, &[1.0], 3.0);
+        assert!(m.predict(0, &[1.0]).is_err());
+        m.observe(0, &[1.0], 3.0);
+        assert!(m.predict(0, &[1.0]).is_ok());
+        assert_eq!(m.n_actions(), 1);
+    }
+
+    fn kb_with(entries: &[(&str, f64)]) -> KnowledgeBase {
+        let mut kb = KnowledgeBase::new(8);
+        for &(k, v) in entries {
+            kb.absorb(&Percept::new(k, v, Scope::Public, Tick(0)));
+        }
+        kb
+    }
+
+    #[test]
+    fn overrides_shadow_beliefs() {
+        let goal = Goal::new("g")
+            .objective(Objective::new("a", Direction::Maximize, 1.0, 1.0))
+            .objective(Objective::new("b", Direction::Maximize, 1.0, 1.0));
+        let kb = kb_with(&[("a", 0.2), ("b", 0.8)]);
+        let base = utility_with(&goal, &kb, &[]);
+        assert!((base - 0.5).abs() < 1e-12);
+        let better = utility_with(&goal, &kb, &[("a", 1.0)]);
+        assert!((better - 0.9).abs() < 1e-12);
+        // Overriding an unknown signal fills the gap.
+        let goal2 = Goal::new("g2").objective(Objective::new("c", Direction::Maximize, 1.0, 1.0));
+        assert_eq!(utility_with(&goal2, &kb, &[]), 0.0);
+        assert_eq!(utility_with(&goal2, &kb, &[("c", 1.0)]), 1.0);
+    }
+
+    #[test]
+    fn model_predictive_action_selection_end_to_end() {
+        // The composed pattern: learn effects, then choose the action
+        // whose *predicted* consequences maximise counterfactual
+        // utility.
+        let goal = Goal::new("g")
+            .objective(Objective::new("latency", Direction::Minimize, 20.0, 2.0))
+            .objective(Objective::new("energy", Direction::Minimize, 10.0, 1.0));
+        let mut lat = ActionEffectModel::new(2, 2);
+        let mut en = ActionEffectModel::new(2, 2);
+        // World: boost (1) halves latency but triples energy.
+        for i in 0..100 {
+            let load = (i % 10) as f64;
+            lat.observe(0, &[load, 1.0], 2.0 * load);
+            lat.observe(1, &[load, 1.0], 1.0 * load);
+            en.observe(0, &[load, 1.0], 2.0);
+            en.observe(1, &[load, 1.0], 6.0);
+        }
+        let kb = kb_with(&[("latency", 10.0), ("energy", 2.0)]);
+        let choose = |load: f64| -> usize {
+            (0..2)
+                .max_by(|&a, &b| {
+                    let ua = utility_with(
+                        &goal,
+                        &kb,
+                        &[
+                            ("latency", lat.predict(a, &[load, 1.0]).unwrap()),
+                            ("energy", en.predict(a, &[load, 1.0]).unwrap()),
+                        ],
+                    );
+                    let ub = utility_with(
+                        &goal,
+                        &kb,
+                        &[
+                            ("latency", lat.predict(b, &[load, 1.0]).unwrap()),
+                            ("energy", en.predict(b, &[load, 1.0]).unwrap()),
+                        ],
+                    );
+                    ua.partial_cmp(&ub).unwrap()
+                })
+                .expect("two actions")
+        };
+        // Light load: boost's energy is not worth the latency gain.
+        assert_eq!(choose(1.0), 0);
+        // Heavy load: predicted latency dominates — boost.
+        assert_eq!(choose(9.0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one action")]
+    fn zero_actions_panics() {
+        let _ = ActionEffectModel::new(0, 1);
+    }
+}

@@ -1,0 +1,452 @@
+//! Routers: frozen shortest path, periodic re-routing, and CPN
+//! reinforcement routing.
+//!
+//! The CPN router follows the scheme the paper describes (Section III):
+//! a small fraction of traffic is *smart packets* that explore; every
+//! delivered packet's measured per-hop delays reinforce per-node,
+//! per-destination next-hop estimates; dumb packets follow the current
+//! best estimates. Drops are punished, so attacked/congested links are
+//! unlearned quickly.
+
+use crate::graph::Graph;
+use rand::Rng as _;
+use simkernel::rng::Rng;
+use simkernel::Tick;
+
+/// Routing strategy selector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RoutingStrategy {
+    /// Hop-count shortest paths computed once at start-up, never
+    /// updated (the design-time baseline).
+    StaticShortest,
+    /// Queue-aware shortest paths recomputed every `period` ticks
+    /// (the "periodic re-OSPF" middle ground).
+    Periodic {
+        /// Recomputation interval in ticks.
+        period: u64,
+    },
+    /// Cognitive packet routing: reinforcement-learned next hops with
+    /// a `smart_ratio` fraction of exploring packets.
+    Cpn {
+        /// Fraction of packets that explore (smart packets).
+        smart_ratio: f64,
+        /// Exploration rate of smart packets.
+        epsilon: f64,
+    },
+}
+
+impl RoutingStrategy {
+    /// Canonical CPN configuration for F2.
+    #[must_use]
+    pub fn cpn_default() -> Self {
+        RoutingStrategy::Cpn {
+            smart_ratio: 0.1,
+            epsilon: 0.1,
+        }
+    }
+
+    /// Table label.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            RoutingStrategy::StaticShortest => "static-shortest".into(),
+            RoutingStrategy::Periodic { period } => format!("periodic({period})"),
+            RoutingStrategy::Cpn { .. } => "cpn".into(),
+        }
+    }
+
+    /// Instantiates the runtime router for `graph`.
+    #[must_use]
+    pub fn build(&self, graph: &Graph) -> Router {
+        let n = graph.len();
+        match *self {
+            RoutingStrategy::StaticShortest => Router {
+                kind: RouterKind::Table {
+                    next: all_bfs_tables(graph),
+                    period: None,
+                },
+            },
+            RoutingStrategy::Periodic { period } => {
+                assert!(period > 0, "period must be positive");
+                Router {
+                    kind: RouterKind::Table {
+                        next: all_bfs_tables(graph),
+                        period: Some(period),
+                    },
+                }
+            }
+            RoutingStrategy::Cpn {
+                smart_ratio,
+                epsilon,
+            } => {
+                assert!(
+                    (0.0..=1.0).contains(&smart_ratio),
+                    "smart ratio must be in [0,1]"
+                );
+                assert!((0.0..=1.0).contains(&epsilon), "epsilon must be in [0,1]");
+                // Optimistic init from hop counts so cold-start routes
+                // are sensible.
+                let mut q = vec![vec![Vec::new(); n]; n];
+                #[allow(clippy::needless_range_loop)] // q is indexed by two loop variables at once
+                for dst in 0..n {
+                    let hops = hop_distances(graph, dst);
+                    for u in 0..n {
+                        q[u][dst] = graph
+                            .neighbours(u)
+                            .iter()
+                            .map(|&v| {
+                                if hops[v] == usize::MAX {
+                                    1e6
+                                } else {
+                                    (hops[v] + 1) as f64
+                                }
+                            })
+                            .collect();
+                    }
+                }
+                Router {
+                    kind: RouterKind::Cpn {
+                        q,
+                        smart_ratio,
+                        epsilon,
+                    },
+                }
+            }
+        }
+    }
+}
+
+fn all_bfs_tables(graph: &Graph) -> Vec<Vec<Option<usize>>> {
+    // next[dst][node] = next hop from node toward dst.
+    (0..graph.len())
+        .map(|dst| graph.bfs_next_hops(dst))
+        .collect()
+}
+
+fn hop_distances(graph: &Graph, dst: usize) -> Vec<usize> {
+    let mut dist = vec![usize::MAX; graph.len()];
+    let mut q = std::collections::VecDeque::new();
+    dist[dst] = 0;
+    q.push_back(dst);
+    while let Some(u) = q.pop_front() {
+        for &v in graph.neighbours(u) {
+            if dist[v] == usize::MAX {
+                dist[v] = dist[u] + 1;
+                q.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+enum RouterKind {
+    Table {
+        next: Vec<Vec<Option<usize>>>,
+        period: Option<u64>,
+    },
+    Cpn {
+        /// `q[u][dst][k]` — estimated remaining delay from `u` to
+        /// `dst` via the k-th neighbour of `u`.
+        q: Vec<Vec<Vec<f64>>>,
+        smart_ratio: f64,
+        epsilon: f64,
+    },
+}
+
+/// A runtime router.
+pub struct Router {
+    kind: RouterKind,
+}
+
+/// Penalty delay (ticks) learned for a hop that led to a drop.
+pub const DROP_PENALTY: f64 = 200.0;
+
+impl Router {
+    /// Decides whether a freshly injected packet is a smart packet.
+    pub fn is_smart(&self, rng: &mut Rng) -> bool {
+        match &self.kind {
+            RouterKind::Table { .. } => false,
+            RouterKind::Cpn { smart_ratio, .. } => rng.gen::<f64>() < *smart_ratio,
+        }
+    }
+
+    /// Per-tick maintenance: periodic strategies recompute their
+    /// tables from the live queue occupancy (`queue_len(u, v)`).
+    pub fn maintain<Q: Fn(usize, usize) -> usize>(
+        &mut self,
+        graph: &Graph,
+        now: Tick,
+        queue_len: Q,
+    ) {
+        if let RouterKind::Table {
+            next,
+            period: Some(p),
+        } = &mut self.kind
+        {
+            if now.value() > 0 && now.value().is_multiple_of(*p) {
+                *next = (0..graph.len())
+                    .map(|dst| {
+                        graph.weighted_next_hops(dst, |u, v| 1.0 + queue_len(u, v) as f64 / 4.0)
+                    })
+                    .collect();
+            }
+        }
+    }
+
+    /// Chooses the next hop for a packet at `at` heading to `dst`.
+    /// `prev` is where the packet just came from (loop damping for
+    /// learned routing); `smart` marks exploring packets.
+    pub fn next_hop(
+        &self,
+        graph: &Graph,
+        at: usize,
+        dst: usize,
+        prev: Option<usize>,
+        smart: bool,
+        rng: &mut Rng,
+    ) -> Option<usize> {
+        if at == dst {
+            return None;
+        }
+        match &self.kind {
+            RouterKind::Table { next, .. } => next[dst][at],
+            RouterKind::Cpn { q, epsilon, .. } => {
+                let neighbours = graph.neighbours(at);
+                if neighbours.is_empty() {
+                    return None;
+                }
+                let row = &q[at][dst];
+                if smart && rng.gen::<f64>() < *epsilon {
+                    return Some(neighbours[rng.gen_range(0..neighbours.len())]);
+                }
+                // Prefer not to bounce straight back unless forced.
+                let mut best: Option<(usize, f64)> = None;
+                for (k, &v) in neighbours.iter().enumerate() {
+                    if Some(v) == prev && neighbours.len() > 1 {
+                        continue;
+                    }
+                    let est = row[k];
+                    if best.is_none_or(|(_, b)| est < b) {
+                        best = Some((v, est));
+                    }
+                }
+                best.map(|(v, _)| v)
+            }
+        }
+    }
+
+    /// Per-hop Q-routing update (Boyan & Littman): when a packet that
+    /// entered `u`'s queue at some time arrives at `v` after
+    /// `hop_delay` ticks, the estimate for `u → v` toward `dst` is
+    /// pulled toward `hop_delay + min_w Q_v(dst, w)`. This propagates
+    /// congestion information one hop per packet — fast enough to
+    /// route around a forming hot-spot, unlike waiting for end-to-end
+    /// delivery feedback.
+    pub fn reinforce_hop(&mut self, graph: &Graph, u: usize, v: usize, dst: usize, hop_delay: f64) {
+        let RouterKind::Cpn { q, .. } = &mut self.kind else {
+            return;
+        };
+        const ALPHA: f64 = 0.3;
+        let downstream = if v == dst {
+            0.0
+        } else {
+            q[v][dst]
+                .iter()
+                .copied()
+                .fold(f64::INFINITY, f64::min)
+                .min(DROP_PENALTY)
+        };
+        if let Some(k) = graph.neighbours(u).iter().position(|&x| x == v) {
+            let target = hop_delay.max(1.0) + downstream;
+            let cell = &mut q[u][dst][k];
+            *cell += ALPHA * (target - *cell);
+        }
+    }
+
+    /// Reinforces from a delivered packet: `hop_log` holds
+    /// `(node, entered_at)` for every node on the path (destination
+    /// last).
+    pub fn reinforce_delivery(&mut self, graph: &Graph, dst: usize, hop_log: &[(usize, Tick)]) {
+        let RouterKind::Cpn { q, .. } = &mut self.kind else {
+            return;
+        };
+        let Some(&(_, arrived)) = hop_log.last() else {
+            return;
+        };
+        const ALPHA: f64 = 0.2;
+        for w in hop_log.windows(2) {
+            let (u, entered_u) = w[0];
+            let (v, _) = w[1];
+            let remaining = arrived.value().saturating_sub(entered_u.value()).max(1) as f64;
+            if let Some(k) = graph.neighbours(u).iter().position(|&x| x == v) {
+                let cell = &mut q[u][dst][k];
+                *cell += ALPHA * (remaining - *cell);
+            }
+        }
+    }
+
+    /// Punishes the hop that dropped a packet: the packet was at `u`
+    /// heading to `v` toward `dst`.
+    pub fn reinforce_drop(&mut self, graph: &Graph, u: usize, v: usize, dst: usize) {
+        let RouterKind::Cpn { q, .. } = &mut self.kind else {
+            return;
+        };
+        const ALPHA: f64 = 0.3;
+        if let Some(k) = graph.neighbours(u).iter().position(|&x| x == v) {
+            let cell = &mut q[u][dst][k];
+            *cell += ALPHA * (DROP_PENALTY - *cell);
+        }
+    }
+
+    /// Current delay estimate from `u` to `dst` via neighbour `v`
+    /// (CPN only; `None` otherwise). Exposed for tests.
+    #[must_use]
+    pub fn estimate(&self, graph: &Graph, u: usize, v: usize, dst: usize) -> Option<f64> {
+        match &self.kind {
+            RouterKind::Cpn { q, .. } => graph
+                .neighbours(u)
+                .iter()
+                .position(|&x| x == v)
+                .map(|k| q[u][dst][k]),
+            RouterKind::Table { .. } => None,
+        }
+    }
+}
+
+impl std::fmt::Debug for Router {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = match &self.kind {
+            RouterKind::Table { period: None, .. } => "StaticShortest",
+            RouterKind::Table { .. } => "Periodic",
+            RouterKind::Cpn { .. } => "Cpn",
+        };
+        f.debug_struct("Router").field("kind", &kind).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> Rng {
+        simkernel::SeedTree::new(17).rng("route")
+    }
+
+    #[test]
+    fn static_router_follows_bfs() {
+        let g = Graph::grid(3, 3);
+        let r = RoutingStrategy::StaticShortest.build(&g);
+        let mut rr = rng();
+        let mut at = 0;
+        let mut prev = None;
+        let mut hops = 0;
+        while at != 8 {
+            let nxt = r.next_hop(&g, at, 8, prev, false, &mut rr).unwrap();
+            prev = Some(at);
+            at = nxt;
+            hops += 1;
+            assert!(hops <= 4);
+        }
+        assert_eq!(hops, 4);
+        assert!(r.next_hop(&g, 8, 8, None, false, &mut rr).is_none());
+    }
+
+    #[test]
+    fn cpn_initialises_to_sensible_routes() {
+        let g = Graph::grid(3, 3);
+        let r = RoutingStrategy::cpn_default().build(&g);
+        let mut rr = rng();
+        // Greedy (dumb) packets follow near-shortest paths cold.
+        let nxt = r.next_hop(&g, 0, 8, None, false, &mut rr).unwrap();
+        assert!(nxt == 1 || nxt == 3);
+    }
+
+    #[test]
+    fn cpn_learns_to_avoid_punished_link() {
+        let g = Graph::grid(3, 3);
+        let mut r = RoutingStrategy::Cpn {
+            smart_ratio: 0.0,
+            epsilon: 0.0,
+        }
+        .build(&g);
+        let mut rr = rng();
+        // Punish the 0→1 hop toward 8 until it is unattractive.
+        for _ in 0..20 {
+            r.reinforce_drop(&g, 0, 1, 8);
+        }
+        assert_eq!(r.next_hop(&g, 0, 8, None, false, &mut rr), Some(3));
+        assert!(r.estimate(&g, 0, 1, 8).unwrap() > 100.0);
+    }
+
+    #[test]
+    fn cpn_delivery_reinforces_fast_paths() {
+        let g = Graph::grid(1, 3); // line: 0-1-2
+        let mut r = RoutingStrategy::cpn_default().build(&g);
+        // Inflate the estimate with drops, then verify deliveries pull
+        // it back toward the measured two-tick delay.
+        for _ in 0..10 {
+            r.reinforce_drop(&g, 0, 1, 2);
+        }
+        let inflated = r.estimate(&g, 0, 1, 2).unwrap();
+        assert!(inflated > 50.0);
+        let log = vec![(0, Tick(0)), (1, Tick(1)), (2, Tick(2))];
+        for _ in 0..60 {
+            r.reinforce_delivery(&g, 2, &log);
+        }
+        let after = r.estimate(&g, 0, 1, 2).unwrap();
+        assert!((after - 2.0).abs() < 0.2, "estimate {after}");
+    }
+
+    #[test]
+    fn cpn_avoids_immediate_backtrack() {
+        let g = Graph::grid(1, 3);
+        let r = RoutingStrategy::Cpn {
+            smart_ratio: 0.0,
+            epsilon: 0.0,
+        }
+        .build(&g);
+        let mut rr = rng();
+        // At node 1 coming from 0, heading to 0... only neighbour
+        // options are 0 and 2; prev damping skips 0 — unless it is the
+        // only way. Heading to dst=0 the best is still 0? prev=Some(0)
+        // and len>1 means it picks 2. Heading to dst 2 from prev 0:
+        let nxt = r.next_hop(&g, 1, 2, Some(0), false, &mut rr);
+        assert_eq!(nxt, Some(2));
+    }
+
+    #[test]
+    fn smart_packets_only_for_cpn() {
+        let g = Graph::grid(2, 2);
+        let mut rr = rng();
+        let stat = RoutingStrategy::StaticShortest.build(&g);
+        assert!(!stat.is_smart(&mut rr));
+        let cpn = RoutingStrategy::Cpn {
+            smart_ratio: 1.0,
+            epsilon: 0.5,
+        }
+        .build(&g);
+        assert!(cpn.is_smart(&mut rr));
+    }
+
+    #[test]
+    fn periodic_reroutes_around_congestion() {
+        let g = Graph::grid(3, 3);
+        let mut r = RoutingStrategy::Periodic { period: 10 }.build(&g);
+        let mut rr = rng();
+        // Initially BFS may route 0→8 via 1. Congest every link out of
+        // node 1 heavily and maintain at a period boundary.
+        r.maintain(&g, Tick(10), |u, v| if u == 1 || v == 1 { 100 } else { 0 });
+        let nxt = r.next_hop(&g, 0, 8, None, false, &mut rr).unwrap();
+        assert_eq!(nxt, 3, "should avoid congested node 1");
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(RoutingStrategy::StaticShortest.label(), "static-shortest");
+        assert_eq!(
+            RoutingStrategy::Periodic { period: 50 }.label(),
+            "periodic(50)"
+        );
+        assert_eq!(RoutingStrategy::cpn_default().label(), "cpn");
+    }
+}

@@ -1,0 +1,468 @@
+//! Packet-level simulation: per-link queues, drops, TTLs, attack
+//! surges — and the F2 adapt-around-the-attack experiment.
+
+use crate::graph::Graph;
+use crate::routing::{Router, RoutingStrategy};
+use simkernel::rng::SeedTree;
+use simkernel::{MetricSet, Tick, TimeSeries};
+use workloads::rates::poisson;
+
+/// Maximum hops before a packet is discarded.
+pub const TTL: usize = 64;
+/// Per-link queue capacity, packets.
+pub const QUEUE_CAP: usize = 120;
+/// Per-link service rate, packets per tick.
+pub const BANDWIDTH: usize = 3;
+
+/// A flow of traffic, optionally time-windowed (attack flows).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Flow {
+    /// Source node.
+    pub src: usize,
+    /// Destination node.
+    pub dst: usize,
+    /// Packets per tick.
+    pub rate: f64,
+    /// Active window (`None` = always on).
+    pub window: Option<(Tick, Tick)>,
+    /// Whether this is hostile traffic (excluded from QoS metrics).
+    pub hostile: bool,
+}
+
+impl Flow {
+    /// A permanent background flow.
+    #[must_use]
+    pub fn background(src: usize, dst: usize, rate: f64) -> Self {
+        Self {
+            src,
+            dst,
+            rate,
+            window: None,
+            hostile: false,
+        }
+    }
+
+    /// A windowed attack flow.
+    #[must_use]
+    pub fn attack(src: usize, dst: usize, rate: f64, from: Tick, to: Tick) -> Self {
+        Self {
+            src,
+            dst,
+            rate,
+            window: Some((from, to)),
+            hostile: true,
+        }
+    }
+
+    /// Effective rate at time `t`.
+    #[must_use]
+    pub fn rate_at(&self, t: Tick) -> f64 {
+        match self.window {
+            Some((from, to)) if t < from || t >= to => 0.0,
+            _ => self.rate,
+        }
+    }
+}
+
+/// A denial-of-service event targeting routers: while active, every
+/// link incident to an attacked node has its service rate reduced to
+/// `bandwidth` (the router's forwarding capacity is consumed by attack
+/// processing, per Gelenbe & Loukas's DoS model).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Degradation {
+    /// Attack start.
+    pub from: Tick,
+    /// Attack end (exclusive).
+    pub to: Tick,
+    /// Nodes under attack.
+    pub nodes: Vec<usize>,
+    /// Residual per-link service rate while attacked.
+    pub bandwidth: usize,
+}
+
+impl Degradation {
+    /// Whether the attack affects link `u → v` at time `t`.
+    #[must_use]
+    pub fn affects(&self, u: usize, v: usize, t: Tick) -> bool {
+        t >= self.from && t < self.to && (self.nodes.contains(&u) || self.nodes.contains(&v))
+    }
+}
+
+/// Configuration of a CPN scenario.
+#[derive(Debug, Clone)]
+pub struct CpnConfig {
+    /// Grid rows.
+    pub rows: usize,
+    /// Grid cols.
+    pub cols: usize,
+    /// Simulation length.
+    pub steps: u64,
+    /// Traffic flows (background + optional hostile floods).
+    pub flows: Vec<Flow>,
+    /// Optional router-targeting DoS event.
+    pub degradation: Option<Degradation>,
+    /// Routing strategy.
+    pub strategy: RoutingStrategy,
+}
+
+impl CpnConfig {
+    /// Standard F2 scenario: 4×6 grid, one west→east background flow
+    /// per row; during the middle third of the run a DoS attack pins
+    /// the four central routers, collapsing their link capacity below
+    /// the background demand that normally crosses them. A router that
+    /// cannot re-plan keeps queueing into the attacked zone; adaptive
+    /// routers detour through the healthy outer rows.
+    #[must_use]
+    pub fn standard(strategy: RoutingStrategy, steps: u64) -> Self {
+        let cols = 6;
+        let node = |r: usize, c: usize| r * cols + c;
+        let (attack_from, attack_to) = Self::attack_window(steps);
+        let flows = vec![
+            Flow::background(node(0, 0), node(0, 5), 1.2),
+            Flow::background(node(1, 0), node(1, 5), 1.2),
+            Flow::background(node(2, 0), node(2, 5), 1.2),
+            Flow::background(node(3, 0), node(3, 5), 1.2),
+        ];
+        Self {
+            rows: 4,
+            cols,
+            steps,
+            flows,
+            degradation: Some(Degradation {
+                from: attack_from,
+                to: attack_to,
+                nodes: vec![node(1, 2), node(1, 3), node(2, 2), node(2, 3)],
+                bandwidth: 1,
+            }),
+            strategy,
+        }
+    }
+
+    /// Attack window of [`CpnConfig::standard`] for a given length.
+    #[must_use]
+    pub fn attack_window(steps: u64) -> (Tick, Tick) {
+        (Tick(steps / 3), Tick(2 * steps / 3))
+    }
+}
+
+/// Outputs of a CPN run.
+#[derive(Debug, Clone)]
+pub struct CpnResult {
+    /// Scalar metrics (see [`run_cpn`] for keys).
+    pub metrics: MetricSet,
+    /// Per-delivery end-to-end delay of background traffic over time —
+    /// the F2 series.
+    pub delay: TimeSeries,
+}
+
+#[derive(Debug, Clone)]
+struct Packet {
+    dst: usize,
+    smart: bool,
+    hostile: bool,
+    created: Tick,
+    hop_log: Vec<(usize, Tick)>,
+}
+
+/// Runs a scenario. Metric keys:
+///
+/// * `injected`, `delivered`, `dropped` — background packet counts;
+/// * `delivery_ratio` — background delivered / injected;
+/// * `mean_delay` — background end-to-end delay overall;
+/// * `delay_pre`, `delay_attack`, `delay_post` — background delay per
+///   attack phase;
+/// * `utility` — delivery ratio minus normalised delay (single scalar
+///   for cross-strategy ranking).
+#[must_use]
+pub fn run_cpn(cfg: &CpnConfig, seeds: &SeedTree) -> CpnResult {
+    let graph = Graph::grid(cfg.rows, cfg.cols);
+    let mut router = cfg.strategy.build(&graph);
+    let mut inject_rng = seeds.rng("inject");
+    let mut route_rng = seeds.rng("route");
+
+    // queues[u][k] = packets waiting at u for the link to its k-th
+    // neighbour.
+    let mut queues: Vec<Vec<std::collections::VecDeque<Packet>>> = (0..graph.len())
+        .map(|u| {
+            (0..graph.neighbours(u).len())
+                .map(|_| Default::default())
+                .collect()
+        })
+        .collect();
+
+    let (attack_from, attack_to) = CpnConfig::attack_window(cfg.steps);
+    let mut injected = 0u64;
+    let mut delivered = 0u64;
+    let mut dropped = 0u64;
+    let mut delay_sum = 0.0;
+    let mut phase_sum = [0.0; 3];
+    let mut phase_count = [0u64; 3];
+    let mut delay_series = TimeSeries::new(cfg.strategy.label());
+
+    let enqueue = |queues: &mut Vec<Vec<std::collections::VecDeque<Packet>>>,
+                   router: &mut Router,
+                   u: usize,
+                   v: usize,
+                   pkt: Packet,
+                   dropped: &mut u64| {
+        let k = graph
+            .neighbours(u)
+            .iter()
+            .position(|&x| x == v)
+            .expect("v is a neighbour of u");
+        if queues[u][k].len() >= QUEUE_CAP {
+            if !pkt.hostile {
+                *dropped += 1;
+            }
+            router.reinforce_drop(&graph, u, v, pkt.dst);
+        } else {
+            queues[u][k].push_back(pkt);
+        }
+    };
+
+    for t in 0..cfg.steps {
+        let now = Tick(t);
+        router.maintain(&graph, now, |u, v| {
+            graph
+                .neighbours(u)
+                .iter()
+                .position(|&x| x == v)
+                .map_or(0, |k| queues[u][k].len())
+        });
+
+        // Inject new packets.
+        for flow in &cfg.flows {
+            let rate = flow.rate_at(now);
+            if rate <= 0.0 {
+                continue;
+            }
+            let count = poisson(rate, &mut inject_rng);
+            for _ in 0..count {
+                if !flow.hostile {
+                    injected += 1;
+                }
+                let smart = router.is_smart(&mut route_rng);
+                let pkt = Packet {
+                    dst: flow.dst,
+                    smart,
+                    hostile: flow.hostile,
+                    created: now,
+                    hop_log: vec![(flow.src, now)],
+                };
+                match router.next_hop(&graph, flow.src, flow.dst, None, smart, &mut route_rng) {
+                    Some(v) => {
+                        enqueue(&mut queues, &mut router, flow.src, v, pkt, &mut dropped);
+                    }
+                    None => {
+                        if !flow.hostile {
+                            dropped += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Phase A: dequeue up to the link's current service rate.
+        let mut arrivals: Vec<(usize, usize, Packet)> = Vec::new(); // (from, to, pkt)
+        #[allow(clippy::needless_range_loop)] // u indexes both graph and queues
+        for u in 0..graph.len() {
+            for k in 0..queues[u].len() {
+                let v = graph.neighbours(u)[k];
+                let bw = match &cfg.degradation {
+                    Some(d) if d.affects(u, v, now) => d.bandwidth,
+                    _ => BANDWIDTH,
+                };
+                for _ in 0..bw {
+                    match queues[u][k].pop_front() {
+                        Some(p) => arrivals.push((u, v, p)),
+                        None => break,
+                    }
+                }
+            }
+        }
+
+        // Phase B: deliver or forward.
+        for (u, v, mut pkt) in arrivals {
+            // TD-style per-hop update from the measured hop delay
+            // (queueing + service on the u→v link).
+            if let Some(&(log_u, entered_u)) = pkt.hop_log.last() {
+                debug_assert_eq!(log_u, u);
+                let hop_delay = now.value().saturating_sub(entered_u.value()) as f64;
+                router.reinforce_hop(&graph, u, v, pkt.dst, hop_delay);
+            }
+            pkt.hop_log.push((v, now));
+            if v == pkt.dst {
+                router.reinforce_delivery(&graph, pkt.dst, &pkt.hop_log);
+                if !pkt.hostile {
+                    delivered += 1;
+                    let d = now.value().saturating_sub(pkt.created.value()).max(1) as f64;
+                    delay_sum += d;
+                    delay_series.push(now, d);
+                    let phase = if now < attack_from {
+                        0
+                    } else if now < attack_to {
+                        1
+                    } else {
+                        2
+                    };
+                    phase_sum[phase] += d;
+                    phase_count[phase] += 1;
+                }
+                continue;
+            }
+            if pkt.hop_log.len() > TTL {
+                if !pkt.hostile {
+                    dropped += 1;
+                }
+                router.reinforce_drop(&graph, u, v, pkt.dst);
+                continue;
+            }
+            match router.next_hop(&graph, v, pkt.dst, Some(u), pkt.smart, &mut route_rng) {
+                Some(w) => enqueue(&mut queues, &mut router, v, w, pkt, &mut dropped),
+                None => {
+                    if !pkt.hostile {
+                        dropped += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    let mut metrics = MetricSet::new();
+    metrics.set("injected", injected as f64);
+    metrics.set("delivered", delivered as f64);
+    metrics.set("dropped", dropped as f64);
+    let ratio = delivered as f64 / injected.max(1) as f64;
+    metrics.set("delivery_ratio", ratio);
+    let mean_delay = if delivered > 0 {
+        delay_sum / delivered as f64
+    } else {
+        0.0
+    };
+    metrics.set("mean_delay", mean_delay);
+    let phases = ["delay_pre", "delay_attack", "delay_post"];
+    for (i, name) in phases.iter().enumerate() {
+        metrics.set(
+            name,
+            if phase_count[i] > 0 {
+                phase_sum[i] / phase_count[i] as f64
+            } else {
+                0.0
+            },
+        );
+    }
+    metrics.set("utility", ratio - mean_delay / 100.0);
+
+    CpnResult {
+        metrics,
+        delay: delay_series,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(s: RoutingStrategy, seed: u64, steps: u64) -> CpnResult {
+        run_cpn(&CpnConfig::standard(s, steps), &SeedTree::new(seed))
+    }
+
+    #[test]
+    fn flow_windows() {
+        let f = Flow::attack(0, 5, 2.0, Tick(10), Tick(20));
+        assert_eq!(f.rate_at(Tick(5)), 0.0);
+        assert_eq!(f.rate_at(Tick(10)), 2.0);
+        assert_eq!(f.rate_at(Tick(19)), 2.0);
+        assert_eq!(f.rate_at(Tick(20)), 0.0);
+        assert_eq!(Flow::background(0, 1, 1.0).rate_at(Tick(999)), 1.0);
+    }
+
+    #[test]
+    fn quiet_network_delivers_everything() {
+        let cfg = CpnConfig {
+            rows: 3,
+            cols: 3,
+            steps: 500,
+            flows: vec![Flow::background(0, 8, 0.5)],
+            degradation: None,
+            strategy: RoutingStrategy::StaticShortest,
+        };
+        let r = run_cpn(&cfg, &SeedTree::new(1));
+        assert!(r.metrics.get("delivery_ratio").unwrap() > 0.95);
+        // Shortest path is 4 hops; queueing negligible.
+        assert!(r.metrics.get("mean_delay").unwrap() < 8.0);
+    }
+
+    #[test]
+    fn attack_raises_static_delay() {
+        let r = run(RoutingStrategy::StaticShortest, 2, 3000);
+        let pre = r.metrics.get("delay_pre").unwrap();
+        let during = r.metrics.get("delay_attack").unwrap();
+        assert!(
+            during > pre * 1.5,
+            "attack should hurt static routing: pre {pre}, during {during}"
+        );
+    }
+
+    #[test]
+    fn cpn_absorbs_attack_better_than_static() {
+        let mut wins = 0;
+        for seed in 0..3 {
+            let stat = run(RoutingStrategy::StaticShortest, seed, 3000);
+            let cpn = run(RoutingStrategy::cpn_default(), seed, 3000);
+            let s = stat.metrics.get("delay_attack").unwrap();
+            let c = cpn.metrics.get("delay_attack").unwrap();
+            let s_ratio = stat.metrics.get("delivery_ratio").unwrap();
+            let c_ratio = cpn.metrics.get("delivery_ratio").unwrap();
+            if c < s && c_ratio >= s_ratio - 0.05 {
+                wins += 1;
+            }
+        }
+        assert!(wins >= 2, "cpn absorbed the attack on {wins}/3 seeds");
+    }
+
+    #[test]
+    fn cpn_recovers_after_attack() {
+        let r = run(RoutingStrategy::cpn_default(), 4, 3000);
+        let pre = r.metrics.get("delay_pre").unwrap();
+        let post = r.metrics.get("delay_post").unwrap();
+        assert!(
+            post < pre * 2.5,
+            "post-attack delay should return near baseline: pre {pre}, post {post}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = run(RoutingStrategy::cpn_default(), 6, 600);
+        let b = run(RoutingStrategy::cpn_default(), 6, 600);
+        assert_eq!(a.metrics, b.metrics);
+    }
+
+    #[test]
+    fn delay_series_is_populated() {
+        let r = run(RoutingStrategy::StaticShortest, 7, 1000);
+        assert!(r.delay.len() > 100);
+    }
+}
+
+#[cfg(test)]
+mod probe {
+    use super::*;
+
+    #[test]
+    #[ignore]
+    fn print_routing_metrics() {
+        for s in [
+            RoutingStrategy::StaticShortest,
+            RoutingStrategy::Periodic { period: 50 },
+            RoutingStrategy::cpn_default(),
+        ] {
+            let r = run_cpn(&CpnConfig::standard(s, 3000), &SeedTree::new(0));
+            println!("--- {}", s.label());
+            for (k, v) in r.metrics.iter() {
+                println!("{k} = {v:.4}");
+            }
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests for the network simulator's graph and routing
+//! invariants.
+
+use cpn::graph::Graph;
+use cpn::routing::RoutingStrategy;
+use proptest::prelude::*;
+use simkernel::SeedTree;
+
+proptest! {
+    #[test]
+    fn grid_bfs_next_hops_strictly_approach_destination(
+        rows in 1usize..6,
+        cols in 1usize..6,
+        dst_r in 0usize..6,
+        dst_c in 0usize..6,
+    ) {
+        prop_assume!(dst_r < rows && dst_c < cols);
+        let g = Graph::grid(rows, cols);
+        let dst = dst_r * cols + dst_c;
+        let next = g.bfs_next_hops(dst);
+        let manhattan = |u: usize| {
+            let (r, c) = (u / cols, u % cols);
+            r.abs_diff(dst_r) + c.abs_diff(dst_c)
+        };
+        #[allow(clippy::needless_range_loop)] // u indexes next, dist and g together
+        for u in 0..g.len() {
+            if u == dst {
+                prop_assert!(next[u].is_none());
+            } else {
+                let v = next[u].expect("grid is connected");
+                prop_assert!(g.are_adjacent(u, v));
+                prop_assert_eq!(manhattan(v) + 1, manhattan(u), "next hop must reduce distance");
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_next_hops_reach_destination(
+        rows in 2usize..5,
+        cols in 2usize..5,
+        seed in any::<u64>(),
+    ) {
+        use rand::Rng as _;
+        let g = Graph::grid(rows, cols);
+        let dst = g.len() - 1;
+        // Random positive weights.
+        let mut rng = SeedTree::new(seed).rng("w");
+        let mut weights = std::collections::HashMap::new();
+        for u in 0..g.len() {
+            for &v in g.neighbours(u) {
+                weights.entry((u.min(v), u.max(v))).or_insert_with(|| rng.gen_range(0.5..5.0));
+            }
+        }
+        let next = g.weighted_next_hops(dst, |u, v| weights[&(u.min(v), u.max(v))]);
+        // Following next hops from any node terminates at dst without
+        // revisiting a node (shortest-path trees are acyclic).
+        for start in 0..g.len() {
+            let mut at = start;
+            let mut visited = std::collections::HashSet::new();
+            while at != dst {
+                prop_assert!(visited.insert(at), "cycle detected at node {at}");
+                at = next[at].expect("connected");
+            }
+        }
+    }
+
+    #[test]
+    fn grid_edge_count_formula(rows in 1usize..8, cols in 1usize..8) {
+        let g = Graph::grid(rows, cols);
+        prop_assert_eq!(g.len(), rows * cols);
+        prop_assert_eq!(g.edge_count(), rows * (cols - 1) + cols * (rows - 1));
+    }
+
+    #[test]
+    fn cpn_router_always_returns_a_neighbour(
+        seed in any::<u64>(),
+        at in 0usize..12,
+        dst in 0usize..12,
+        smart in any::<bool>(),
+    ) {
+        prop_assume!(at != dst);
+        let g = Graph::grid(3, 4);
+        let router = RoutingStrategy::cpn_default().build(&g);
+        let mut rng = SeedTree::new(seed).rng("r");
+        let hop = router.next_hop(&g, at, dst, None, smart, &mut rng);
+        let v = hop.expect("connected graph must route");
+        prop_assert!(g.are_adjacent(at, v));
+    }
+
+    #[test]
+    fn drop_reinforcement_monotonically_raises_estimates(
+        n_drops in 1usize..30,
+    ) {
+        let g = Graph::grid(2, 3);
+        let mut router = RoutingStrategy::Cpn { smart_ratio: 0.0, epsilon: 0.0 }.build(&g);
+        let mut last = router.estimate(&g, 0, 1, 5).unwrap();
+        for _ in 0..n_drops {
+            router.reinforce_drop(&g, 0, 1, 5);
+            let now = router.estimate(&g, 0, 1, 5).unwrap();
+            prop_assert!(now >= last);
+            prop_assert!(now <= cpn::routing::DROP_PENALTY + 1e-9);
+            last = now;
+        }
+    }
+}

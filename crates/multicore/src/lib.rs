@@ -1,0 +1,30 @@
+//! # multicore — a heterogeneous multi-core platform simulator
+//!
+//! The paper's hardware case study (Sections II–III, refs 8, 16, 47):
+//! Agarwal's argument that design-time resource allocation should give
+//! way to run-time self-aware allocation, and Agne/Platzner's
+//! self-aware heterogeneous multicores. The simulated platform has
+//! big and little cores, per-core DVFS, and a lumped-RC thermal model;
+//! the workload is a phase-switching task mix (compute-heavy ↔
+//! memory-bound ↔ interactive) whose composition the design-time
+//! scheduler cannot know.
+//!
+//! * [`core`] — core specs, DVFS, queues, power and temperature;
+//! * [`sched`] — schedulers: design-time static pinning, greedy
+//!   fastest-core, and the self-aware Q-learning mapper with a
+//!   thermal-forecast DVFS governor;
+//! * [`sim`] — the scenario runner behind experiment T4.
+//!
+//! Trade-off under management: throughput vs energy vs thermal
+//! violations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod core;
+pub mod sched;
+pub mod sim;
+
+pub use crate::core::{Core, CoreKind, CoreSpec, DvfsLevel};
+pub use crate::sched::Scheduler;
+pub use crate::sim::{run_multicore, MulticoreConfig, MulticoreResult};

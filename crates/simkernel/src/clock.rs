@@ -1,0 +1,182 @@
+//! Simulation time: the [`Tick`] unit and the time-stepped [`Clock`].
+//!
+//! All simulators in the workspace advance in discrete ticks. What a
+//! tick *means* is domain-specific (a scheduling quantum in
+//! `multicore`, a frame in `camnet`, a dispatch round in `cloudsim`),
+//! but the newtype keeps tick arithmetic from being confused with other
+//! integers (counts, ids, ...) at compile time.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point (or span) in discrete simulation time.
+///
+/// `Tick` is ordered, hashable and cheaply copyable. Subtraction
+/// saturates at zero so durations never underflow.
+///
+/// # Example
+///
+/// ```
+/// use simkernel::Tick;
+/// let t = Tick(10) + Tick(5);
+/// assert_eq!(t, Tick(15));
+/// assert_eq!(Tick(3) - Tick(8), Tick(0)); // saturating
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Tick(pub u64);
+
+impl Tick {
+    /// Time zero.
+    pub const ZERO: Tick = Tick(0);
+
+    /// Returns the underlying integer value.
+    #[must_use]
+    pub fn value(self) -> u64 {
+        self.0
+    }
+
+    /// Returns this time as `f64`, for use in continuous-valued models.
+    #[must_use]
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// Saturating decrement by `n`.
+    #[must_use]
+    pub fn saturating_sub(self, n: u64) -> Tick {
+        Tick(self.0.saturating_sub(n))
+    }
+}
+
+impl Add for Tick {
+    type Output = Tick;
+    fn add(self, rhs: Tick) -> Tick {
+        Tick(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Tick {
+    fn add_assign(&mut self, rhs: Tick) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Tick {
+    type Output = Tick;
+    fn sub(self, rhs: Tick) -> Tick {
+        Tick(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for Tick {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl From<u64> for Tick {
+    fn from(v: u64) -> Self {
+        Tick(v)
+    }
+}
+
+/// A time-stepped simulation clock.
+///
+/// The clock owns "now" and hands out monotonically increasing ticks.
+/// Simulators call [`Clock::advance`] once per step; components read
+/// [`Clock::now`].
+///
+/// # Example
+///
+/// ```
+/// use simkernel::{Clock, Tick};
+/// let mut clock = Clock::new();
+/// assert_eq!(clock.now(), Tick::ZERO);
+/// clock.advance();
+/// assert_eq!(clock.now(), Tick(1));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Clock {
+    now: Tick,
+}
+
+impl Clock {
+    /// Creates a clock at time zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { now: Tick::ZERO }
+    }
+
+    /// Creates a clock at an arbitrary start time.
+    #[must_use]
+    pub fn starting_at(t: Tick) -> Self {
+        Self { now: t }
+    }
+
+    /// Current simulation time.
+    #[must_use]
+    pub fn now(&self) -> Tick {
+        self.now
+    }
+
+    /// Advances by one tick and returns the new time.
+    pub fn advance(&mut self) -> Tick {
+        self.now += Tick(1);
+        self.now
+    }
+
+    /// Advances by `n` ticks and returns the new time.
+    pub fn advance_by(&mut self, n: u64) -> Tick {
+        self.now += Tick(n);
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_arithmetic() {
+        assert_eq!(Tick(2) + Tick(3), Tick(5));
+        assert_eq!(Tick(5) - Tick(3), Tick(2));
+        assert_eq!(Tick(3) - Tick(5), Tick(0));
+        let mut t = Tick(1);
+        t += Tick(4);
+        assert_eq!(t, Tick(5));
+    }
+
+    #[test]
+    fn tick_display_and_conversion() {
+        assert_eq!(Tick(7).to_string(), "t7");
+        assert_eq!(Tick::from(9u64).value(), 9);
+        assert!((Tick(2).as_f64() - 2.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut c = Clock::new();
+        let mut prev = c.now();
+        for _ in 0..10 {
+            let t = c.advance();
+            assert!(t > prev);
+            prev = t;
+        }
+        assert_eq!(c.now(), Tick(10));
+    }
+
+    #[test]
+    fn clock_advance_by_bulk() {
+        let mut c = Clock::starting_at(Tick(5));
+        assert_eq!(c.advance_by(10), Tick(15));
+    }
+
+    #[test]
+    fn tick_ordering() {
+        assert!(Tick(1) < Tick(2));
+        assert_eq!(Tick(3).saturating_sub(5), Tick(0));
+    }
+}

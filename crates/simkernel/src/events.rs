@@ -1,0 +1,184 @@
+//! A deterministic discrete-event queue.
+//!
+//! Events are ordered by time; events scheduled for the same tick are
+//! delivered in insertion (FIFO) order, which keeps simulations
+//! deterministic regardless of heap internals. Used by the
+//! packet-level `cpn` simulator and by the churn process in `cloudsim`.
+
+use crate::clock::Tick;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+#[derive(Debug)]
+struct Scheduled<E> {
+    at: Tick,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first, and break
+        // ties by sequence number for FIFO among simultaneous events.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A future-event list keyed by [`Tick`].
+///
+/// # Example
+///
+/// ```
+/// use simkernel::{EventQueue, Tick};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(Tick(5), "b");
+/// q.schedule(Tick(2), "a");
+/// q.schedule(Tick(5), "c");
+/// assert_eq!(q.pop(), Some((Tick(2), "a")));
+/// assert_eq!(q.pop(), Some((Tick(5), "b"))); // FIFO among ties
+/// assert_eq!(q.pop(), Some((Tick(5), "c")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at time `at`.
+    pub fn schedule(&mut self, at: Tick, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(Tick, E)> {
+        self.heap.pop().map(|s| (s.at, s.event))
+    }
+
+    /// Removes and returns the earliest event **only if** it is due at
+    /// or before `now`. Used by time-stepped simulators that drain all
+    /// events due in the current tick.
+    pub fn pop_due(&mut self, now: Tick) -> Option<(Tick, E)> {
+        if self.heap.peek().is_some_and(|s| s.at <= now) {
+            self.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Time of the next event, if any.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<Tick> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Tick(10), 1);
+        q.schedule(Tick(1), 2);
+        q.schedule(Tick(5), 3);
+        assert_eq!(q.pop(), Some((Tick(1), 2)));
+        assert_eq!(q.pop(), Some((Tick(5), 3)));
+        assert_eq!(q.pop(), Some((Tick(10), 1)));
+    }
+
+    #[test]
+    fn fifo_among_simultaneous() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(Tick(7), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((Tick(7), i)));
+        }
+    }
+
+    #[test]
+    fn pop_due_respects_now() {
+        let mut q = EventQueue::new();
+        q.schedule(Tick(3), "x");
+        assert_eq!(q.pop_due(Tick(2)), None);
+        assert_eq!(q.pop_due(Tick(3)), Some((Tick(3), "x")));
+    }
+
+    #[test]
+    fn len_and_clear() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(Tick(1), ());
+        q.schedule(Tick(2), ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(Tick(1)));
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(Tick(2), "a");
+        assert_eq!(q.pop(), Some((Tick(2), "a")));
+        q.schedule(Tick(1), "b");
+        q.schedule(Tick(1), "c");
+        assert_eq!(q.pop(), Some((Tick(1), "b")));
+        assert_eq!(q.pop(), Some((Tick(1), "c")));
+    }
+}

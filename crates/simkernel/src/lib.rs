@@ -1,0 +1,59 @@
+//! # simkernel — deterministic simulation kernel
+//!
+//! Shared substrate for every simulator in the `self-aware-systems`
+//! workspace. Reproducibility is the prime directive: **all** stochastic
+//! behaviour in the workspace flows from a single `u64` seed through
+//! [`rng::SeedTree`], so any experiment, test, or benchmark can be
+//! replayed bit-for-bit from its seed.
+//!
+//! The kernel provides:
+//!
+//! * [`rng`] — hierarchical, label-addressed seed derivation on top of a
+//!   portable ChaCha stream cipher RNG;
+//! * [`clock`] — a time-stepped simulation clock ([`clock::Clock`]) and
+//!   the [`clock::Tick`] newtype used as the workspace-wide time unit;
+//! * [`events`] — a deterministic discrete-event queue with stable
+//!   FIFO ordering among simultaneous events;
+//! * [`stats`] — streaming statistics (Welford moments, percentile
+//!   reservoirs, confidence intervals) used by every experiment;
+//! * [`series`] — down-sampled time-series capture and ASCII sparkline
+//!   rendering for the "figure" benchmarks;
+//! * [`table`] — aligned ASCII table rendering for the "table"
+//!   benchmarks;
+//! * [`runner`] — a replication runner that fans one scenario out over
+//!   independently-seeded replicates and aggregates metrics.
+//!
+//! ## Example
+//!
+//! ```
+//! use simkernel::rng::SeedTree;
+//! use simkernel::stats::OnlineStats;
+//! use rand::Rng;
+//!
+//! let tree = SeedTree::new(42);
+//! let mut rng = tree.rng("example");
+//! let mut stats = OnlineStats::new();
+//! for _ in 0..1000 {
+//!     stats.push(rng.gen_range(0.0..1.0));
+//! }
+//! assert!((stats.mean() - 0.5).abs() < 0.05);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod events;
+pub mod rng;
+pub mod runner;
+pub mod series;
+pub mod stats;
+pub mod table;
+
+pub use clock::{Clock, Tick};
+pub use events::EventQueue;
+pub use rng::SeedTree;
+pub use runner::{MetricSet, Replications};
+pub use series::TimeSeries;
+pub use stats::OnlineStats;
+pub use table::Table;

@@ -1,0 +1,264 @@
+//! Replication runner: fan a scenario out over independently seeded
+//! replicates and aggregate the resulting metrics.
+//!
+//! Every experiment in EXPERIMENTS.md reports means (± 95% CI) over R
+//! replications. A scenario is any `Fn(SeedTree) -> MetricSet`; the
+//! runner derives per-replicate seed subtrees so replicate *k* is
+//! identical across strategies (common random numbers, which sharpens
+//! the comparisons the paper's hypothesis calls for).
+
+use crate::rng::SeedTree;
+use crate::stats::OnlineStats;
+use std::collections::BTreeMap;
+
+/// A named bag of scalar results produced by one simulation run.
+///
+/// Backed by a `BTreeMap` so iteration (and thus printed output) is
+/// deterministically ordered.
+///
+/// # Example
+///
+/// ```
+/// use simkernel::MetricSet;
+/// let mut m = MetricSet::new();
+/// m.set("utility", 0.8);
+/// m.add("violations", 1.0);
+/// m.add("violations", 2.0);
+/// assert_eq!(m.get("utility"), Some(0.8));
+/// assert_eq!(m.get("violations"), Some(3.0));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricSet {
+    values: BTreeMap<String, f64>,
+}
+
+impl MetricSet {
+    /// Creates an empty metric set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets metric `name` to `value`, replacing any previous value.
+    pub fn set(&mut self, name: &str, value: f64) {
+        self.values.insert(name.to_string(), value);
+    }
+
+    /// Adds `delta` to metric `name` (starting from 0 if absent).
+    pub fn add(&mut self, name: &str, delta: f64) {
+        *self.values.entry(name.to_string()).or_insert(0.0) += delta;
+    }
+
+    /// Reads metric `name`, if present.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.values.get(name).copied()
+    }
+
+    /// Iterates `(name, value)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.values.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Number of metrics.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no metrics have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+impl FromIterator<(String, f64)> for MetricSet {
+    fn from_iter<I: IntoIterator<Item = (String, f64)>>(iter: I) -> Self {
+        Self {
+            values: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Aggregated per-metric statistics over replications.
+#[derive(Debug, Clone, Default)]
+pub struct Aggregate {
+    stats: BTreeMap<String, OnlineStats>,
+}
+
+impl Aggregate {
+    /// Folds one replicate's metrics into the aggregate.
+    pub fn absorb(&mut self, metrics: &MetricSet) {
+        for (name, value) in metrics.iter() {
+            self.stats.entry(name.to_string()).or_default().push(value);
+        }
+    }
+
+    /// Mean of metric `name` across replicates (0 if absent).
+    #[must_use]
+    pub fn mean(&self, name: &str) -> f64 {
+        self.stats.get(name).map_or(0.0, OnlineStats::mean)
+    }
+
+    /// 95% CI half-width of metric `name` (0 if absent).
+    #[must_use]
+    pub fn ci95(&self, name: &str) -> f64 {
+        self.stats
+            .get(name)
+            .map_or(0.0, OnlineStats::ci95_halfwidth)
+    }
+
+    /// Full stats for metric `name`, if recorded.
+    #[must_use]
+    pub fn stats(&self, name: &str) -> Option<&OnlineStats> {
+        self.stats.get(name)
+    }
+
+    /// Iterates `(name, stats)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &OnlineStats)> {
+        self.stats.iter().map(|(k, v)| (k.as_str(), v))
+    }
+}
+
+/// Runs a scenario over R common-random-number replicates.
+///
+/// # Example
+///
+/// ```
+/// use simkernel::{Replications, MetricSet};
+/// use rand::Rng;
+///
+/// let agg = Replications::new(42, 8).run(|seeds| {
+///     let mut rng = seeds.rng("noise");
+///     let mut m = MetricSet::new();
+///     m.set("x", rng.gen_range(0.0..1.0));
+///     m
+/// });
+/// assert!(agg.mean("x") > 0.0 && agg.mean("x") < 1.0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Replications {
+    base_seed: u64,
+    count: u32,
+}
+
+impl Replications {
+    /// Configures `count` replicates rooted at `base_seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero.
+    #[must_use]
+    pub fn new(base_seed: u64, count: u32) -> Self {
+        assert!(count > 0, "at least one replication required");
+        Self { base_seed, count }
+    }
+
+    /// Number of replicates.
+    #[must_use]
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// Seed subtree for replicate `k` — stable across strategies so
+    /// that strategy comparisons share random numbers.
+    #[must_use]
+    pub fn seeds_for(&self, k: u32) -> SeedTree {
+        SeedTree::new(self.base_seed).child_idx(u64::from(k))
+    }
+
+    /// Runs `scenario` once per replicate and aggregates metrics.
+    pub fn run<F>(&self, mut scenario: F) -> Aggregate
+    where
+        F: FnMut(SeedTree) -> MetricSet,
+    {
+        let mut agg = Aggregate::default();
+        for k in 0..self.count {
+            let metrics = scenario(self.seeds_for(k));
+            agg.absorb(&metrics);
+        }
+        agg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng as _;
+
+    #[test]
+    fn metricset_set_add_get() {
+        let mut m = MetricSet::new();
+        assert!(m.is_empty());
+        m.set("a", 1.0);
+        m.add("a", 2.0);
+        m.add("b", 5.0);
+        assert_eq!(m.get("a"), Some(3.0));
+        assert_eq!(m.get("b"), Some(5.0));
+        assert_eq!(m.get("c"), None);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn metricset_iterates_in_name_order() {
+        let mut m = MetricSet::new();
+        m.set("z", 1.0);
+        m.set("a", 2.0);
+        let names: Vec<&str> = m.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["a", "z"]);
+    }
+
+    #[test]
+    fn aggregate_means() {
+        let mut agg = Aggregate::default();
+        for v in [1.0, 2.0, 3.0] {
+            let mut m = MetricSet::new();
+            m.set("x", v);
+            agg.absorb(&m);
+        }
+        assert!((agg.mean("x") - 2.0).abs() < 1e-12);
+        assert_eq!(agg.stats("x").unwrap().count(), 3);
+        assert_eq!(agg.mean("missing"), 0.0);
+    }
+
+    #[test]
+    fn replicates_have_distinct_but_reproducible_seeds() {
+        let r = Replications::new(7, 4);
+        assert_ne!(r.seeds_for(0).raw(), r.seeds_for(1).raw());
+        assert_eq!(
+            r.seeds_for(2).raw(),
+            Replications::new(7, 4).seeds_for(2).raw()
+        );
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let scenario = |seeds: SeedTree| {
+            let mut rng = seeds.rng("s");
+            let mut m = MetricSet::new();
+            m.set("v", rng.gen::<f64>());
+            m
+        };
+        let a = Replications::new(1, 10).run(scenario).mean("v");
+        let b = Replications::new(1, 10).run(scenario).mean("v");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replication")]
+    fn zero_replications_panics() {
+        let _ = Replications::new(1, 0);
+    }
+
+    #[test]
+    fn common_random_numbers_across_strategies() {
+        // Two "strategies" that consume the same stream should see the
+        // same draws per replicate.
+        let draws = |seeds: SeedTree| seeds.rng("env").gen::<u64>();
+        let r = Replications::new(99, 3);
+        for k in 0..3 {
+            assert_eq!(draws(r.seeds_for(k)), draws(r.seeds_for(k)));
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! Scheduled disturbances: step changes, ramps, spikes and regime
+//! switches injected into any scalar signal.
+//!
+//! Experiments use a [`Schedule`] to make the environment *change on
+//! purpose* at known times, so adaptation speed can be measured
+//! against ground truth (e.g. F2's attack onset, F3's drift points).
+
+use serde::{Deserialize, Serialize};
+use simkernel::Tick;
+
+/// The shape of a disturbance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DisturbanceKind {
+    /// Permanent additive offset from `at` onwards.
+    Step {
+        /// Offset added to the signal.
+        offset: f64,
+    },
+    /// Linear additive ramp growing from 0 at `at` to `offset` at
+    /// `at + duration`, permanent afterwards.
+    Ramp {
+        /// Final offset.
+        offset: f64,
+        /// Ramp length in ticks.
+        duration: u64,
+    },
+    /// Additive offset only during `[at, at + duration)`.
+    Spike {
+        /// Offset during the spike.
+        offset: f64,
+        /// Spike length in ticks.
+        duration: u64,
+    },
+    /// Multiplicative factor from `at` onwards (e.g. 2.0 = demand
+    /// doubles).
+    Scale {
+        /// Multiplier applied to the signal.
+        factor: f64,
+    },
+}
+
+/// A disturbance bound to an onset time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Disturbance {
+    /// Onset time.
+    pub at: Tick,
+    /// Shape.
+    pub kind: DisturbanceKind,
+}
+
+impl Disturbance {
+    /// Convenience constructor for a step.
+    #[must_use]
+    pub fn step(at: Tick, offset: f64) -> Self {
+        Self {
+            at,
+            kind: DisturbanceKind::Step { offset },
+        }
+    }
+
+    /// Convenience constructor for a ramp.
+    #[must_use]
+    pub fn ramp(at: Tick, offset: f64, duration: u64) -> Self {
+        Self {
+            at,
+            kind: DisturbanceKind::Ramp { offset, duration },
+        }
+    }
+
+    /// Convenience constructor for a spike.
+    #[must_use]
+    pub fn spike(at: Tick, offset: f64, duration: u64) -> Self {
+        Self {
+            at,
+            kind: DisturbanceKind::Spike { offset, duration },
+        }
+    }
+
+    /// Convenience constructor for a scale change.
+    #[must_use]
+    pub fn scale(at: Tick, factor: f64) -> Self {
+        Self {
+            at,
+            kind: DisturbanceKind::Scale { factor },
+        }
+    }
+
+    /// `(additive, multiplicative)` contribution of this disturbance
+    /// at time `t`.
+    #[must_use]
+    pub fn contribution(&self, t: Tick) -> (f64, f64) {
+        if t < self.at {
+            return (0.0, 1.0);
+        }
+        let elapsed = t.value() - self.at.value();
+        match self.kind {
+            DisturbanceKind::Step { offset } => (offset, 1.0),
+            DisturbanceKind::Ramp { offset, duration } => {
+                if duration == 0 || elapsed >= duration {
+                    (offset, 1.0)
+                } else {
+                    (offset * elapsed as f64 / duration as f64, 1.0)
+                }
+            }
+            DisturbanceKind::Spike { offset, duration } => {
+                if elapsed < duration {
+                    (offset, 1.0)
+                } else {
+                    (0.0, 1.0)
+                }
+            }
+            DisturbanceKind::Scale { factor } => (0.0, factor),
+        }
+    }
+}
+
+/// An ordered set of disturbances applied to a base signal.
+///
+/// # Example
+///
+/// ```
+/// use workloads::{Disturbance, Schedule};
+/// use simkernel::Tick;
+///
+/// let s = Schedule::new(vec![
+///     Disturbance::step(Tick(100), 5.0),
+///     Disturbance::spike(Tick(200), 10.0, 20),
+/// ]);
+/// assert_eq!(s.apply(1.0, Tick(50)), 1.0);
+/// assert_eq!(s.apply(1.0, Tick(150)), 6.0);
+/// assert_eq!(s.apply(1.0, Tick(210)), 16.0);
+/// assert_eq!(s.apply(1.0, Tick(230)), 6.0); // spike over, step remains
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    events: Vec<Disturbance>,
+}
+
+impl Schedule {
+    /// Creates a schedule from events (any order).
+    #[must_use]
+    pub fn new(events: Vec<Disturbance>) -> Self {
+        Self { events }
+    }
+
+    /// An empty schedule (the stationary-environment control).
+    #[must_use]
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Adds an event (builder style).
+    #[must_use]
+    pub fn and(mut self, d: Disturbance) -> Self {
+        self.events.push(d);
+        self
+    }
+
+    /// The scheduled events.
+    #[must_use]
+    pub fn events(&self) -> &[Disturbance] {
+        &self.events
+    }
+
+    /// Applies all active disturbances to `base` at time `t`:
+    /// `(base + Σ additive) · Π multiplicative`, floored at 0.
+    #[must_use]
+    pub fn apply(&self, base: f64, t: Tick) -> f64 {
+        let mut add = 0.0;
+        let mut mul = 1.0;
+        for e in &self.events {
+            let (a, m) = e.contribution(t);
+            add += a;
+            mul *= m;
+        }
+        ((base + add) * mul).max(0.0)
+    }
+
+    /// Whether any disturbance begins in the interval `[from, to)` —
+    /// used by experiments to segment "before/after change" windows.
+    #[must_use]
+    pub fn changes_in(&self, from: Tick, to: Tick) -> bool {
+        self.events.iter().any(|e| e.at >= from && e.at < to)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_applies_permanently() {
+        let d = Disturbance::step(Tick(10), 3.0);
+        assert_eq!(d.contribution(Tick(9)), (0.0, 1.0));
+        assert_eq!(d.contribution(Tick(10)), (3.0, 1.0));
+        assert_eq!(d.contribution(Tick(1000)), (3.0, 1.0));
+    }
+
+    #[test]
+    fn ramp_grows_linearly() {
+        let d = Disturbance::ramp(Tick(0), 10.0, 10);
+        assert_eq!(d.contribution(Tick(0)).0, 0.0);
+        assert!((d.contribution(Tick(5)).0 - 5.0).abs() < 1e-12);
+        assert_eq!(d.contribution(Tick(10)).0, 10.0);
+        assert_eq!(d.contribution(Tick(99)).0, 10.0);
+    }
+
+    #[test]
+    fn ramp_zero_duration_is_step() {
+        let d = Disturbance::ramp(Tick(5), 4.0, 0);
+        assert_eq!(d.contribution(Tick(5)).0, 4.0);
+    }
+
+    #[test]
+    fn spike_is_transient() {
+        let d = Disturbance::spike(Tick(10), 7.0, 5);
+        assert_eq!(d.contribution(Tick(9)).0, 0.0);
+        assert_eq!(d.contribution(Tick(12)).0, 7.0);
+        assert_eq!(d.contribution(Tick(15)).0, 0.0);
+    }
+
+    #[test]
+    fn scale_multiplies() {
+        let s = Schedule::new(vec![Disturbance::scale(Tick(10), 2.0)]);
+        assert_eq!(s.apply(3.0, Tick(5)), 3.0);
+        assert_eq!(s.apply(3.0, Tick(10)), 6.0);
+    }
+
+    #[test]
+    fn combined_events_compose() {
+        let s = Schedule::none()
+            .and(Disturbance::step(Tick(0), 1.0))
+            .and(Disturbance::scale(Tick(0), 3.0));
+        assert_eq!(s.apply(1.0, Tick(0)), 6.0); // (1+1)*3
+    }
+
+    #[test]
+    fn apply_floors_at_zero() {
+        let s = Schedule::new(vec![Disturbance::step(Tick(0), -100.0)]);
+        assert_eq!(s.apply(1.0, Tick(0)), 0.0);
+    }
+
+    #[test]
+    fn changes_in_window() {
+        let s = Schedule::new(vec![Disturbance::step(Tick(50), 1.0)]);
+        assert!(s.changes_in(Tick(0), Tick(100)));
+        assert!(!s.changes_in(Tick(51), Tick(100)));
+        assert!(s.changes_in(Tick(50), Tick(51)));
+        assert!(!Schedule::none().changes_in(Tick(0), Tick(1000)));
+    }
+
+    #[test]
+    fn events_accessor() {
+        let s = Schedule::none().and(Disturbance::step(Tick(1), 1.0));
+        assert_eq!(s.events().len(), 1);
+    }
+}

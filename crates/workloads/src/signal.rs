@@ -1,0 +1,244 @@
+//! Composable scalar signal generators for model-level experiments.
+//!
+//! Experiment F3 (meta-self-awareness under concept drift) needs a
+//! signal whose *generating process itself* changes regime — flat,
+//! trending, oscillating — so that no single fixed forecaster is best
+//! everywhere. [`SignalSpec`] describes such piecewise processes;
+//! [`SignalGen`] renders them with additive noise.
+
+use rand::Rng as _;
+use simkernel::rng::Rng;
+use simkernel::Tick;
+
+/// One regime of a piecewise signal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SignalSpec {
+    /// Constant level.
+    Flat {
+        /// The level.
+        level: f64,
+    },
+    /// Linear trend from `start`, `slope` per tick (relative to regime
+    /// onset).
+    Trend {
+        /// Value at regime onset.
+        start: f64,
+        /// Change per tick.
+        slope: f64,
+    },
+    /// Sinusoid around `center`.
+    Oscillation {
+        /// Midline.
+        center: f64,
+        /// Amplitude.
+        amplitude: f64,
+        /// Period in ticks.
+        period: f64,
+    },
+}
+
+impl SignalSpec {
+    /// Noise-free value `elapsed` ticks into this regime.
+    #[must_use]
+    pub fn value(&self, elapsed: u64) -> f64 {
+        match *self {
+            SignalSpec::Flat { level } => level,
+            SignalSpec::Trend { start, slope } => start + slope * elapsed as f64,
+            SignalSpec::Oscillation {
+                center,
+                amplitude,
+                period,
+            } => center + amplitude * (2.0 * std::f64::consts::PI * elapsed as f64 / period).sin(),
+        }
+    }
+}
+
+/// A piecewise-regime signal generator with additive uniform noise.
+///
+/// # Example
+///
+/// ```
+/// use workloads::signal::{SignalGen, SignalSpec};
+/// use simkernel::{SeedTree, Tick};
+///
+/// let mut g = SignalGen::new(
+///     vec![
+///         (0, SignalSpec::Flat { level: 5.0 }),
+///         (100, SignalSpec::Trend { start: 5.0, slope: 1.0 }),
+///     ],
+///     0.0,
+///     SeedTree::new(1).rng("sig"),
+/// );
+/// assert_eq!(g.sample(Tick(50)), 5.0);
+/// assert_eq!(g.sample(Tick(110)), 15.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SignalGen {
+    regimes: Vec<(u64, SignalSpec)>,
+    noise: f64,
+    rng: Rng,
+}
+
+impl SignalGen {
+    /// Creates a generator from `(onset_tick, spec)` regimes and a
+    /// noise half-width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `regimes` is empty, not sorted by onset, or does not
+    /// start at tick 0; or if `noise < 0`.
+    #[must_use]
+    pub fn new(regimes: Vec<(u64, SignalSpec)>, noise: f64, rng: Rng) -> Self {
+        assert!(!regimes.is_empty(), "need at least one regime");
+        assert_eq!(regimes[0].0, 0, "first regime must start at tick 0");
+        assert!(
+            regimes.windows(2).all(|w| w[0].0 < w[1].0),
+            "regimes must be strictly sorted by onset"
+        );
+        assert!(noise >= 0.0, "noise must be non-negative");
+        Self {
+            regimes,
+            noise,
+            rng,
+        }
+    }
+
+    /// The active regime index at time `t`.
+    #[must_use]
+    pub fn regime_at(&self, t: Tick) -> usize {
+        let mut idx = 0;
+        for (i, &(onset, _)) in self.regimes.iter().enumerate() {
+            if t.value() >= onset {
+                idx = i;
+            } else {
+                break;
+            }
+        }
+        idx
+    }
+
+    /// Times at which the regime changes (excluding t=0) — the ground
+    /// truth drift points for detector evaluation.
+    #[must_use]
+    pub fn change_points(&self) -> Vec<Tick> {
+        self.regimes.iter().skip(1).map(|&(t, _)| Tick(t)).collect()
+    }
+
+    /// Noise-free value at `t`.
+    #[must_use]
+    pub fn truth(&self, t: Tick) -> f64 {
+        let idx = self.regime_at(t);
+        let (onset, spec) = self.regimes[idx];
+        spec.value(t.value() - onset)
+    }
+
+    /// Noisy sample at `t`.
+    pub fn sample(&mut self, t: Tick) -> f64 {
+        let base = self.truth(t);
+        if self.noise == 0.0 {
+            base
+        } else {
+            base + self.rng.gen_range(-self.noise..=self.noise)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkernel::SeedTree;
+
+    fn rng() -> Rng {
+        SeedTree::new(5).rng("sig-test")
+    }
+
+    fn three_regimes() -> SignalGen {
+        SignalGen::new(
+            vec![
+                (0, SignalSpec::Flat { level: 2.0 }),
+                (
+                    100,
+                    SignalSpec::Trend {
+                        start: 2.0,
+                        slope: 0.5,
+                    },
+                ),
+                (
+                    200,
+                    SignalSpec::Oscillation {
+                        center: 50.0,
+                        amplitude: 3.0,
+                        period: 20.0,
+                    },
+                ),
+            ],
+            0.0,
+            rng(),
+        )
+    }
+
+    #[test]
+    fn regime_boundaries() {
+        let g = three_regimes();
+        assert_eq!(g.regime_at(Tick(0)), 0);
+        assert_eq!(g.regime_at(Tick(99)), 0);
+        assert_eq!(g.regime_at(Tick(100)), 1);
+        assert_eq!(g.regime_at(Tick(250)), 2);
+        assert_eq!(g.change_points(), vec![Tick(100), Tick(200)]);
+    }
+
+    #[test]
+    fn truth_per_regime() {
+        let g = three_regimes();
+        assert_eq!(g.truth(Tick(10)), 2.0);
+        assert_eq!(g.truth(Tick(110)), 7.0); // 2 + 0.5*10
+                                             // Oscillation at onset = center.
+        assert!((g.truth(Tick(200)) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn oscillation_oscillates() {
+        let spec = SignalSpec::Oscillation {
+            center: 0.0,
+            amplitude: 1.0,
+            period: 4.0,
+        };
+        assert!((spec.value(1) - 1.0).abs() < 1e-9);
+        assert!((spec.value(3) + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noise_bounds_hold() {
+        let mut g = SignalGen::new(vec![(0, SignalSpec::Flat { level: 10.0 })], 0.5, rng());
+        for t in 0..1000u64 {
+            let v = g.sample(Tick(t));
+            assert!((9.5..=10.5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn zero_noise_is_exact() {
+        let mut g = three_regimes();
+        assert_eq!(g.sample(Tick(10)), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "first regime must start at tick 0")]
+    fn missing_zero_onset_panics() {
+        let _ = SignalGen::new(vec![(5, SignalSpec::Flat { level: 1.0 })], 0.0, rng());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly sorted")]
+    fn unsorted_regimes_panic() {
+        let _ = SignalGen::new(
+            vec![
+                (0, SignalSpec::Flat { level: 1.0 }),
+                (50, SignalSpec::Flat { level: 2.0 }),
+                (50, SignalSpec::Flat { level: 3.0 }),
+            ],
+            0.0,
+            rng(),
+        );
+    }
+}

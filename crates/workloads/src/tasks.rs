@@ -1,0 +1,301 @@
+//! Phase-switching task mixes for the heterogeneous multicore
+//! simulator.
+//!
+//! Agarwal's self-aware computing argument (paper Section III) turns
+//! on workloads whose composition is unknown at design time and
+//! changes during operation. A [`TaskStream`] emits tasks drawn from a
+//! [`TaskMix`] that switches between phases (e.g. compute-heavy by
+//! day, memory-bound batch at night).
+
+use rand::Rng as _;
+use serde::{Deserialize, Serialize};
+use simkernel::rng::Rng;
+use simkernel::Tick;
+
+/// A class of task with distinct resource behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TaskClass {
+    /// CPU-bound: scales with core speed, high dynamic power.
+    Compute,
+    /// Memory-bound: insensitive to core speed, moderate power.
+    Memory,
+    /// Latency-critical interactive work: small, deadline-sensitive.
+    Interactive,
+}
+
+impl TaskClass {
+    /// All classes.
+    pub const ALL: [TaskClass; 3] = [
+        TaskClass::Compute,
+        TaskClass::Memory,
+        TaskClass::Interactive,
+    ];
+
+    /// Stable index of this class (for tabular learners).
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            TaskClass::Compute => 0,
+            TaskClass::Memory => 1,
+            TaskClass::Interactive => 2,
+        }
+    }
+
+    /// Short name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            TaskClass::Compute => "compute",
+            TaskClass::Memory => "memory",
+            TaskClass::Interactive => "interactive",
+        }
+    }
+}
+
+/// One emitted task.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Task {
+    /// Monotone id.
+    pub id: u64,
+    /// Behavioural class.
+    pub class: TaskClass,
+    /// Work units (service demand on a unit-speed core).
+    pub work: f64,
+    /// Arrival time.
+    pub arrived: Tick,
+}
+
+/// A probability mix over task classes plus an arrival rate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskMix {
+    /// Expected arrivals per tick.
+    pub rate: f64,
+    /// Probability weights for [compute, memory, interactive];
+    /// normalised internally.
+    pub weights: [f64; 3],
+    /// Mean work units per task.
+    pub mean_work: f64,
+}
+
+impl TaskMix {
+    /// Creates a mix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate < 0`, all weights are zero or any negative, or
+    /// `mean_work <= 0`.
+    #[must_use]
+    pub fn new(rate: f64, weights: [f64; 3], mean_work: f64) -> Self {
+        assert!(rate >= 0.0, "rate must be non-negative");
+        assert!(
+            weights.iter().all(|&w| w >= 0.0),
+            "weights must be non-negative"
+        );
+        assert!(
+            weights.iter().sum::<f64>() > 0.0,
+            "weights must not all be zero"
+        );
+        assert!(mean_work > 0.0, "mean work must be positive");
+        Self {
+            rate,
+            weights,
+            mean_work,
+        }
+    }
+
+    fn sample_class(&self, rng: &mut Rng) -> TaskClass {
+        let total: f64 = self.weights.iter().sum();
+        let mut u = rng.gen::<f64>() * total;
+        for (i, &w) in self.weights.iter().enumerate() {
+            if u < w {
+                return TaskClass::ALL[i];
+            }
+            u -= w;
+        }
+        TaskClass::Interactive
+    }
+}
+
+/// Emits tasks per tick from a phase schedule of mixes.
+///
+/// # Example
+///
+/// ```
+/// use workloads::tasks::{TaskMix, TaskStream};
+/// use simkernel::{SeedTree, Tick};
+///
+/// let stream = TaskStream::new(
+///     vec![
+///         (0, TaskMix::new(2.0, [1.0, 0.0, 0.0], 4.0)),
+///         (100, TaskMix::new(2.0, [0.0, 1.0, 0.0], 4.0)),
+///     ],
+///     SeedTree::new(1).rng("tasks"),
+/// );
+/// let mut stream = stream;
+/// let early = stream.emit(Tick(10));
+/// let late = stream.emit(Tick(150));
+/// assert!(early.iter().all(|t| t.class.name() == "compute"));
+/// assert!(late.iter().all(|t| t.class.name() == "memory"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TaskStream {
+    phases: Vec<(u64, TaskMix)>,
+    rng: Rng,
+    next_id: u64,
+}
+
+impl TaskStream {
+    /// Creates a stream from `(onset_tick, mix)` phases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phases` is empty, unsorted, or does not start at 0.
+    #[must_use]
+    pub fn new(phases: Vec<(u64, TaskMix)>, rng: Rng) -> Self {
+        assert!(!phases.is_empty(), "need at least one phase");
+        assert_eq!(phases[0].0, 0, "first phase must start at tick 0");
+        assert!(
+            phases.windows(2).all(|w| w[0].0 < w[1].0),
+            "phases must be strictly sorted by onset"
+        );
+        Self {
+            phases,
+            rng,
+            next_id: 0,
+        }
+    }
+
+    /// The mix active at `t`.
+    #[must_use]
+    pub fn mix_at(&self, t: Tick) -> &TaskMix {
+        let mut current = &self.phases[0].1;
+        for (onset, mix) in &self.phases {
+            if t.value() >= *onset {
+                current = mix;
+            } else {
+                break;
+            }
+        }
+        current
+    }
+
+    /// Phase-change times (ground truth for adaptation measurements).
+    #[must_use]
+    pub fn change_points(&self) -> Vec<Tick> {
+        self.phases.iter().skip(1).map(|&(t, _)| Tick(t)).collect()
+    }
+
+    /// Emits this tick's tasks.
+    pub fn emit(&mut self, t: Tick) -> Vec<Task> {
+        let mix = self.mix_at(t).clone();
+        let count = crate::rates::poisson(mix.rate, &mut self.rng);
+        (0..count)
+            .map(|_| {
+                let id = self.next_id;
+                self.next_id += 1;
+                // Work ~ Exponential(mean_work), inverse-CDF.
+                let u: f64 = self.rng.gen::<f64>().max(1e-12);
+                Task {
+                    id,
+                    class: mix.sample_class(&mut self.rng),
+                    work: -mix.mean_work * u.ln(),
+                    arrived: t,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkernel::SeedTree;
+
+    fn rng() -> Rng {
+        SeedTree::new(3).rng("tasks")
+    }
+
+    #[test]
+    fn class_index_roundtrip() {
+        for c in TaskClass::ALL {
+            assert_eq!(TaskClass::ALL[c.index()], c);
+            assert!(!c.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn phases_switch_class_mix() {
+        let mut s = TaskStream::new(
+            vec![
+                (0, TaskMix::new(3.0, [1.0, 0.0, 0.0], 2.0)),
+                (50, TaskMix::new(3.0, [0.0, 0.0, 1.0], 2.0)),
+            ],
+            rng(),
+        );
+        for t in 0..50u64 {
+            for task in s.emit(Tick(t)) {
+                assert_eq!(task.class, TaskClass::Compute);
+            }
+        }
+        for t in 50..100u64 {
+            for task in s.emit(Tick(t)) {
+                assert_eq!(task.class, TaskClass::Interactive);
+            }
+        }
+        assert_eq!(s.change_points(), vec![Tick(50)]);
+    }
+
+    #[test]
+    fn task_ids_are_unique_and_monotone() {
+        let mut s = TaskStream::new(vec![(0, TaskMix::new(5.0, [1.0, 1.0, 1.0], 2.0))], rng());
+        let mut last = None;
+        for t in 0..100u64 {
+            for task in s.emit(Tick(t)) {
+                if let Some(prev) = last {
+                    assert!(task.id > prev);
+                }
+                last = Some(task.id);
+                assert_eq!(task.arrived, Tick(t));
+            }
+        }
+        assert!(last.is_some());
+    }
+
+    #[test]
+    fn work_is_positive_with_requested_mean() {
+        let mut s = TaskStream::new(vec![(0, TaskMix::new(10.0, [1.0, 0.0, 0.0], 4.0))], rng());
+        let mut works = Vec::new();
+        for t in 0..2000u64 {
+            for task in s.emit(Tick(t)) {
+                assert!(task.work > 0.0);
+                works.push(task.work);
+            }
+        }
+        let mean = works.iter().sum::<f64>() / works.len() as f64;
+        assert!((mean - 4.0).abs() < 0.3, "mean work {mean}");
+    }
+
+    #[test]
+    fn mixed_weights_produce_all_classes() {
+        let mut s = TaskStream::new(vec![(0, TaskMix::new(10.0, [1.0, 1.0, 1.0], 1.0))], rng());
+        let mut seen = std::collections::HashSet::new();
+        for t in 0..200u64 {
+            for task in s.emit(Tick(t)) {
+                seen.insert(task.class);
+            }
+        }
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must not all be zero")]
+    fn zero_weights_panic() {
+        let _ = TaskMix::new(1.0, [0.0, 0.0, 0.0], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "first phase must start at tick 0")]
+    fn late_first_phase_panics() {
+        let _ = TaskStream::new(vec![(10, TaskMix::new(1.0, [1.0, 0.0, 0.0], 1.0))], rng());
+    }
+}

@@ -1,0 +1,159 @@
+//! Flow matrices for the cognitive packet network: who talks to whom,
+//! at what intensity, and when the intensities surge (congestion or
+//! DoS attack, per Gelenbe & Loukas \[39\]).
+
+use serde::{Deserialize, Serialize};
+use simkernel::Tick;
+
+/// A single source→destination flow demand.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlowSpec {
+    /// Source node id.
+    pub src: usize,
+    /// Destination node id.
+    pub dst: usize,
+    /// Expected packets per tick.
+    pub rate: f64,
+}
+
+impl FlowSpec {
+    /// Creates a flow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src == dst` or `rate < 0`.
+    #[must_use]
+    pub fn new(src: usize, dst: usize, rate: f64) -> Self {
+        assert_ne!(src, dst, "flow endpoints must differ");
+        assert!(rate >= 0.0, "rate must be non-negative");
+        Self { src, dst, rate }
+    }
+}
+
+/// A set of flows plus scheduled surge events.
+///
+/// # Example
+///
+/// ```
+/// use workloads::traffic::{FlowSpec, TrafficMatrix};
+/// use simkernel::Tick;
+///
+/// let tm = TrafficMatrix::new(vec![FlowSpec::new(0, 5, 2.0)])
+///     .with_surge(Tick(100), Tick(200), 3.0);
+/// assert_eq!(tm.rate_at(0, Tick(50)), 2.0);
+/// assert_eq!(tm.rate_at(0, Tick(150)), 6.0);
+/// assert_eq!(tm.rate_at(0, Tick(250)), 2.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrafficMatrix {
+    flows: Vec<FlowSpec>,
+    surges: Vec<(Tick, Tick, f64)>,
+}
+
+impl TrafficMatrix {
+    /// Creates a matrix from flows.
+    #[must_use]
+    pub fn new(flows: Vec<FlowSpec>) -> Self {
+        Self {
+            flows,
+            surges: Vec::new(),
+        }
+    }
+
+    /// Adds a global surge: all flow rates are multiplied by `factor`
+    /// during `[from, to)` (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from >= to` or `factor < 0`.
+    #[must_use]
+    pub fn with_surge(mut self, from: Tick, to: Tick, factor: f64) -> Self {
+        assert!(from < to, "surge interval must be non-empty");
+        assert!(factor >= 0.0, "surge factor must be non-negative");
+        self.surges.push((from, to, factor));
+        self
+    }
+
+    /// The flows.
+    #[must_use]
+    pub fn flows(&self) -> &[FlowSpec] {
+        &self.flows
+    }
+
+    /// Effective rate of flow `idx` at time `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[must_use]
+    pub fn rate_at(&self, idx: usize, t: Tick) -> f64 {
+        let mut rate = self.flows[idx].rate;
+        for &(from, to, factor) in &self.surges {
+            if t >= from && t < to {
+                rate *= factor;
+            }
+        }
+        rate
+    }
+
+    /// Whether any surge is active at `t`.
+    #[must_use]
+    pub fn surge_active(&self, t: Tick) -> bool {
+        self.surges.iter().any(|&(from, to, _)| t >= from && t < to)
+    }
+
+    /// Largest node id referenced by any flow (for sizing a network).
+    #[must_use]
+    pub fn max_node(&self) -> usize {
+        self.flows
+            .iter()
+            .map(|f| f.src.max(f.dst))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_and_surges() {
+        let tm = TrafficMatrix::new(vec![FlowSpec::new(0, 1, 1.0), FlowSpec::new(2, 3, 4.0)])
+            .with_surge(Tick(10), Tick(20), 2.0);
+        assert_eq!(tm.rate_at(0, Tick(5)), 1.0);
+        assert_eq!(tm.rate_at(0, Tick(10)), 2.0);
+        assert_eq!(tm.rate_at(1, Tick(15)), 8.0);
+        assert_eq!(tm.rate_at(1, Tick(20)), 4.0);
+        assert!(tm.surge_active(Tick(15)));
+        assert!(!tm.surge_active(Tick(25)));
+    }
+
+    #[test]
+    fn overlapping_surges_compose() {
+        let tm = TrafficMatrix::new(vec![FlowSpec::new(0, 1, 1.0)])
+            .with_surge(Tick(0), Tick(10), 2.0)
+            .with_surge(Tick(5), Tick(10), 3.0);
+        assert_eq!(tm.rate_at(0, Tick(7)), 6.0);
+    }
+
+    #[test]
+    fn max_node_sizing() {
+        let tm = TrafficMatrix::new(vec![FlowSpec::new(0, 9, 1.0), FlowSpec::new(4, 2, 1.0)]);
+        assert_eq!(tm.max_node(), 9);
+        assert_eq!(TrafficMatrix::new(vec![]).max_node(), 0);
+        assert_eq!(tm.flows().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "flow endpoints must differ")]
+    fn self_flow_panics() {
+        let _ = FlowSpec::new(3, 3, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "surge interval must be non-empty")]
+    fn empty_surge_panics() {
+        let _ = TrafficMatrix::new(vec![]).with_surge(Tick(5), Tick(5), 2.0);
+    }
+}

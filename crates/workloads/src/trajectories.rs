@@ -1,0 +1,205 @@
+//! Random-waypoint wanderers in the unit square: the moving objects
+//! the smart-camera network tracks.
+
+use rand::Rng as _;
+use simkernel::rng::Rng;
+
+/// A point in the unit square.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// Horizontal coordinate in `[0, 1]`.
+    pub x: f64,
+    /// Vertical coordinate in `[0, 1]`.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point.
+    #[must_use]
+    pub fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    #[must_use]
+    pub fn distance(&self, other: Point) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+
+    /// Samples a uniform point in the unit square.
+    pub fn random(rng: &mut Rng) -> Self {
+        Self {
+            x: rng.gen::<f64>(),
+            y: rng.gen::<f64>(),
+        }
+    }
+}
+
+/// A random-waypoint mobile object: walks toward a waypoint at fixed
+/// speed, picks a new waypoint on arrival. Optionally biased to a
+/// "home region" (a sub-square it prefers), which creates the *spatial
+/// heterogeneity of demand* the camera-network experiments rely on.
+///
+/// # Example
+///
+/// ```
+/// use workloads::trajectories::Wanderer;
+/// use simkernel::SeedTree;
+///
+/// let mut rng = SeedTree::new(1).rng("walk");
+/// let mut w = Wanderer::new(0.02, &mut rng);
+/// let start = w.position();
+/// for _ in 0..100 {
+///     w.step(&mut rng);
+/// }
+/// assert!(w.position().distance(start) > 0.0);
+/// let p = w.position();
+/// assert!((0.0..=1.0).contains(&p.x) && (0.0..=1.0).contains(&p.y));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Wanderer {
+    pos: Point,
+    waypoint: Point,
+    speed: f64,
+    home: Option<(Point, f64)>,
+}
+
+impl Wanderer {
+    /// Creates a wanderer at a random position moving at `speed`
+    /// (distance per tick).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `speed <= 0`.
+    #[must_use]
+    pub fn new(speed: f64, rng: &mut Rng) -> Self {
+        assert!(speed > 0.0, "speed must be positive");
+        Self {
+            pos: Point::random(rng),
+            waypoint: Point::random(rng),
+            speed,
+            home: None,
+        }
+    }
+
+    /// Biases future waypoints to the square of half-width `radius`
+    /// around `center` with probability 0.8 (builder style).
+    #[must_use]
+    pub fn with_home(mut self, center: Point, radius: f64) -> Self {
+        self.home = Some((center, radius));
+        self
+    }
+
+    /// Current position.
+    #[must_use]
+    pub fn position(&self) -> Point {
+        self.pos
+    }
+
+    fn pick_waypoint(&self, rng: &mut Rng) -> Point {
+        if let Some((c, r)) = self.home {
+            if rng.gen::<f64>() < 0.8 {
+                return Point {
+                    x: (c.x + rng.gen_range(-r..=r)).clamp(0.0, 1.0),
+                    y: (c.y + rng.gen_range(-r..=r)).clamp(0.0, 1.0),
+                };
+            }
+        }
+        Point::random(rng)
+    }
+
+    /// Advances one tick; returns the new position.
+    pub fn step(&mut self, rng: &mut Rng) -> Point {
+        let d = self.pos.distance(self.waypoint);
+        if d <= self.speed {
+            self.pos = self.waypoint;
+            self.waypoint = self.pick_waypoint(rng);
+        } else {
+            let f = self.speed / d;
+            self.pos.x += (self.waypoint.x - self.pos.x) * f;
+            self.pos.y += (self.waypoint.y - self.pos.y) * f;
+        }
+        self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkernel::SeedTree;
+
+    fn rng() -> Rng {
+        SeedTree::new(9).rng("traj")
+    }
+
+    #[test]
+    fn distance_math() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert!((a.distance(b) - 5.0).abs() < 1e-12);
+        assert_eq!(a.distance(a), 0.0);
+    }
+
+    #[test]
+    fn stays_in_unit_square() {
+        let mut r = rng();
+        let mut w = Wanderer::new(0.05, &mut r);
+        for _ in 0..2000 {
+            let p = w.step(&mut r);
+            assert!((0.0..=1.0).contains(&p.x));
+            assert!((0.0..=1.0).contains(&p.y));
+        }
+    }
+
+    #[test]
+    fn moves_at_bounded_speed() {
+        let mut r = rng();
+        let mut w = Wanderer::new(0.03, &mut r);
+        let mut prev = w.position();
+        for _ in 0..500 {
+            let p = w.step(&mut r);
+            assert!(prev.distance(p) <= 0.03 + 1e-9);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn homebody_stays_near_home() {
+        let mut r = rng();
+        let home = Point::new(0.2, 0.2);
+        let mut w = Wanderer::new(0.05, &mut r).with_home(home, 0.1);
+        let mut near = 0;
+        let total = 3000;
+        for _ in 0..total {
+            let p = w.step(&mut r);
+            if p.distance(home) < 0.3 {
+                near += 1;
+            }
+        }
+        assert!(
+            near as f64 / f64::from(total) > 0.5,
+            "homebody should spend most time near home ({near}/{total})"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut r = SeedTree::new(seed).rng("w");
+            let mut w = Wanderer::new(0.02, &mut r);
+            for _ in 0..100 {
+                w.step(&mut r);
+            }
+            w.position()
+        };
+        assert_eq!(run(4), run(4));
+        assert_ne!(run(4), run(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "speed must be positive")]
+    fn zero_speed_panics() {
+        let mut r = rng();
+        let _ = Wanderer::new(0.0, &mut r);
+    }
+}

@@ -1,0 +1,53 @@
+//! Cognitive packet network scenario: routing under a router-targeting
+//! denial-of-service attack (paper Section III, refs [38], [39]).
+//!
+//! Run with: `cargo run --release --example attack_routing`
+
+use cpn::{run_cpn, CpnConfig, RoutingStrategy};
+use simkernel::series::render_multi;
+use simkernel::table::num;
+use simkernel::{SeedTree, Table};
+
+fn main() {
+    let steps = 3_000;
+    let strategies = [
+        RoutingStrategy::StaticShortest,
+        RoutingStrategy::Periodic { period: 50 },
+        RoutingStrategy::cpn_default(),
+    ];
+    let (from, to) = CpnConfig::attack_window(steps);
+
+    let mut table = Table::new(
+        format!("routing under DoS (attack {from}..{to})"),
+        &[
+            "strategy",
+            "delivery",
+            "delay pre",
+            "delay attack",
+            "delay post",
+        ],
+    );
+    let mut series = Vec::new();
+    for strategy in strategies {
+        let result = run_cpn(&CpnConfig::standard(strategy, steps), &SeedTree::new(3));
+        let m = &result.metrics;
+        table.row_owned(vec![
+            strategy.label(),
+            num(m.get("delivery_ratio").unwrap_or(0.0)),
+            num(m.get("delay_pre").unwrap_or(0.0)),
+            num(m.get("delay_attack").unwrap_or(0.0)),
+            num(m.get("delay_post").unwrap_or(0.0)),
+        ]);
+        series.push(result.delay);
+    }
+    println!("{table}");
+    println!("End-to-end delay over time (attack in the middle third):");
+    let refs: Vec<&simkernel::TimeSeries> = series.iter().collect();
+    println!("{}", render_multi(&refs, 30));
+    println!(
+        "\nCPN's per-hop reinforcement (the paper's 'simple learning scheme')\n\
+         detours around the pinned routers within a few dozen ticks; the\n\
+         design-time shortest paths queue into the attack for its whole\n\
+         duration."
+    );
+}

@@ -1,0 +1,52 @@
+//! Smart-camera network scenario: market-based tracking handover, and
+//! the emergence of heterogeneity among learning cameras (paper
+//! Section II and ref [13], "Learning to be different").
+//!
+//! Run with: `cargo run --release --example camera_network`
+
+use camnet::{run_camnet, CamnetConfig, HandoverStrategy};
+use simkernel::series::render_multi;
+use simkernel::table::num;
+use simkernel::{SeedTree, Table};
+
+fn main() {
+    let steps = 6_000;
+    let strategies = [
+        HandoverStrategy::Broadcast,
+        HandoverStrategy::Smooth { k: 3 },
+        HandoverStrategy::Static { k: 3 },
+        HandoverStrategy::self_aware_default(),
+    ];
+
+    let mut table = Table::new(
+        "camera handover: tracking quality vs communication (6k ticks)",
+        &[
+            "strategy",
+            "quality",
+            "untracked",
+            "msgs/tick",
+            "ask ratio",
+            "diversity",
+            "utility",
+        ],
+    );
+    let mut series = Vec::new();
+    for strategy in strategies {
+        let result = run_camnet(&CamnetConfig::standard(strategy, steps), &SeedTree::new(7));
+        let m = &result.metrics;
+        table.row_owned(vec![
+            strategy.label(),
+            num(m.get("track_quality").unwrap_or(0.0)),
+            num(m.get("untracked_ratio").unwrap_or(0.0)),
+            num(m.get("messages_per_tick").unwrap_or(0.0)),
+            num(m.get("ask_ratio").unwrap_or(0.0)),
+            num(m.get("heterogeneity_final").unwrap_or(0.0)),
+            num(m.get("utility").unwrap_or(0.0)),
+        ]);
+        series.push(result.heterogeneity);
+    }
+    println!("{table}");
+    println!("Heterogeneity (policy divergence) over time — self-aware cameras diverge:");
+    let refs: Vec<&simkernel::TimeSeries> = series.iter().collect();
+    println!("{}", render_multi(&refs, 24));
+}

@@ -1,0 +1,73 @@
+//! Collective self-awareness without a global component (paper
+//! Section IV, concept 3): a decentralised network of nodes converges
+//! on global knowledge by gossip alone, keeps re-converging as the
+//! world changes, and never routes everything through one hot spot.
+//!
+//! Run with: `cargo run --release --example collective_awareness`
+
+use selfaware::collective::{
+    centralized_estimate, hierarchical_estimate, GossipNetwork, Reobservation,
+};
+use simkernel::table::num;
+use simkernel::{SeedTree, Table, Tick};
+
+fn main() {
+    let seeds = SeedTree::new(77);
+    let mut rng = seeds.rng("observations");
+    use rand::Rng as _;
+
+    // 64 nodes each observe a global quantity (say, ambient load = 40)
+    // with local noise.
+    let truth = 40.0;
+    let obs: Vec<f64> = (0..64).map(|_| truth + rng.gen_range(-4.0..4.0)).collect();
+    let sample_mean = obs.iter().sum::<f64>() / obs.len() as f64;
+
+    let central = centralized_estimate(&obs);
+    let hier = hierarchical_estimate(&obs, 4);
+    let mut gossip = GossipNetwork::new(obs.clone());
+    let mut grng = seeds.rng("gossip");
+    gossip.run(24, &mut grng);
+    let g = gossip.outcome();
+
+    let mut table = Table::new(
+        "collective estimation: 64 nodes, one global quantity",
+        &["architecture", "node error", "messages", "hot-spot load"],
+    );
+    for (name, out) in [
+        ("centralised", &central),
+        ("hierarchy(b=4)", &hier),
+        ("gossip(24 rounds)", &g),
+    ] {
+        table.row_owned(vec![
+            name.to_string(),
+            format!("{:.4}", out.mean_abs_error(sample_mean)),
+            out.messages.to_string(),
+            out.max_node_load.to_string(),
+        ]);
+    }
+    println!("{table}");
+
+    // Ongoing change (paper Section II): a node re-observes a changed
+    // local condition; the collective re-converges without any
+    // coordinator noticing or helping.
+    println!("mid-gossip disturbance: node 13 re-observes 90.0 (world changed locally)");
+    gossip.reobserve(Reobservation {
+        node: 13,
+        value: 90.0,
+        at: Tick(0),
+    });
+    let new_truth = (sample_mean * 64.0 - obs[13] + 90.0) / 64.0;
+    for rounds in [2u32, 6, 12, 24] {
+        let mut copy = gossip.clone();
+        copy.run(rounds, &mut grng);
+        println!(
+            "  after {rounds:>2} more rounds: spread {}  worst-node error {}",
+            num(copy.spread()),
+            num(copy.outcome().max_abs_error(new_truth)),
+        );
+    }
+    println!(
+        "\nNo node ever held the global picture, yet every node ends up with it —\n\
+         the paper's 'self-awareness as a property of collective systems'."
+    );
+}

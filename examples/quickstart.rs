@@ -1,0 +1,111 @@
+//! Quickstart: build a full-stack self-aware agent and watch it manage
+//! a trade-off at run time.
+//!
+//! The scenario is the paper's motivating situation in miniature: a
+//! service faces drifting demand and must trade performance against
+//! cost, with no design-time model of the demand process. The agent
+//! senses demand (public self-awareness) and its own backlog (private
+//! self-awareness), forecasts both, evaluates a two-objective goal and
+//! explains every decision it takes.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use selfaware::prelude::*;
+use simkernel::{SeedTree, Tick};
+
+/// The environment: a service with external demand and an internal
+/// backlog, served at a rate chosen by the agent.
+struct Service {
+    demand: f64,
+    backlog: f64,
+    capacity: f64,
+}
+
+impl Service {
+    fn step(&mut self, t: u64) {
+        // Diurnal demand with a mid-run regime shift the designer did
+        // not anticipate.
+        let base = 4.0 + 2.0 * (t as f64 / 40.0).sin();
+        self.demand = if t > 120 { base * 1.8 } else { base };
+        self.backlog = (self.backlog + self.demand - self.capacity).max(0.0);
+    }
+}
+
+fn main() -> Result<(), SelfAwareError> {
+    // Stakeholder concerns as run-time objects: keep the backlog low,
+    // spend as little capacity as possible.
+    let goal = Goal::new("serve-cheaply")
+        .objective(Objective::new("backlog", Direction::Minimize, 20.0, 2.0))
+        .objective(Objective::new(
+            "self.capacity",
+            Direction::Minimize,
+            12.0,
+            1.0,
+        ));
+
+    // Actions: capacity settings.
+    let capacities = [2.0, 6.0, 12.0];
+    let actions: Vec<(usize, String)> = capacities
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (i, format!("capacity={c}")))
+        .collect();
+
+    // Goal-aware policy: score each capacity against the *forecast*
+    // demand, not just the current one (time awareness in action).
+    let policy = UtilityPolicy::new(
+        actions,
+        Box::new(move |a: &usize, kb: &KnowledgeBase| {
+            let expected_demand = kb.last_or("forecast5.demand", kb.last_or("demand", 4.0));
+            let backlog = kb.last_or("backlog", 0.0);
+            let cap = capacities[*a];
+            let drain = cap - expected_demand;
+            let backlog_score = (1.0 + (backlog / 10.0 - drain)).max(0.0);
+            let cost_score = cap / 12.0;
+            -(2.0 * backlog_score + cost_score)
+        }),
+    );
+
+    let mut agent = SelfAwareAgent::builder("quickstart")
+        .levels(LevelSet::full())
+        .sensor("demand", Scope::Public, |s: &Service| s.demand)
+        .sensor("backlog", Scope::Private, |s: &Service| s.backlog)
+        .sensor("self.capacity", Scope::Private, |s: &Service| s.capacity)
+        .goal(goal)
+        .policy(Box::new(policy))
+        .build()?;
+
+    let mut service = Service {
+        demand: 4.0,
+        backlog: 0.0,
+        capacity: 6.0,
+    };
+    let mut rng = SeedTree::new(42).rng("quickstart");
+
+    println!("tick  demand  backlog  capacity  utility  decision");
+    for t in 0..240u64 {
+        service.step(t);
+        let decision = agent.step(&service, Tick(t), &mut rng);
+        service.capacity = [2.0, 6.0, 12.0][decision.action];
+        let utility = agent.utility().unwrap_or(0.0);
+        agent.reward(utility);
+        if t % 20 == 0 {
+            println!(
+                "{t:>4}  {:>6.2}  {:>7.2}  {:>8.1}  {utility:>7.3}  {}",
+                service.demand, service.backlog, service.capacity, decision.label
+            );
+        }
+    }
+
+    println!("\nThe agent can explain itself (paper: self-explanation):");
+    if let Some(explanation) = agent.explanations().latest() {
+        println!("  {explanation}");
+    }
+    println!(
+        "\nLevels possessed: {} | steps: {} | signals tracked: {}",
+        agent.levels(),
+        agent.steps(),
+        agent.knowledge().signal_count()
+    );
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! Heterogeneous multicore scenario: a design-time-pinned scheduler, a
+//! greedy scheduler, and the self-aware scheduler (learned task
+//! mapping + thermal-forecast DVFS) on a workload whose phase mix the
+//! designer never anticipated (paper Section III, refs [8], [16],
+//! [47]).
+//!
+//! Run with: `cargo run --release --example thermal_scheduler`
+
+use multicore::{run_multicore, MulticoreConfig, Scheduler};
+use simkernel::series::render_multi;
+use simkernel::table::num;
+use simkernel::{SeedTree, Table};
+
+fn main() {
+    let steps = 3_000;
+    let mut table = Table::new(
+        "big.LITTLE scheduling across workload phases (3k ticks)",
+        &[
+            "scheduler",
+            "completion",
+            "mean lat",
+            "miss rate",
+            "energy/task",
+            "throttle",
+            "peak temp",
+            "utility",
+        ],
+    );
+    let mut series = Vec::new();
+    for scheduler in [
+        Scheduler::StaticPin,
+        Scheduler::Greedy,
+        Scheduler::SelfAware,
+    ] {
+        let result = run_multicore(
+            &MulticoreConfig::standard(scheduler, steps),
+            &SeedTree::new(12),
+        );
+        let m = &result.metrics;
+        table.row_owned(vec![
+            scheduler.label().to_string(),
+            num(m.get("completion_ratio").unwrap_or(0.0)),
+            num(m.get("mean_latency").unwrap_or(0.0)),
+            num(m.get("deadline_miss_rate").unwrap_or(0.0)),
+            num(m.get("energy_per_task").unwrap_or(0.0)),
+            num(m.get("throttle_ratio").unwrap_or(0.0)),
+            num(m.get("peak_temp").unwrap_or(0.0)),
+            num(m.get("utility").unwrap_or(0.0)),
+        ]);
+        series.push(result.peak_temp);
+    }
+    println!("{table}");
+    println!("peak junction temperature over time (cap = 85 °C):");
+    let refs: Vec<&simkernel::TimeSeries> = series.iter().collect();
+    println!("{}", render_multi(&refs, 30));
+    println!(
+        "The self-aware scheduler's Holt forecaster sees the thermal ceiling\n\
+         coming and downclocks *before* the hardware throttle would fire, while\n\
+         its Q-learned class→cluster map keeps memory-bound work on the little\n\
+         cores where it costs a quarter of the energy."
+    );
+}

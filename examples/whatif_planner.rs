@@ -1,0 +1,90 @@
+//! Self-prediction (Kounev's sense, paper Section III): an agent that
+//! learns action→outcome self-models online and then *plans* — it
+//! scores each candidate action by the counterfactual utility of its
+//! predicted consequences, Winfield's "internal model used to moderate
+//! actions" in miniature.
+//!
+//! Run with: `cargo run --release --example whatif_planner`
+
+use selfaware::goals::{Direction, Goal, Objective};
+use selfaware::knowledge::KnowledgeBase;
+use selfaware::sensors::{Percept, Scope};
+use selfaware::whatif::{utility_with, ActionEffectModel};
+use simkernel::{SeedTree, Tick};
+
+/// The hidden world: latency and energy response of three service
+/// tiers under load (the agent never sees these equations — it has to
+/// learn them from experience).
+fn world(tier: usize, load: f64, noise: f64) -> (f64, f64) {
+    let latency = match tier {
+        0 => 4.0 + 16.0 * load, // single instance: cheap, melts under load
+        1 => 3.0 + 6.0 * load,  // small pool
+        _ => 2.0 + 1.5 * load,  // large pool: flat latency, pricey
+    } + noise;
+    let energy = match tier {
+        0 => 1.0,
+        1 => 2.5,
+        _ => 6.0,
+    };
+    (latency, energy)
+}
+
+fn main() {
+    let goal = Goal::new("latency-vs-energy")
+        .objective(Objective::new("latency", Direction::Minimize, 20.0, 2.0).with_constraint(15.0))
+        .objective(Objective::new("energy", Direction::Minimize, 8.0, 1.0));
+
+    let mut latency_model = ActionEffectModel::new(3, 2);
+    let mut energy_model = ActionEffectModel::new(3, 2);
+    let mut kb = KnowledgeBase::new(64);
+    let mut rng = SeedTree::new(9).rng("planner");
+    use rand::Rng as _;
+
+    println!("phase 1: exploration — learning what each tier does to latency & energy");
+    for t in 0..120u64 {
+        let load = rng.gen_range(0.0..1.0);
+        let tier = (t % 3) as usize; // round-robin experimentation
+        let (lat, en) = world(tier, load, rng.gen_range(-0.3..0.3));
+        latency_model.observe(tier, &[load, 1.0], lat);
+        energy_model.observe(tier, &[load, 1.0], en);
+        kb.absorb(&Percept::new("latency", lat, Scope::Public, Tick(t)));
+        kb.absorb(&Percept::new("energy", en, Scope::Private, Tick(t)));
+    }
+    println!(
+        "  learned {} observations per tier\n",
+        latency_model.observations(0)
+    );
+
+    println!("phase 2: planning — choose the tier whose PREDICTED outcome maximises utility");
+    println!("load   predicted U(tier0/tier1/tier2)    chosen  actual latency  within SLA?");
+    for &load in &[0.1, 0.3, 0.5, 0.7, 0.9] {
+        let scores: Vec<f64> = (0..3)
+            .map(|tier| {
+                let lat = latency_model
+                    .predict(tier, &[load, 1.0])
+                    .expect("warm model");
+                let en = energy_model
+                    .predict(tier, &[load, 1.0])
+                    .expect("warm model");
+                utility_with(&goal, &kb, &[("latency", lat), ("energy", en)])
+            })
+            .collect();
+        let best = (0..3)
+            .max_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("finite"))
+            .expect("three tiers");
+        let (actual_lat, _) = world(best, load, 0.0);
+        println!(
+            "{load:.1}    {:+.3} / {:+.3} / {:+.3}        tier{best}   {actual_lat:>6.1}          {}",
+            scores[0],
+            scores[1],
+            scores[2],
+            if actual_lat <= 15.0 { "yes" } else { "NO" },
+        );
+    }
+    println!(
+        "\nAt light load the planner stays on the cheaper tiers; as predicted\n\
+         latency approaches the 15-tick SLA constraint it escalates — trading\n\
+         energy for latency *before* violating, on the strength of its own\n\
+         learned self-model."
+    );
+}

@@ -1,0 +1,276 @@
+//! Integration tests of the `selfaware` framework against a custom
+//! environment: the full observe → learn → reason → act → explain loop
+//! with every capability engaged, plus interaction-awareness between
+//! two agents.
+
+use selfaware::prelude::*;
+use simkernel::{SeedTree, Tick};
+
+struct Plant {
+    demand: f64,
+    served: f64,
+}
+
+fn goal() -> Goal {
+    Goal::new("serve")
+        .objective(Objective::new("demand", Direction::Minimize, 10.0, 1.0))
+        .objective(Objective::new("served", Direction::Maximize, 10.0, 2.0).with_constraint(1.0))
+}
+
+fn agent(levels: LevelSet) -> SelfAwareAgent<Plant, usize> {
+    let policy = UtilityPolicy::new(
+        vec![(0usize, "idle".into()), (1, "serve".into())],
+        Box::new(|a: &usize, kb: &KnowledgeBase| {
+            let demand = kb.last_or("forecast.demand", kb.last_or("demand", 0.0));
+            if *a == 1 {
+                demand
+            } else {
+                5.0 - demand
+            }
+        }),
+    );
+    SelfAwareAgent::builder("it")
+        .levels(levels)
+        .sensor("demand", Scope::Public, |p: &Plant| p.demand)
+        .sensor("served", Scope::Private, |p: &Plant| p.served)
+        .goal(goal())
+        .policy(Box::new(policy))
+        .build()
+        .expect("valid agent")
+}
+
+#[test]
+fn full_loop_drives_sensible_behaviour() {
+    let mut a = agent(LevelSet::full());
+    let mut rng = SeedTree::new(1).rng("t");
+    let mut serve_decisions = 0;
+    for t in 0..200u64 {
+        let plant = Plant {
+            demand: 8.0 + (t as f64 * 0.2).sin(),
+            served: 5.0,
+        };
+        let d = a.step(&plant, Tick(t), &mut rng);
+        if d.action == 1 {
+            serve_decisions += 1;
+        }
+        a.reward(1.0);
+    }
+    assert!(
+        serve_decisions > 150,
+        "high demand should mostly select serve ({serve_decisions}/200)"
+    );
+    assert!(a.utility().is_some());
+    assert_eq!(a.explanations().len(), 200);
+    assert_eq!(a.knowledge().absorbed_count() % 200, 0);
+}
+
+#[test]
+fn forecasts_feed_decisions() {
+    let mut a = agent(LevelSet::new().with(Level::Stimulus).with(Level::Time));
+    let mut rng = SeedTree::new(2).rng("t");
+    for t in 0..100u64 {
+        let plant = Plant {
+            demand: t as f64 * 0.1,
+            served: 2.0,
+        };
+        a.step(&plant, Tick(t), &mut rng);
+    }
+    let raw = a.knowledge().last("demand").unwrap();
+    let forecast = a.knowledge().last("forecast.demand").unwrap();
+    assert!((raw - 9.9).abs() < 1e-9);
+    assert!(
+        (forecast - raw).abs() < 1.0,
+        "forecast should track the ramp"
+    );
+}
+
+#[test]
+fn explanations_carry_alternatives_and_utility() {
+    let mut a = agent(LevelSet::full());
+    let mut rng = SeedTree::new(3).rng("t");
+    a.step(
+        &Plant {
+            demand: 9.0,
+            served: 3.0,
+        },
+        Tick(0),
+        &mut rng,
+    );
+    let ex = a.explanations().latest().expect("one explanation");
+    assert!(ex.expected_utility.is_some());
+    assert_eq!(ex.alternatives.len(), 1, "one rejected alternative");
+    let rendered = ex.to_string();
+    assert!(rendered.contains("chose"));
+    assert!(rendered.contains("rejected"));
+}
+
+#[test]
+fn two_agents_share_knowledge_via_interaction() {
+    let mut a = agent(LevelSet::full());
+    let mut b = agent(LevelSet::full());
+    let mut rng = SeedTree::new(4).rng("t");
+    let plant = Plant {
+        demand: 5.0,
+        served: 2.0,
+    };
+    a.step(&plant, Tick(0), &mut rng);
+    // Agent A tells B about its own utility (a social percept).
+    let my_utility = a.utility().unwrap();
+    b.tell(Percept::new(
+        "peer.utility",
+        my_utility,
+        Scope::Public,
+        Tick(0),
+    ));
+    assert_eq!(b.knowledge().last("peer.utility"), Some(my_utility));
+}
+
+#[test]
+fn constraint_violations_visible_in_utility() {
+    let mut a = agent(LevelSet::full());
+    let mut rng = SeedTree::new(5).rng("t");
+    // served = 0.5 violates the >= 1.0 constraint.
+    a.step(
+        &Plant {
+            demand: 2.0,
+            served: 0.5,
+        },
+        Tick(0),
+        &mut rng,
+    );
+    let u_bad = a.utility().unwrap();
+    a.step(
+        &Plant {
+            demand: 2.0,
+            served: 9.0,
+        },
+        Tick(1),
+        &mut rng,
+    );
+    let u_good = a.utility().unwrap();
+    assert!(u_good > u_bad + 0.3, "violation should cost utility");
+}
+
+#[test]
+fn workloads_plug_into_agents() {
+    // An agent observing a generated workload signal end to end.
+    use workloads::signal::{SignalGen, SignalSpec};
+    let mut gen = SignalGen::new(
+        vec![
+            (0, SignalSpec::Flat { level: 3.0 }),
+            (
+                100,
+                SignalSpec::Trend {
+                    start: 3.0,
+                    slope: 0.2,
+                },
+            ),
+        ],
+        0.1,
+        SeedTree::new(6).rng("sig"),
+    );
+    let mut a = agent(LevelSet::full());
+    let mut rng = SeedTree::new(6).rng("agent");
+    for t in 0..200u64 {
+        let plant = Plant {
+            demand: gen.sample(Tick(t)),
+            served: 2.0,
+        };
+        a.step(&plant, Tick(t), &mut rng);
+        a.reward(0.5);
+    }
+    // After the trend regime, the forecast should be well above the
+    // flat-regime level.
+    assert!(a.knowledge().last("forecast.demand").unwrap() > 10.0);
+}
+
+#[test]
+fn boxed_sensor_and_log_capacity_builders() {
+    use selfaware::sensors::{FnSensor, Sensor};
+    let sensor: Box<dyn Sensor<Plant>> =
+        Box::new(FnSensor::new("demand", Scope::Public, |p: &Plant| p.demand).with_cost(2.0));
+    let mut a = SelfAwareAgent::<Plant, usize>::builder("boxed")
+        .levels(LevelSet::new().with(Level::Stimulus))
+        .boxed_sensor(sensor)
+        .log_capacity(2)
+        .history(4)
+        .policy(Box::new(ConstantPolicy::new(0usize, "hold")))
+        .build()
+        .expect("valid agent");
+    let mut rng = SeedTree::new(7).rng("b");
+    for t in 0..5u64 {
+        a.step(
+            &Plant {
+                demand: t as f64,
+                served: 0.0,
+            },
+            Tick(t),
+            &mut rng,
+        );
+    }
+    assert_eq!(a.explanations().len(), 2, "log capped at 2");
+    assert_eq!(
+        a.knowledge().history("demand").unwrap().len(),
+        4,
+        "history capped at 4"
+    );
+}
+
+#[test]
+fn builder_rejects_degenerate_configs() {
+    use selfaware::error::SelfAwareError;
+    let zero_history = SelfAwareAgent::<Plant, usize>::builder("x")
+        .history(0)
+        .policy(Box::new(ConstantPolicy::new(0usize, "hold")))
+        .build();
+    assert!(matches!(
+        zero_history.unwrap_err(),
+        SelfAwareError::InvalidParameter {
+            name: "history",
+            ..
+        }
+    ));
+    let zero_log = SelfAwareAgent::<Plant, usize>::builder("x")
+        .log_capacity(0)
+        .policy(Box::new(ConstantPolicy::new(0usize, "hold")))
+        .build();
+    assert!(matches!(
+        zero_log.unwrap_err(),
+        SelfAwareError::InvalidParameter {
+            name: "log_capacity",
+            ..
+        }
+    ));
+    let bad_budget = SelfAwareAgent::<Plant, usize>::builder("x")
+        .sensor("demand", Scope::Public, |p: &Plant| p.demand)
+        .attention_budget(0.0)
+        .policy(Box::new(ConstantPolicy::new(0usize, "hold")))
+        .build();
+    assert!(matches!(
+        bad_budget.unwrap_err(),
+        SelfAwareError::InvalidParameter {
+            name: "attention_budget",
+            ..
+        }
+    ));
+}
+
+#[test]
+fn architecture_introspection_of_live_agent() {
+    use selfaware::architecture::{describe, is_sound, validate};
+    let mut a = agent(LevelSet::full());
+    let mut rng = SeedTree::new(11).rng("arch");
+    a.step(
+        &Plant {
+            demand: 1.0,
+            served: 1.0,
+        },
+        Tick(0),
+        &mut rng,
+    );
+    let desc = describe(&a);
+    assert!(desc.has_goal);
+    assert_eq!(desc.levels.len(), 5);
+    let findings = validate(a.levels(), true, true, false);
+    assert!(is_sound(&findings));
+}
