@@ -1,0 +1,300 @@
+//! Offline micro-benchmark harness.
+//!
+//! Provides the `criterion` API subset the workspace's benches use —
+//! [`Criterion`], benchmark groups, [`Bencher::iter`] /
+//! [`Bencher::iter_batched_ref`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — backed by a
+//! simple warm-up + timed-sampling loop over `std::time::Instant`.
+//! Reported numbers are median ns/iteration with min/max across
+//! samples, printed in a `criterion`-like format.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched inputs are sized; accepted for API parity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// A small per-batch input (batches of many iterations).
+    SmallInput,
+    /// A large per-batch input (fewer iterations per batch).
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Benchmark driver: collects timing samples for one routine.
+pub struct Bencher<'a> {
+    config: &'a Config,
+    /// Median, min, max ns/iter — filled by an `iter*` call.
+    result: Option<Sample>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    median_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Config {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+fn summarize(mut per_iter_ns: Vec<f64>) -> Sample {
+    per_iter_ns.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let median_ns = per_iter_ns[per_iter_ns.len() / 2];
+    Sample {
+        median_ns,
+        min_ns: per_iter_ns[0],
+        max_ns: *per_iter_ns.last().expect("non-empty samples"),
+    }
+}
+
+impl Bencher<'_> {
+    /// Benchmarks `routine`, timing batches sized so one batch is long
+    /// enough for the clock to resolve.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up, also calibrating the per-batch iteration count.
+        let warm_start = Instant::now();
+        let mut iters_per_batch = 1u64;
+        while warm_start.elapsed() < self.config.warm_up_time {
+            let t = Instant::now();
+            for _ in 0..iters_per_batch {
+                black_box(routine());
+            }
+            // Aim for batches of roughly 1 ms.
+            if t.elapsed() < Duration::from_millis(1) {
+                iters_per_batch = iters_per_batch.saturating_mul(2);
+            }
+        }
+        let budget_per_sample = self.config.measurement_time / self.config.sample_size as u32;
+        let mut samples = Vec::with_capacity(self.config.sample_size);
+        for _ in 0..self.config.sample_size {
+            let sample_start = Instant::now();
+            let mut iters = 0u64;
+            while sample_start.elapsed() < budget_per_sample {
+                for _ in 0..iters_per_batch {
+                    black_box(routine());
+                }
+                iters += iters_per_batch;
+            }
+            samples.push(sample_start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        self.result = Some(summarize(samples));
+    }
+
+    /// Benchmarks `routine` against inputs created by `setup`; setup
+    /// time is excluded from the measurement.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        let mut input = setup();
+        let warm_start = Instant::now();
+        let mut iters_per_batch = 1u64;
+        while warm_start.elapsed() < self.config.warm_up_time {
+            let t = Instant::now();
+            for _ in 0..iters_per_batch {
+                black_box(routine(&mut input));
+            }
+            if t.elapsed() < Duration::from_millis(1) {
+                iters_per_batch = iters_per_batch.saturating_mul(2);
+            }
+        }
+        let budget_per_sample = self.config.measurement_time / self.config.sample_size as u32;
+        let mut samples = Vec::with_capacity(self.config.sample_size);
+        for _ in 0..self.config.sample_size {
+            let mut fresh = setup();
+            let sample_start = Instant::now();
+            let mut iters = 0u64;
+            while sample_start.elapsed() < budget_per_sample {
+                for _ in 0..iters_per_batch {
+                    black_box(routine(&mut fresh));
+                }
+                iters += iters_per_batch;
+            }
+            samples.push(sample_start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        self.result = Some(summarize(samples));
+    }
+}
+
+fn format_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Top-level benchmark registry and configuration.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    config: Config,
+}
+
+impl Criterion {
+    /// Sets the number of timing samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.config.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the total measurement budget per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up duration per benchmark.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(&self.config, id, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher<'_>)>(config: &Config, id: &str, mut f: F) {
+    let mut bencher = Bencher {
+        config,
+        result: None,
+    };
+    f(&mut bencher);
+    match bencher.result {
+        Some(s) => println!(
+            "{id:<40} time:   [{} {} {}]",
+            format_time(s.min_ns),
+            format_time(s.median_ns),
+            format_time(s.max_ns),
+        ),
+        None => println!("{id:<40} (no measurement taken)"),
+    }
+}
+
+/// A named collection of benchmarks sharing the parent configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&self.criterion.config, &full, f);
+        self
+    }
+
+    /// Finishes the group (printing is incremental; provided for API
+    /// parity).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, in either `criterion` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_criterion() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5))
+    }
+
+    #[test]
+    fn bench_function_measures() {
+        let mut c = fast_criterion();
+        c.bench_function("noop_add", |b| {
+            let mut x = 0u64;
+            b.iter(|| {
+                x = x.wrapping_add(1);
+                x
+            });
+        });
+    }
+
+    #[test]
+    fn group_and_batched() {
+        let mut c = fast_criterion();
+        let mut group = c.benchmark_group("g");
+        group.bench_function("batched", |b| {
+            b.iter_batched_ref(
+                || vec![1u64; 16],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            );
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert_eq!(format_time(12.345), "12.35 ns");
+        assert_eq!(format_time(1_500.0), "1.50 µs");
+        assert_eq!(format_time(2_500_000.0), "2.50 ms");
+        assert_eq!(format_time(3_000_000_000.0), "3.00 s");
+    }
+}

@@ -1,0 +1,179 @@
+//! Offline ChaCha8 random number generator.
+//!
+//! Implements the ChaCha stream cipher (D. J. Bernstein) with 8
+//! rounds as an [`RngCore`] source, matching the role `rand_chacha`'s
+//! `ChaCha8Rng` plays in this workspace: a portable, specified,
+//! seekable-in-principle generator whose output is a pure function of
+//! its 256-bit seed. The exact output stream is *this crate's*
+//! specification (block-sequential word order, 64-bit block counter);
+//! nothing in the workspace depends on upstream `rand_chacha` byte
+//! streams, only on determinism and statistical quality.
+
+use rand::{RngCore, SeedableRng};
+
+const WORDS_PER_BLOCK: usize = 16;
+/// "expand 32-byte k" — the standard ChaCha constants.
+const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; WORDS_PER_BLOCK], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// ChaCha with 8 rounds, exposed as a deterministic seeded RNG.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChaCha8Rng {
+    /// 256-bit key as eight little-endian words.
+    key: [u32; 8],
+    /// 64-bit block counter (state words 12–13).
+    counter: u64,
+    /// Current keystream block.
+    buf: [u32; WORDS_PER_BLOCK],
+    /// Next unread word in `buf`; `WORDS_PER_BLOCK` means exhausted.
+    idx: usize,
+}
+
+impl ChaCha8Rng {
+    fn block(key: &[u32; 8], counter: u64) -> [u32; WORDS_PER_BLOCK] {
+        let mut state = [0u32; WORDS_PER_BLOCK];
+        state[..4].copy_from_slice(&SIGMA);
+        state[4..12].copy_from_slice(key);
+        state[12] = counter as u32;
+        state[13] = (counter >> 32) as u32;
+        // state[14..16] is the zero nonce/stream id.
+        let mut working = state;
+        for _ in 0..4 {
+            // Double round: 4 column rounds then 4 diagonal rounds.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (w, s) in working.iter_mut().zip(&state) {
+            *w = w.wrapping_add(*s);
+        }
+        working
+    }
+
+    #[inline]
+    fn refill(&mut self) {
+        self.buf = Self::block(&self.key, self.counter);
+        self.counter = self.counter.wrapping_add(1);
+        self.idx = 0;
+    }
+
+    /// Current position in the keystream, in 32-bit words.
+    #[must_use]
+    pub fn word_pos(&self) -> u128 {
+        // `counter` has already advanced past the buffered block.
+        u128::from(self.counter.wrapping_sub(1)) * WORDS_PER_BLOCK as u128 + self.idx as u128
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *k = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        Self {
+            key,
+            counter: 0,
+            buf: [0; WORDS_PER_BLOCK],
+            idx: WORDS_PER_BLOCK,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        if self.idx >= WORDS_PER_BLOCK {
+            self.refill();
+        }
+        let w = self.buf[self.idx];
+        self.idx += 1;
+        w
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let lo = u64::from(self.next_u32());
+        let hi = u64::from(self.next_u32());
+        lo | (hi << 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng as _;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::from_seed([7; 32]);
+        let mut b = ChaCha8Rng::from_seed([7; 32]);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_differ() {
+        let mut a = ChaCha8Rng::from_seed([1; 32]);
+        let mut b = ChaCha8Rng::from_seed([2; 32]);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn blocks_advance() {
+        let mut r = ChaCha8Rng::from_seed([3; 32]);
+        let first_block: Vec<u32> = (0..16).map(|_| r.next_u32()).collect();
+        let second_block: Vec<u32> = (0..16).map(|_| r.next_u32()).collect();
+        assert_ne!(first_block, second_block);
+        assert_eq!(r.word_pos(), 32);
+    }
+
+    #[test]
+    fn clone_continues_identically() {
+        let mut r = ChaCha8Rng::from_seed([9; 32]);
+        let _ = r.next_u64();
+        let mut c = r.clone();
+        for _ in 0..32 {
+            assert_eq!(r.next_u32(), c.next_u32());
+        }
+    }
+
+    #[test]
+    fn uniformity_smoke() {
+        // Mean of many uniform [0,1) draws concentrates near 0.5.
+        let mut r = ChaCha8Rng::from_seed([5; 32]);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| r.gen::<f64>()).sum();
+        let mean = sum / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn bit_balance_smoke() {
+        let mut r = ChaCha8Rng::from_seed([11; 32]);
+        let ones: u32 = (0..1000).map(|_| r.next_u64().count_ones()).sum();
+        // 64k bits, expect ~32k ones.
+        assert!((30_000..34_000).contains(&ones), "ones {ones}");
+    }
+}

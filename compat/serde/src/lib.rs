@@ -1,0 +1,105 @@
+//! Offline stand-in for `serde`.
+//!
+//! No serialisation format ships in the allowed dependency set, so the
+//! workspace's serde usage is purely *contractual*: data types declare
+//! `#[derive(Serialize, Deserialize)]` and tests assert the bounds hold
+//! (Rust API guideline C-SERDE). This crate supplies exactly that
+//! contract — the traits and a derive that implements them — without
+//! any encoder/decoder machinery. When a real format is needed, the
+//! genuine `serde` slots back in with no source changes outside this
+//! directory.
+
+// Lets the derive-generated `::serde::...` paths resolve inside this
+// crate's own tests.
+extern crate self as serde;
+
+/// Marker for types that can be serialised. Mirrors `serde::Serialize`
+/// as a bound; carries no methods in the offline stand-in.
+pub trait Serialize {}
+
+/// Marker for types that can be deserialised. Mirrors
+/// `serde::Deserialize<'de>` as a bound.
+pub trait Deserialize<'de>: Sized {}
+
+/// Owned-deserialisation alias, mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+// Foundational impls so derived containers can hold std types under a
+// future bound-carrying implementation as well as this one.
+macro_rules! impl_markers {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {}
+        impl<'de> Deserialize<'de> for $t {}
+    )*};
+}
+impl_markers!(
+    (),
+    bool,
+    char,
+    String,
+    u8,
+    u16,
+    u32,
+    u64,
+    u128,
+    usize,
+    i8,
+    i16,
+    i32,
+    i64,
+    i128,
+    isize,
+    f32,
+    f64
+);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+impl<T: Serialize> Serialize for Box<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {}
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {}
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {}
+impl<'de, K: Deserialize<'de>, V: Deserialize<'de>> Deserialize<'de>
+    for std::collections::BTreeMap<K, V>
+{
+}
+impl<K: Serialize, V: Serialize> Serialize for std::collections::HashMap<K, V> {}
+impl<'de, K: Deserialize<'de>, V: Deserialize<'de>> Deserialize<'de>
+    for std::collections::HashMap<K, V>
+{
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Serialize, Deserialize)]
+    struct Plain {
+        #[allow(dead_code)]
+        x: f64,
+    }
+
+    #[derive(Serialize, Deserialize)]
+    enum Kind {
+        #[allow(dead_code)]
+        A,
+        #[allow(dead_code)]
+        B(u32),
+    }
+
+    fn assert_serde<T: Serialize + for<'de> Deserialize<'de>>() {}
+
+    #[test]
+    fn derive_implements_both_traits() {
+        assert_serde::<Plain>();
+        assert_serde::<Kind>();
+        assert_serde::<Vec<Plain>>();
+        assert_serde::<Option<Kind>>();
+    }
+}

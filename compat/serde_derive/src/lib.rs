@@ -1,0 +1,149 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! The stand-in's `Serialize`/`Deserialize` are marker traits, so the
+//! derives only need the item's name and generic parameters. Parsing is
+//! done directly on the token stream (no `syn`/`quote`, which are not
+//! in the offline dependency set).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The item's name plus raw generic parameter text, e.g.
+/// `("Foo", "<T: Clone>", "<T>")` for `struct Foo<T: Clone>`.
+struct ItemHead {
+    name: String,
+    /// Generic parameter list with bounds, including angle brackets
+    /// (empty string when non-generic).
+    params: String,
+    /// Generic argument list without bounds, e.g. `<'a, T>`.
+    args: String,
+}
+
+fn parse_head(input: TokenStream) -> ItemHead {
+    let mut iter = input.into_iter().peekable();
+    // Skip outer attributes and visibility.
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                // The attribute body group.
+                iter.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                // `pub(crate)` etc.
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    match iter.next() {
+        Some(TokenTree::Ident(kw))
+            if matches!(kw.to_string().as_str(), "struct" | "enum" | "union") => {}
+        other => panic!("serde derive: expected struct/enum/union, found {other:?}"),
+    }
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected item name, found {other:?}"),
+    };
+    // Collect generic parameters if present: tokens between the
+    // top-level `<` and its matching `>`.
+    let mut params = String::new();
+    let mut args = String::new();
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            iter.next();
+            let mut depth = 1usize;
+            let mut tokens: Vec<TokenTree> = Vec::new();
+            for tt in iter.by_ref() {
+                if let TokenTree::Punct(ref q) = tt {
+                    match q.as_char() {
+                        '<' => depth += 1,
+                        '>' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                tokens.push(tt);
+            }
+            let rendered: String = tokens
+                .iter()
+                .map(std::string::ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(" ");
+            params = format!("<{rendered}>");
+            args = format!("<{}>", strip_bounds(&tokens));
+        }
+    }
+    ItemHead { name, params, args }
+}
+
+/// Renders generic parameters without their bounds or defaults:
+/// `'a , T : Clone , const N : usize` → `'a, T, N`.
+fn strip_bounds(tokens: &[TokenTree]) -> String {
+    let mut out: Vec<String> = Vec::new();
+    let mut depth = 0usize;
+    let mut take_next = true;
+    let mut iter = tokens.iter().peekable();
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth = depth.saturating_sub(1),
+                ',' if depth == 0 => take_next = true,
+                ':' | '=' if depth == 0 => take_next = false,
+                '\'' if depth == 0 && take_next => {
+                    // Lifetime: the quote plus following ident.
+                    if let Some(TokenTree::Ident(id)) = iter.peek() {
+                        out.push(format!("'{id}"));
+                        iter.next();
+                        take_next = false;
+                    }
+                }
+                _ => {}
+            },
+            TokenTree::Ident(id) if depth == 0 && take_next => {
+                if id.to_string() == "const" {
+                    continue;
+                }
+                out.push(id.to_string());
+                take_next = false;
+            }
+            _ => {}
+        }
+    }
+    out.join(", ")
+}
+
+/// Derives the stand-in `serde::Serialize` marker.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let head = parse_head(input);
+    let ItemHead { name, params, args } = head;
+    format!("impl {params} ::serde::Serialize for {name} {args} {{}}")
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives the stand-in `serde::Deserialize` marker.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let head = parse_head(input);
+    let ItemHead { name, params, args } = head;
+    let impl_params = if params.is_empty() {
+        "<'de>".to_string()
+    } else {
+        // Splice 'de in front of the existing parameter list.
+        format!("<'de, {}", &params[1..])
+    };
+    format!("impl {impl_params} ::serde::Deserialize<'de> for {name} {args} {{}}")
+        .parse()
+        .expect("generated Deserialize impl parses")
+}

@@ -1,4 +1,11 @@
 //! Ablation A1: camnet ask-threshold sweep. See EXPERIMENTS.md.
 fn main() {
-    println!("{}", sas_bench::run_a1(sas_bench::REPS, 6_000));
+    let start = std::time::Instant::now();
+    let out = sas_bench::run_a1(sas_bench::REPS, 6_000);
+    println!("{out}");
+    eprintln!(
+        "regenerated in {:.2?} on {} worker thread(s)",
+        start.elapsed(),
+        simkernel::worker_count(usize::MAX)
+    );
 }

@@ -1,4 +1,11 @@
 //! Ablation A2: CPN smart-packet ratio sweep. See EXPERIMENTS.md.
 fn main() {
-    println!("{}", sas_bench::run_a2(sas_bench::REPS, 3_000));
+    let start = std::time::Instant::now();
+    let out = sas_bench::run_a2(sas_bench::REPS, 3_000);
+    println!("{out}");
+    eprintln!(
+        "regenerated in {:.2?} on {} worker thread(s)",
+        start.elapsed(),
+        simkernel::worker_count(usize::MAX)
+    );
 }

@@ -113,12 +113,50 @@ fn bench_models(c: &mut Criterion) {
     group.finish();
 }
 
+/// One moderately heavy replicate (a few ms of agent stepping) used
+/// to compare sequential and parallel replication fan-out.
+fn replication_scenario(seeds: SeedTree) -> simkernel::MetricSet {
+    let mut agent = make_agent(LevelSet::full());
+    let mut rng = seeds.rng("bench");
+    let mut m = simkernel::MetricSet::new();
+    let mut hits = 0.0;
+    for t in 1..=2_000u64 {
+        let world = World {
+            load: (t as f64 * 0.1).sin().abs(),
+            queue: (t % 17) as f64,
+            temp: 40.0 + (t % 13) as f64,
+        };
+        let d = agent.step(&world, Tick(t), &mut rng);
+        let reward = if d.action == 0 { 1.0 } else { 0.0 };
+        agent.reward(reward);
+        hits += reward;
+    }
+    m.set("hit_ratio", hits / 2_000.0);
+    m
+}
+
+fn bench_replication(c: &mut Criterion) {
+    use simkernel::Replications;
+    let reps = Replications::new(0xB1, 16);
+    let mut group = c.benchmark_group("b1_replication_engine");
+    group.bench_function("sequential_run", |b| {
+        b.iter(|| std::hint::black_box(reps.run(replication_scenario)));
+    });
+    let hw = simkernel::worker_count(usize::MAX);
+    for threads in [1, 2, 4, hw] {
+        group.bench_function(&format!("run_par_threads_{threads}"), |b| {
+            b.iter(|| std::hint::black_box(reps.run_par_threads(threads, replication_scenario)));
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default()
         .sample_size(20)
         .measurement_time(std::time::Duration::from_secs(2))
         .warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_loop, bench_models
+    targets = bench_loop, bench_models, bench_replication
 }
 criterion_main!(benches);

@@ -1,4 +1,11 @@
 //! Regenerates Figure F1. See EXPERIMENTS.md.
 fn main() {
-    println!("{}", sas_bench::run_f1(6_000));
+    let start = std::time::Instant::now();
+    let out = sas_bench::run_f1(6_000);
+    println!("{out}");
+    eprintln!(
+        "regenerated in {:.2?} on {} worker thread(s)",
+        start.elapsed(),
+        simkernel::worker_count(usize::MAX)
+    );
 }

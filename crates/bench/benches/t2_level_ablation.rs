@@ -1,7 +1,11 @@
 //! Regenerates Table T2. See EXPERIMENTS.md.
 fn main() {
-    println!(
-        "{}",
-        sas_bench::run_t2(sas_bench::REPS, sas_bench::CLOUD_STEPS)
+    let start = std::time::Instant::now();
+    let out = sas_bench::run_t2(sas_bench::REPS, sas_bench::CLOUD_STEPS);
+    println!("{out}");
+    eprintln!(
+        "regenerated in {:.2?} on {} worker thread(s)",
+        start.elapsed(),
+        simkernel::worker_count(usize::MAX)
     );
 }

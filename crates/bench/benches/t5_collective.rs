@@ -1,4 +1,11 @@
 //! Regenerates Table T5. See EXPERIMENTS.md.
 fn main() {
-    println!("{}", sas_bench::run_t5(10));
+    let start = std::time::Instant::now();
+    let out = sas_bench::run_t5(10);
+    println!("{out}");
+    eprintln!(
+        "regenerated in {:.2?} on {} worker thread(s)",
+        start.elapsed(),
+        simkernel::worker_count(usize::MAX)
+    );
 }

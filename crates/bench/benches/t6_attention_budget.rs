@@ -1,4 +1,11 @@
 //! Regenerates Table T6. See EXPERIMENTS.md.
 fn main() {
-    println!("{}", sas_bench::run_t6(sas_bench::REPS, 4_000));
+    let start = std::time::Instant::now();
+    let out = sas_bench::run_t6(sas_bench::REPS, 4_000);
+    println!("{out}");
+    eprintln!(
+        "regenerated in {:.2?} on {} worker thread(s)",
+        start.elapsed(),
+        simkernel::worker_count(usize::MAX)
+    );
 }

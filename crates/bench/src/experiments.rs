@@ -7,16 +7,18 @@ use selfaware::meta::ModelPool;
 use selfaware::models::ar::ArModel;
 use selfaware::models::ewma::Ewma;
 use selfaware::models::holt::Holt;
-use selfaware::models::{Forecaster, OnlineModel};
+use selfaware::models::Forecaster;
 use simkernel::series::render_multi;
 use simkernel::table::{num, num_ci};
-use simkernel::{MetricSet, Replications, SeedTree, Table, Tick, TimeSeries};
+use simkernel::{par_map, MetricSet, Replications, SeedTree, Table, Tick, TimeSeries};
 use std::fmt::Write as _;
 
 /// Default replication count for table experiments.
 pub const REPS: u32 = 5;
 /// Default horizon (ticks) for cloud scenarios.
 pub const CLOUD_STEPS: u64 = 6_000;
+/// Number of monitored signals in T6.
+pub const T6_SIGNALS: usize = 16;
 
 fn cloud_strategies() -> Vec<cloudsim::Strategy> {
     vec![
@@ -49,8 +51,10 @@ pub fn run_t1(reps: u32, steps: u64) -> Table {
             "utility",
         ],
     );
-    for strategy in cloud_strategies() {
-        let agg = Replications::new(0x71, reps).run(|seeds| run_cloud(&strategy, seeds, steps));
+    let arms = cloud_strategies();
+    let aggs = Replications::new(0x71, reps)
+        .run_matrix(&arms, |strategy, seeds| run_cloud(strategy, seeds, steps));
+    for (strategy, agg) in arms.iter().zip(&aggs) {
         table.row_owned(vec![
             strategy.label(),
             num_ci(agg.mean("completion_ratio"), agg.ci95("completion_ratio")),
@@ -86,11 +90,13 @@ pub fn run_t2(reps: u32, steps: u64) -> Table {
         format!("T2: level-of-self-awareness ablation ({steps} ticks, {reps} reps)"),
         &["levels", "completion", "violations", "cost", "utility"],
     );
-    for (name, levels) in ladder {
+    let aggs = Replications::new(0x72, reps).run_matrix(&ladder, |&(_, levels), seeds| {
         let strategy = cloudsim::Strategy::SelfAware { levels };
-        let agg = Replications::new(0x72, reps).run(|seeds| run_cloud(&strategy, seeds, steps));
+        run_cloud(&strategy, seeds, steps)
+    });
+    for ((name, _), agg) in ladder.iter().zip(&aggs) {
         table.row_owned(vec![
-            name.to_string(),
+            (*name).to_string(),
             num_ci(agg.mean("completion_ratio"), agg.ci95("completion_ratio")),
             num_ci(agg.mean("violation_rate"), agg.ci95("violation_rate")),
             num_ci(agg.mean("cost_ratio"), agg.ci95("cost_ratio")),
@@ -124,10 +130,11 @@ pub fn run_t3(reps: u32, steps: u64) -> Table {
             "utility",
         ],
     );
-    for strategy in camnet_strategies() {
-        let agg = Replications::new(0x73, reps).run(|seeds| {
-            camnet::run_camnet(&camnet::CamnetConfig::standard(strategy, steps), &seeds).metrics
-        });
+    let arms = camnet_strategies();
+    let aggs = Replications::new(0x73, reps).run_matrix(&arms, |&strategy, seeds| {
+        camnet::run_camnet(&camnet::CamnetConfig::standard(strategy, steps), &seeds).metrics
+    });
+    for (strategy, agg) in arms.iter().zip(&aggs) {
         table.row_owned(vec![
             strategy.label(),
             num_ci(agg.mean("track_quality"), agg.ci95("track_quality")),
@@ -146,14 +153,14 @@ pub fn run_t3(reps: u32, steps: u64) -> Table {
 /// the figure).
 #[must_use]
 pub fn run_f1(steps: u64) -> String {
-    let mut series = Vec::new();
-    for strategy in camnet_strategies() {
-        let result = camnet::run_camnet(
+    let strategies = camnet_strategies();
+    let series: Vec<TimeSeries> = par_map(&strategies, |&strategy| {
+        camnet::run_camnet(
             &camnet::CamnetConfig::standard(strategy, steps),
             &SeedTree::new(0xF1),
-        );
-        series.push(result.heterogeneity);
-    }
+        )
+        .heterogeneity
+    });
     let refs: Vec<&TimeSeries> = series.iter().collect();
     let mut out = String::new();
     let _ = writeln!(
@@ -189,12 +196,13 @@ pub fn run_f2(steps: u64) -> String {
             "delay post",
         ],
     );
-    let mut series = Vec::new();
-    for strategy in strategies {
-        let result = cpn::run_cpn(
+    let results = par_map(&strategies, |&strategy| {
+        cpn::run_cpn(
             &cpn::CpnConfig::standard(strategy, steps),
             &SeedTree::new(0xF2),
-        );
+        )
+    });
+    for (strategy, result) in strategies.iter().zip(&results) {
         let m = &result.metrics;
         table.row_owned(vec![
             strategy.label(),
@@ -203,10 +211,9 @@ pub fn run_f2(steps: u64) -> String {
             num(m.get("delay_attack").unwrap_or(0.0)),
             num(m.get("delay_post").unwrap_or(0.0)),
         ]);
-        series.push(result.delay);
     }
     let _ = writeln!(out, "{table}");
-    let refs: Vec<&TimeSeries> = series.iter().collect();
+    let refs: Vec<&TimeSeries> = results.iter().map(|r| &r.delay).collect();
     out.push_str(&render_multi(&refs, 30));
     out
 }
@@ -227,18 +234,19 @@ pub fn run_t4(reps: u32, steps: u64) -> Table {
             "utility",
         ],
     );
-    for scheduler in [
+    let schedulers = [
         multicore::Scheduler::StaticPin,
         multicore::Scheduler::Greedy,
         multicore::Scheduler::SelfAware,
-    ] {
-        let agg = Replications::new(0x74, reps).run(|seeds| {
-            multicore::run_multicore(
-                &multicore::MulticoreConfig::standard(scheduler, steps),
-                &seeds,
-            )
-            .metrics
-        });
+    ];
+    let aggs = Replications::new(0x74, reps).run_matrix(&schedulers, |&scheduler, seeds| {
+        multicore::run_multicore(
+            &multicore::MulticoreConfig::standard(scheduler, steps),
+            &seeds,
+        )
+        .metrics
+    });
+    for (scheduler, agg) in schedulers.iter().zip(&aggs) {
         table.row_owned(vec![
             scheduler.label().to_string(),
             num_ci(agg.mean("completion_ratio"), agg.ci95("completion_ratio")),
@@ -279,15 +287,42 @@ pub fn run_f3(steps: u64) -> String {
         ),
         (3 * steps / 4, SignalSpec::Flat { level: 25.0 }),
     ];
-    let mut gen = SignalGen::new(regimes, 0.5, SeedTree::new(0xF3).rng("signal"));
-
-    let mut ewma = Ewma::new(0.3);
-    let mut holt = Holt::new(0.5, 0.3);
-    let mut ar = ArModel::new(2, 64);
-    let mut pool = ModelPool::new(0.1, 8);
-    pool.add("ewma", Box::new(Ewma::new(0.3)));
-    pool.add("holt", Box::new(Holt::new(0.5, 0.3)));
-    pool.add("ar", Box::new(ArModel::new(2, 64)));
+    // One worker per model. Each regenerates the (seed-deterministic)
+    // signal independently and records its per-tick absolute error;
+    // the joint warm-up gating and windowing run sequentially over
+    // the recorded traces afterwards, so the printed figures are
+    // identical to the old single-loop version.
+    let model_ids: [usize; 4] = [0, 1, 2, 3];
+    let traces: Vec<(Vec<Option<f64>>, u32)> = par_map(&model_ids, |&which| {
+        let mut gen = SignalGen::new(regimes.clone(), 0.5, SeedTree::new(0xF3).rng("signal"));
+        let mut fixed: Option<Box<dyn Forecaster>> = match which {
+            0 => Some(Box::new(Ewma::new(0.3))),
+            1 => Some(Box::new(Holt::new(0.5, 0.3))),
+            2 => Some(Box::new(ArModel::new(2, 64))),
+            _ => None,
+        };
+        let mut pool = ModelPool::new(0.1, 8);
+        if fixed.is_none() {
+            pool.add("ewma", Box::new(Ewma::new(0.3)));
+            pool.add("holt", Box::new(Holt::new(0.5, 0.3)));
+            pool.add("ar", Box::new(ArModel::new(2, 64)));
+        }
+        let mut errs = Vec::with_capacity(steps as usize);
+        for t in 0..steps {
+            let x = gen.sample(Tick(t));
+            let pred = match &fixed {
+                Some(model) => model.forecast(),
+                None => pool.forecast(),
+            };
+            errs.push(pred.map(|p| (p - x).abs()));
+            match &mut fixed {
+                Some(model) => model.observe(x),
+                None => pool.observe(x),
+            }
+        }
+        (errs, pool.switches())
+    });
+    let pool_switches = traces[3].1;
 
     let mut err_series: Vec<TimeSeries> = ["ewma", "holt", "ar", "meta-pool"]
         .iter()
@@ -299,16 +334,10 @@ pub fn run_f3(steps: u64) -> String {
     let mut window_n = 0u64;
 
     for t in 0..steps {
-        let x = gen.sample(Tick(t));
-        let preds = [
-            ewma.forecast(),
-            holt.forecast(),
-            ar.forecast(),
-            pool.forecast(),
-        ];
-        if preds.iter().all(Option::is_some) {
-            for (i, p) in preds.iter().enumerate() {
-                let e = (p.unwrap() - x).abs();
+        let errs: Vec<Option<f64>> = traces.iter().map(|(e, _)| e[t as usize]).collect();
+        if errs.iter().all(Option::is_some) {
+            for (i, e) in errs.iter().enumerate() {
+                let e = e.unwrap();
                 total_err[i] += e;
                 window_err[i] += e;
             }
@@ -322,10 +351,6 @@ pub fn run_f3(steps: u64) -> String {
             window_err = [0.0; 4];
             window_n = 0;
         }
-        ewma.observe(x);
-        holt.observe(x);
-        ar.observe(x);
-        pool.observe(x);
     }
 
     let mut out = String::new();
@@ -347,11 +372,45 @@ pub fn run_f3(steps: u64) -> String {
         ]);
     }
     let _ = writeln!(out, "{table}");
-    let _ = writeln!(out, "model switches by the pool: {}", pool.switches());
+    let _ = writeln!(out, "model switches by the pool: {pool_switches}");
     let _ = writeln!(out, "windowed error over time:");
     let refs: Vec<&TimeSeries> = err_series.iter().collect();
     out.push_str(&render_multi(&refs, 24));
     out
+}
+
+/// One T5 replicate: collective estimation with `n` nodes under the
+/// three architectures. Public so the parity tests can compare
+/// sequential and parallel runs of the exact scenario.
+#[must_use]
+pub fn t5_scenario(n: usize, seeds: SeedTree) -> MetricSet {
+    use rand::Rng as _;
+    let mut rng = seeds.rng("obs");
+    // Each node observes a global quantity plus noise.
+    let truth = 20.0;
+    let obs: Vec<f64> = (0..n).map(|_| truth + rng.gen_range(-2.0..2.0)).collect();
+    let sample_mean = obs.iter().sum::<f64>() / n as f64;
+
+    let central = centralized_estimate(&obs);
+    let hier = hierarchical_estimate(&obs, 4);
+    let mut gossip = GossipNetwork::new(obs.clone());
+    let mut grng = seeds.rng("gossip");
+    // Rounds ~ log2(n) * 4 suffice for tight convergence.
+    let rounds = (4.0 * (n as f64).log2()).ceil() as u32;
+    gossip.run(rounds, &mut grng);
+    let gout = gossip.outcome();
+
+    let mut m = MetricSet::new();
+    m.set("central_err", central.mean_abs_error(sample_mean));
+    m.set("central_msgs", central.messages as f64);
+    m.set("central_load", central.max_node_load as f64);
+    m.set("hier_err", hier.mean_abs_error(sample_mean));
+    m.set("hier_msgs", hier.messages as f64);
+    m.set("hier_load", hier.max_node_load as f64);
+    m.set("gossip_err", gout.mean_abs_error(sample_mean));
+    m.set("gossip_msgs", gout.messages as f64);
+    m.set("gossip_load", gout.max_node_load as f64);
+    m
 }
 
 /// T5 — collective awareness without a global component: accuracy vs
@@ -368,36 +427,9 @@ pub fn run_t5(reps: u32) -> Table {
             "hot-spot load",
         ],
     );
-    for n in [10usize, 50, 200] {
-        let agg = Replications::new(0x75, reps).run(|seeds| {
-            use rand::Rng as _;
-            let mut rng = seeds.rng("obs");
-            // Each node observes a global quantity plus noise.
-            let truth = 20.0;
-            let obs: Vec<f64> = (0..n).map(|_| truth + rng.gen_range(-2.0..2.0)).collect();
-            let sample_mean = obs.iter().sum::<f64>() / n as f64;
-
-            let central = centralized_estimate(&obs);
-            let hier = hierarchical_estimate(&obs, 4);
-            let mut gossip = GossipNetwork::new(obs.clone());
-            let mut grng = seeds.rng("gossip");
-            // Rounds ~ log2(n) * 4 suffice for tight convergence.
-            let rounds = (4.0 * (n as f64).log2()).ceil() as u32;
-            gossip.run(rounds, &mut grng);
-            let gout = gossip.outcome();
-
-            let mut m = MetricSet::new();
-            m.set("central_err", central.mean_abs_error(sample_mean));
-            m.set("central_msgs", central.messages as f64);
-            m.set("central_load", central.max_node_load as f64);
-            m.set("hier_err", hier.mean_abs_error(sample_mean));
-            m.set("hier_msgs", hier.messages as f64);
-            m.set("hier_load", hier.max_node_load as f64);
-            m.set("gossip_err", gout.mean_abs_error(sample_mean));
-            m.set("gossip_msgs", gout.messages as f64);
-            m.set("gossip_load", gout.max_node_load as f64);
-            m
-        });
+    let sizes = [10usize, 50, 200];
+    let aggs = Replications::new(0x75, reps).run_matrix(&sizes, |&n, seeds| t5_scenario(n, seeds));
+    for (n, agg) in sizes.iter().zip(&aggs) {
         for arch in ["central", "hier", "gossip"] {
             table.row_owned(vec![
                 n.to_string(),
@@ -424,49 +456,48 @@ pub fn run_f4(reps: u32, steps: u64) -> String {
         format!("F4: utility vs design-divergence ({steps} ticks, {reps} reps)"),
         &["divergence", "static-ranked", "self-aware", "gap"],
     );
-    for (i, &delta) in divergences.iter().enumerate() {
-        let agg = Replications::new(0xF4, reps).run(|seeds| {
-            // Design-time belief: the spec the designer was given.
-            let designed: Vec<cloudsim::NodeSpec> = (0..12)
-                .map(|j| {
-                    let capacity = 1.0 + (j % 4) as f64;
-                    if j % 3 == 0 {
-                        cloudsim::NodeSpec::reliable(capacity)
-                    } else {
-                        cloudsim::NodeSpec::volunteer(capacity)
-                    }
-                })
-                .collect();
-            // Reality: capacities rotated by a delta-dependent amount —
-            // the machines that actually showed up are not the ones in
-            // the design document.
-            let shift = (delta * 6.0_f64).round() as usize;
-            let actual: Vec<cloudsim::NodeSpec> =
-                (0..12).map(|j| designed[(j + shift) % 12]).collect();
-            let believed: Vec<f64> = designed.iter().map(|s| s.capacity).collect();
+    let aggs = Replications::new(0xF4, reps).run_matrix(&divergences, |&delta, seeds| {
+        // Design-time belief: the spec the designer was given.
+        let designed: Vec<cloudsim::NodeSpec> = (0..12)
+            .map(|j| {
+                let capacity = 1.0 + (j % 4) as f64;
+                if j % 3 == 0 {
+                    cloudsim::NodeSpec::reliable(capacity)
+                } else {
+                    cloudsim::NodeSpec::volunteer(capacity)
+                }
+            })
+            .collect();
+        // Reality: capacities rotated by a delta-dependent amount —
+        // the machines that actually showed up are not the ones in
+        // the design document.
+        let shift = (delta * 6.0_f64).round() as usize;
+        let actual: Vec<cloudsim::NodeSpec> = (0..12).map(|j| designed[(j + shift) % 12]).collect();
+        let believed: Vec<f64> = designed.iter().map(|s| s.capacity).collect();
 
-            let run = |strategy: cloudsim::Strategy, seeds: &SeedTree| {
-                let mut cfg = cloudsim::ScenarioConfig::standard(strategy, steps, seeds);
-                cfg.specs = actual.clone();
-                cloudsim::run_scenario(&cfg, seeds).metrics
-            };
-            let stat = run(
-                cloudsim::Strategy::StaticRanked {
-                    believed_capacity: believed,
-                },
-                &seeds,
-            );
-            let aware = run(
-                cloudsim::Strategy::SelfAware {
-                    levels: LevelSet::full(),
-                },
-                &seeds,
-            );
-            let mut m = MetricSet::new();
-            m.set("static", stat.get("utility").unwrap_or(0.0));
-            m.set("aware", aware.get("utility").unwrap_or(0.0));
-            m
-        });
+        let run = |strategy: cloudsim::Strategy, seeds: &SeedTree| {
+            let mut cfg = cloudsim::ScenarioConfig::standard(strategy, steps, seeds);
+            cfg.specs = actual.clone();
+            cloudsim::run_scenario(&cfg, seeds).metrics
+        };
+        let stat = run(
+            cloudsim::Strategy::StaticRanked {
+                believed_capacity: believed,
+            },
+            &seeds,
+        );
+        let aware = run(
+            cloudsim::Strategy::SelfAware {
+                levels: LevelSet::full(),
+            },
+            &seeds,
+        );
+        let mut m = MetricSet::new();
+        m.set("static", stat.get("utility").unwrap_or(0.0));
+        m.set("aware", aware.get("utility").unwrap_or(0.0));
+        m
+    });
+    for (i, (&delta, agg)) in divergences.iter().zip(&aggs).enumerate() {
         let s = agg.mean("static");
         let a = agg.mean("aware");
         table.row_owned(vec![
@@ -484,12 +515,74 @@ pub fn run_f4(reps: u32, steps: u64) -> String {
     out
 }
 
+/// One T6 replicate: [`T6_SIGNALS`] drifting signals monitored under
+/// `budget` probes per tick by the attention, round-robin, and random
+/// policies. Public so the parity tests can compare sequential and
+/// parallel runs of the exact scenario.
+#[must_use]
+pub fn t6_scenario(budget: usize, steps: u64, seeds: SeedTree) -> MetricSet {
+    use rand::Rng as _;
+    use selfaware::attention::AttentionAllocator;
+    let n_signals = T6_SIGNALS;
+    let mut world_rng = seeds.rng("world");
+    // Signals: a few fast random walks, the rest near-static.
+    let volatilities: Vec<f64> = (0..n_signals)
+        .map(|i| if i % 4 == 0 { 1.0 } else { 0.02 })
+        .collect();
+    let mut truth: Vec<f64> = vec![0.0; n_signals];
+
+    let mut attn = AttentionAllocator::new(n_signals, 0.1, 0.05);
+    let mut beliefs = vec![vec![0.0f64; n_signals]; 3]; // attn, rr, random
+    let mut errors = [0.0f64; 3];
+    let mut rr_next = 0usize;
+    let mut policy_rng = seeds.rng("policy");
+    let mut samples = 0u64;
+    for t in 0..steps {
+        // World moves.
+        for i in 0..n_signals {
+            truth[i] += world_rng.gen_range(-volatilities[i]..=volatilities[i]);
+        }
+        // Attention policy.
+        let picked = attn.select(budget as f64, Tick(t), &mut policy_rng);
+        for &i in &picked {
+            attn.feed(i, truth[i], Tick(t));
+            beliefs[0][i] = truth[i];
+        }
+        // Round-robin policy.
+        for _ in 0..budget {
+            let i = rr_next % n_signals;
+            rr_next += 1;
+            beliefs[1][i] = truth[i];
+        }
+        // Random policy.
+        for _ in 0..budget {
+            let i = policy_rng.gen_range(0..n_signals);
+            beliefs[2][i] = truth[i];
+        }
+        // Score: mean absolute belief error across signals.
+        for (p, belief) in beliefs.iter().enumerate() {
+            let err: f64 = belief
+                .iter()
+                .zip(&truth)
+                .map(|(b, t)| (b - t).abs())
+                .sum::<f64>()
+                / n_signals as f64;
+            errors[p] += err;
+        }
+        samples += 1;
+    }
+    let mut m = MetricSet::new();
+    m.set("attention", errors[0] / samples as f64);
+    m.set("round_robin", errors[1] / samples as f64);
+    m.set("random", errors[2] / samples as f64);
+    m
+}
+
 /// T6 — attention under a monitoring budget: utility of budgeted
 /// sensing policies on a field of drifting signals.
 #[must_use]
 pub fn run_t6(reps: u32, steps: u64) -> Table {
-    use selfaware::attention::AttentionAllocator;
-    let n_signals = 16usize;
+    let n_signals = T6_SIGNALS;
     let mut table = Table::new(
         format!(
             "T6: monitoring under budget ({n_signals} signals, {steps} ticks, {reps} reps; \
@@ -503,62 +596,10 @@ pub fn run_t6(reps: u32, steps: u64) -> Table {
             "attn advantage",
         ],
     );
-    for budget in [1usize, 2, 4, 8] {
-        let agg = Replications::new(0x76, reps).run(|seeds| {
-            use rand::Rng as _;
-            let mut world_rng = seeds.rng("world");
-            // Signals: a few fast random walks, the rest near-static.
-            let volatilities: Vec<f64> = (0..n_signals)
-                .map(|i| if i % 4 == 0 { 1.0 } else { 0.02 })
-                .collect();
-            let mut truth: Vec<f64> = vec![0.0; n_signals];
-
-            let mut attn = AttentionAllocator::new(n_signals, 0.1, 0.05);
-            let mut beliefs = vec![vec![0.0f64; n_signals]; 3]; // attn, rr, random
-            let mut errors = [0.0f64; 3];
-            let mut rr_next = 0usize;
-            let mut policy_rng = seeds.rng("policy");
-            let mut samples = 0u64;
-            for t in 0..steps {
-                // World moves.
-                for i in 0..n_signals {
-                    truth[i] += world_rng.gen_range(-volatilities[i]..=volatilities[i]);
-                }
-                // Attention policy.
-                let picked = attn.select(budget as f64, Tick(t), &mut policy_rng);
-                for &i in &picked {
-                    attn.feed(i, truth[i], Tick(t));
-                    beliefs[0][i] = truth[i];
-                }
-                // Round-robin policy.
-                for _ in 0..budget {
-                    let i = rr_next % n_signals;
-                    rr_next += 1;
-                    beliefs[1][i] = truth[i];
-                }
-                // Random policy.
-                for _ in 0..budget {
-                    let i = policy_rng.gen_range(0..n_signals);
-                    beliefs[2][i] = truth[i];
-                }
-                // Score: mean absolute belief error across signals.
-                for (p, belief) in beliefs.iter().enumerate() {
-                    let err: f64 = belief
-                        .iter()
-                        .zip(&truth)
-                        .map(|(b, t)| (b - t).abs())
-                        .sum::<f64>()
-                        / n_signals as f64;
-                    errors[p] += err;
-                }
-                samples += 1;
-            }
-            let mut m = MetricSet::new();
-            m.set("attention", errors[0] / samples as f64);
-            m.set("round_robin", errors[1] / samples as f64);
-            m.set("random", errors[2] / samples as f64);
-            m
-        });
+    let budgets = [1usize, 2, 4, 8];
+    let aggs = Replications::new(0x76, reps)
+        .run_matrix(&budgets, |&budget, seeds| t6_scenario(budget, steps, seeds));
+    for (budget, agg) in budgets.iter().zip(&aggs) {
         let a = agg.mean("attention");
         let rr = agg.mean("round_robin");
         let rnd = agg.mean("random");
@@ -682,14 +723,15 @@ pub fn run_a1(reps: u32, steps: u64) -> Table {
         format!("A1: camnet self-aware ask-threshold sweep ({steps} ticks, {reps} reps)"),
         &["threshold", "quality", "untracked", "msgs/tick", "utility"],
     );
-    for threshold in [0.1, 0.2, 0.25, 0.35, 0.5] {
+    let thresholds = [0.1, 0.2, 0.25, 0.35, 0.5];
+    let aggs = Replications::new(0xA1, reps).run_matrix(&thresholds, |&threshold, seeds| {
         let strategy = camnet::HandoverStrategy::SelfAware {
             threshold,
             epsilon: 0.05,
         };
-        let agg = Replications::new(0xA1, reps).run(|seeds| {
-            camnet::run_camnet(&camnet::CamnetConfig::standard(strategy, steps), &seeds).metrics
-        });
+        camnet::run_camnet(&camnet::CamnetConfig::standard(strategy, steps), &seeds).metrics
+    });
+    for (threshold, agg) in thresholds.iter().zip(&aggs) {
         table.row_owned(vec![
             format!("{threshold:.2}"),
             num_ci(agg.mean("track_quality"), agg.ci95("track_quality")),
@@ -715,13 +757,15 @@ pub fn run_a2(reps: u32, steps: u64) -> Table {
             "delay post",
         ],
     );
-    for smart_ratio in [0.0, 0.05, 0.1, 0.25, 0.5] {
+    let ratios = [0.0, 0.05, 0.1, 0.25, 0.5];
+    let aggs = Replications::new(0xA2, reps).run_matrix(&ratios, |&smart_ratio, seeds| {
         let strategy = cpn::RoutingStrategy::Cpn {
             smart_ratio,
             epsilon: 0.1,
         };
-        let agg = Replications::new(0xA2, reps)
-            .run(|seeds| cpn::run_cpn(&cpn::CpnConfig::standard(strategy, steps), &seeds).metrics);
+        cpn::run_cpn(&cpn::CpnConfig::standard(strategy, steps), &seeds).metrics
+    });
+    for (smart_ratio, agg) in ratios.iter().zip(&aggs) {
         table.row_owned(vec![
             format!("{smart_ratio:.2}"),
             num_ci(agg.mean("delivery_ratio"), agg.ci95("delivery_ratio")),
@@ -743,47 +787,48 @@ pub fn run_a3(reps: u32, steps: u64) -> Table {
         format!("A3: model-pool patience sweep ({steps} ticks, {reps} reps)"),
         &["patience", "mae", "switches"],
     );
-    for patience in [1u32, 4, 8, 32, 128] {
-        let agg = Replications::new(0xA3, reps).run(|seeds| {
-            let regimes = vec![
-                (0, SignalSpec::Flat { level: 10.0 }),
-                (
-                    steps / 4,
-                    SignalSpec::Trend {
-                        start: 10.0,
-                        slope: 0.3,
-                    },
-                ),
-                (
-                    steps / 2,
-                    SignalSpec::Oscillation {
-                        center: 40.0,
-                        amplitude: 8.0,
-                        period: 40.0,
-                    },
-                ),
-                (3 * steps / 4, SignalSpec::Flat { level: 25.0 }),
-            ];
-            let mut gen = SignalGen::new(regimes, 0.5, seeds.rng("signal"));
-            let mut pool = ModelPool::new(0.1, patience);
-            pool.add("ewma", Box::new(Ewma::new(0.3)));
-            pool.add("holt", Box::new(Holt::new(0.5, 0.3)));
-            pool.add("ar", Box::new(ArModel::new(2, 64)));
-            let mut err = 0.0;
-            let mut n = 0u64;
-            for t in 0..steps {
-                let x = gen.sample(Tick(t));
-                if let Some(p) = pool.forecast() {
-                    err += (p - x).abs();
-                    n += 1;
-                }
-                pool.observe(x);
+    let patiences = [1u32, 4, 8, 32, 128];
+    let aggs = Replications::new(0xA3, reps).run_matrix(&patiences, |&patience, seeds| {
+        let regimes = vec![
+            (0, SignalSpec::Flat { level: 10.0 }),
+            (
+                steps / 4,
+                SignalSpec::Trend {
+                    start: 10.0,
+                    slope: 0.3,
+                },
+            ),
+            (
+                steps / 2,
+                SignalSpec::Oscillation {
+                    center: 40.0,
+                    amplitude: 8.0,
+                    period: 40.0,
+                },
+            ),
+            (3 * steps / 4, SignalSpec::Flat { level: 25.0 }),
+        ];
+        let mut gen = SignalGen::new(regimes, 0.5, seeds.rng("signal"));
+        let mut pool = ModelPool::new(0.1, patience);
+        pool.add("ewma", Box::new(Ewma::new(0.3)));
+        pool.add("holt", Box::new(Holt::new(0.5, 0.3)));
+        pool.add("ar", Box::new(ArModel::new(2, 64)));
+        let mut err = 0.0;
+        let mut n = 0u64;
+        for t in 0..steps {
+            let x = gen.sample(Tick(t));
+            if let Some(p) = pool.forecast() {
+                err += (p - x).abs();
+                n += 1;
             }
-            let mut m = MetricSet::new();
-            m.set("mae", err / n.max(1) as f64);
-            m.set("switches", f64::from(pool.switches()));
-            m
-        });
+            pool.observe(x);
+        }
+        let mut m = MetricSet::new();
+        m.set("mae", err / n.max(1) as f64);
+        m.set("switches", f64::from(pool.switches()));
+        m
+    });
+    for (patience, agg) in patiences.iter().zip(&aggs) {
         table.row_owned(vec![
             patience.to_string(),
             num_ci(agg.mean("mae"), agg.ci95("mae")),

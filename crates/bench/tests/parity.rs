@@ -1,0 +1,194 @@
+//! Sequential/parallel parity for every experiment's scenario.
+//!
+//! EXPERIMENTS.md promises that regenerated tables are bit-identical
+//! regardless of worker count. These tests run each domain scenario
+//! through sequential `run` and parallel `run_par`/`run_matrix` at a
+//! reduced scale and require exact equality of every mean and ci95.
+
+use sas_bench::experiments::{run_f1, run_f2, run_f3, t5_scenario, t6_scenario};
+use selfaware::levels::LevelSet;
+use selfaware::meta::ModelPool;
+use selfaware::models::ar::ArModel;
+use selfaware::models::ewma::Ewma;
+use selfaware::models::holt::Holt;
+use simkernel::{Aggregate, MetricSet, Replications, SeedTree};
+
+const STEPS: u64 = 800;
+const REPS: u32 = 3;
+
+fn assert_bitwise_equal(a: &Aggregate, b: &Aggregate, what: &str) {
+    assert_eq!(a, b, "{what}: aggregates differ");
+    for (name, _) in a.iter() {
+        assert_eq!(
+            a.mean(name).to_bits(),
+            b.mean(name).to_bits(),
+            "{what}: mean({name}) diverged"
+        );
+        assert_eq!(
+            a.ci95(name).to_bits(),
+            b.ci95(name).to_bits(),
+            "{what}: ci95({name}) diverged"
+        );
+    }
+}
+
+/// Runs one scenario through `run`, `run_par_threads` (several
+/// counts), and a one-arm `run_matrix`, asserting exact agreement.
+fn check_parity<F>(base_seed: u64, scenario: F, what: &str)
+where
+    F: Fn(SeedTree) -> MetricSet + Sync,
+{
+    let reps = Replications::new(base_seed, REPS);
+    let seq = reps.run(&scenario);
+    for threads in [1, 2, 4] {
+        let par = reps.run_par_threads(threads, &scenario);
+        assert_bitwise_equal(&par, &seq, what);
+    }
+    let matrix = reps.run_matrix_threads(4, &[()], |(), seeds| scenario(seeds));
+    assert_bitwise_equal(&matrix[0], &seq, what);
+}
+
+#[test]
+fn cloud_scenarios_are_parity_clean() {
+    // T1/T2/F4 all reduce to cloudsim::run_scenario under a strategy.
+    let strategies = [
+        cloudsim::Strategy::Random,
+        cloudsim::Strategy::LeastLoaded,
+        cloudsim::Strategy::SelfAware {
+            levels: LevelSet::full(),
+        },
+    ];
+    for strategy in &strategies {
+        check_parity(
+            0x71,
+            |seeds| {
+                let cfg = cloudsim::ScenarioConfig::standard(strategy.clone(), STEPS, &seeds);
+                cloudsim::run_scenario(&cfg, &seeds).metrics
+            },
+            &format!("cloud/{}", strategy.label()),
+        );
+    }
+}
+
+#[test]
+fn camnet_scenarios_are_parity_clean() {
+    // T3/A1: camera handover under each strategy family.
+    let strategies = [
+        camnet::HandoverStrategy::Broadcast,
+        camnet::HandoverStrategy::self_aware_default(),
+    ];
+    for &strategy in &strategies {
+        check_parity(
+            0x73,
+            |seeds| {
+                camnet::run_camnet(&camnet::CamnetConfig::standard(strategy, STEPS), &seeds).metrics
+            },
+            &format!("camnet/{}", strategy.label()),
+        );
+    }
+}
+
+#[test]
+fn multicore_scenarios_are_parity_clean() {
+    // T4: every scheduler.
+    for scheduler in [
+        multicore::Scheduler::StaticPin,
+        multicore::Scheduler::Greedy,
+        multicore::Scheduler::SelfAware,
+    ] {
+        check_parity(
+            0x74,
+            |seeds| {
+                multicore::run_multicore(
+                    &multicore::MulticoreConfig::standard(scheduler, STEPS),
+                    &seeds,
+                )
+                .metrics
+            },
+            &format!("multicore/{}", scheduler.label()),
+        );
+    }
+}
+
+#[test]
+fn cpn_scenarios_are_parity_clean() {
+    // F2/A2: routing under DoS.
+    for strategy in [
+        cpn::RoutingStrategy::StaticShortest,
+        cpn::RoutingStrategy::cpn_default(),
+    ] {
+        check_parity(
+            0xA2,
+            |seeds| cpn::run_cpn(&cpn::CpnConfig::standard(strategy, STEPS), &seeds).metrics,
+            &format!("cpn/{}", strategy.label()),
+        );
+    }
+}
+
+#[test]
+fn model_pool_scenario_is_parity_clean() {
+    // A3: the meta model-pool on a drifting signal.
+    use workloads::signal::{SignalGen, SignalSpec};
+    check_parity(
+        0xA3,
+        |seeds| {
+            let regimes = vec![
+                (0, SignalSpec::Flat { level: 10.0 }),
+                (
+                    STEPS / 2,
+                    SignalSpec::Trend {
+                        start: 10.0,
+                        slope: 0.3,
+                    },
+                ),
+            ];
+            let mut gen = SignalGen::new(regimes, 0.5, seeds.rng("signal"));
+            let mut pool = ModelPool::new(0.1, 8);
+            pool.add("ewma", Box::new(Ewma::new(0.3)));
+            pool.add("holt", Box::new(Holt::new(0.5, 0.3)));
+            pool.add("ar", Box::new(ArModel::new(2, 64)));
+            let mut err = 0.0;
+            let mut n = 0u64;
+            for t in 0..STEPS {
+                let x = gen.sample(simkernel::Tick(t));
+                if let Some(p) = pool.forecast() {
+                    err += (p - x).abs();
+                    n += 1;
+                }
+                pool.observe(x);
+            }
+            let mut m = MetricSet::new();
+            m.set("mae", err / n.max(1) as f64);
+            m.set("switches", f64::from(pool.switches()));
+            m
+        },
+        "pool/patience-8",
+    );
+}
+
+#[test]
+fn t5_collective_scenario_is_parity_clean() {
+    for n in [10usize, 50] {
+        check_parity(0x75, |seeds| t5_scenario(n, seeds), &format!("t5/n={n}"));
+    }
+}
+
+#[test]
+fn t6_attention_scenario_is_parity_clean() {
+    for budget in [1usize, 4] {
+        check_parity(
+            0x76,
+            |seeds| t6_scenario(budget, STEPS, seeds),
+            &format!("t6/budget={budget}"),
+        );
+    }
+}
+
+#[test]
+fn figure_experiments_are_deterministic_under_par_map() {
+    // F1/F2/F3 fan single-seed runs over strategies/models with
+    // par_map; re-running must reproduce the exact rendered output.
+    assert_eq!(run_f1(STEPS), run_f1(STEPS));
+    assert_eq!(run_f2(STEPS), run_f2(STEPS));
+    assert_eq!(run_f3(STEPS), run_f3(STEPS));
+}

@@ -341,7 +341,7 @@ pub fn run_cpn(cfg: &CpnConfig, seeds: &SeedTree) -> CpnResult {
     };
     metrics.set("mean_delay", mean_delay);
     let phases = ["delay_pre", "delay_attack", "delay_post"];
-    for (i, name) in phases.iter().enumerate() {
+    for (i, &name) in phases.iter().enumerate() {
         metrics.set(
             name,
             if phase_count[i] > 0 {

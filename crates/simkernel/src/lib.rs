@@ -21,7 +21,10 @@
 //! * [`table`] — aligned ASCII table rendering for the "table"
 //!   benchmarks;
 //! * [`runner`] — a replication runner that fans one scenario out over
-//!   independently-seeded replicates and aggregates metrics.
+//!   independently-seeded replicates and aggregates metrics;
+//! * [`parallel`] — order-preserving parallel map primitives that keep
+//!   multi-core runs bit-identical to sequential ones (worker count
+//!   from `available_parallelism`, overridable via `SAS_THREADS`).
 //!
 //! ## Example
 //!
@@ -44,6 +47,7 @@
 
 pub mod clock;
 pub mod events;
+pub mod parallel;
 pub mod rng;
 pub mod runner;
 pub mod series;
@@ -52,8 +56,9 @@ pub mod table;
 
 pub use clock::{Clock, Tick};
 pub use events::EventQueue;
+pub use parallel::{par_map, par_map_index, worker_count};
 pub use rng::SeedTree;
-pub use runner::{MetricSet, Replications};
+pub use runner::{Aggregate, MetricKey, MetricSet, Replications};
 pub use series::TimeSeries;
 pub use stats::OnlineStats;
 pub use table::Table;

@@ -7,9 +7,16 @@
 //! identical across strategies (common random numbers, which sharpens
 //! the comparisons the paper's hypothesis calls for).
 
+use crate::parallel::{par_map_index, worker_count};
 use crate::rng::SeedTree;
 use crate::stats::OnlineStats;
+use std::borrow::Cow;
 use std::collections::BTreeMap;
+
+/// Metric name: `&'static str` in the common literal-key case (no
+/// allocation on the per-tick hot path), owned `String` when built at
+/// run time.
+pub type MetricKey = Cow<'static, str>;
 
 /// A named bag of scalar results produced by one simulation run.
 ///
@@ -29,7 +36,7 @@ use std::collections::BTreeMap;
 /// ```
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct MetricSet {
-    values: BTreeMap<String, f64>,
+    values: BTreeMap<MetricKey, f64>,
 }
 
 impl MetricSet {
@@ -40,13 +47,19 @@ impl MetricSet {
     }
 
     /// Sets metric `name` to `value`, replacing any previous value.
-    pub fn set(&mut self, name: &str, value: f64) {
-        self.values.insert(name.to_string(), value);
+    ///
+    /// `&'static str` keys (the normal case) are stored without
+    /// allocating; pass a `String` for run-time-built names.
+    pub fn set(&mut self, name: impl Into<MetricKey>, value: f64) {
+        self.values.insert(name.into(), value);
     }
 
     /// Adds `delta` to metric `name` (starting from 0 if absent).
-    pub fn add(&mut self, name: &str, delta: f64) {
-        *self.values.entry(name.to_string()).or_insert(0.0) += delta;
+    ///
+    /// Like [`MetricSet::set`], `&'static str` keys do not allocate —
+    /// this is called inside per-tick simulation loops.
+    pub fn add(&mut self, name: impl Into<MetricKey>, delta: f64) {
+        *self.values.entry(name.into()).or_insert(0.0) += delta;
     }
 
     /// Reads metric `name`, if present.
@@ -57,7 +70,7 @@ impl MetricSet {
 
     /// Iterates `(name, value)` in name order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
-        self.values.iter().map(|(k, v)| (k.as_str(), *v))
+        self.values.iter().map(|(k, v)| (k.as_ref(), *v))
     }
 
     /// Number of metrics.
@@ -76,22 +89,37 @@ impl MetricSet {
 impl FromIterator<(String, f64)> for MetricSet {
     fn from_iter<I: IntoIterator<Item = (String, f64)>>(iter: I) -> Self {
         Self {
-            values: iter.into_iter().collect(),
+            values: iter
+                .into_iter()
+                .map(|(k, v)| (MetricKey::from(k), v))
+                .collect(),
         }
     }
 }
 
 /// Aggregated per-metric statistics over replications.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Aggregate {
-    stats: BTreeMap<String, OnlineStats>,
+    stats: BTreeMap<MetricKey, OnlineStats>,
 }
 
 impl Aggregate {
     /// Folds one replicate's metrics into the aggregate.
+    ///
+    /// Allocates only when a metric name is seen for the first time
+    /// *and* was built at run time; literal-keyed metrics are
+    /// absorbed with zero allocation.
     pub fn absorb(&mut self, metrics: &MetricSet) {
-        for (name, value) in metrics.iter() {
-            self.stats.entry(name.to_string()).or_default().push(value);
+        for (name, value) in &metrics.values {
+            match self.stats.get_mut(name.as_ref()) {
+                Some(stats) => stats.push(*value),
+                None => {
+                    // Cloning a `Cow::Borrowed` key is a pointer copy.
+                    let mut stats = OnlineStats::new();
+                    stats.push(*value);
+                    self.stats.insert(name.clone(), stats);
+                }
+            }
         }
     }
 
@@ -117,7 +145,7 @@ impl Aggregate {
 
     /// Iterates `(name, stats)` in name order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &OnlineStats)> {
-        self.stats.iter().map(|(k, v)| (k.as_str(), v))
+        self.stats.iter().map(|(k, v)| (k.as_ref(), v))
     }
 }
 
@@ -179,6 +207,104 @@ impl Replications {
             agg.absorb(&metrics);
         }
         agg
+    }
+
+    /// Runs `scenario` once per replicate **in parallel** and
+    /// aggregates metrics.
+    ///
+    /// Bit-identical to [`Replications::run`]: each replicate's
+    /// randomness comes from its index-derived seed subtree (never
+    /// from execution order), and finished metric sets are absorbed
+    /// into the [`Aggregate`] in replicate order regardless of which
+    /// worker produced them first. The worker pool sizes itself from
+    /// `available_parallelism`, overridable with the `SAS_THREADS`
+    /// environment variable.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use simkernel::{Replications, MetricSet};
+    /// use rand::Rng;
+    ///
+    /// let scenario = |seeds: simkernel::SeedTree| {
+    ///     let mut rng = seeds.rng("noise");
+    ///     let mut m = MetricSet::new();
+    ///     m.set("x", rng.gen_range(0.0..1.0));
+    ///     m
+    /// };
+    /// let reps = Replications::new(42, 8);
+    /// assert_eq!(reps.run_par(&scenario), reps.run(scenario));
+    /// ```
+    pub fn run_par<F>(&self, scenario: F) -> Aggregate
+    where
+        F: Fn(SeedTree) -> MetricSet + Sync,
+    {
+        self.run_par_threads(worker_count(self.count as usize), scenario)
+    }
+
+    /// [`Replications::run_par`] with an explicit worker count
+    /// (used by the determinism-parity tests to pin thread counts
+    /// without touching process environment).
+    pub fn run_par_threads<F>(&self, threads: usize, scenario: F) -> Aggregate
+    where
+        F: Fn(SeedTree) -> MetricSet + Sync,
+    {
+        let per_replicate = par_map_index(self.count as usize, threads, |k| {
+            scenario(self.seeds_for(k as u32))
+        });
+        let mut agg = Aggregate::default();
+        for metrics in &per_replicate {
+            agg.absorb(metrics);
+        }
+        agg
+    }
+
+    /// Fans a whole *strategy × replicate* matrix out over the worker
+    /// pool and returns one [`Aggregate`] per arm, in arm order.
+    ///
+    /// This is the experiment-harness workhorse: comparing controller
+    /// variants under common random numbers is embarrassingly
+    /// parallel at the cell level, so all `arms.len() × count()`
+    /// cells feed one dynamic work queue (no idle cores while a slow
+    /// arm finishes). Per-arm aggregates absorb cells in replicate
+    /// order, so each arm's result is bit-identical to
+    /// `Replications::run` on that arm alone.
+    pub fn run_matrix<S, F>(&self, arms: &[S], scenario: F) -> Vec<Aggregate>
+    where
+        S: Sync,
+        F: Fn(&S, SeedTree) -> MetricSet + Sync,
+    {
+        let cells = arms.len() * self.count as usize;
+        self.run_matrix_threads(worker_count(cells), arms, scenario)
+    }
+
+    /// [`Replications::run_matrix`] with an explicit worker count.
+    pub fn run_matrix_threads<S, F>(
+        &self,
+        threads: usize,
+        arms: &[S],
+        scenario: F,
+    ) -> Vec<Aggregate>
+    where
+        S: Sync,
+        F: Fn(&S, SeedTree) -> MetricSet + Sync,
+    {
+        let reps = self.count as usize;
+        let cells = arms.len() * reps;
+        let per_cell = par_map_index(cells, threads, |cell| {
+            let (arm, k) = (cell / reps, cell % reps);
+            scenario(&arms[arm], self.seeds_for(k as u32))
+        });
+        per_cell
+            .chunks_exact(reps)
+            .map(|arm_cells| {
+                let mut agg = Aggregate::default();
+                for metrics in arm_cells {
+                    agg.absorb(metrics);
+                }
+                agg
+            })
+            .collect()
     }
 }
 
@@ -249,6 +375,64 @@ mod tests {
     #[should_panic(expected = "at least one replication")]
     fn zero_replications_panics() {
         let _ = Replications::new(1, 0);
+    }
+
+    #[test]
+    fn run_par_is_bit_identical_to_run() {
+        let scenario = |seeds: SeedTree| {
+            let mut rng = seeds.rng("s");
+            let mut m = MetricSet::new();
+            m.set("v", rng.gen::<f64>());
+            m.add("w", rng.gen::<f64>() - 0.5);
+            m
+        };
+        let reps = Replications::new(0xC0FFEE, 17);
+        let sequential = reps.run(scenario);
+        for threads in [1, 2, 4, 16] {
+            let parallel = reps.run_par_threads(threads, scenario);
+            assert_eq!(parallel, sequential, "threads={threads}");
+        }
+        assert_eq!(reps.run_par(scenario), sequential);
+    }
+
+    #[test]
+    fn run_matrix_matches_per_arm_run() {
+        let arms = [1.0_f64, 2.0, 3.0];
+        let scenario = |scale: &f64, seeds: SeedTree| {
+            let mut rng = seeds.rng("s");
+            let mut m = MetricSet::new();
+            m.set("v", scale * rng.gen::<f64>());
+            m
+        };
+        let reps = Replications::new(0xBEEF, 9);
+        let matrix = reps.run_matrix(&arms, scenario);
+        assert_eq!(matrix.len(), arms.len());
+        for (arm, agg) in arms.iter().zip(&matrix) {
+            let solo = reps.run(|seeds| scenario(arm, seeds));
+            assert_eq!(*agg, solo);
+        }
+    }
+
+    #[test]
+    fn run_matrix_with_empty_arms() {
+        let reps = Replications::new(1, 4);
+        let out = reps.run_matrix(&[] as &[u8], |_, _| MetricSet::new());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn literal_and_owned_keys_are_equivalent() {
+        // Behavioural proxy for the no-alloc guarantee: borrowed keys
+        // survive round trips and compare equal to owned ones.
+        let mut a = MetricSet::new();
+        a.set("x", 1.0);
+        let mut b = MetricSet::new();
+        b.set(String::from("x"), 1.0);
+        assert_eq!(a, b);
+        let mut agg = Aggregate::default();
+        agg.absorb(&a);
+        agg.absorb(&b);
+        assert_eq!(agg.stats("x").unwrap().count(), 2);
     }
 
     #[test]

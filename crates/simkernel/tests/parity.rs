@@ -1,0 +1,146 @@
+//! Determinism parity for the parallel replication engine.
+//!
+//! The contract: `run_par`, `run_par_threads`, and `run_matrix` are
+//! **bit-identical** to sequential `run` — same means, same CI
+//! half-widths, down to the last mantissa bit — at every thread
+//! count. Randomness flows from replicate index, never execution
+//! order, and aggregates absorb results in replicate order.
+
+use proptest::prelude::*;
+use rand::Rng as _;
+use simkernel::{Aggregate, MetricSet, Replications, SeedTree};
+
+/// A deliberately messy scenario: variable-length random walk, a
+/// metric count that depends on the draw, and one run-time-built key.
+fn noisy_scenario(seeds: SeedTree) -> MetricSet {
+    let mut rng = seeds.rng("noise");
+    let n: usize = rng.gen_range(1..64);
+    let mut acc = 0.0;
+    for _ in 0..n {
+        acc += rng.gen_range(-1.0..1.0);
+    }
+    let mut m = MetricSet::new();
+    m.set("walk", acc);
+    m.set("len", n as f64);
+    m.add("tail", rng.gen_range(0.0..1.0));
+    m.set(format!("bucket_{}", n % 4), acc.abs());
+    m
+}
+
+/// Exact per-metric comparison through the public accessors: every
+/// mean and ci95 must match to the bit.
+fn assert_bitwise_equal(a: &Aggregate, b: &Aggregate) {
+    assert_eq!(a, b);
+    for (name, _) in a.iter() {
+        assert_eq!(
+            a.mean(name).to_bits(),
+            b.mean(name).to_bits(),
+            "mean({name}) diverged"
+        );
+        assert_eq!(
+            a.ci95(name).to_bits(),
+            b.ci95(name).to_bits(),
+            "ci95({name}) diverged"
+        );
+    }
+}
+
+#[test]
+fn run_par_is_bitwise_identical_at_every_thread_count() {
+    let reps = Replications::new(0xDEAD_BEEF, 13);
+    let seq = reps.run(noisy_scenario);
+    for threads in [1, 2, 3, 4, 8, 32] {
+        let par = reps.run_par_threads(threads, noisy_scenario);
+        assert_bitwise_equal(&par, &seq);
+    }
+    assert_bitwise_equal(&reps.run_par(noisy_scenario), &seq);
+}
+
+#[test]
+fn run_matrix_is_bitwise_identical_to_per_arm_runs() {
+    let arms: Vec<f64> = vec![0.5, 1.0, 2.0, 4.0, 8.0];
+    let reps = Replications::new(0x5EED_CAFE, 7);
+    let scenario = |&scale: &f64, seeds: SeedTree| {
+        let mut m = noisy_scenario(seeds);
+        let walk = m.get("walk").unwrap();
+        m.set("scaled", walk * scale);
+        m
+    };
+    for threads in [1, 2, 3, 5, 16] {
+        let par = reps.run_matrix_threads(threads, &arms, scenario);
+        assert_eq!(par.len(), arms.len());
+        for (arm, agg) in arms.iter().zip(&par) {
+            let seq = reps.run(|seeds| scenario(arm, seeds));
+            assert_bitwise_equal(agg, &seq);
+        }
+    }
+}
+
+#[test]
+fn matrix_arms_share_replicate_seeds() {
+    // Common random numbers: metrics that ignore the arm must be
+    // identical across arms.
+    let arms = [1u8, 2, 3];
+    let reps = Replications::new(0xC0FFEE, 5);
+    let aggs = reps.run_matrix(&arms, |_, seeds| noisy_scenario(seeds));
+    for pair in aggs.windows(2) {
+        assert_bitwise_equal(&pair[0], &pair[1]);
+    }
+}
+
+proptest! {
+    #[test]
+    fn prop_parallel_equals_sequential_for_random_scenarios(
+        base_seed in any::<u64>(),
+        count in 1u32..12,
+        threads in 1usize..9,
+        walk_cap in 2usize..40,
+        spread in 0.01f64..100.0,
+    ) {
+        let scenario = |seeds: SeedTree| {
+            let mut rng = seeds.rng("w");
+            let n: usize = rng.gen_range(1..walk_cap.max(2));
+            let mut m = MetricSet::new();
+            for i in 0..n {
+                m.add("sum", rng.gen_range(-spread..spread));
+                if i % 3 == 0 {
+                    m.set(format!("k{}", i % 5), rng.gen_range(0.0..spread));
+                }
+            }
+            m.set("n", n as f64);
+            m
+        };
+        let reps = Replications::new(base_seed, count);
+        let seq = reps.run(scenario);
+        let par = reps.run_par_threads(threads, scenario);
+        prop_assert_eq!(&par, &seq);
+        for (name, _) in seq.iter() {
+            prop_assert_eq!(par.mean(name).to_bits(), seq.mean(name).to_bits());
+            prop_assert_eq!(par.ci95(name).to_bits(), seq.ci95(name).to_bits());
+        }
+    }
+
+    #[test]
+    fn prop_matrix_equals_sequential_for_random_arm_counts(
+        base_seed in any::<u64>(),
+        count in 1u32..8,
+        n_arms in 1usize..7,
+        threads in 1usize..7,
+    ) {
+        let arms: Vec<u64> = (0..n_arms as u64).collect();
+        let scenario = |&arm: &u64, seeds: SeedTree| {
+            let mut rng = seeds.rng("w");
+            let mut m = MetricSet::new();
+            m.set("x", rng.gen_range(0.0..1.0) + arm as f64);
+            m.set("arm", arm as f64);
+            m
+        };
+        let reps = Replications::new(base_seed, count);
+        let par = reps.run_matrix_threads(threads, &arms, scenario);
+        prop_assert_eq!(par.len(), arms.len());
+        for (arm, agg) in arms.iter().zip(&par) {
+            let seq = reps.run(|seeds| scenario(arm, seeds));
+            prop_assert_eq!(agg, &seq);
+        }
+    }
+}
