@@ -15,4 +15,12 @@ cargo fmt --check
 echo "==> cargo clippy --offline --workspace --all-targets -- -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+# No panic paths in shipped library code: every first-party lib carries
+# #![warn(clippy::unwrap_used, clippy::panic)], promoted to errors here
+# (tests are exempted via clippy.toml allow-*-in-tests).
+FIRST_PARTY="-p simkernel -p selfaware -p workloads -p camnet -p cloudsim -p multicore -p cpn -p sas-bench"
+echo "==> cargo clippy --offline \$FIRST_PARTY --lib -- -D warnings"
+# shellcheck disable=SC2086
+cargo clippy --offline $FIRST_PARTY --lib -- -D warnings
+
 echo "==> ci.sh: all green"

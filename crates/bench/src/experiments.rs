@@ -871,3 +871,318 @@ mod ablation_tests {
         assert!(eager > patient, "eager {eager} vs patient {patient}");
     }
 }
+
+/// Cameras taken down by the F5 outage: the centre block of the
+/// standard 4×4 grid, which carries the most handover traffic.
+pub const F5_OUTAGE_CAMERAS: [usize; 4] = [5, 6, 9, 10];
+
+/// The F5 fault plan: the grid-centre cameras fail together at
+/// `steps/3` and reboot at `2*steps/3`.
+#[must_use]
+pub fn f5_fault_plan(steps: u64) -> workloads::FaultPlan {
+    let fail = Tick(steps / 3);
+    let recover = Tick(2 * steps / 3);
+    let mut events = Vec::new();
+    for &c in &F5_OUTAGE_CAMERAS {
+        events.push(workloads::FaultEvent::camera_fail(fail, c));
+        events.push(workloads::FaultEvent::camera_recover(recover, c));
+    }
+    workloads::FaultPlan::new(events)
+}
+
+/// One F5 replicate: the standard camera network hit by the
+/// grid-centre outage. Metric keys:
+///
+/// * `quality` — whole-run mean tracking quality;
+/// * `pre_quality` — mean windowed quality before the outage;
+/// * `recovery_ticks` — ticks after reboot until windowed quality
+///   first returns to 95% of `pre_quality` (censored at end-of-run);
+/// * `degradation_area` — integral of quality lost vs `pre_quality`
+///   from outage onset onwards (quality-ticks).
+///
+/// Public so the parity tests can compare sequential and parallel
+/// runs of the exact scenario.
+#[must_use]
+pub fn f5_scenario(strategy: &camnet::HandoverStrategy, seeds: SeedTree, steps: u64) -> MetricSet {
+    let fail_at = steps / 3;
+    let recover_at = 2 * steps / 3;
+    let mut cfg = camnet::CamnetConfig::standard(*strategy, steps);
+    cfg.faults = f5_fault_plan(steps);
+    let result = camnet::run_camnet(&cfg, &seeds);
+
+    let pts = result.quality.points();
+    let window: u64 = 50; // camnet samples quality every 50 ticks
+    let pre: Vec<f64> = pts
+        .iter()
+        .filter(|&&(t, _)| t < fail_at)
+        .map(|&(_, q)| q)
+        .collect();
+    let pre_quality = pre.iter().sum::<f64>() / pre.len().max(1) as f64;
+
+    let recovery_ticks = pts
+        .iter()
+        .find(|&&(t, q)| t >= recover_at && q >= 0.95 * pre_quality)
+        .map_or(steps.saturating_sub(recover_at), |&(t, _)| t - recover_at);
+    let degradation_area: f64 = pts
+        .iter()
+        .filter(|&&(t, _)| t >= fail_at)
+        .map(|&(_, q)| (pre_quality - q).max(0.0) * window as f64)
+        .sum();
+
+    let mut m = MetricSet::new();
+    m.set(
+        "quality",
+        result.metrics.get("track_quality").unwrap_or(0.0),
+    );
+    m.set("pre_quality", pre_quality);
+    m.set("recovery_ticks", recovery_ticks as f64);
+    m.set("degradation_area", degradation_area);
+    m
+}
+
+/// F5 — graceful degradation under a camera outage: how fast each
+/// handover strategy re-forms coalitions after the grid-centre
+/// cameras fail, and how much tracking quality the outage costs.
+#[must_use]
+pub fn run_f5(reps: u32, steps: u64) -> Table {
+    let arms = vec![
+        camnet::HandoverStrategy::Broadcast,
+        camnet::HandoverStrategy::Static { k: 3 },
+        camnet::HandoverStrategy::self_aware_default(),
+    ];
+    let mut table = Table::new(
+        format!("F5: camnet outage recovery ({steps} ticks, 4-camera outage, {reps} reps)"),
+        &[
+            "strategy",
+            "quality",
+            "pre-fault",
+            "recovery ticks",
+            "degradation area",
+        ],
+    );
+    let aggs = Replications::new(0xF5, reps)
+        .run_matrix(&arms, |strategy, seeds| f5_scenario(strategy, seeds, steps));
+    for (strategy, agg) in arms.iter().zip(&aggs) {
+        table.row_owned(vec![
+            strategy.label(),
+            num_ci(agg.mean("quality"), agg.ci95("quality")),
+            num(agg.mean("pre_quality")),
+            format!("{:.0}", agg.mean("recovery_ticks")),
+            num_ci(agg.mean("degradation_area"), agg.ci95("degradation_area")),
+        ]);
+    }
+    table
+}
+
+/// Number of redundant sensors observing the F6 signal.
+pub const F6_SENSORS: usize = 3;
+
+/// The F6 fault plan: a stuck-at, a bias shift, a dropout and a noise
+/// burst staggered across the three sensors.
+#[must_use]
+pub fn f6_fault_plan(steps: u64) -> workloads::FaultPlan {
+    use workloads::{FaultEvent, SensorFaultKind};
+    workloads::FaultPlan::new(vec![
+        FaultEvent::sensor_fault(Tick(steps / 4), 0, SensorFaultKind::StuckAt, steps / 4),
+        FaultEvent::sensor_fault(
+            Tick(steps / 2),
+            1,
+            SensorFaultKind::Bias { offset: 4.0 },
+            steps / 6,
+        ),
+        FaultEvent::sensor_fault(Tick(2 * steps / 3), 2, SensorFaultKind::Dropout, steps / 8),
+        FaultEvent::sensor_fault(
+            Tick(4 * steps / 5),
+            0,
+            SensorFaultKind::Noise { sigma: 3.0 },
+            steps / 10,
+        ),
+    ])
+}
+
+/// One F6 replicate: three noisy sensors observe an oscillating truth
+/// while the [`f6_fault_plan`] corrupts them; the fused estimate is
+/// the mean of the readings each arm trusts. Metric keys: `mae`
+/// (whole run), `mae_faulty` / `mae_clean` (ticks with/without an
+/// active sensor fault), `quarantines`, `restores`, `degraded_ticks`.
+///
+/// Public so the parity tests can compare sequential and parallel
+/// runs of the exact scenario.
+#[must_use]
+pub fn f6_scenario(guarded: bool, seeds: SeedTree, steps: u64) -> MetricSet {
+    use rand::Rng as _;
+    use selfaware::explain::ExplanationLog;
+    use selfaware::health::SensorHealth;
+    use workloads::signal::{SignalGen, SignalSpec};
+
+    let plan = f6_fault_plan(steps);
+    let mut gen = SignalGen::new(
+        vec![(
+            0,
+            SignalSpec::Oscillation {
+                center: 20.0,
+                amplitude: 6.0,
+                period: 300.0,
+            },
+        )],
+        0.0,
+        seeds.rng("truth"),
+    );
+    let mut srng = seeds.rng("sensor-noise");
+    let mut frng = seeds.rng("fault-noise");
+    let mut health = SensorHealth::default();
+    let mut log = ExplanationLog::new(1024);
+    let keys: Vec<String> = (0..F6_SENSORS).map(|i| format!("s{i}")).collect();
+    let mut held = [20.0f64; F6_SENSORS];
+    let mut est_prev = 20.0;
+    let (mut err, mut err_faulty, mut err_clean) = (0.0f64, 0.0f64, 0.0f64);
+    let (mut n_faulty, mut n_clean) = (0u64, 0u64);
+    let mut degraded_ticks = 0u64;
+
+    for t in 0..steps {
+        let now = Tick(t);
+        let truth = gen.sample(now);
+        let mut trusted: Vec<f64> = Vec::with_capacity(F6_SENSORS);
+        let mut any_fault = false;
+        let mut any_degraded = false;
+        for i in 0..F6_SENSORS {
+            let clean = truth + 0.2 * (srng.gen::<f64>() * 2.0 - 1.0);
+            let fault = plan.sensor_fault_at(i, now);
+            let raw = match fault {
+                Some(k) => {
+                    any_fault = true;
+                    k.corrupt(clean, held[i], &mut frng)
+                }
+                None => {
+                    held[i] = clean;
+                    Some(clean)
+                }
+            };
+            if guarded {
+                // The previous fused estimate anchors the recovery
+                // probe: a sensor leaves quarantine by agreeing with
+                // the healthy consensus, not with its own stale model.
+                let r = health.observe_with_reference(&keys[i], raw, Some(est_prev), now, &mut log);
+                any_degraded |= r.degraded;
+                if !r.degraded && !r.substituted {
+                    trusted.push(r.value);
+                }
+            } else if let Some(x) = raw {
+                trusted.push(x);
+            }
+        }
+        // With every sensor distrusted (or silent), hold the last
+        // estimate — the degraded-mode fallback.
+        let est = if trusted.is_empty() {
+            est_prev
+        } else {
+            trusted.iter().sum::<f64>() / trusted.len() as f64
+        };
+        est_prev = est;
+        let e = (est - truth).abs();
+        err += e;
+        if any_fault {
+            err_faulty += e;
+            n_faulty += 1;
+        } else {
+            err_clean += e;
+            n_clean += 1;
+        }
+        degraded_ticks += u64::from(any_degraded);
+    }
+
+    let mut m = MetricSet::new();
+    m.set("mae", err / steps.max(1) as f64);
+    m.set("mae_faulty", err_faulty / n_faulty.max(1) as f64);
+    m.set("mae_clean", err_clean / n_clean.max(1) as f64);
+    m.set("quarantines", health.quarantine_events() as f64);
+    m.set("restores", health.restore_events() as f64);
+    m.set("degraded_ticks", degraded_ticks as f64);
+    m
+}
+
+/// F6 — sensor-fault ablation: the same faulty sensor suite fused
+/// with and without the [`SensorHealth`](selfaware::health::SensorHealth)
+/// monitor. Self-awareness of one's own instruments should cut the
+/// error paid during fault windows without hurting clean operation.
+#[must_use]
+pub fn run_f6(reps: u32, steps: u64) -> Table {
+    let arms = [false, true];
+    let mut table = Table::new(
+        format!("F6: sensor-fault ablation ({steps} ticks, {reps} reps)"),
+        &[
+            "fusion",
+            "mae",
+            "mae (fault windows)",
+            "mae (clean)",
+            "quarantines",
+            "degraded ticks",
+        ],
+    );
+    let aggs = Replications::new(0xF6, reps)
+        .run_matrix(&arms, |&guarded, seeds| f6_scenario(guarded, seeds, steps));
+    for (guarded, agg) in arms.iter().zip(&aggs) {
+        table.row_owned(vec![
+            if *guarded {
+                "health-guarded"
+            } else {
+                "raw mean"
+            }
+            .to_string(),
+            num_ci(agg.mean("mae"), agg.ci95("mae")),
+            num_ci(agg.mean("mae_faulty"), agg.ci95("mae_faulty")),
+            num(agg.mean("mae_clean")),
+            format!("{:.1}", agg.mean("quarantines")),
+            format!("{:.0}", agg.mean("degraded_ticks")),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod fault_experiment_tests {
+    use super::*;
+
+    #[test]
+    fn f5_reports_recovery_and_degradation() {
+        let t = run_f5(2, 1500);
+        assert_eq!(t.len(), 3);
+        for row in 0..3 {
+            let area: f64 = t
+                .cell(row, 4)
+                .unwrap()
+                .split('±')
+                .next()
+                .unwrap()
+                .parse()
+                .unwrap();
+            assert!(area >= 0.0);
+        }
+    }
+
+    #[test]
+    fn f5_scenario_degrades_during_outage() {
+        let m = f5_scenario(&camnet::HandoverStrategy::Broadcast, SeedTree::new(7), 1800);
+        assert!(m.get("pre_quality").unwrap_or(0.0) > 0.3);
+        assert!(m.get("degradation_area").unwrap_or(-1.0) >= 0.0);
+    }
+
+    #[test]
+    fn f6_guarded_beats_raw_in_fault_windows() {
+        let a = f6_scenario(false, SeedTree::new(11), 3000);
+        let b = f6_scenario(true, SeedTree::new(11), 3000);
+        let raw = a.get("mae_faulty").unwrap_or(f64::NAN);
+        let guarded = b.get("mae_faulty").unwrap_or(f64::NAN);
+        assert!(
+            guarded < raw,
+            "guarded {guarded} should beat raw {raw} during faults"
+        );
+        assert!(b.get("quarantines").unwrap_or(0.0) >= 2.0);
+    }
+
+    #[test]
+    fn f6_table_renders_both_arms() {
+        let t = run_f6(2, 2000);
+        assert_eq!(t.len(), 2);
+    }
+}

@@ -1,0 +1,192 @@
+//! Property tests for the fault layer: for *any* fault plan, runs are
+//! (a) deterministic per seed and (b) bit-identical between the
+//! sequential and parallel replication engines.
+//!
+//! Case counts are kept low because each case simulates full
+//! scenarios; the point is plan-shape coverage, not statistical power.
+
+use proptest::prelude::*;
+use simkernel::{Aggregate, Replications, SeedTree, Tick};
+use workloads::{FaultEvent, FaultPlan, SensorFaultKind};
+
+const STEPS: u64 = 400;
+const REPS: u32 = 2;
+
+fn assert_bitwise_equal(a: &Aggregate, b: &Aggregate, what: &str) {
+    assert_eq!(a, b, "{what}: aggregates differ");
+    for (name, _) in a.iter() {
+        assert_eq!(
+            a.mean(name).to_bits(),
+            b.mean(name).to_bits(),
+            "{what}: mean({name}) diverged"
+        );
+    }
+}
+
+/// An arbitrary fail/recover pair on one camera of the 4×4 grid.
+fn camera_outage() -> impl Strategy<Value = [FaultEvent; 2]> {
+    (0usize..16, 0u64..STEPS, 1u64..STEPS / 2).prop_map(|(cam, at, down)| {
+        [
+            FaultEvent::camera_fail(Tick(at), cam),
+            FaultEvent::camera_recover(Tick(at + down), cam),
+        ]
+    })
+}
+
+/// An arbitrary cut/restore pair on a horizontal link of the 4×6 CPN
+/// grid.
+fn link_outage() -> impl Strategy<Value = [FaultEvent; 2]> {
+    (0usize..4, 0usize..5, 0u64..STEPS, 1u64..STEPS / 2).prop_map(|(r, c, at, down)| {
+        let (a, b) = (r * 6 + c, r * 6 + c + 1);
+        [
+            FaultEvent::link_cut(Tick(at), a, b),
+            FaultEvent::link_restore(Tick(at + down), a, b),
+        ]
+    })
+}
+
+/// An arbitrary fail/recover pair on one of the 8 multicore cores.
+fn core_outage() -> impl Strategy<Value = [FaultEvent; 2]> {
+    (0usize..8, 0u64..STEPS, 1u64..STEPS / 2).prop_map(|(core, at, down)| {
+        [
+            FaultEvent::core_fail(Tick(at), core),
+            FaultEvent::core_recover(Tick(at + down), core),
+        ]
+    })
+}
+
+/// An arbitrary sensor fault on one of three sensors.
+fn sensor_fault() -> impl Strategy<Value = FaultEvent> {
+    let kind = prop_oneof![
+        Just(SensorFaultKind::StuckAt),
+        (-5.0f64..5.0).prop_map(|offset| SensorFaultKind::Bias { offset }),
+        Just(SensorFaultKind::Dropout),
+        (0.1f64..4.0).prop_map(|sigma| SensorFaultKind::Noise { sigma }),
+    ];
+    (0usize..3, 0u64..STEPS, 1u64..STEPS / 2, kind)
+        .prop_map(|(sensor, at, dur, kind)| FaultEvent::sensor_fault(Tick(at), sensor, kind, dur))
+}
+
+fn plan_of(events: Vec<[FaultEvent; 2]>) -> FaultPlan {
+    FaultPlan::new(events.into_iter().flatten().collect())
+}
+
+fn check_parity<F>(base_seed: u64, scenario: F, what: &str)
+where
+    F: Fn(SeedTree) -> simkernel::MetricSet + Sync,
+{
+    let reps = Replications::new(base_seed, REPS);
+    let seq = reps.run(&scenario);
+    let par = reps.run_par_threads(4, &scenario);
+    assert_bitwise_equal(&par, &seq, what);
+}
+
+proptest! {
+
+    #[test]
+    fn any_camera_fault_plan_is_parity_clean(outages in proptest::collection::vec(camera_outage(), 0..5)) {
+        let plan = plan_of(outages);
+        check_parity(0x9A1, |seeds| {
+            let mut cfg = camnet::CamnetConfig::standard(
+                camnet::HandoverStrategy::self_aware_default(),
+                STEPS,
+            );
+            cfg.faults = plan.clone();
+            camnet::run_camnet(&cfg, &seeds).metrics
+        }, "proptest/camnet");
+    }
+
+    #[test]
+    fn any_link_fault_plan_is_parity_clean(outages in proptest::collection::vec(link_outage(), 0..5)) {
+        let plan = plan_of(outages);
+        check_parity(0x9A2, |seeds| {
+            let mut cfg = cpn::CpnConfig::standard(cpn::RoutingStrategy::cpn_default(), STEPS);
+            cfg.faults = plan.clone();
+            cpn::run_cpn(&cfg, &seeds).metrics
+        }, "proptest/cpn");
+    }
+
+    #[test]
+    fn any_core_fault_plan_is_parity_clean(outages in proptest::collection::vec(core_outage(), 0..5)) {
+        let plan = plan_of(outages);
+        check_parity(0x9A3, |seeds| {
+            let mut cfg = multicore::MulticoreConfig::standard(
+                multicore::Scheduler::SelfAware,
+                STEPS,
+            );
+            cfg.faults = plan.clone();
+            multicore::run_multicore(&cfg, &seeds).metrics
+        }, "proptest/multicore");
+    }
+
+    #[test]
+    fn any_sensor_fault_plan_keeps_runs_deterministic(events in proptest::collection::vec(sensor_fault(), 0..6)) {
+        // The F6 pipeline re-run with the same seed must be identical
+        // under any plan; guarded and raw arms both go through it.
+        let plan = FaultPlan::new(events);
+        let seeds = SeedTree::new(0x9A4);
+        for guarded in [false, true] {
+            let a = f6_like(&plan, guarded, seeds);
+            let b = f6_like(&plan, guarded, seeds);
+            prop_assert_eq!(a, b, "guarded={}", guarded);
+        }
+    }
+}
+
+/// A reduced F6 pipeline parameterised on an arbitrary plan, returning
+/// the bits of the final estimate error (for exact comparison).
+fn f6_like(plan: &FaultPlan, guarded: bool, seeds: SeedTree) -> u64 {
+    use rand::Rng as _;
+    use selfaware::explain::ExplanationLog;
+    use selfaware::health::SensorHealth;
+    use workloads::signal::{SignalGen, SignalSpec};
+
+    let mut gen = SignalGen::new(
+        vec![(
+            0,
+            SignalSpec::Oscillation {
+                center: 20.0,
+                amplitude: 6.0,
+                period: 300.0,
+            },
+        )],
+        0.0,
+        seeds.rng("truth"),
+    );
+    let mut srng = seeds.rng("sensor-noise");
+    let mut frng = seeds.rng("fault-noise");
+    let mut health = SensorHealth::default();
+    let mut log = ExplanationLog::new(256);
+    let mut held = [20.0f64; 3];
+    let mut est = 20.0;
+    let mut err = 0.0f64;
+    for t in 0..STEPS {
+        let now = Tick(t);
+        let truth = gen.sample(now);
+        let mut trusted = Vec::with_capacity(3);
+        for (i, h) in held.iter_mut().enumerate() {
+            let clean = truth + 0.2 * (srng.gen::<f64>() * 2.0 - 1.0);
+            let raw = match plan.sensor_fault_at(i, now) {
+                Some(k) => k.corrupt(clean, *h, &mut frng),
+                None => {
+                    *h = clean;
+                    Some(clean)
+                }
+            };
+            if guarded {
+                let key = ["s0", "s1", "s2"][i];
+                let r = health.observe_with_reference(key, raw, Some(est), now, &mut log);
+                if !r.degraded && !r.substituted {
+                    trusted.push(r.value);
+                }
+            } else if let Some(x) = raw {
+                trusted.push(x);
+            }
+        }
+        if !trusted.is_empty() {
+            est = trusted.iter().sum::<f64>() / trusted.len() as f64;
+        }
+        err += (est - truth).abs();
+    }
+    err.to_bits()
+}

@@ -192,3 +192,121 @@ fn figure_experiments_are_deterministic_under_par_map() {
     assert_eq!(run_f2(STEPS), run_f2(STEPS));
     assert_eq!(run_f3(STEPS), run_f3(STEPS));
 }
+
+#[test]
+fn faulted_camnet_is_parity_clean() {
+    // Fixed plan (the F5 outage) and a seed-derived random plan: the
+    // fault layer must not disturb replicate-order determinism.
+    use sas_bench::experiments::f5_scenario;
+    check_parity(
+        0xF5,
+        |seeds| {
+            f5_scenario(
+                &camnet::HandoverStrategy::self_aware_default(),
+                seeds,
+                STEPS,
+            )
+        },
+        "faults/camnet/f5",
+    );
+    check_parity(
+        0xF5,
+        |seeds| {
+            let mut cfg = camnet::CamnetConfig::standard(
+                camnet::HandoverStrategy::self_aware_default(),
+                STEPS,
+            );
+            cfg.faults = workloads::FaultPlan::random_camera_outages(
+                &seeds,
+                16,
+                3,
+                (STEPS / 4, 3 * STEPS / 4),
+                STEPS / 8,
+            );
+            camnet::run_camnet(&cfg, &seeds).metrics
+        },
+        "faults/camnet/random-plan",
+    );
+}
+
+#[test]
+fn faulted_cpn_is_parity_clean() {
+    use workloads::FaultEvent;
+    for strategy in [
+        cpn::RoutingStrategy::StaticShortest,
+        cpn::RoutingStrategy::cpn_default(),
+    ] {
+        check_parity(
+            0xF5C,
+            |seeds| {
+                let mut cfg = cpn::CpnConfig::standard(strategy, STEPS);
+                // Cut two row links mid-run, restore one.
+                cfg.faults = workloads::FaultPlan::new(vec![
+                    FaultEvent::link_cut(simkernel::Tick(STEPS / 4), 1, 2),
+                    FaultEvent::link_cut(simkernel::Tick(STEPS / 4), 7, 8),
+                    FaultEvent::link_restore(simkernel::Tick(3 * STEPS / 4), 1, 2),
+                ]);
+                cpn::run_cpn(&cfg, &seeds).metrics
+            },
+            &format!("faults/cpn/{}", strategy.label()),
+        );
+    }
+}
+
+#[test]
+fn faulted_multicore_is_parity_clean() {
+    use workloads::FaultEvent;
+    for scheduler in [
+        multicore::Scheduler::Greedy,
+        multicore::Scheduler::SelfAware,
+    ] {
+        check_parity(
+            0xF5D,
+            |seeds| {
+                let mut cfg = multicore::MulticoreConfig::standard(scheduler, STEPS);
+                cfg.faults = workloads::FaultPlan::new(vec![
+                    FaultEvent::core_fail(simkernel::Tick(STEPS / 3), 0),
+                    FaultEvent::core_fail(simkernel::Tick(STEPS / 3), 1),
+                    FaultEvent::core_recover(simkernel::Tick(2 * STEPS / 3), 0),
+                    FaultEvent::core_recover(simkernel::Tick(2 * STEPS / 3), 1),
+                ]);
+                multicore::run_multicore(&cfg, &seeds).metrics
+            },
+            &format!("faults/multicore/{}", scheduler.label()),
+        );
+    }
+}
+
+#[test]
+fn faulted_cloud_is_parity_clean() {
+    use workloads::FaultEvent;
+    check_parity(
+        0xF5E,
+        |seeds| {
+            let strategy = cloudsim::Strategy::SelfAware {
+                levels: LevelSet::full(),
+            };
+            let mut cfg = cloudsim::ScenarioConfig::standard(strategy, STEPS, &seeds);
+            cfg.faults = workloads::FaultPlan::new(vec![FaultEvent::zone_outage(
+                simkernel::Tick(STEPS / 3),
+                0,
+                6,
+                STEPS / 4,
+            )]);
+            cloudsim::run_scenario(&cfg, &seeds).metrics
+        },
+        "faults/cloud/zone-outage",
+    );
+}
+
+#[test]
+fn f6_sensor_fault_scenario_is_parity_clean() {
+    use sas_bench::experiments::f6_scenario;
+    for guarded in [false, true] {
+        check_parity(
+            0xF6,
+            |seeds| f6_scenario(guarded, seeds, STEPS),
+            &format!("faults/f6/guarded={guarded}"),
+        );
+    }
+}

@@ -7,6 +7,7 @@ use rand::Rng as _;
 use selfaware::goals::{Direction, Goal, Objective};
 use simkernel::rng::SeedTree;
 use simkernel::{MetricSet, Tick, TimeSeries};
+use workloads::faults::{FaultKind, FaultPlan};
 use workloads::trajectories::{Point, Wanderer};
 
 /// Configuration of a camera-network scenario.
@@ -31,6 +32,12 @@ pub struct CamnetConfig {
     /// (spatially heterogeneous demand — the condition under which
     /// per-camera specialisation pays off most, per ref \[13\]).
     pub home_bias: bool,
+    /// Scheduled camera faults (`CameraFail` / `CameraRecover`; other
+    /// kinds are ignored by this simulator). A dead camera drops every
+    /// object it owns, never bids, and cannot redetect; auction asks
+    /// still cost messages because the asker cannot know who is dead —
+    /// learned strategies discover it through lost auctions.
+    pub faults: FaultPlan,
     /// Handover strategy used by every camera.
     pub strategy: HandoverStrategy,
 }
@@ -48,6 +55,7 @@ impl CamnetConfig {
             handover_threshold: 0.18,
             redetect_prob: 0.3,
             home_bias: false,
+            faults: FaultPlan::none(),
             strategy,
         }
     }
@@ -121,10 +129,11 @@ pub fn run_camnet(cfg: &CamnetConfig, seeds: &SeedTree) -> CamnetResult {
             }
         })
         .collect();
+    let mut alive = vec![true; n];
     // Initial ownership: best-quality seer, if any.
     let mut owner: Vec<Option<usize>> = objects
         .iter()
-        .map(|o| best_seer(&cameras, o.position()))
+        .map(|o| best_seer(&cameras, &alive, o.position()))
         .collect();
 
     let mut auction_rng = seeds.rng("auctions");
@@ -141,6 +150,26 @@ pub fn run_camnet(cfg: &CamnetConfig, seeds: &SeedTree) -> CamnetResult {
 
     for t in 0..cfg.steps {
         let now = Tick(t);
+
+        // Apply scheduled camera faults before anything tracks.
+        for ev in cfg.faults.events_at(now) {
+            match ev.kind {
+                FaultKind::CameraFail { camera } if camera < n => {
+                    alive[camera] = false;
+                    // A dying camera loses every object it tracked.
+                    for o in &mut owner {
+                        if *o == Some(camera) {
+                            *o = None;
+                        }
+                    }
+                }
+                FaultKind::CameraRecover { camera } if camera < n => {
+                    alive[camera] = true;
+                }
+                _ => {}
+            }
+        }
+
         for o in &mut objects {
             o.step(&mut obj_rng);
         }
@@ -165,9 +194,15 @@ pub fn run_camnet(cfg: &CamnetConfig, seeds: &SeedTree) -> CamnetResult {
                         invited_total += invitees.len() as u64;
                         // ask + bid messages
                         messages += 2 * invitees.len() as u64;
+                        // Dead invitees never answer the ask, so they
+                        // cannot bid — but the ask was still sent (and
+                        // counted), and `record_auction` below treats
+                        // their silence as a lost auction, decaying
+                        // learned affinity toward them.
                         let winner = invitees
                             .iter()
                             .copied()
+                            .filter(|&j| alive[j])
                             .map(|j| (j, cameras[j].quality(pos)))
                             .filter(|&(_, bid)| bid > q)
                             .max_by(|a, b| {
@@ -192,7 +227,7 @@ pub fn run_camnet(cfg: &CamnetConfig, seeds: &SeedTree) -> CamnetResult {
                     untracked_ticks += 1;
                     window_samples += 1;
                     if auction_rng.gen::<f64>() < cfg.redetect_prob {
-                        owner[oi] = best_seer(&cameras, pos);
+                        owner[oi] = best_seer(&cameras, &alive, pos);
                     }
                 }
             }
@@ -238,10 +273,10 @@ pub fn run_camnet(cfg: &CamnetConfig, seeds: &SeedTree) -> CamnetResult {
     }
 }
 
-fn best_seer(cameras: &[Camera], pos: Point) -> Option<usize> {
+fn best_seer(cameras: &[Camera], alive: &[bool], pos: Point) -> Option<usize> {
     cameras
         .iter()
-        .filter(|c| c.sees(pos))
+        .filter(|c| alive[c.id()] && c.sees(pos))
         .max_by(|a, b| {
             a.quality(pos)
                 .partial_cmp(&b.quality(pos))
@@ -335,6 +370,73 @@ mod tests {
     fn deterministic_per_seed() {
         let a = run(HandoverStrategy::Static { k: 3 }, 7, 800);
         let b = run(HandoverStrategy::Static { k: 3 }, 7, 800);
+        assert_eq!(a.metrics, b.metrics);
+    }
+
+    fn outage_cfg(strategy: HandoverStrategy, steps: u64) -> CamnetConfig {
+        use workloads::faults::FaultEvent;
+        let mut cfg = CamnetConfig::standard(strategy, steps);
+        // Kill the four central cameras of the 4×4 grid for the middle
+        // third of the run.
+        let mut plan = FaultPlan::none();
+        for cam in [5, 6, 9, 10] {
+            plan = plan
+                .and(FaultEvent::camera_fail(Tick(steps / 3), cam))
+                .and(FaultEvent::camera_recover(Tick(2 * steps / 3), cam));
+        }
+        cfg.faults = plan;
+        cfg
+    }
+
+    #[test]
+    fn camera_outage_degrades_then_recovers() {
+        let steps = 3000;
+        let healthy = run(HandoverStrategy::Broadcast, 11, steps);
+        let faulty = run_camnet(
+            &outage_cfg(HandoverStrategy::Broadcast, steps),
+            &SeedTree::new(11),
+        );
+        let q_h = healthy.metrics.get("track_quality").unwrap();
+        let q_f = faulty.metrics.get("track_quality").unwrap();
+        assert!(q_f < q_h, "outage must cost quality: {q_f} vs {q_h}");
+        // After recovery the last quality window should be back near
+        // the pre-fault level.
+        let pts = faulty.quality.points();
+        let pre: Vec<f64> = pts
+            .iter()
+            .filter(|&&(t, _)| t < steps / 3)
+            .map(|&(_, q)| q)
+            .collect();
+        let pre_mean = pre.iter().sum::<f64>() / pre.len() as f64;
+        let last = pts.last().unwrap().1;
+        assert!(
+            last > 0.8 * pre_mean,
+            "should recover after reboot: pre {pre_mean}, last {last}"
+        );
+    }
+
+    #[test]
+    fn surviving_cameras_pick_up_dropped_objects() {
+        let r = run_camnet(
+            &outage_cfg(HandoverStrategy::self_aware_default(), 3000),
+            &SeedTree::new(12),
+        );
+        // The network must not collapse: redetection and coalition
+        // re-formation keep most object-ticks tracked.
+        assert!(r.metrics.get("untracked_ratio").unwrap() < 0.35);
+        assert!(r.metrics.get("track_quality").unwrap() > 0.3);
+    }
+
+    #[test]
+    fn fault_runs_are_deterministic_per_seed() {
+        let a = run_camnet(
+            &outage_cfg(HandoverStrategy::self_aware_default(), 900),
+            &SeedTree::new(8),
+        );
+        let b = run_camnet(
+            &outage_cfg(HandoverStrategy::self_aware_default(), 900),
+            &SeedTree::new(8),
+        );
         assert_eq!(a.metrics, b.metrics);
     }
 

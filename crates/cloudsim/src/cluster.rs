@@ -156,6 +156,24 @@ impl Cluster {
         self.nodes[i].enqueue_blind(req, now, i)
     }
 
+    /// Forces a zone outage: nodes `first .. first + count` (clamped
+    /// to the pool) go offline until `until`, dropping their queues.
+    /// Returns the losses. See [`Node::force_offline`] for semantics.
+    pub fn force_outage(
+        &mut self,
+        first: usize,
+        count: usize,
+        until: Tick,
+        now: Tick,
+    ) -> Vec<RequestOutcome> {
+        let end = first.saturating_add(count).min(self.nodes.len());
+        let mut outcomes = Vec::new();
+        for i in first.min(self.nodes.len())..end {
+            outcomes.extend(self.nodes[i].force_offline(now, i, until));
+        }
+        outcomes
+    }
+
     /// Advances churn and processing for one tick; accrues rental
     /// cost; returns all terminal outcomes.
     pub fn step(&mut self, now: Tick) -> Vec<RequestOutcome> {
@@ -255,6 +273,23 @@ mod tests {
             total
         };
         assert_eq!(run(1), run(1));
+    }
+
+    #[test]
+    fn zone_outage_takes_block_down_and_repairs_on_time() {
+        let mut c = stable_cluster(6);
+        c.dispatch(1, Request::new(0, 50.0, Tick(0), 99), Tick(0));
+        let lost = c.force_outage(1, 3, Tick(5), Tick(0));
+        assert_eq!(lost.len(), 1, "queued work in the zone is lost");
+        assert_eq!(c.dispatchable(), vec![0, 4, 5]);
+        // churn_on = 1.0 in stable_cluster, yet the zone stays down.
+        c.step(Tick(1));
+        assert_eq!(c.dispatchable(), vec![0, 4, 5]);
+        c.step(Tick(5));
+        assert_eq!(c.dispatchable(), vec![0, 1, 2, 3, 4, 5]);
+        // Out-of-range zones clamp instead of panicking.
+        assert!(c.force_outage(4, 99, Tick(9), Tick(6)).is_empty());
+        assert_eq!(c.dispatchable(), vec![0, 1, 2, 3]);
     }
 
     #[test]

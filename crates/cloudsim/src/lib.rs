@@ -21,6 +21,7 @@
 //! capacity cost.
 
 #![forbid(unsafe_code)]
+#![warn(clippy::unwrap_used, clippy::panic)]
 #![warn(missing_docs)]
 
 pub mod cluster;
@@ -30,7 +31,7 @@ pub mod sim;
 pub mod strategy;
 
 pub use cluster::Cluster;
-pub use node::{Node, NodeSpec};
+pub use node::{EnqueueError, Node, NodeSpec};
 pub use request::{Request, RequestOutcome};
 pub use sim::{run_scenario, ScenarioConfig, ScenarioResult};
 pub use strategy::Strategy;

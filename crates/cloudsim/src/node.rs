@@ -64,6 +64,23 @@ impl NodeSpec {
     }
 }
 
+/// Why an enqueue was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnqueueError {
+    /// The node is offline; the request was not accepted.
+    NodeOffline,
+}
+
+impl std::fmt::Display for EnqueueError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EnqueueError::NodeOffline => write!(f, "cannot enqueue on an offline node"),
+        }
+    }
+}
+
+impl std::error::Error for EnqueueError {}
+
 /// A live node: spec + queue + online state.
 #[derive(Debug, Clone)]
 pub struct Node {
@@ -72,6 +89,9 @@ pub struct Node {
     queue: VecDeque<(Request, f64)>, // (request, remaining work)
     completed: u64,
     lost: u64,
+    /// When set, the node is pinned offline by an injected fault until
+    /// this tick; stochastic churn cannot bring it back early.
+    forced_until: Option<Tick>,
 }
 
 impl Node {
@@ -84,6 +104,7 @@ impl Node {
             queue: VecDeque::new(),
             completed: 0,
             lost: 0,
+            forced_until: None,
         }
     }
 
@@ -129,16 +150,22 @@ impl Node {
         self.lost
     }
 
-    /// Enqueues a request.
+    /// Enqueues a request. Fails with [`EnqueueError::NodeOffline`]
+    /// (leaving the request unaccepted, to be retried or counted lost
+    /// by the caller) if the node is offline — dispatchers should not
+    /// route to offline nodes; stimulus-unaware baselines that cannot
+    /// see node state and want offline submissions to *lose* the
+    /// request should call [`Node::enqueue_blind`] instead.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the node is offline — dispatchers must not route to
-    /// offline nodes; stimulus-unaware baselines that cannot see node
-    /// state must call [`Node::enqueue_blind`] instead.
-    pub fn enqueue(&mut self, req: Request) {
-        assert!(self.online, "cannot enqueue on an offline node");
+    /// Returns [`EnqueueError::NodeOffline`] if the node is offline.
+    pub fn enqueue(&mut self, req: Request) -> Result<(), EnqueueError> {
+        if !self.online {
+            return Err(EnqueueError::NodeOffline);
+        }
         self.queue.push_back((req, req.work));
+        Ok(())
     }
 
     /// Enqueues without checking liveness: if the node is offline the
@@ -163,9 +190,39 @@ impl Node {
         }
     }
 
+    /// Pins the node offline until `until` (an injected outage, e.g. a
+    /// zone failure): the queue is dropped and the losses returned,
+    /// and stochastic churn cannot bring the node back before `until`.
+    /// At `until` the node deterministically comes back online —
+    /// forced outages have a known repair time, unlike churn.
+    pub fn force_offline(&mut self, now: Tick, node_id: usize, until: Tick) -> Vec<RequestOutcome> {
+        self.online = false;
+        self.forced_until = Some(until);
+        self.queue
+            .drain(..)
+            .map(|(request, _)| {
+                self.lost += 1;
+                RequestOutcome::Failed {
+                    request,
+                    at: now,
+                    node: node_id,
+                }
+            })
+            .collect()
+    }
+
     /// Advances churn state; if the node goes offline, its queue is
     /// dropped and the losses are returned.
     pub fn churn_step(&mut self, now: Tick, node_id: usize, rng: &mut Rng) -> Vec<RequestOutcome> {
+        // A forced outage overrides stochastic churn entirely.
+        if let Some(until) = self.forced_until {
+            if now < until {
+                return Vec::new();
+            }
+            self.forced_until = None;
+            self.online = true;
+            return Vec::new();
+        }
         if self.online {
             if rng.gen::<f64>() < self.spec.churn_off {
                 self.online = false;
@@ -254,8 +311,8 @@ mod tests {
     fn processes_fifo_and_completes() {
         let mut n = Node::new(stable_spec());
         let mut r = rng();
-        n.enqueue(Request::new(0, 3.0, Tick(0), 100));
-        n.enqueue(Request::new(1, 1.0, Tick(0), 100));
+        n.enqueue(Request::new(0, 3.0, Tick(0), 100)).unwrap();
+        n.enqueue(Request::new(1, 1.0, Tick(0), 100)).unwrap();
         // Tick 1: capacity 2 → req0 has 1 left.
         let o1 = n.process_step(Tick(1), 0, &mut r);
         assert!(o1.is_empty());
@@ -272,7 +329,7 @@ mod tests {
     fn latency_accounts_queueing() {
         let mut n = Node::new(NodeSpec::new(1.0, 0.0, 0.0, 1.0));
         let mut r = rng();
-        n.enqueue(Request::new(0, 5.0, Tick(0), 100));
+        n.enqueue(Request::new(0, 5.0, Tick(0), 100)).unwrap();
         let mut done = None;
         for t in 1..=10u64 {
             for o in n.process_step(Tick(t), 0, &mut r) {
@@ -285,8 +342,8 @@ mod tests {
     #[test]
     fn backlog_and_drain_time() {
         let mut n = Node::new(stable_spec());
-        n.enqueue(Request::new(0, 4.0, Tick(0), 10));
-        n.enqueue(Request::new(1, 2.0, Tick(0), 10));
+        n.enqueue(Request::new(0, 4.0, Tick(0), 10)).unwrap();
+        n.enqueue(Request::new(1, 2.0, Tick(0), 10)).unwrap();
         assert!((n.backlog() - 6.0).abs() < 1e-12);
         assert!((n.drain_time() - 3.0).abs() < 1e-12);
     }
@@ -296,7 +353,7 @@ mod tests {
         let spec = NodeSpec::new(1.0, 1.0, 0.0, 1.0); // always fails
         let mut n = Node::new(spec);
         let mut r = rng();
-        n.enqueue(Request::new(0, 5.0, Tick(0), 10));
+        n.enqueue(Request::new(0, 5.0, Tick(0), 10)).unwrap();
         let o = n.process_step(Tick(1), 3, &mut r);
         assert!(matches!(o[0], RequestOutcome::Failed { node: 3, .. }));
         assert_eq!(n.lost_count(), 1);
@@ -307,8 +364,8 @@ mod tests {
         let spec = NodeSpec::new(1.0, 0.0, 1.0, 0.0); // goes offline immediately
         let mut n = Node::new(spec);
         let mut r = rng();
-        n.enqueue(Request::new(0, 5.0, Tick(0), 10));
-        n.enqueue(Request::new(1, 5.0, Tick(0), 10));
+        n.enqueue(Request::new(0, 5.0, Tick(0), 10)).unwrap();
+        n.enqueue(Request::new(1, 5.0, Tick(0), 10)).unwrap();
         let dropped = n.churn_step(Tick(1), 0, &mut r);
         assert_eq!(dropped.len(), 2);
         assert!(!n.is_online());
@@ -339,13 +396,37 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "cannot enqueue on an offline node")]
-    fn enqueue_offline_panics() {
+    fn enqueue_offline_is_a_typed_error() {
         let spec = NodeSpec::new(1.0, 0.0, 1.0, 0.0);
         let mut n = Node::new(spec);
         let mut r = rng();
         n.churn_step(Tick(0), 0, &mut r);
-        n.enqueue(Request::new(0, 1.0, Tick(0), 5));
+        let err = n
+            .enqueue(Request::new(0, 1.0, Tick(0), 5))
+            .expect_err("offline node must refuse");
+        assert_eq!(err, EnqueueError::NodeOffline);
+        assert_eq!(err.to_string(), "cannot enqueue on an offline node");
+        assert_eq!(n.queue_len(), 0, "request was not accepted");
+        assert_eq!(n.lost_count(), 0, "refusal is not a loss");
+    }
+
+    #[test]
+    fn force_offline_pins_through_churn_then_restores() {
+        // churn_on = 1.0: stochastic churn would resurrect instantly.
+        let spec = NodeSpec::new(1.0, 0.0, 0.0, 1.0);
+        let mut n = Node::new(spec);
+        let mut r = rng();
+        n.enqueue(Request::new(0, 5.0, Tick(0), 10)).unwrap();
+        let dropped = n.force_offline(Tick(10), 3, Tick(14));
+        assert_eq!(dropped.len(), 1);
+        assert!(matches!(dropped[0], RequestOutcome::Failed { node: 3, .. }));
+        assert!(!n.is_online());
+        for t in 11..14u64 {
+            n.churn_step(Tick(t), 3, &mut r);
+            assert!(!n.is_online(), "pinned at t={t} despite churn_on=1");
+        }
+        n.churn_step(Tick(14), 3, &mut r);
+        assert!(n.is_online(), "deterministic repair at the deadline");
     }
 
     #[test]

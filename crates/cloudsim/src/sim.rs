@@ -9,6 +9,7 @@ use selfaware::goals::{Direction, Goal, Objective};
 use simkernel::rng::SeedTree;
 use simkernel::stats::Percentiles;
 use simkernel::{MetricSet, Tick, TimeSeries};
+use workloads::faults::{FaultKind, FaultPlan};
 use workloads::rates::{poisson, DiurnalRate, RateFn};
 use workloads::Schedule;
 
@@ -31,6 +32,11 @@ pub struct ScenarioConfig {
     pub mean_work: f64,
     /// SLA deadline in ticks.
     pub deadline: u64,
+    /// Scheduled zone outages (`ZoneOutage`; other kinds are ignored
+    /// by this simulator), applied on top of stochastic node churn:
+    /// the affected node block drops its queues and stays pinned
+    /// offline for the outage duration.
+    pub faults: FaultPlan,
     /// Dispatch strategy.
     pub strategy: Strategy,
 }
@@ -66,6 +72,7 @@ impl ScenarioConfig {
                 )),
             mean_work: 3.0,
             deadline: 12,
+            faults: FaultPlan::none(),
             strategy,
         }
     }
@@ -133,11 +140,26 @@ pub fn run_scenario(cfg: &ScenarioConfig, seeds: &SeedTree) -> ScenarioResult {
 
     for t in 0..cfg.steps {
         let now = Tick(t);
+        let mut tick_outcomes: Vec<RequestOutcome> = Vec::new();
+
+        // Apply scheduled zone outages before the controller observes
+        // the cluster.
+        for ev in cfg.faults.events_at(now) {
+            if let FaultKind::ZoneOutage {
+                first,
+                count,
+                duration,
+            } = ev.kind
+            {
+                let until = Tick(t + duration);
+                tick_outcomes.extend(cluster.force_outage(first, count, until, now));
+            }
+        }
+
         let rate = cfg.schedule.apply(rate_fn.rate(now), now);
         let count = poisson(rate, &mut arrivals_rng);
         controller.begin_tick(&mut cluster, count, now, &mut strat_rng);
 
-        let mut tick_outcomes: Vec<RequestOutcome> = Vec::new();
         for _ in 0..count {
             use rand::Rng as _;
             arrived += 1;
@@ -290,6 +312,37 @@ mod tests {
             sa.metrics.get("cost_ratio").unwrap() < ll.metrics.get("cost_ratio").unwrap(),
             "autoscaling should cut rented cost"
         );
+    }
+
+    #[test]
+    fn zone_outage_costs_completions_but_run_survives() {
+        use workloads::faults::FaultEvent;
+        let steps = 2000;
+        let faulty = |seed: u64| {
+            let seeds = SeedTree::new(seed);
+            let mut cfg = ScenarioConfig::standard(Strategy::LeastLoaded, steps, &seeds);
+            // Take out half the pool for a fifth of the run, twice.
+            cfg.faults = FaultPlan::none()
+                .and(FaultEvent::zone_outage(Tick(steps / 4), 0, 6, steps / 5))
+                .and(FaultEvent::zone_outage(
+                    Tick(3 * steps / 4),
+                    6,
+                    6,
+                    steps / 5,
+                ));
+            run_scenario(&cfg, &seeds)
+        };
+        let f = faulty(3);
+        let h = run(Strategy::LeastLoaded, 3, steps);
+        let cr_f = f.metrics.get("completion_ratio").unwrap();
+        let cr_h = h.metrics.get("completion_ratio").unwrap();
+        assert!(
+            cr_f < cr_h,
+            "outages must cost completions: {cr_f} vs {cr_h}"
+        );
+        assert!(cr_f > 0.2, "the run must survive the outages: {cr_f}");
+        // Deterministic per seed.
+        assert_eq!(faulty(3).metrics, f.metrics);
     }
 
     #[test]

@@ -1,0 +1,585 @@
+//! Sensor health monitoring: residual-based fault detection with
+//! graceful degradation.
+//!
+//! The paper argues (Section III) that self-awareness must extend to
+//! the *instruments* of awareness: a self-aware system should notice
+//! when its own sensors mislead it, and degrade gracefully rather than
+//! act on corrupt data. [`SensorHealth`] watches each scalar sensor
+//! through a per-sensor [`Holt`] self-model and a
+//! [`ResidualTracker`](crate::meta::ResidualTracker), detects three
+//! fault signatures — *stuck-at* (identical readings while the model
+//! expected movement), *outlier runs* (readings far outside the
+//! residual envelope, which also catches bias shifts), and *dropout*
+//! (missing readings) — and on detection **quarantines** the sensor:
+//! downstream consumers receive the model's forecast instead of the
+//! raw reading, flagged as substituted, until the sensor agrees with
+//! the model again for long enough to be trusted.
+//!
+//! Every quarantine entry and exit is recorded in the caller's
+//! [`ExplanationLog`] (actions `quarantine:<key>` / `restore:<key>`),
+//! so degraded-mode operation is self-explaining.
+
+use crate::explain::{Explanation, ExplanationLog};
+use crate::meta::ResidualTracker;
+use crate::models::holt::Holt;
+use crate::models::{Forecaster, OnlineModel};
+use std::collections::BTreeMap;
+
+use simkernel::Tick;
+
+/// Tuning knobs for [`SensorHealth`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SensorHealthConfig {
+    /// EWMA factor for the per-sensor residual magnitude estimate.
+    pub residual_alpha: f64,
+    /// Consecutive *bit-identical* readings before a moving signal is
+    /// declared stuck.
+    pub stuck_after: u32,
+    /// Outlier threshold in residual multiples: a reading is suspect
+    /// when `|x - forecast| > outlier_k * max(residual, outlier_floor)`.
+    pub outlier_k: f64,
+    /// Lower bound on the residual scale, so an exactly-predictable
+    /// signal does not make the outlier envelope collapse to zero.
+    pub outlier_floor: f64,
+    /// Consecutive suspect (or missing) readings before quarantine.
+    pub outlier_patience: u32,
+    /// Consecutive readings agreeing with the model before a
+    /// quarantined sensor is restored.
+    pub recover_after: u32,
+    /// Observations to absorb before any fault verdicts are issued.
+    pub min_samples: u64,
+}
+
+impl Default for SensorHealthConfig {
+    fn default() -> Self {
+        Self {
+            residual_alpha: 0.2,
+            stuck_after: 12,
+            outlier_k: 4.0,
+            outlier_floor: 1e-3,
+            outlier_patience: 3,
+            recover_after: 8,
+            min_samples: 16,
+        }
+    }
+}
+
+/// What [`SensorHealth::observe`] hands downstream for one reading.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthReading {
+    /// The value consumers should act on (raw if trusted, forecast if
+    /// substituted).
+    pub value: f64,
+    /// The raw reading, if the sensor produced one.
+    pub raw: Option<f64>,
+    /// Whether `value` is a model substitute rather than the raw
+    /// reading.
+    pub substituted: bool,
+    /// Whether the sensor is currently quarantined.
+    pub degraded: bool,
+}
+
+/// Per-sensor state: self-model, residual envelope and fault streaks.
+#[derive(Debug, Clone)]
+struct Monitor {
+    model: Holt,
+    residual: ResidualTracker,
+    last_raw: Option<f64>,
+    repeats: u32,
+    outlier_streak: u32,
+    missing_streak: u32,
+    agree_streak: u32,
+    quarantined: bool,
+    /// Ticks since the model last absorbed a trusted reading; the
+    /// model's forecasts are projected this far forward so held-out
+    /// and quarantined periods track the signal's trend.
+    behind: u32,
+    samples: u64,
+}
+
+impl Monitor {
+    fn new(residual_alpha: f64) -> Self {
+        Self {
+            model: Holt::new(0.4, 0.2),
+            residual: ResidualTracker::new(residual_alpha),
+            last_raw: None,
+            repeats: 0,
+            outlier_streak: 0,
+            missing_streak: 0,
+            agree_streak: 0,
+            quarantined: false,
+            behind: 0,
+            samples: 0,
+        }
+    }
+
+    /// Model's estimate of the signal *now*: the forecast projected
+    /// over every tick the model has been frozen.
+    fn predicted_now(&self) -> Option<f64> {
+        self.model.forecast_h(self.behind.saturating_add(1))
+    }
+
+    /// Best substitute for an untrusted or missing reading: the frozen
+    /// model projected to the current tick, else the last raw value
+    /// ever seen, else zero (a cold sensor that never reported).
+    fn substitute(&self) -> f64 {
+        self.predicted_now().or(self.last_raw).unwrap_or(0.0)
+    }
+
+    fn envelope(&self, cfg: &SensorHealthConfig) -> f64 {
+        cfg.outlier_k * self.residual.error().max(cfg.outlier_floor)
+    }
+
+    fn enter_quarantine(
+        &mut self,
+        key: &str,
+        now: Tick,
+        reason: &str,
+        detail: f64,
+        log: &mut ExplanationLog,
+    ) {
+        self.quarantined = true;
+        self.agree_streak = 0;
+        let mut e = Explanation::new(now, format!("quarantine:{key}"))
+            .because(reason, detail)
+            .because("residual", self.residual.error());
+        if let Some(p) = self.model.forecast() {
+            e = e.because("predicted", p);
+        }
+        log.record(e);
+    }
+
+    fn restore(&mut self, key: &str, now: Tick, log: &mut ExplanationLog, residual_alpha: f64) {
+        self.quarantined = false;
+        self.outlier_streak = 0;
+        self.missing_streak = 0;
+        self.repeats = 0;
+        self.behind = 0;
+        // The model sat frozen through the quarantine; its state is
+        // stale, so relearn from scratch rather than resume from a
+        // forecast that may have drifted arbitrarily far.
+        self.model = Holt::new(0.4, 0.2);
+        self.residual = ResidualTracker::new(residual_alpha);
+        self.samples = 0;
+        log.record(
+            Explanation::new(now, format!("restore:{key}"))
+                .because("agree_streak", f64::from(self.agree_streak)),
+        );
+        self.agree_streak = 0;
+    }
+
+    /// Feeds a trusted reading into the self-model.
+    fn learn(&mut self, x: f64) {
+        if let Some(p) = self.model.forecast() {
+            self.residual.record(p, x);
+        }
+        self.model.observe(x);
+        self.behind = 0;
+        self.samples += 1;
+    }
+}
+
+/// Residual-based health monitor over a set of named scalar sensors.
+///
+/// Call [`observe`](SensorHealth::observe) once per sensor per tick
+/// with the raw reading (or `None` on dropout); act on the returned
+/// [`HealthReading::value`]. Sensors are keyed by name and monitors
+/// are created lazily; iteration order is deterministic (`BTreeMap`).
+#[derive(Debug, Clone)]
+pub struct SensorHealth {
+    cfg: SensorHealthConfig,
+    monitors: BTreeMap<String, Monitor>,
+    quarantine_events: u64,
+    restore_events: u64,
+}
+
+impl Default for SensorHealth {
+    fn default() -> Self {
+        Self::new(SensorHealthConfig::default())
+    }
+}
+
+impl SensorHealth {
+    /// Creates a monitor with the given configuration.
+    #[must_use]
+    pub fn new(cfg: SensorHealthConfig) -> Self {
+        Self {
+            cfg,
+            monitors: BTreeMap::new(),
+            quarantine_events: 0,
+            restore_events: 0,
+        }
+    }
+
+    /// Processes one reading from sensor `key` and returns the value
+    /// downstream consumers should use. `raw = None` means the sensor
+    /// produced nothing this tick (dropout). Quarantine entries and
+    /// exits are recorded in `log`.
+    pub fn observe(
+        &mut self,
+        key: &str,
+        raw: Option<f64>,
+        now: Tick,
+        log: &mut ExplanationLog,
+    ) -> HealthReading {
+        self.observe_with_reference(key, raw, None, now, log)
+    }
+
+    /// Like [`observe`](SensorHealth::observe), but with an external
+    /// `reference` estimate of the monitored quantity (e.g. the fused
+    /// value of the *other*, still-trusted sensors). The reference is
+    /// used for the recovery probe of a quarantined sensor: a frozen
+    /// self-model's forecast degrades over a long quarantine, so
+    /// without a reference a sensor whose signal is not
+    /// locally-linear may never be declared healthy again.
+    pub fn observe_with_reference(
+        &mut self,
+        key: &str,
+        raw: Option<f64>,
+        reference: Option<f64>,
+        now: Tick,
+        log: &mut ExplanationLog,
+    ) -> HealthReading {
+        let cfg = self.cfg.clone();
+        let m = self
+            .monitors
+            .entry(key.to_string())
+            .or_insert_with(|| Monitor::new(cfg.residual_alpha));
+
+        if m.quarantined {
+            if let Some(x) = raw {
+                // Recovery probe: does the sensor agree with the best
+                // current estimate of the signal — the caller's
+                // reference if given, else the frozen model projected
+                // to now? Tolerance is double the outlier envelope:
+                // restoring needs looser agreement than staying
+                // trusted, or a sensor whose residual scale froze
+                // small can starve in quarantine forever. A reading
+                // bit-identical to the previous one is never evidence
+                // of health — a stuck sensor must not be restored just
+                // because the real signal wandered across its frozen
+                // value.
+                let changed = m.last_raw.map(f64::to_bits) != Some(x.to_bits());
+                let agrees = changed
+                    && reference
+                        .or_else(|| m.predicted_now())
+                        .is_none_or(|p| (x - p).abs() <= 2.0 * m.envelope(&cfg));
+                if agrees {
+                    m.agree_streak += 1;
+                } else {
+                    m.agree_streak = 0;
+                }
+                m.last_raw = Some(x);
+                if m.agree_streak >= cfg.recover_after {
+                    m.restore(key, now, log, cfg.residual_alpha);
+                    self.restore_events += 1;
+                    m.learn(x);
+                    return HealthReading {
+                        value: x,
+                        raw,
+                        substituted: false,
+                        degraded: false,
+                    };
+                }
+            } else {
+                m.agree_streak = 0;
+            }
+            let value = m.substitute();
+            m.behind = m.behind.saturating_add(1);
+            return HealthReading {
+                value,
+                raw,
+                substituted: true,
+                degraded: true,
+            };
+        }
+
+        let warm = m.samples >= cfg.min_samples;
+        let Some(x) = raw else {
+            m.missing_streak += 1;
+            m.repeats = 0;
+            m.outlier_streak = 0;
+            if warm && m.missing_streak >= cfg.outlier_patience {
+                m.enter_quarantine(key, now, "missing_streak", f64::from(m.missing_streak), log);
+                self.quarantine_events += 1;
+            }
+            let value = m.substitute();
+            m.behind = m.behind.saturating_add(1);
+            return HealthReading {
+                value,
+                raw: None,
+                substituted: true,
+                degraded: m.quarantined,
+            };
+        };
+
+        m.missing_streak = 0;
+        if m.last_raw.map(f64::to_bits) == Some(x.to_bits()) {
+            m.repeats += 1;
+        } else {
+            m.repeats = 1;
+        }
+        m.last_raw = Some(x);
+
+        // Stuck-at: the reading froze while the residual envelope says
+        // the signal had been moving. A genuinely constant signal has
+        // residual ~ 0 and is never flagged.
+        if warm && m.repeats >= cfg.stuck_after && m.residual.error() > cfg.outlier_floor {
+            m.enter_quarantine(key, now, "repeats", f64::from(m.repeats), log);
+            self.quarantine_events += 1;
+            let value = m.substitute();
+            m.behind = m.behind.saturating_add(1);
+            return HealthReading {
+                value,
+                raw,
+                substituted: true,
+                degraded: true,
+            };
+        }
+
+        // Outlier run: readings outside the residual envelope are held
+        // out of the model (so a fault cannot teach the model its own
+        // corruption) and quarantine the sensor once persistent. Each
+        // held-out tick widens the tolerance proportionally — the
+        // prediction is an extrapolation whose uncertainty grows with
+        // its horizon — so a borderline reading cannot start a
+        // self-reinforcing cascade of ever-worse extrapolations.
+        let suspect = warm
+            && m.predicted_now()
+                .is_some_and(|p| (x - p).abs() > m.envelope(&cfg) * f64::from(m.behind + 1));
+        if suspect {
+            m.outlier_streak += 1;
+            let degraded = if m.outlier_streak >= cfg.outlier_patience {
+                m.enter_quarantine(key, now, "reading", x, log);
+                self.quarantine_events += 1;
+                true
+            } else {
+                false
+            };
+            let value = m.substitute();
+            m.behind = m.behind.saturating_add(1);
+            return HealthReading {
+                value,
+                raw,
+                substituted: true,
+                degraded,
+            };
+        }
+
+        m.outlier_streak = 0;
+        m.learn(x);
+        HealthReading {
+            value: x,
+            raw,
+            substituted: false,
+            degraded: false,
+        }
+    }
+
+    /// Whether sensor `key` is currently quarantined.
+    #[must_use]
+    pub fn is_quarantined(&self, key: &str) -> bool {
+        self.monitors.get(key).is_some_and(|m| m.quarantined)
+    }
+
+    /// Number of sensors currently quarantined.
+    #[must_use]
+    pub fn quarantined_count(&self) -> usize {
+        self.monitors.values().filter(|m| m.quarantined).count()
+    }
+
+    /// Number of sensors ever observed.
+    #[must_use]
+    pub fn monitored_count(&self) -> usize {
+        self.monitors.len()
+    }
+
+    /// Total quarantine entries over the monitor's lifetime.
+    #[must_use]
+    pub fn quarantine_events(&self) -> u64 {
+        self.quarantine_events
+    }
+
+    /// Total quarantine exits over the monitor's lifetime.
+    #[must_use]
+    pub fn restore_events(&self) -> u64 {
+        self.restore_events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn log() -> ExplanationLog {
+        ExplanationLog::new(64)
+    }
+
+    fn ramp(t: u64) -> f64 {
+        0.5 * t as f64
+    }
+
+    #[test]
+    fn clean_readings_pass_through() {
+        let mut h = SensorHealth::default();
+        let mut log = log();
+        for t in 0..100 {
+            let r = h.observe("s", Some(ramp(t)), Tick(t), &mut log);
+            assert!(!r.substituted);
+            assert!(!r.degraded);
+            assert_eq!(r.value, ramp(t));
+        }
+        assert!(!h.is_quarantined("s"));
+        assert_eq!(h.quarantine_events(), 0);
+        assert_eq!(log.len(), 0);
+    }
+
+    #[test]
+    fn stuck_sensor_is_quarantined_and_explained() {
+        let mut h = SensorHealth::default();
+        let mut log = log();
+        for t in 0..60 {
+            // Mild wobble keeps the residual envelope non-degenerate.
+            let x = ramp(t) + if t % 2 == 0 { 0.05 } else { -0.05 };
+            h.observe("s", Some(x), Tick(t), &mut log);
+        }
+        let frozen = 123.25;
+        let mut degraded_seen = false;
+        for t in 60..100 {
+            let r = h.observe("s", Some(frozen), Tick(t), &mut log);
+            degraded_seen |= r.degraded;
+            if r.degraded {
+                assert!(r.substituted);
+            }
+        }
+        assert!(degraded_seen, "stuck sensor should be quarantined");
+        assert!(h.is_quarantined("s"));
+        assert!(!log.find_by_action("quarantine:s").is_empty());
+    }
+
+    #[test]
+    fn constant_signal_is_not_flagged_stuck() {
+        let mut h = SensorHealth::default();
+        let mut log = log();
+        for t in 0..300 {
+            let r = h.observe("s", Some(7.5), Tick(t), &mut log);
+            assert!(!r.degraded);
+        }
+        assert_eq!(h.quarantine_events(), 0);
+    }
+
+    #[test]
+    fn bias_shift_is_caught_as_outlier_run() {
+        let mut h = SensorHealth::default();
+        let mut log = log();
+        for t in 0..50 {
+            h.observe("s", Some(ramp(t)), Tick(t), &mut log);
+        }
+        for t in 50..60 {
+            h.observe("s", Some(ramp(t) + 4.0), Tick(t), &mut log);
+        }
+        assert!(h.is_quarantined("s"));
+        assert_eq!(h.quarantine_events(), 1);
+        // Substituted values stay near the un-biased trajectory.
+        let mut log2 = log.clone();
+        let r = h.observe("s", Some(ramp(60) + 4.0), Tick(60), &mut log2);
+        assert!(r.substituted);
+        assert!((r.value - ramp(60)).abs() < 1.0);
+    }
+
+    #[test]
+    fn single_spike_is_substituted_without_quarantine() {
+        let mut h = SensorHealth::default();
+        let mut log = log();
+        for t in 0..40 {
+            h.observe("s", Some(ramp(t)), Tick(t), &mut log);
+        }
+        let r = h.observe("s", Some(999.0), Tick(40), &mut log);
+        assert!(r.substituted, "spike must not be passed through");
+        assert!(!r.degraded);
+        assert!((r.value - ramp(40)).abs() < 0.5);
+        let r = h.observe("s", Some(ramp(41)), Tick(41), &mut log);
+        assert!(!r.substituted);
+        assert_eq!(h.quarantine_events(), 0);
+    }
+
+    #[test]
+    fn dropout_quarantines_then_recovers() {
+        let mut h = SensorHealth::default();
+        let mut log = log();
+        for t in 0..40 {
+            h.observe("s", Some(ramp(t)), Tick(t), &mut log);
+        }
+        for t in 40..50 {
+            let r = h.observe("s", None, Tick(t), &mut log);
+            assert!(r.substituted);
+            // The trend-aware substitute keeps tracking the ramp.
+            assert!((r.value - ramp(t)).abs() < 0.5);
+        }
+        assert!(h.is_quarantined("s"));
+        for t in 50..70 {
+            h.observe("s", Some(ramp(t)), Tick(t), &mut log);
+        }
+        assert!(!h.is_quarantined("s"), "agreeing sensor must be restored");
+        assert_eq!(h.restore_events(), 1);
+        assert!(!log.find_by_action("restore:s").is_empty());
+        let r = h.observe("s", Some(ramp(70)), Tick(70), &mut log);
+        assert!(!r.substituted);
+    }
+
+    #[test]
+    fn reference_recovers_sensor_with_stale_model() {
+        // A sinusoid defeats the frozen linear model over a long
+        // quarantine; the external reference still recovers it.
+        let truth = |t: u64| 20.0 + 6.0 * (t as f64 * 0.02).sin();
+        let mut h = SensorHealth::default();
+        let mut log = log();
+        for t in 0..200 {
+            h.observe_with_reference("s", Some(truth(t)), Some(truth(t)), Tick(t), &mut log);
+        }
+        for t in 200..400 {
+            // Stuck fault: reading frozen at truth(200).
+            h.observe_with_reference("s", Some(truth(200)), Some(truth(t)), Tick(t), &mut log);
+        }
+        assert!(h.is_quarantined("s"));
+        for t in 400..450 {
+            h.observe_with_reference("s", Some(truth(t)), Some(truth(t)), Tick(t), &mut log);
+        }
+        assert!(!h.is_quarantined("s"), "reference agreement must restore");
+        assert_eq!(h.restore_events(), 1);
+    }
+
+    #[test]
+    fn cold_sensor_never_quarantines_during_warmup() {
+        let mut h = SensorHealth::default();
+        let mut log = log();
+        for t in 0..10 {
+            let r = h.observe(
+                "s",
+                if t % 2 == 0 { Some(1.0) } else { None },
+                Tick(t),
+                &mut log,
+            );
+            assert!(!r.degraded);
+        }
+        assert_eq!(h.quarantine_events(), 0);
+    }
+
+    #[test]
+    fn monitors_are_independent_per_key() {
+        let mut h = SensorHealth::default();
+        let mut log = log();
+        for t in 0..50 {
+            h.observe("good", Some(ramp(t)), Tick(t), &mut log);
+            h.observe("bad", Some(ramp(t)), Tick(t), &mut log);
+        }
+        for t in 50..60 {
+            h.observe("good", Some(ramp(t)), Tick(t), &mut log);
+            h.observe("bad", None, Tick(t), &mut log);
+        }
+        assert!(!h.is_quarantined("good"));
+        assert!(h.is_quarantined("bad"));
+        assert_eq!(h.monitored_count(), 2);
+        assert_eq!(h.quarantined_count(), 1);
+    }
+}

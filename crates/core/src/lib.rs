@@ -66,6 +66,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![warn(clippy::unwrap_used, clippy::panic)]
 #![warn(missing_docs)]
 
 pub mod agent;
@@ -76,6 +77,7 @@ pub mod error;
 pub mod explain;
 pub mod expression;
 pub mod goals;
+pub mod health;
 pub mod knowledge;
 pub mod levels;
 pub mod meta;
@@ -95,6 +97,7 @@ pub mod prelude {
         UtilityPolicy,
     };
     pub use crate::goals::{Direction, Goal, Objective};
+    pub use crate::health::{HealthReading, SensorHealth, SensorHealthConfig};
     pub use crate::knowledge::KnowledgeBase;
     pub use crate::levels::{Level, LevelSet};
     pub use crate::meta::{ExplorationGovernor, ModelPool, ResidualTracker, StrategySwitcher};

@@ -1,9 +1,17 @@
 //! Network topology: undirected graphs with hop-count and weighted
 //! shortest paths.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
 
 /// An undirected graph over nodes `0..n`.
+///
+/// Edges can be taken *down* ([`Graph::remove_edge`]) and brought back
+/// ([`Graph::restore_edge`]) without disturbing adjacency-list
+/// positions: [`Graph::neighbours`] keeps returning the full list so
+/// per-neighbour state held by callers (router Q-tables, link queues)
+/// stays index-stable across faults, while path computations and
+/// [`Graph::are_adjacent`] only see edges that are up. Use
+/// [`Graph::edge_up`] to test an individual link.
 ///
 /// # Example
 ///
@@ -21,6 +29,15 @@ use std::collections::VecDeque;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Graph {
     adj: Vec<Vec<usize>>,
+    /// Cut edges, as normalised `(min, max)` pairs. Still present in
+    /// `adj` (so neighbour positions never shift) but excluded from
+    /// adjacency queries and path computations.
+    down: BTreeSet<(usize, usize)>,
+}
+
+/// Normalised key for an undirected edge.
+fn edge_key(u: usize, v: usize) -> (usize, usize) {
+    (u.min(v), u.max(v))
 }
 
 impl Graph {
@@ -29,6 +46,7 @@ impl Graph {
     pub fn new(n: usize) -> Self {
         Self {
             adj: vec![Vec::new(); n],
+            down: BTreeSet::new(),
         }
     }
 
@@ -108,9 +126,42 @@ impl Graph {
             self.adj[u].push(v);
             self.adj[v].push(u);
         }
+        // Re-adding a cut edge brings it back up.
+        self.down.remove(&edge_key(u, v));
     }
 
-    /// Neighbours of `u`.
+    /// Takes the edge `u — v` down (a link fault). The edge stays in
+    /// the adjacency lists — neighbour positions are stable — but
+    /// disappears from [`Graph::are_adjacent`], [`Graph::edge_count`]
+    /// and all path computations. Returns `true` if the edge existed
+    /// and was up.
+    pub fn remove_edge(&mut self, u: usize, v: usize) -> bool {
+        let structurally = self.adj.get(u).is_some_and(|ns| ns.contains(&v));
+        structurally && self.down.insert(edge_key(u, v))
+    }
+
+    /// Brings a cut edge back up. Returns `true` if it was down.
+    pub fn restore_edge(&mut self, u: usize, v: usize) -> bool {
+        self.down.remove(&edge_key(u, v))
+    }
+
+    /// Whether the edge `u — v` exists *and is currently up*.
+    #[must_use]
+    pub fn edge_up(&self, u: usize, v: usize) -> bool {
+        self.adj.get(u).is_some_and(|ns| ns.contains(&v)) && !self.link_down(u, v)
+    }
+
+    /// Whether the edge `u — v` is currently cut. Cheaper than
+    /// [`Graph::edge_up`] when `v` is already known to be a neighbour
+    /// of `u` (e.g. taken from [`Graph::neighbours`]).
+    #[must_use]
+    pub fn link_down(&self, u: usize, v: usize) -> bool {
+        !self.down.is_empty() && self.down.contains(&edge_key(u, v))
+    }
+
+    /// Neighbours of `u`, *including* those across cut edges (so that
+    /// per-neighbour state indexed by position survives link faults).
+    /// Filter with [`Graph::edge_up`] when liveness matters.
     ///
     /// # Panics
     ///
@@ -120,16 +171,16 @@ impl Graph {
         &self.adj[u]
     }
 
-    /// Whether `u` and `v` share an edge.
+    /// Whether `u` and `v` share an edge that is up.
     #[must_use]
     pub fn are_adjacent(&self, u: usize, v: usize) -> bool {
-        self.adj.get(u).is_some_and(|ns| ns.contains(&v))
+        self.edge_up(u, v)
     }
 
-    /// Total edge count.
+    /// Number of edges currently up.
     #[must_use]
     pub fn edge_count(&self) -> usize {
-        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2 - self.down.len()
     }
 
     /// For every node, the next hop on a shortest (hop-count) path to
@@ -144,6 +195,9 @@ impl Graph {
         queue.push_back(dst);
         while let Some(u) = queue.pop_front() {
             for &v in &self.adj[u] {
+                if !self.edge_up(u, v) {
+                    continue;
+                }
                 if dist[v] == usize::MAX {
                     dist[v] = dist[u] + 1;
                     next[v] = Some(u);
@@ -182,6 +236,9 @@ impl Graph {
             let Some(u) = u else { break };
             visited[u] = true;
             for &v in &self.adj[u] {
+                if !self.edge_up(u, v) {
+                    continue;
+                }
                 let w = weight(v, u); // cost of traversing v → u
                 debug_assert!(w > 0.0, "weights must be positive");
                 if dist[u] + w < dist[v] {
@@ -317,6 +374,64 @@ mod tests {
             at = nxt;
         }
         assert_eq!(at, 5, "greedy CPN init should reach the target");
+    }
+
+    #[test]
+    fn removed_edges_leave_positions_stable() {
+        let mut g = Graph::grid(2, 2); // 0-1, 0-2, 1-3, 2-3
+        let before: Vec<usize> = g.neighbours(0).to_vec();
+        assert!(g.remove_edge(0, 1));
+        assert!(!g.remove_edge(0, 1), "already down");
+        assert!(!g.remove_edge(0, 3), "never existed");
+        assert_eq!(g.neighbours(0), before.as_slice(), "positions stable");
+        assert!(!g.are_adjacent(0, 1));
+        assert!(!g.edge_up(1, 0), "symmetric");
+        assert_eq!(g.edge_count(), 3);
+        assert!(g.restore_edge(1, 0), "restore from either end");
+        assert!(!g.restore_edge(0, 1), "already up");
+        assert!(g.are_adjacent(0, 1));
+        assert_eq!(g.edge_count(), 4);
+    }
+
+    #[test]
+    fn partitioned_graph_routes_around_or_gives_none() {
+        // 2×3 grid:
+        //   0 1 2
+        //   3 4 5
+        // Cutting 1-2 and 4-5 splits {0,1,3,4} from {2,5}.
+        let mut g = Graph::grid(2, 3);
+        assert!(g.remove_edge(1, 2));
+        assert!(g.remove_edge(4, 5));
+        let next = g.bfs_next_hops(5);
+        assert_eq!(next[5], None, "destination itself");
+        assert_eq!(next[2], Some(5), "same side still routes");
+        for u in [0, 1, 3, 4] {
+            assert_eq!(next[u], None, "node {u} is cut off");
+        }
+        let weighted = g.weighted_next_hops(5, |_, _| 1.0);
+        for u in [0, 1, 3, 4] {
+            assert_eq!(weighted[u], None, "weighted agrees: {u} cut off");
+        }
+        // Restoring one crossing reconnects everything.
+        assert!(g.restore_edge(4, 5));
+        let next = g.bfs_next_hops(5);
+        for (u, hop) in next.iter().enumerate().take(5) {
+            assert!(hop.is_some(), "node {u} reconnected");
+        }
+        assert_eq!(next[1], Some(4), "detours around the still-cut 1-2");
+    }
+
+    #[test]
+    fn bfs_detours_around_cut_bridge() {
+        let mut g = Graph::grid(3, 3);
+        g.remove_edge(0, 1);
+        let next = g.bfs_next_hops(2);
+        // 0 can no longer go right; it must drop down to 3.
+        assert_eq!(next[0], Some(3));
+        // add_edge on a down edge brings it back up.
+        g.add_edge(0, 1);
+        assert!(g.edge_up(0, 1));
+        assert_eq!(g.bfs_next_hops(2)[0], Some(1));
     }
 
     #[test]

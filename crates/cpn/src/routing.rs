@@ -130,6 +130,9 @@ fn hop_distances(graph: &Graph, dst: usize) -> Vec<usize> {
     q.push_back(dst);
     while let Some(u) = q.pop_front() {
         for &v in graph.neighbours(u) {
+            if graph.link_down(u, v) {
+                continue;
+            }
             if dist[v] == usize::MAX {
                 dist[v] = dist[u] + 1;
                 q.push_back(v);
@@ -211,18 +214,34 @@ impl Router {
         match &self.kind {
             RouterKind::Table { next, .. } => next[dst][at],
             RouterKind::Cpn { q, epsilon, .. } => {
+                // CPN routers sense link liveness locally: cut edges
+                // are never candidates, so packets detour immediately
+                // (table routers keep pointing at the dead link until
+                // the next recompute — or forever, for StaticShortest).
                 let neighbours = graph.neighbours(at);
-                if neighbours.is_empty() {
+                let up = neighbours
+                    .iter()
+                    .filter(|&&v| !graph.link_down(at, v))
+                    .count();
+                if up == 0 {
                     return None;
                 }
                 let row = &q[at][dst];
                 if smart && rng.gen::<f64>() < *epsilon {
-                    return Some(neighbours[rng.gen_range(0..neighbours.len())]);
+                    let pick = rng.gen_range(0..up);
+                    return neighbours
+                        .iter()
+                        .copied()
+                        .filter(|&v| !graph.link_down(at, v))
+                        .nth(pick);
                 }
                 // Prefer not to bounce straight back unless forced.
                 let mut best: Option<(usize, f64)> = None;
                 for (k, &v) in neighbours.iter().enumerate() {
-                    if Some(v) == prev && neighbours.len() > 1 {
+                    if graph.link_down(at, v) {
+                        continue;
+                    }
+                    if Some(v) == prev && up > 1 {
                         continue;
                     }
                     let est = row[k];
@@ -438,6 +457,48 @@ mod tests {
         r.maintain(&g, Tick(10), |u, v| if u == 1 || v == 1 { 100 } else { 0 });
         let nxt = r.next_hop(&g, 0, 8, None, false, &mut rr).unwrap();
         assert_eq!(nxt, 3, "should avoid congested node 1");
+    }
+
+    #[test]
+    fn cpn_routes_around_cut_links_immediately() {
+        let mut g = Graph::grid(3, 3);
+        let r = RoutingStrategy::Cpn {
+            smart_ratio: 0.0,
+            epsilon: 0.0,
+        }
+        .build(&g);
+        let mut rr = rng();
+        // Cold init would route 0→2 via 1; cut 0-1 and the router must
+        // detour down through 3 without any learning.
+        g.remove_edge(0, 1);
+        assert_eq!(r.next_hop(&g, 0, 2, None, false, &mut rr), Some(3));
+        // Fully isolated node: no hop at all.
+        g.remove_edge(0, 3);
+        assert_eq!(r.next_hop(&g, 0, 2, None, false, &mut rr), None);
+        // Smart exploration also never picks a dead link.
+        let smart = RoutingStrategy::Cpn {
+            smart_ratio: 1.0,
+            epsilon: 1.0,
+        }
+        .build(&g);
+        g.restore_edge(0, 3);
+        for _ in 0..20 {
+            assert_eq!(smart.next_hop(&g, 0, 2, None, true, &mut rr), Some(3));
+        }
+    }
+
+    #[test]
+    fn table_router_keeps_pointing_at_cut_link_until_recompute() {
+        let mut g = Graph::grid(3, 3);
+        let mut r = RoutingStrategy::Periodic { period: 10 }.build(&g);
+        let mut rr = rng();
+        g.remove_edge(0, 1);
+        g.remove_edge(0, 3);
+        // Stale table still points somewhere (the dead link).
+        assert!(r.next_hop(&g, 0, 8, None, false, &mut rr).is_some());
+        // After recompute the isolated node has no route.
+        r.maintain(&g, Tick(10), |_, _| 0);
+        assert_eq!(r.next_hop(&g, 0, 8, None, false, &mut rr), None);
     }
 
     #[test]

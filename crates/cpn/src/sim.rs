@@ -5,6 +5,7 @@ use crate::graph::Graph;
 use crate::routing::{Router, RoutingStrategy};
 use simkernel::rng::SeedTree;
 use simkernel::{MetricSet, Tick, TimeSeries};
+use workloads::faults::{FaultKind, FaultPlan};
 use workloads::rates::poisson;
 
 /// Maximum hops before a packet is discarded.
@@ -101,6 +102,11 @@ pub struct CpnConfig {
     pub flows: Vec<Flow>,
     /// Optional router-targeting DoS event.
     pub degradation: Option<Degradation>,
+    /// Scheduled link faults (`LinkCut` / `LinkRestore`; other kinds
+    /// are ignored by this simulator). Packets already queued on a cut
+    /// link stall until restoration; CPN routers detour immediately,
+    /// table routers only at their next recompute.
+    pub faults: FaultPlan,
     /// Routing strategy.
     pub strategy: RoutingStrategy,
 }
@@ -134,6 +140,7 @@ impl CpnConfig {
                 nodes: vec![node(1, 2), node(1, 3), node(2, 2), node(2, 3)],
                 bandwidth: 1,
             }),
+            faults: FaultPlan::none(),
             strategy,
         }
     }
@@ -175,7 +182,7 @@ struct Packet {
 ///   for cross-strategy ranking).
 #[must_use]
 pub fn run_cpn(cfg: &CpnConfig, seeds: &SeedTree) -> CpnResult {
-    let graph = Graph::grid(cfg.rows, cfg.cols);
+    let mut graph = Graph::grid(cfg.rows, cfg.cols);
     let mut router = cfg.strategy.build(&graph);
     let mut inject_rng = seeds.rng("inject");
     let mut route_rng = seeds.rng("route");
@@ -199,7 +206,8 @@ pub fn run_cpn(cfg: &CpnConfig, seeds: &SeedTree) -> CpnResult {
     let mut phase_count = [0u64; 3];
     let mut delay_series = TimeSeries::new(cfg.strategy.label());
 
-    let enqueue = |queues: &mut Vec<Vec<std::collections::VecDeque<Packet>>>,
+    let enqueue = |graph: &Graph,
+                   queues: &mut Vec<Vec<std::collections::VecDeque<Packet>>>,
                    router: &mut Router,
                    u: usize,
                    v: usize,
@@ -214,7 +222,7 @@ pub fn run_cpn(cfg: &CpnConfig, seeds: &SeedTree) -> CpnResult {
             if !pkt.hostile {
                 *dropped += 1;
             }
-            router.reinforce_drop(&graph, u, v, pkt.dst);
+            router.reinforce_drop(graph, u, v, pkt.dst);
         } else {
             queues[u][k].push_back(pkt);
         }
@@ -222,6 +230,20 @@ pub fn run_cpn(cfg: &CpnConfig, seeds: &SeedTree) -> CpnResult {
 
     for t in 0..cfg.steps {
         let now = Tick(t);
+
+        // Apply scheduled link faults before anything routes.
+        for ev in cfg.faults.events_at(now) {
+            match ev.kind {
+                FaultKind::LinkCut { a, b } => {
+                    graph.remove_edge(a, b);
+                }
+                FaultKind::LinkRestore { a, b } => {
+                    graph.restore_edge(a, b);
+                }
+                _ => {}
+            }
+        }
+
         router.maintain(&graph, now, |u, v| {
             graph
                 .neighbours(u)
@@ -251,7 +273,15 @@ pub fn run_cpn(cfg: &CpnConfig, seeds: &SeedTree) -> CpnResult {
                 };
                 match router.next_hop(&graph, flow.src, flow.dst, None, smart, &mut route_rng) {
                     Some(v) => {
-                        enqueue(&mut queues, &mut router, flow.src, v, pkt, &mut dropped);
+                        enqueue(
+                            &graph,
+                            &mut queues,
+                            &mut router,
+                            flow.src,
+                            v,
+                            pkt,
+                            &mut dropped,
+                        );
                     }
                     None => {
                         if !flow.hostile {
@@ -268,9 +298,16 @@ pub fn run_cpn(cfg: &CpnConfig, seeds: &SeedTree) -> CpnResult {
         for u in 0..graph.len() {
             for k in 0..queues[u].len() {
                 let v = graph.neighbours(u)[k];
-                let bw = match &cfg.degradation {
-                    Some(d) if d.affects(u, v, now) => d.bandwidth,
-                    _ => BANDWIDTH,
+                // A cut link serves nothing: queued packets stall in
+                // place until the link is restored (or TTL out once
+                // the queue drains afterwards).
+                let bw = if graph.link_down(u, v) {
+                    0
+                } else {
+                    match &cfg.degradation {
+                        Some(d) if d.affects(u, v, now) => d.bandwidth,
+                        _ => BANDWIDTH,
+                    }
                 };
                 for _ in 0..bw {
                     match queues[u][k].pop_front() {
@@ -318,7 +355,7 @@ pub fn run_cpn(cfg: &CpnConfig, seeds: &SeedTree) -> CpnResult {
                 continue;
             }
             match router.next_hop(&graph, v, pkt.dst, Some(u), pkt.smart, &mut route_rng) {
-                Some(w) => enqueue(&mut queues, &mut router, v, w, pkt, &mut dropped),
+                Some(w) => enqueue(&graph, &mut queues, &mut router, v, w, pkt, &mut dropped),
                 None => {
                     if !pkt.hostile {
                         dropped += 1;
@@ -385,6 +422,7 @@ mod tests {
             steps: 500,
             flows: vec![Flow::background(0, 8, 0.5)],
             degradation: None,
+            faults: FaultPlan::none(),
             strategy: RoutingStrategy::StaticShortest,
         };
         let r = run_cpn(&cfg, &SeedTree::new(1));
@@ -430,6 +468,67 @@ mod tests {
             post < pre * 2.5,
             "post-attack delay should return near baseline: pre {pre}, post {post}"
         );
+    }
+
+    #[test]
+    fn cut_links_stall_static_but_cpn_detours() {
+        use workloads::faults::FaultEvent;
+        // 3×3 grid, flow 0→2 along the top row. Cut 1-2 for the middle
+        // third: the static router keeps feeding the dead link, the
+        // CPN router detours through the second row.
+        let faulty = |strategy| CpnConfig {
+            rows: 3,
+            cols: 3,
+            steps: 900,
+            flows: vec![Flow::background(0, 2, 0.8)],
+            degradation: None,
+            faults: FaultPlan::none()
+                .and(FaultEvent::link_cut(Tick(300), 1, 2))
+                .and(FaultEvent::link_restore(Tick(600), 1, 2)),
+            strategy,
+        };
+        let stat = run_cpn(&faulty(RoutingStrategy::StaticShortest), &SeedTree::new(9));
+        let cpn = run_cpn(&faulty(RoutingStrategy::cpn_default()), &SeedTree::new(9));
+        let s = stat.metrics.get("delivery_ratio").unwrap();
+        let c = cpn.metrics.get("delivery_ratio").unwrap();
+        assert!(
+            s < 0.9,
+            "static should lose traffic while the link is down: {s}"
+        );
+        assert!(c > s + 0.1, "cpn should detour: cpn {c} vs static {s}");
+    }
+
+    #[test]
+    fn periodic_recovers_from_cut_at_next_recompute() {
+        use workloads::faults::FaultEvent;
+        let cfg = CpnConfig {
+            rows: 3,
+            cols: 3,
+            steps: 900,
+            flows: vec![Flow::background(0, 2, 0.8)],
+            degradation: None,
+            faults: FaultPlan::none().and(FaultEvent::link_cut(Tick(300), 1, 2)),
+            strategy: RoutingStrategy::Periodic { period: 50 },
+        };
+        let r = run_cpn(&cfg, &SeedTree::new(9));
+        // The cut is permanent, but a 50-tick recompute horizon keeps
+        // the loss bounded to roughly one period of traffic.
+        assert!(r.metrics.get("delivery_ratio").unwrap() > 0.85);
+    }
+
+    #[test]
+    fn fault_runs_are_deterministic_per_seed() {
+        use workloads::faults::FaultEvent;
+        let cfg = |steps| {
+            let mut c = CpnConfig::standard(RoutingStrategy::cpn_default(), steps);
+            c.faults = FaultPlan::none()
+                .and(FaultEvent::link_cut(Tick(100), 8, 9))
+                .and(FaultEvent::link_restore(Tick(400), 8, 9));
+            c
+        };
+        let a = run_cpn(&cfg(600), &SeedTree::new(6));
+        let b = run_cpn(&cfg(600), &SeedTree::new(6));
+        assert_eq!(a.metrics, b.metrics);
     }
 
     #[test]

@@ -124,6 +124,7 @@ pub struct Core {
     busy_ticks: u64,
     throttled_ticks: u64,
     completed: u64,
+    online: bool,
 }
 
 impl Core {
@@ -139,7 +140,35 @@ impl Core {
             busy_ticks: 0,
             throttled_ticks: 0,
             completed: 0,
+            online: true,
         }
+    }
+
+    /// Whether the core is currently online.
+    #[must_use]
+    pub fn is_online(&self) -> bool {
+        self.online
+    }
+
+    /// Takes the core offline (a core fault). The task being executed
+    /// loses its partial progress — restart semantics — and the whole
+    /// queue is orphaned and returned so the scheduler can
+    /// redistribute it. Idempotent: failing an offline core returns an
+    /// empty queue.
+    pub fn fail(&mut self) -> Vec<Task> {
+        self.online = false;
+        // Dropping the tracked remaining-work alongside each task is
+        // what gives restart semantics: re-enqueueing starts from
+        // `task.work` again.
+        self.queue.drain(..).map(|(task, _)| task).collect()
+    }
+
+    /// Brings a failed core back online, idle and at full frequency
+    /// (a reboot does not reset temperature instantly — the die keeps
+    /// whatever heat it has).
+    pub fn recover(&mut self) {
+        self.online = true;
+        self.dvfs = DvfsLevel::High;
     }
 
     /// The core's spec.
@@ -219,6 +248,12 @@ impl Core {
     /// temperature, applies thermal throttling. Returns tasks that
     /// completed this tick (with their total work as scheduled).
     pub fn step(&mut self, now: simkernel::Tick) -> Vec<(Task, u64)> {
+        // An offline core executes nothing and draws no power; the die
+        // cools toward ambient.
+        if !self.online {
+            self.temp += (T_AMBIENT - self.temp) / self.spec.tau;
+            return Vec::new();
+        }
         // Thermal throttle: at or over cap, force lowest frequency.
         if self.temp >= T_CAP {
             self.dvfs = DvfsLevel::Low;
@@ -379,6 +414,48 @@ mod tests {
         }
         assert!(little.temperature() < big.temperature());
         assert!(little.energy() < big.energy());
+    }
+
+    #[test]
+    fn fail_orphans_queue_with_restart_semantics() {
+        let mut c = Core::new(CoreSpec::big());
+        c.enqueue(task(0, TaskClass::Compute, 6.0, 0));
+        c.enqueue(task(1, TaskClass::Compute, 2.0, 0));
+        c.step(Tick(1)); // partially executes task 0
+        assert!(c.is_online());
+        let orphans = c.fail();
+        assert!(!c.is_online());
+        assert_eq!(orphans.len(), 2);
+        assert_eq!(orphans[0].work, 6.0, "partial progress is lost");
+        assert!(c.fail().is_empty(), "idempotent");
+        // Offline: no execution, no energy, cools toward ambient.
+        let e = c.energy();
+        c.enqueue(task(2, TaskClass::Compute, 1.0, 0));
+        assert!(c.step(Tick(2)).is_empty());
+        assert_eq!(c.energy(), e);
+        c.recover();
+        assert!(c.is_online());
+        assert_eq!(c.dvfs(), DvfsLevel::High);
+        let done = c.step(Tick(3));
+        assert_eq!(done.len(), 1, "queued work runs after recovery");
+    }
+
+    #[test]
+    fn offline_core_cools() {
+        let mut c = Core::new(CoreSpec::big());
+        for i in 0..1000 {
+            c.enqueue(task(i, TaskClass::Compute, 3.0, 0));
+        }
+        for t in 1..=100u64 {
+            c.step(Tick(t));
+        }
+        let hot = c.temperature();
+        c.fail();
+        for t in 101..=400u64 {
+            c.step(Tick(t));
+        }
+        assert!(c.temperature() < hot - 10.0);
+        assert!((c.temperature() - T_AMBIENT).abs() < 5.0);
     }
 
     #[test]

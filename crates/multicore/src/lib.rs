@@ -19,6 +19,7 @@
 //! violations.
 
 #![forbid(unsafe_code)]
+#![warn(clippy::unwrap_used, clippy::panic)]
 #![warn(missing_docs)]
 
 pub mod core;

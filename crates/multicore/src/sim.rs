@@ -6,6 +6,7 @@ use crate::sched::Scheduler;
 use selfaware::goals::{Direction, Goal, Objective};
 use simkernel::rng::SeedTree;
 use simkernel::{MetricSet, Tick, TimeSeries};
+use workloads::faults::{FaultKind, FaultPlan};
 use workloads::tasks::{TaskMix, TaskStream};
 
 /// Configuration of a multicore scenario.
@@ -21,6 +22,12 @@ pub struct MulticoreConfig {
     pub phases: Vec<(u64, TaskMix)>,
     /// Deadline for interactive tasks (ticks); others unconstrained.
     pub interactive_deadline: u64,
+    /// Scheduled core faults (`CoreFail` / `CoreRecover`; other kinds
+    /// are ignored by this simulator). A failing core orphans its
+    /// queue — partial progress lost — and the scheduler immediately
+    /// redistributes the orphans; assignments that would land on an
+    /// offline core are redirected to the next online one.
+    pub faults: FaultPlan,
     /// Scheduler under test.
     pub scheduler: Scheduler,
 }
@@ -42,6 +49,7 @@ impl MulticoreConfig {
                 (2 * third, TaskMix::new(4.0, [0.3, 0.3, 0.4], 1.8)),
             ],
             interactive_deadline: 8,
+            faults: FaultPlan::none(),
             scheduler,
         }
     }
@@ -124,10 +132,30 @@ pub fn run_multicore(cfg: &MulticoreConfig, seeds: &SeedTree) -> MulticoreResult
 
     for t in 0..cfg.steps {
         let now = Tick(t);
+
+        // Apply scheduled core faults before anything schedules.
+        for ev in cfg.faults.events_at(now) {
+            match ev.kind {
+                FaultKind::CoreFail { core } if core < cores.len() => {
+                    let orphans = cores[core].fail();
+                    for task in orphans {
+                        let idx = controller.assign(&cores, &task, &mut sched_rng);
+                        let idx = redirect_online(&cores, idx);
+                        cores[idx].enqueue(task);
+                    }
+                }
+                FaultKind::CoreRecover { core } if core < cores.len() => {
+                    cores[core].recover();
+                }
+                _ => {}
+            }
+        }
+
         controller.begin_tick(&mut cores, now);
         for task in stream.emit(now) {
             arrived += 1;
             let idx = controller.assign(&cores, &task, &mut sched_rng);
+            let idx = redirect_online(&cores, idx);
             cores[idx].enqueue(task);
         }
         #[allow(clippy::needless_range_loop)]
@@ -203,12 +231,67 @@ pub fn run_multicore(cfg: &MulticoreConfig, seeds: &SeedTree) -> MulticoreResult
     }
 }
 
+/// Redirects an assignment landing on an offline core to the next
+/// online core (deterministic wrap-around scan). If every core is
+/// offline the original index is kept — the task waits in that queue
+/// until the core recovers.
+fn redirect_online(cores: &[Core], idx: usize) -> usize {
+    if cores[idx].is_online() {
+        return idx;
+    }
+    (1..cores.len())
+        .map(|d| (idx + d) % cores.len())
+        .find(|&j| cores[j].is_online())
+        .unwrap_or(idx)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn run(s: Scheduler, seed: u64, steps: u64) -> MulticoreResult {
         run_multicore(&MulticoreConfig::standard(s, steps), &SeedTree::new(seed))
+    }
+
+    fn faulty_cfg(s: Scheduler, steps: u64) -> MulticoreConfig {
+        use workloads::faults::FaultEvent;
+        let mut cfg = MulticoreConfig::standard(s, steps);
+        // Fail three of the four big cores for the middle third.
+        let mut plan = FaultPlan::none();
+        for core in 0..3 {
+            plan = plan
+                .and(FaultEvent::core_fail(Tick(steps / 3), core))
+                .and(FaultEvent::core_recover(Tick(2 * steps / 3), core));
+        }
+        cfg.faults = plan;
+        cfg
+    }
+
+    #[test]
+    fn core_failures_redistribute_work() {
+        let steps = 2400;
+        let r = run_multicore(&faulty_cfg(Scheduler::Greedy, steps), &SeedTree::new(2));
+        let m = &r.metrics;
+        // Losing 3 of 4 big cores mid-run must not lose the workload:
+        // orphans restart elsewhere and the run still completes most
+        // tasks by the end.
+        assert!(
+            m.get("completion_ratio").unwrap() > 0.7,
+            "completion {:?}",
+            m.get("completion_ratio")
+        );
+        let healthy = run(Scheduler::Greedy, 2, steps);
+        assert!(
+            m.get("mean_latency").unwrap() > healthy.metrics.get("mean_latency").unwrap(),
+            "losing capacity must cost latency"
+        );
+    }
+
+    #[test]
+    fn fault_runs_are_deterministic_per_seed() {
+        let a = run_multicore(&faulty_cfg(Scheduler::SelfAware, 900), &SeedTree::new(4));
+        let b = run_multicore(&faulty_cfg(Scheduler::SelfAware, 900), &SeedTree::new(4));
+        assert_eq!(a.metrics, b.metrics);
     }
 
     #[test]

@@ -43,6 +43,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![warn(clippy::unwrap_used, clippy::panic)]
 #![warn(missing_docs)]
 
 pub mod clock;

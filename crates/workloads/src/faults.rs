@@ -1,0 +1,433 @@
+//! Scheduled component faults: cameras dying, links cut, cores
+//! failing, correlated zone outages and sensor corruption.
+//!
+//! Where [`crate::disturbance`] perturbs *scalar signals* (demand,
+//! load), a [`FaultPlan`] breaks *components*: the machinery a
+//! self-aware system runs on. The plan is pure data — a sorted list of
+//! `(tick, fault)` events each simulator applies at the top of its
+//! tick loop — so the same plan replayed against the same
+//! [`simkernel::SeedTree`] is bit-identical whether the replicate runs
+//! sequentially or on a worker pool. Randomised plans are derived from
+//! a seed subtree (never from wall-clock or execution order) for the
+//! same reason.
+
+use rand::Rng as _;
+use serde::{Deserialize, Serialize};
+use simkernel::rng::{Rng, SeedTree};
+use simkernel::Tick;
+
+/// How a faulty sensor corrupts its readings.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SensorFaultKind {
+    /// The sensor freezes: it keeps reporting the last value it held
+    /// before the fault began.
+    StuckAt,
+    /// A constant additive offset on every reading.
+    Bias {
+        /// Offset added to the true value.
+        offset: f64,
+    },
+    /// The sensor returns nothing at all.
+    Dropout,
+    /// Heavy uniform noise on every reading.
+    Noise {
+        /// Half-width of the uniform noise band.
+        sigma: f64,
+    },
+}
+
+impl SensorFaultKind {
+    /// Applies the fault to one reading. `clean` is the true value the
+    /// sensor would have reported, `held` the last pre-fault reading
+    /// (what a stuck sensor repeats). Returns `None` for a dropout.
+    pub fn corrupt(&self, clean: f64, held: f64, rng: &mut Rng) -> Option<f64> {
+        match *self {
+            SensorFaultKind::StuckAt => Some(held),
+            SensorFaultKind::Bias { offset } => Some(clean + offset),
+            SensorFaultKind::Dropout => None,
+            SensorFaultKind::Noise { sigma } => {
+                Some(clean + sigma * (rng.gen::<f64>() * 2.0 - 1.0))
+            }
+        }
+    }
+}
+
+/// One scheduled component fault.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// A camera goes dark: it drops every object it owns, stops
+    /// bidding in auctions and cannot redetect.
+    CameraFail {
+        /// Camera index.
+        camera: usize,
+    },
+    /// A failed camera reboots and rejoins the network.
+    CameraRecover {
+        /// Camera index.
+        camera: usize,
+    },
+    /// A network link is severed; packets queued on it stall until
+    /// restoration and routers must detour.
+    LinkCut {
+        /// One endpoint.
+        a: usize,
+        /// The other endpoint.
+        b: usize,
+    },
+    /// A previously cut link comes back.
+    LinkRestore {
+        /// One endpoint.
+        a: usize,
+        /// The other endpoint.
+        b: usize,
+    },
+    /// A core halts: its queue is orphaned and must be redistributed.
+    CoreFail {
+        /// Core index.
+        core: usize,
+    },
+    /// A failed core is brought back online.
+    CoreRecover {
+        /// Core index.
+        core: usize,
+    },
+    /// A correlated outage: a contiguous block of cloud nodes is
+    /// forced offline for `duration` ticks (rack/zone failure), on top
+    /// of whatever stochastic churn the nodes already exhibit.
+    ZoneOutage {
+        /// First node index in the zone.
+        first: usize,
+        /// Number of nodes in the zone.
+        count: usize,
+        /// Outage length in ticks.
+        duration: u64,
+    },
+    /// A sensor starts misreporting for `duration` ticks.
+    SensorFault {
+        /// Sensor index (the consumer maps indices to sensor keys).
+        sensor: usize,
+        /// Corruption mode.
+        kind: SensorFaultKind,
+        /// Fault length in ticks.
+        duration: u64,
+    },
+}
+
+/// A fault bound to its onset time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Onset tick.
+    pub at: Tick,
+    /// What breaks.
+    pub kind: FaultKind,
+}
+
+impl FaultEvent {
+    /// Camera `camera` fails at `at`.
+    #[must_use]
+    pub fn camera_fail(at: Tick, camera: usize) -> Self {
+        Self {
+            at,
+            kind: FaultKind::CameraFail { camera },
+        }
+    }
+
+    /// Camera `camera` recovers at `at`.
+    #[must_use]
+    pub fn camera_recover(at: Tick, camera: usize) -> Self {
+        Self {
+            at,
+            kind: FaultKind::CameraRecover { camera },
+        }
+    }
+
+    /// Link `a — b` is cut at `at`.
+    #[must_use]
+    pub fn link_cut(at: Tick, a: usize, b: usize) -> Self {
+        Self {
+            at,
+            kind: FaultKind::LinkCut { a, b },
+        }
+    }
+
+    /// Link `a — b` is restored at `at`.
+    #[must_use]
+    pub fn link_restore(at: Tick, a: usize, b: usize) -> Self {
+        Self {
+            at,
+            kind: FaultKind::LinkRestore { a, b },
+        }
+    }
+
+    /// Core `core` fails at `at`.
+    #[must_use]
+    pub fn core_fail(at: Tick, core: usize) -> Self {
+        Self {
+            at,
+            kind: FaultKind::CoreFail { core },
+        }
+    }
+
+    /// Core `core` recovers at `at`.
+    #[must_use]
+    pub fn core_recover(at: Tick, core: usize) -> Self {
+        Self {
+            at,
+            kind: FaultKind::CoreRecover { core },
+        }
+    }
+
+    /// Nodes `first .. first + count` go dark for `duration` ticks.
+    #[must_use]
+    pub fn zone_outage(at: Tick, first: usize, count: usize, duration: u64) -> Self {
+        Self {
+            at,
+            kind: FaultKind::ZoneOutage {
+                first,
+                count,
+                duration,
+            },
+        }
+    }
+
+    /// Sensor `sensor` misreports per `kind` for `duration` ticks.
+    #[must_use]
+    pub fn sensor_fault(at: Tick, sensor: usize, kind: SensorFaultKind, duration: u64) -> Self {
+        Self {
+            at,
+            kind: FaultKind::SensorFault {
+                sensor,
+                kind,
+                duration,
+            },
+        }
+    }
+}
+
+/// An ordered set of scheduled faults.
+///
+/// # Example
+///
+/// ```
+/// use workloads::faults::{FaultEvent, FaultPlan};
+/// use simkernel::Tick;
+///
+/// let plan = FaultPlan::none()
+///     .and(FaultEvent::camera_fail(Tick(100), 3))
+///     .and(FaultEvent::camera_recover(Tick(200), 3));
+/// assert_eq!(plan.events_at(Tick(100)).count(), 1);
+/// assert_eq!(plan.events_at(Tick(150)).count(), 0);
+/// assert!(plan.changes_in(Tick(0), Tick(101)));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// Creates a plan from events (any order; sorted by onset, ties
+    /// keeping insertion order).
+    #[must_use]
+    pub fn new(mut events: Vec<FaultEvent>) -> Self {
+        events.sort_by_key(|e| e.at.value());
+        Self { events }
+    }
+
+    /// The empty plan (unbreakable-hardware control).
+    #[must_use]
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Adds an event (builder style), keeping the plan sorted.
+    #[must_use]
+    pub fn and(mut self, e: FaultEvent) -> Self {
+        self.events.push(e);
+        self.events.sort_by_key(|e| e.at.value());
+        self
+    }
+
+    /// The scheduled events, in onset order.
+    #[must_use]
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Whether the plan schedules nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events whose onset is exactly `t` — simulators call this at the
+    /// top of every tick and apply what comes back, in order.
+    pub fn events_at(&self, t: Tick) -> impl Iterator<Item = &FaultEvent> {
+        self.events.iter().filter(move |e| e.at == t)
+    }
+
+    /// Whether any fault begins in `[from, to)`.
+    #[must_use]
+    pub fn changes_in(&self, from: Tick, to: Tick) -> bool {
+        self.events.iter().any(|e| e.at >= from && e.at < to)
+    }
+
+    /// The sensor fault governing `sensor` at time `t`, if any (the
+    /// latest-onset active fault wins when windows overlap).
+    #[must_use]
+    pub fn sensor_fault_at(&self, sensor: usize, t: Tick) -> Option<SensorFaultKind> {
+        self.events
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultKind::SensorFault {
+                    sensor: s,
+                    kind,
+                    duration,
+                } if s == sensor && e.at <= t && t.value() < e.at.value() + duration => Some(kind),
+                _ => None,
+            })
+            .next_back()
+    }
+
+    /// A seed-derived plan of `outages` random camera fail/recover
+    /// pairs: each picks a camera in `0..cameras` and an onset in
+    /// `[window.0, window.1)`, recovering `downtime` ticks later.
+    ///
+    /// Deterministic per seed subtree — the basis of the fault-plan
+    /// parity guarantee (see DESIGN.md, "Fault model").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cameras == 0` or the window is empty.
+    #[must_use]
+    pub fn random_camera_outages(
+        seeds: &SeedTree,
+        cameras: usize,
+        outages: usize,
+        window: (u64, u64),
+        downtime: u64,
+    ) -> Self {
+        assert!(cameras > 0, "need at least one camera");
+        assert!(window.0 < window.1, "fault window must be non-empty");
+        let mut rng = seeds.rng("fault-plan");
+        let mut events = Vec::with_capacity(outages * 2);
+        for _ in 0..outages {
+            let cam = rng.gen_range(0..cameras);
+            let at = rng.gen_range(window.0..window.1);
+            events.push(FaultEvent::camera_fail(Tick(at), cam));
+            events.push(FaultEvent::camera_recover(Tick(at + downtime), cam));
+        }
+        Self::new(events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_sorts_by_onset() {
+        let plan = FaultPlan::new(vec![
+            FaultEvent::core_fail(Tick(50), 1),
+            FaultEvent::camera_fail(Tick(10), 0),
+        ]);
+        assert_eq!(plan.events()[0].at, Tick(10));
+        assert_eq!(plan.events()[1].at, Tick(50));
+        assert!(!plan.is_empty());
+        assert!(FaultPlan::none().is_empty());
+    }
+
+    #[test]
+    fn events_at_filters_by_tick() {
+        let plan = FaultPlan::none()
+            .and(FaultEvent::link_cut(Tick(5), 0, 1))
+            .and(FaultEvent::link_restore(Tick(9), 0, 1))
+            .and(FaultEvent::core_fail(Tick(5), 2));
+        assert_eq!(plan.events_at(Tick(5)).count(), 2);
+        assert_eq!(plan.events_at(Tick(9)).count(), 1);
+        assert_eq!(plan.events_at(Tick(6)).count(), 0);
+    }
+
+    #[test]
+    fn changes_in_window() {
+        let plan = FaultPlan::none().and(FaultEvent::zone_outage(Tick(100), 0, 4, 50));
+        assert!(plan.changes_in(Tick(0), Tick(101)));
+        assert!(!plan.changes_in(Tick(101), Tick(500)));
+    }
+
+    #[test]
+    fn sensor_fault_window_and_precedence() {
+        let plan = FaultPlan::none()
+            .and(FaultEvent::sensor_fault(
+                Tick(10),
+                0,
+                SensorFaultKind::StuckAt,
+                20,
+            ))
+            .and(FaultEvent::sensor_fault(
+                Tick(15),
+                0,
+                SensorFaultKind::Dropout,
+                5,
+            ));
+        assert_eq!(plan.sensor_fault_at(0, Tick(9)), None);
+        assert_eq!(
+            plan.sensor_fault_at(0, Tick(10)),
+            Some(SensorFaultKind::StuckAt)
+        );
+        // Overlap: the later onset wins.
+        assert_eq!(
+            plan.sensor_fault_at(0, Tick(16)),
+            Some(SensorFaultKind::Dropout)
+        );
+        // Inner window over, outer fault still active.
+        assert_eq!(
+            plan.sensor_fault_at(0, Tick(25)),
+            Some(SensorFaultKind::StuckAt)
+        );
+        assert_eq!(plan.sensor_fault_at(0, Tick(30)), None);
+        assert_eq!(plan.sensor_fault_at(1, Tick(12)), None, "other sensor");
+    }
+
+    #[test]
+    fn corrupt_modes() {
+        let mut rng = SeedTree::new(3).rng("t");
+        assert_eq!(
+            SensorFaultKind::StuckAt.corrupt(5.0, 2.0, &mut rng),
+            Some(2.0)
+        );
+        assert_eq!(
+            SensorFaultKind::Bias { offset: 1.5 }.corrupt(5.0, 2.0, &mut rng),
+            Some(6.5)
+        );
+        assert_eq!(SensorFaultKind::Dropout.corrupt(5.0, 2.0, &mut rng), None);
+        let noisy = SensorFaultKind::Noise { sigma: 3.0 }
+            .corrupt(5.0, 2.0, &mut rng)
+            .expect("noise keeps reporting");
+        assert!((noisy - 5.0).abs() <= 3.0);
+    }
+
+    #[test]
+    fn random_outages_are_seed_deterministic() {
+        let seeds = SeedTree::new(77);
+        let a = FaultPlan::random_camera_outages(&seeds, 16, 4, (100, 500), 80);
+        let b = FaultPlan::random_camera_outages(&seeds, 16, 4, (100, 500), 80);
+        assert_eq!(a, b);
+        assert_eq!(a.events().len(), 8);
+        let other = FaultPlan::random_camera_outages(&SeedTree::new(78), 16, 4, (100, 500), 80);
+        assert_ne!(a, other, "different seed, different plan");
+        for e in a.events() {
+            match e.kind {
+                FaultKind::CameraFail { camera } | FaultKind::CameraRecover { camera } => {
+                    assert!(camera < 16);
+                }
+                _ => panic!("unexpected kind"),
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fault window must be non-empty")]
+    fn empty_window_panics() {
+        let _ = FaultPlan::random_camera_outages(&SeedTree::new(1), 4, 1, (5, 5), 10);
+    }
+}

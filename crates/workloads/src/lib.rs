@@ -10,6 +10,9 @@
 //!   Markov-modulated, drifting) and Poisson sampling on top of them;
 //! * [`disturbance`] — scheduled step/ramp/spike/regime events to
 //!   inject into any scalar signal;
+//! * [`faults`] — scheduled *component* faults (camera/core/link
+//!   failures, zone outages, sensor corruption) for the robustness
+//!   experiments;
 //! * [`signal`] — composable scalar signal generators for model-level
 //!   experiments (F3's drifting stream);
 //! * [`trajectories`] — random-waypoint wanderers in the unit square
@@ -22,9 +25,11 @@
 //! Everything is deterministic given a [`simkernel::SeedTree`].
 
 #![forbid(unsafe_code)]
+#![warn(clippy::unwrap_used, clippy::panic)]
 #![warn(missing_docs)]
 
 pub mod disturbance;
+pub mod faults;
 pub mod rates;
 pub mod signal;
 pub mod tasks;
@@ -32,6 +37,7 @@ pub mod traffic;
 pub mod trajectories;
 
 pub use disturbance::{Disturbance, DisturbanceKind, Schedule};
+pub use faults::{FaultEvent, FaultKind, FaultPlan, SensorFaultKind};
 pub use rates::{DiurnalRate, DriftingRate, MmppRate, PoissonArrivals, RateFn};
 pub use signal::{SignalGen, SignalSpec};
 pub use tasks::{TaskClass, TaskMix, TaskStream};
