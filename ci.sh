@@ -6,8 +6,23 @@ cd "$(dirname "$0")"
 echo "==> cargo build --release --offline"
 cargo build --release --offline
 
+# Pin property-test case counts so the gate's coverage is the same on
+# every machine (the vendored proptest reads PROPTEST_CASES).
+export PROPTEST_CASES="${PROPTEST_CASES:-64}"
+
 echo "==> cargo test -q --offline --workspace"
 cargo test -q --offline --workspace
+
+# The bench crate drives every substrate through the parallel
+# replication engine; its parity and panic-isolation guarantees must
+# hold at any worker count, so run its tests single-threaded and at a
+# fixed multi-thread count too (the workspace run above used the
+# machine default).
+echo "==> cargo test -q --offline -p sas-bench -p simkernel (SAS_THREADS=1)"
+SAS_THREADS=1 cargo test -q --offline -p sas-bench -p simkernel
+
+echo "==> cargo test -q --offline -p sas-bench -p simkernel (SAS_THREADS=4)"
+SAS_THREADS=4 cargo test -q --offline -p sas-bench -p simkernel
 
 echo "==> cargo fmt --check"
 cargo fmt --check

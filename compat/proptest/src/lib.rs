@@ -12,8 +12,21 @@
 pub mod test_runner {
     //! Deterministic case generation for property tests.
 
-    /// Number of cases generated per property.
+    /// Default number of cases generated per property when
+    /// `PROPTEST_CASES` is not set.
     pub const CASES: u32 = 64;
+
+    /// Number of cases generated per property: the `PROPTEST_CASES`
+    /// environment variable if set to a positive integer (CI pins it
+    /// so local and gate runs agree), else [`CASES`].
+    #[must_use]
+    pub fn cases() -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(CASES)
+    }
 
     /// SplitMix64-based PRNG: small, fast, and plenty for case
     /// generation (the system-under-test's own RNG is separate).
@@ -402,7 +415,7 @@ macro_rules! proptest {
         fn $name() {
             let mut __proptest_rng =
                 $crate::test_runner::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
-            for __proptest_case in 0..$crate::test_runner::CASES {
+            for __proptest_case in 0..$crate::test_runner::cases() {
                 let _ = __proptest_case;
                 $(let $arg = $crate::strategy::Strategy::generate(&$strat, &mut __proptest_rng);)*
                 $body

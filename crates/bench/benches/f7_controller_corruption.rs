@@ -1,0 +1,11 @@
+//! Regenerates Table F7. See EXPERIMENTS.md.
+fn main() {
+    let start = std::time::Instant::now();
+    let table = sas_bench::run_f7(sas_bench::REPS, 6_000);
+    println!("{table}");
+    eprintln!(
+        "regenerated in {:.2?} on {} worker thread(s)",
+        start.elapsed(),
+        simkernel::worker_count(usize::MAX)
+    );
+}

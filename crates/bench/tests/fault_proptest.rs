@@ -6,7 +6,9 @@
 //! scenarios; the point is plan-shape coverage, not statistical power.
 
 use proptest::prelude::*;
+use sas_bench::experiments::{f7_scenario, F7Arm, F7_REGRET_CAP};
 use simkernel::{Aggregate, Replications, SeedTree, Tick};
+use workloads::faults::ModelCorruptionKind;
 use workloads::{FaultEvent, FaultPlan, SensorFaultKind};
 
 const STEPS: u64 = 400;
@@ -67,6 +69,16 @@ fn sensor_fault() -> impl Strategy<Value = FaultEvent> {
         .prop_map(|(sensor, at, dur, kind)| FaultEvent::sensor_fault(Tick(at), sensor, kind, dur))
 }
 
+/// An arbitrary model-corruption event aimed at controller 0.
+fn model_corruption() -> impl Strategy<Value = FaultEvent> {
+    let kind = prop_oneof![
+        Just(ModelCorruptionKind::NanPoison),
+        (2.0f64..60.0).prop_map(|gain| ModelCorruptionKind::WeightScramble { gain }),
+        (1u64..STEPS / 3).prop_map(|duration| ModelCorruptionKind::StateFreeze { duration }),
+    ];
+    (0u64..STEPS, kind).prop_map(|(at, kind)| FaultEvent::model_corruption(Tick(at), 0, kind))
+}
+
 fn plan_of(events: Vec<[FaultEvent; 2]>) -> FaultPlan {
     FaultPlan::new(events.into_iter().flatten().collect())
 }
@@ -117,6 +129,38 @@ proptest! {
             cfg.faults = plan.clone();
             multicore::run_multicore(&cfg, &seeds).metrics
         }, "proptest/multicore");
+    }
+
+    #[test]
+    fn any_corruption_plan_is_parity_clean_and_bounded(events in proptest::collection::vec(model_corruption(), 0..5)) {
+        // For any random corruption plan, the supervised F7 controller
+        // (a) stays seq/par parity-clean and (b) never pays more than
+        // the regret cap per tick on average.
+        let plan = FaultPlan::new(events);
+        for arm in [F7Arm::Unsupervised, F7Arm::Supervised] {
+            check_parity(0x9A5, |seeds| f7_scenario(arm, &plan, seeds, STEPS), "proptest/f7");
+        }
+        let m = f7_scenario(F7Arm::Supervised, &plan, SeedTree::new(0x9A5), STEPS);
+        let mean = m.get("mean_regret").unwrap_or(f64::NAN);
+        prop_assert!(mean.is_finite() && mean <= F7_REGRET_CAP, "mean regret {mean}");
+    }
+
+    #[test]
+    fn nan_poison_always_favours_supervision(at in (STEPS / 8)..(STEPS / 2), seed in 0u64..32) {
+        // Wherever a NaN poisoning lands (with room left to recover),
+        // the supervised controller's corrupted-window regret must
+        // strictly beat the unsupervised one's: the unsupervised Holt
+        // forecasts NaN forever after, paying the cap each tick.
+        let plan = FaultPlan::new(vec![FaultEvent::model_corruption(
+            Tick(at),
+            0,
+            ModelCorruptionKind::NanPoison,
+        )]);
+        let sup = f7_scenario(F7Arm::Supervised, &plan, SeedTree::new(seed), STEPS);
+        let uns = f7_scenario(F7Arm::Unsupervised, &plan, SeedTree::new(seed), STEPS);
+        let s = sup.get("regret_corrupt").unwrap_or(f64::NAN);
+        let u = uns.get("regret_corrupt").unwrap_or(f64::NAN);
+        prop_assert!(s < u, "supervised {s} vs unsupervised {u} (poison at {at})");
     }
 
     #[test]

@@ -310,3 +310,85 @@ fn f6_sensor_fault_scenario_is_parity_clean() {
         );
     }
 }
+
+#[test]
+fn f7_controller_corruption_is_parity_clean() {
+    use sas_bench::experiments::{f7_fault_plan, f7_scenario, F7Arm};
+    let plan = f7_fault_plan(STEPS);
+    for arm in [F7Arm::Baseline, F7Arm::Unsupervised, F7Arm::Supervised] {
+        check_parity(
+            0xF7,
+            |seeds| f7_scenario(arm, &plan, seeds, STEPS),
+            &format!("faults/f7/{}", arm.label()),
+        );
+    }
+}
+
+#[test]
+fn supervised_substrates_are_parity_clean() {
+    use workloads::faults::ModelCorruptionKind;
+    // Every substrate's supervised arm, with its model actively
+    // corrupted mid-run: rollback/fallback/re-promotion machinery must
+    // not disturb replicate-order determinism.
+    let plan = || {
+        workloads::FaultPlan::new(vec![
+            workloads::FaultEvent::model_corruption(
+                simkernel::Tick(STEPS / 3),
+                0,
+                ModelCorruptionKind::NanPoison,
+            ),
+            workloads::FaultEvent::model_corruption(
+                simkernel::Tick(2 * STEPS / 3),
+                0,
+                ModelCorruptionKind::WeightScramble { gain: 20.0 },
+            ),
+        ])
+    };
+    check_parity(
+        0xF7A,
+        |seeds| {
+            let strategy = cloudsim::Strategy::SupervisedSelfAware {
+                levels: LevelSet::full(),
+            };
+            let mut cfg = cloudsim::ScenarioConfig::standard(strategy, STEPS, &seeds);
+            cfg.faults = plan();
+            cloudsim::run_scenario(&cfg, &seeds).metrics
+        },
+        "supervised/cloud",
+    );
+    check_parity(
+        0xF7B,
+        |seeds| {
+            let mut cfg = multicore::MulticoreConfig::standard(
+                multicore::Scheduler::SupervisedSelfAware,
+                STEPS,
+            );
+            cfg.faults = plan();
+            multicore::run_multicore(&cfg, &seeds).metrics
+        },
+        "supervised/multicore",
+    );
+    check_parity(
+        0xF7C,
+        |seeds| {
+            let mut cfg =
+                cpn::CpnConfig::standard(cpn::RoutingStrategy::supervised_cpn_default(), STEPS);
+            cfg.faults = plan();
+            cpn::run_cpn(&cfg, &seeds).metrics
+        },
+        "supervised/cpn",
+    );
+    check_parity(
+        0xF7D,
+        |seeds| {
+            let mut cfg = camnet::CamnetConfig::standard(
+                camnet::HandoverStrategy::self_aware_default(),
+                STEPS,
+            );
+            cfg.supervise = true;
+            cfg.faults = plan();
+            camnet::run_camnet(&cfg, &seeds).metrics
+        },
+        "supervised/camnet",
+    );
+}

@@ -110,6 +110,30 @@ impl Camera {
         self.invites[other]
     }
 
+    /// The full learned-affinity row (one score per camera in the
+    /// network, including self). This is the camera's *model state*:
+    /// supervisors snapshot it for checkpoints and restore it on
+    /// rollback.
+    #[must_use]
+    pub fn affinities(&self) -> &[f64] {
+        &self.affinity
+    }
+
+    /// Replaces the learned-affinity row wholesale (checkpoint
+    /// restore, or fault injection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `affinity` is not one score per camera.
+    pub fn set_affinities(&mut self, affinity: Vec<f64>) {
+        assert_eq!(
+            affinity.len(),
+            self.affinity.len(),
+            "affinity row must cover every camera"
+        );
+        self.affinity = affinity;
+    }
+
     /// The camera's ask-preference distribution over peers (excluding
     /// itself): softmax-free normalised affinities — the camera's
     /// *latent beliefs* about who wins its handovers.

@@ -4,10 +4,12 @@ use crate::camera::Camera;
 use crate::diversity::policy_divergence;
 use crate::strategy::{nearest_neighbours, random_subsets, HandoverStrategy};
 use rand::Rng as _;
+use selfaware::explain::ExplanationLog;
 use selfaware::goals::{Direction, Goal, Objective};
+use selfaware::supervision::{ControlSource, Evidence, Supervisor, Verdict};
 use simkernel::rng::SeedTree;
 use simkernel::{MetricSet, Tick, TimeSeries};
-use workloads::faults::{FaultKind, FaultPlan};
+use workloads::faults::{FaultKind, FaultPlan, ModelCorruptionKind};
 use workloads::trajectories::{Point, Wanderer};
 
 /// Configuration of a camera-network scenario.
@@ -32,14 +34,21 @@ pub struct CamnetConfig {
     /// (spatially heterogeneous demand — the condition under which
     /// per-camera specialisation pays off most, per ref \[13\]).
     pub home_bias: bool,
-    /// Scheduled camera faults (`CameraFail` / `CameraRecover`; other
-    /// kinds are ignored by this simulator). A dead camera drops every
-    /// object it owns, never bids, and cannot redetect; auction asks
-    /// still cost messages because the asker cannot know who is dead —
-    /// learned strategies discover it through lost auctions.
+    /// Scheduled camera faults (`CameraFail` / `CameraRecover` /
+    /// `ModelCorruption`; other kinds are ignored by this simulator).
+    /// A dead camera drops every object it owns, never bids, and
+    /// cannot redetect; auction asks still cost messages because the
+    /// asker cannot know who is dead — learned strategies discover it
+    /// through lost auctions. `ModelCorruption` attacks the learned
+    /// affinity matrix itself.
     pub faults: FaultPlan,
     /// Handover strategy used by every camera.
     pub strategy: HandoverStrategy,
+    /// If true, a meta-level [`Supervisor`] watchdogs the learned
+    /// affinity matrix: checkpoints it, rolls it back when corrupted,
+    /// and benches the network onto broadcast invitations while the
+    /// model is untrusted.
+    pub supervise: bool,
 }
 
 impl CamnetConfig {
@@ -57,6 +66,7 @@ impl CamnetConfig {
             home_bias: false,
             faults: FaultPlan::none(),
             strategy,
+            supervise: false,
         }
     }
 }
@@ -136,6 +146,30 @@ pub fn run_camnet(cfg: &CamnetConfig, seeds: &SeedTree) -> CamnetResult {
         .map(|o| best_seer(&cameras, &alive, o.position()))
         .collect();
 
+    // Meta-self-awareness: the supervised model is the network-wide
+    // affinity matrix (one row per camera). The supervisor checkpoints
+    // it, watches a tracking-loss error signal, and benches the
+    // network onto broadcast invitations while the model is corrupt.
+    struct AffinitySupervision {
+        sup: Supervisor<Vec<Vec<f64>>>,
+        log: ExplanationLog,
+    }
+    let snapshot = |cams: &[Camera]| -> Vec<Vec<f64>> {
+        cams.iter().map(|c| c.affinities().to_vec()).collect()
+    };
+    let restore = |cams: &mut [Camera], model: &[Vec<f64>]| {
+        for (c, row) in cams.iter_mut().zip(model) {
+            c.set_affinities(row.clone());
+        }
+    };
+    let mut supervision = cfg.supervise.then(|| {
+        Box::new(AffinitySupervision {
+            sup: Supervisor::new("camera-affinities", snapshot(&cameras)),
+            log: ExplanationLog::new(512),
+        })
+    });
+    let mut frozen_until: Option<Tick> = None;
+
     let mut auction_rng = seeds.rng("auctions");
     let mut quality_sum = 0.0;
     let mut untracked_ticks = 0u64;
@@ -166,13 +200,38 @@ pub fn run_camnet(cfg: &CamnetConfig, seeds: &SeedTree) -> CamnetResult {
                 FaultKind::CameraRecover { camera } if camera < n => {
                     alive[camera] = true;
                 }
+                FaultKind::ModelCorruption { kind, .. } => match kind {
+                    ModelCorruptionKind::NanPoison => {
+                        for c in &mut cameras {
+                            let row = vec![f64::NAN; n];
+                            c.set_affinities(row);
+                        }
+                    }
+                    ModelCorruptionKind::WeightScramble { gain } => {
+                        // Push every learned score far below any
+                        // invitation threshold: the network forgets
+                        // who its useful neighbours are.
+                        for c in &mut cameras {
+                            let row = c.affinities().iter().map(|a| (a - 1.0) * gain).collect();
+                            c.set_affinities(row);
+                        }
+                    }
+                    ModelCorruptionKind::StateFreeze { duration } => {
+                        frozen_until = Some(Tick(t + duration));
+                    }
+                },
                 _ => {}
             }
         }
+        let frozen = frozen_until.is_some_and(|until| now < until);
+        let benched = supervision
+            .as_ref()
+            .is_some_and(|s| s.sup.source() == ControlSource::Baseline);
 
         for o in &mut objects {
             o.step(&mut obj_rng);
         }
+        let mut tick_untracked = 0u64;
         for (oi, obj) in objects.iter().enumerate() {
             let pos = obj.position();
             match owner[oi] {
@@ -182,9 +241,16 @@ pub fn run_camnet(cfg: &CamnetConfig, seeds: &SeedTree) -> CamnetResult {
                     window_quality += q;
                     window_samples += 1;
                     if q < cfg.handover_threshold {
-                        // Run the handover auction.
+                        // Run the handover auction. While the learned
+                        // model is benched, fall back to broadcast —
+                        // expensive but trustworthy.
                         auctions += 1;
-                        let invitees = cfg.strategy.invitees(
+                        let strategy = if benched {
+                            HandoverStrategy::Broadcast
+                        } else {
+                            cfg.strategy
+                        };
+                        let invitees = strategy.invitees(
                             &cameras[me],
                             &cameras,
                             &neighbours,
@@ -208,9 +274,11 @@ pub fn run_camnet(cfg: &CamnetConfig, seeds: &SeedTree) -> CamnetResult {
                             .max_by(|a, b| {
                                 a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal)
                             });
-                        for &j in &invitees {
-                            let won = winner.is_some_and(|(w, _)| w == j);
-                            cameras[me].record_auction(j, won);
+                        if !frozen {
+                            for &j in &invitees {
+                                let won = winner.is_some_and(|(w, _)| w == j);
+                                cameras[me].record_auction(j, won);
+                            }
                         }
                         match winner {
                             Some((w, _)) => {
@@ -225,6 +293,7 @@ pub fn run_camnet(cfg: &CamnetConfig, seeds: &SeedTree) -> CamnetResult {
                 }
                 None => {
                     untracked_ticks += 1;
+                    tick_untracked += 1;
                     window_samples += 1;
                     if auction_rng.gen::<f64>() < cfg.redetect_prob {
                         owner[oi] = best_seer(&cameras, &alive, pos);
@@ -232,6 +301,31 @@ pub fn run_camnet(cfg: &CamnetConfig, seeds: &SeedTree) -> CamnetResult {
                 }
             }
         }
+
+        // Score the affinity model: its "output" is the mean learned
+        // score (NaN poison surfaces here immediately), its error the
+        // fraction of objects left untracked this tick (a corrupted
+        // ask-policy loses objects). The strictly advancing input
+        // lets the stall detector catch frozen state.
+        if let Some(s) = &mut supervision {
+            let flat: Vec<f64> = cameras
+                .iter()
+                .flat_map(|c| c.affinities().iter().copied())
+                .collect();
+            let mean_affinity = flat.iter().sum::<f64>() / flat.len().max(1) as f64;
+            let error = tick_untracked as f64 / cfg.objects.max(1) as f64;
+            *s.sup.model_mut() = snapshot(&cameras);
+            let verdict = s.sup.observe(
+                now,
+                Evidence::scored(mean_affinity, error).with_input(t as f64),
+                &mut s.log,
+            );
+            if matches!(verdict, Verdict::RolledBack(_) | Verdict::FellBack(_)) {
+                let model = s.sup.model().clone();
+                restore(&mut cameras, &model);
+            }
+        }
+
         if t % 50 == 0 {
             let policies: Vec<Vec<f64>> = cameras.iter().map(Camera::ask_distribution).collect();
             heterogeneity.push(now, policy_divergence(&policies));
@@ -265,6 +359,13 @@ pub fn run_camnet(cfg: &CamnetConfig, seeds: &SeedTree) -> CamnetResult {
     metrics.set("heterogeneity_final", policy_divergence(&policies));
     let utility = camnet_goal().utility(|k| metrics.get(k));
     metrics.set("utility", utility);
+    let sup = supervision
+        .as_ref()
+        .map(|s| s.sup.stats())
+        .unwrap_or_default();
+    metrics.set("model_rollbacks", f64::from(sup.rollbacks));
+    metrics.set("model_fallbacks", f64::from(sup.fallbacks));
+    metrics.set("model_repromotions", f64::from(sup.repromotions));
 
     CamnetResult {
         metrics,
@@ -438,6 +539,49 @@ mod tests {
             &SeedTree::new(8),
         );
         assert_eq!(a.metrics, b.metrics);
+    }
+
+    #[test]
+    fn supervised_network_survives_affinity_corruption() {
+        use workloads::faults::{FaultEvent, ModelCorruptionKind};
+        let steps = 4000;
+        let cfg = |supervise| {
+            let mut c = CamnetConfig::standard(HandoverStrategy::self_aware_default(), steps);
+            c.supervise = supervise;
+            c.faults = FaultPlan::none()
+                .and(FaultEvent::model_corruption(
+                    Tick(steps / 3),
+                    0,
+                    ModelCorruptionKind::NanPoison,
+                ))
+                .and(FaultEvent::model_corruption(
+                    Tick(2 * steps / 3),
+                    0,
+                    ModelCorruptionKind::WeightScramble { gain: 30.0 },
+                ));
+            c
+        };
+        let sup = run_camnet(&cfg(true), &SeedTree::new(21));
+        let interventions = sup.metrics.get("model_rollbacks").unwrap()
+            + sup.metrics.get("model_fallbacks").unwrap();
+        assert!(
+            interventions >= 1.0,
+            "supervisor should intervene: {interventions}"
+        );
+        assert!(
+            sup.metrics.get("track_quality").unwrap() > 0.4,
+            "supervised network should keep tracking: {:?}",
+            sup.metrics.get("track_quality")
+        );
+        let again = run_camnet(&cfg(true), &SeedTree::new(21));
+        assert_eq!(sup.metrics, again.metrics, "supervised runs deterministic");
+    }
+
+    #[test]
+    fn unsupervised_metrics_report_zero_interventions() {
+        let r = run(HandoverStrategy::Broadcast, 2, 500);
+        assert_eq!(r.metrics.get("model_rollbacks"), Some(0.0));
+        assert_eq!(r.metrics.get("model_fallbacks"), Some(0.0));
     }
 
     #[test]

@@ -32,10 +32,10 @@ pub struct ScenarioConfig {
     pub mean_work: f64,
     /// SLA deadline in ticks.
     pub deadline: u64,
-    /// Scheduled zone outages (`ZoneOutage`; other kinds are ignored
-    /// by this simulator), applied on top of stochastic node churn:
-    /// the affected node block drops its queues and stays pinned
-    /// offline for the outage duration.
+    /// Scheduled faults. `ZoneOutage` pins a node block offline for
+    /// its duration (on top of stochastic churn); `ModelCorruption`
+    /// poisons the controller's learned arrival model. Other kinds
+    /// are ignored by this simulator.
     pub faults: FaultPlan,
     /// Dispatch strategy.
     pub strategy: Strategy,
@@ -142,17 +142,22 @@ pub fn run_scenario(cfg: &ScenarioConfig, seeds: &SeedTree) -> ScenarioResult {
         let now = Tick(t);
         let mut tick_outcomes: Vec<RequestOutcome> = Vec::new();
 
-        // Apply scheduled zone outages before the controller observes
-        // the cluster.
+        // Apply scheduled zone outages and model corruptions before
+        // the controller observes the cluster.
         for ev in cfg.faults.events_at(now) {
-            if let FaultKind::ZoneOutage {
-                first,
-                count,
-                duration,
-            } = ev.kind
-            {
-                let until = Tick(t + duration);
-                tick_outcomes.extend(cluster.force_outage(first, count, until, now));
+            match ev.kind {
+                FaultKind::ZoneOutage {
+                    first,
+                    count,
+                    duration,
+                } => {
+                    let until = Tick(t + duration);
+                    tick_outcomes.extend(cluster.force_outage(first, count, until, now));
+                }
+                FaultKind::ModelCorruption { kind, .. } => {
+                    controller.inject_model_corruption(kind, now);
+                }
+                _ => {}
             }
         }
 
@@ -225,6 +230,10 @@ pub fn run_scenario(cfg: &ScenarioConfig, seeds: &SeedTree) -> ScenarioResult {
         cluster.rented_node_ticks() as f64 / (cfg.steps.max(1) * n as u64) as f64,
     );
     metrics.set("drift_events", f64::from(controller.drift_events()));
+    let sup = controller.supervision_stats().unwrap_or_default();
+    metrics.set("model_rollbacks", f64::from(sup.rollbacks));
+    metrics.set("model_fallbacks", f64::from(sup.fallbacks));
+    metrics.set("model_repromotions", f64::from(sup.repromotions));
     let utility = cloud_goal().utility(|k| metrics.get(k));
     metrics.set("utility", utility);
 
@@ -343,6 +352,51 @@ mod tests {
         assert!(cr_f > 0.2, "the run must survive the outages: {cr_f}");
         // Deterministic per seed.
         assert_eq!(faulty(3).metrics, f.metrics);
+    }
+
+    #[test]
+    fn supervised_controller_survives_model_corruption() {
+        use workloads::faults::{FaultEvent, ModelCorruptionKind};
+        let steps = 2500;
+        let plan = FaultPlan::none()
+            .and(FaultEvent::model_corruption(
+                Tick(steps / 3),
+                0,
+                ModelCorruptionKind::NanPoison,
+            ))
+            .and(FaultEvent::model_corruption(
+                Tick(2 * steps / 3),
+                0,
+                ModelCorruptionKind::WeightScramble { gain: 40.0 },
+            ));
+        let run_arm = |strategy: Strategy| {
+            let seeds = SeedTree::new(11);
+            let mut cfg = ScenarioConfig::standard(strategy, steps, &seeds);
+            cfg.faults = plan.clone();
+            run_scenario(&cfg, &seeds)
+        };
+        let sup = run_arm(Strategy::SupervisedSelfAware {
+            levels: LevelSet::full(),
+        });
+        let m = &sup.metrics;
+        // The watchdog must have acted on the injected corruption and
+        // the run must stay serviceable.
+        assert!(
+            m.get("model_rollbacks").unwrap() + m.get("model_fallbacks").unwrap() >= 1.0,
+            "supervisor never intervened: {m:?}"
+        );
+        assert!(
+            m.get("completion_ratio").unwrap() > 0.3,
+            "supervised run collapsed: {m:?}"
+        );
+        // Deterministic per seed, including the supervision path.
+        assert_eq!(
+            run_arm(Strategy::SupervisedSelfAware {
+                levels: LevelSet::full(),
+            })
+            .metrics,
+            sup.metrics
+        );
     }
 
     #[test]

@@ -18,13 +18,16 @@
 use crate::cluster::Cluster;
 use crate::request::{Request, RequestOutcome};
 use rand::Rng as _;
+use selfaware::explain::ExplanationLog;
 use selfaware::levels::{Level, LevelSet};
 use selfaware::models::drift::{DriftDetector, PageHinkley};
 use selfaware::models::ewma::Ewma;
 use selfaware::models::holt::Holt;
 use selfaware::models::{Forecaster, OnlineModel};
+use selfaware::supervision::{ControlSource, Evidence, SupervisionStats, Supervisor};
 use simkernel::rng::Rng;
 use simkernel::Tick;
+use workloads::faults::ModelCorruptionKind;
 
 /// Strategy selector for scenario configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -49,6 +52,15 @@ pub enum Strategy {
         /// Possessed self-awareness levels.
         levels: LevelSet,
     },
+    /// The self-aware controller with a meta-self-aware
+    /// [`Supervisor`] watchdogging its arrival model: non-finite /
+    /// divergence / oscillation / stall detection, checkpoint
+    /// rollback, and a reactive-dispatch fallback while the model is
+    /// benched.
+    SupervisedSelfAware {
+        /// Possessed self-awareness levels.
+        levels: LevelSet,
+    },
 }
 
 impl Strategy {
@@ -61,6 +73,7 @@ impl Strategy {
             Strategy::LeastLoaded => "least-loaded".into(),
             Strategy::StaticRanked { .. } => "static-ranked".into(),
             Strategy::SelfAware { levels } => format!("self-aware[{levels}]"),
+            Strategy::SupervisedSelfAware { levels } => format!("supervised[{levels}]"),
         }
     }
 
@@ -84,6 +97,9 @@ impl Strategy {
             }
             Strategy::SelfAware { levels } => {
                 Kind::SelfAware(Box::new(SelfAwareState::new(*levels, n)))
+            }
+            Strategy::SupervisedSelfAware { levels } => {
+                Kind::SelfAware(Box::new(SelfAwareState::new(*levels, n).supervised()))
             }
         };
         Controller { kind }
@@ -199,6 +215,44 @@ impl Controller {
             _ => 0,
         }
     }
+
+    /// Corrupts the controller's learned arrival model in place —
+    /// the injection point for [`ModelCorruptionKind`] faults. A
+    /// no-op for model-free baselines (they have no state to poison).
+    pub fn inject_model_corruption(&mut self, kind: ModelCorruptionKind, now: Tick) {
+        if let Kind::SelfAware(state) = &mut self.kind {
+            state.inject_model_corruption(kind, now);
+        }
+    }
+
+    /// Watchdog counters, if this controller is supervised.
+    #[must_use]
+    pub fn supervision_stats(&self) -> Option<SupervisionStats> {
+        match &self.kind {
+            Kind::SelfAware(s) => s.supervision.as_ref().map(|svc| svc.sup.stats()),
+            _ => None,
+        }
+    }
+
+    /// The supervisor's explanation log, if this controller is
+    /// supervised.
+    #[must_use]
+    pub fn explanations(&self) -> Option<&ExplanationLog> {
+        match &self.kind {
+            Kind::SelfAware(s) => s.supervision.as_deref().map(|svc| &svc.log),
+            _ => None,
+        }
+    }
+
+    /// Which model currently drives autoscaling (supervised
+    /// controllers only).
+    #[must_use]
+    pub fn control_source(&self) -> Option<ControlSource> {
+        match &self.kind {
+            Kind::SelfAware(s) => s.supervision.as_ref().map(|svc| svc.sup.source()),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Debug for Controller {
@@ -230,6 +284,17 @@ struct SelfAwareState {
     detector: PageHinkley,
     epsilon: f64,
     drift_events: u32,
+    // meta-self-awareness (supervision of the arrival model)
+    supervision: Option<Box<SupervisionState>>,
+    frozen_until: Option<Tick>,
+}
+
+/// Watchdog wrapper around the arrival model: the supervised variant
+/// learns through `sup.model_mut()` instead of `arrival_forecast`, so
+/// checkpoint/rollback and fallback decisions apply to the live model.
+struct SupervisionState {
+    sup: Supervisor<Holt>,
+    log: ExplanationLog,
 }
 
 const SAFETY_DEFAULT: f64 = 1.3;
@@ -257,14 +322,76 @@ impl SelfAwareState {
             detector: PageHinkley::new(0.02, 4.0),
             epsilon: 0.05,
             drift_events: 0,
+            supervision: None,
+            frozen_until: None,
         }
     }
 
-    fn begin_tick(&mut self, cluster: &mut Cluster, arrivals: u32, _now: Tick, _rng: &mut Rng) {
+    fn supervised(mut self) -> Self {
+        self.supervision = Some(Box::new(SupervisionState {
+            sup: Supervisor::new("cloud-arrivals", Holt::new(0.2, 0.05)),
+            log: ExplanationLog::new(512),
+        }));
+        self
+    }
+
+    fn inject_model_corruption(&mut self, kind: ModelCorruptionKind, now: Tick) {
+        match kind {
+            ModelCorruptionKind::StateFreeze { duration } => {
+                self.frozen_until = Some(Tick(now.0 + duration));
+            }
+            _ => {
+                let model = match &mut self.supervision {
+                    Some(svc) => svc.sup.model_mut(),
+                    None => &mut self.arrival_forecast,
+                };
+                match kind {
+                    ModelCorruptionKind::NanPoison => model.set_state(f64::NAN, f64::NAN),
+                    ModelCorruptionKind::WeightScramble { gain } => {
+                        let (level, trend) = (model.level(), model.trend());
+                        model.set_state(level * gain, -trend * gain - gain);
+                    }
+                    ModelCorruptionKind::StateFreeze { .. } => unreachable!("handled above"),
+                }
+            }
+        }
+    }
+
+    /// Observes the tick's arrivals into the (possibly supervised)
+    /// model and returns the demand-rate estimate to autoscale on.
+    fn demand_rate(&mut self, arrivals: f64, now: Tick) -> f64 {
+        let frozen = self.frozen_until.is_some_and(|until| now.0 < until.0);
+        match &mut self.supervision {
+            Some(svc) => {
+                if !frozen {
+                    svc.sup.model_mut().observe(arrivals);
+                }
+                let out = svc.sup.model().forecast_h(1).unwrap_or(arrivals);
+                svc.sup
+                    .observe(now, Evidence::forecast(arrivals, out), &mut svc.log);
+                let forecast = svc.sup.model().forecast_h(5).unwrap_or(arrivals);
+                if svc.sup.source() == ControlSource::Model && forecast.is_finite() {
+                    forecast
+                } else {
+                    // Benched: fall back to reactive provisioning on
+                    // the raw arrival stimulus.
+                    arrivals
+                }
+            }
+            None => {
+                if !frozen {
+                    self.arrival_forecast.observe(arrivals);
+                }
+                self.arrival_forecast.forecast_h(5).unwrap_or(arrivals)
+            }
+        }
+    }
+
+    fn begin_tick(&mut self, cluster: &mut Cluster, arrivals: u32, now: Tick, _rng: &mut Rng) {
         if !self.levels.contains(Level::Time) {
             return; // no history/forecast → no autoscaling
         }
-        self.arrival_forecast.observe(f64::from(arrivals));
+        let rate = self.demand_rate(f64::from(arrivals), now).max(0.0);
 
         // Goal awareness: adapt the safety margin from the live
         // violation-vs-cost trade-off. The response is deliberately
@@ -286,12 +413,7 @@ impl SelfAwareState {
             }
         }
 
-        // Forecast demand in work units and size the pool.
-        let rate = self
-            .arrival_forecast
-            .forecast_h(5)
-            .unwrap_or(f64::from(arrivals))
-            .max(0.0);
+        // Size the pool from the demand estimate in work units.
         let mean_work = self.work_estimate.forecast().unwrap_or(3.0);
         let mean_cap = (0..self.n)
             .map(|i| cluster.node(i).spec().capacity)

@@ -66,7 +66,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(clippy::unwrap_used, clippy::panic)]
+#![deny(clippy::unwrap_used, clippy::panic)]
 #![warn(missing_docs)]
 
 pub mod agent;
@@ -83,6 +83,7 @@ pub mod levels;
 pub mod meta;
 pub mod models;
 pub mod sensors;
+pub mod supervision;
 pub mod whatif;
 
 /// Convenient glob-import of the most used items.
@@ -109,5 +110,8 @@ pub mod prelude {
     pub use crate::models::seasonal::HoltWinters;
     pub use crate::models::{Forecaster, OnlineModel};
     pub use crate::sensors::{FnSensor, Percept, Scope, Sensor, SensorHub};
+    pub use crate::supervision::{
+        Anomaly, ControlSource, Evidence, SupervisionStats, Supervisor, SupervisorConfig, Verdict,
+    };
     pub use crate::whatif::{utility_with, ActionEffectModel};
 }

@@ -67,6 +67,16 @@ impl Holt {
     pub fn trend(&self) -> f64 {
         self.trend
     }
+
+    /// Overwrites the smoothing state, marking the model warm (two or
+    /// more observations) so forecasts reflect the injected state
+    /// immediately. Hook for checkpoint restore and for fault
+    /// injection into controller self-models.
+    pub fn set_state(&mut self, level: f64, trend: f64) {
+        self.level = level;
+        self.trend = trend;
+        self.n = self.n.max(2);
+    }
 }
 
 impl OnlineModel for Holt {

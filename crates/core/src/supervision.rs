@@ -1,0 +1,841 @@
+//! Meta-self-aware controller supervision: watchdogs, checkpoints and
+//! an escalation ladder for the self-models themselves.
+//!
+//! PR 2 made the *substrates* fault-tolerant; this module guards the
+//! other half of the loop — the awareness machinery. The paper
+//! (Sections II, IV, VI) singles out meta-self-awareness, citing Cox's
+//! metacognitive loop, and the Handbook of Engineering Self-Aware and
+//! Self-Expressive Systems (Chen et al., arXiv:1409.1793) prescribes
+//! the architectural pattern implemented here: a *reflective layer*
+//! that monitors, repairs and, when necessary, replaces the layers
+//! below it.
+//!
+//! [`Supervisor`] wraps any cloneable controller or self-model and
+//! watches the *evidence stream* the substrate feeds it each tick:
+//!
+//! * **NaN/Inf guard** — a non-finite output is unambiguous and
+//!   escalates immediately;
+//! * **divergence** — the fast residual EWMA blowing up relative to a
+//!   held-out slow baseline (the [`ResidualTracker`] machinery), with
+//!   a Page–Hinkley channel on the normalised error for sharp shifts;
+//! * **oscillation** — bit-exact A-B-A flip-flop of the output;
+//! * **stall** — frozen output bits while the input keeps moving.
+//!
+//! Detection walks an **escalation ladder**: warn → roll back to the
+//! last-good checkpoint → fall back to the substrate's baseline
+//! controller, with exponential-backoff re-promotion probes. Every
+//! transition is recorded in the [`ExplanationLog`] — self-explanation
+//! of self-repair.
+
+use crate::explain::{Explanation, ExplanationLog};
+use crate::meta::ResidualTracker;
+use crate::models::drift::{DriftDetector, PageHinkley};
+use simkernel::Tick;
+
+/// What the watchdogs saw.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Anomaly {
+    /// The controller produced a NaN or infinite output.
+    NonFinite,
+    /// Residuals blew up relative to the model's own recent history.
+    Divergence,
+    /// The output is flip-flopping between two exact values.
+    Oscillation,
+    /// The output is frozen while the input keeps changing.
+    Stall,
+}
+
+impl Anomaly {
+    /// Short factor label used in explanations.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Anomaly::NonFinite => "non-finite",
+            Anomaly::Divergence => "divergence",
+            Anomaly::Oscillation => "oscillation",
+            Anomaly::Stall => "stall",
+        }
+    }
+}
+
+/// Who is currently in control of the substrate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlSource {
+    /// The supervised self-model is driving decisions.
+    Model,
+    /// The substrate's baseline controller has taken over.
+    Baseline,
+}
+
+/// Outcome of one supervised tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Nothing suspicious this tick.
+    Healthy,
+    /// An anomaly was observed; the model stays in control for now.
+    Warned(Anomaly),
+    /// The model was restored from the last-good checkpoint.
+    RolledBack(Anomaly),
+    /// Control passed to the substrate's baseline controller.
+    FellBack(Anomaly),
+    /// A re-promotion probe found the model still unhealthy; the
+    /// backoff doubled.
+    ProbeFailed(Anomaly),
+    /// The model earned back control after a quiet probe window.
+    Repromoted,
+}
+
+/// One tick of evidence about a supervised model.
+///
+/// Two contracts are supported. *Forecast* evidence
+/// ([`Evidence::forecast`]) is for models whose output predicts the
+/// next input: the supervisor scores last tick's output against this
+/// tick's realised input. *Scored* evidence ([`Evidence::scored`]) is
+/// for models with no forecasting contract (routing tables, affinity
+/// maps): the substrate supplies its own error signal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Evidence {
+    input: Option<f64>,
+    output: f64,
+    error: Option<f64>,
+}
+
+impl Evidence {
+    /// Forecast-contract evidence: `input` is the value realised this
+    /// tick, `output` the model's fresh one-step forecast. The error
+    /// charged is `|previous output − input|`.
+    #[must_use]
+    pub fn forecast(input: f64, output: f64) -> Self {
+        Self {
+            input: Some(input),
+            output,
+            error: None,
+        }
+    }
+
+    /// Scored evidence: the substrate supplies the `error` directly
+    /// alongside a representative `output` scalar (watched for NaN,
+    /// oscillation and stalls).
+    #[must_use]
+    pub fn scored(output: f64, error: f64) -> Self {
+        Self {
+            input: None,
+            output,
+            error: Some(error),
+        }
+    }
+
+    /// Attaches an input signal (enables stall detection for scored
+    /// evidence).
+    #[must_use]
+    pub fn with_input(mut self, input: f64) -> Self {
+        self.input = Some(input);
+        self
+    }
+}
+
+/// Tuning knobs for a [`Supervisor`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SupervisorConfig {
+    /// Smoothing of the fast (reactive) residual tracker.
+    pub fast_alpha: f64,
+    /// Smoothing of the slow held-out baseline tracker (only fed on
+    /// healthy ticks, so an ongoing anomaly cannot drag it along).
+    pub slow_alpha: f64,
+    /// Divergence fires when `fast > ratio · max(slow, floor)`.
+    pub divergence_ratio: f64,
+    /// Floor on the slow baseline, guarding the ratio against a
+    /// near-perfect model's ~0 error.
+    pub divergence_floor: f64,
+    /// Consecutive over-ratio ticks before divergence is declared.
+    pub patience: u32,
+    /// Finite-error samples required before any statistical watchdog
+    /// (everything but the NaN guard) may fire.
+    pub min_samples: u64,
+    /// Frozen-output ticks (under a moving input) before a stall is
+    /// declared.
+    pub stall_after: u32,
+    /// Minimum input delta that counts as "the input moved".
+    pub input_epsilon: f64,
+    /// Consecutive bit-exact A-B-A alternations before oscillation is
+    /// declared.
+    pub oscillation_flips: u32,
+    /// Checkpoint cadence in ticks (gated on a quiet streak).
+    pub checkpoint_every: u64,
+    /// Healthy ticks required to clear warnings, take a checkpoint, or
+    /// win a re-promotion probe.
+    pub quiet_ticks: u32,
+    /// Warnings tolerated before the ladder escalates past warning.
+    pub warn_limit: u32,
+    /// Initial fallback backoff (ticks until the first probe).
+    pub backoff_initial: u64,
+    /// Backoff ceiling.
+    pub backoff_max: u64,
+    /// A second escalation within this many ticks of a rollback skips
+    /// straight to baseline fallback (the rollback evidently did not
+    /// cure the fault).
+    pub relapse_window: u64,
+    /// Page–Hinkley tolerance on the normalised error stream.
+    pub ph_delta: f64,
+    /// Page–Hinkley threshold on the normalised error stream.
+    pub ph_lambda: f64,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        Self {
+            fast_alpha: 0.3,
+            slow_alpha: 0.02,
+            divergence_ratio: 8.0,
+            divergence_floor: 1e-3,
+            patience: 3,
+            min_samples: 24,
+            stall_after: 12,
+            input_epsilon: 1e-9,
+            oscillation_flips: 6,
+            checkpoint_every: 25,
+            quiet_ticks: 10,
+            warn_limit: 2,
+            backoff_initial: 20,
+            backoff_max: 320,
+            relapse_window: 50,
+            ph_delta: 0.5,
+            ph_lambda: 25.0,
+        }
+    }
+}
+
+/// Lifetime counters of supervision activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SupervisionStats {
+    /// Warnings issued.
+    pub warns: u32,
+    /// Checkpoint restores.
+    pub rollbacks: u32,
+    /// Falls to the baseline controller.
+    pub fallbacks: u32,
+    /// Re-promotion probes that found the model still unhealthy.
+    pub probe_failures: u32,
+    /// Successful returns of control to the model.
+    pub repromotions: u32,
+    /// Checkpoints taken.
+    pub checkpoints: u32,
+}
+
+/// A reflective wrapper supervising one controller or self-model.
+///
+/// The supervisor *owns* the model (`C`), takes periodic checkpoints
+/// of it while healthy, and decides each tick — from the evidence the
+/// substrate feeds it — whether the model keeps control, is rolled
+/// back, or is benched in favour of the substrate's baseline.
+///
+/// # Example
+///
+/// ```
+/// use selfaware::models::holt::Holt;
+/// use selfaware::models::{Forecaster, OnlineModel};
+/// use selfaware::prelude::*;
+/// use selfaware::supervision::{ControlSource, Evidence, Supervisor};
+/// use simkernel::Tick;
+///
+/// let mut log = ExplanationLog::new(64);
+/// let mut sup = Supervisor::new("demo", Holt::new(0.3, 0.1));
+/// for t in 0..200u64 {
+///     let x = t as f64;
+///     sup.model_mut().observe(x);
+///     let out = sup.model().forecast().unwrap_or(x);
+///     sup.observe(Tick(t), Evidence::forecast(x, out), &mut log);
+/// }
+/// assert_eq!(sup.source(), ControlSource::Model);
+/// assert!(sup.stats().checkpoints > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Supervisor<C: Clone> {
+    name: String,
+    cfg: SupervisorConfig,
+    controller: C,
+    checkpoint: Option<C>,
+    source: ControlSource,
+    fast: ResidualTracker,
+    slow: ResidualTracker,
+    detector: PageHinkley,
+    samples: u64,
+    prev_output: Option<f64>,
+    prev_bits: Option<u64>,
+    prev_prev_bits: Option<u64>,
+    prev_input: Option<f64>,
+    div_streak: u32,
+    osc_streak: u32,
+    stall_streak: u32,
+    warns: u32,
+    quiet: u32,
+    last_rollback: Option<u64>,
+    fallback_elapsed: u64,
+    probe_quiet: u32,
+    backoff: u64,
+    stats: SupervisionStats,
+}
+
+impl<C: Clone> Supervisor<C> {
+    /// Wraps `controller` with default tuning.
+    #[must_use]
+    pub fn new(name: impl Into<String>, controller: C) -> Self {
+        Self::with_config(name, controller, SupervisorConfig::default())
+    }
+
+    /// Wraps `controller` with explicit tuning.
+    #[must_use]
+    pub fn with_config(name: impl Into<String>, controller: C, cfg: SupervisorConfig) -> Self {
+        let fast = ResidualTracker::new(cfg.fast_alpha);
+        let slow = ResidualTracker::new(cfg.slow_alpha);
+        let detector = PageHinkley::new(cfg.ph_delta, cfg.ph_lambda);
+        let backoff = cfg.backoff_initial;
+        Self {
+            name: name.into(),
+            cfg,
+            controller,
+            checkpoint: None,
+            source: ControlSource::Model,
+            fast,
+            slow,
+            detector,
+            samples: 0,
+            prev_output: None,
+            prev_bits: None,
+            prev_prev_bits: None,
+            prev_input: None,
+            div_streak: 0,
+            osc_streak: 0,
+            stall_streak: 0,
+            warns: 0,
+            quiet: 0,
+            last_rollback: None,
+            fallback_elapsed: 0,
+            probe_quiet: 0,
+            backoff,
+            stats: SupervisionStats::default(),
+        }
+    }
+
+    /// The supervised model.
+    #[must_use]
+    pub fn model(&self) -> &C {
+        &self.controller
+    }
+
+    /// Mutable access to the supervised model (the substrate trains it
+    /// through this — including while benched, so it can relearn).
+    pub fn model_mut(&mut self) -> &mut C {
+        &mut self.controller
+    }
+
+    /// Who currently holds control.
+    #[must_use]
+    pub fn source(&self) -> ControlSource {
+        self.source
+    }
+
+    /// Whether the baseline controller is currently in charge.
+    #[must_use]
+    pub fn is_fallback(&self) -> bool {
+        self.source == ControlSource::Baseline
+    }
+
+    /// Lifetime supervision counters.
+    #[must_use]
+    pub fn stats(&self) -> SupervisionStats {
+        self.stats
+    }
+
+    /// Supervisor name (used in explanation actions).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Feeds one tick of evidence and walks the escalation ladder.
+    /// Every transition is recorded in `log` under the action
+    /// `"supervise:{name}:{step}"`.
+    pub fn observe(&mut self, now: Tick, evidence: Evidence, log: &mut ExplanationLog) -> Verdict {
+        let output = evidence.output;
+        let error = evidence
+            .error
+            .or_else(|| match (self.prev_output, evidence.input) {
+                (Some(p), Some(x)) => Some((p - x).abs()),
+                _ => None,
+            });
+
+        let anomaly = self.detect(output, error, evidence.input);
+
+        // Feed the trackers: fast always (finite errors only); slow is
+        // held out — only healthy ticks may move the baseline.
+        if let Some(e) = error.filter(|e| e.is_finite()) {
+            self.fast.record(e, 0.0);
+            if anomaly.is_none() {
+                self.slow.record(e, 0.0);
+            }
+            self.samples += 1;
+        }
+
+        // Remember this tick for the next one's watchdogs.
+        self.prev_prev_bits = self.prev_bits;
+        self.prev_bits = Some(output.to_bits());
+        self.prev_output = Some(output);
+        if evidence.input.is_some() {
+            self.prev_input = evidence.input;
+        }
+
+        match self.source {
+            ControlSource::Model => self.step_active(now, output, error, anomaly, log),
+            ControlSource::Baseline => self.step_fallback(now, error, anomaly, log),
+        }
+    }
+
+    /// Runs the watchdogs on this tick's evidence.
+    fn detect(&mut self, output: f64, error: Option<f64>, input: Option<f64>) -> Option<Anomaly> {
+        if !output.is_finite() || error.is_some_and(|e| !e.is_finite()) {
+            return Some(Anomaly::NonFinite);
+        }
+        let warmed = self.samples >= self.cfg.min_samples;
+
+        // Divergence: fast-vs-slow residual ratio with patience, plus
+        // a Page–Hinkley channel on the normalised error.
+        let mut diverged = false;
+        if let Some(e) = error {
+            let baseline = self.slow.error().max(self.cfg.divergence_floor);
+            if warmed && self.fast.error() > self.cfg.divergence_ratio * baseline {
+                self.div_streak += 1;
+            } else {
+                self.div_streak = 0;
+            }
+            let ph_fired = self.detector.observe(e / baseline);
+            diverged = self.div_streak >= self.cfg.patience || (warmed && ph_fired);
+        }
+
+        // Oscillation: bit-exact A-B-A alternation of the output.
+        let bits = output.to_bits();
+        if self.prev_prev_bits == Some(bits) && self.prev_bits != Some(bits) {
+            self.osc_streak += 1;
+        } else {
+            self.osc_streak = 0;
+        }
+
+        // Stall: frozen output bits while the input keeps moving.
+        match (self.prev_input, input, self.prev_bits) {
+            (Some(pi), Some(x), Some(pb))
+                if pb == bits && (x - pi).abs() > self.cfg.input_epsilon =>
+            {
+                self.stall_streak += 1;
+            }
+            _ => self.stall_streak = 0,
+        }
+
+        if warmed && diverged {
+            Some(Anomaly::Divergence)
+        } else if warmed && self.osc_streak >= self.cfg.oscillation_flips {
+            Some(Anomaly::Oscillation)
+        } else if warmed && self.stall_streak >= self.cfg.stall_after {
+            Some(Anomaly::Stall)
+        } else {
+            None
+        }
+    }
+
+    /// Ladder logic while the model holds control.
+    fn step_active(
+        &mut self,
+        now: Tick,
+        output: f64,
+        error: Option<f64>,
+        anomaly: Option<Anomaly>,
+        log: &mut ExplanationLog,
+    ) -> Verdict {
+        let Some(a) = anomaly else {
+            self.quiet += 1;
+            if self.quiet >= self.cfg.quiet_ticks {
+                self.warns = 0;
+                if now.0.is_multiple_of(self.cfg.checkpoint_every) && output.is_finite() {
+                    self.checkpoint = Some(self.controller.clone());
+                    self.stats.checkpoints += 1;
+                }
+            }
+            return Verdict::Healthy;
+        };
+
+        self.quiet = 0;
+        // A non-finite output is unambiguous — no warning stage.
+        if a != Anomaly::NonFinite && self.warns < self.cfg.warn_limit {
+            self.warns += 1;
+            self.stats.warns += 1;
+            log.record(
+                Explanation::new(now, format!("supervise:{}:warn", self.name))
+                    .because(a.label(), error.unwrap_or(output)),
+            );
+            return Verdict::Warned(a);
+        }
+
+        let relapse = self
+            .last_rollback
+            .is_some_and(|t| now.0.saturating_sub(t) <= self.cfg.relapse_window);
+
+        if self.checkpoint.is_some() && !relapse {
+            if let Some(cp) = self.checkpoint.clone() {
+                self.controller = cp;
+            }
+            self.reset_watchdogs();
+            self.warns = 0;
+            self.last_rollback = Some(now.0);
+            self.stats.rollbacks += 1;
+            log.record(
+                Explanation::new(now, format!("supervise:{}:rollback", self.name))
+                    .because(a.label(), error.unwrap_or(output)),
+            );
+            Verdict::RolledBack(a)
+        } else {
+            // Restore the checkpoint too (when one exists) so the
+            // benched model relearns from a sane state rather than
+            // from the corrupted one.
+            if let Some(cp) = self.checkpoint.clone() {
+                self.controller = cp;
+            }
+            self.source = ControlSource::Baseline;
+            self.reset_watchdogs();
+            self.warns = 0;
+            self.fallback_elapsed = 0;
+            self.probe_quiet = 0;
+            self.backoff = self.cfg.backoff_initial;
+            self.stats.fallbacks += 1;
+            log.record(
+                Explanation::new(now, format!("supervise:{}:fallback", self.name))
+                    .because(a.label(), error.unwrap_or(output)),
+            );
+            Verdict::FellBack(a)
+        }
+    }
+
+    /// Ladder logic while the baseline holds control: the model runs
+    /// in the shadow; after `backoff` ticks a quiet streak re-promotes
+    /// it, an anomaly doubles the backoff.
+    fn step_fallback(
+        &mut self,
+        now: Tick,
+        error: Option<f64>,
+        anomaly: Option<Anomaly>,
+        log: &mut ExplanationLog,
+    ) -> Verdict {
+        self.fallback_elapsed += 1;
+        match anomaly {
+            Some(a) => {
+                self.probe_quiet = 0;
+                if self.fallback_elapsed >= self.backoff {
+                    self.backoff = (self.backoff * 2).min(self.cfg.backoff_max);
+                    self.fallback_elapsed = 0;
+                    self.stats.probe_failures += 1;
+                    log.record(
+                        Explanation::new(now, format!("supervise:{}:probe-fail", self.name))
+                            .because(a.label(), error.unwrap_or(f64::NAN))
+                            .because("next-backoff", self.backoff as f64),
+                    );
+                    return Verdict::ProbeFailed(a);
+                }
+                Verdict::Healthy
+            }
+            None => {
+                self.probe_quiet += 1;
+                if self.fallback_elapsed >= self.backoff && self.probe_quiet >= self.cfg.quiet_ticks
+                {
+                    self.source = ControlSource::Model;
+                    self.checkpoint = Some(self.controller.clone());
+                    self.stats.checkpoints += 1;
+                    self.stats.repromotions += 1;
+                    self.fallback_elapsed = 0;
+                    self.quiet = 0;
+                    log.record(
+                        Explanation::new(now, format!("supervise:{}:repromote", self.name))
+                            .because("quiet-ticks", f64::from(self.probe_quiet)),
+                    );
+                    return Verdict::Repromoted;
+                }
+                Verdict::Healthy
+            }
+        }
+    }
+
+    /// Clears watchdog state after the model's state jumped (rollback
+    /// or fallback restore) — stale comparisons would be meaningless.
+    fn reset_watchdogs(&mut self) {
+        self.fast = ResidualTracker::new(self.cfg.fast_alpha);
+        self.detector.reset();
+        self.div_streak = 0;
+        self.osc_streak = 0;
+        self.stall_streak = 0;
+        self.prev_output = None;
+        self.prev_bits = None;
+        self.prev_prev_bits = None;
+        self.quiet = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::holt::Holt;
+    use crate::models::{Forecaster, OnlineModel};
+
+    fn log() -> ExplanationLog {
+        ExplanationLog::new(256)
+    }
+
+    /// Drives a supervised Holt over a clean ramp for `ticks`,
+    /// starting at tick `t0`.
+    fn warm_up(sup: &mut Supervisor<Holt>, log: &mut ExplanationLog, t0: u64, ticks: u64) {
+        for t in t0..t0 + ticks {
+            let x = t as f64;
+            sup.model_mut().observe(x);
+            let out = sup.model().forecast().unwrap_or(x);
+            let v = sup.observe(Tick(t), Evidence::forecast(x, out), log);
+            assert!(
+                matches!(v, Verdict::Healthy | Verdict::Repromoted),
+                "clean ramp must stay healthy, got {v:?} at t={t}"
+            );
+        }
+    }
+
+    #[test]
+    fn healthy_stream_checkpoints_and_stays_quiet() {
+        let mut l = log();
+        let mut sup = Supervisor::new("m", Holt::new(0.3, 0.1));
+        warm_up(&mut sup, &mut l, 0, 300);
+        assert_eq!(sup.source(), ControlSource::Model);
+        let s = sup.stats();
+        assert!(s.checkpoints > 5, "periodic checkpoints: {s:?}");
+        assert_eq!(
+            (s.warns, s.rollbacks, s.fallbacks, s.repromotions),
+            (0, 0, 0, 0)
+        );
+        assert!(l.is_empty(), "no transitions logged on a healthy run");
+    }
+
+    #[test]
+    fn nan_output_rolls_back_immediately() {
+        let mut l = log();
+        let mut sup = Supervisor::new("m", Holt::new(0.3, 0.1));
+        warm_up(&mut sup, &mut l, 0, 100);
+        let good_level = sup.model().level();
+        sup.model_mut().set_state(f64::NAN, f64::NAN);
+        let out = sup.model().forecast().unwrap_or(f64::NAN);
+        let v = sup.observe(Tick(100), Evidence::forecast(100.0, out), &mut l);
+        assert_eq!(v, Verdict::RolledBack(Anomaly::NonFinite));
+        assert!(sup.model().level().is_finite(), "checkpoint restored");
+        assert!((sup.model().level() - good_level).abs() < 30.0);
+        assert_eq!(sup.stats().rollbacks, 1);
+        assert!(!l.find_by_action("supervise:m:rollback").is_empty());
+    }
+
+    #[test]
+    fn divergence_warns_then_rolls_back() {
+        let mut l = log();
+        let mut sup = Supervisor::new("m", Holt::new(0.3, 0.1));
+        // 110 ticks: the last checkpoint (t=100) predates the scramble.
+        warm_up(&mut sup, &mut l, 0, 110);
+        // Scramble the model state: forecasts leave the rails.
+        sup.model_mut().set_state(1e6, 1e5);
+        let mut saw_warn = false;
+        let mut saw_rollback = false;
+        for t in 110..150u64 {
+            let x = t as f64;
+            sup.model_mut().observe(x);
+            let out = sup.model().forecast().unwrap_or(x);
+            match sup.observe(Tick(t), Evidence::forecast(x, out), &mut l) {
+                Verdict::Warned(Anomaly::Divergence) => saw_warn = true,
+                Verdict::RolledBack(Anomaly::Divergence) => {
+                    saw_rollback = true;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        assert!(saw_warn, "divergence should warn before escalation");
+        assert!(saw_rollback, "sustained divergence must roll back");
+        assert!(!l.find_by_action("supervise:m:warn").is_empty());
+        // The rollback actually repaired the forecasts.
+        assert!(sup.model().level() < 1000.0);
+    }
+
+    #[test]
+    fn relapse_after_rollback_falls_back_to_baseline() {
+        let mut l = log();
+        let mut sup = Supervisor::new("m", Holt::new(0.3, 0.1));
+        warm_up(&mut sup, &mut l, 0, 100);
+        let mut fell_back = false;
+        for t in 100..220u64 {
+            let x = t as f64;
+            // Persistent corruption: re-scramble every tick, so the
+            // rollback cannot cure it.
+            sup.model_mut().set_state(1e6, 1e5);
+            let out = sup.model().forecast().unwrap_or(x);
+            if let Verdict::FellBack(_) = sup.observe(Tick(t), Evidence::forecast(x, out), &mut l) {
+                fell_back = true;
+                break;
+            }
+        }
+        assert!(fell_back, "relapsing anomaly must bench the model");
+        assert!(sup.is_fallback());
+        assert_eq!(sup.stats().fallbacks, 1);
+        assert!(sup.stats().rollbacks >= 1, "ladder passed through rollback");
+        assert!(!l.find_by_action("supervise:m:fallback").is_empty());
+    }
+
+    #[test]
+    fn fallback_probes_backoff_then_repromote() {
+        let mut l = log();
+        let mut sup = Supervisor::new("m", Holt::new(0.3, 0.1));
+        warm_up(&mut sup, &mut l, 0, 100);
+        // Force a fallback via persistent corruption.
+        let mut t = 100u64;
+        while !sup.is_fallback() {
+            sup.model_mut().set_state(1e6, 1e5);
+            let out = sup.model().forecast().unwrap_or(0.0);
+            sup.observe(Tick(t), Evidence::forecast(t as f64, out), &mut l);
+            t += 1;
+            assert!(t < 400, "fallback must happen");
+        }
+        // Keep the corruption active: probes must fail and back off.
+        let mut probe_fails = 0;
+        for _ in 0..80 {
+            sup.model_mut().set_state(1e6, 1e5);
+            let out = sup.model().forecast().unwrap_or(0.0);
+            if let Verdict::ProbeFailed(_) =
+                sup.observe(Tick(t), Evidence::forecast(t as f64, out), &mut l)
+            {
+                probe_fails += 1;
+            }
+            t += 1;
+        }
+        assert!(probe_fails >= 1, "probes against a broken model fail");
+        assert!(!l.find_by_action("supervise:m:probe-fail").is_empty());
+        // Corruption ends: the shadow model relearns and is promoted.
+        let mut repromoted = false;
+        for _ in 0..2000 {
+            let x = t as f64;
+            sup.model_mut().observe(x);
+            let out = sup.model().forecast().unwrap_or(x);
+            if let Verdict::Repromoted = sup.observe(Tick(t), Evidence::forecast(x, out), &mut l) {
+                repromoted = true;
+                break;
+            }
+            t += 1;
+        }
+        assert!(repromoted, "healthy shadow model earns control back");
+        assert_eq!(sup.source(), ControlSource::Model);
+        assert!(!l.find_by_action("supervise:m:repromote").is_empty());
+        assert_eq!(sup.stats().repromotions, 1);
+    }
+
+    #[test]
+    fn stall_detected_when_output_freezes_under_moving_input() {
+        let mut l = log();
+        let mut sup = Supervisor::new("m", Holt::new(0.3, 0.1));
+        // Scored evidence with a flat error keeps the divergence
+        // watchdog quiet: only the frozen output can be the trigger.
+        for t in 0..100u64 {
+            let x = t as f64;
+            let v = sup.observe(Tick(t), Evidence::scored(x, 0.1).with_input(x), &mut l);
+            assert_eq!(v, Verdict::Healthy);
+        }
+        // Freeze: output bits never change while the input moves on.
+        let mut anomalies = Vec::new();
+        for t in 100..160u64 {
+            let x = t as f64;
+            match sup.observe(Tick(t), Evidence::scored(42.0, 0.1).with_input(x), &mut l) {
+                Verdict::Warned(a) | Verdict::RolledBack(a) | Verdict::FellBack(a) => {
+                    anomalies.push(a);
+                }
+                _ => {}
+            }
+        }
+        assert!(
+            anomalies.contains(&Anomaly::Stall),
+            "frozen output under moving input must stall: {anomalies:?}"
+        );
+    }
+
+    #[test]
+    fn oscillation_detected_on_bit_exact_flip_flop() {
+        let mut l = log();
+        let mut sup = Supervisor::new("m", Holt::new(0.3, 0.1));
+        // Warm with scored evidence so the slow baseline sits at the
+        // same error level as the flip-flop phase: only the
+        // oscillation watchdog has grounds to fire.
+        for t in 0..100u64 {
+            let v = sup.observe(Tick(t), Evidence::scored(50.0, 0.1), &mut l);
+            assert_eq!(v, Verdict::Healthy);
+        }
+        let mut anomalies = Vec::new();
+        for t in 100..140u64 {
+            let out = if t % 2 == 0 { 10.0 } else { 90.0 };
+            match sup.observe(Tick(t), Evidence::scored(out, 0.1), &mut l) {
+                Verdict::Warned(a) | Verdict::RolledBack(a) | Verdict::FellBack(a) => {
+                    anomalies.push(a);
+                }
+                _ => {}
+            }
+        }
+        assert!(
+            anomalies.contains(&Anomaly::Oscillation),
+            "A-B-A flip-flop must be flagged: {anomalies:?}"
+        );
+    }
+
+    #[test]
+    fn no_checkpoint_escalates_straight_to_fallback() {
+        let mut l = log();
+        let cfg = SupervisorConfig {
+            min_samples: 4,
+            warn_limit: 1,
+            ..SupervisorConfig::default()
+        };
+        let mut sup = Supervisor::with_config("m", Holt::new(0.3, 0.1), cfg);
+        // NaN before any checkpoint exists (checkpoints need a quiet
+        // streak that never forms here).
+        let mut fell = false;
+        for t in 0..8u64 {
+            let v = sup.observe(Tick(t), Evidence::scored(f64::NAN, f64::NAN), &mut l);
+            if let Verdict::FellBack(Anomaly::NonFinite) = v {
+                fell = true;
+                break;
+            }
+        }
+        assert!(fell, "no checkpoint → fallback is the only repair");
+        assert_eq!(sup.stats().rollbacks, 0);
+    }
+
+    #[test]
+    fn scored_evidence_divergence_fires() {
+        let mut l = log();
+        let mut sup = Supervisor::new("m", Holt::new(0.3, 0.1));
+        for t in 0..100u64 {
+            let v = sup.observe(Tick(t), Evidence::scored(5.0, 0.2), &mut l);
+            assert_eq!(v, Verdict::Healthy);
+        }
+        let mut flagged = false;
+        for t in 100..130u64 {
+            if sup.observe(Tick(t), Evidence::scored(5.0, 40.0), &mut l) != Verdict::Healthy {
+                flagged = true;
+                break;
+            }
+        }
+        assert!(flagged, "a 200x error blow-up must be flagged");
+    }
+
+    #[test]
+    fn evidence_builders() {
+        let f = Evidence::forecast(1.0, 2.0);
+        assert_eq!(f.input, Some(1.0));
+        assert_eq!(f.output, 2.0);
+        assert_eq!(f.error, None);
+        let s = Evidence::scored(3.0, 0.5).with_input(7.0);
+        assert_eq!(s.input, Some(7.0));
+        assert_eq!(s.error, Some(0.5));
+    }
+}

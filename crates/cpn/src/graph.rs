@@ -1,7 +1,7 @@
 //! Network topology: undirected graphs with hop-count and weighted
 //! shortest paths.
 
-use std::collections::{BTreeSet, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// An undirected graph over nodes `0..n`.
 ///
@@ -29,10 +29,12 @@ use std::collections::{BTreeSet, VecDeque};
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Graph {
     adj: Vec<Vec<usize>>,
-    /// Cut edges, as normalised `(min, max)` pairs. Still present in
-    /// `adj` (so neighbour positions never shift) but excluded from
-    /// adjacency queries and path computations.
-    down: BTreeSet<(usize, usize)>,
+    /// Cut edges, as normalised `(min, max)` pairs mapped to their
+    /// *cut depth*: overlapping fault windows each add a cut, and the
+    /// edge only comes back up when every cut has been restored.
+    /// Entries stay in `adj` (so neighbour positions never shift) but
+    /// are excluded from adjacency queries and path computations.
+    down: BTreeMap<(usize, usize), u32>,
 }
 
 /// Normalised key for an undirected edge.
@@ -46,7 +48,7 @@ impl Graph {
     pub fn new(n: usize) -> Self {
         Self {
             adj: vec![Vec::new(); n],
-            down: BTreeSet::new(),
+            down: BTreeMap::new(),
         }
     }
 
@@ -126,23 +128,47 @@ impl Graph {
             self.adj[u].push(v);
             self.adj[v].push(u);
         }
-        // Re-adding a cut edge brings it back up.
+        // Re-adding a cut edge brings it back up, clearing every
+        // outstanding cut.
         self.down.remove(&edge_key(u, v));
     }
 
     /// Takes the edge `u — v` down (a link fault). The edge stays in
     /// the adjacency lists — neighbour positions are stable — but
     /// disappears from [`Graph::are_adjacent`], [`Graph::edge_count`]
-    /// and all path computations. Returns `true` if the edge existed
-    /// and was up.
+    /// and all path computations.
+    ///
+    /// Cuts are *counted*: an edge cut twice (overlapping fault
+    /// windows) needs two [`Graph::restore_edge`] calls to come back
+    /// up. Returns `true` only when this call actually took the edge
+    /// down (it existed and was up).
     pub fn remove_edge(&mut self, u: usize, v: usize) -> bool {
         let structurally = self.adj.get(u).is_some_and(|ns| ns.contains(&v));
-        structurally && self.down.insert(edge_key(u, v))
+        if !structurally {
+            return false;
+        }
+        let depth = self.down.entry(edge_key(u, v)).or_insert(0);
+        *depth += 1;
+        *depth == 1
     }
 
-    /// Brings a cut edge back up. Returns `true` if it was down.
+    /// Undoes one cut on the edge. Returns `true` only when this call
+    /// actually brought the edge back up (its last outstanding cut
+    /// was restored); an edge still held down by an overlapping fault
+    /// stays down.
     pub fn restore_edge(&mut self, u: usize, v: usize) -> bool {
-        self.down.remove(&edge_key(u, v))
+        let key = edge_key(u, v);
+        match self.down.get_mut(&key) {
+            None => false,
+            Some(depth) if *depth > 1 => {
+                *depth -= 1;
+                false
+            }
+            Some(_) => {
+                self.down.remove(&key);
+                true
+            }
+        }
     }
 
     /// Whether the edge `u — v` exists *and is currently up*.
@@ -156,7 +182,7 @@ impl Graph {
     /// of `u` (e.g. taken from [`Graph::neighbours`]).
     #[must_use]
     pub fn link_down(&self, u: usize, v: usize) -> bool {
-        !self.down.is_empty() && self.down.contains(&edge_key(u, v))
+        !self.down.is_empty() && self.down.contains_key(&edge_key(u, v))
     }
 
     /// Neighbours of `u`, *including* those across cut edges (so that
@@ -381,7 +407,6 @@ mod tests {
         let mut g = Graph::grid(2, 2); // 0-1, 0-2, 1-3, 2-3
         let before: Vec<usize> = g.neighbours(0).to_vec();
         assert!(g.remove_edge(0, 1));
-        assert!(!g.remove_edge(0, 1), "already down");
         assert!(!g.remove_edge(0, 3), "never existed");
         assert_eq!(g.neighbours(0), before.as_slice(), "positions stable");
         assert!(!g.are_adjacent(0, 1));
@@ -391,6 +416,50 @@ mod tests {
         assert!(!g.restore_edge(0, 1), "already up");
         assert!(g.are_adjacent(0, 1));
         assert_eq!(g.edge_count(), 4);
+    }
+
+    #[test]
+    fn double_cut_needs_double_restore() {
+        // Two overlapping fault windows cut the same link; the first
+        // restore must NOT resurrect the edge while the second fault
+        // still holds it down.
+        let mut g = Graph::grid(2, 2);
+        assert!(g.remove_edge(0, 1), "first cut takes the edge down");
+        assert!(!g.remove_edge(0, 1), "second cut: already down");
+        assert!(!g.restore_edge(0, 1), "one fault still outstanding");
+        assert!(!g.are_adjacent(0, 1), "edge must stay down");
+        assert_eq!(g.edge_count(), 3);
+        assert!(g.restore_edge(0, 1), "last restore brings it up");
+        assert!(g.are_adjacent(0, 1));
+        assert_eq!(g.edge_count(), 4);
+        assert!(!g.restore_edge(0, 1), "no cuts left");
+    }
+
+    #[test]
+    fn cut_restore_cycles_are_idempotent() {
+        let mut g = Graph::grid(3, 3);
+        let pristine = g.clone();
+        for depth in 1..=4u32 {
+            for _ in 0..depth {
+                g.remove_edge(0, 1);
+            }
+            assert!(!g.edge_up(0, 1));
+            for k in 0..depth {
+                let came_up = g.restore_edge(0, 1);
+                assert_eq!(came_up, k + 1 == depth, "depth {depth} restore {k}");
+            }
+            assert_eq!(g, pristine, "cycle at depth {depth} must round-trip");
+        }
+    }
+
+    #[test]
+    fn add_edge_clears_all_outstanding_cuts() {
+        let mut g = Graph::grid(2, 2);
+        g.remove_edge(0, 1);
+        g.remove_edge(0, 1);
+        g.add_edge(0, 1); // hard re-add: operator replaced the link
+        assert!(g.edge_up(0, 1));
+        assert!(!g.restore_edge(0, 1), "no stale cuts survive add_edge");
     }
 
     #[test]

@@ -33,6 +33,17 @@ pub enum RoutingStrategy {
         /// Exploration rate of smart packets.
         epsilon: f64,
     },
+    /// CPN routing under a meta-self-aware supervisor: the simulator
+    /// watchdogs the learned delay estimates and falls back to
+    /// periodic table routing while the model is benched (see
+    /// `sim::run_cpn`). Routing behaviour while healthy is identical
+    /// to [`RoutingStrategy::Cpn`].
+    SupervisedCpn {
+        /// Fraction of packets that explore (smart packets).
+        smart_ratio: f64,
+        /// Exploration rate of smart packets.
+        epsilon: f64,
+    },
 }
 
 impl RoutingStrategy {
@@ -45,6 +56,16 @@ impl RoutingStrategy {
         }
     }
 
+    /// Canonical supervised-CPN configuration (same routing knobs as
+    /// [`RoutingStrategy::cpn_default`]).
+    #[must_use]
+    pub fn supervised_cpn_default() -> Self {
+        RoutingStrategy::SupervisedCpn {
+            smart_ratio: 0.1,
+            epsilon: 0.1,
+        }
+    }
+
     /// Table label.
     #[must_use]
     pub fn label(&self) -> String {
@@ -52,6 +73,7 @@ impl RoutingStrategy {
             RoutingStrategy::StaticShortest => "static-shortest".into(),
             RoutingStrategy::Periodic { period } => format!("periodic({period})"),
             RoutingStrategy::Cpn { .. } => "cpn".into(),
+            RoutingStrategy::SupervisedCpn { .. } => "supervised-cpn".into(),
         }
     }
 
@@ -76,6 +98,10 @@ impl RoutingStrategy {
                 }
             }
             RoutingStrategy::Cpn {
+                smart_ratio,
+                epsilon,
+            }
+            | RoutingStrategy::SupervisedCpn {
                 smart_ratio,
                 epsilon,
             } => {
@@ -142,6 +168,7 @@ fn hop_distances(graph: &Graph, dst: usize) -> Vec<usize> {
     dist
 }
 
+#[derive(Clone)]
 enum RouterKind {
     Table {
         next: Vec<Vec<Option<usize>>>,
@@ -156,7 +183,9 @@ enum RouterKind {
     },
 }
 
-/// A runtime router.
+/// A runtime router. `Clone` is cheap enough to checkpoint: the CPN
+/// state is one dense `f64` table.
+#[derive(Clone)]
 pub struct Router {
     kind: RouterKind,
 }
@@ -328,6 +357,60 @@ impl Router {
                 .position(|&x| x == v)
                 .map(|k| q[u][dst][k]),
             RouterKind::Table { .. } => None,
+        }
+    }
+
+    /// The model's best-case delay estimate from `src` to `dst`
+    /// (minimum over next-hop candidates). NaN-propagating: one
+    /// poisoned cell on the route makes the estimate NaN, so a
+    /// supervisor watching this signal sees the corruption instead of
+    /// a healthy-looking neighbour masking it. `None` for table
+    /// routers (they hold no delay model).
+    #[must_use]
+    pub fn route_estimate(&self, src: usize, dst: usize) -> Option<f64> {
+        let RouterKind::Cpn { q, .. } = &self.kind else {
+            return None;
+        };
+        let row = &q[src][dst];
+        if row.is_empty() {
+            return None;
+        }
+        let mut best = f64::INFINITY;
+        for &e in row {
+            if e.is_nan() {
+                return Some(f64::NAN);
+            }
+            best = best.min(e);
+        }
+        Some(best)
+    }
+
+    /// Overwrites every learned delay estimate with NaN (the
+    /// `NanPoison` model-corruption fault). No-op for table routers.
+    pub fn poison_model(&mut self) {
+        if let RouterKind::Cpn { q, .. } = &mut self.kind {
+            for per_dst in q {
+                for row in per_dst {
+                    row.fill(f64::NAN);
+                }
+            }
+        }
+    }
+
+    /// Scrambles the learned delay estimates (the `WeightScramble`
+    /// fault): every cell is inflated by `gain` plus a
+    /// neighbour-index-dependent offset, which both perturbs the
+    /// relative ordering the routing relies on and blows the
+    /// estimates away from measured delays. No-op for table routers.
+    pub fn scramble_model(&mut self, gain: f64) {
+        if let RouterKind::Cpn { q, .. } = &mut self.kind {
+            for per_dst in q {
+                for row in per_dst {
+                    for (k, cell) in row.iter_mut().enumerate() {
+                        *cell = *cell * gain + (k as f64 + 1.0) * gain;
+                    }
+                }
+            }
         }
     }
 }

@@ -3,9 +3,11 @@
 
 use crate::graph::Graph;
 use crate::routing::{Router, RoutingStrategy};
+use selfaware::explain::ExplanationLog;
+use selfaware::supervision::{Evidence, Supervisor, Verdict};
 use simkernel::rng::SeedTree;
 use simkernel::{MetricSet, Tick, TimeSeries};
-use workloads::faults::{FaultKind, FaultPlan};
+use workloads::faults::{FaultKind, FaultPlan, ModelCorruptionKind};
 use workloads::rates::poisson;
 
 /// Maximum hops before a packet is discarded.
@@ -102,10 +104,11 @@ pub struct CpnConfig {
     pub flows: Vec<Flow>,
     /// Optional router-targeting DoS event.
     pub degradation: Option<Degradation>,
-    /// Scheduled link faults (`LinkCut` / `LinkRestore`; other kinds
-    /// are ignored by this simulator). Packets already queued on a cut
-    /// link stall until restoration; CPN routers detour immediately,
-    /// table routers only at their next recompute.
+    /// Scheduled faults. `LinkCut` / `LinkRestore` cut links (packets
+    /// already queued on a cut link stall until restoration; CPN
+    /// routers detour immediately, table routers only at their next
+    /// recompute); `ModelCorruption` poisons the CPN router's learned
+    /// delay table. Other kinds are ignored by this simulator.
     pub faults: FaultPlan,
     /// Routing strategy.
     pub strategy: RoutingStrategy,
@@ -171,6 +174,20 @@ struct Packet {
     hop_log: Vec<(usize, Tick)>,
 }
 
+/// Sim-level meta-self-awareness for `SupervisedCpn`: the supervisor
+/// checkpoints the live router, scores its best-case delay estimates
+/// against realized deliveries, and — while the model is benched —
+/// routes over a periodically recomputed table instead.
+struct CpnSupervision {
+    sup: Supervisor<Router>,
+    log: ExplanationLog,
+    /// Fallback used while the learned model is benched.
+    baseline: Router,
+    /// EWMA of realized end-to-end delivery delay (the supervisor's
+    /// ground truth for the model's delay estimates).
+    realized: Option<f64>,
+}
+
 /// Runs a scenario. Metric keys:
 ///
 /// * `injected`, `delivered`, `dropped` — background packet counts;
@@ -186,6 +203,16 @@ pub fn run_cpn(cfg: &CpnConfig, seeds: &SeedTree) -> CpnResult {
     let mut router = cfg.strategy.build(&graph);
     let mut inject_rng = seeds.rng("inject");
     let mut route_rng = seeds.rng("route");
+    let mut supervision =
+        matches!(cfg.strategy, RoutingStrategy::SupervisedCpn { .. }).then(|| {
+            Box::new(CpnSupervision {
+                sup: Supervisor::new("cpn-routing", router.clone()),
+                log: ExplanationLog::new(512),
+                baseline: RoutingStrategy::Periodic { period: 25 }.build(&graph),
+                realized: None,
+            })
+        });
+    let mut frozen_until: Option<Tick> = None;
 
     // queues[u][k] = packets waiting at u for the link to its k-th
     // neighbour.
@@ -209,6 +236,7 @@ pub fn run_cpn(cfg: &CpnConfig, seeds: &SeedTree) -> CpnResult {
     let enqueue = |graph: &Graph,
                    queues: &mut Vec<Vec<std::collections::VecDeque<Packet>>>,
                    router: &mut Router,
+                   frozen: bool,
                    u: usize,
                    v: usize,
                    pkt: Packet,
@@ -222,7 +250,9 @@ pub fn run_cpn(cfg: &CpnConfig, seeds: &SeedTree) -> CpnResult {
             if !pkt.hostile {
                 *dropped += 1;
             }
-            router.reinforce_drop(graph, u, v, pkt.dst);
+            if !frozen {
+                router.reinforce_drop(graph, u, v, pkt.dst);
+            }
         } else {
             queues[u][k].push_back(pkt);
         }
@@ -240,9 +270,19 @@ pub fn run_cpn(cfg: &CpnConfig, seeds: &SeedTree) -> CpnResult {
                 FaultKind::LinkRestore { a, b } => {
                     graph.restore_edge(a, b);
                 }
+                FaultKind::ModelCorruption { kind, .. } => match kind {
+                    ModelCorruptionKind::NanPoison => router.poison_model(),
+                    ModelCorruptionKind::WeightScramble { gain } => router.scramble_model(gain),
+                    ModelCorruptionKind::StateFreeze { duration } => {
+                        frozen_until = Some(Tick(t + duration));
+                    }
+                },
                 _ => {}
             }
         }
+
+        let frozen = frozen_until.is_some_and(|until| now.value() < until.value());
+        let benched = supervision.as_ref().is_some_and(|s| s.sup.is_fallback());
 
         router.maintain(&graph, now, |u, v| {
             graph
@@ -251,6 +291,15 @@ pub fn run_cpn(cfg: &CpnConfig, seeds: &SeedTree) -> CpnResult {
                 .position(|&x| x == v)
                 .map_or(0, |k| queues[u][k].len())
         });
+        if let Some(s) = &mut supervision {
+            s.baseline.maintain(&graph, now, |u, v| {
+                graph
+                    .neighbours(u)
+                    .iter()
+                    .position(|&x| x == v)
+                    .map_or(0, |k| queues[u][k].len())
+            });
+        }
 
         // Inject new packets.
         for flow in &cfg.flows {
@@ -263,7 +312,11 @@ pub fn run_cpn(cfg: &CpnConfig, seeds: &SeedTree) -> CpnResult {
                 if !flow.hostile {
                     injected += 1;
                 }
-                let smart = router.is_smart(&mut route_rng);
+                let smart = if benched {
+                    false // table fallback has no smart packets
+                } else {
+                    router.is_smart(&mut route_rng)
+                };
                 let pkt = Packet {
                     dst: flow.dst,
                     smart,
@@ -271,12 +324,22 @@ pub fn run_cpn(cfg: &CpnConfig, seeds: &SeedTree) -> CpnResult {
                     created: now,
                     hop_log: vec![(flow.src, now)],
                 };
-                match router.next_hop(&graph, flow.src, flow.dst, None, smart, &mut route_rng) {
+                let hop = if benched {
+                    supervision
+                        .as_ref()
+                        .expect("benched implies supervised")
+                        .baseline
+                        .next_hop(&graph, flow.src, flow.dst, None, false, &mut route_rng)
+                } else {
+                    router.next_hop(&graph, flow.src, flow.dst, None, smart, &mut route_rng)
+                };
+                match hop {
                     Some(v) => {
                         enqueue(
                             &graph,
                             &mut queues,
                             &mut router,
+                            frozen,
                             flow.src,
                             v,
                             pkt,
@@ -319,21 +382,29 @@ pub fn run_cpn(cfg: &CpnConfig, seeds: &SeedTree) -> CpnResult {
         }
 
         // Phase B: deliver or forward.
+        let mut tick_delay_sum = 0.0;
+        let mut tick_delay_count = 0u64;
         for (u, v, mut pkt) in arrivals {
             // TD-style per-hop update from the measured hop delay
             // (queueing + service on the u→v link).
             if let Some(&(log_u, entered_u)) = pkt.hop_log.last() {
                 debug_assert_eq!(log_u, u);
                 let hop_delay = now.value().saturating_sub(entered_u.value()) as f64;
-                router.reinforce_hop(&graph, u, v, pkt.dst, hop_delay);
+                if !frozen {
+                    router.reinforce_hop(&graph, u, v, pkt.dst, hop_delay);
+                }
             }
             pkt.hop_log.push((v, now));
             if v == pkt.dst {
-                router.reinforce_delivery(&graph, pkt.dst, &pkt.hop_log);
+                if !frozen {
+                    router.reinforce_delivery(&graph, pkt.dst, &pkt.hop_log);
+                }
                 if !pkt.hostile {
                     delivered += 1;
                     let d = now.value().saturating_sub(pkt.created.value()).max(1) as f64;
                     delay_sum += d;
+                    tick_delay_sum += d;
+                    tick_delay_count += 1;
                     delay_series.push(now, d);
                     let phase = if now < attack_from {
                         0
@@ -351,16 +422,75 @@ pub fn run_cpn(cfg: &CpnConfig, seeds: &SeedTree) -> CpnResult {
                 if !pkt.hostile {
                     dropped += 1;
                 }
-                router.reinforce_drop(&graph, u, v, pkt.dst);
+                if !frozen {
+                    router.reinforce_drop(&graph, u, v, pkt.dst);
+                }
                 continue;
             }
-            match router.next_hop(&graph, v, pkt.dst, Some(u), pkt.smart, &mut route_rng) {
-                Some(w) => enqueue(&graph, &mut queues, &mut router, v, w, pkt, &mut dropped),
+            let hop = if benched {
+                supervision
+                    .as_ref()
+                    .expect("benched implies supervised")
+                    .baseline
+                    .next_hop(&graph, v, pkt.dst, Some(u), false, &mut route_rng)
+            } else {
+                router.next_hop(&graph, v, pkt.dst, Some(u), pkt.smart, &mut route_rng)
+            };
+            match hop {
+                Some(w) => enqueue(
+                    &graph,
+                    &mut queues,
+                    &mut router,
+                    frozen,
+                    v,
+                    w,
+                    pkt,
+                    &mut dropped,
+                ),
                 None => {
                     if !pkt.hostile {
                         dropped += 1;
                     }
                 }
+            }
+        }
+
+        // Meta-self-awareness: score the model's best-case delay
+        // estimates against realized deliveries and let the
+        // supervisor checkpoint / roll back / bench the live router.
+        if let Some(s) = &mut supervision {
+            if tick_delay_count > 0 {
+                let mean = tick_delay_sum / tick_delay_count as f64;
+                s.realized = Some(match s.realized {
+                    Some(r) => 0.9 * r + 0.1 * mean,
+                    None => mean,
+                });
+            }
+            let realized = s.realized.unwrap_or(0.0);
+            let mut est_sum = 0.0;
+            let mut est_n = 0u32;
+            for flow in cfg.flows.iter().filter(|f| !f.hostile) {
+                if let Some(e) = router.route_estimate(flow.src, flow.dst) {
+                    est_sum += e;
+                    est_n += 1;
+                }
+            }
+            let estimate = if est_n > 0 {
+                est_sum / f64::from(est_n)
+            } else {
+                realized
+            };
+            let error = (estimate - realized).abs();
+            // Sync the live router into the supervisor so checkpoints
+            // capture it, then copy back on rollback/fallback.
+            *s.sup.model_mut() = router.clone();
+            let verdict = s.sup.observe(
+                now,
+                Evidence::scored(estimate, error).with_input(realized),
+                &mut s.log,
+            );
+            if matches!(verdict, Verdict::RolledBack(_) | Verdict::FellBack(_)) {
+                router = s.sup.model().clone();
             }
         }
     }
@@ -389,6 +519,13 @@ pub fn run_cpn(cfg: &CpnConfig, seeds: &SeedTree) -> CpnResult {
         );
     }
     metrics.set("utility", ratio - mean_delay / 100.0);
+    let sup = supervision
+        .as_ref()
+        .map(|s| s.sup.stats())
+        .unwrap_or_default();
+    metrics.set("model_rollbacks", f64::from(sup.rollbacks));
+    metrics.set("model_fallbacks", f64::from(sup.fallbacks));
+    metrics.set("model_repromotions", f64::from(sup.repromotions));
 
     CpnResult {
         metrics,
@@ -542,6 +679,46 @@ mod tests {
     fn delay_series_is_populated() {
         let r = run(RoutingStrategy::StaticShortest, 7, 1000);
         assert!(r.delay.len() > 100);
+    }
+
+    #[test]
+    fn supervised_cpn_survives_model_corruption() {
+        use workloads::faults::{FaultEvent, ModelCorruptionKind};
+        let cfg = |strategy| {
+            let mut c = CpnConfig::standard(strategy, 3000);
+            c.faults = FaultPlan::none()
+                .and(FaultEvent::model_corruption(
+                    Tick(800),
+                    0,
+                    ModelCorruptionKind::NanPoison,
+                ))
+                .and(FaultEvent::model_corruption(
+                    Tick(1900),
+                    0,
+                    ModelCorruptionKind::WeightScramble { gain: 50.0 },
+                ));
+            c
+        };
+        let sup = run_cpn(
+            &cfg(RoutingStrategy::supervised_cpn_default()),
+            &SeedTree::new(13),
+        );
+        let interventions = sup.metrics.get("model_rollbacks").unwrap()
+            + sup.metrics.get("model_fallbacks").unwrap();
+        assert!(
+            interventions >= 1.0,
+            "supervisor should intervene after corruption: {interventions}"
+        );
+        assert!(
+            sup.metrics.get("delivery_ratio").unwrap() > 0.6,
+            "supervised router should keep delivering: {:?}",
+            sup.metrics.get("delivery_ratio")
+        );
+        let again = run_cpn(
+            &cfg(RoutingStrategy::supervised_cpn_default()),
+            &SeedTree::new(13),
+        );
+        assert_eq!(sup.metrics, again.metrics, "supervised runs deterministic");
     }
 }
 

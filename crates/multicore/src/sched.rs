@@ -14,12 +14,15 @@
 
 use crate::core::{Core, CoreKind, DvfsLevel, T_CAP};
 
+use selfaware::explain::ExplanationLog;
 use selfaware::meta::ExplorationGovernor;
 use selfaware::models::holt::Holt;
 use selfaware::models::qlearn::QLearner;
 use selfaware::models::{Forecaster, OnlineModel};
+use selfaware::supervision::{ControlSource, Evidence, SupervisionStats, Supervisor};
 use simkernel::rng::Rng;
 use simkernel::Tick;
+use workloads::faults::ModelCorruptionKind;
 use workloads::tasks::{Task, TaskClass};
 
 /// Scheduler selector.
@@ -34,6 +37,11 @@ pub enum Scheduler {
     Greedy,
     /// The self-aware learning mapper + DVFS governor.
     SelfAware,
+    /// Self-aware mapper whose thermal-forecast bank runs under a
+    /// meta-self-aware [`Supervisor`]: corrupted forecasts are caught
+    /// by the watchdogs, rolled back to a checkpoint, or benched in
+    /// favour of reactive (current-temperature) DVFS.
+    SupervisedSelfAware,
 }
 
 impl Scheduler {
@@ -44,15 +52,21 @@ impl Scheduler {
             Scheduler::StaticPin => "static-pin",
             Scheduler::Greedy => "greedy-fastest",
             Scheduler::SelfAware => "self-aware",
+            Scheduler::SupervisedSelfAware => "supervised",
         }
     }
 
     /// Instantiates the runtime controller.
     #[must_use]
     pub fn build(&self, n_cores: usize) -> SchedController {
+        let state = match self {
+            Scheduler::StaticPin | Scheduler::Greedy => None,
+            Scheduler::SelfAware => Some(SelfAwareSched::new(n_cores)),
+            Scheduler::SupervisedSelfAware => Some(SelfAwareSched::new(n_cores).supervised()),
+        };
         SchedController {
             kind: *self,
-            state: (*self == Scheduler::SelfAware).then(|| SelfAwareSched::new(n_cores)),
+            state,
             rr_next: 0,
         }
     }
@@ -75,7 +89,7 @@ impl SchedController {
                     c.set_dvfs(DvfsLevel::High);
                 }
             }
-            Scheduler::SelfAware => {
+            Scheduler::SelfAware | Scheduler::SupervisedSelfAware => {
                 if let Some(s) = &mut self.state {
                     s.govern_dvfs(cores, now);
                 }
@@ -115,7 +129,7 @@ impl SchedController {
                     da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
                 })
                 .expect("non-empty"),
-            Scheduler::SelfAware => self
+            Scheduler::SelfAware | Scheduler::SupervisedSelfAware => self
                 .state
                 .as_mut()
                 .expect("self-aware state")
@@ -135,6 +149,34 @@ impl SchedController {
     #[must_use]
     pub fn drift_events(&self) -> u32 {
         self.state.as_ref().map_or(0, |s| s.governor.drift_count())
+    }
+
+    /// Corrupts the thermal-forecast bank in place — the injection
+    /// point for [`ModelCorruptionKind`] faults. No-op for model-free
+    /// baselines.
+    pub fn inject_model_corruption(&mut self, kind: ModelCorruptionKind, now: Tick) {
+        if let Some(s) = &mut self.state {
+            s.inject_model_corruption(kind, now);
+        }
+    }
+
+    /// Watchdog counters, if this scheduler is supervised.
+    #[must_use]
+    pub fn supervision_stats(&self) -> Option<SupervisionStats> {
+        self.state
+            .as_ref()
+            .and_then(|s| s.supervision.as_ref())
+            .map(|svc| svc.sup.stats())
+    }
+
+    /// The supervisor's explanation log, if this scheduler is
+    /// supervised.
+    #[must_use]
+    pub fn explanations(&self) -> Option<&ExplanationLog> {
+        self.state
+            .as_ref()
+            .and_then(|s| s.supervision.as_deref())
+            .map(|svc| &svc.log)
     }
 }
 
@@ -156,6 +198,19 @@ struct SelfAwareSched {
     /// Task id → (q-state, action) recorded at assignment time, so
     /// feedback credits the decision that actually routed the task.
     assignments: std::collections::HashMap<u64, (usize, usize)>,
+    /// Watchdog over the thermal-forecast bank. When present, the
+    /// bank in `sup.model()` replaces `temp_forecasts`.
+    supervision: Option<Box<ThermalSupervision>>,
+    frozen_until: Option<Tick>,
+    /// Set per tick by `govern_dvfs`: true while the supervisor has
+    /// benched the forecast bank (reactive DVFS on current temps).
+    benched: bool,
+}
+
+#[derive(Debug)]
+struct ThermalSupervision {
+    sup: Supervisor<Vec<Holt>>,
+    log: ExplanationLog,
 }
 
 impl SelfAwareSched {
@@ -165,6 +220,65 @@ impl SelfAwareSched {
             temp_forecasts: (0..n_cores).map(|_| Holt::new(0.4, 0.2)).collect(),
             governor: ExplorationGovernor::new(0.03, 0.4, 0.998, 0.15, 12.0),
             assignments: std::collections::HashMap::new(),
+            supervision: None,
+            frozen_until: None,
+            benched: false,
+        }
+    }
+
+    fn supervised(mut self) -> Self {
+        let bank = std::mem::take(&mut self.temp_forecasts);
+        self.supervision = Some(Box::new(ThermalSupervision {
+            sup: Supervisor::new("thermal-forecasts", bank),
+            log: ExplanationLog::new(512),
+        }));
+        self
+    }
+
+    fn forecasts(&self) -> &[Holt] {
+        match &self.supervision {
+            Some(svc) => svc.sup.model(),
+            None => &self.temp_forecasts,
+        }
+    }
+
+    fn inject_model_corruption(&mut self, kind: ModelCorruptionKind, now: Tick) {
+        match kind {
+            ModelCorruptionKind::StateFreeze { duration } => {
+                self.frozen_until = Some(Tick(now.0 + duration));
+            }
+            _ => {
+                let bank = match &mut self.supervision {
+                    Some(svc) => svc.sup.model_mut(),
+                    None => &mut self.temp_forecasts,
+                };
+                for model in bank {
+                    match kind {
+                        ModelCorruptionKind::NanPoison => model.set_state(f64::NAN, f64::NAN),
+                        ModelCorruptionKind::WeightScramble { gain } => {
+                            let (level, trend) = (model.level(), model.trend());
+                            model.set_state(level * gain, -trend * gain - gain);
+                        }
+                        ModelCorruptionKind::StateFreeze { .. } => unreachable!("handled above"),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Predicted temperature used for thermal decisions on core `i`:
+    /// the model's horizon forecast while trusted, the live sensor
+    /// reading while the supervisor has benched the model (or the
+    /// forecast is unusable).
+    fn predicted_temp(&self, i: usize, current: f64) -> f64 {
+        if self.benched {
+            return current;
+        }
+        let predicted = self.forecasts()[i].forecast_h(5).unwrap_or(current);
+        if predicted.is_finite() || self.supervision.is_none() {
+            predicted
+        } else {
+            current
         }
     }
 
@@ -173,20 +287,43 @@ impl SelfAwareSched {
             .iter()
             .enumerate()
             .filter(|(_, c)| c.spec().kind == CoreKind::Big)
-            .any(|(i, c)| {
-                let predicted = self.temp_forecasts[i]
-                    .forecast_h(5)
-                    .unwrap_or(c.temperature());
-                predicted > T_CAP - 8.0
-            })
+            .any(|(i, c)| self.predicted_temp(i, c.temperature()) > T_CAP - 8.0)
     }
 
-    fn govern_dvfs(&mut self, cores: &mut [Core], _now: Tick) {
+    fn govern_dvfs(&mut self, cores: &mut [Core], now: Tick) {
+        let frozen = self.frozen_until.is_some_and(|until| now.0 < until.0);
+        if let Some(svc) = &mut self.supervision {
+            // Feed the bank, then hand the supervisor the hottest
+            // current reading (input) against the hottest one-step
+            // prediction (output): the forecast contract the
+            // watchdogs score is "next tick's peak temperature".
+            let mut max_temp = f64::NEG_INFINITY;
+            let mut max_pred = f64::NEG_INFINITY;
+            for (i, core) in cores.iter().enumerate() {
+                let temp = core.temperature();
+                if !frozen {
+                    svc.sup.model_mut()[i].observe(temp);
+                }
+                let pred = svc.sup.model()[i].forecast_h(1).unwrap_or(temp);
+                max_temp = max_temp.max(temp);
+                // NaN-propagating max: a poisoned core must not be
+                // masked by a healthy hotter one.
+                max_pred = if pred.is_nan() {
+                    pred
+                } else {
+                    max_pred.max(pred)
+                };
+            }
+            svc.sup
+                .observe(now, Evidence::forecast(max_temp, max_pred), &mut svc.log);
+            self.benched = svc.sup.source() == ControlSource::Baseline;
+        } else if !frozen {
+            for (i, core) in cores.iter().enumerate() {
+                self.temp_forecasts[i].observe(core.temperature());
+            }
+        }
         for (i, core) in cores.iter_mut().enumerate() {
-            self.temp_forecasts[i].observe(core.temperature());
-            let predicted = self.temp_forecasts[i]
-                .forecast_h(5)
-                .unwrap_or(core.temperature());
+            let predicted = self.predicted_temp(i, core.temperature());
             let level = core.dvfs();
             if predicted > T_CAP - 5.0 {
                 core.set_dvfs(level.lower());

@@ -22,11 +22,12 @@ pub struct MulticoreConfig {
     pub phases: Vec<(u64, TaskMix)>,
     /// Deadline for interactive tasks (ticks); others unconstrained.
     pub interactive_deadline: u64,
-    /// Scheduled core faults (`CoreFail` / `CoreRecover`; other kinds
-    /// are ignored by this simulator). A failing core orphans its
-    /// queue — partial progress lost — and the scheduler immediately
-    /// redistributes the orphans; assignments that would land on an
-    /// offline core are redirected to the next online one.
+    /// Scheduled faults. `CoreFail` / `CoreRecover` take cores
+    /// offline — a failing core orphans its queue (partial progress
+    /// lost), the scheduler immediately redistributes the orphans,
+    /// and assignments landing on an offline core are redirected to
+    /// the next online one. `ModelCorruption` poisons the scheduler's
+    /// thermal-forecast bank. Other kinds are ignored.
     pub faults: FaultPlan,
     /// Scheduler under test.
     pub scheduler: Scheduler,
@@ -147,6 +148,9 @@ pub fn run_multicore(cfg: &MulticoreConfig, seeds: &SeedTree) -> MulticoreResult
                 FaultKind::CoreRecover { core } if core < cores.len() => {
                     cores[core].recover();
                 }
+                FaultKind::ModelCorruption { kind, .. } => {
+                    controller.inject_model_corruption(kind, now);
+                }
                 _ => {}
             }
         }
@@ -222,6 +226,10 @@ pub fn run_multicore(cfg: &MulticoreConfig, seeds: &SeedTree) -> MulticoreResult
     metrics.set("throttle_ratio", throttled as f64 / core_ticks as f64);
     metrics.set("peak_temp", peak_temp_overall);
     metrics.set("drift_events", f64::from(controller.drift_events()));
+    let sup = controller.supervision_stats().unwrap_or_default();
+    metrics.set("model_rollbacks", f64::from(sup.rollbacks));
+    metrics.set("model_fallbacks", f64::from(sup.fallbacks));
+    metrics.set("model_repromotions", f64::from(sup.repromotions));
     let utility = multicore_goal().utility(|k| metrics.get(k));
     metrics.set("utility", utility);
 
@@ -347,6 +355,44 @@ mod tests {
         assert!(
             sa.metrics.get("throttle_ratio").unwrap()
                 <= pin.metrics.get("throttle_ratio").unwrap() + 1e-9
+        );
+    }
+
+    #[test]
+    fn supervised_scheduler_survives_thermal_model_corruption() {
+        use workloads::faults::{FaultEvent, ModelCorruptionKind};
+        let steps = 2400;
+        let corrupted = |s: Scheduler| {
+            let mut cfg = MulticoreConfig::standard(s, steps);
+            cfg.faults = FaultPlan::none()
+                .and(FaultEvent::model_corruption(
+                    Tick(steps / 3),
+                    0,
+                    ModelCorruptionKind::NanPoison,
+                ))
+                .and(FaultEvent::model_corruption(
+                    Tick(2 * steps / 3),
+                    0,
+                    ModelCorruptionKind::StateFreeze {
+                        duration: steps / 8,
+                    },
+                ));
+            run_multicore(&cfg, &SeedTree::new(7))
+        };
+        let sup = corrupted(Scheduler::SupervisedSelfAware);
+        let m = &sup.metrics;
+        assert!(
+            m.get("model_rollbacks").unwrap() + m.get("model_fallbacks").unwrap() >= 1.0,
+            "supervisor never intervened: {m:?}"
+        );
+        assert!(
+            m.get("completion_ratio").unwrap() > 0.7,
+            "supervised run collapsed: {m:?}"
+        );
+        // Deterministic per seed, including the supervision path.
+        assert_eq!(
+            corrupted(Scheduler::SupervisedSelfAware).metrics,
+            sup.metrics
         );
     }
 

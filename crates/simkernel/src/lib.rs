@@ -43,7 +43,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(clippy::unwrap_used, clippy::panic)]
+#![deny(clippy::unwrap_used, clippy::panic)]
 #![warn(missing_docs)]
 
 pub mod clock;
@@ -57,9 +57,9 @@ pub mod table;
 
 pub use clock::{Clock, Tick};
 pub use events::EventQueue;
-pub use parallel::{par_map, par_map_index, worker_count};
+pub use parallel::{par_map, par_map_index, try_par_map_index, worker_count};
 pub use rng::SeedTree;
-pub use runner::{Aggregate, MetricKey, MetricSet, Replications};
+pub use runner::{Aggregate, MetricKey, MetricSet, ReplicateError, Replications, RunReport};
 pub use series::TimeSeries;
 pub use stats::OnlineStats;
 pub use table::Table;

@@ -98,6 +98,38 @@ where
     par_map_index(items.len(), worker_count(items.len()), |i| f(&items[i]))
 }
 
+/// Like [`par_map_index`], but each cell runs under
+/// [`std::panic::catch_unwind`]: a panicking cell yields
+/// `Err(message)` in its slot instead of killing the pool, and every
+/// other cell still completes. Output remains in index order — the
+/// panic-isolation layer does not weaken the determinism contract.
+///
+/// The sequential path (`threads <= 1` or `n <= 1`) catches panics
+/// identically, so sequential and parallel runs agree on which cells
+/// failed and with what message.
+pub fn try_par_map_index<U, F>(n: usize, threads: usize, f: F) -> Vec<Result<U, String>>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let guarded = |i: usize| {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i)))
+            .map_err(|p| panic_message(&*p))
+    };
+    par_map_index(n, threads, guarded)
+}
+
+/// Extracts a human-readable message from a panic payload.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,5 +183,48 @@ mod tests {
             })
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn try_par_map_isolates_panics_and_completes_the_rest() {
+        for threads in [1, 2, 4, 16] {
+            let out = try_par_map_index(9, threads, |i| {
+                assert!(i != 3, "cell 3 is poisoned");
+                i * 10
+            });
+            assert_eq!(out.len(), 9, "threads={threads}");
+            for (i, r) in out.iter().enumerate() {
+                if i == 3 {
+                    let msg = r.as_ref().expect_err("cell 3 must fail");
+                    assert!(msg.contains("cell 3 is poisoned"), "got {msg:?}");
+                } else {
+                    assert_eq!(r.as_ref().ok(), Some(&(i * 10)), "threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn try_par_map_sequential_matches_parallel() {
+        let f = |i: usize| {
+            assert!(i % 4 != 2, "poison {i}");
+            i as u64 * 3
+        };
+        let seq = try_par_map_index(13, 1, f);
+        for threads in [2, 5, 13] {
+            assert_eq!(try_par_map_index(13, threads, f), seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn panic_message_handles_string_payloads() {
+        let out = try_par_map_index(2, 1, |i| {
+            if i == 0 {
+                std::panic::panic_any(format!("formatted {i}"));
+            }
+            i
+        });
+        assert_eq!(out[0].as_ref().expect_err("cell 0 panics"), "formatted 0");
+        assert_eq!(out[1], Ok(1));
     }
 }

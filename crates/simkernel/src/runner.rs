@@ -7,11 +7,12 @@
 //! identical across strategies (common random numbers, which sharpens
 //! the comparisons the paper's hypothesis calls for).
 
-use crate::parallel::{par_map_index, worker_count};
+use crate::parallel::{panic_message, par_map_index, worker_count};
 use crate::rng::SeedTree;
 use crate::stats::OnlineStats;
 use std::borrow::Cow;
 use std::collections::BTreeMap;
+use std::ops::Deref;
 
 /// Metric name: `&'static str` in the common literal-key case (no
 /// allocation on the per-tick hot path), owned `String` when built at
@@ -149,6 +150,116 @@ impl Aggregate {
     }
 }
 
+/// A replicate whose panic survived the one-shot retry: the typed
+/// error surfaced by the panic-isolated runners instead of a dead
+/// worker pool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicateError {
+    /// Replicate index.
+    pub replicate: u32,
+    /// Panic message of the original attempt.
+    pub panic: String,
+    /// Panic message of the fresh-seed retry.
+    pub retry_panic: String,
+}
+
+/// Result of a panic-isolated replication run: the aggregate over the
+/// replicates that completed, plus an explicit account of the ones
+/// that did not.
+///
+/// Dereferences to [`Aggregate`], so `report.mean("x")` keeps working
+/// at existing call sites; [`RunReport::excluded`] says how many
+/// replicates the aggregate does *not* include.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunReport {
+    aggregate: Aggregate,
+    completed: u32,
+    recovered: Vec<u32>,
+    errors: Vec<ReplicateError>,
+}
+
+impl RunReport {
+    /// The aggregate over all completed replicates (including
+    /// retried-and-recovered ones).
+    #[must_use]
+    pub fn aggregate(&self) -> &Aggregate {
+        &self.aggregate
+    }
+
+    /// Number of replicates whose metrics the aggregate includes.
+    #[must_use]
+    pub fn completed(&self) -> u32 {
+        self.completed
+    }
+
+    /// Replicates that panicked once but completed on the fresh-seed
+    /// retry branch (their retried metrics are in the aggregate).
+    #[must_use]
+    pub fn recovered(&self) -> &[u32] {
+        &self.recovered
+    }
+
+    /// Replicates excluded from the aggregate, with both panic
+    /// messages each.
+    #[must_use]
+    pub fn errors(&self) -> &[ReplicateError] {
+        &self.errors
+    }
+
+    /// Explicit excluded-replicate count (`errors().len()`).
+    #[must_use]
+    pub fn excluded(&self) -> u32 {
+        self.errors.len() as u32
+    }
+}
+
+impl Deref for RunReport {
+    type Target = Aggregate;
+
+    fn deref(&self) -> &Aggregate {
+        &self.aggregate
+    }
+}
+
+/// How one guarded replicate cell ended.
+enum CellOutcome {
+    Done(MetricSet),
+    Recovered(MetricSet),
+    Failed { panic: String, retry_panic: String },
+}
+
+/// Runs `attempt` under `catch_unwind`, mapping a panic to its
+/// message.
+fn catch_metrics<G: FnOnce() -> MetricSet>(attempt: G) -> Result<MetricSet, String> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(attempt)).map_err(|p| panic_message(&*p))
+}
+
+/// Folds per-replicate outcomes (in replicate order) into a report.
+fn report_from(outcomes: impl IntoIterator<Item = CellOutcome>) -> RunReport {
+    let mut report = RunReport::default();
+    for (k, outcome) in outcomes.into_iter().enumerate() {
+        match outcome {
+            CellOutcome::Done(m) => {
+                report.aggregate.absorb(&m);
+                report.completed += 1;
+            }
+            CellOutcome::Recovered(m) => {
+                report.aggregate.absorb(&m);
+                report.completed += 1;
+                report.recovered.push(k as u32);
+            }
+            CellOutcome::Failed { panic, retry_panic } => {
+                report.errors.push(ReplicateError {
+                    replicate: k as u32,
+                    panic,
+                    retry_panic,
+                });
+            }
+        }
+    }
+    report
+}
+
 /// Runs a scenario over R common-random-number replicates.
 ///
 /// # Example
@@ -196,7 +307,36 @@ impl Replications {
         SeedTree::new(self.base_seed).child_idx(u64::from(k))
     }
 
+    /// Seed subtree for the one-shot retry of replicate `k`: a fresh
+    /// branch (labelled, so it perturbs no existing stream) in case
+    /// the panic was provoked by that replicate's particular draws.
+    /// Index-derived like [`Replications::seeds_for`], so retries are
+    /// just as deterministic and order-independent as first attempts.
+    #[must_use]
+    pub fn retry_seeds_for(&self, k: u32) -> SeedTree {
+        SeedTree::new(self.base_seed)
+            .child("retry")
+            .child_idx(u64::from(k))
+    }
+
+    /// Runs a guarded replicate: attempt, retry once on a fresh seed
+    /// branch, surface both panic messages if the retry dies too.
+    fn guarded_cell(&self, k: u32, run: &dyn Fn(SeedTree) -> MetricSet) -> CellOutcome {
+        match catch_metrics(|| run(self.seeds_for(k))) {
+            Ok(m) => CellOutcome::Done(m),
+            Err(panic) => match catch_metrics(|| run(self.retry_seeds_for(k))) {
+                Ok(m) => CellOutcome::Recovered(m),
+                Err(retry_panic) => CellOutcome::Failed { panic, retry_panic },
+            },
+        }
+    }
+
     /// Runs `scenario` once per replicate and aggregates metrics.
+    ///
+    /// This is the unguarded sequential reference: a panic in
+    /// `scenario` propagates. For panic isolation use
+    /// [`Replications::run_try`] (sequential) or the parallel runners,
+    /// which all quarantine poisoned replicates.
     pub fn run<F>(&self, mut scenario: F) -> Aggregate
     where
         F: FnMut(SeedTree) -> MetricSet,
@@ -209,16 +349,31 @@ impl Replications {
         agg
     }
 
+    /// Sequential panic-isolated run: each replicate is guarded by
+    /// `catch_unwind`, retried once on a fresh seed branch, and
+    /// otherwise reported as a typed [`ReplicateError`] — the exact
+    /// semantics of [`Replications::run_par`] at one worker, so the
+    /// two are comparable with `==` in parity tests.
+    pub fn run_try<F>(&self, scenario: F) -> RunReport
+    where
+        F: Fn(SeedTree) -> MetricSet,
+    {
+        report_from((0..self.count).map(|k| self.guarded_cell(k, &scenario)))
+    }
+
     /// Runs `scenario` once per replicate **in parallel** and
-    /// aggregates metrics.
+    /// aggregates metrics, isolating panics per replicate.
     ///
-    /// Bit-identical to [`Replications::run`]: each replicate's
-    /// randomness comes from its index-derived seed subtree (never
-    /// from execution order), and finished metric sets are absorbed
-    /// into the [`Aggregate`] in replicate order regardless of which
-    /// worker produced them first. The worker pool sizes itself from
-    /// `available_parallelism`, overridable with the `SAS_THREADS`
-    /// environment variable.
+    /// Bit-identical to [`Replications::run`] on the completed
+    /// replicates: each replicate's randomness comes from its
+    /// index-derived seed subtree (never from execution order), and
+    /// finished metric sets are absorbed into the [`Aggregate`] in
+    /// replicate order regardless of which worker produced them
+    /// first. A panicking replicate is retried once on a fresh seed
+    /// branch and otherwise quarantined as a [`ReplicateError`] —
+    /// the pool and the other replicates always complete. The worker
+    /// pool sizes itself from `available_parallelism`, overridable
+    /// with the `SAS_THREADS` environment variable.
     ///
     /// # Example
     ///
@@ -233,9 +388,12 @@ impl Replications {
     ///     m
     /// };
     /// let reps = Replications::new(42, 8);
-    /// assert_eq!(reps.run_par(&scenario), reps.run(scenario));
+    /// let report = reps.run_par(&scenario);
+    /// assert_eq!(report.aggregate(), &reps.run(scenario));
+    /// assert_eq!(report.completed(), 8);
+    /// assert_eq!(report.excluded(), 0);
     /// ```
-    pub fn run_par<F>(&self, scenario: F) -> Aggregate
+    pub fn run_par<F>(&self, scenario: F) -> RunReport
     where
         F: Fn(SeedTree) -> MetricSet + Sync,
     {
@@ -245,22 +403,18 @@ impl Replications {
     /// [`Replications::run_par`] with an explicit worker count
     /// (used by the determinism-parity tests to pin thread counts
     /// without touching process environment).
-    pub fn run_par_threads<F>(&self, threads: usize, scenario: F) -> Aggregate
+    pub fn run_par_threads<F>(&self, threads: usize, scenario: F) -> RunReport
     where
         F: Fn(SeedTree) -> MetricSet + Sync,
     {
-        let per_replicate = par_map_index(self.count as usize, threads, |k| {
-            scenario(self.seeds_for(k as u32))
+        let outcomes = par_map_index(self.count as usize, threads, |k| {
+            self.guarded_cell(k as u32, &scenario)
         });
-        let mut agg = Aggregate::default();
-        for metrics in &per_replicate {
-            agg.absorb(metrics);
-        }
-        agg
+        report_from(outcomes)
     }
 
     /// Fans a whole *strategy × replicate* matrix out over the worker
-    /// pool and returns one [`Aggregate`] per arm, in arm order.
+    /// pool and returns one [`RunReport`] per arm, in arm order.
     ///
     /// This is the experiment-harness workhorse: comparing controller
     /// variants under common random numbers is embarrassingly
@@ -268,8 +422,10 @@ impl Replications {
     /// cells feed one dynamic work queue (no idle cores while a slow
     /// arm finishes). Per-arm aggregates absorb cells in replicate
     /// order, so each arm's result is bit-identical to
-    /// `Replications::run` on that arm alone.
-    pub fn run_matrix<S, F>(&self, arms: &[S], scenario: F) -> Vec<Aggregate>
+    /// `Replications::run` on that arm alone; a panicking cell is
+    /// retried once and otherwise quarantined in its arm's report
+    /// without disturbing any other cell.
+    pub fn run_matrix<S, F>(&self, arms: &[S], scenario: F) -> Vec<RunReport>
     where
         S: Sync,
         F: Fn(&S, SeedTree) -> MetricSet + Sync,
@@ -284,27 +440,23 @@ impl Replications {
         threads: usize,
         arms: &[S],
         scenario: F,
-    ) -> Vec<Aggregate>
+    ) -> Vec<RunReport>
     where
         S: Sync,
         F: Fn(&S, SeedTree) -> MetricSet + Sync,
     {
         let reps = self.count as usize;
         let cells = arms.len() * reps;
-        let per_cell = par_map_index(cells, threads, |cell| {
+        let outcomes = par_map_index(cells, threads, |cell| {
             let (arm, k) = (cell / reps, cell % reps);
-            scenario(&arms[arm], self.seeds_for(k as u32))
+            self.guarded_cell(k as u32, &|seeds| scenario(&arms[arm], seeds))
         });
-        per_cell
-            .chunks_exact(reps)
-            .map(|arm_cells| {
-                let mut agg = Aggregate::default();
-                for metrics in arm_cells {
-                    agg.absorb(metrics);
-                }
-                agg
-            })
-            .collect()
+        let mut arm_outcomes: Vec<Vec<CellOutcome>> = Vec::with_capacity(arms.len());
+        let mut it = outcomes.into_iter();
+        for _ in 0..arms.len() {
+            arm_outcomes.push(it.by_ref().take(reps).collect());
+        }
+        arm_outcomes.into_iter().map(report_from).collect()
     }
 }
 
@@ -390,9 +542,11 @@ mod tests {
         let sequential = reps.run(scenario);
         for threads in [1, 2, 4, 16] {
             let parallel = reps.run_par_threads(threads, scenario);
-            assert_eq!(parallel, sequential, "threads={threads}");
+            assert_eq!(parallel.aggregate(), &sequential, "threads={threads}");
+            assert_eq!(parallel.completed(), 17);
+            assert_eq!(parallel.excluded(), 0);
         }
-        assert_eq!(reps.run_par(scenario), sequential);
+        assert_eq!(reps.run_par(scenario).aggregate(), &sequential);
     }
 
     #[test]
@@ -407,9 +561,10 @@ mod tests {
         let reps = Replications::new(0xBEEF, 9);
         let matrix = reps.run_matrix(&arms, scenario);
         assert_eq!(matrix.len(), arms.len());
-        for (arm, agg) in arms.iter().zip(&matrix) {
+        for (arm, report) in arms.iter().zip(&matrix) {
             let solo = reps.run(|seeds| scenario(arm, seeds));
-            assert_eq!(*agg, solo);
+            assert_eq!(report.aggregate(), &solo);
+            assert_eq!(report.completed(), 9);
         }
     }
 
@@ -433,6 +588,113 @@ mod tests {
         agg.absorb(&a);
         agg.absorb(&b);
         assert_eq!(agg.stats("x").unwrap().count(), 2);
+    }
+
+    /// A scenario that panics on replicate seeds listed in `poison`
+    /// (matched by raw seed value, since scenarios only see seeds).
+    fn poisoned_scenario(poison: Vec<u64>) -> impl Fn(SeedTree) -> MetricSet + Sync {
+        move |seeds: SeedTree| {
+            assert!(
+                !poison.contains(&seeds.raw()),
+                "poisoned replicate {:#x}",
+                seeds.raw()
+            );
+            let mut rng = seeds.rng("s");
+            let mut m = MetricSet::new();
+            m.set("v", rng.gen::<f64>());
+            m
+        }
+    }
+
+    #[test]
+    fn retry_seeds_differ_from_primary_and_are_stable() {
+        let r = Replications::new(5, 4);
+        for k in 0..4 {
+            assert_ne!(r.seeds_for(k).raw(), r.retry_seeds_for(k).raw());
+            assert_eq!(
+                r.retry_seeds_for(k).raw(),
+                Replications::new(5, 4).retry_seeds_for(k).raw()
+            );
+        }
+    }
+
+    #[test]
+    fn poisoned_replicate_recovers_on_retry_branch() {
+        let reps = Replications::new(0xDEAD, 8);
+        // Poison only the primary attempt of replicate 3: the retry
+        // branch runs clean and its metrics join the aggregate.
+        let scenario = poisoned_scenario(vec![reps.seeds_for(3).raw()]);
+        for threads in [1, 2, 4, 16] {
+            let report = reps.run_par_threads(threads, &scenario);
+            assert_eq!(report.completed(), 8, "threads={threads}");
+            assert_eq!(report.recovered(), &[3], "threads={threads}");
+            assert_eq!(report.excluded(), 0);
+            assert_eq!(report.stats("v").map(|s| s.count()), Some(8));
+        }
+    }
+
+    #[test]
+    fn doubly_poisoned_replicate_is_quarantined_not_fatal() {
+        let reps = Replications::new(0xDEAD, 8);
+        // Poison both the primary and the retry branch of replicate 3.
+        let scenario =
+            poisoned_scenario(vec![reps.seeds_for(3).raw(), reps.retry_seeds_for(3).raw()]);
+        // Reference aggregate over the 7 survivors only.
+        let mut survivors = Aggregate::default();
+        for k in 0..8 {
+            if k != 3 {
+                survivors.absorb(&poisoned_scenario(vec![])(reps.seeds_for(k)));
+            }
+        }
+        for threads in [1, 2, 4, 16] {
+            let report = reps.run_par_threads(threads, &scenario);
+            assert_eq!(report.completed(), 7, "threads={threads}");
+            assert_eq!(report.excluded(), 1);
+            assert_eq!(report.errors().len(), 1);
+            let err = &report.errors()[0];
+            assert_eq!(err.replicate, 3);
+            assert!(err.panic.contains("poisoned replicate"), "{err:?}");
+            assert!(err.retry_panic.contains("poisoned replicate"));
+            assert_eq!(
+                report.aggregate(),
+                &survivors,
+                "survivor aggregate must be bit-identical, threads={threads}"
+            );
+        }
+        // Sequential guarded run agrees exactly with the parallel one.
+        assert_eq!(reps.run_try(&scenario), reps.run_par_threads(4, &scenario));
+    }
+
+    #[test]
+    fn run_matrix_quarantines_per_arm() {
+        let reps = Replications::new(0xF00D, 6);
+        let arms = ["clean", "poisoned"];
+        let poison_primary = reps.seeds_for(2).raw();
+        let poison_retry = reps.retry_seeds_for(2).raw();
+        let scenario = move |arm: &&str, seeds: SeedTree| {
+            if *arm == "poisoned" {
+                assert!(
+                    seeds.raw() != poison_primary && seeds.raw() != poison_retry,
+                    "poisoned cell"
+                );
+            }
+            let mut rng = seeds.rng("s");
+            let mut m = MetricSet::new();
+            m.set("v", rng.gen::<f64>());
+            m
+        };
+        for threads in [1, 3, 8] {
+            let matrix = reps.run_matrix_threads(threads, &arms, scenario);
+            assert_eq!(matrix[0].completed(), 6, "clean arm untouched");
+            assert_eq!(matrix[0].excluded(), 0);
+            assert_eq!(matrix[1].completed(), 5, "threads={threads}");
+            assert_eq!(matrix[1].excluded(), 1);
+            assert_eq!(matrix[1].errors()[0].replicate, 2);
+            // Both arms share seeds: the poisoned arm's survivors saw
+            // the same draws as the clean arm's matching replicates.
+            assert_eq!(matrix[0].stats("v").map(|s| s.count()), Some(6));
+            assert_eq!(matrix[1].stats("v").map(|s| s.count()), Some(5));
+        }
     }
 
     #[test]

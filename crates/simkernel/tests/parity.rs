@@ -113,7 +113,9 @@ proptest! {
         let reps = Replications::new(base_seed, count);
         let seq = reps.run(scenario);
         let par = reps.run_par_threads(threads, scenario);
-        prop_assert_eq!(&par, &seq);
+        prop_assert_eq!(par.aggregate(), &seq);
+        prop_assert_eq!(par.completed(), count);
+        prop_assert_eq!(par.excluded(), 0);
         for (name, _) in seq.iter() {
             prop_assert_eq!(par.mean(name).to_bits(), seq.mean(name).to_bits());
             prop_assert_eq!(par.ci95(name).to_bits(), seq.ci95(name).to_bits());
@@ -138,9 +140,89 @@ proptest! {
         let reps = Replications::new(base_seed, count);
         let par = reps.run_matrix_threads(threads, &arms, scenario);
         prop_assert_eq!(par.len(), arms.len());
-        for (arm, agg) in arms.iter().zip(&par) {
+        for (arm, report) in arms.iter().zip(&par) {
             let seq = reps.run(|seeds| scenario(arm, seeds));
-            prop_assert_eq!(agg, &seq);
+            prop_assert_eq!(report.aggregate(), &seq);
         }
     }
+
+    // Panic-isolation parity: poison a random subset of replicates
+    // (both attempts, so they are quarantined, not recovered). The
+    // survivor aggregate must stay bit-identical to a sequential run
+    // over the survivors alone, at any thread count, and the poisoned
+    // replicates must be reported exactly.
+    #[test]
+    fn prop_poisoned_replicates_quarantine_identically(
+        base_seed in any::<u64>(),
+        count in 2u32..10,
+        threads in 1usize..9,
+        poison_mask in any::<u16>(),
+    ) {
+        let reps = Replications::new(base_seed, count);
+        let poisoned: Vec<u32> =
+            (0..count).filter(|k| poison_mask & (1 << k) != 0).collect();
+        let bad_seeds: Vec<u64> = poisoned
+            .iter()
+            .flat_map(|&k| [reps.seeds_for(k).raw(), reps.retry_seeds_for(k).raw()])
+            .collect();
+        let scenario = |seeds: SeedTree| {
+            assert!(!bad_seeds.contains(&seeds.raw()), "poisoned");
+            let mut rng = seeds.rng("w");
+            let mut m = MetricSet::new();
+            m.set("x", rng.gen_range(0.0..1.0));
+            m
+        };
+        let mut survivors = Aggregate::default();
+        for k in 0..count {
+            if !poisoned.contains(&k) {
+                survivors.absorb(&{
+                    let mut rng = reps.seeds_for(k).rng("w");
+                    let mut m = MetricSet::new();
+                    m.set("x", rng.gen_range(0.0..1.0));
+                    m
+                });
+            }
+        }
+        let par = reps.run_par_threads(threads, scenario);
+        prop_assert_eq!(par.aggregate(), &survivors);
+        prop_assert_eq!(par.completed(), count - poisoned.len() as u32);
+        prop_assert_eq!(par.excluded(), poisoned.len() as u32);
+        let reported: Vec<u32> = par.errors().iter().map(|e| e.replicate).collect();
+        prop_assert_eq!(reported, poisoned);
+        // And the sequential guarded runner agrees exactly.
+        prop_assert_eq!(&reps.run_try(scenario), &par);
+    }
+}
+
+#[test]
+fn poisoned_matrix_completes_all_other_cells_at_any_thread_count() {
+    // The acceptance scenario: one arm of a matrix panics on one
+    // replicate (both attempts); everything else completes and the
+    // survivor aggregates are bit-identical sequential vs parallel.
+    let reps = Replications::new(0xBAD_5EED, 9);
+    let arms = [0u8, 1, 2];
+    let bad = [reps.seeds_for(4).raw(), reps.retry_seeds_for(4).raw()];
+    let scenario = |&arm: &u8, seeds: SeedTree| {
+        assert!(
+            !(arm == 1 && bad.contains(&seeds.raw())),
+            "deliberate panic in arm 1 replicate 4"
+        );
+        noisy_scenario(seeds)
+    };
+    let reference = reps.run_matrix_threads(1, &arms, scenario);
+    for threads in [2, 3, 4, 8, 32] {
+        let par = reps.run_matrix_threads(threads, &arms, scenario);
+        assert_eq!(par, reference, "threads={threads}");
+    }
+    assert_eq!(reference[0].completed(), 9);
+    assert_eq!(reference[1].completed(), 8);
+    assert_eq!(reference[1].excluded(), 1);
+    let err = &reference[1].errors()[0];
+    assert_eq!(err.replicate, 4);
+    assert!(err.panic.contains("deliberate panic"));
+    assert_eq!(reference[2].completed(), 9);
+    // Unpoisoned arms match a plain sequential run bit-for-bit.
+    let seq0 = reps.run(noisy_scenario);
+    assert_bitwise_equal(&reference[0], &seq0);
+    assert_bitwise_equal(&reference[2], &seq0);
 }

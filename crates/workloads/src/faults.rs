@@ -111,6 +111,40 @@ pub enum FaultKind {
         /// Fault length in ticks.
         duration: u64,
     },
+    /// A controller's *self-model* is corrupted in place — the fault
+    /// class the supervision runtime (`selfaware::supervision`)
+    /// exists to survive. Unlike the component faults above, nothing
+    /// in the environment breaks: the awareness machinery itself does.
+    ModelCorruption {
+        /// Controller index (the consumer maps indices to whichever
+        /// supervised model it runs; single-controller substrates use
+        /// index 0).
+        controller: usize,
+        /// Corruption mode.
+        kind: ModelCorruptionKind,
+    },
+}
+
+/// How a controller self-model is corrupted.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ModelCorruptionKind {
+    /// Model state is overwritten with NaN — the classic silent
+    /// poisoning of an EWMA/Holt pipeline, where one NaN propagates
+    /// through every subsequent forecast.
+    NanPoison,
+    /// Model weights are multiplied by a large `gain` (sign-flipped by
+    /// the consumer where that makes the corruption nastier), sending
+    /// forecasts off the rails while keeping them finite.
+    WeightScramble {
+        /// Multiplicative blow-up factor.
+        gain: f64,
+    },
+    /// The model stops updating for `duration` ticks: outputs freeze
+    /// while the world moves on.
+    StateFreeze {
+        /// Freeze length in ticks.
+        duration: u64,
+    },
 }
 
 /// A fault bound to its onset time.
@@ -202,6 +236,16 @@ impl FaultEvent {
             },
         }
     }
+
+    /// Controller `controller`'s self-model is corrupted per `kind` at
+    /// `at`.
+    #[must_use]
+    pub fn model_corruption(at: Tick, controller: usize, kind: ModelCorruptionKind) -> Self {
+        Self {
+            at,
+            kind: FaultKind::ModelCorruption { controller, kind },
+        }
+    }
 }
 
 /// An ordered set of scheduled faults.
@@ -288,6 +332,22 @@ impl FaultPlan {
             .next_back()
     }
 
+    /// Whether controller `controller`'s model is inside an active
+    /// [`ModelCorruptionKind::StateFreeze`] window at `t`. Simulators
+    /// consult this to suppress model updates while frozen (the freeze
+    /// is a property of the fault plan, not of checkpointable model
+    /// state — a rollback must not thaw it).
+    #[must_use]
+    pub fn model_frozen_at(&self, controller: usize, t: Tick) -> bool {
+        self.events.iter().any(|e| match e.kind {
+            FaultKind::ModelCorruption {
+                controller: c,
+                kind: ModelCorruptionKind::StateFreeze { duration },
+            } => c == controller && e.at <= t && t.value() < e.at.value() + duration,
+            _ => false,
+        })
+    }
+
     /// A seed-derived plan of `outages` random camera fail/recover
     /// pairs: each picks a camera in `0..cameras` and an onset in
     /// `[window.0, window.1)`, recovering `downtime` ticks later.
@@ -315,6 +375,44 @@ impl FaultPlan {
             let at = rng.gen_range(window.0..window.1);
             events.push(FaultEvent::camera_fail(Tick(at), cam));
             events.push(FaultEvent::camera_recover(Tick(at + downtime), cam));
+        }
+        Self::new(events)
+    }
+
+    /// A seed-derived plan of `count` random model corruptions: each
+    /// picks a controller in `0..controllers`, an onset in
+    /// `[window.0, window.1)` and one of the three
+    /// [`ModelCorruptionKind`]s (scramble gains in `[5, 50)`, freeze
+    /// durations in `[20, 80)`). Deterministic per seed subtree, like
+    /// every other randomised plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `controllers == 0` or the window is empty.
+    #[must_use]
+    pub fn random_model_corruptions(
+        seeds: &SeedTree,
+        controllers: usize,
+        count: usize,
+        window: (u64, u64),
+    ) -> Self {
+        assert!(controllers > 0, "need at least one controller");
+        assert!(window.0 < window.1, "fault window must be non-empty");
+        let mut rng = seeds.rng("model-corruption-plan");
+        let mut events = Vec::with_capacity(count);
+        for _ in 0..count {
+            let controller = rng.gen_range(0..controllers);
+            let at = rng.gen_range(window.0..window.1);
+            let kind = match rng.gen_range(0..3u8) {
+                0 => ModelCorruptionKind::NanPoison,
+                1 => ModelCorruptionKind::WeightScramble {
+                    gain: rng.gen_range(5.0..50.0),
+                },
+                _ => ModelCorruptionKind::StateFreeze {
+                    duration: rng.gen_range(20..80),
+                },
+            };
+            events.push(FaultEvent::model_corruption(Tick(at), controller, kind));
         }
         Self::new(events)
     }
@@ -429,5 +527,56 @@ mod tests {
     #[should_panic(expected = "fault window must be non-empty")]
     fn empty_window_panics() {
         let _ = FaultPlan::random_camera_outages(&SeedTree::new(1), 4, 1, (5, 5), 10);
+    }
+
+    #[test]
+    fn model_frozen_at_windows() {
+        let plan = FaultPlan::none()
+            .and(FaultEvent::model_corruption(
+                Tick(50),
+                0,
+                ModelCorruptionKind::StateFreeze { duration: 10 },
+            ))
+            .and(FaultEvent::model_corruption(
+                Tick(60),
+                1,
+                ModelCorruptionKind::NanPoison,
+            ));
+        assert!(!plan.model_frozen_at(0, Tick(49)));
+        assert!(plan.model_frozen_at(0, Tick(50)));
+        assert!(plan.model_frozen_at(0, Tick(59)));
+        assert!(!plan.model_frozen_at(0, Tick(60)));
+        assert!(!plan.model_frozen_at(1, Tick(55)), "other controller");
+        assert!(
+            !plan.model_frozen_at(1, Tick(60)),
+            "non-freeze corruption never freezes"
+        );
+    }
+
+    #[test]
+    fn random_model_corruptions_are_seed_deterministic() {
+        let seeds = SeedTree::new(21);
+        let a = FaultPlan::random_model_corruptions(&seeds, 3, 12, (100, 900));
+        let b = FaultPlan::random_model_corruptions(&seeds, 3, 12, (100, 900));
+        assert_eq!(a, b);
+        assert_eq!(a.events().len(), 12);
+        let other = FaultPlan::random_model_corruptions(&SeedTree::new(22), 3, 12, (100, 900));
+        assert_ne!(a, other, "different seed, different plan");
+        for e in a.events() {
+            let FaultKind::ModelCorruption { controller, kind } = e.kind else {
+                panic!("unexpected kind");
+            };
+            assert!(controller < 3);
+            assert!(e.at.value() >= 100 && e.at.value() < 900);
+            match kind {
+                ModelCorruptionKind::NanPoison => {}
+                ModelCorruptionKind::WeightScramble { gain } => {
+                    assert!((5.0..50.0).contains(&gain));
+                }
+                ModelCorruptionKind::StateFreeze { duration } => {
+                    assert!((20..80).contains(&duration));
+                }
+            }
+        }
     }
 }
