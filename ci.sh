@@ -24,6 +24,12 @@ SAS_THREADS=1 cargo test -q --offline -p sas-bench -p simkernel
 echo "==> cargo test -q --offline -p sas-bench -p simkernel (SAS_THREADS=4)"
 SAS_THREADS=4 cargo test -q --offline -p sas-bench -p simkernel
 
+# F8 smoke: drive the lossy-comms sweep end-to-end at reduced length
+# so a channel / retry-protocol regression surfaces here without the
+# cost of the full-length bench.
+echo "==> cargo bench -p sas-bench --bench f8_comms_loss (F8_STEPS=600)"
+F8_STEPS=600 cargo bench --offline -p sas-bench --bench f8_comms_loss
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

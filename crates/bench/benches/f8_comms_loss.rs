@@ -1,0 +1,16 @@
+//! Regenerates Table F8. See EXPERIMENTS.md. `F8_STEPS` overrides the
+//! horizon (default 3000) for quick smoke runs.
+fn main() {
+    let steps = std::env::var("F8_STEPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3_000);
+    let start = std::time::Instant::now();
+    let table = sas_bench::run_f8(sas_bench::REPS, steps);
+    println!("{table}");
+    eprintln!(
+        "regenerated in {:.2?} on {} worker thread(s)",
+        start.elapsed(),
+        simkernel::worker_count(usize::MAX)
+    );
+}

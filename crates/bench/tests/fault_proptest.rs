@@ -7,8 +7,9 @@
 
 use proptest::prelude::*;
 use sas_bench::experiments::{f7_scenario, F7Arm, F7_REGRET_CAP};
+use selfaware::comms::{CommsPolicy, ReliableConfig};
 use simkernel::{Aggregate, Replications, SeedTree, Tick};
-use workloads::faults::ModelCorruptionKind;
+use workloads::faults::{ChannelPlan, LinkModel, ModelCorruptionKind};
 use workloads::{FaultEvent, FaultPlan, SensorFaultKind};
 
 const STEPS: u64 = 400;
@@ -67,6 +68,44 @@ fn sensor_fault() -> impl Strategy<Value = FaultEvent> {
     ];
     (0usize..3, 0u64..STEPS, 1u64..STEPS / 2, kind)
         .prop_map(|(sensor, at, dur, kind)| FaultEvent::sensor_fault(Tick(at), sensor, kind, dur))
+}
+
+/// An arbitrary unreliable-link model: any mix of loss, duplication,
+/// and delay/reordering within the validated probability ranges.
+fn link_model() -> impl Strategy<Value = LinkModel> {
+    (0.0f64..0.6, 0.0f64..0.3, 0.0f64..0.4, 1u64..6).prop_map(
+        |(loss, dup, delay_prob, max_delay)| LinkModel {
+            loss,
+            dup,
+            delay_prob,
+            max_delay,
+        },
+    )
+}
+
+/// An optional scheduled partition silencing a random node subset.
+/// Node ids stay below 16 so the same spec is valid on the camnet
+/// grid (16 cameras) and the CPN grid (24 routers).
+fn partition_spec() -> impl Strategy<Value = Option<(u64, u64, Vec<usize>)>> {
+    (
+        any::<bool>(),
+        0u64..STEPS,
+        1u64..STEPS / 2,
+        proptest::collection::vec(0usize..16, 1..4),
+    )
+        .prop_map(|(on, start, duration, nodes)| on.then_some((start, duration, nodes)))
+}
+
+fn channel_of(
+    seeds: &SeedTree,
+    model: LinkModel,
+    part: &Option<(u64, u64, Vec<usize>)>,
+) -> ChannelPlan {
+    let mut plan = ChannelPlan::uniform(seeds, model);
+    if let Some((start, duration, nodes)) = part.clone() {
+        plan = plan.with_partition(start, duration, nodes);
+    }
+    plan
 }
 
 /// An arbitrary model-corruption event aimed at controller 0.
@@ -161,6 +200,40 @@ proptest! {
         let s = sup.get("regret_corrupt").unwrap_or(f64::NAN);
         let u = uns.get("regret_corrupt").unwrap_or(f64::NAN);
         prop_assert!(s < u, "supervised {s} vs unsupervised {u} (poison at {at})");
+    }
+
+    #[test]
+    fn any_channel_plan_is_parity_clean(
+        model in link_model(),
+        part in partition_spec(),
+        naive in any::<bool>(),
+    ) {
+        // For any random channel (loss + duplication + delay/reorder +
+        // optional partition) and either comms policy, the lossy
+        // collective runs must stay bit-identical between the
+        // sequential and parallel replication engines: channel draws
+        // are stateless hashes of (plan salt, link, sequence number),
+        // never of replicate order.
+        let policy = if naive {
+            CommsPolicy::Naive
+        } else {
+            CommsPolicy::Reliable(ReliableConfig::default())
+        };
+        check_parity(0x9A6, |seeds| {
+            let mut cfg = camnet::CamnetConfig::standard(
+                camnet::HandoverStrategy::self_aware_default(),
+                STEPS,
+            );
+            cfg.channel = channel_of(&seeds, model, &part);
+            cfg.comms = policy;
+            camnet::run_camnet(&cfg, &seeds).metrics
+        }, "proptest/channel/camnet");
+        check_parity(0x9A7, |seeds| {
+            let mut cfg = cpn::CpnConfig::standard(cpn::RoutingStrategy::cpn_default(), STEPS);
+            cfg.channel = channel_of(&seeds, model, &part);
+            cfg.comms = policy;
+            cpn::run_cpn(&cfg, &seeds).metrics
+        }, "proptest/channel/cpn");
     }
 
     #[test]

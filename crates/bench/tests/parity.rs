@@ -392,3 +392,26 @@ fn supervised_substrates_are_parity_clean() {
         "supervised/camnet",
     );
 }
+
+#[test]
+fn f8_lossy_comms_scenarios_are_parity_clean() {
+    use sas_bench::experiments::{f8_scenario, F8Arm};
+    // Lossy channels and partitions on every substrate, both comms
+    // policies: the channel draws are stateless hashes, so replicate
+    // order must not leak into any delivered, retried, or expired
+    // message.
+    for naive in [false, true] {
+        for partition in [0, 200] {
+            let arm = F8Arm {
+                loss: 0.3,
+                partition,
+                naive,
+            };
+            check_parity(
+                0xF8,
+                |seeds| f8_scenario(arm, seeds, STEPS),
+                &format!("comms/f8/naive={naive}/partition={partition}"),
+            );
+        }
+    }
+}

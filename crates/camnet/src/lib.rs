@@ -21,7 +21,7 @@
 //! * [`sim`] — the world: objects, ownership, auctions, metrics.
 
 #![forbid(unsafe_code)]
-#![warn(clippy::unwrap_used, clippy::panic)]
+#![deny(clippy::unwrap_used, clippy::panic)]
 #![warn(missing_docs)]
 
 pub mod camera;

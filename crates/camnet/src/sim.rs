@@ -4,12 +4,13 @@ use crate::camera::Camera;
 use crate::diversity::policy_divergence;
 use crate::strategy::{nearest_neighbours, random_subsets, HandoverStrategy};
 use rand::Rng as _;
+use selfaware::comms::{CommsNetwork, CommsPolicy};
 use selfaware::explain::ExplanationLog;
 use selfaware::goals::{Direction, Goal, Objective};
 use selfaware::supervision::{ControlSource, Evidence, Supervisor, Verdict};
 use simkernel::rng::SeedTree;
 use simkernel::{MetricSet, Tick, TimeSeries};
-use workloads::faults::{FaultKind, FaultPlan, ModelCorruptionKind};
+use workloads::faults::{ChannelPlan, FaultKind, FaultPlan, ModelCorruptionKind};
 use workloads::trajectories::{Point, Wanderer};
 
 /// Configuration of a camera-network scenario.
@@ -49,6 +50,15 @@ pub struct CamnetConfig {
     /// and benches the network onto broadcast invitations while the
     /// model is untrusted.
     pub supervise: bool,
+    /// The medium auction asks, bids and transfer messages traverse.
+    /// Defaults to [`ChannelPlan::ideal`], which reproduces the
+    /// historical perfect-network behaviour bit for bit.
+    pub channel: ChannelPlan,
+    /// How the cameras cope with an unreliable channel: naive
+    /// fire-and-forget (the ablation), or the staleness-aware
+    /// protocol that refuses to unlearn unreachable peers and aborts
+    /// undeliverable handovers.
+    pub comms: CommsPolicy,
 }
 
 impl CamnetConfig {
@@ -67,6 +77,8 @@ impl CamnetConfig {
             faults: FaultPlan::none(),
             strategy,
             supervise: false,
+            channel: ChannelPlan::ideal(),
+            comms: CommsPolicy::default(),
         }
     }
 }
@@ -81,6 +93,8 @@ pub struct CamnetResult {
     pub heterogeneity: TimeSeries,
     /// Mean tracking quality per object, sampled every 50 ticks.
     pub quality: TimeSeries,
+    /// Comms-layer events: partitions, heals, failed exchanges.
+    pub comms_log: ExplanationLog,
 }
 
 /// The composite goal: track well, talk little.
@@ -170,6 +184,16 @@ pub fn run_camnet(cfg: &CamnetConfig, seeds: &SeedTree) -> CamnetResult {
     });
     let mut frozen_until: Option<Tick> = None;
 
+    // The comms layer carries every auction ask/bid round trip and
+    // every transfer message. It consumes no randomness: frame fates
+    // are a pure function of the channel plan, so the ideal default
+    // leaves every exchange — and every downstream number — exactly
+    // as the perfect-network code produced it.
+    let mut comms: CommsNetwork<()> = CommsNetwork::new(cfg.comms);
+    let mut comms_log = ExplanationLog::new(2048);
+    let ideal = cfg.channel.is_ideal();
+    let aware = !cfg.comms.is_naive();
+
     let mut auction_rng = seeds.rng("auctions");
     let mut quality_sum = 0.0;
     let mut untracked_ticks = 0u64;
@@ -250,41 +274,102 @@ pub fn run_camnet(cfg: &CamnetConfig, seeds: &SeedTree) -> CamnetResult {
                         } else {
                             cfg.strategy
                         };
-                        let invitees = strategy.invitees(
-                            &cameras[me],
-                            &cameras,
-                            &neighbours,
-                            &static_sets,
-                            &mut auction_rng,
-                        );
+                        // Staleness-aware invitee selection under a
+                        // lossy channel: learned affinity toward a
+                        // peer the camera has not heard from decays
+                        // toward the 0.5 prior, so silent peers are
+                        // neither trusted nor written off. On an
+                        // ideal channel every peer is perfectly fresh
+                        // (weight 1), so the blend is skipped and the
+                        // selection is exactly the historical one.
+                        let invitees = if ideal || !aware {
+                            strategy.invitees(
+                                &cameras[me],
+                                &cameras,
+                                &neighbours,
+                                &static_sets,
+                                &mut auction_rng,
+                            )
+                        } else {
+                            let original = cameras[me].affinities().to_vec();
+                            let blended: Vec<f64> = original
+                                .iter()
+                                .enumerate()
+                                .map(|(j, &a)| {
+                                    let w = comms.freshness(me, j, now);
+                                    w * a + (1.0 - w) * 0.5
+                                })
+                                .collect();
+                            cameras[me].set_affinities(blended);
+                            let inv = strategy.invitees(
+                                &cameras[me],
+                                &cameras,
+                                &neighbours,
+                                &static_sets,
+                                &mut auction_rng,
+                            );
+                            cameras[me].set_affinities(original);
+                            inv
+                        };
                         invited_total += invitees.len() as u64;
                         // ask + bid messages
                         messages += 2 * invitees.len() as u64;
-                        // Dead invitees never answer the ask, so they
-                        // cannot bid — but the ask was still sent (and
-                        // counted), and `record_auction` below treats
-                        // their silence as a lost auction, decaying
-                        // learned affinity toward them.
+                        // Each ask/bid is a same-tick round trip on
+                        // the channel: a lost or delayed leg means no
+                        // bid from that peer this auction. Dead
+                        // invitees are silent at the application
+                        // layer even when the channel is fine — the
+                        // ask was still sent (and counted), and
+                        // `record_auction` below treats their silence
+                        // as a lost auction, decaying learned
+                        // affinity toward them.
+                        let reachable: Vec<bool> = invitees
+                            .iter()
+                            .map(|&j| {
+                                comms.probe_roundtrip(&cfg.channel, me, j, now, &mut comms_log)
+                            })
+                            .collect();
                         let winner = invitees
                             .iter()
                             .copied()
-                            .filter(|&j| alive[j])
-                            .map(|j| (j, cameras[j].quality(pos)))
+                            .zip(reachable.iter().copied())
+                            .filter(|&(j, r)| r && alive[j])
+                            .map(|(j, _)| (j, cameras[j].quality(pos)))
                             .filter(|&(_, bid)| bid > q)
                             .max_by(|a, b| {
                                 a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal)
                             });
                         if !frozen {
-                            for &j in &invitees {
-                                let won = winner.is_some_and(|(w, _)| w == j);
-                                cameras[me].record_auction(j, won);
+                            for (&j, &r) in invitees.iter().zip(&reachable) {
+                                // Staleness-aware cameras refuse to
+                                // unlearn a peer the *channel* failed
+                                // to reach — "couldn't hear you" is
+                                // not "you lost". The naive ablation
+                                // cannot tell the two apart and
+                                // decays affinity either way.
+                                if r || !aware {
+                                    let won = winner.is_some_and(|(w, _)| w == j);
+                                    cameras[me].record_auction(j, won);
+                                }
                             }
                         }
                         match winner {
                             Some((w, _)) => {
                                 messages += 1; // transfer message
-                                handovers += 1;
-                                owner[oi] = Some(w);
+                                if comms.fire_once(&cfg.channel, me, w, now, &mut comms_log) {
+                                    handovers += 1;
+                                    owner[oi] = Some(w);
+                                } else if !aware {
+                                    // Fire-and-forget hands the object
+                                    // into the void: the sender stops
+                                    // tracking, the receiver never
+                                    // started.
+                                    owner[oi] = None;
+                                }
+                                // Aware mode aborts the handover: the
+                                // current owner keeps (poorly)
+                                // tracking and the auction reruns
+                                // while quality stays low.
                             }
                             None if q <= 0.0 => owner[oi] = None,
                             None => {}
@@ -314,7 +399,7 @@ pub fn run_camnet(cfg: &CamnetConfig, seeds: &SeedTree) -> CamnetResult {
                 .collect();
             let mean_affinity = flat.iter().sum::<f64>() / flat.len().max(1) as f64;
             let error = tick_untracked as f64 / cfg.objects.max(1) as f64;
-            *s.sup.model_mut() = snapshot(&cameras);
+            s.sup.set_model(snapshot(&cameras));
             let verdict = s.sup.observe(
                 now,
                 Evidence::scored(mean_affinity, error).with_input(t as f64),
@@ -366,11 +451,18 @@ pub fn run_camnet(cfg: &CamnetConfig, seeds: &SeedTree) -> CamnetResult {
     metrics.set("model_rollbacks", f64::from(sup.rollbacks));
     metrics.set("model_fallbacks", f64::from(sup.fallbacks));
     metrics.set("model_repromotions", f64::from(sup.repromotions));
+    let cs = comms.stats();
+    metrics.set("comms_sent", cs.sent as f64);
+    metrics.set("comms_retries", cs.retries as f64);
+    metrics.set("comms_expired", cs.expired as f64);
+    metrics.set("comms_partition_hits", cs.partition_hits as f64);
+    metrics.set("comms_exchange_failures", cs.exchange_failures as f64);
 
     CamnetResult {
         metrics,
         heterogeneity,
         quality: quality_series,
+        comms_log,
     }
 }
 
@@ -582,6 +674,69 @@ mod tests {
         let r = run(HandoverStrategy::Broadcast, 2, 500);
         assert_eq!(r.metrics.get("model_rollbacks"), Some(0.0));
         assert_eq!(r.metrics.get("model_fallbacks"), Some(0.0));
+    }
+
+    fn lossy_cfg(loss: f64, comms: CommsPolicy, seed: u64, steps: u64) -> CamnetConfig {
+        use workloads::faults::LinkModel;
+        let mut cfg = CamnetConfig::standard(HandoverStrategy::self_aware_default(), steps);
+        cfg.channel = ChannelPlan::uniform(&SeedTree::new(seed ^ 0xC4A7), LinkModel::lossy(loss));
+        cfg.comms = comms;
+        cfg
+    }
+
+    #[test]
+    fn staleness_aware_outtracks_naive_on_lossy_channel() {
+        let mut aware_wins = 0;
+        for seed in 0..3u64 {
+            let naive = run_camnet(
+                &lossy_cfg(0.3, CommsPolicy::Naive, seed, 3000),
+                &SeedTree::new(seed),
+            );
+            let aware = run_camnet(
+                &lossy_cfg(0.3, CommsPolicy::default(), seed, 3000),
+                &SeedTree::new(seed),
+            );
+            let u_n = naive.metrics.get("untracked_ratio").unwrap();
+            let u_a = aware.metrics.get("untracked_ratio").unwrap();
+            if u_a < u_n {
+                aware_wins += 1;
+            }
+        }
+        assert!(
+            aware_wins >= 2,
+            "aborted handovers should beat objects lost in transit ({aware_wins}/3)"
+        );
+    }
+
+    #[test]
+    fn lossy_runs_are_deterministic_per_seed() {
+        let a = run_camnet(
+            &lossy_cfg(0.25, CommsPolicy::default(), 4, 900),
+            &SeedTree::new(4),
+        );
+        let b = run_camnet(
+            &lossy_cfg(0.25, CommsPolicy::default(), 4, 900),
+            &SeedTree::new(4),
+        );
+        assert_eq!(a.metrics, b.metrics);
+    }
+
+    #[test]
+    fn partition_events_reach_the_comms_log() {
+        let steps = 1200;
+        let mut cfg = lossy_cfg(0.1, CommsPolicy::default(), 9, steps);
+        cfg.channel = cfg
+            .channel
+            .with_partition(steps / 3, steps / 4, vec![0, 1, 4, 5]);
+        let r = run_camnet(&cfg, &SeedTree::new(9));
+        assert!(
+            r.metrics.get("comms_partition_hits").unwrap() > 0.0,
+            "boundary links must hit the partition window"
+        );
+        assert!(
+            !r.comms_log.find_by_action("comms:partition").is_empty(),
+            "partition onset must be explained"
+        );
     }
 
     #[test]

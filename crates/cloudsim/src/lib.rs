@@ -21,7 +21,7 @@
 //! capacity cost.
 
 #![forbid(unsafe_code)]
-#![warn(clippy::unwrap_used, clippy::panic)]
+#![deny(clippy::unwrap_used, clippy::panic)]
 #![warn(missing_docs)]
 
 pub mod cluster;
@@ -33,5 +33,5 @@ pub mod strategy;
 pub use cluster::Cluster;
 pub use node::{EnqueueError, Node, NodeSpec};
 pub use request::{Request, RequestOutcome};
-pub use sim::{run_scenario, ScenarioConfig, ScenarioResult};
+pub use sim::{run_scenario, CommandPlane, ScenarioConfig, ScenarioResult};
 pub use strategy::Strategy;

@@ -129,8 +129,25 @@ impl Controller {
     /// arrivals observed this tick. Autoscaling strategies resize the
     /// rented pool here.
     pub fn begin_tick(&mut self, cluster: &mut Cluster, arrivals: u32, now: Tick, rng: &mut Rng) {
+        let _ = rng; // reserved for stochastic autoscalers
         if let Kind::SelfAware(state) = &mut self.kind {
-            state.begin_tick(cluster, arrivals, now, rng);
+            if let Some(target) = state.desired_pool(cluster, arrivals, now) {
+                cluster.rent_first(target);
+            }
+        }
+    }
+
+    /// Computes this tick's autoscaling target *without* applying it —
+    /// the hook for a remote command plane that must ship the decision
+    /// to zone agents over an unreliable channel instead of flipping
+    /// rental flags directly. Observes `arrivals` into the demand
+    /// model exactly as [`Controller::begin_tick`] does, so exactly
+    /// one of the two must be called per tick. `None` means this
+    /// strategy never autoscales.
+    pub fn desired_pool(&mut self, cluster: &Cluster, arrivals: u32, now: Tick) -> Option<usize> {
+        match &mut self.kind {
+            Kind::SelfAware(state) => state.desired_pool(cluster, arrivals, now),
+            _ => None,
         }
     }
 
@@ -387,9 +404,11 @@ impl SelfAwareState {
         }
     }
 
-    fn begin_tick(&mut self, cluster: &mut Cluster, arrivals: u32, now: Tick, _rng: &mut Rng) {
+    /// Observes the tick's arrivals and returns the pool size the
+    /// controller wants rented, or `None` without time awareness.
+    fn desired_pool(&mut self, cluster: &Cluster, arrivals: u32, now: Tick) -> Option<usize> {
         if !self.levels.contains(Level::Time) {
-            return; // no history/forecast → no autoscaling
+            return None; // no history/forecast → no autoscaling
         }
         let rate = self.demand_rate(f64::from(arrivals), now).max(0.0);
 
@@ -420,7 +439,7 @@ impl SelfAwareState {
             .sum::<f64>()
             / self.n as f64;
         let needed = ((rate * mean_work * self.safety) / mean_cap).ceil() as usize;
-        cluster.rent_first(needed.clamp(2, self.n));
+        Some(needed.clamp(2, self.n))
     }
 
     fn candidates(&self, cluster: &Cluster) -> Vec<usize> {

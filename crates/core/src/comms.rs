@@ -1,0 +1,892 @@
+//! Robust communication over unreliable channels.
+//!
+//! Lewis (DATE 2017) grounds *collective* self-awareness in
+//! decentralised agents that learn about one another through the
+//! network — and real networks drop, delay, duplicate, and partition.
+//! This module supplies the machinery a collective needs to stay
+//! self-aware when its links misbehave:
+//!
+//! * [`Channel`] — the abstract unreliable medium. A transmission
+//!   yields zero or more delivery ticks ([`ChannelOutcome`]); the
+//!   deterministic lossy implementation lives in
+//!   `workloads::faults::ChannelPlan`, while [`IdealChannel`] keeps
+//!   the historical perfect-network behaviour.
+//! * [`CommsNetwork`] — a message layer over a channel. In
+//!   [`CommsPolicy::Naive`] mode it is fire-and-forget (the ablation
+//!   baseline: no acknowledgements, no dedup, no retry). In
+//!   [`CommsPolicy::Reliable`] mode it runs a full protocol: per-link
+//!   sequence numbers, receiver-side dedup, ack/retry with exponential
+//!   backoff under a retry budget, send timeouts, and per-peer
+//!   staleness tracking. Every retry, expiry, and partition
+//!   transition is recorded in the [`ExplanationLog`].
+//! * [`StalenessWeighted`] — a fusion rule that discounts peer-derived
+//!   knowledge by its age (weight `0.5^(age/half_life)`), so the
+//!   public self-model leans on fresh peers and falls back toward
+//!   priors for silent ones instead of trusting stale state.
+//!
+//! Determinism contract: the layer itself consumes **no** randomness;
+//! all stochastic behaviour lives in the [`Channel`] implementation,
+//! which must be a pure function of `(link, sequence number, tick)`.
+//! Combined with the deterministic drain order of
+//! [`simkernel::delivery::DeliveryQueue`], lossy runs stay
+//! bit-identical between sequential and parallel replication.
+//!
+//! ```
+//! use selfaware::comms::{CommsNetwork, CommsPolicy, IdealChannel};
+//! use selfaware::explain::ExplanationLog;
+//! use simkernel::Tick;
+//!
+//! let mut net: CommsNetwork<&str> = CommsNetwork::new(CommsPolicy::default());
+//! let mut log = ExplanationLog::new(64);
+//! net.send(&IdealChannel, 0, 1, "hello", Tick(0), &mut log);
+//! let got = net.step(&IdealChannel, Tick(0), &mut log);
+//! assert_eq!(got.len(), 1);
+//! assert_eq!(got[0].payload, "hello");
+//! assert_eq!(net.stats().delivered, 1);
+//! ```
+
+use crate::explain::{Explanation, ExplanationLog};
+use serde::{Deserialize, Serialize};
+use simkernel::delivery::DeliveryQueue;
+use simkernel::Tick;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// High bit of the wire sequence space: marks acknowledgement frames
+/// so they never share a channel decision with the data frame they
+/// acknowledge.
+const ACK_BIT: u64 = 1 << 63;
+/// Retransmission attempts are folded into the wire sequence above
+/// this bit, so every retry gets an independent channel decision.
+const ATTEMPT_SHIFT: u32 = 48;
+/// Per-link receiver dedup window (sequence numbers remembered).
+const SEEN_WINDOW: usize = 512;
+
+/// The fate of one transmission attempt on a channel.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ChannelOutcome {
+    /// Ticks at which copies of the frame arrive (empty = lost;
+    /// more than one = duplicated; later than `now` = delayed).
+    pub arrivals: Vec<Tick>,
+    /// True when the frame was dropped because the link is inside a
+    /// scheduled partition window.
+    pub partitioned: bool,
+}
+
+impl ChannelOutcome {
+    /// A frame that arrives exactly once, at `at`.
+    #[must_use]
+    pub fn delivered(at: Tick) -> Self {
+        Self {
+            arrivals: vec![at],
+            partitioned: false,
+        }
+    }
+
+    /// A frame the channel dropped (outside any partition).
+    #[must_use]
+    pub fn lost() -> Self {
+        Self::default()
+    }
+
+    /// True if any copy arrives at exactly `now` (same-tick success,
+    /// the requirement for latency-bound exchanges like auctions).
+    #[must_use]
+    pub fn arrives_at(&self, now: Tick) -> bool {
+        self.arrivals.contains(&now)
+    }
+}
+
+/// An unreliable point-to-point medium.
+///
+/// Implementations must be *pure*: the outcome may depend only on the
+/// link `(src, dst)`, the wire sequence number, and the tick — never
+/// on mutable state or an RNG stream — so that call order cannot
+/// perturb replicate determinism.
+pub trait Channel {
+    /// Decides the fate of frame `seq` sent `src → dst` at `now`.
+    fn transmit(&self, src: usize, dst: usize, seq: u64, now: Tick) -> ChannelOutcome;
+
+    /// True when the channel never loses, delays, duplicates, or
+    /// partitions (lets callers skip degraded-mode bookkeeping).
+    fn is_ideal(&self) -> bool {
+        false
+    }
+}
+
+/// The historical perfect network: every frame arrives once, in the
+/// same tick it was sent.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IdealChannel;
+
+impl Channel for IdealChannel {
+    fn transmit(&self, _src: usize, _dst: usize, _seq: u64, now: Tick) -> ChannelOutcome {
+        ChannelOutcome::delivered(now)
+    }
+
+    fn is_ideal(&self) -> bool {
+        true
+    }
+}
+
+/// Tuning for the reliable protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReliableConfig {
+    /// Ticks before the first retransmission of an unacked message.
+    pub retry_backoff: u64,
+    /// Upper bound on the (doubling) retransmission interval.
+    pub backoff_max: u64,
+    /// Maximum transmissions per message (initial send included).
+    pub retry_budget: u32,
+    /// Ticks after which an unacked message expires outright.
+    pub send_timeout: u64,
+    /// Half-life (ticks) for staleness discounting of peer knowledge.
+    pub half_life: f64,
+}
+
+impl Default for ReliableConfig {
+    fn default() -> Self {
+        Self {
+            retry_backoff: 2,
+            backoff_max: 32,
+            retry_budget: 8,
+            send_timeout: 120,
+            half_life: 40.0,
+        }
+    }
+}
+
+/// How a collective moves messages between its members.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CommsPolicy {
+    /// Fire-and-forget: no acks, no dedup, no retry, no staleness
+    /// model. The ablation baseline — what every pre-PR-4 run
+    /// implicitly assumed, now made to face a real channel.
+    Naive,
+    /// Sequence numbers + dedup + ack/retry + timeouts + staleness.
+    Reliable(ReliableConfig),
+}
+
+impl Default for CommsPolicy {
+    fn default() -> Self {
+        Self::Reliable(ReliableConfig::default())
+    }
+}
+
+impl CommsPolicy {
+    /// True for the fire-and-forget baseline.
+    #[must_use]
+    pub fn is_naive(&self) -> bool {
+        matches!(self, Self::Naive)
+    }
+
+    /// Short label for tables and arm names.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::Naive => "naive",
+            Self::Reliable(_) => "staleness-aware",
+        }
+    }
+}
+
+/// Lifetime counters for a [`CommsNetwork`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommsStats {
+    /// Frames handed to the channel (retransmissions included).
+    pub sent: u64,
+    /// Unique messages delivered to a receiver.
+    pub delivered: u64,
+    /// Copies suppressed by receiver-side dedup.
+    pub duplicates: u64,
+    /// Retransmissions performed.
+    pub retries: u64,
+    /// Messages confirmed by an acknowledgement.
+    pub acked: u64,
+    /// Messages abandoned (budget or timeout exhausted).
+    pub expired: u64,
+    /// Frames dropped inside a partition window.
+    pub partition_hits: u64,
+    /// Same-tick exchanges (probe/fire) that failed.
+    pub exchange_failures: u64,
+}
+
+/// A message delivered by [`CommsNetwork::step`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivered<M> {
+    /// Original sender.
+    pub src: usize,
+    /// Receiver.
+    pub dst: usize,
+    /// Per-link sequence number.
+    pub seq: u64,
+    /// The payload.
+    pub payload: M,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Flight<M> {
+    src: usize,
+    dst: usize,
+    seq: u64,
+    wire_seq: u64,
+    payload: M,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct AckFlight {
+    src: usize,
+    dst: usize,
+    seq: u64,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Pending<M> {
+    payload: M,
+    sent_at: u64,
+    next_retry: u64,
+    attempts: u32,
+}
+
+/// Receiver-side dedup with a bounded memory: sequence numbers below
+/// the moving floor are treated as already seen.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct SeenWindow {
+    floor: u64,
+    recent: BTreeSet<u64>,
+}
+
+impl SeenWindow {
+    /// Marks `seq` as seen; returns true when it was fresh.
+    fn mark(&mut self, seq: u64) -> bool {
+        if seq < self.floor || !self.recent.insert(seq) {
+            return false;
+        }
+        while self.recent.len() > SEEN_WINDOW {
+            if let Some(&min) = self.recent.iter().next() {
+                self.recent.remove(&min);
+                self.floor = min + 1;
+            }
+        }
+        true
+    }
+}
+
+/// A message layer for one collective: every member addressed by
+/// index, every link running over the same [`Channel`].
+///
+/// The network consumes no randomness; pair it with a deterministic
+/// channel and the whole exchange is a pure function of the seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommsNetwork<M> {
+    policy: CommsPolicy,
+    seq: BTreeMap<(usize, usize), u64>,
+    data: DeliveryQueue<Flight<M>>,
+    acks: DeliveryQueue<AckFlight>,
+    pending: BTreeMap<(usize, usize, u64), Pending<M>>,
+    seen: BTreeMap<(usize, usize), SeenWindow>,
+    last_heard: BTreeMap<(usize, usize), u64>,
+    partitioned_links: BTreeSet<(usize, usize)>,
+    stats: CommsStats,
+}
+
+impl<M: Clone> CommsNetwork<M> {
+    /// Creates an empty network under `policy`.
+    #[must_use]
+    pub fn new(policy: CommsPolicy) -> Self {
+        Self {
+            policy,
+            seq: BTreeMap::new(),
+            data: DeliveryQueue::new(),
+            acks: DeliveryQueue::new(),
+            pending: BTreeMap::new(),
+            seen: BTreeMap::new(),
+            last_heard: BTreeMap::new(),
+            partitioned_links: BTreeSet::new(),
+            stats: CommsStats::default(),
+        }
+    }
+
+    /// The active policy.
+    #[must_use]
+    pub fn policy(&self) -> &CommsPolicy {
+        &self.policy
+    }
+
+    /// Lifetime counters.
+    #[must_use]
+    pub fn stats(&self) -> CommsStats {
+        self.stats
+    }
+
+    /// Messages sent but not yet acknowledged (reliable mode).
+    #[must_use]
+    pub fn unacked(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn bump_seq(&mut self, src: usize, dst: usize) -> u64 {
+        let c = self.seq.entry((src, dst)).or_insert(0);
+        let seq = *c;
+        *c += 1;
+        seq
+    }
+
+    /// One raw channel attempt, with partition-transition logging.
+    fn transmit_logged<C: Channel + ?Sized>(
+        &mut self,
+        ch: &C,
+        src: usize,
+        dst: usize,
+        wire_seq: u64,
+        now: Tick,
+        log: &mut ExplanationLog,
+    ) -> ChannelOutcome {
+        let o = ch.transmit(src, dst, wire_seq, now);
+        if o.partitioned {
+            self.stats.partition_hits += 1;
+            if self.partitioned_links.insert((src, dst)) {
+                log.record(
+                    Explanation::new(now, format!("comms:partition:{src}->{dst}"))
+                        .because("src", src as f64)
+                        .because("dst", dst as f64),
+                );
+            }
+        } else if self.partitioned_links.remove(&(src, dst)) {
+            log.record(
+                Explanation::new(now, format!("comms:heal:{src}->{dst}"))
+                    .because("src", src as f64)
+                    .because("dst", dst as f64),
+            );
+        }
+        o
+    }
+
+    #[allow(clippy::too_many_arguments)] // first-send and retransmit share this path; attempt is the only extra knob
+    fn launch<C: Channel + ?Sized>(
+        &mut self,
+        ch: &C,
+        src: usize,
+        dst: usize,
+        seq: u64,
+        attempt: u32,
+        payload: &M,
+        now: Tick,
+        log: &mut ExplanationLog,
+    ) {
+        self.stats.sent += 1;
+        let wire_seq = seq | (u64::from(attempt) << ATTEMPT_SHIFT);
+        let o = self.transmit_logged(ch, src, dst, wire_seq, now, log);
+        for &at in &o.arrivals {
+            self.data.schedule(
+                at,
+                Flight {
+                    src,
+                    dst,
+                    seq,
+                    wire_seq,
+                    payload: payload.clone(),
+                },
+            );
+        }
+    }
+
+    /// Sends `payload` from `src` to `dst`. Returns the per-link
+    /// sequence number. In reliable mode the message is tracked until
+    /// acked, expired, or out of retry budget.
+    pub fn send<C: Channel + ?Sized>(
+        &mut self,
+        ch: &C,
+        src: usize,
+        dst: usize,
+        payload: M,
+        now: Tick,
+        log: &mut ExplanationLog,
+    ) -> u64 {
+        let seq = self.bump_seq(src, dst);
+        if let CommsPolicy::Reliable(cfg) = self.policy {
+            self.pending.insert(
+                (src, dst, seq),
+                Pending {
+                    payload: payload.clone(),
+                    sent_at: now.0,
+                    next_retry: now.0 + cfg.retry_backoff,
+                    attempts: 1,
+                },
+            );
+        }
+        self.launch(ch, src, dst, seq, 0, &payload, now, log);
+        seq
+    }
+
+    /// Advances the protocol one tick: lands acks, delivers due
+    /// frames (deduped in reliable mode, acknowledged back through
+    /// the same lossy channel), retries what the backoff says is due,
+    /// and expires what is out of budget or past its timeout. Returns
+    /// the messages that reached their receiver this tick, in
+    /// deterministic (arrival, send-order) order.
+    pub fn step<C: Channel + ?Sized>(
+        &mut self,
+        ch: &C,
+        now: Tick,
+        log: &mut ExplanationLog,
+    ) -> Vec<Delivered<M>> {
+        // 1. Acks coming home confirm pending messages (before the
+        // retry scan, so an acked message never retries this tick).
+        self.land_acks(now);
+
+        // 2. Retries and expiries — before the delivery phase, so a
+        // zero-delay retransmission can still land this same tick.
+        self.drive_pending(ch, now, log);
+
+        // 3. Data frames landing now.
+        let reliable = matches!(self.policy, CommsPolicy::Reliable(_));
+        let mut out = Vec::new();
+        for f in self.data.due(now) {
+            let fresh = if reliable {
+                self.seen.entry((f.src, f.dst)).or_default().mark(f.seq)
+            } else {
+                true
+            };
+            if fresh {
+                self.stats.delivered += 1;
+                self.last_heard.insert((f.dst, f.src), now.0);
+                out.push(Delivered {
+                    src: f.src,
+                    dst: f.dst,
+                    seq: f.seq,
+                    payload: f.payload,
+                });
+            } else {
+                self.stats.duplicates += 1;
+            }
+            if reliable {
+                // Ack every copy (the ack for an earlier copy may
+                // itself have been lost); the ack rides the reverse
+                // link and is just as mortal as the data was.
+                let o = self.transmit_logged(ch, f.dst, f.src, f.wire_seq | ACK_BIT, now, log);
+                if let Some(&at) = o.arrivals.first() {
+                    self.acks.schedule(
+                        at,
+                        AckFlight {
+                            src: f.src,
+                            dst: f.dst,
+                            seq: f.seq,
+                        },
+                    );
+                }
+            }
+        }
+
+        // 4. Acks generated by this tick's deliveries may arrive in
+        // the same tick on a zero-delay link; land them now so an
+        // ideal channel leaves nothing pending across ticks.
+        self.land_acks(now);
+        out
+    }
+
+    fn land_acks(&mut self, now: Tick) {
+        for a in self.acks.due(now) {
+            if self.pending.remove(&(a.src, a.dst, a.seq)).is_some() {
+                self.stats.acked += 1;
+                self.last_heard.insert((a.src, a.dst), now.0);
+            }
+        }
+    }
+
+    fn drive_pending<C: Channel + ?Sized>(&mut self, ch: &C, now: Tick, log: &mut ExplanationLog) {
+        if let CommsPolicy::Reliable(cfg) = self.policy {
+            let due: Vec<(usize, usize, u64)> = self
+                .pending
+                .iter()
+                .filter(|(_, p)| p.next_retry <= now.0)
+                .map(|(k, _)| *k)
+                .collect();
+            for key in due {
+                let (expired, info) = match self.pending.get_mut(&key) {
+                    None => continue,
+                    Some(p) => {
+                        if p.attempts >= cfg.retry_budget
+                            || now.0.saturating_sub(p.sent_at) >= cfg.send_timeout
+                        {
+                            (true, None)
+                        } else {
+                            let attempt = p.attempts;
+                            p.attempts += 1;
+                            let backoff = cfg
+                                .retry_backoff
+                                .saturating_mul(1 << attempt.min(16))
+                                .min(cfg.backoff_max.max(1));
+                            p.next_retry = now.0 + backoff;
+                            (false, Some((p.payload.clone(), attempt, backoff)))
+                        }
+                    }
+                };
+                let (src, dst, seq) = key;
+                if expired {
+                    if let Some(p) = self.pending.remove(&key) {
+                        self.stats.expired += 1;
+                        log.record(
+                            Explanation::new(now, format!("comms:expire:{src}->{dst}"))
+                                .because("seq", seq as f64)
+                                .because("attempts", f64::from(p.attempts))
+                                .because("age", now.0.saturating_sub(p.sent_at) as f64),
+                        );
+                    }
+                } else if let Some((payload, attempt, backoff)) = info {
+                    self.stats.retries += 1;
+                    log.record(
+                        Explanation::new(now, format!("comms:retry:{src}->{dst}"))
+                            .because("seq", seq as f64)
+                            .because("attempt", f64::from(attempt))
+                            .because("backoff", backoff as f64),
+                    );
+                    self.launch(ch, src, dst, seq, attempt, &payload, now, log);
+                }
+            }
+        }
+    }
+
+    /// A latency-bound request/response exchange (`a` asks, `b`
+    /// answers): succeeds only when both directions land in the same
+    /// tick. Updates staleness tracking for whichever directions got
+    /// through. Used for auction ask/bid rounds where a late answer
+    /// is as useless as a lost one.
+    pub fn probe_roundtrip<C: Channel + ?Sized>(
+        &mut self,
+        ch: &C,
+        a: usize,
+        b: usize,
+        now: Tick,
+        log: &mut ExplanationLog,
+    ) -> bool {
+        let seq = self.bump_seq(a, b);
+        self.stats.sent += 1;
+        let ask = self.transmit_logged(ch, a, b, seq, now, log);
+        if !ask.arrives_at(now) {
+            self.stats.exchange_failures += 1;
+            return false;
+        }
+        self.stats.delivered += 1;
+        self.last_heard.insert((b, a), now.0);
+        let rseq = self.bump_seq(b, a);
+        self.stats.sent += 1;
+        let reply = self.transmit_logged(ch, b, a, rseq, now, log);
+        if !reply.arrives_at(now) {
+            self.stats.exchange_failures += 1;
+            return false;
+        }
+        self.stats.delivered += 1;
+        self.last_heard.insert((a, b), now.0);
+        true
+    }
+
+    /// A one-shot, same-tick transmission with sender-visible outcome
+    /// (models a transfer whose completion the sender can observe).
+    pub fn fire_once<C: Channel + ?Sized>(
+        &mut self,
+        ch: &C,
+        src: usize,
+        dst: usize,
+        now: Tick,
+        log: &mut ExplanationLog,
+    ) -> bool {
+        let seq = self.bump_seq(src, dst);
+        self.stats.sent += 1;
+        let o = self.transmit_logged(ch, src, dst, seq, now, log);
+        if o.arrives_at(now) {
+            self.stats.delivered += 1;
+            self.last_heard.insert((dst, src), now.0);
+            true
+        } else {
+            self.stats.exchange_failures += 1;
+            false
+        }
+    }
+
+    /// Ticks since `observer` last heard from `peer` (never heard =
+    /// ticks since the start of the run).
+    #[must_use]
+    pub fn staleness(&self, observer: usize, peer: usize, now: Tick) -> u64 {
+        now.0
+            .saturating_sub(self.last_heard.get(&(observer, peer)).copied().unwrap_or(0))
+    }
+
+    /// The staleness discount `observer` should apply to knowledge
+    /// about `peer` (1.0 = fresh). Naive mode never discounts — it
+    /// has no staleness model at all.
+    #[must_use]
+    pub fn freshness(&self, observer: usize, peer: usize, now: Tick) -> f64 {
+        match self.policy {
+            CommsPolicy::Naive => 1.0,
+            CommsPolicy::Reliable(cfg) => {
+                StalenessWeighted::new(cfg.half_life).weight(self.staleness(observer, peer, now))
+            }
+        }
+    }
+}
+
+/// Age-discounting fusion: weight `0.5^(age/half_life)` per item.
+///
+/// ```
+/// use selfaware::comms::StalenessWeighted;
+///
+/// let rule = StalenessWeighted::new(10.0);
+/// assert!((rule.weight(0) - 1.0).abs() < 1e-12);
+/// assert!((rule.weight(10) - 0.5).abs() < 1e-12);
+/// // A fresh 4.0 and a very stale 100.0 fuse close to the fresh one.
+/// let fused = rule.fuse([(4.0, 0), (100.0, 80)]).unwrap();
+/// assert!(fused < 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StalenessWeighted {
+    half_life: f64,
+}
+
+impl StalenessWeighted {
+    /// Creates the rule; `half_life` is in ticks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `half_life` is not strictly positive.
+    #[must_use]
+    pub fn new(half_life: f64) -> Self {
+        assert!(
+            half_life.is_finite() && half_life > 0.0,
+            "half_life must be positive"
+        );
+        Self { half_life }
+    }
+
+    /// The weight of an item `age` ticks old.
+    #[must_use]
+    pub fn weight(&self, age: u64) -> f64 {
+        0.5_f64.powf(age as f64 / self.half_life)
+    }
+
+    /// Discounts `value` toward `prior` according to its age.
+    #[must_use]
+    pub fn blend(&self, value: f64, prior: f64, age: u64) -> f64 {
+        let w = self.weight(age);
+        w * value + (1.0 - w) * prior
+    }
+
+    /// Weighted mean of `(value, age)` items; `None` when empty.
+    pub fn fuse(&self, items: impl IntoIterator<Item = (f64, u64)>) -> Option<f64> {
+        let (mut num, mut den) = (0.0, 0.0);
+        for (v, age) in items {
+            let w = self.weight(age);
+            num += w * v;
+            den += w;
+        }
+        (den > 1e-12).then(|| num / den)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A scriptable channel: drops wire frames whose (src, dst,
+    /// wire_seq) is listed, delays others by a fixed amount.
+    #[derive(Default)]
+    struct ScriptChannel {
+        drop: BTreeSet<(usize, usize, u64)>,
+        delay: u64,
+        partition_all: bool,
+    }
+
+    impl Channel for ScriptChannel {
+        fn transmit(&self, src: usize, dst: usize, seq: u64, now: Tick) -> ChannelOutcome {
+            if self.partition_all {
+                return ChannelOutcome {
+                    arrivals: vec![],
+                    partitioned: true,
+                };
+            }
+            if self.drop.contains(&(src, dst, seq)) {
+                return ChannelOutcome::lost();
+            }
+            ChannelOutcome::delivered(Tick(now.0 + self.delay))
+        }
+    }
+
+    fn log() -> ExplanationLog {
+        ExplanationLog::new(128)
+    }
+
+    #[test]
+    fn ideal_channel_delivers_same_tick() {
+        let mut net: CommsNetwork<u32> = CommsNetwork::new(CommsPolicy::default());
+        let mut l = log();
+        net.send(&IdealChannel, 0, 1, 42, Tick(3), &mut l);
+        let got = net.step(&IdealChannel, Tick(3), &mut l);
+        assert_eq!(got.len(), 1);
+        assert_eq!((got[0].src, got[0].dst, got[0].payload), (0, 1, 42));
+        // Ack lands the same tick too: nothing pending afterwards.
+        assert_eq!(net.unacked(), 0);
+        assert_eq!(net.stats().acked, 1);
+        assert_eq!(net.staleness(1, 0, Tick(3)), 0);
+    }
+
+    #[test]
+    fn lost_first_attempt_is_retried_and_delivered() {
+        let mut ch = ScriptChannel::default();
+        // Drop the first attempt (attempt bits 0) of seq 0 on 0->1.
+        ch.drop.insert((0, 1, 0));
+        let mut net: CommsNetwork<u32> = CommsNetwork::new(CommsPolicy::default());
+        let mut l = log();
+        net.send(&ch, 0, 1, 7, Tick(0), &mut l);
+        assert!(net.step(&ch, Tick(0), &mut l).is_empty());
+        assert!(net.step(&ch, Tick(1), &mut l).is_empty());
+        // Backoff 2 -> retry fires at t2 with attempt 1 and lands.
+        let got = net.step(&ch, Tick(2), &mut l);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].payload, 7);
+        assert_eq!(net.stats().retries, 1);
+        assert_eq!(net.unacked(), 0);
+        assert!(!l.find_by_action("comms:retry").is_empty());
+    }
+
+    #[test]
+    fn duplicates_are_suppressed_in_reliable_mode() {
+        struct Dup;
+        impl Channel for Dup {
+            fn transmit(&self, _s: usize, _d: usize, _q: u64, now: Tick) -> ChannelOutcome {
+                ChannelOutcome {
+                    arrivals: vec![now, Tick(now.0 + 1)],
+                    partitioned: false,
+                }
+            }
+        }
+        let mut net: CommsNetwork<u32> = CommsNetwork::new(CommsPolicy::default());
+        let mut l = log();
+        net.send(&Dup, 0, 1, 9, Tick(0), &mut l);
+        assert_eq!(net.step(&Dup, Tick(0), &mut l).len(), 1);
+        assert!(net.step(&Dup, Tick(1), &mut l).is_empty());
+        assert_eq!(net.stats().duplicates, 1);
+
+        // Naive mode happily double-delivers.
+        let mut naive: CommsNetwork<u32> = CommsNetwork::new(CommsPolicy::Naive);
+        naive.send(&Dup, 0, 1, 9, Tick(0), &mut l);
+        assert_eq!(naive.step(&Dup, Tick(0), &mut l).len(), 1);
+        assert_eq!(naive.step(&Dup, Tick(1), &mut l).len(), 1);
+    }
+
+    #[test]
+    fn naive_mode_never_retries() {
+        let mut ch = ScriptChannel::default();
+        ch.drop.insert((0, 1, 0));
+        let mut net: CommsNetwork<u32> = CommsNetwork::new(CommsPolicy::Naive);
+        let mut l = log();
+        net.send(&ch, 0, 1, 5, Tick(0), &mut l);
+        for t in 0..50 {
+            assert!(net.step(&ch, Tick(t), &mut l).is_empty());
+        }
+        assert_eq!(net.stats().retries, 0);
+        assert_eq!(net.stats().sent, 1);
+    }
+
+    #[test]
+    fn partition_expires_messages_and_logs_transitions() {
+        let mut ch = ScriptChannel {
+            partition_all: true,
+            ..ScriptChannel::default()
+        };
+        let cfg = ReliableConfig {
+            retry_budget: 3,
+            send_timeout: 100,
+            ..ReliableConfig::default()
+        };
+        let mut net: CommsNetwork<u32> = CommsNetwork::new(CommsPolicy::Reliable(cfg));
+        let mut l = log();
+        net.send(&ch, 2, 3, 1, Tick(0), &mut l);
+        for t in 0..40 {
+            net.step(&ch, Tick(t), &mut l);
+        }
+        assert_eq!(net.stats().expired, 1);
+        assert_eq!(net.unacked(), 0);
+        assert!(net.stats().partition_hits >= 3);
+        assert_eq!(l.find_by_action("comms:partition:2->3").len(), 1);
+        assert!(!l.find_by_action("comms:expire").is_empty());
+
+        // Healing is logged once the link carries a frame again.
+        ch.partition_all = false;
+        net.send(&ch, 2, 3, 2, Tick(50), &mut l);
+        assert_eq!(l.find_by_action("comms:heal:2->3").len(), 1);
+    }
+
+    #[test]
+    fn ack_loss_causes_duplicate_then_reack() {
+        // Data always passes; the first ack frame is dropped, so the
+        // sender retries, the receiver dedups and re-acks.
+        struct AckDrop;
+        impl Channel for AckDrop {
+            fn transmit(&self, _s: usize, _d: usize, seq: u64, now: Tick) -> ChannelOutcome {
+                // Drop exactly the ack of attempt 0 of seq 0.
+                if seq == ACK_BIT {
+                    return ChannelOutcome::lost();
+                }
+                ChannelOutcome::delivered(now)
+            }
+        }
+        let mut net: CommsNetwork<u32> = CommsNetwork::new(CommsPolicy::default());
+        let mut l = log();
+        net.send(&AckDrop, 0, 1, 3, Tick(0), &mut l);
+        assert_eq!(net.step(&AckDrop, Tick(0), &mut l).len(), 1);
+        assert_eq!(net.unacked(), 1);
+        net.step(&AckDrop, Tick(1), &mut l);
+        net.step(&AckDrop, Tick(2), &mut l);
+        assert_eq!(net.stats().duplicates, 1);
+        assert_eq!(net.unacked(), 0);
+        assert_eq!(net.stats().delivered, 1);
+    }
+
+    #[test]
+    fn probe_roundtrip_and_fire_once_track_staleness() {
+        let mut net: CommsNetwork<()> = CommsNetwork::new(CommsPolicy::default());
+        let mut l = log();
+        assert!(net.probe_roundtrip(&IdealChannel, 4, 5, Tick(10), &mut l));
+        assert_eq!(net.staleness(4, 5, Tick(12)), 2);
+        assert_eq!(net.staleness(5, 4, Tick(12)), 2);
+        // Unheard peers are stale since the epoch.
+        assert_eq!(net.staleness(4, 9, Tick(12)), 12);
+        let mut dead = ScriptChannel {
+            partition_all: true,
+            ..ScriptChannel::default()
+        };
+        assert!(!net.probe_roundtrip(&dead, 4, 5, Tick(13), &mut l));
+        assert!(!net.fire_once(&dead, 4, 5, Tick(13), &mut l));
+        dead.partition_all = false;
+        assert!(net.fire_once(&dead, 4, 5, Tick(14), &mut l));
+        assert_eq!(net.stats().exchange_failures, 2);
+    }
+
+    #[test]
+    fn freshness_is_flat_for_naive_and_decays_for_reliable() {
+        let naive: CommsNetwork<()> = CommsNetwork::new(CommsPolicy::Naive);
+        assert!((naive.freshness(0, 1, Tick(1000)) - 1.0).abs() < 1e-12);
+        let rel: CommsNetwork<()> = CommsNetwork::new(CommsPolicy::default());
+        let f = rel.freshness(0, 1, Tick(40));
+        assert!((f - 0.5).abs() < 1e-12, "{f}");
+    }
+
+    #[test]
+    fn staleness_weighted_fuse_handles_empty() {
+        let rule = StalenessWeighted::new(5.0);
+        assert_eq!(rule.fuse([]), None);
+        let b = rule.blend(10.0, 0.0, 5);
+        assert!((b - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn seen_window_floor_treats_ancient_as_duplicates() {
+        let mut w = SeenWindow::default();
+        for s in 0..(SEEN_WINDOW as u64 + 10) {
+            assert!(w.mark(s));
+        }
+        // Everything below the advanced floor reads as a duplicate.
+        assert!(!w.mark(0));
+        assert!(!w.mark(5));
+        assert!(w.mark(SEEN_WINDOW as u64 + 50));
+    }
+}

@@ -140,12 +140,28 @@ fn trim_float(v: f64) -> String {
     s.trim_end_matches('0').trim_end_matches('.').to_string()
 }
 
-/// A bounded log of explanations.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+/// Default retention when a log is built via [`Default`].
+pub const DEFAULT_LOG_CAPACITY: usize = 1024;
+
+/// A bounded ring buffer of explanations.
+///
+/// Heavy producers (retry storms in the comms layer, quarantine churn
+/// in sensor health) can record far more entries than an operator will
+/// ever read back; the ring keeps the most recent `capacity` entries
+/// and counts what it had to evict, so memory stays bounded on long
+/// lossy runs without losing track of *how much* history is gone.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExplanationLog {
     entries: VecDeque<Explanation>,
     capacity: usize,
     recorded: u64,
+    dropped: u64,
+}
+
+impl Default for ExplanationLog {
+    fn default() -> Self {
+        Self::new(DEFAULT_LOG_CAPACITY)
+    }
 }
 
 impl ExplanationLog {
@@ -161,16 +177,46 @@ impl ExplanationLog {
             entries: VecDeque::with_capacity(capacity),
             capacity,
             recorded: 0,
+            dropped: 0,
         }
     }
 
-    /// Appends an explanation.
+    /// Appends an explanation, evicting the oldest retained entry (and
+    /// counting it as dropped) once the ring is full.
     pub fn record(&mut self, e: Explanation) {
         if self.entries.len() == self.capacity {
             self.entries.pop_front();
+            self.dropped += 1;
         }
         self.entries.push_back(e);
         self.recorded += 1;
+    }
+
+    /// Changes the retention bound in place, evicting oldest entries
+    /// (counted as dropped) if the new bound is smaller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn resize(&mut self, capacity: usize) {
+        assert!(capacity > 0, "capacity must be positive");
+        while self.entries.len() > capacity {
+            self.entries.pop_front();
+            self.dropped += 1;
+        }
+        self.capacity = capacity;
+    }
+
+    /// The retention bound.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Lifetime count of entries evicted to honour the bound.
+    #[must_use]
+    pub fn dropped_count(&self) -> u64 {
+        self.dropped
     }
 
     /// The most recent explanation, if any.
@@ -256,9 +302,40 @@ mod tests {
         }
         assert_eq!(log.len(), 3);
         assert_eq!(log.recorded_count(), 10);
+        assert_eq!(log.dropped_count(), 7);
         assert_eq!(log.latest().unwrap().at, Tick(9));
         let ticks: Vec<u64> = log.iter().map(|e| e.at.value()).collect();
         assert_eq!(ticks, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn default_log_is_bounded() {
+        let mut log = ExplanationLog::default();
+        assert_eq!(log.capacity(), DEFAULT_LOG_CAPACITY);
+        for t in 0..2 * DEFAULT_LOG_CAPACITY as u64 {
+            log.record(sample(t, "a"));
+        }
+        assert_eq!(log.len(), DEFAULT_LOG_CAPACITY);
+        assert_eq!(log.dropped_count(), DEFAULT_LOG_CAPACITY as u64);
+    }
+
+    #[test]
+    fn resize_shrinks_and_grows() {
+        let mut log = ExplanationLog::new(8);
+        for t in 0..8 {
+            log.record(sample(t, "a"));
+        }
+        log.resize(3);
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.capacity(), 3);
+        assert_eq!(log.dropped_count(), 5);
+        let ticks: Vec<u64> = log.iter().map(|e| e.at.value()).collect();
+        assert_eq!(ticks, vec![5, 6, 7]);
+        log.resize(10);
+        for t in 8..15 {
+            log.record(sample(t, "a"));
+        }
+        assert_eq!(log.len(), 10);
     }
 
     #[test]

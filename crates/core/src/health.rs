@@ -6,11 +6,14 @@
 //! when its own sensors mislead it, and degrade gracefully rather than
 //! act on corrupt data. [`SensorHealth`] watches each scalar sensor
 //! through a per-sensor [`Holt`] self-model and a
-//! [`ResidualTracker`](crate::meta::ResidualTracker), detects three
+//! [`ResidualTracker`](crate::meta::ResidualTracker), detects four
 //! fault signatures — *stuck-at* (identical readings while the model
 //! expected movement), *outlier runs* (readings far outside the
-//! residual envelope, which also catches bias shifts), and *dropout*
-//! (missing readings) — and on detection **quarantines** the sensor:
+//! residual envelope, which also catches bias shifts), *dropout*
+//! (missing readings), and *noise bursts* (a variance-ratio watchdog
+//! on the trusted residual power, catching mean-reverting bursts that
+//! stay close enough to the prediction to evade the outlier test) —
+//! and on detection **quarantines** the sensor:
 //! downstream consumers receive the model's forecast instead of the
 //! raw reading, flagged as substituted, until the sensor agrees with
 //! the model again for long enough to be trusted.
@@ -48,6 +51,20 @@ pub struct SensorHealthConfig {
     pub recover_after: u32,
     /// Observations to absorb before any fault verdicts are issued.
     pub min_samples: u64,
+    /// EWMA factor of the fast (reactive) residual-power tracker used
+    /// by the variance-ratio watchdog.
+    pub var_fast_alpha: f64,
+    /// EWMA factor of the slow residual-power baseline.
+    pub var_slow_alpha: f64,
+    /// The variance watchdog trips when the fast residual power
+    /// exceeds `var_ratio` times the slow baseline.
+    pub var_ratio: f64,
+    /// Floor on the slow residual-power baseline (keeps the ratio
+    /// meaningful for near-perfectly-predictable signals).
+    pub var_floor: f64,
+    /// Consecutive trusted readings over the ratio before the
+    /// variance watchdog quarantines.
+    pub var_patience: u32,
 }
 
 impl Default for SensorHealthConfig {
@@ -60,6 +77,11 @@ impl Default for SensorHealthConfig {
             outlier_patience: 3,
             recover_after: 8,
             min_samples: 16,
+            var_fast_alpha: 0.25,
+            var_slow_alpha: 0.02,
+            var_ratio: 6.0,
+            var_floor: 1e-4,
+            var_patience: 4,
         }
     }
 }
@@ -95,6 +117,14 @@ struct Monitor {
     /// and quarantined periods track the signal's trend.
     behind: u32,
     samples: u64,
+    /// Fast EWMA of squared residuals over *trusted* readings.
+    var_fast: f64,
+    /// Slow EWMA of squared residuals over trusted readings — the
+    /// sensor's normal noise power.
+    var_slow: f64,
+    /// Consecutive trusted readings with the fast/slow power ratio
+    /// over threshold.
+    var_streak: u32,
 }
 
 impl Monitor {
@@ -110,6 +140,9 @@ impl Monitor {
             quarantined: false,
             behind: 0,
             samples: 0,
+            var_fast: 0.0,
+            var_slow: 0.0,
+            var_streak: 0,
         }
     }
 
@@ -161,6 +194,9 @@ impl Monitor {
         self.model = Holt::new(0.4, 0.2);
         self.residual = ResidualTracker::new(residual_alpha);
         self.samples = 0;
+        self.var_fast = 0.0;
+        self.var_slow = 0.0;
+        self.var_streak = 0;
         log.record(
             Explanation::new(now, format!("restore:{key}"))
                 .because("agree_streak", f64::from(self.agree_streak)),
@@ -168,14 +204,38 @@ impl Monitor {
         self.agree_streak = 0;
     }
 
-    /// Feeds a trusted reading into the self-model.
-    fn learn(&mut self, x: f64) {
+    /// Feeds a trusted reading into the self-model, updating the
+    /// variance-ratio watchdog's power trackers as a side effect.
+    fn learn(&mut self, x: f64, cfg: &SensorHealthConfig) {
         if let Some(p) = self.model.forecast() {
             self.residual.record(p, x);
+            let r2 = (p - x) * (p - x);
+            self.var_fast += cfg.var_fast_alpha * (r2 - self.var_fast);
+            self.var_slow += cfg.var_slow_alpha * (r2 - self.var_slow);
         }
         self.model.observe(x);
         self.behind = 0;
         self.samples += 1;
+    }
+
+    /// The variance-ratio watchdog: catches mean-reverting noise
+    /// bursts. Such a burst stays centred on the prediction, so
+    /// enough readings fall inside the outlier envelope to keep being
+    /// learned — inflating the envelope until the whole burst passes
+    /// as normal. The *power* of the trusted residual stream cannot
+    /// hide, though: the fast tracker jumps an order of magnitude
+    /// above the slow baseline within a few learned readings. Called
+    /// after [`Monitor::learn`]; returns the ratio when the streak
+    /// exceeds patience.
+    fn variance_verdict(&mut self, cfg: &SensorHealthConfig) -> Option<f64> {
+        let baseline = self.var_slow.max(cfg.var_floor);
+        let ratio = self.var_fast / baseline;
+        if self.samples >= cfg.min_samples && ratio > cfg.var_ratio {
+            self.var_streak += 1;
+        } else {
+            self.var_streak = 0;
+        }
+        (self.var_streak >= cfg.var_patience).then_some(ratio)
     }
 }
 
@@ -273,7 +333,7 @@ impl SensorHealth {
                 if m.agree_streak >= cfg.recover_after {
                     m.restore(key, now, log, cfg.residual_alpha);
                     self.restore_events += 1;
-                    m.learn(x);
+                    m.learn(x, &cfg);
                     return HealthReading {
                         value: x,
                         raw,
@@ -367,7 +427,25 @@ impl SensorHealth {
         }
 
         m.outlier_streak = 0;
-        m.learn(x);
+        m.learn(x, &cfg);
+
+        // Variance-ratio watchdog: a mean-reverting noise burst slips
+        // past the outlier test (readings near the prediction keep
+        // being learned, inflating the envelope), but its residual
+        // power betrays it.
+        if let Some(ratio) = m.variance_verdict(&cfg) {
+            m.enter_quarantine(key, now, "variance_ratio", ratio, log);
+            self.quarantine_events += 1;
+            let value = m.substitute();
+            m.behind = m.behind.saturating_add(1);
+            return HealthReading {
+                value,
+                raw,
+                substituted: true,
+                degraded: true,
+            };
+        }
+
         HealthReading {
             value: x,
             raw,
@@ -561,6 +639,56 @@ mod tests {
                 &mut log,
             );
             assert!(!r.degraded);
+        }
+        assert_eq!(h.quarantine_events(), 0);
+    }
+
+    /// Deterministic zero-mean zig pattern for synthetic noise.
+    fn zig(t: u64) -> f64 {
+        [0.9, -0.3, -1.0, 0.4, 0.1, -0.8, 0.7, 0.0][(t % 8) as usize]
+    }
+
+    #[test]
+    fn mean_reverting_noise_burst_trips_variance_watchdog() {
+        let mut h = SensorHealth::default();
+        let mut log = log();
+        for t in 0..150 {
+            h.observe("s", Some(ramp(t) + 0.04 * zig(t)), Tick(t), &mut log);
+        }
+        assert_eq!(h.quarantine_events(), 0);
+        // Burst: amplitude grows 4x but stays centred on the signal,
+        // inside the outlier envelope — the residual test alone would
+        // keep learning it.
+        let mut caught_at = None;
+        for t in 150..260 {
+            let r = h.observe("s", Some(ramp(t) + 0.16 * zig(t)), Tick(t), &mut log);
+            if r.degraded {
+                caught_at = Some(t);
+                break;
+            }
+        }
+        assert!(caught_at.is_some(), "noise burst must be quarantined");
+        assert!(h.is_quarantined("s"));
+        let variance_entries: Vec<_> = log
+            .iter()
+            .filter(|e| {
+                e.action.starts_with("quarantine:")
+                    && e.factors.iter().any(|f| f.name == "variance_ratio")
+            })
+            .collect();
+        assert!(
+            !variance_entries.is_empty(),
+            "quarantine must cite the variance ratio"
+        );
+    }
+
+    #[test]
+    fn steady_noise_never_trips_variance_watchdog() {
+        let mut h = SensorHealth::default();
+        let mut log = log();
+        for t in 0..500 {
+            let r = h.observe("s", Some(ramp(t) + 0.05 * zig(t)), Tick(t), &mut log);
+            assert!(!r.degraded, "stationary noise is healthy (t={t})");
         }
         assert_eq!(h.quarantine_events(), 0);
     }

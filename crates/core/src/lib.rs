@@ -25,7 +25,8 @@
 //! self-models ([`models`]), run-time goal trade-off management
 //! ([`goals`]), self-expression ([`expression`]), meta-self-awareness
 //! ([`meta`]), attention under resource constraints ([`attention`]),
-//! and self-explanation ([`explain`]).
+//! self-explanation ([`explain`]), and robust collective messaging
+//! over unreliable networks ([`comms`]).
 //!
 //! ## Quickstart
 //!
@@ -73,6 +74,7 @@ pub mod agent;
 pub mod architecture;
 pub mod attention;
 pub mod collective;
+pub mod comms;
 pub mod error;
 pub mod explain;
 pub mod expression;
@@ -91,6 +93,10 @@ pub mod prelude {
     pub use crate::agent::{AgentBuilder, SelfAwareAgent};
     pub use crate::architecture::{describe, validate, SelfDescription};
     pub use crate::attention::AttentionAllocator;
+    pub use crate::comms::{
+        Channel, ChannelOutcome, CommsNetwork, CommsPolicy, CommsStats, Delivered, IdealChannel,
+        ReliableConfig, StalenessWeighted,
+    };
     pub use crate::error::SelfAwareError;
     pub use crate::explain::{Explanation, ExplanationLog};
     pub use crate::expression::{

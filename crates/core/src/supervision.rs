@@ -31,6 +31,7 @@ use crate::explain::{Explanation, ExplanationLog};
 use crate::meta::ResidualTracker;
 use crate::models::drift::{DriftDetector, PageHinkley};
 use simkernel::Tick;
+use std::sync::Arc;
 
 /// What the watchdogs saw.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -253,8 +254,14 @@ pub struct SupervisionStats {
 pub struct Supervisor<C: Clone> {
     name: String,
     cfg: SupervisorConfig,
-    controller: C,
-    checkpoint: Option<C>,
+    // Both live behind `Arc` so a checkpoint is a pointer bump, not a
+    // deep copy: large controllers (Q-tables, routing tables) pay for
+    // a clone only when the model is actually written *while* it
+    // shares state with a checkpoint (copy-on-write via
+    // `Arc::make_mut`), i.e. on the first write after a checkpoint or
+    // restore — never on the periodic quiet-streak checkpoint itself.
+    controller: Arc<C>,
+    checkpoint: Option<Arc<C>>,
     source: ControlSource,
     fast: ResidualTracker,
     slow: ResidualTracker,
@@ -293,7 +300,7 @@ impl<C: Clone> Supervisor<C> {
         Self {
             name: name.into(),
             cfg,
-            controller,
+            controller: Arc::new(controller),
             checkpoint: None,
             source: ControlSource::Model,
             fast,
@@ -320,13 +327,27 @@ impl<C: Clone> Supervisor<C> {
     /// The supervised model.
     #[must_use]
     pub fn model(&self) -> &C {
-        &self.controller
+        self.controller.as_ref()
     }
 
     /// Mutable access to the supervised model (the substrate trains it
     /// through this — including while benched, so it can relearn).
+    ///
+    /// Copy-on-write: if the model currently shares storage with a
+    /// checkpoint, the first call after that checkpoint/restore deep-
+    /// clones it once; subsequent calls are free until the next
+    /// checkpoint. Substrates that overwrite the whole model every
+    /// tick should prefer [`Supervisor::set_model`], which never
+    /// clones the old state.
     pub fn model_mut(&mut self) -> &mut C {
-        &mut self.controller
+        Arc::make_mut(&mut self.controller)
+    }
+
+    /// Replaces the supervised model wholesale without touching the
+    /// checkpoint (cheaper than `*model_mut() = c` — the shared
+    /// checkpoint state is never deep-cloned just to be overwritten).
+    pub fn set_model(&mut self, c: C) {
+        self.controller = Arc::new(c);
     }
 
     /// Who currently holds control.
@@ -455,7 +476,7 @@ impl<C: Clone> Supervisor<C> {
             if self.quiet >= self.cfg.quiet_ticks {
                 self.warns = 0;
                 if now.0.is_multiple_of(self.cfg.checkpoint_every) && output.is_finite() {
-                    self.checkpoint = Some(self.controller.clone());
+                    self.checkpoint = Some(Arc::clone(&self.controller));
                     self.stats.checkpoints += 1;
                 }
             }
@@ -479,8 +500,10 @@ impl<C: Clone> Supervisor<C> {
             .is_some_and(|t| now.0.saturating_sub(t) <= self.cfg.relapse_window);
 
         if self.checkpoint.is_some() && !relapse {
-            if let Some(cp) = self.checkpoint.clone() {
-                self.controller = cp;
+            // Clone-on-restore: the restored state is shared with the
+            // checkpoint and only deep-copied on the next write.
+            if let Some(cp) = &self.checkpoint {
+                self.controller = Arc::clone(cp);
             }
             self.reset_watchdogs();
             self.warns = 0;
@@ -495,8 +518,8 @@ impl<C: Clone> Supervisor<C> {
             // Restore the checkpoint too (when one exists) so the
             // benched model relearns from a sane state rather than
             // from the corrupted one.
-            if let Some(cp) = self.checkpoint.clone() {
-                self.controller = cp;
+            if let Some(cp) = &self.checkpoint {
+                self.controller = Arc::clone(cp);
             }
             self.source = ControlSource::Baseline;
             self.reset_watchdogs();
@@ -545,7 +568,7 @@ impl<C: Clone> Supervisor<C> {
                 if self.fallback_elapsed >= self.backoff && self.probe_quiet >= self.cfg.quiet_ticks
                 {
                     self.source = ControlSource::Model;
-                    self.checkpoint = Some(self.controller.clone());
+                    self.checkpoint = Some(Arc::clone(&self.controller));
                     self.stats.checkpoints += 1;
                     self.stats.repromotions += 1;
                     self.fallback_elapsed = 0;
@@ -826,6 +849,81 @@ mod tests {
             }
         }
         assert!(flagged, "a 200x error blow-up must be flagged");
+    }
+
+    /// A model whose `Clone` impl counts deep copies, to prove the
+    /// `Arc` checkpoints are pointer bumps and not clones.
+    #[derive(Debug)]
+    struct CloneCounter {
+        value: f64,
+        clones: std::rc::Rc<std::cell::Cell<u32>>,
+    }
+
+    impl Clone for CloneCounter {
+        fn clone(&self) -> Self {
+            self.clones.set(self.clones.get() + 1);
+            Self {
+                value: self.value,
+                clones: std::rc::Rc::clone(&self.clones),
+            }
+        }
+    }
+
+    #[test]
+    fn healthy_run_takes_checkpoints_without_cloning() {
+        let clones = std::rc::Rc::new(std::cell::Cell::new(0u32));
+        let mut l = log();
+        let mut sup = Supervisor::new(
+            "m",
+            CloneCounter {
+                value: 1.0,
+                clones: std::rc::Rc::clone(&clones),
+            },
+        );
+        for t in 0..300u64 {
+            let x = t as f64;
+            let v = sup.observe(Tick(t), Evidence::scored(x, 0.1).with_input(x), &mut l);
+            assert_eq!(v, Verdict::Healthy);
+        }
+        assert!(sup.stats().checkpoints > 5, "checkpoints were taken");
+        assert_eq!(
+            clones.get(),
+            0,
+            "quiet-streak checkpoints must not deep-copy the controller"
+        );
+    }
+
+    #[test]
+    fn restore_clones_lazily_and_set_model_never_clones() {
+        let clones = std::rc::Rc::new(std::cell::Cell::new(0u32));
+        let mut l = log();
+        let mut sup = Supervisor::new(
+            "m",
+            CloneCounter {
+                value: 1.0,
+                clones: std::rc::Rc::clone(&clones),
+            },
+        );
+        for t in 0..100u64 {
+            let x = t as f64;
+            sup.observe(Tick(t), Evidence::scored(x, 0.1).with_input(x), &mut l);
+        }
+        // NaN output: immediate rollback to the last checkpoint.
+        let v = sup.observe(Tick(100), Evidence::scored(f64::NAN, f64::NAN), &mut l);
+        assert_eq!(v, Verdict::RolledBack(Anomaly::NonFinite));
+        assert_eq!(clones.get(), 0, "restore itself is a pointer swap");
+        // First write after the restore pays for exactly one copy.
+        sup.model_mut().value = 2.0;
+        assert_eq!(clones.get(), 1, "clone-on-restore happens on write");
+        sup.model_mut().value = 3.0;
+        assert_eq!(clones.get(), 1, "further writes are free until shared");
+        // Whole-model replacement bypasses copy-on-write entirely.
+        sup.set_model(CloneCounter {
+            value: 9.0,
+            clones: std::rc::Rc::clone(&clones),
+        });
+        assert_eq!(clones.get(), 1, "set_model never clones old state");
+        assert!((sup.model().value - 9.0).abs() < 1e-12);
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //!   TTLs, attack surges, and the F2 delay series.
 
 #![forbid(unsafe_code)]
-#![warn(clippy::unwrap_used, clippy::panic)]
+#![deny(clippy::unwrap_used, clippy::panic)]
 #![warn(missing_docs)]
 
 pub mod graph;

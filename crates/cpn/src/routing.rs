@@ -135,6 +135,7 @@ impl RoutingStrategy {
                         q,
                         smart_ratio,
                         epsilon,
+                        penalty: vec![0.0; n],
                     },
                 }
             }
@@ -180,6 +181,10 @@ enum RouterKind {
         q: Vec<Vec<Vec<f64>>>,
         smart_ratio: f64,
         epsilon: f64,
+        /// Transient per-router congestion penalty from the latest
+        /// control-plane reports (see [`Router::set_congestion`]);
+        /// all zeros when the control plane is ideal or absent.
+        penalty: Vec<f64>,
     },
 }
 
@@ -225,6 +230,20 @@ impl Router {
         }
     }
 
+    /// Installs the controller's believed per-router congestion as a
+    /// *transient* decision-time penalty: a hop into router `v` costs
+    /// its learned estimate plus `congestion[v]`. Unlike writing into
+    /// the learned table, the penalty vanishes the moment fresher
+    /// reports clear it — no re-learning needed when a jam moves or a
+    /// partition heals. Table routers ignore this; they recompute
+    /// from the same reports in [`Router::maintain`].
+    pub fn set_congestion(&mut self, congestion: &[f64]) {
+        if let RouterKind::Cpn { penalty, .. } = &mut self.kind {
+            penalty.clear();
+            penalty.extend_from_slice(congestion);
+        }
+    }
+
     /// Chooses the next hop for a packet at `at` heading to `dst`.
     /// `prev` is where the packet just came from (loop damping for
     /// learned routing); `smart` marks exploring packets.
@@ -242,7 +261,12 @@ impl Router {
         }
         match &self.kind {
             RouterKind::Table { next, .. } => next[dst][at],
-            RouterKind::Cpn { q, epsilon, .. } => {
+            RouterKind::Cpn {
+                q,
+                epsilon,
+                penalty,
+                ..
+            } => {
                 // CPN routers sense link liveness locally: cut edges
                 // are never candidates, so packets detour immediately
                 // (table routers keep pointing at the dead link until
@@ -273,7 +297,10 @@ impl Router {
                     if Some(v) == prev && up > 1 {
                         continue;
                     }
-                    let est = row[k];
+                    // A hop that terminates at `v` never waits in
+                    // `v`'s outbound queues, so the congestion
+                    // penalty does not apply to it.
+                    let est = row[k] + if v == dst { 0.0 } else { penalty[v] };
                     if best.is_none_or(|(_, b)| est < b) {
                         best = Some((v, est));
                     }

@@ -3,11 +3,12 @@
 
 use crate::graph::Graph;
 use crate::routing::{Router, RoutingStrategy};
+use selfaware::comms::{CommsNetwork, CommsPolicy};
 use selfaware::explain::ExplanationLog;
 use selfaware::supervision::{Evidence, Supervisor, Verdict};
 use simkernel::rng::SeedTree;
 use simkernel::{MetricSet, Tick, TimeSeries};
-use workloads::faults::{FaultKind, FaultPlan, ModelCorruptionKind};
+use workloads::faults::{ChannelPlan, FaultKind, FaultPlan, ModelCorruptionKind};
 use workloads::rates::poisson;
 
 /// Maximum hops before a packet is discarded.
@@ -112,6 +113,22 @@ pub struct CpnConfig {
     pub faults: FaultPlan,
     /// Routing strategy.
     pub strategy: RoutingStrategy,
+    /// The control-plane medium: per-tick router queue reports travel
+    /// over this channel to the routing controller. Defaults to
+    /// [`ChannelPlan::ideal`], which reproduces the historical
+    /// live-queue-observation behaviour bit for bit.
+    pub channel: ChannelPlan,
+    /// How the control plane copes with report loss: naive
+    /// fire-and-forget (routing on silently stale queue state), or
+    /// the staleness-aware protocol (ack/retry plus congestion
+    /// pessimism for routers it has not heard from).
+    pub comms: CommsPolicy,
+    /// Queue-report cadence in ticks. At 1 (the default) every
+    /// router reports every tick, so a lost report is repaired by
+    /// the next one almost immediately and channel loss barely
+    /// registers; sparser cadences make each report carry real
+    /// information and each loss cost real staleness.
+    pub report_every: u64,
 }
 
 impl CpnConfig {
@@ -145,6 +162,9 @@ impl CpnConfig {
             }),
             faults: FaultPlan::none(),
             strategy,
+            channel: ChannelPlan::ideal(),
+            comms: CommsPolicy::default(),
+            report_every: 1,
         }
     }
 
@@ -152,6 +172,42 @@ impl CpnConfig {
     #[must_use]
     pub fn attack_window(steps: u64) -> (Tick, Tick) {
         (Tick(steps / 3), Tick(2 * steps / 3))
+    }
+
+    /// [`CpnConfig::standard`] plus a *moving* flood: during the
+    /// attack window, hostile through-traffic slams the degraded
+    /// row-1 and row-2 centers in alternating 150-tick slabs, so the
+    /// jammed region keeps shifting. A router that only learns from
+    /// its own packets re-pays the discovery cost at every switch;
+    /// a control plane with fresh — or prudently pessimistic — queue
+    /// reports re-routes immediately. This is the communications
+    /// ablation scenario (F8); the F2 tables keep using `standard`.
+    #[must_use]
+    pub fn contested(strategy: RoutingStrategy, steps: u64) -> Self {
+        let mut cfg = Self::standard(strategy, steps);
+        let cols = cfg.cols;
+        let node = |r: usize, c: usize| r * cols + c;
+        let (from, to) = Self::attack_window(steps);
+        let period = 150;
+        let mut t = from.value();
+        let mut row1 = true;
+        while t < to.value() {
+            let end = (t + period).min(to.value());
+            let (src, dst) = if row1 {
+                (node(1, 1), node(1, 4))
+            } else {
+                (node(2, 1), node(2, 4))
+            };
+            cfg.flows
+                .push(Flow::attack(src, dst, 6.0, Tick(t), Tick(end)));
+            row1 = !row1;
+            t = end;
+        }
+        // Sparse reporting: one report per router per 20 ticks, so a
+        // dropped report leaves the controller genuinely blind for a
+        // while instead of being repaired on the next tick.
+        cfg.report_every = 20;
+        cfg
     }
 }
 
@@ -163,6 +219,8 @@ pub struct CpnResult {
     /// Per-delivery end-to-end delay of background traffic over time —
     /// the F2 series.
     pub delay: TimeSeries,
+    /// Comms-layer events: retries, expiries, partitions, heals.
+    pub comms_log: ExplanationLog,
 }
 
 #[derive(Debug, Clone)]
@@ -224,6 +282,23 @@ pub fn run_cpn(cfg: &CpnConfig, seeds: &SeedTree) -> CpnResult {
         })
         .collect();
 
+    // Control plane: every router reports its per-link queue lengths
+    // to the routing controller (comms id `graph.len()`) each tick,
+    // over the configured channel. Routing decisions are computed
+    // from this *believed* state, not the live queues — on the ideal
+    // default the two are identical (a report sent at the end of tick
+    // t lands the same tick, and `maintain` at tick t+1 reads exactly
+    // what the live closure used to), so historical numbers are
+    // unchanged bit for bit. On a lossy channel the believed state
+    // goes stale, and the comms policy decides how routing copes.
+    let ctrl = graph.len();
+    let mut comms_net: CommsNetwork<Vec<usize>> = CommsNetwork::new(cfg.comms);
+    let mut comms_log = ExplanationLog::new(2048);
+    let ideal = cfg.channel.is_ideal();
+    let aware = !cfg.comms.is_naive();
+    let mut believed: Vec<Vec<usize>> = queues.iter().map(|qs| vec![0; qs.len()]).collect();
+    let mut last_report_seq: Vec<Option<u64>> = vec![None; graph.len()];
+
     let (attack_from, attack_to) = CpnConfig::attack_window(cfg.steps);
     let mut injected = 0u64;
     let mut delivered = 0u64;
@@ -284,21 +359,62 @@ pub fn run_cpn(cfg: &CpnConfig, seeds: &SeedTree) -> CpnResult {
         let frozen = frozen_until.is_some_and(|until| now.value() < until.value());
         let benched = supervision.as_ref().is_some_and(|s| s.sup.is_fallback());
 
-        router.maintain(&graph, now, |u, v| {
+        // The queue state routing sees: believed reports, with the
+        // staleness-aware policy discounting silent routers toward
+        // congestion (`QUEUE_CAP`) — a router it cannot hear from is
+        // assumed jammed and routed around, rather than trusted to
+        // still be as empty as its last report claimed.
+        let effective: Vec<Vec<usize>> = if ideal || !aware {
+            believed.clone()
+        } else {
+            believed
+                .iter()
+                .enumerate()
+                .map(|(u, row)| {
+                    let w = comms_net.freshness(ctrl, u, now);
+                    row.iter()
+                        .map(|&q| (w * q as f64 + (1.0 - w) * QUEUE_CAP as f64).round() as usize)
+                        .collect()
+                })
+                .collect()
+        };
+        let qlen = |u: usize, v: usize| {
             graph
                 .neighbours(u)
                 .iter()
                 .position(|&x| x == v)
-                .map_or(0, |k| queues[u][k].len())
-        });
+                .map_or(0, |k| effective[u][k])
+        };
+        router.maintain(&graph, now, qlen);
         if let Some(s) = &mut supervision {
-            s.baseline.maintain(&graph, now, |u, v| {
-                graph
-                    .neighbours(u)
-                    .iter()
-                    .position(|&x| x == v)
-                    .map_or(0, |k| queues[u][k].len())
-            });
+            s.baseline.maintain(&graph, now, qlen);
+        }
+
+        // Learned routers carry the controller's picture as a
+        // decision-time penalty: a hop into a router whose queues are
+        // believed `c` deep costs `c` extra ticks. Under the
+        // staleness-aware policy a silent router's believed queues
+        // drift toward `QUEUE_CAP`, so it is routed around rather
+        // than trusted; the naive policy keeps trusting the last
+        // report it happened to receive. Gated off on the ideal
+        // channel, where smart-packet measurement alone reproduces
+        // the clean-run tables bit for bit.
+        if !ideal {
+            // Routine staleness blends a few phantom ticks into every
+            // believed queue; penalizing those would bias routing
+            // globally. Only a router that looks genuinely jammed —
+            // real congestion, or silence long enough for the
+            // discount to dominate — is penalized.
+            let cutoff = QUEUE_CAP / 2;
+            let congestion: Vec<f64> = effective
+                .iter()
+                .map(|row| row.iter().copied().max().unwrap_or(0))
+                .map(|c| if c >= cutoff { c as f64 } else { 0.0 })
+                .collect();
+            router.set_congestion(&congestion);
+            if let Some(s) = &mut supervision {
+                s.baseline.set_congestion(&congestion);
+            }
         }
 
         // Inject new packets.
@@ -455,6 +571,23 @@ pub fn run_cpn(cfg: &CpnConfig, seeds: &SeedTree) -> CpnResult {
             }
         }
 
+        // Control-plane exchange: each router reports its end-of-tick
+        // queue lengths; the delivery queue hands the controller
+        // whatever the channel let through (deduped and monotone —
+        // a delayed old report never overwrites a newer one).
+        if now.value().is_multiple_of(cfg.report_every) {
+            for (u, qs) in queues.iter().enumerate() {
+                let report: Vec<usize> = qs.iter().map(std::collections::VecDeque::len).collect();
+                comms_net.send(&cfg.channel, u, ctrl, report, now, &mut comms_log);
+            }
+        }
+        for d in comms_net.step(&cfg.channel, now, &mut comms_log) {
+            if d.dst == ctrl && last_report_seq[d.src].is_none_or(|s| d.seq > s) {
+                last_report_seq[d.src] = Some(d.seq);
+                believed[d.src] = d.payload;
+            }
+        }
+
         // Meta-self-awareness: score the model's best-case delay
         // estimates against realized deliveries and let the
         // supervisor checkpoint / roll back / bench the live router.
@@ -483,7 +616,7 @@ pub fn run_cpn(cfg: &CpnConfig, seeds: &SeedTree) -> CpnResult {
             let error = (estimate - realized).abs();
             // Sync the live router into the supervisor so checkpoints
             // capture it, then copy back on rollback/fallback.
-            *s.sup.model_mut() = router.clone();
+            s.sup.set_model(router.clone());
             let verdict = s.sup.observe(
                 now,
                 Evidence::scored(estimate, error).with_input(realized),
@@ -526,10 +659,17 @@ pub fn run_cpn(cfg: &CpnConfig, seeds: &SeedTree) -> CpnResult {
     metrics.set("model_rollbacks", f64::from(sup.rollbacks));
     metrics.set("model_fallbacks", f64::from(sup.fallbacks));
     metrics.set("model_repromotions", f64::from(sup.repromotions));
+    let cs = comms_net.stats();
+    metrics.set("comms_sent", cs.sent as f64);
+    metrics.set("comms_retries", cs.retries as f64);
+    metrics.set("comms_expired", cs.expired as f64);
+    metrics.set("comms_partition_hits", cs.partition_hits as f64);
+    metrics.set("comms_duplicates", cs.duplicates as f64);
 
     CpnResult {
         metrics,
         delay: delay_series,
+        comms_log,
     }
 }
 
@@ -561,6 +701,9 @@ mod tests {
             degradation: None,
             faults: FaultPlan::none(),
             strategy: RoutingStrategy::StaticShortest,
+            channel: ChannelPlan::ideal(),
+            comms: CommsPolicy::default(),
+            report_every: 1,
         };
         let r = run_cpn(&cfg, &SeedTree::new(1));
         assert!(r.metrics.get("delivery_ratio").unwrap() > 0.95);
@@ -623,6 +766,9 @@ mod tests {
                 .and(FaultEvent::link_cut(Tick(300), 1, 2))
                 .and(FaultEvent::link_restore(Tick(600), 1, 2)),
             strategy,
+            channel: ChannelPlan::ideal(),
+            comms: CommsPolicy::default(),
+            report_every: 1,
         };
         let stat = run_cpn(&faulty(RoutingStrategy::StaticShortest), &SeedTree::new(9));
         let cpn = run_cpn(&faulty(RoutingStrategy::cpn_default()), &SeedTree::new(9));
@@ -646,6 +792,9 @@ mod tests {
             degradation: None,
             faults: FaultPlan::none().and(FaultEvent::link_cut(Tick(300), 1, 2)),
             strategy: RoutingStrategy::Periodic { period: 50 },
+            channel: ChannelPlan::ideal(),
+            comms: CommsPolicy::default(),
+            report_every: 1,
         };
         let r = run_cpn(&cfg, &SeedTree::new(9));
         // The cut is permanent, but a 50-tick recompute horizon keeps
@@ -679,6 +828,75 @@ mod tests {
     fn delay_series_is_populated() {
         let r = run(RoutingStrategy::StaticShortest, 7, 1000);
         assert!(r.delay.len() > 100);
+    }
+
+    fn lossy_cfg(loss: f64, comms: CommsPolicy, seed: u64, steps: u64) -> CpnConfig {
+        use workloads::faults::LinkModel;
+        let mut cfg = CpnConfig::standard(RoutingStrategy::cpn_default(), steps);
+        cfg.channel = ChannelPlan::uniform(&SeedTree::new(seed ^ 0xC9), LinkModel::lossy(loss));
+        cfg.comms = comms;
+        cfg
+    }
+
+    #[test]
+    fn lossy_control_plane_is_deterministic_per_seed() {
+        let a = run_cpn(
+            &lossy_cfg(0.3, CommsPolicy::default(), 3, 900),
+            &SeedTree::new(3),
+        );
+        let b = run_cpn(
+            &lossy_cfg(0.3, CommsPolicy::default(), 3, 900),
+            &SeedTree::new(3),
+        );
+        assert_eq!(a.metrics, b.metrics);
+        assert!(
+            a.metrics.get("comms_retries").unwrap() > 0.0,
+            "30% report loss must trigger retransmissions"
+        );
+        assert!(
+            !a.comms_log.find_by_action("comms:retry").is_empty(),
+            "retries must be explained"
+        );
+    }
+
+    #[test]
+    fn staleness_aware_control_plane_beats_naive_under_loss_and_partition() {
+        use workloads::faults::LinkModel;
+        // The table router's only adaptivity is the communicated queue
+        // state, so this is the strategy where channel quality is
+        // decisive. (The CPN learner adapts from its own packets'
+        // measured delays and shrugs off report loss — itself a
+        // finding; see EXPERIMENTS.md F8.) The partition silences the
+        // flood-ingress routers 7 and 13, whose queue reports carry
+        // the congestion signal, across the first half of the attack.
+        let steps = 3000;
+        let (from, _) = CpnConfig::attack_window(steps);
+        let mut wins = 0;
+        for seed in 0..3u64 {
+            let cfg = |comms| {
+                let mut c = CpnConfig::contested(RoutingStrategy::Periodic { period: 50 }, steps);
+                c.channel =
+                    ChannelPlan::uniform(&SeedTree::new(seed ^ 0xC9), LinkModel::lossy(0.3))
+                        .with_partition(from.value(), 750, vec![7, 13]);
+                c.comms = comms;
+                c
+            };
+            let naive = run_cpn(&cfg(CommsPolicy::Naive), &SeedTree::new(seed));
+            let aware = run_cpn(&cfg(CommsPolicy::default()), &SeedTree::new(seed));
+            let u_n = naive.metrics.get("utility").unwrap();
+            let u_a = aware.metrics.get("utility").unwrap();
+            if u_a > u_n {
+                wins += 1;
+            }
+            assert!(
+                aware.metrics.get("comms_partition_hits").unwrap() > 0.0,
+                "partitioned reports must register"
+            );
+        }
+        assert!(
+            wins >= 2,
+            "congestion pessimism should beat silent staleness ({wins}/3)"
+        );
     }
 
     #[test]

@@ -1,0 +1,133 @@
+//! Deterministic tick-indexed delivery queue.
+//!
+//! The unreliable-communication layer (see `selfaware::comms` and
+//! `workloads::faults::ChannelPlan`) needs to hold message copies "in
+//! the air" until their scheduled arrival tick. [`DeliveryQueue`] is
+//! the scheduler-side primitive for that: items are filed under the
+//! tick at which they become visible, and [`DeliveryQueue::due`]
+//! drains everything that has arrived by `now` in a fully
+//! deterministic order — ascending arrival tick, FIFO among items
+//! scheduled for the same tick.
+//!
+//! Unlike [`crate::events::EventQueue`] this queue carries arbitrary
+//! payloads and never inspects them, so callers can keep whole
+//! messages (not just event tags) in flight.
+//!
+//! ```
+//! use simkernel::delivery::DeliveryQueue;
+//! use simkernel::Tick;
+//!
+//! let mut q = DeliveryQueue::new();
+//! q.schedule(Tick(5), "late");
+//! q.schedule(Tick(2), "early");
+//! q.schedule(Tick(2), "early-2");
+//! assert_eq!(q.due(Tick(2)), vec!["early", "early-2"]);
+//! assert_eq!(q.len(), 1);
+//! assert_eq!(q.due(Tick(10)), vec!["late"]);
+//! assert!(q.is_empty());
+//! ```
+
+use crate::clock::Tick;
+use std::collections::BTreeMap;
+
+/// A deterministic "in flight" buffer: payloads scheduled for future
+/// ticks, drained in (arrival tick, insertion order) order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeliveryQueue<T> {
+    slots: BTreeMap<u64, Vec<T>>,
+    len: usize,
+}
+
+impl<T> Default for DeliveryQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> DeliveryQueue<T> {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            slots: BTreeMap::new(),
+            len: 0,
+        }
+    }
+
+    /// Files `item` for visibility at tick `at` (inclusive).
+    pub fn schedule(&mut self, at: Tick, item: T) {
+        self.slots.entry(at.0).or_default().push(item);
+        self.len += 1;
+    }
+
+    /// Removes and returns every item whose arrival tick is `<= now`,
+    /// ordered by (arrival tick, insertion order).
+    pub fn due(&mut self, now: Tick) -> Vec<T> {
+        let mut out = Vec::new();
+        let later = self.slots.split_off(&(now.0 + 1));
+        for (_, mut batch) in std::mem::replace(&mut self.slots, later) {
+            out.append(&mut batch);
+        }
+        self.len -= out.len();
+        out
+    }
+
+    /// Earliest arrival tick still queued, if any.
+    #[must_use]
+    pub fn next_arrival(&self) -> Option<Tick> {
+        self.slots.keys().next().map(|&t| Tick(t))
+    }
+
+    /// Number of items still in flight.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing is in flight.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drains_in_tick_then_fifo_order() {
+        let mut q = DeliveryQueue::new();
+        q.schedule(Tick(3), "c");
+        q.schedule(Tick(1), "a1");
+        q.schedule(Tick(1), "a2");
+        q.schedule(Tick(2), "b");
+        assert_eq!(q.next_arrival(), Some(Tick(1)));
+        assert_eq!(q.due(Tick(2)), vec!["a1", "a2", "b"]);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.due(Tick(2)), Vec::<&str>::new());
+        assert_eq!(q.due(Tick(3)), vec!["c"]);
+        assert!(q.is_empty());
+        assert_eq!(q.next_arrival(), None);
+    }
+
+    #[test]
+    fn due_at_zero_picks_up_same_tick_items() {
+        let mut q = DeliveryQueue::new();
+        q.schedule(Tick(0), 7u32);
+        assert_eq!(q.due(Tick(0)), vec![7]);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_drain_keeps_count() {
+        let mut q = DeliveryQueue::new();
+        for t in 0..100u64 {
+            q.schedule(Tick(t + 3), t);
+            let got = q.due(Tick(t));
+            for g in got {
+                assert_eq!(g + 3, t);
+            }
+        }
+        assert_eq!(q.len(), 3);
+    }
+}

@@ -14,6 +14,9 @@
 //!   the [`clock::Tick`] newtype used as the workspace-wide time unit;
 //! * [`events`] — a deterministic discrete-event queue with stable
 //!   FIFO ordering among simultaneous events;
+//! * [`delivery`] — a tick-indexed in-flight buffer for message copies
+//!   travelling through lossy/delaying channels, drained in a
+//!   deterministic (arrival tick, FIFO) order;
 //! * [`stats`] — streaming statistics (Welford moments, percentile
 //!   reservoirs, confidence intervals) used by every experiment;
 //! * [`series`] — down-sampled time-series capture and ASCII sparkline
@@ -47,6 +50,7 @@
 #![warn(missing_docs)]
 
 pub mod clock;
+pub mod delivery;
 pub mod events;
 pub mod parallel;
 pub mod rng;
@@ -56,6 +60,7 @@ pub mod stats;
 pub mod table;
 
 pub use clock::{Clock, Tick};
+pub use delivery::DeliveryQueue;
 pub use events::EventQueue;
 pub use parallel::{par_map, par_map_index, try_par_map_index, worker_count};
 pub use rng::SeedTree;

@@ -12,6 +12,7 @@
 //! same reason.
 
 use rand::Rng as _;
+use selfaware::comms::{Channel, ChannelOutcome};
 use serde::{Deserialize, Serialize};
 use simkernel::rng::{Rng, SeedTree};
 use simkernel::Tick;
@@ -418,6 +419,292 @@ impl FaultPlan {
     }
 }
 
+/// Per-link unreliability parameters.
+///
+/// All probabilities are per-frame; `max_delay` bounds the extra
+/// latency (in ticks) a delayed frame suffers. Delay is the source of
+/// *reordering*: an undelayed later frame overtakes a delayed earlier
+/// one.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkModel {
+    /// Probability a frame is silently dropped.
+    pub loss: f64,
+    /// Probability a delivered frame arrives twice.
+    pub dup: f64,
+    /// Probability a delivered frame is delayed.
+    pub delay_prob: f64,
+    /// Maximum extra latency in ticks for a delayed frame (the actual
+    /// delay is drawn uniformly from `1..=max_delay`).
+    pub max_delay: u64,
+}
+
+impl LinkModel {
+    /// The perfect link: no loss, no duplication, no delay.
+    #[must_use]
+    pub fn ideal() -> Self {
+        Self {
+            loss: 0.0,
+            dup: 0.0,
+            delay_prob: 0.0,
+            max_delay: 0,
+        }
+    }
+
+    /// A link that only loses frames, with probability `loss`.
+    #[must_use]
+    pub fn lossy(loss: f64) -> Self {
+        Self {
+            loss,
+            ..Self::ideal()
+        }
+    }
+
+    /// Whether the link never misbehaves.
+    #[must_use]
+    pub fn is_ideal(&self) -> bool {
+        self.loss == 0.0 && self.dup == 0.0 && (self.delay_prob == 0.0 || self.max_delay == 0)
+    }
+
+    fn validate(&self) {
+        for (name, p) in [
+            ("loss", self.loss),
+            ("dup", self.dup),
+            ("delay_prob", self.delay_prob),
+        ] {
+            assert!(
+                (0.0..=1.0).contains(&p),
+                "{name} must be a probability in [0, 1]"
+            );
+        }
+    }
+}
+
+impl Default for LinkModel {
+    fn default() -> Self {
+        Self::ideal()
+    }
+}
+
+/// A scheduled network partition: for `duration` ticks starting at
+/// `start`, every link with *exactly one* endpoint in `nodes` is cut
+/// (nodes inside the partition still talk to each other, as do nodes
+/// outside it).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetPartition {
+    /// First tick of the partition window.
+    pub start: u64,
+    /// Window length in ticks.
+    pub duration: u64,
+    /// The isolated node group.
+    pub nodes: Vec<usize>,
+}
+
+impl NetPartition {
+    /// Whether the `src → dst` link is cut at `t`.
+    #[must_use]
+    pub fn cuts(&self, src: usize, dst: usize, t: Tick) -> bool {
+        if t.value() < self.start || t.value() >= self.start + self.duration {
+            return false;
+        }
+        self.nodes.contains(&src) != self.nodes.contains(&dst)
+    }
+}
+
+/// `splitmix64` finalizer — the stateless hash behind every channel
+/// decision.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A deterministic lossy-channel plan: per-link drop, duplication and
+/// delay probabilities plus scheduled partitions, derived purely from
+/// a [`SeedTree`].
+///
+/// Unlike the RNG-stream disturbances elsewhere in this crate, the
+/// channel consumes **no** stream state: every decision is a stateless
+/// hash of `(salt, src, dst, wire sequence number)`. That makes the
+/// fate of a frame independent of *when* or *in what order* the
+/// simulator asks — the property that keeps lossy runs bit-identical
+/// between sequential and parallel replication (see DESIGN.md,
+/// "Communication fault model").
+///
+/// # Example
+///
+/// ```
+/// use workloads::faults::{ChannelPlan, LinkModel};
+/// use selfaware::comms::Channel as _;
+/// use simkernel::{SeedTree, Tick};
+///
+/// let seeds = SeedTree::new(7);
+/// let plan = ChannelPlan::uniform(&seeds, LinkModel::lossy(0.3))
+///     .with_partition(100, 50, vec![2, 3]);
+/// assert!(!plan.is_ideal());
+/// // Partition windows cut links that cross the boundary...
+/// assert!(plan.transmit(0, 2, 9, Tick(120)).partitioned);
+/// // ...but not links wholly inside or outside the group.
+/// assert!(!plan.transmit(2, 3, 9, Tick(120)).partitioned);
+/// // The ideal plan is exactly the historical perfect network.
+/// assert!(ChannelPlan::ideal().transmit(0, 1, 0, Tick(5)).arrives_at(Tick(5)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChannelPlan {
+    salt: u64,
+    default: LinkModel,
+    overrides: Vec<(usize, usize, LinkModel)>,
+    partitions: Vec<NetPartition>,
+}
+
+impl Default for ChannelPlan {
+    fn default() -> Self {
+        Self::ideal()
+    }
+}
+
+impl ChannelPlan {
+    /// The perfect network (every substrate's default — existing runs
+    /// are bit-for-bit unchanged).
+    #[must_use]
+    pub fn ideal() -> Self {
+        Self {
+            salt: 0,
+            default: LinkModel::ideal(),
+            overrides: Vec::new(),
+            partitions: Vec::new(),
+        }
+    }
+
+    /// A plan applying `model` to every link, salted from the
+    /// `"channel-plan"` seed subtree (same seed ⇒ same per-frame
+    /// fates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a probability in `model` is outside `[0, 1]`.
+    #[must_use]
+    pub fn uniform(seeds: &SeedTree, model: LinkModel) -> Self {
+        model.validate();
+        Self {
+            salt: seeds.rng("channel-plan").gen::<u64>(),
+            default: model,
+            overrides: Vec::new(),
+            partitions: Vec::new(),
+        }
+    }
+
+    /// Overrides the model for the directed link `src → dst` (builder
+    /// style; the last override for a link wins).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a probability in `model` is outside `[0, 1]`.
+    #[must_use]
+    pub fn with_link(mut self, src: usize, dst: usize, model: LinkModel) -> Self {
+        model.validate();
+        self.overrides.push((src, dst, model));
+        self
+    }
+
+    /// Schedules a partition isolating `nodes` for `duration` ticks
+    /// from `start` (builder style).
+    #[must_use]
+    pub fn with_partition(mut self, start: u64, duration: u64, nodes: Vec<usize>) -> Self {
+        self.partitions.push(NetPartition {
+            start,
+            duration,
+            nodes,
+        });
+        self
+    }
+
+    /// The scheduled partitions.
+    #[must_use]
+    pub fn partitions(&self) -> &[NetPartition] {
+        &self.partitions
+    }
+
+    /// Whether the `src → dst` link is inside any partition window at
+    /// `t`.
+    #[must_use]
+    pub fn partitioned_at(&self, src: usize, dst: usize, t: Tick) -> bool {
+        self.partitions.iter().any(|p| p.cuts(src, dst, t))
+    }
+
+    fn model_for(&self, src: usize, dst: usize) -> &LinkModel {
+        self.overrides
+            .iter()
+            .rev()
+            .find(|(s, d, _)| *s == src && *d == dst)
+            .map_or(&self.default, |(_, _, m)| m)
+    }
+
+    /// A uniform hash in `[0, 1)` for one named decision about one
+    /// frame. Pure in `(salt, src, dst, seq, label)`.
+    fn unit(&self, src: usize, dst: usize, seq: u64, label: u64) -> f64 {
+        let mut h = self.salt;
+        for v in [src as u64, dst as u64, seq, label] {
+            h = splitmix64(h ^ v);
+        }
+        (h >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Whether the plan never loses, delays, duplicates, or
+    /// partitions.
+    #[must_use]
+    pub fn is_ideal(&self) -> bool {
+        self.default.is_ideal()
+            && self.overrides.iter().all(|(_, _, m)| m.is_ideal())
+            && self.partitions.is_empty()
+    }
+}
+
+// Decision labels: one per independent draw about a frame.
+const DRAW_LOSS: u64 = 1;
+const DRAW_DELAY: u64 = 2;
+const DRAW_DELAY_TICKS: u64 = 3;
+const DRAW_DUP: u64 = 4;
+const DRAW_DUP_DELAY: u64 = 5;
+const DRAW_DUP_TICKS: u64 = 6;
+
+impl Channel for ChannelPlan {
+    fn transmit(&self, src: usize, dst: usize, seq: u64, now: Tick) -> ChannelOutcome {
+        if self.partitioned_at(src, dst, now) {
+            return ChannelOutcome {
+                arrivals: vec![],
+                partitioned: true,
+            };
+        }
+        let m = self.model_for(src, dst);
+        if m.is_ideal() {
+            return ChannelOutcome::delivered(now);
+        }
+        if self.unit(src, dst, seq, DRAW_LOSS) < m.loss {
+            return ChannelOutcome::lost();
+        }
+        let delay_of = |prob_label: u64, ticks_label: u64| -> u64 {
+            if m.max_delay > 0 && self.unit(src, dst, seq, prob_label) < m.delay_prob {
+                1 + (self.unit(src, dst, seq, ticks_label) * m.max_delay as f64) as u64
+            } else {
+                0
+            }
+        };
+        let mut arrivals = vec![Tick(now.0 + delay_of(DRAW_DELAY, DRAW_DELAY_TICKS))];
+        if self.unit(src, dst, seq, DRAW_DUP) < m.dup {
+            arrivals.push(Tick(now.0 + delay_of(DRAW_DUP_DELAY, DRAW_DUP_TICKS)));
+        }
+        ChannelOutcome {
+            arrivals,
+            partitioned: false,
+        }
+    }
+
+    fn is_ideal(&self) -> bool {
+        ChannelPlan::is_ideal(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -551,6 +838,98 @@ mod tests {
             !plan.model_frozen_at(1, Tick(60)),
             "non-freeze corruption never freezes"
         );
+    }
+
+    #[test]
+    fn channel_plan_is_pure_and_seed_deterministic() {
+        let seeds = SeedTree::new(9);
+        let plan = ChannelPlan::uniform(
+            &seeds,
+            LinkModel {
+                loss: 0.3,
+                dup: 0.1,
+                delay_prob: 0.2,
+                max_delay: 5,
+            },
+        );
+        let again = ChannelPlan::uniform(
+            &seeds,
+            LinkModel {
+                loss: 0.3,
+                dup: 0.1,
+                delay_prob: 0.2,
+                max_delay: 5,
+            },
+        );
+        assert_eq!(plan, again);
+        for seq in 0..200u64 {
+            let a = plan.transmit(1, 2, seq, Tick(10));
+            let b = plan.transmit(1, 2, seq, Tick(10));
+            assert_eq!(a, b, "same frame, same fate");
+            for &at in &a.arrivals {
+                assert!(at.value() >= 10 && at.value() <= 15);
+            }
+        }
+        let other = ChannelPlan::uniform(&SeedTree::new(10), LinkModel::lossy(0.3));
+        let differing = (0..200u64)
+            .filter(|&s| plan.transmit(1, 2, s, Tick(0)) != other.transmit(1, 2, s, Tick(0)))
+            .count();
+        assert!(differing > 0, "different seed, different frame fates");
+    }
+
+    #[test]
+    fn channel_plan_loss_rate_is_roughly_calibrated() {
+        let plan = ChannelPlan::uniform(&SeedTree::new(4), LinkModel::lossy(0.25));
+        let lost = (0..4000u64)
+            .filter(|&s| plan.transmit(0, 1, s, Tick(0)).arrivals.is_empty())
+            .count();
+        let rate = lost as f64 / 4000.0;
+        assert!((rate - 0.25).abs() < 0.03, "observed loss {rate}");
+    }
+
+    #[test]
+    fn channel_plan_partitions_cut_boundary_links_only() {
+        let plan = ChannelPlan::ideal().with_partition(50, 20, vec![0, 1]);
+        assert!(!plan.is_ideal(), "partition makes the plan non-ideal");
+        assert!(plan.transmit(0, 5, 3, Tick(50)).partitioned);
+        assert!(plan.transmit(5, 1, 3, Tick(69)).partitioned);
+        assert!(!plan.transmit(0, 1, 3, Tick(60)).partitioned, "both inside");
+        assert!(
+            !plan.transmit(4, 5, 3, Tick(60)).partitioned,
+            "both outside"
+        );
+        assert!(!plan.transmit(0, 5, 3, Tick(70)).partitioned, "window over");
+        assert!(plan.transmit(0, 5, 3, Tick(70)).arrives_at(Tick(70)));
+    }
+
+    #[test]
+    fn channel_plan_link_overrides_win() {
+        let plan = ChannelPlan::uniform(&SeedTree::new(2), LinkModel::lossy(1.0)).with_link(
+            3,
+            4,
+            LinkModel::ideal(),
+        );
+        assert!(plan.transmit(0, 1, 7, Tick(0)).arrivals.is_empty());
+        assert!(plan.transmit(3, 4, 7, Tick(0)).arrives_at(Tick(0)));
+        assert!(
+            plan.transmit(4, 3, 7, Tick(0)).arrivals.is_empty(),
+            "overrides are directional"
+        );
+    }
+
+    #[test]
+    fn ideal_plan_is_ideal() {
+        assert!(ChannelPlan::ideal().is_ideal());
+        assert!(ChannelPlan::default().is_ideal());
+        assert!(!ChannelPlan::uniform(&SeedTree::new(0), LinkModel::lossy(0.1)).is_ideal());
+        // Zero-probability uniform plans still count as ideal.
+        assert!(ChannelPlan::uniform(&SeedTree::new(0), LinkModel::ideal()).is_ideal());
+    }
+
+    #[test]
+    #[should_panic(expected = "loss must be a probability")]
+    fn channel_plan_rejects_bad_probability() {
+        let _ = ChannelPlan::uniform(&SeedTree::new(0), LinkModel::lossy(1.5));
     }
 
     #[test]

@@ -25,7 +25,7 @@
 //! Everything is deterministic given a [`simkernel::SeedTree`].
 
 #![forbid(unsafe_code)]
-#![warn(clippy::unwrap_used, clippy::panic)]
+#![deny(clippy::unwrap_used, clippy::panic)]
 #![warn(missing_docs)]
 
 pub mod disturbance;
@@ -37,7 +37,9 @@ pub mod traffic;
 pub mod trajectories;
 
 pub use disturbance::{Disturbance, DisturbanceKind, Schedule};
-pub use faults::{FaultEvent, FaultKind, FaultPlan, SensorFaultKind};
+pub use faults::{
+    ChannelPlan, FaultEvent, FaultKind, FaultPlan, LinkModel, NetPartition, SensorFaultKind,
+};
 pub use rates::{DiurnalRate, DriftingRate, MmppRate, PoissonArrivals, RateFn};
 pub use signal::{SignalGen, SignalSpec};
 pub use tasks::{TaskClass, TaskMix, TaskStream};
