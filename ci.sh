@@ -30,6 +30,18 @@ SAS_THREADS=4 cargo test -q --offline -p sas-bench -p simkernel
 echo "==> cargo bench -p sas-bench --bench f8_comms_loss (F8_STEPS=600)"
 F8_STEPS=600 cargo bench --offline -p sas-bench --bench f8_comms_loss
 
+# Observability smoke: one real experiment under SAS_OBS=1 must emit
+# a parseable JSONL run trace with the expected schema (provenance,
+# arm aggregates + phase profile, per-replicate records). target/obs
+# is cleaned on both sides so stale artifacts can't mask a regression.
+echo "==> SAS_OBS=1 cargo bench -p sas-bench --bench f5_camnet_outage (F5_STEPS=900, F5_REPS=2)"
+rm -rf target/obs
+SAS_OBS=1 F5_STEPS=900 F5_REPS=2 cargo bench --offline -p sas-bench --bench f5_camnet_outage
+
+echo "==> cargo run -p sas-bench --bin obs_validate"
+cargo run --offline -p sas-bench --bin obs_validate
+rm -rf target/obs
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

@@ -1,7 +1,17 @@
-//! Regenerates Table F5. See EXPERIMENTS.md.
+//! Regenerates Table F5. See EXPERIMENTS.md. `F5_STEPS` overrides the
+//! horizon (default 6000) and `F5_REPS` the replicate count — used by
+//! CI for quick `SAS_OBS=1` smoke runs.
 fn main() {
+    let steps = std::env::var("F5_STEPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(6_000);
+    let reps = std::env::var("F5_REPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(sas_bench::REPS);
     let start = std::time::Instant::now();
-    let table = sas_bench::run_f5(sas_bench::REPS, 6_000);
+    let table = sas_bench::run_f5(reps, steps);
     println!("{table}");
     eprintln!(
         "regenerated in {:.2?} on {} worker thread(s)",

@@ -8,10 +8,13 @@ use selfaware::models::ar::ArModel;
 use selfaware::models::ewma::Ewma;
 use selfaware::models::holt::Holt;
 use selfaware::models::{Forecaster, OnlineModel as _};
+use simkernel::obs;
+use simkernel::runner::RunReport;
 use simkernel::series::render_multi;
 use simkernel::table::{num, num_ci};
 use simkernel::{par_map, MetricSet, Replications, SeedTree, Table, Tick, TimeSeries};
 use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
 
 /// Default replication count for table experiments.
 pub const REPS: u32 = 5;
@@ -19,6 +22,137 @@ pub const REPS: u32 = 5;
 pub const CLOUD_STEPS: u64 = 6_000;
 /// Number of monitored signals in T6.
 pub const T6_SIGNALS: usize = 16;
+
+/// Renders a [`MetricSet`] as a flat JSON object.
+fn metrics_json(m: &MetricSet) -> obs::Json {
+    obs::Json::obj(m.iter().map(|(k, v)| (k.to_string(), obs::Json::from(v))))
+}
+
+/// Renders an arm's aggregate as `{metric: {n, mean, ci95, std_dev}}`.
+fn aggregate_json(report: &RunReport) -> obs::Json {
+    obs::Json::obj(report.iter().map(|(k, s)| {
+        (
+            k.to_string(),
+            obs::Json::obj([
+                ("n", obs::Json::from(s.count())),
+                ("mean", obs::Json::from(s.mean())),
+                ("ci95", obs::Json::from(s.ci95_halfwidth())),
+                ("std_dev", obs::Json::from(s.std_dev())),
+            ]),
+        )
+    }))
+}
+
+/// One experiment's structured run trace: provenance plus the
+/// per-arm [`RunReport`]s a matrix run produced. Exported as JSONL
+/// under `<artifact_root>/<experiment>/run.jsonl` (see
+/// [`simkernel::obs`] for the artifact-root rules).
+///
+/// Line schema (one JSON object per line, discriminated by `record`):
+///
+/// * `provenance` — experiment id, root seed, replicate count,
+///   horizon, effective `SAS_THREADS` worker count, FNV-1a digest of
+///   the config description, crate versions;
+/// * `arm` — one per experiment arm: label, completed/recovered
+///   counts, wall-clock seconds, per-metric aggregate statistics and
+///   the merged phase-timing profile;
+/// * `replicate` — one per replicate of each arm: the structured
+///   records the scenario emitted through [`obs::emit`] (metrics,
+///   comms/supervision/health stats, drained explanations).
+#[derive(Debug)]
+pub struct RunTrace<'a> {
+    /// Experiment id — also the artifact subdirectory name.
+    pub experiment: &'a str,
+    /// Root seed of the [`Replications`] seed tree.
+    pub seed: u64,
+    /// Replicates per arm.
+    pub replicates: u32,
+    /// Scenario horizon in ticks.
+    pub steps: u64,
+    /// Human-readable config description; digested into provenance.
+    pub config: &'a str,
+    /// Arm labels, parallel to `reports`.
+    pub arms: &'a [String],
+    /// One report per arm, from a matrix run.
+    pub reports: &'a [RunReport],
+}
+
+impl RunTrace<'_> {
+    /// Writes the trace under the configured artifact root when
+    /// observability is enabled; no-op (returning `None`) otherwise.
+    /// I/O failures are reported on stderr rather than panicking —
+    /// tracing must never take down an experiment run.
+    pub fn export(&self) -> Option<PathBuf> {
+        if !obs::enabled() {
+            return None;
+        }
+        match self.export_in(&obs::artifact_root()) {
+            Ok(path) => Some(path),
+            Err(e) => {
+                eprintln!("obs: run-trace export for {} failed: {e}", self.experiment);
+                None
+            }
+        }
+    }
+
+    /// [`RunTrace::export`] with an explicit artifact root and no
+    /// enabled-check (used by tests to write inside `target/`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures from the trace writer.
+    pub fn export_in(&self, root: &Path) -> std::io::Result<PathBuf> {
+        let mut w = obs::TraceWriter::create_in(root, self.experiment, "run")?;
+        w.line(&obs::Json::obj([
+            ("record", obs::Json::str("provenance")),
+            ("experiment", obs::Json::str(self.experiment)),
+            ("seed", obs::Json::from(self.seed)),
+            ("replicates", obs::Json::from(self.replicates)),
+            ("steps", obs::Json::from(self.steps)),
+            (
+                "sas_threads",
+                obs::Json::from(simkernel::worker_count(self.replicates as usize) as u64),
+            ),
+            (
+                "config_digest",
+                obs::Json::str(obs::config_digest(self.config)),
+            ),
+            (
+                "versions",
+                obs::Json::obj([
+                    ("sas-bench", obs::Json::str(env!("CARGO_PKG_VERSION"))),
+                    ("simkernel", obs::Json::str(simkernel::VERSION)),
+                    ("selfaware", obs::Json::str(selfaware::VERSION)),
+                ]),
+            ),
+        ]));
+        for (i, (label, report)) in self.arms.iter().zip(self.reports).enumerate() {
+            w.line(&obs::Json::obj([
+                ("record", obs::Json::str("arm")),
+                ("index", obs::Json::from(i as u64)),
+                ("label", obs::Json::str(label.clone())),
+                ("completed", obs::Json::from(u64::from(report.completed()))),
+                (
+                    "recovered",
+                    obs::Json::from(report.recovered().len() as u64),
+                ),
+                ("errors", obs::Json::from(report.errors().len() as u64)),
+                ("wall_secs", obs::Json::from(report.wall_secs())),
+                ("aggregate", aggregate_json(report)),
+                ("profile", report.profile().to_json()),
+            ]));
+            for (k, records) in report.records().iter().enumerate() {
+                w.line(&obs::Json::obj([
+                    ("record", obs::Json::str("replicate")),
+                    ("arm", obs::Json::str(label.clone())),
+                    ("index", obs::Json::from(k as u64)),
+                    ("events", obs::Json::Arr(records.clone())),
+                ]));
+            }
+        }
+        w.finish()
+    }
+}
 
 fn cloud_strategies() -> Vec<cloudsim::Strategy> {
     vec![
@@ -917,26 +1051,42 @@ pub fn f5_scenario(strategy: &camnet::HandoverStrategy, seeds: SeedTree, steps: 
         .filter(|&&(t, _)| t < fail_at)
         .map(|&(_, q)| q)
         .collect();
-    let pre_quality = pre.iter().sum::<f64>() / pre.len().max(1) as f64;
-
-    let recovery_ticks = pts
-        .iter()
-        .find(|&&(t, q)| t >= recover_at && q >= 0.95 * pre_quality)
-        .map_or(steps.saturating_sub(recover_at), |&(t, _)| t - recover_at);
-    let degradation_area: f64 = pts
-        .iter()
-        .filter(|&&(t, _)| t >= fail_at)
-        .map(|&(_, q)| (pre_quality - q).max(0.0) * window as f64)
-        .sum();
 
     let mut m = MetricSet::new();
     m.set(
         "quality",
         result.metrics.get("track_quality").unwrap_or(0.0),
     );
-    m.set("pre_quality", pre_quality);
-    m.set("recovery_ticks", recovery_ticks as f64);
-    m.set("degradation_area", degradation_area);
+    // A horizon too short to yield a pre-fault quality sample (camnet
+    // samples every 50 ticks, so `steps / 3 <= 50`) has no baseline.
+    // Dividing by `pre.len().max(1)` here used to report
+    // `pre_quality = 0.0`, which makes the recovery predicate
+    // `q >= 0.95 * pre_quality` trivially true (instant "recovery")
+    // and zeroes the degradation area. Flag the replicate and omit
+    // the derived metrics rather than reporting vacuous zeros.
+    if pre.is_empty() {
+        m.set("pre_window_empty", 1.0);
+    } else {
+        let pre_quality = pre.iter().sum::<f64>() / pre.len() as f64;
+        let recovery_ticks = pts
+            .iter()
+            .find(|&&(t, q)| t >= recover_at && q >= 0.95 * pre_quality)
+            .map_or(steps.saturating_sub(recover_at), |&(t, _)| t - recover_at);
+        let degradation_area: f64 = pts
+            .iter()
+            .filter(|&&(t, _)| t >= fail_at)
+            .map(|&(_, q)| (pre_quality - q).max(0.0) * window as f64)
+            .sum();
+        m.set("pre_window_empty", 0.0);
+        m.set("pre_quality", pre_quality);
+        m.set("recovery_ticks", recovery_ticks as f64);
+        m.set("degradation_area", degradation_area);
+    }
+    obs::emit(obs::Json::obj([
+        ("scenario", obs::Json::str("f5")),
+        ("metrics", metrics_json(&m)),
+        ("explanations", result.comms_log.to_json()),
+    ]));
     m
 }
 
@@ -962,6 +1112,17 @@ pub fn run_f5(reps: u32, steps: u64) -> Table {
     );
     let aggs = Replications::new(0xF5, reps)
         .run_matrix(&arms, |strategy, seeds| f5_scenario(strategy, seeds, steps));
+    let labels: Vec<String> = arms.iter().map(camnet::HandoverStrategy::label).collect();
+    RunTrace {
+        experiment: "f5",
+        seed: 0xF5,
+        replicates: reps,
+        steps,
+        config: &format!("f5 arms={labels:?} steps={steps} outage=grid-centre"),
+        arms: &labels,
+        reports: &aggs,
+    }
+    .export();
     for (strategy, agg) in arms.iter().zip(&aggs) {
         table.row_owned(vec![
             strategy.label(),
@@ -1119,6 +1280,13 @@ pub fn f6_scenario(guarded: bool, seeds: SeedTree, steps: u64) -> MetricSet {
         })
         .count();
     m.set("variance_quarantines", variance_quarantines as f64);
+    obs::emit(obs::Json::obj([
+        ("scenario", obs::Json::str("f6")),
+        ("guarded", obs::Json::Bool(guarded)),
+        ("metrics", metrics_json(&m)),
+        ("health", health.stats_json()),
+        ("explanations", log.to_json()),
+    ]));
     m
 }
 
@@ -1142,6 +1310,20 @@ pub fn run_f6(reps: u32, steps: u64) -> Table {
     );
     let aggs = Replications::new(0xF6, reps)
         .run_matrix(&arms, |&guarded, seeds| f6_scenario(guarded, seeds, steps));
+    let labels: Vec<String> = arms
+        .iter()
+        .map(|&g| if g { "health-guarded" } else { "raw mean" }.to_string())
+        .collect();
+    RunTrace {
+        experiment: "f6",
+        seed: 0xF6,
+        replicates: reps,
+        steps,
+        config: &format!("f6 arms={labels:?} steps={steps} sensors={F6_SENSORS}"),
+        arms: &labels,
+        reports: &aggs,
+    }
+    .export();
     for (guarded, agg) in arms.iter().zip(&aggs) {
         table.row_owned(vec![
             if *guarded {
@@ -1186,6 +1368,34 @@ mod fault_experiment_tests {
         let m = f5_scenario(&camnet::HandoverStrategy::Broadcast, SeedTree::new(7), 1800);
         assert!(m.get("pre_quality").unwrap_or(0.0) > 0.3);
         assert!(m.get("degradation_area").unwrap_or(-1.0) >= 0.0);
+    }
+
+    #[test]
+    fn f5_empty_pre_window_is_flagged_not_zeroed() {
+        // `steps < 3` puts the outage at tick 0, so no quality sample
+        // can precede it. The scenario used to divide by
+        // `pre.len().max(1)` and report `pre_quality = 0.0`, which
+        // makes the recovery predicate `q >= 0.95 * pre_quality`
+        // trivially true (`recovery_ticks = 0`) and zeroes the
+        // degradation area — silently optimistic nonsense. Now the
+        // replicate is flagged and the derived metrics are omitted.
+        for steps in [1u64, 2] {
+            let m = f5_scenario(
+                &camnet::HandoverStrategy::Broadcast,
+                SeedTree::new(1),
+                steps,
+            );
+            assert_eq!(m.get("pre_window_empty"), Some(1.0));
+            assert_eq!(m.get("pre_quality"), None);
+            assert_eq!(m.get("recovery_ticks"), None);
+            assert_eq!(m.get("degradation_area"), None);
+        }
+        // A usable horizon still reports the full metric set.
+        let m = f5_scenario(&camnet::HandoverStrategy::Broadcast, SeedTree::new(1), 300);
+        assert_eq!(m.get("pre_window_empty"), Some(0.0));
+        assert!(m.get("pre_quality").is_some());
+        assert!(m.get("recovery_ticks").is_some());
+        assert!(m.get("degradation_area").is_some());
     }
 
     #[test]
@@ -1449,6 +1659,13 @@ pub fn f7_scenario(
     m.set("model_fallbacks", f64::from(stats.fallbacks));
     m.set("model_repromotions", f64::from(stats.repromotions));
     m.set("explanations", log.len() as f64);
+    obs::emit(obs::Json::obj([
+        ("scenario", obs::Json::str("f7")),
+        ("arm", obs::Json::str(arm.label())),
+        ("metrics", metrics_json(&m)),
+        ("supervision", stats.to_json()),
+        ("explanations", log.to_json()),
+    ]));
     m
 }
 
@@ -1476,6 +1693,17 @@ pub fn run_f7(reps: u32, steps: u64) -> Table {
     let aggs = Replications::new(0xF7, reps).run_matrix(&arms, |&arm, seeds| {
         f7_scenario(arm, &f7_fault_plan(steps), seeds, steps)
     });
+    let labels: Vec<String> = arms.iter().map(|a| a.label().to_string()).collect();
+    RunTrace {
+        experiment: "f7",
+        seed: 0xF7,
+        replicates: reps,
+        steps,
+        config: &format!("f7 arms={labels:?} steps={steps}"),
+        arms: &labels,
+        reports: &aggs,
+    }
+    .export();
     for (arm, agg) in arms.iter().zip(&aggs) {
         table.row_owned(vec![
             arm.label().to_string(),
@@ -1724,6 +1952,19 @@ pub fn f8_scenario(arm: F8Arm, seeds: SeedTree, steps: u64) -> MetricSet {
                 + cloud.metrics.get(key).unwrap_or(0.0),
         );
     }
+    obs::emit(obs::Json::obj([
+        ("scenario", obs::Json::str("f8")),
+        ("arm", obs::Json::str(arm.label())),
+        ("metrics", metrics_json(&m)),
+        (
+            "explanations",
+            obs::Json::obj([
+                ("camnet", cam.comms_log.to_json()),
+                ("cpn", net.comms_log.to_json()),
+                ("cloud", cloud.comms_log.to_json()),
+            ]),
+        ),
+    ]));
     m
 }
 
@@ -1777,6 +2018,17 @@ pub fn run_f8(reps: u32, steps: u64) -> Table {
     );
     let aggs = Replications::new(0xF8, reps)
         .run_matrix(&arms, |&arm, seeds| f8_scenario(arm, seeds, steps));
+    let labels: Vec<String> = arms.iter().map(F8Arm::label).collect();
+    RunTrace {
+        experiment: "f8",
+        seed: 0xF8,
+        replicates: reps,
+        steps,
+        config: &format!("f8 arms={labels:?} steps={steps}"),
+        arms: &labels,
+        reports: &aggs,
+    }
+    .export();
     for (arm, agg) in arms.iter().zip(&aggs) {
         table.row_owned(vec![
             arm.label(),

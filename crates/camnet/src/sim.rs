@@ -8,6 +8,7 @@ use selfaware::comms::{CommsNetwork, CommsPolicy};
 use selfaware::explain::ExplanationLog;
 use selfaware::goals::{Direction, Goal, Objective};
 use selfaware::supervision::{ControlSource, Evidence, Supervisor, Verdict};
+use simkernel::obs;
 use simkernel::rng::SeedTree;
 use simkernel::{MetricSet, Tick, TimeSeries};
 use workloads::faults::{ChannelPlan, FaultKind, FaultPlan, ModelCorruptionKind};
@@ -209,6 +210,11 @@ pub fn run_camnet(cfg: &CamnetConfig, seeds: &SeedTree) -> CamnetResult {
     for t in 0..cfg.steps {
         let now = Tick(t);
 
+        // Phase spans (sense → act → decide) are profiling only: they
+        // read the wall clock and write into the thread-local obs
+        // sink, never into simulation state (see `simkernel::obs`).
+        let sense_span = obs::span("camnet:sense");
+
         // Apply scheduled camera faults before anything tracks.
         for ev in cfg.faults.events_at(now) {
             match ev.kind {
@@ -255,6 +261,8 @@ pub fn run_camnet(cfg: &CamnetConfig, seeds: &SeedTree) -> CamnetResult {
         for o in &mut objects {
             o.step(&mut obj_rng);
         }
+        drop(sense_span);
+        let act_span = obs::span("camnet:act");
         let mut tick_untracked = 0u64;
         for (oi, obj) in objects.iter().enumerate() {
             let pos = obj.position();
@@ -386,6 +394,9 @@ pub fn run_camnet(cfg: &CamnetConfig, seeds: &SeedTree) -> CamnetResult {
                 }
             }
         }
+
+        drop(act_span);
+        let _decide_span = obs::span("camnet:decide");
 
         // Score the affinity model: its "output" is the mean learned
         // score (NaN poison surfaces here immediately), its error the

@@ -8,6 +8,7 @@ use crate::strategy::Strategy;
 use selfaware::comms::{CommsNetwork, CommsPolicy, CommsStats};
 use selfaware::explain::ExplanationLog;
 use selfaware::goals::{Direction, Goal, Objective};
+use simkernel::obs;
 use simkernel::rng::SeedTree;
 use simkernel::stats::Percentiles;
 use simkernel::{MetricSet, Tick, TimeSeries};
@@ -354,6 +355,10 @@ pub fn run_scenario(cfg: &ScenarioConfig, seeds: &SeedTree) -> ScenarioResult {
         let now = Tick(t);
         let mut tick_outcomes: Vec<RequestOutcome> = Vec::new();
 
+        // Phase spans (sense → decide → act) are profiling only —
+        // timing never feeds simulation state (see `simkernel::obs`).
+        let sense_span = obs::span("cloudsim:sense");
+
         // Apply scheduled zone outages and model corruptions before
         // the controller observes the cluster.
         for ev in cfg.faults.events_at(now) {
@@ -375,6 +380,8 @@ pub fn run_scenario(cfg: &ScenarioConfig, seeds: &SeedTree) -> ScenarioResult {
 
         let rate = cfg.schedule.apply(rate_fn.rate(now), now);
         let count = poisson(rate, &mut arrivals_rng);
+        drop(sense_span);
+        let decide_span = obs::span("cloudsim:decide");
         match &mut plane {
             None => controller.begin_tick(&mut cluster, count, now, &mut strat_rng),
             Some(p) => {
@@ -382,6 +389,8 @@ pub fn run_scenario(cfg: &ScenarioConfig, seeds: &SeedTree) -> ScenarioResult {
                 p.tick(desired, &mut cluster, &cfg.channel, now, &mut comms_log);
             }
         }
+        drop(decide_span);
+        let _act_span = obs::span("cloudsim:act");
 
         for _ in 0..count {
             use rand::Rng as _;

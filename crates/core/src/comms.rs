@@ -48,6 +48,7 @@
 use crate::explain::{Explanation, ExplanationLog};
 use serde::{Deserialize, Serialize};
 use simkernel::delivery::DeliveryQueue;
+use simkernel::obs::{self, Json};
 use simkernel::Tick;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -208,6 +209,23 @@ pub struct CommsStats {
     pub partition_hits: u64,
     /// Same-tick exchanges (probe/fire) that failed.
     pub exchange_failures: u64,
+}
+
+impl CommsStats {
+    /// Structured export for run traces (see [`simkernel::obs`]).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("sent", Json::from(self.sent)),
+            ("delivered", Json::from(self.delivered)),
+            ("duplicates", Json::from(self.duplicates)),
+            ("retries", Json::from(self.retries)),
+            ("acked", Json::from(self.acked)),
+            ("expired", Json::from(self.expired)),
+            ("partition_hits", Json::from(self.partition_hits)),
+            ("exchange_failures", Json::from(self.exchange_failures)),
+        ])
+    }
 }
 
 /// A message delivered by [`CommsNetwork::step`].
@@ -402,6 +420,7 @@ impl<M: Clone> CommsNetwork<M> {
         now: Tick,
         log: &mut ExplanationLog,
     ) -> u64 {
+        let _span = obs::span("comms");
         let seq = self.bump_seq(src, dst);
         if let CommsPolicy::Reliable(cfg) = self.policy {
             self.pending.insert(
@@ -409,7 +428,10 @@ impl<M: Clone> CommsNetwork<M> {
                 Pending {
                     payload: payload.clone(),
                     sent_at: now.0,
-                    next_retry: now.0 + cfg.retry_backoff,
+                    // Saturating: `retry_backoff` is caller-supplied
+                    // and may be huge; a saturated deadline simply
+                    // means "never retries before the timeout".
+                    next_retry: now.0.saturating_add(cfg.retry_backoff),
                     attempts: 1,
                 },
             );
@@ -430,6 +452,7 @@ impl<M: Clone> CommsNetwork<M> {
         now: Tick,
         log: &mut ExplanationLog,
     ) -> Vec<Delivered<M>> {
+        let _span = obs::span("comms");
         // 1. Acks coming home confirm pending messages (before the
         // retry scan, so an acked message never retries this tick).
         self.land_acks(now);
@@ -512,11 +535,23 @@ impl<M: Clone> CommsNetwork<M> {
                         } else {
                             let attempt = p.attempts;
                             p.attempts += 1;
+                            // `1 << attempt.min(16)` cannot overflow:
+                            // the literal is inferred as u64 from the
+                            // `saturating_mul` receiver, and the
+                            // shift amount is clamped to 16 ≪ 64, so
+                            // the factor is at most 2¹⁶. The multiply
+                            // saturates, and the deadline add below
+                            // must too — `backoff_max` is
+                            // caller-supplied and may be near
+                            // `u64::MAX`, where `now + backoff`
+                            // would overflow (a panic in debug, a
+                            // *past-due* wrapped deadline in release;
+                            // the regression tests cover both).
                             let backoff = cfg
                                 .retry_backoff
                                 .saturating_mul(1 << attempt.min(16))
                                 .min(cfg.backoff_max.max(1));
-                            p.next_retry = now.0 + backoff;
+                            p.next_retry = now.0.saturating_add(backoff);
                             (false, Some((p.payload.clone(), attempt, backoff)))
                         }
                     }
@@ -559,6 +594,7 @@ impl<M: Clone> CommsNetwork<M> {
         now: Tick,
         log: &mut ExplanationLog,
     ) -> bool {
+        let _span = obs::span("comms");
         let seq = self.bump_seq(a, b);
         self.stats.sent += 1;
         let ask = self.transmit_logged(ch, a, b, seq, now, log);
@@ -590,6 +626,7 @@ impl<M: Clone> CommsNetwork<M> {
         now: Tick,
         log: &mut ExplanationLog,
     ) -> bool {
+        let _span = obs::span("comms");
         let seq = self.bump_seq(src, dst);
         self.stats.sent += 1;
         let o = self.transmit_logged(ch, src, dst, seq, now, log);

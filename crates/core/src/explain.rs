@@ -14,6 +14,7 @@
 //! bounded history an operator can query.
 
 use serde::{Deserialize, Serialize};
+use simkernel::obs::Json;
 use simkernel::Tick;
 use std::collections::VecDeque;
 use std::fmt;
@@ -106,6 +107,49 @@ impl Explanation {
             expected_utility,
         });
         self
+    }
+
+    /// Structured export for run traces (see [`simkernel::obs`]):
+    /// `{tick, action, factors: [[name, value]…], expected_utility,
+    /// rejected: [[action, utility]…]}`, with the optional fields
+    /// omitted when empty so records stay compact.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("tick".to_owned(), Json::from(self.at.0)),
+            ("action".to_owned(), Json::str(self.action.clone())),
+        ];
+        if !self.factors.is_empty() {
+            pairs.push((
+                "factors".to_owned(),
+                Json::Arr(
+                    self.factors
+                        .iter()
+                        .map(|f| Json::Arr(vec![Json::str(f.name.clone()), Json::from(f.value)]))
+                        .collect(),
+                ),
+            ));
+        }
+        if let Some(u) = self.expected_utility {
+            pairs.push(("expected_utility".to_owned(), Json::from(u)));
+        }
+        if !self.alternatives.is_empty() {
+            pairs.push((
+                "rejected".to_owned(),
+                Json::Arr(
+                    self.alternatives
+                        .iter()
+                        .map(|a| {
+                            Json::Arr(vec![
+                                Json::str(a.action.clone()),
+                                Json::from(a.expected_utility),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+        Json::Obj(pairs)
     }
 }
 
@@ -255,6 +299,24 @@ impl ExplanationLog {
             .iter()
             .filter(|e| e.action.contains(needle))
             .collect()
+    }
+
+    /// Structured export for run traces (see [`simkernel::obs`]):
+    /// `{recorded, dropped, entries: […]}` with entries oldest first.
+    /// Everything the ring retains, plus the counters that say how
+    /// much lifetime history the bounded buffer evicted — so an
+    /// artifact reader knows whether it is looking at the whole story
+    /// or its tail.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("recorded", Json::from(self.recorded)),
+            ("dropped", Json::from(self.dropped)),
+            (
+                "entries",
+                Json::Arr(self.entries.iter().map(Explanation::to_json).collect()),
+            ),
+        ])
     }
 }
 

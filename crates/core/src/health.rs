@@ -28,6 +28,7 @@ use crate::models::holt::Holt;
 use crate::models::{Forecaster, OnlineModel};
 use std::collections::BTreeMap;
 
+use simkernel::obs::Json;
 use simkernel::Tick;
 
 /// Tuning knobs for [`SensorHealth`].
@@ -482,6 +483,18 @@ impl SensorHealth {
     #[must_use]
     pub fn restore_events(&self) -> u64 {
         self.restore_events
+    }
+
+    /// Structured export for run traces (see [`simkernel::obs`]):
+    /// lifetime event counters plus the current quarantine census.
+    #[must_use]
+    pub fn stats_json(&self) -> Json {
+        Json::obj([
+            ("monitored", Json::from(self.monitored_count() as u64)),
+            ("quarantined", Json::from(self.quarantined_count() as u64)),
+            ("quarantine_events", Json::from(self.quarantine_events)),
+            ("restore_events", Json::from(self.restore_events)),
+        ])
     }
 }
 

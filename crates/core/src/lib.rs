@@ -88,6 +88,10 @@ pub mod sensors;
 pub mod supervision;
 pub mod whatif;
 
+/// Crate version, recorded in run-trace provenance (see
+/// [`simkernel::obs`]).
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
 /// Convenient glob-import of the most used items.
 pub mod prelude {
     pub use crate::agent::{AgentBuilder, SelfAwareAgent};

@@ -30,6 +30,7 @@
 use crate::explain::{Explanation, ExplanationLog};
 use crate::meta::ResidualTracker;
 use crate::models::drift::{DriftDetector, PageHinkley};
+use simkernel::obs::Json;
 use simkernel::Tick;
 use std::sync::Arc;
 
@@ -221,6 +222,21 @@ pub struct SupervisionStats {
     pub repromotions: u32,
     /// Checkpoints taken.
     pub checkpoints: u32,
+}
+
+impl SupervisionStats {
+    /// Structured export for run traces (see [`simkernel::obs`]).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("warns", Json::from(self.warns)),
+            ("rollbacks", Json::from(self.rollbacks)),
+            ("fallbacks", Json::from(self.fallbacks)),
+            ("probe_failures", Json::from(self.probe_failures)),
+            ("repromotions", Json::from(self.repromotions)),
+            ("checkpoints", Json::from(self.checkpoints)),
+        ])
+    }
 }
 
 /// A reflective wrapper supervising one controller or self-model.

@@ -6,6 +6,7 @@ use crate::routing::{Router, RoutingStrategy};
 use selfaware::comms::{CommsNetwork, CommsPolicy};
 use selfaware::explain::ExplanationLog;
 use selfaware::supervision::{Evidence, Supervisor, Verdict};
+use simkernel::obs;
 use simkernel::rng::SeedTree;
 use simkernel::{MetricSet, Tick, TimeSeries};
 use workloads::faults::{ChannelPlan, FaultKind, FaultPlan, ModelCorruptionKind};
@@ -336,6 +337,11 @@ pub fn run_cpn(cfg: &CpnConfig, seeds: &SeedTree) -> CpnResult {
     for t in 0..cfg.steps {
         let now = Tick(t);
 
+        // Phase spans (sense → decide → act) are profiling only —
+        // wall-clock measurement into the thread-local obs sink,
+        // never an input to routing (see `simkernel::obs`).
+        let sense_span = obs::span("cpn:sense");
+
         // Apply scheduled link faults before anything routes.
         for ev in cfg.faults.events_at(now) {
             match ev.kind {
@@ -385,6 +391,8 @@ pub fn run_cpn(cfg: &CpnConfig, seeds: &SeedTree) -> CpnResult {
                 .position(|&x| x == v)
                 .map_or(0, |k| effective[u][k])
         };
+        drop(sense_span);
+        let decide_span = obs::span("cpn:decide");
         router.maintain(&graph, now, qlen);
         if let Some(s) = &mut supervision {
             s.baseline.maintain(&graph, now, qlen);
@@ -416,6 +424,9 @@ pub fn run_cpn(cfg: &CpnConfig, seeds: &SeedTree) -> CpnResult {
                 s.baseline.set_congestion(&congestion);
             }
         }
+
+        drop(decide_span);
+        let act_span = obs::span("cpn:act");
 
         // Inject new packets.
         for flow in &cfg.flows {
@@ -571,6 +582,8 @@ pub fn run_cpn(cfg: &CpnConfig, seeds: &SeedTree) -> CpnResult {
             }
         }
 
+        drop(act_span);
+
         // Control-plane exchange: each router reports its end-of-tick
         // queue lengths; the delivery queue hands the controller
         // whatever the channel let through (deduped and monotone —
@@ -591,6 +604,7 @@ pub fn run_cpn(cfg: &CpnConfig, seeds: &SeedTree) -> CpnResult {
         // Meta-self-awareness: score the model's best-case delay
         // estimates against realized deliveries and let the
         // supervisor checkpoint / roll back / bench the live router.
+        let _decide_span = obs::span("cpn:decide");
         if let Some(s) = &mut supervision {
             if tick_delay_count > 0 {
                 let mean = tick_delay_sum / tick_delay_count as f64;

@@ -4,6 +4,7 @@
 use crate::core::{Core, CoreSpec};
 use crate::sched::Scheduler;
 use selfaware::goals::{Direction, Goal, Objective};
+use simkernel::obs;
 use simkernel::rng::SeedTree;
 use simkernel::{MetricSet, Tick, TimeSeries};
 use workloads::faults::{FaultKind, FaultPlan};
@@ -134,6 +135,10 @@ pub fn run_multicore(cfg: &MulticoreConfig, seeds: &SeedTree) -> MulticoreResult
     for t in 0..cfg.steps {
         let now = Tick(t);
 
+        // Phase spans (sense → decide → act) are profiling only —
+        // timing never feeds scheduling (see `simkernel::obs`).
+        let sense_span = obs::span("multicore:sense");
+
         // Apply scheduled core faults before anything schedules.
         for ev in cfg.faults.events_at(now) {
             match ev.kind {
@@ -155,6 +160,8 @@ pub fn run_multicore(cfg: &MulticoreConfig, seeds: &SeedTree) -> MulticoreResult
             }
         }
 
+        drop(sense_span);
+        let decide_span = obs::span("multicore:decide");
         controller.begin_tick(&mut cores, now);
         for task in stream.emit(now) {
             arrived += 1;
@@ -162,6 +169,8 @@ pub fn run_multicore(cfg: &MulticoreConfig, seeds: &SeedTree) -> MulticoreResult
             let idx = redirect_online(&cores, idx);
             cores[idx].enqueue(task);
         }
+        drop(decide_span);
+        let _act_span = obs::span("multicore:act");
         #[allow(clippy::needless_range_loop)]
         // index needed: controller.feedback borrows alongside cores[i]
         for i in 0..cores.len() {

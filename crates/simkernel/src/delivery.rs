@@ -64,7 +64,13 @@ impl<T> DeliveryQueue<T> {
     /// ordered by (arrival tick, insertion order).
     pub fn due(&mut self, now: Tick) -> Vec<T> {
         let mut out = Vec::new();
-        let later = self.slots.split_off(&(now.0 + 1));
+        // At `now = u64::MAX` everything is due; splitting at
+        // `now + 1` would overflow (hit by comms configs whose
+        // saturated retry deadlines step the protocol at Tick MAX).
+        let later = now
+            .0
+            .checked_add(1)
+            .map_or_else(BTreeMap::new, |bound| self.slots.split_off(&bound));
         for (_, mut batch) in std::mem::replace(&mut self.slots, later) {
             out.append(&mut batch);
         }
@@ -116,6 +122,15 @@ mod tests {
         let mut q = DeliveryQueue::new();
         q.schedule(Tick(0), 7u32);
         assert_eq!(q.due(Tick(0)), vec![7]);
+    }
+
+    #[test]
+    fn due_at_tick_max_drains_everything() {
+        let mut q = DeliveryQueue::new();
+        q.schedule(Tick(0), "a");
+        q.schedule(Tick(u64::MAX), "b");
+        assert_eq!(q.due(Tick(u64::MAX)), vec!["a", "b"]);
+        assert!(q.is_empty());
     }
 
     #[test]

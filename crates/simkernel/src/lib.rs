@@ -27,7 +27,11 @@
 //!   independently-seeded replicates and aggregates metrics;
 //! * [`parallel`] — order-preserving parallel map primitives that keep
 //!   multi-core runs bit-identical to sequential ones (worker count
-//!   from `available_parallelism`, overridable via `SAS_THREADS`).
+//!   from `available_parallelism`, overridable via `SAS_THREADS`);
+//! * [`obs`] — structured observability: `SAS_OBS`-gated phase
+//!   profiling spans, per-replicate record emission, and a JSONL
+//!   run-trace writer, all guaranteed never to feed simulation state
+//!   (so parity holds with observability on or off).
 //!
 //! ## Example
 //!
@@ -52,6 +56,7 @@
 pub mod clock;
 pub mod delivery;
 pub mod events;
+pub mod obs;
 pub mod parallel;
 pub mod rng;
 pub mod runner;
@@ -62,9 +67,13 @@ pub mod table;
 pub use clock::{Clock, Tick};
 pub use delivery::DeliveryQueue;
 pub use events::EventQueue;
+pub use obs::{Json, PhaseProfile};
 pub use parallel::{par_map, par_map_index, try_par_map_index, worker_count};
 pub use rng::SeedTree;
 pub use runner::{Aggregate, MetricKey, MetricSet, ReplicateError, Replications, RunReport};
 pub use series::TimeSeries;
 pub use stats::OnlineStats;
 pub use table::Table;
+
+/// Crate version, recorded in run-trace provenance (see [`obs`]).
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

@@ -7,12 +7,14 @@
 //! identical across strategies (common random numbers, which sharpens
 //! the comparisons the paper's hypothesis calls for).
 
+use crate::obs::{self, Json, PhaseProfile, ReplicateObs};
 use crate::parallel::{panic_message, par_map_index, worker_count};
 use crate::rng::SeedTree;
 use crate::stats::OnlineStats;
 use std::borrow::Cow;
 use std::collections::BTreeMap;
 use std::ops::Deref;
+use std::time::Instant;
 
 /// Metric name: `&'static str` in the common literal-key case (no
 /// allocation on the per-tick hot path), owned `String` when built at
@@ -170,12 +172,36 @@ pub struct ReplicateError {
 /// Dereferences to [`Aggregate`], so `report.mean("x")` keeps working
 /// at existing call sites; [`RunReport::excluded`] says how many
 /// replicates the aggregate does *not* include.
-#[derive(Debug, Clone, Default, PartialEq)]
+///
+/// When observability is on (see [`crate::obs`]) the report also
+/// carries per-replicate structured [`RunReport::records`] and a
+/// merged phase-timing [`RunReport::profile`]; every guarded run
+/// additionally measures [`RunReport::wall_secs`]. Equality
+/// deliberately **excludes the timing fields** (`profile`,
+/// `wall_secs`): they are wall-clock measurements, never bit-stable
+/// across runs, while everything else is part of the deterministic
+/// parity contract. Emitted `records` *are* compared — they are pure
+/// functions of the seeds whenever observability state is the same on
+/// both sides.
+#[derive(Debug, Clone, Default)]
 pub struct RunReport {
     aggregate: Aggregate,
     completed: u32,
     recovered: Vec<u32>,
     errors: Vec<ReplicateError>,
+    records: Vec<Vec<Json>>,
+    profile: PhaseProfile,
+    wall_secs: f64,
+}
+
+impl PartialEq for RunReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.aggregate == other.aggregate
+            && self.completed == other.completed
+            && self.recovered == other.recovered
+            && self.errors == other.errors
+            && self.records == other.records
+    }
 }
 
 impl RunReport {
@@ -211,6 +237,32 @@ impl RunReport {
     pub fn excluded(&self) -> u32 {
         self.errors.len() as u32
     }
+
+    /// Per-replicate structured records emitted via
+    /// [`crate::obs::emit`], indexed by replicate (empty `Vec` for a
+    /// replicate that emitted nothing or failed; all empty when
+    /// observability is off).
+    #[must_use]
+    pub fn records(&self) -> &[Vec<Json>] {
+        &self.records
+    }
+
+    /// Phase-timing profile merged over all completed replicates
+    /// (empty when observability is off). Measurement only — never
+    /// part of report equality.
+    #[must_use]
+    pub fn profile(&self) -> &PhaseProfile {
+        &self.profile
+    }
+
+    /// Wall-clock seconds of the engine call that produced this
+    /// report (for a matrix run: the whole matrix, since cells from
+    /// all arms share one work queue). Always measured; never part of
+    /// report equality.
+    #[must_use]
+    pub fn wall_secs(&self) -> f64 {
+        self.wall_secs
+    }
 }
 
 impl Deref for RunReport {
@@ -228,17 +280,28 @@ enum CellOutcome {
     Failed { panic: String, retry_panic: String },
 }
 
+/// One guarded replicate's outcome plus whatever it observed
+/// (observations are empty when observability is off or the cell
+/// failed — a failed attempt's partial spans/records are discarded so
+/// traces only describe completed replicates).
+struct Cell {
+    outcome: CellOutcome,
+    obs: ReplicateObs,
+}
+
 /// Runs `attempt` under `catch_unwind`, mapping a panic to its
 /// message.
 fn catch_metrics<G: FnOnce() -> MetricSet>(attempt: G) -> Result<MetricSet, String> {
     std::panic::catch_unwind(std::panic::AssertUnwindSafe(attempt)).map_err(|p| panic_message(&*p))
 }
 
-/// Folds per-replicate outcomes (in replicate order) into a report.
-fn report_from(outcomes: impl IntoIterator<Item = CellOutcome>) -> RunReport {
+/// Folds per-replicate cells (in replicate order) into a report.
+fn report_from(cells: impl IntoIterator<Item = Cell>) -> RunReport {
     let mut report = RunReport::default();
-    for (k, outcome) in outcomes.into_iter().enumerate() {
-        match outcome {
+    for (k, cell) in cells.into_iter().enumerate() {
+        report.profile.merge(&cell.obs.profile);
+        report.records.push(cell.obs.records);
+        match cell.outcome {
             CellOutcome::Done(m) => {
                 report.aggregate.absorb(&m);
                 report.completed += 1;
@@ -258,6 +321,14 @@ fn report_from(outcomes: impl IntoIterator<Item = CellOutcome>) -> RunReport {
         }
     }
     report
+}
+
+/// Stamps a report (or several) with the wall clock of producing it.
+fn timed<T>(f: impl FnOnce() -> T, stamp: impl FnOnce(&mut T, f64)) -> T {
+    let t0 = Instant::now();
+    let mut out = f();
+    stamp(&mut out, t0.elapsed().as_secs_f64());
+    out
 }
 
 /// Runs a scenario over R common-random-number replicates.
@@ -321,13 +392,31 @@ impl Replications {
 
     /// Runs a guarded replicate: attempt, retry once on a fresh seed
     /// branch, surface both panic messages if the retry dies too.
-    fn guarded_cell(&self, k: u32, run: &dyn Fn(SeedTree) -> MetricSet) -> CellOutcome {
-        match catch_metrics(|| run(self.seeds_for(k))) {
-            Ok(m) => CellOutcome::Done(m),
-            Err(panic) => match catch_metrics(|| run(self.retry_seeds_for(k))) {
-                Ok(m) => CellOutcome::Recovered(m),
-                Err(retry_panic) => CellOutcome::Failed { panic, retry_panic },
+    /// Each attempt observes into its own sink (see
+    /// [`crate::obs::with_sink`]); only a *completed* attempt's
+    /// observations survive, so the trace never mixes spans from a
+    /// panicked attempt with its retry's.
+    fn guarded_cell(&self, k: u32, run: &dyn Fn(SeedTree) -> MetricSet) -> Cell {
+        let (first, obs) = obs::with_sink(|| catch_metrics(|| run(self.seeds_for(k))));
+        match first {
+            Ok(m) => Cell {
+                outcome: CellOutcome::Done(m),
+                obs,
             },
+            Err(panic) => {
+                let (retry, obs) =
+                    obs::with_sink(|| catch_metrics(|| run(self.retry_seeds_for(k))));
+                match retry {
+                    Ok(m) => Cell {
+                        outcome: CellOutcome::Recovered(m),
+                        obs,
+                    },
+                    Err(retry_panic) => Cell {
+                        outcome: CellOutcome::Failed { panic, retry_panic },
+                        obs: ReplicateObs::default(),
+                    },
+                }
+            }
         }
     }
 
@@ -358,7 +447,10 @@ impl Replications {
     where
         F: Fn(SeedTree) -> MetricSet,
     {
-        report_from((0..self.count).map(|k| self.guarded_cell(k, &scenario)))
+        timed(
+            || report_from((0..self.count).map(|k| self.guarded_cell(k, &scenario))),
+            |r, secs| r.wall_secs = secs,
+        )
     }
 
     /// Runs `scenario` once per replicate **in parallel** and
@@ -407,10 +499,15 @@ impl Replications {
     where
         F: Fn(SeedTree) -> MetricSet + Sync,
     {
-        let outcomes = par_map_index(self.count as usize, threads, |k| {
-            self.guarded_cell(k as u32, &scenario)
-        });
-        report_from(outcomes)
+        timed(
+            || {
+                let cells = par_map_index(self.count as usize, threads, |k| {
+                    self.guarded_cell(k as u32, &scenario)
+                });
+                report_from(cells)
+            },
+            |r, secs| r.wall_secs = secs,
+        )
     }
 
     /// Fans a whole *strategy × replicate* matrix out over the worker
@@ -447,16 +544,27 @@ impl Replications {
     {
         let reps = self.count as usize;
         let cells = arms.len() * reps;
-        let outcomes = par_map_index(cells, threads, |cell| {
-            let (arm, k) = (cell / reps, cell % reps);
-            self.guarded_cell(k as u32, &|seeds| scenario(&arms[arm], seeds))
-        });
-        let mut arm_outcomes: Vec<Vec<CellOutcome>> = Vec::with_capacity(arms.len());
-        let mut it = outcomes.into_iter();
-        for _ in 0..arms.len() {
-            arm_outcomes.push(it.by_ref().take(reps).collect());
-        }
-        arm_outcomes.into_iter().map(report_from).collect()
+        timed(
+            || {
+                let outcomes = par_map_index(cells, threads, |cell| {
+                    let (arm, k) = (cell / reps, cell % reps);
+                    self.guarded_cell(k as u32, &|seeds| scenario(&arms[arm], seeds))
+                });
+                let mut arm_outcomes: Vec<Vec<Cell>> = Vec::with_capacity(arms.len());
+                let mut it = outcomes.into_iter();
+                for _ in 0..arms.len() {
+                    arm_outcomes.push(it.by_ref().take(reps).collect());
+                }
+                arm_outcomes.into_iter().map(report_from).collect()
+            },
+            |reports: &mut Vec<RunReport>, secs| {
+                // Cells from every arm share one work queue, so the
+                // only meaningful wall clock is the whole matrix's.
+                for r in reports {
+                    r.wall_secs = secs;
+                }
+            },
+        )
     }
 }
 
@@ -695,6 +803,99 @@ mod tests {
             assert_eq!(matrix[0].stats("v").map(|s| s.count()), Some(6));
             assert_eq!(matrix[1].stats("v").map(|s| s.count()), Some(5));
         }
+    }
+
+    /// `set_override` is process-global, and these tests share one
+    /// binary with the rest of the suite — serialize the ones that
+    /// flip it.
+    fn obs_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Scenario that emits one record and opens one span per
+    /// replicate — results depend only on the seeds, never on obs.
+    fn observing_scenario(seeds: SeedTree) -> MetricSet {
+        let _tick = crate::obs::span("test:phase");
+        let mut rng = seeds.rng("s");
+        let mut m = MetricSet::new();
+        let v = rng.gen::<f64>();
+        m.set("v", v);
+        crate::obs::emit(Json::obj([("v", Json::from(v))]));
+        m
+    }
+
+    #[test]
+    fn report_collects_records_and_profile_when_enabled() {
+        let _guard = obs_lock();
+        crate::obs::set_override(Some(true));
+        let reps = Replications::new(0x0B5, 5);
+        let report = reps.run_par_threads(3, observing_scenario);
+        crate::obs::set_override(None);
+        assert_eq!(report.records().len(), 5);
+        for (k, records) in report.records().iter().enumerate() {
+            assert_eq!(records.len(), 1, "replicate {k} emitted one record");
+            assert!(records[0].get("v").is_some());
+        }
+        let phase = report
+            .profile()
+            .phase("test:phase")
+            .expect("spans recorded");
+        assert_eq!(phase.stats.count(), 5);
+        assert!(report.wall_secs() > 0.0);
+    }
+
+    #[test]
+    fn report_records_empty_when_disabled() {
+        let _guard = obs_lock();
+        crate::obs::set_override(Some(false));
+        let reps = Replications::new(0x0B5, 4);
+        let report = reps.run_par_threads(2, observing_scenario);
+        crate::obs::set_override(None);
+        assert_eq!(report.records().len(), 4);
+        assert!(report.records().iter().all(Vec::is_empty));
+        assert!(report.profile().is_empty());
+        // Wall clock is still measured: it is cheap and feeds nothing.
+        assert!(report.wall_secs() > 0.0);
+    }
+
+    #[test]
+    fn obs_toggle_never_changes_results_and_timing_is_excluded_from_eq() {
+        let _guard = obs_lock();
+        let reps = Replications::new(0x0B5E, 6);
+        crate::obs::set_override(Some(false));
+        let off = reps.run_par_threads(4, observing_scenario);
+        crate::obs::set_override(Some(true));
+        let on_seq = reps.run_try(observing_scenario);
+        let on_par = reps.run_par_threads(4, observing_scenario);
+        crate::obs::set_override(None);
+        // Simulation outputs are bit-identical with obs on or off…
+        assert_eq!(off.aggregate(), on_seq.aggregate());
+        // …and full reports (incl. emitted records) are identical
+        // across thread counts, despite different wall clocks.
+        assert_eq!(on_seq, on_par);
+        assert_ne!(on_seq.wall_secs(), 0.0);
+    }
+
+    #[test]
+    fn failed_attempt_observations_are_discarded() {
+        let _guard = obs_lock();
+        crate::obs::set_override(Some(true));
+        let reps = Replications::new(0xDEAD, 4);
+        let poison = reps.seeds_for(2).raw();
+        let scenario = move |seeds: SeedTree| {
+            crate::obs::emit(Json::str("attempt"));
+            assert!(seeds.raw() != poison, "poisoned replicate");
+            observing_scenario(seeds)
+        };
+        let report = reps.run_par_threads(2, scenario);
+        crate::obs::set_override(None);
+        assert_eq!(report.recovered(), &[2]);
+        // The recovered replicate's records come from the retry only:
+        // one "attempt" marker plus one observing_scenario record.
+        assert_eq!(report.records()[2].len(), 2);
+        assert_eq!(report.records()[0].len(), 2);
     }
 
     #[test]
