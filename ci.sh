@@ -42,6 +42,19 @@ echo "==> cargo run -p sas-bench --bin obs_validate"
 cargo run --offline -p sas-bench --bin obs_validate
 rm -rf target/obs
 
+# Perf-trajectory smoke: regenerate the macro-bench document at
+# reduced steps/reps and schema-check both it and the committed
+# BENCH_6.json. This gates on SCHEMA DRIFT only — a renamed arm,
+# missing field, or malformed histogram fails here; machine-local
+# timing differences never do.
+echo "==> cargo run -p sas-bench --bin perfbench -- --smoke"
+PERF_SMOKE_OUT="$(mktemp -t perfbench_smoke.XXXXXX.json)"
+trap 'rm -f "$PERF_SMOKE_OUT"' EXIT
+cargo run --offline --release -p sas-bench --bin perfbench -- --smoke --out "$PERF_SMOKE_OUT"
+cargo run --offline --release -p sas-bench --bin perfbench -- --validate "$PERF_SMOKE_OUT"
+echo "==> perfbench --validate BENCH_6.json (committed trajectory)"
+cargo run --offline --release -p sas-bench --bin perfbench -- --validate BENCH_6.json
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

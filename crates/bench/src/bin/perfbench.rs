@@ -1,0 +1,116 @@
+//! Regenerates (or validates) the committed perf envelope,
+//! `BENCH_6.json`. See `sas_bench::perf` for the schema and DESIGN.md
+//! ("Performance") for the rules it enforces.
+//!
+//! Usage:
+//!
+//! * `cargo run --release -p sas-bench --bin perfbench`
+//!   — full run; writes `BENCH_6.json` at the repo root.
+//! * `... -- --smoke [--out PATH]`
+//!   — reduced steps/reps (CI); same schema, machine-local timings.
+//! * `... -- --validate PATH`
+//!   — schema-check an existing document; exits non-zero on drift.
+//!   No benchmarks run in this mode.
+//!
+//! `--out PATH` overrides the output path in the generating modes.
+
+use sas_bench::perf;
+use simkernel::obs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    smoke: bool,
+    out: Option<PathBuf>,
+    validate: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        smoke: false,
+        out: None,
+        validate: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => args.smoke = true,
+            "--out" => {
+                args.out = Some(PathBuf::from(
+                    it.next().ok_or("--out requires a path".to_string())?,
+                ));
+            }
+            "--validate" => {
+                args.validate = Some(PathBuf::from(
+                    it.next().ok_or("--validate requires a path".to_string())?,
+                ));
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("perfbench: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if let Some(path) = args.validate {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("perfbench: cannot read {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let doc = match obs::parse(&text) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("perfbench: {} is not valid JSON: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        return match perf::validate_bench(&doc) {
+            Ok(()) => {
+                println!("perfbench: {} conforms to the schema", path.display());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("perfbench: schema drift in {}: {e}", path.display());
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let out = match args.out.or_else(perf::default_bench_path) {
+        Some(p) => p,
+        None => {
+            eprintln!("perfbench: cannot locate the workspace root (no Cargo.lock ancestor); pass --out PATH");
+            return ExitCode::FAILURE;
+        }
+    };
+    let start = std::time::Instant::now();
+    let doc = perf::run_perfbench(args.smoke, |line| eprintln!("perfbench: {line}"));
+    if let Err(e) = perf::validate_bench(&doc) {
+        eprintln!("perfbench: generated document fails its own schema: {e}");
+        return ExitCode::FAILURE;
+    }
+    let mut text = doc.render();
+    text.push('\n');
+    if let Err(e) = std::fs::write(&out, text) {
+        eprintln!("perfbench: cannot write {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "perfbench: wrote {} in {:.2?} ({} mode)",
+        out.display(),
+        start.elapsed(),
+        if args.smoke { "smoke" } else { "full" }
+    );
+    ExitCode::SUCCESS
+}

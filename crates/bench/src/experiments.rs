@@ -1212,6 +1212,7 @@ pub fn f6_scenario(guarded: bool, seeds: SeedTree, steps: u64) -> MetricSet {
 
     for t in 0..steps {
         let now = Tick(t);
+        let sense_span = obs::span("f6:sense");
         let truth = gen.sample(now);
         let mut trusted: Vec<f64> = Vec::with_capacity(F6_SENSORS);
         let mut any_fault = false;
@@ -1242,6 +1243,8 @@ pub fn f6_scenario(guarded: bool, seeds: SeedTree, steps: u64) -> MetricSet {
                 trusted.push(x);
             }
         }
+        drop(sense_span);
+        let _decide_span = obs::span("f6:decide");
         // With every sensor distrusted (or silent), hold the last
         // estimate — the degraded-mode fallback.
         let est = if trusted.is_empty() {
@@ -1548,6 +1551,7 @@ pub fn f7_scenario(
 
     for t in 0..steps {
         let now = Tick(t);
+        let sense_span = obs::span("f7:sense");
         let x = gen.sample(now);
 
         // Corruption strikes before the tick's model update, as in the
@@ -1576,6 +1580,8 @@ pub fn f7_scenario(
             }
         }
         let frozen = frozen_until.is_some_and(|until| now < until);
+        drop(sense_span);
+        let _decide_span = obs::span("f7:decide");
 
         // Score yesterday's control decision against today's truth.
         if let Some(c) = control {

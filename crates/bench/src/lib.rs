@@ -14,5 +14,6 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod perf;
 
 pub use experiments::*;

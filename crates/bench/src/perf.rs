@@ -1,0 +1,375 @@
+//! `perfbench`: the committed macro-benchmark harness behind
+//! `BENCH_<n>.json`.
+//!
+//! The repo's self-awareness loop is only credible at scale if its own
+//! runtime cost is measured and held: this module runs the F5–F8
+//! experiment scenarios under forced observability (`SAS_OBS=1`
+//! semantics via [`obs::set_override`]) with **fixed seeds, steps and
+//! replicate counts**, and renders one JSON document containing, per
+//! experiment arm:
+//!
+//! * wall-clock seconds at `SAS_THREADS` 1, 2 and 4 (explicit worker
+//!   counts — the process environment is never touched);
+//! * replicate throughput (completed replicates per second) at each
+//!   worker count;
+//! * the merged per-phase (sense/decide/act/comms) profile from
+//!   [`simkernel::obs::PhaseProfile`], including the log2-ns latency
+//!   histograms, taken from the single-worker run;
+//!
+//! plus process-wide peak RSS ([`obs::read_peak_rss`], `null` off
+//! Linux). The document is committed at the repo root as
+//! `BENCH_<n>.json` so every future PR claiming a speedup (or risking
+//! a slowdown) has a trajectory to cite. CI regenerates a `--smoke`
+//! variant and validates **schema only** — timings are
+//! machine-dependent and must never gate a build.
+//!
+//! Arm labels are exactly the labels `run_f5`..`run_f8` print, so
+//! benchmark arms and experiment arms cannot silently diverge (see
+//! EXPERIMENTS.md).
+
+use crate::experiments::{
+    f5_scenario, f6_scenario, f7_fault_plan, f7_scenario, f8_arms, f8_scenario, F7Arm,
+};
+use simkernel::obs::{self, Json};
+use simkernel::{MetricSet, Replications, SeedTree};
+use std::path::{Path, PathBuf};
+
+/// Worker counts the harness scales over.
+pub const BENCH_THREADS: [usize; 3] = [1, 2, 4];
+/// Replicates per arm in full mode (≥ 4 so the `t4` column has real
+/// work to scale over).
+pub const FULL_REPS: u32 = 5;
+/// Replicates per arm in `--smoke` mode.
+pub const SMOKE_REPS: u32 = 2;
+/// Sequence number of the committed benchmark document this code
+/// emits (`BENCH_6.json`).
+pub const BENCH_VERSION: u64 = 6;
+
+/// One benchmark arm: a label (identical to the experiment table's
+/// arm label) and the replicate scenario behind it.
+struct ArmSpec {
+    label: String,
+    run: Box<dyn Fn(SeedTree) -> MetricSet + Sync + Send>,
+}
+
+/// One experiment's fixed benchmark parameters.
+struct ExpSpec {
+    name: &'static str,
+    seed: u64,
+    steps: u64,
+    arms: Vec<ArmSpec>,
+}
+
+fn experiment_specs(smoke: bool) -> Vec<ExpSpec> {
+    let pick = |full: u64, quick: u64| if smoke { quick } else { full };
+
+    let f5_steps = pick(4_000, 250);
+    let f5_arms: Vec<ArmSpec> = [
+        camnet::HandoverStrategy::Broadcast,
+        camnet::HandoverStrategy::Static { k: 3 },
+        camnet::HandoverStrategy::self_aware_default(),
+    ]
+    .into_iter()
+    .map(|strategy| ArmSpec {
+        label: strategy.label(),
+        run: Box::new(move |seeds| f5_scenario(&strategy, seeds, f5_steps)),
+    })
+    .collect();
+
+    let f6_steps = pick(6_000, 400);
+    let f6_arms: Vec<ArmSpec> = [false, true]
+        .into_iter()
+        .map(|guarded| ArmSpec {
+            label: if guarded {
+                "health-guarded"
+            } else {
+                "raw mean"
+            }
+            .to_string(),
+            run: Box::new(move |seeds| f6_scenario(guarded, seeds, f6_steps)),
+        })
+        .collect();
+
+    let f7_steps = pick(6_000, 400);
+    let f7_arms: Vec<ArmSpec> = [F7Arm::Baseline, F7Arm::Unsupervised, F7Arm::Supervised]
+        .into_iter()
+        .map(|arm| {
+            let plan = f7_fault_plan(f7_steps);
+            ArmSpec {
+                label: arm.label().to_string(),
+                run: Box::new(move |seeds| f7_scenario(arm, &plan, seeds, f7_steps)),
+            }
+        })
+        .collect();
+
+    let f8_steps = pick(2_400, 200);
+    let f8_arm_specs: Vec<ArmSpec> = f8_arms()
+        .into_iter()
+        .map(|arm| ArmSpec {
+            label: arm.label(),
+            run: Box::new(move |seeds| f8_scenario(arm, seeds, f8_steps)),
+        })
+        .collect();
+
+    vec![
+        ExpSpec {
+            name: "f5",
+            seed: 0xF5,
+            steps: f5_steps,
+            arms: f5_arms,
+        },
+        ExpSpec {
+            name: "f6",
+            seed: 0xF6,
+            steps: f6_steps,
+            arms: f6_arms,
+        },
+        ExpSpec {
+            name: "f7",
+            seed: 0xF7,
+            steps: f7_steps,
+            arms: f7_arms,
+        },
+        ExpSpec {
+            name: "f8",
+            seed: 0xF8,
+            steps: f8_steps,
+            arms: f8_arm_specs,
+        },
+    ]
+}
+
+fn thread_key(threads: usize) -> String {
+    format!("t{threads}")
+}
+
+/// Runs the full harness and renders the benchmark document.
+///
+/// `progress` receives one human-readable line per finished
+/// (experiment, arm) pair; pass `|_| ()` for silence. Observability is
+/// forced on for the duration (the previous override is restored
+/// before returning), so phase profiles populate regardless of the
+/// caller's `SAS_OBS` environment.
+pub fn run_perfbench(smoke: bool, mut progress: impl FnMut(&str)) -> Json {
+    obs::set_override(Some(true));
+    let reps = if smoke { SMOKE_REPS } else { FULL_REPS };
+    let mut experiments = Vec::new();
+    for exp in experiment_specs(smoke) {
+        let replications = Replications::new(exp.seed, reps);
+        let mut arm_objs = Vec::new();
+        for arm in &exp.arms {
+            let mut walls = Vec::new();
+            let mut rates = Vec::new();
+            let mut phases = Json::Obj(Vec::new());
+            for &threads in &BENCH_THREADS {
+                let report = replications.run_par_threads(threads, |seeds| (arm.run)(seeds));
+                let wall = report.wall_secs().max(f64::MIN_POSITIVE);
+                walls.push((thread_key(threads), Json::from(report.wall_secs())));
+                rates.push((
+                    thread_key(threads),
+                    Json::from(f64::from(report.completed()) / wall),
+                ));
+                if threads == 1 {
+                    phases = report.profile().to_json();
+                }
+            }
+            progress(&format!("{}/{}: done", exp.name, arm.label));
+            arm_objs.push(Json::obj([
+                ("label", Json::str(arm.label.clone())),
+                ("wall_secs", Json::Obj(walls)),
+                ("reps_per_sec", Json::Obj(rates)),
+                ("phases", phases),
+            ]));
+        }
+        experiments.push(Json::obj([
+            ("experiment", Json::str(exp.name)),
+            ("seed", Json::from(exp.seed)),
+            ("steps", Json::from(exp.steps)),
+            ("reps", Json::from(reps)),
+            ("arms", Json::Arr(arm_objs)),
+        ]));
+    }
+    obs::set_override(None);
+    Json::obj([
+        ("record", Json::str("perfbench")),
+        ("bench", Json::from(BENCH_VERSION)),
+        ("mode", Json::str(if smoke { "smoke" } else { "full" })),
+        (
+            "threads",
+            Json::Arr(
+                BENCH_THREADS
+                    .iter()
+                    .map(|&t| Json::from(t as u64))
+                    .collect(),
+            ),
+        ),
+        (
+            "peak_rss_bytes",
+            obs::read_peak_rss().map_or(Json::Null, Json::from),
+        ),
+        ("experiments", Json::Arr(experiments)),
+    ])
+}
+
+/// Walks up from the current directory to the workspace root (the
+/// ancestor holding `Cargo.lock`) — where `BENCH_<n>.json` lives.
+#[must_use]
+pub fn repo_root() -> Option<PathBuf> {
+    let cwd = std::env::current_dir().ok()?;
+    cwd.ancestors()
+        .find(|d| d.join("Cargo.lock").is_file())
+        .map(Path::to_path_buf)
+}
+
+/// The default output path, `<repo root>/BENCH_6.json`.
+#[must_use]
+pub fn default_bench_path() -> Option<PathBuf> {
+    repo_root().map(|r| r.join(format!("BENCH_{BENCH_VERSION}.json")))
+}
+
+fn require<'a>(obj: &'a Json, key: &str, what: &str) -> Result<&'a Json, String> {
+    obj.get(key)
+        .ok_or_else(|| format!("{what}: missing key `{key}`"))
+}
+
+fn require_num(obj: &Json, key: &str, what: &str) -> Result<f64, String> {
+    require(obj, key, what)?
+        .as_num()
+        .ok_or_else(|| format!("{what}: `{key}` is not a number"))
+}
+
+/// Validates a benchmark document against the `perfbench` schema.
+///
+/// Checks structure only — record tag, experiment coverage (F5–F8),
+/// per-arm wall-clock/throughput maps over exactly
+/// [`BENCH_THREADS`], phase-profile summaries with histogram arrays,
+/// and a numeric-or-null peak RSS. Deliberately says nothing about
+/// the *values* of timings: those are machine-dependent and must not
+/// gate CI.
+pub fn validate_bench(doc: &Json) -> Result<(), String> {
+    if doc.get("record").and_then(Json::as_str) != Some("perfbench") {
+        return Err("top-level: `record` must be \"perfbench\"".into());
+    }
+    require_num(doc, "bench", "top-level")?;
+    let mode = require(doc, "mode", "top-level")?
+        .as_str()
+        .ok_or_else(|| "top-level: `mode` is not a string".to_string())?;
+    if mode != "full" && mode != "smoke" {
+        return Err(format!("top-level: unknown mode `{mode}`"));
+    }
+    match require(doc, "peak_rss_bytes", "top-level")? {
+        Json::Null | Json::Num(_) => {}
+        other => {
+            return Err(format!(
+                "top-level: peak_rss_bytes must be number or null, got {other:?}"
+            ))
+        }
+    }
+    let experiments = require(doc, "experiments", "top-level")?
+        .as_arr()
+        .ok_or_else(|| "top-level: `experiments` is not an array".to_string())?;
+    let mut names: Vec<&str> = Vec::new();
+    for exp in experiments {
+        let name = require(exp, "experiment", "experiment")?
+            .as_str()
+            .ok_or_else(|| "experiment: `experiment` is not a string".to_string())?;
+        names.push(name);
+        require_num(exp, "seed", name)?;
+        require_num(exp, "steps", name)?;
+        require_num(exp, "reps", name)?;
+        let arms = require(exp, "arms", name)?
+            .as_arr()
+            .ok_or_else(|| format!("{name}: `arms` is not an array"))?;
+        if arms.is_empty() {
+            return Err(format!("{name}: no arms"));
+        }
+        for arm in arms {
+            let label = require(arm, "label", name)?
+                .as_str()
+                .ok_or_else(|| format!("{name}: arm label is not a string"))?;
+            let what = format!("{name}/{label}");
+            for field in ["wall_secs", "reps_per_sec"] {
+                let by_threads = require(arm, field, &what)?;
+                for t in BENCH_THREADS {
+                    let v = require_num(by_threads, &thread_key(t), &format!("{what}.{field}"))?;
+                    if !v.is_finite() || v < 0.0 {
+                        return Err(format!("{what}.{field}.t{t}: non-finite or negative"));
+                    }
+                }
+            }
+            let phases = require(arm, "phases", &what)?;
+            let Json::Obj(pairs) = phases else {
+                return Err(format!("{what}: `phases` is not an object"));
+            };
+            if pairs.is_empty() {
+                return Err(format!(
+                    "{what}: empty phase profile — was observability off?"
+                ));
+            }
+            for (phase, stats) in pairs {
+                let pwhat = format!("{what}.phases.{phase}");
+                for key in [
+                    "count",
+                    "total_secs",
+                    "mean_secs",
+                    "min_secs",
+                    "max_secs",
+                    "p50_secs",
+                    "p95_secs",
+                    "p99_secs",
+                ] {
+                    require_num(stats, key, &pwhat)?;
+                }
+                let hist = require(stats, "hist", &pwhat)?
+                    .as_arr()
+                    .ok_or_else(|| format!("{pwhat}: `hist` is not an array"))?;
+                if hist.is_empty() {
+                    return Err(format!("{pwhat}: empty histogram"));
+                }
+            }
+        }
+    }
+    for expected in ["f5", "f6", "f7", "f8"] {
+        if !names.contains(&expected) {
+            return Err(format!("missing experiment `{expected}`"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn committed_bench_document_matches_schema() {
+        let path = default_bench_path().expect("workspace root with Cargo.lock");
+        // During early bootstrap the document may not exist yet; once
+        // committed, any schema drift fails here.
+        if !path.is_file() {
+            return;
+        }
+        let text = std::fs::read_to_string(&path).expect("readable BENCH json");
+        let doc = obs::parse(&text).expect("well-formed JSON");
+        validate_bench(&doc).expect("schema-valid committed benchmark document");
+        assert_eq!(
+            doc.get("mode").and_then(Json::as_str),
+            Some("full"),
+            "the committed document must come from a full run, not --smoke"
+        );
+    }
+
+    #[test]
+    fn validator_rejects_drift() {
+        let minimal = Json::obj([("record", Json::str("perfbench"))]);
+        assert!(validate_bench(&minimal).is_err());
+        let wrong_tag = Json::obj([("record", Json::str("bench"))]);
+        assert!(validate_bench(&wrong_tag).is_err());
+    }
+
+    #[test]
+    fn thread_keys_are_stable() {
+        assert_eq!(thread_key(1), "t1");
+        assert_eq!(thread_key(4), "t4");
+    }
+}

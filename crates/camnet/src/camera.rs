@@ -1,26 +1,21 @@
-//! Camera geometry and per-neighbour learned affinity.
+//! Camera geometry: position, field of view, tracking quality.
+//!
+//! The learned per-neighbour affinity state lives in
+//! [`crate::affinity::AffinityTable`] (struct-of-arrays, one
+//! contiguous slab for the whole network) rather than inside each
+//! camera — see that module for why.
 
 use workloads::trajectories::Point;
 
 /// A fixed smart camera with a circular field of view.
-///
-/// Each camera also carries a learned *affinity* score per other
-/// camera: its running estimate of how often that neighbour wins the
-/// handovers it is invited to. The self-aware strategy reads and
-/// updates these; static strategies ignore them.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Camera {
     id: usize,
     position: Point,
     fov_radius: f64,
-    affinity: Vec<f64>,
-    invites: Vec<u64>,
 }
 
 impl Camera {
-    /// Prior affinity before any handover evidence.
-    pub const AFFINITY_PRIOR: f64 = 0.5;
-
     /// Creates camera `id` at `position` with `fov_radius`, in a
     /// network of `n_cameras`.
     ///
@@ -35,8 +30,6 @@ impl Camera {
             id,
             position,
             fov_radius,
-            affinity: vec![Self::AFFINITY_PRIOR; n_cameras],
-            invites: vec![0; n_cameras],
         }
     }
 
@@ -71,114 +64,6 @@ impl Camera {
         let d = self.position.distance(p);
         (1.0 - d / self.fov_radius).max(0.0)
     }
-
-    /// Learned affinity for camera `other` (probability-like score
-    /// that inviting them to an auction is worthwhile).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `other` is out of range.
-    #[must_use]
-    pub fn affinity(&self, other: usize) -> f64 {
-        self.affinity[other]
-    }
-
-    /// Updates affinity for `other` after an auction they were
-    /// invited to: `won` is whether they took the object over.
-    ///
-    /// Wins reinforce strongly; losses decay gently (losing one
-    /// auction usually means "the object was not near you this time",
-    /// not "you are never useful" — an asymmetry Esterle-style
-    /// pheromone link strengths share).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `other` is out of range.
-    pub fn record_auction(&mut self, other: usize, won: bool) {
-        let a = &mut self.affinity[other];
-        if won {
-            *a += 0.3 * (1.0 - *a);
-        } else {
-            *a *= 0.94;
-        }
-        self.invites[other] += 1;
-    }
-
-    /// Times camera `other` has been invited by this one.
-    #[must_use]
-    pub fn invite_count(&self, other: usize) -> u64 {
-        self.invites[other]
-    }
-
-    /// The full learned-affinity row (one score per camera in the
-    /// network, including self). This is the camera's *model state*:
-    /// supervisors snapshot it for checkpoints and restore it on
-    /// rollback.
-    #[must_use]
-    pub fn affinities(&self) -> &[f64] {
-        &self.affinity
-    }
-
-    /// Replaces the learned-affinity row wholesale (checkpoint
-    /// restore, or fault injection).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `affinity` is not one score per camera.
-    pub fn set_affinities(&mut self, affinity: Vec<f64>) {
-        assert_eq!(
-            affinity.len(),
-            self.affinity.len(),
-            "affinity row must cover every camera"
-        );
-        self.affinity = affinity;
-    }
-
-    /// The camera's ask-preference distribution over peers (excluding
-    /// itself): softmax-free normalised affinities — the camera's
-    /// *latent beliefs* about who wins its handovers.
-    #[must_use]
-    pub fn preference(&self) -> Vec<f64> {
-        let mut v: Vec<f64> = self
-            .affinity
-            .iter()
-            .enumerate()
-            .map(|(j, &a)| if j == self.id { 0.0 } else { a.max(1e-9) })
-            .collect();
-        normalise(&mut v);
-        v
-    }
-
-    /// The camera's *behavioural* ask distribution: the proportion of
-    /// auction invitations actually sent to each peer. This — not the
-    /// latent beliefs — is what the F1 heterogeneity metric compares,
-    /// because a broadcast camera may *learn* distinct affinities yet
-    /// still ask everyone (behaviourally homogeneous), while a
-    /// self-aware camera's invitations themselves specialise. Uniform
-    /// over peers until the first invitation.
-    #[must_use]
-    pub fn ask_distribution(&self) -> Vec<f64> {
-        let total: u64 = self.invites.iter().sum();
-        let n = self.invites.len();
-        if total == 0 {
-            let mut v = vec![1.0 / (n.max(2) - 1) as f64; n];
-            v[self.id] = 0.0;
-            return v;
-        }
-        let mut v: Vec<f64> = self.invites.iter().map(|&c| c as f64).collect();
-        v[self.id] = 0.0;
-        normalise(&mut v);
-        v
-    }
-}
-
-fn normalise(v: &mut [f64]) {
-    let sum: f64 = v.iter().sum();
-    if sum > 0.0 {
-        for x in v {
-            *x /= sum;
-        }
-    }
 }
 
 #[cfg(test)]
@@ -201,31 +86,6 @@ mod tests {
     }
 
     #[test]
-    fn affinity_learning_moves_toward_outcomes() {
-        let mut c = cam();
-        assert_eq!(c.affinity(1), Camera::AFFINITY_PRIOR);
-        for _ in 0..50 {
-            c.record_auction(1, true);
-            c.record_auction(2, false);
-        }
-        assert!(c.affinity(1) > 0.95);
-        assert!(c.affinity(2) < 0.05);
-        assert_eq!(c.invite_count(1), 50);
-        assert_eq!(c.invite_count(3), 0);
-    }
-
-    #[test]
-    fn preference_excludes_self_and_normalises() {
-        let mut c = cam();
-        c.record_auction(1, true);
-        let p = c.preference();
-        assert_eq!(p.len(), 4);
-        assert_eq!(p[0], 0.0, "self excluded");
-        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
-        assert!(p[1] > p[2]);
-    }
-
-    #[test]
     fn accessors() {
         let c = cam();
         assert_eq!(c.id(), 0);
@@ -243,32 +103,5 @@ mod tests {
     #[should_panic(expected = "camera id out of range")]
     fn bad_id_panics() {
         let _ = Camera::new(5, Point::new(0.0, 0.0), 0.1, 2);
-    }
-}
-
-#[cfg(test)]
-mod ask_distribution_tests {
-    use super::*;
-
-    #[test]
-    fn uniform_before_any_invites() {
-        let c = Camera::new(1, Point::new(0.5, 0.5), 0.2, 4);
-        let d = c.ask_distribution();
-        assert_eq!(d[1], 0.0);
-        assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-9);
-        assert!((d[0] - d[2]).abs() < 1e-12);
-    }
-
-    #[test]
-    fn reflects_actual_invitations() {
-        let mut c = Camera::new(0, Point::new(0.5, 0.5), 0.2, 4);
-        for _ in 0..9 {
-            c.record_auction(1, false);
-        }
-        c.record_auction(2, true);
-        let d = c.ask_distribution();
-        assert!((d[1] - 0.9).abs() < 1e-9);
-        assert!((d[2] - 0.1).abs() < 1e-9);
-        assert_eq!(d[3], 0.0);
     }
 }

@@ -14,7 +14,9 @@
 //! heterogeneity with near-broadcast utility at a fraction of the
 //! cost. Experiments T3 and F1 reproduce that result's shape.
 //!
-//! * [`camera`] — camera geometry and per-neighbour learned affinity;
+//! * [`camera`] — camera geometry (position, field of view);
+//! * [`affinity`] — the network's learned affinity state in
+//!   struct-of-arrays layout;
 //! * [`strategy`] — handover strategies (broadcast, smooth, static,
 //!   self-aware learning);
 //! * [`diversity`] — the policy-divergence heterogeneity metric;
@@ -24,11 +26,13 @@
 #![deny(clippy::unwrap_used, clippy::panic)]
 #![warn(missing_docs)]
 
+pub mod affinity;
 pub mod camera;
 pub mod diversity;
 pub mod sim;
 pub mod strategy;
 
+pub use affinity::AffinityTable;
 pub use camera::Camera;
 pub use diversity::policy_divergence;
 pub use sim::{run_camnet, CamnetConfig, CamnetResult};

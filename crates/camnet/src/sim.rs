@@ -1,5 +1,6 @@
 //! The camera-network world: objects, ownership, auctions, metrics.
 
+use crate::affinity::AffinityTable;
 use crate::camera::Camera;
 use crate::diversity::policy_divergence;
 use crate::strategy::{nearest_neighbours, random_subsets, HandoverStrategy};
@@ -125,7 +126,7 @@ pub fn camnet_goal() -> Goal {
 pub fn run_camnet(cfg: &CamnetConfig, seeds: &SeedTree) -> CamnetResult {
     let n = cfg.side * cfg.side;
     assert!(n >= 2, "need at least two cameras");
-    let mut cameras: Vec<Camera> = (0..n)
+    let cameras: Vec<Camera> = (0..n)
         .map(|i| {
             let x = (i % cfg.side) as f64 / cfg.side as f64 + 0.5 / cfg.side as f64;
             let y = (i / cfg.side) as f64 / cfg.side as f64 + 0.5 / cfg.side as f64;
@@ -155,6 +156,11 @@ pub fn run_camnet(cfg: &CamnetConfig, seeds: &SeedTree) -> CamnetResult {
         })
         .collect();
     let mut alive = vec![true; n];
+    // The network's learned state, struct-of-arrays: one contiguous
+    // affinity/invite slab instead of per-camera heap rows (see
+    // `crate::affinity`). The auction hot loop reads and updates it
+    // without allocating.
+    let mut table = AffinityTable::new(n);
     // Initial ownership: best-quality seer, if any.
     let mut owner: Vec<Option<usize>> = objects
         .iter()
@@ -162,24 +168,16 @@ pub fn run_camnet(cfg: &CamnetConfig, seeds: &SeedTree) -> CamnetResult {
         .collect();
 
     // Meta-self-awareness: the supervised model is the network-wide
-    // affinity matrix (one row per camera). The supervisor checkpoints
+    // affinity matrix (flat row-major). The supervisor checkpoints
     // it, watches a tracking-loss error signal, and benches the
     // network onto broadcast invitations while the model is corrupt.
     struct AffinitySupervision {
-        sup: Supervisor<Vec<Vec<f64>>>,
+        sup: Supervisor<Vec<f64>>,
         log: ExplanationLog,
     }
-    let snapshot = |cams: &[Camera]| -> Vec<Vec<f64>> {
-        cams.iter().map(|c| c.affinities().to_vec()).collect()
-    };
-    let restore = |cams: &mut [Camera], model: &[Vec<f64>]| {
-        for (c, row) in cams.iter_mut().zip(model) {
-            c.set_affinities(row.clone());
-        }
-    };
     let mut supervision = cfg.supervise.then(|| {
         Box::new(AffinitySupervision {
-            sup: Supervisor::new("camera-affinities", snapshot(&cameras)),
+            sup: Supervisor::new("camera-affinities", table.snapshot()),
             log: ExplanationLog::new(512),
         })
     });
@@ -206,6 +204,10 @@ pub fn run_camnet(cfg: &CamnetConfig, seeds: &SeedTree) -> CamnetResult {
     let mut quality_series = TimeSeries::new(cfg.strategy.label());
     let mut window_quality = 0.0;
     let mut window_samples = 0u64;
+    // Auction scratch buffers, reused across every auction in the run
+    // so the hot loop performs no per-auction allocation.
+    let mut invitees: Vec<usize> = Vec::with_capacity(n);
+    let mut reachable: Vec<bool> = Vec::with_capacity(n);
 
     for t in 0..cfg.steps {
         let now = Tick(t);
@@ -232,19 +234,13 @@ pub fn run_camnet(cfg: &CamnetConfig, seeds: &SeedTree) -> CamnetResult {
                 }
                 FaultKind::ModelCorruption { kind, .. } => match kind {
                     ModelCorruptionKind::NanPoison => {
-                        for c in &mut cameras {
-                            let row = vec![f64::NAN; n];
-                            c.set_affinities(row);
-                        }
+                        table.fill(f64::NAN);
                     }
                     ModelCorruptionKind::WeightScramble { gain } => {
                         // Push every learned score far below any
                         // invitation threshold: the network forgets
                         // who its useful neighbours are.
-                        for c in &mut cameras {
-                            let row = c.affinities().iter().map(|a| (a - 1.0) * gain).collect();
-                            c.set_affinities(row);
-                        }
+                        table.map_in_place(|a| (a - 1.0) * gain);
                     }
                     ModelCorruptionKind::StateFreeze { duration } => {
                         frozen_until = Some(Tick(t + duration));
@@ -290,35 +286,32 @@ pub fn run_camnet(cfg: &CamnetConfig, seeds: &SeedTree) -> CamnetResult {
                         // ideal channel every peer is perfectly fresh
                         // (weight 1), so the blend is skipped and the
                         // selection is exactly the historical one.
-                        let invitees = if ideal || !aware {
-                            strategy.invitees(
-                                &cameras[me],
-                                &cameras,
+                        // Either way the blend is a read-only view —
+                        // no row is cloned or written back.
+                        if ideal || !aware {
+                            strategy.invitees_into(
+                                me,
+                                n,
+                                |j| table.affinity(me, j),
                                 &neighbours,
                                 &static_sets,
                                 &mut auction_rng,
-                            )
-                        } else {
-                            let original = cameras[me].affinities().to_vec();
-                            let blended: Vec<f64> = original
-                                .iter()
-                                .enumerate()
-                                .map(|(j, &a)| {
-                                    let w = comms.freshness(me, j, now);
-                                    w * a + (1.0 - w) * 0.5
-                                })
-                                .collect();
-                            cameras[me].set_affinities(blended);
-                            let inv = strategy.invitees(
-                                &cameras[me],
-                                &cameras,
-                                &neighbours,
-                                &static_sets,
-                                &mut auction_rng,
+                                &mut invitees,
                             );
-                            cameras[me].set_affinities(original);
-                            inv
-                        };
+                        } else {
+                            strategy.invitees_into(
+                                me,
+                                n,
+                                |j| {
+                                    let w = comms.freshness(me, j, now);
+                                    w * table.affinity(me, j) + (1.0 - w) * 0.5
+                                },
+                                &neighbours,
+                                &static_sets,
+                                &mut auction_rng,
+                                &mut invitees,
+                            );
+                        }
                         invited_total += invitees.len() as u64;
                         // ask + bid messages
                         messages += 2 * invitees.len() as u64;
@@ -331,12 +324,10 @@ pub fn run_camnet(cfg: &CamnetConfig, seeds: &SeedTree) -> CamnetResult {
                         // `record_auction` below treats their silence
                         // as a lost auction, decaying learned
                         // affinity toward them.
-                        let reachable: Vec<bool> = invitees
-                            .iter()
-                            .map(|&j| {
-                                comms.probe_roundtrip(&cfg.channel, me, j, now, &mut comms_log)
-                            })
-                            .collect();
+                        reachable.clear();
+                        reachable.extend(invitees.iter().map(|&j| {
+                            comms.probe_roundtrip(&cfg.channel, me, j, now, &mut comms_log)
+                        }));
                         let winner = invitees
                             .iter()
                             .copied()
@@ -357,7 +348,7 @@ pub fn run_camnet(cfg: &CamnetConfig, seeds: &SeedTree) -> CamnetResult {
                                 // decays affinity either way.
                                 if r || !aware {
                                     let won = winner.is_some_and(|(w, _)| w == j);
-                                    cameras[me].record_auction(j, won);
+                                    table.record_auction(me, j, won);
                                 }
                             }
                         }
@@ -404,26 +395,21 @@ pub fn run_camnet(cfg: &CamnetConfig, seeds: &SeedTree) -> CamnetResult {
         // ask-policy loses objects). The strictly advancing input
         // lets the stall detector catch frozen state.
         if let Some(s) = &mut supervision {
-            let flat: Vec<f64> = cameras
-                .iter()
-                .flat_map(|c| c.affinities().iter().copied())
-                .collect();
-            let mean_affinity = flat.iter().sum::<f64>() / flat.len().max(1) as f64;
+            let mean_affinity = table.mean();
             let error = tick_untracked as f64 / cfg.objects.max(1) as f64;
-            s.sup.set_model(snapshot(&cameras));
+            s.sup.set_model(table.snapshot());
             let verdict = s.sup.observe(
                 now,
                 Evidence::scored(mean_affinity, error).with_input(t as f64),
                 &mut s.log,
             );
             if matches!(verdict, Verdict::RolledBack(_) | Verdict::FellBack(_)) {
-                let model = s.sup.model().clone();
-                restore(&mut cameras, &model);
+                table.restore(s.sup.model());
             }
         }
 
         if t % 50 == 0 {
-            let policies: Vec<Vec<f64>> = cameras.iter().map(Camera::ask_distribution).collect();
+            let policies: Vec<Vec<f64>> = (0..n).map(|i| table.ask_distribution(i)).collect();
             heterogeneity.push(now, policy_divergence(&policies));
             if window_samples > 0 {
                 quality_series.push(now, window_quality / window_samples as f64);
@@ -451,7 +437,7 @@ pub fn run_camnet(cfg: &CamnetConfig, seeds: &SeedTree) -> CamnetResult {
     );
     metrics.set("auctions", auctions as f64);
     metrics.set("handovers", handovers as f64);
-    let policies: Vec<Vec<f64>> = cameras.iter().map(Camera::ask_distribution).collect();
+    let policies: Vec<Vec<f64>> = (0..n).map(|i| table.ask_distribution(i)).collect();
     metrics.set("heterogeneity_final", policy_divergence(&policies));
     let utility = camnet_goal().utility(|k| metrics.get(k));
     metrics.set("utility", utility);

@@ -60,30 +60,71 @@ impl HandoverStrategy {
         }
     }
 
-    /// Computes the invite list for an auction run by `owner`.
+    /// Computes the invite list for an auction run by camera `me` in
+    /// an `n_cameras` network, appending into `out` (cleared first) so
+    /// the auction hot loop can reuse one buffer across auctions.
+    ///
+    /// `affinity` maps a peer index to the affinity score the
+    /// selection should see — usually a direct
+    /// [`crate::affinity::AffinityTable`] read, or a staleness-blended
+    /// view of it under a lossy channel. Only
+    /// [`HandoverStrategy::SelfAware`] consults it, in ascending peer
+    /// order with short-circuit ε-exploration, so the RNG draw
+    /// sequence is a pure function of the scores the closure returns.
     ///
     /// `static_sets` are the per-camera deploy-time subsets used by
     /// [`HandoverStrategy::Static`]; `neighbours` are per-camera
     /// nearest-neighbour lists used by [`HandoverStrategy::Smooth`].
+    // Hot-path entry point: the arguments are the full decision
+    // context (topology tables, score view, RNG, reuse buffer) and
+    // bundling them into a struct would just move the same list one
+    // call up.
+    #[allow(clippy::too_many_arguments)]
+    pub fn invitees_into(
+        &self,
+        me: usize,
+        n_cameras: usize,
+        affinity: impl Fn(usize) -> f64,
+        neighbours: &[Vec<usize>],
+        static_sets: &[Vec<usize>],
+        rng: &mut Rng,
+        out: &mut Vec<usize>,
+    ) {
+        out.clear();
+        match *self {
+            HandoverStrategy::Broadcast => out.extend((0..n_cameras).filter(|&j| j != me)),
+            HandoverStrategy::Smooth { .. } => out.extend_from_slice(&neighbours[me]),
+            HandoverStrategy::Static { .. } => out.extend_from_slice(&static_sets[me]),
+            HandoverStrategy::SelfAware { threshold, epsilon } => {
+                out.extend((0..n_cameras).filter(|&j| {
+                    j != me && (affinity(j) >= threshold || rng.gen::<f64>() < epsilon)
+                }));
+            }
+        }
+    }
+
+    /// Allocating convenience wrapper around
+    /// [`HandoverStrategy::invitees_into`].
     pub fn invitees(
         &self,
-        owner: &Camera,
-        cameras: &[Camera],
+        me: usize,
+        n_cameras: usize,
+        affinity: impl Fn(usize) -> f64,
         neighbours: &[Vec<usize>],
         static_sets: &[Vec<usize>],
         rng: &mut Rng,
     ) -> Vec<usize> {
-        let me = owner.id();
-        match *self {
-            HandoverStrategy::Broadcast => (0..cameras.len()).filter(|&j| j != me).collect(),
-            HandoverStrategy::Smooth { .. } => neighbours[me].clone(),
-            HandoverStrategy::Static { .. } => static_sets[me].clone(),
-            HandoverStrategy::SelfAware { threshold, epsilon } => (0..cameras.len())
-                .filter(|&j| {
-                    j != me && (owner.affinity(j) >= threshold || rng.gen::<f64>() < epsilon)
-                })
-                .collect(),
-        }
+        let mut out = Vec::new();
+        self.invitees_into(
+            me,
+            n_cameras,
+            affinity,
+            neighbours,
+            static_sets,
+            rng,
+            &mut out,
+        );
+        out
     }
 }
 
@@ -122,6 +163,7 @@ pub fn random_subsets(n: usize, k: usize, rng: &mut Rng) -> Vec<Vec<usize>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::affinity::AffinityTable;
     use workloads::trajectories::Point;
 
     fn grid(n_side: usize) -> Vec<Camera> {
@@ -141,9 +183,10 @@ mod tests {
 
     #[test]
     fn broadcast_invites_everyone_else() {
-        let cams = grid(3);
+        let t = AffinityTable::new(9);
         let mut r = rng();
-        let inv = HandoverStrategy::Broadcast.invitees(&cams[4], &cams, &[], &[], &mut r);
+        let inv =
+            HandoverStrategy::Broadcast.invitees(4, 9, |j| t.affinity(4, j), &[], &[], &mut r);
         assert_eq!(inv.len(), 8);
         assert!(!inv.contains(&4));
     }
@@ -153,7 +196,7 @@ mod tests {
         let cams = grid(3);
         let nn = nearest_neighbours(&cams, 3);
         let mut r = rng();
-        let inv = HandoverStrategy::Smooth { k: 3 }.invitees(&cams[0], &cams, &nn, &[], &mut r);
+        let inv = HandoverStrategy::Smooth { k: 3 }.invitees(0, 9, |_| 0.5, &nn, &[], &mut r);
         assert_eq!(inv.len(), 3);
         // Corner camera 0's nearest are 1 (right), 3 (below), 4 (diag).
         assert!(inv.contains(&1) && inv.contains(&3));
@@ -168,19 +211,18 @@ mod tests {
             assert_eq!(s.len(), 3);
             assert!(!s.contains(&me));
         }
-        let cams = grid(3);
-        let inv = HandoverStrategy::Static { k: 3 }.invitees(&cams[2], &cams, &[], &sets, &mut r);
+        let inv = HandoverStrategy::Static { k: 3 }.invitees(2, 9, |_| 0.5, &[], &sets, &mut r);
         assert_eq!(inv, sets[2]);
     }
 
     #[test]
     fn self_aware_filters_by_affinity() {
-        let mut cams = grid(3);
+        let mut t = AffinityTable::new(9);
         // Camera 0 learns camera 1 always wins, others never do.
         for _ in 0..60 {
-            cams[0].record_auction(1, true);
+            t.record_auction(0, 1, true);
             for j in 2..9 {
-                cams[0].record_auction(j, false);
+                t.record_auction(0, j, false);
             }
         }
         let strat = HandoverStrategy::SelfAware {
@@ -188,20 +230,29 @@ mod tests {
             epsilon: 0.0,
         };
         let mut r = rng();
-        let inv = strat.invitees(&cams[0], &cams, &[], &[], &mut r);
+        let inv = strat.invitees(0, 9, |j| t.affinity(0, j), &[], &[], &mut r);
         assert_eq!(inv, vec![1]);
     }
 
     #[test]
     fn self_aware_epsilon_explores() {
-        let cams = grid(3);
         let strat = HandoverStrategy::SelfAware {
             threshold: 2.0, // nothing passes threshold
             epsilon: 1.0,   // but everything explored
         };
         let mut r = rng();
-        let inv = strat.invitees(&cams[0], &cams, &[], &[], &mut r);
+        let inv = strat.invitees(0, 9, |_| 0.5, &[], &[], &mut r);
         assert_eq!(inv.len(), 8);
+    }
+
+    #[test]
+    fn invitees_into_reuses_the_buffer() {
+        let mut r = rng();
+        let mut buf = vec![99usize; 4];
+        HandoverStrategy::Broadcast.invitees_into(1, 4, |_| 0.5, &[], &[], &mut r, &mut buf);
+        assert_eq!(buf, vec![0, 2, 3], "buffer cleared before reuse");
+        HandoverStrategy::Broadcast.invitees_into(0, 3, |_| 0.5, &[], &[], &mut r, &mut buf);
+        assert_eq!(buf, vec![1, 2]);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Property-based tests for the camera network's geometry, learning
 //! and diversity metrics.
 
+use camnet::affinity::AffinityTable;
 use camnet::camera::Camera;
 use camnet::diversity::{entropy, jensen_shannon, policy_divergence};
 use camnet::strategy::{nearest_neighbours, random_subsets};
@@ -71,10 +72,10 @@ proptest! {
     fn affinity_always_in_unit_interval(
         outcomes in proptest::collection::vec(any::<bool>(), 0..200),
     ) {
-        let mut cam = Camera::new(0, Point::new(0.5, 0.5), 0.2, 3);
+        let mut table = AffinityTable::new(3);
         for &won in &outcomes {
-            cam.record_auction(1, won);
-            let a = cam.affinity(1);
+            table.record_auction(0, 1, won);
+            let a = table.affinity(0, 1);
             prop_assert!((0.0..=1.0).contains(&a));
         }
     }
@@ -83,11 +84,11 @@ proptest! {
     fn ask_distribution_is_a_distribution(
         invites in proptest::collection::vec((1usize..4, any::<bool>()), 0..100),
     ) {
-        let mut cam = Camera::new(0, Point::new(0.5, 0.5), 0.2, 4);
+        let mut table = AffinityTable::new(4);
         for &(peer, won) in &invites {
-            cam.record_auction(peer, won);
+            table.record_auction(0, peer, won);
         }
-        let d = cam.ask_distribution();
+        let d = table.ask_distribution(0);
         prop_assert_eq!(d.len(), 4);
         prop_assert_eq!(d[0], 0.0);
         prop_assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-9);

@@ -178,14 +178,22 @@ impl Cluster {
     /// cost; returns all terminal outcomes.
     pub fn step(&mut self, now: Tick) -> Vec<RequestOutcome> {
         let mut outcomes = Vec::new();
+        self.step_into(now, &mut outcomes);
+        outcomes
+    }
+
+    /// [`Cluster::step`] appending outcomes into `out` instead of
+    /// allocating: the simulation tick loop hands the same buffer in
+    /// every tick, so steady-state churn/processing performs no
+    /// per-node or per-tick outcome allocation.
+    pub fn step_into(&mut self, now: Tick, out: &mut Vec<RequestOutcome>) {
         self.rented_node_ticks += self.rented_count() as u64;
         for i in 0..self.nodes.len() {
-            outcomes.extend(self.nodes[i].churn_step(now, i, &mut self.rng));
+            self.nodes[i].churn_step_into(now, i, &mut self.rng, out);
         }
         for i in 0..self.nodes.len() {
-            outcomes.extend(self.nodes[i].process_step(now, i, &mut self.rng));
+            self.nodes[i].process_step_into(now, i, &mut self.rng, out);
         }
-        outcomes
     }
 }
 

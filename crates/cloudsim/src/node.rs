@@ -214,36 +214,45 @@ impl Node {
     /// Advances churn state; if the node goes offline, its queue is
     /// dropped and the losses are returned.
     pub fn churn_step(&mut self, now: Tick, node_id: usize, rng: &mut Rng) -> Vec<RequestOutcome> {
+        let mut out = Vec::new();
+        self.churn_step_into(now, node_id, rng, &mut out);
+        out
+    }
+
+    /// [`Node::churn_step`] appending losses into `out` instead of
+    /// allocating a fresh vector — the cluster tick loop reuses one
+    /// outcome buffer across every node.
+    pub fn churn_step_into(
+        &mut self,
+        now: Tick,
+        node_id: usize,
+        rng: &mut Rng,
+        out: &mut Vec<RequestOutcome>,
+    ) {
         // A forced outage overrides stochastic churn entirely.
         if let Some(until) = self.forced_until {
             if now < until {
-                return Vec::new();
+                return;
             }
             self.forced_until = None;
             self.online = true;
-            return Vec::new();
+            return;
         }
         if self.online {
             if rng.gen::<f64>() < self.spec.churn_off {
                 self.online = false;
-                let dropped: Vec<RequestOutcome> = self
-                    .queue
-                    .drain(..)
-                    .map(|(request, _)| {
-                        self.lost += 1;
-                        RequestOutcome::Failed {
-                            request,
-                            at: now,
-                            node: node_id,
-                        }
-                    })
-                    .collect();
-                return dropped;
+                while let Some((request, _)) = self.queue.pop_front() {
+                    self.lost += 1;
+                    out.push(RequestOutcome::Failed {
+                        request,
+                        at: now,
+                        node: node_id,
+                    });
+                }
             }
         } else if rng.gen::<f64>() < self.spec.churn_on {
             self.online = true;
         }
-        Vec::new()
     }
 
     /// Processes one tick of work; returns completions and failures.
@@ -253,15 +262,28 @@ impl Node {
         node_id: usize,
         rng: &mut Rng,
     ) -> Vec<RequestOutcome> {
+        let mut out = Vec::new();
+        self.process_step_into(now, node_id, rng, &mut out);
+        out
+    }
+
+    /// [`Node::process_step`] appending outcomes into `out` instead of
+    /// allocating a fresh vector per node per tick.
+    pub fn process_step_into(
+        &mut self,
+        now: Tick,
+        node_id: usize,
+        rng: &mut Rng,
+        out: &mut Vec<RequestOutcome>,
+    ) {
         if !self.online || self.queue.is_empty() {
-            return Vec::new();
+            return;
         }
-        let mut outcomes = Vec::new();
         // Per-busy-tick failure of the head-of-line request.
         if rng.gen::<f64>() < self.spec.failure_prob {
             if let Some((request, _)) = self.queue.pop_front() {
                 self.lost += 1;
-                outcomes.push(RequestOutcome::Failed {
+                out.push(RequestOutcome::Failed {
                     request,
                     at: now,
                     node: node_id,
@@ -279,7 +301,7 @@ impl Node {
                 self.queue.pop_front();
                 self.completed += 1;
                 let latency = now.value().saturating_sub(request.arrived.value()).max(1);
-                outcomes.push(RequestOutcome::Completed {
+                out.push(RequestOutcome::Completed {
                     request,
                     at: now,
                     node: node_id,
@@ -290,7 +312,6 @@ impl Node {
                 budget = 0.0;
             }
         }
-        outcomes
     }
 }
 

@@ -5,7 +5,7 @@ use crate::cluster::Cluster;
 use crate::node::NodeSpec;
 use crate::request::{Request, RequestOutcome};
 use crate::strategy::Strategy;
-use selfaware::comms::{CommsNetwork, CommsPolicy, CommsStats};
+use selfaware::comms::{CommsNetwork, CommsPolicy, CommsStats, Delivered};
 use selfaware::explain::ExplanationLog;
 use selfaware::goals::{Direction, Goal, Objective};
 use simkernel::obs;
@@ -63,6 +63,8 @@ struct ZonedPlane {
     /// Newest sequence seen per zone (reordering guards).
     last_cmd_seq: Vec<Option<u64>>,
     last_report_seq: Vec<Option<u64>>,
+    /// Delivery buffer reused every tick (no per-tick allocation).
+    inbox: Vec<Delivered<usize>>,
 }
 
 impl ZonedPlane {
@@ -87,6 +89,7 @@ impl ZonedPlane {
             issued_at: vec![0; zones],
             last_cmd_seq: vec![None; zones],
             last_report_seq: vec![None; zones],
+            inbox: Vec::new(),
         }
     }
 
@@ -179,7 +182,12 @@ impl ZonedPlane {
         for z in 0..self.zones {
             self.net.send(channel, z, ctrl, self.applied[z], now, log);
         }
-        for d in self.net.step(channel, now, log) {
+        // Land deliveries into the reused inbox (taken out of `self`
+        // so the loop body can mutate plane state while iterating).
+        let mut inbox = std::mem::take(&mut self.inbox);
+        inbox.clear();
+        self.net.step_into(channel, now, log, &mut inbox);
+        for d in inbox.drain(..) {
             if d.dst == ctrl {
                 if newest(&mut self.last_report_seq[d.src], d.seq) {
                     self.believed[d.src] = d.payload;
@@ -193,6 +201,7 @@ impl ZonedPlane {
                 }
             }
         }
+        self.inbox = inbox;
     }
 }
 
@@ -351,9 +360,12 @@ pub fn run_scenario(cfg: &ScenarioConfig, seeds: &SeedTree) -> ScenarioResult {
         CommandPlane::Zoned { zones } => Some(ZonedPlane::new(zones, n, cfg.comms)),
     };
 
+    // Reused across ticks: outcome pushes land in warm capacity
+    // instead of regrowing a fresh vector every tick.
+    let mut tick_outcomes: Vec<RequestOutcome> = Vec::new();
     for t in 0..cfg.steps {
         let now = Tick(t);
-        let mut tick_outcomes: Vec<RequestOutcome> = Vec::new();
+        tick_outcomes.clear();
 
         // Phase spans (sense → decide → act) are profiling only —
         // timing never feeds simulation state (see `simkernel::obs`).
@@ -411,7 +423,7 @@ pub fn run_scenario(cfg: &ScenarioConfig, seeds: &SeedTree) -> ScenarioResult {
                 }),
             }
         }
-        tick_outcomes.extend(cluster.step(now));
+        cluster.step_into(now, &mut tick_outcomes);
 
         let mut tick_viol = 0u64;
         let tick_total = tick_outcomes.len();

@@ -31,6 +31,16 @@
 //! [`simkernel::delivery::DeliveryQueue`], lossy runs stay
 //! bit-identical between sequential and parallel replication.
 //!
+//! Allocation contract: the steady-state send/deliver/ack cycle is
+//! free of per-message heap traffic. Payload bodies live once in a
+//! reference-counted slab shared by duplicates and retries, dedup
+//! uses a flat bitmap window, arrival outcomes are stored inline, and
+//! drained per-tick buffers are recycled. Callers that want the
+//! allocation-free delivery path use [`CommsNetwork::step_into`] with
+//! a reused buffer (`step` is a convenience wrapper that allocates
+//! the result `Vec`); `crates/bench/tests/zero_alloc.rs` enforces the
+//! contract with a counting allocator.
+//!
 //! ```
 //! use selfaware::comms::{CommsNetwork, CommsPolicy, IdealChannel};
 //! use selfaware::explain::ExplanationLog;
@@ -62,12 +72,107 @@ const ATTEMPT_SHIFT: u32 = 48;
 /// Per-link receiver dedup window (sequence numbers remembered).
 const SEEN_WINDOW: usize = 512;
 
+/// Arrival ticks of one transmission.
+///
+/// Stored inline for up to two copies — the overwhelmingly common
+/// outcomes "delivered once" and "duplicated" — with heap spill only
+/// for exotic channels, so constructing an outcome on the per-frame
+/// hot path never allocates.
+#[derive(Debug, Clone, Default)]
+pub struct Arrivals {
+    inline: [Tick; 2],
+    inline_len: u8,
+    spill: Vec<Tick>,
+}
+
+impl Arrivals {
+    /// No arrivals (a lost frame).
+    #[must_use]
+    pub const fn new() -> Self {
+        Self {
+            inline: [Tick(0); 2],
+            inline_len: 0,
+            spill: Vec::new(),
+        }
+    }
+
+    /// A single arrival at `at`.
+    #[must_use]
+    pub fn once(at: Tick) -> Self {
+        let mut a = Self::new();
+        a.push(at);
+        a
+    }
+
+    /// Appends an arrival tick (insertion order is preserved).
+    pub fn push(&mut self, at: Tick) {
+        if usize::from(self.inline_len) < self.inline.len() {
+            self.inline[usize::from(self.inline_len)] = at;
+            self.inline_len += 1;
+        } else {
+            self.spill.push(at);
+        }
+    }
+
+    /// Number of copies that arrive.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        usize::from(self.inline_len) + self.spill.len()
+    }
+
+    /// True when no copy arrives.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inline_len == 0
+    }
+
+    /// Arrival ticks in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = Tick> + '_ {
+        self.inline[..usize::from(self.inline_len)]
+            .iter()
+            .copied()
+            .chain(self.spill.iter().copied())
+    }
+
+    /// The first-pushed arrival, if any.
+    #[must_use]
+    pub fn first(&self) -> Option<Tick> {
+        self.iter().next()
+    }
+
+    /// True when some copy arrives exactly at `at`.
+    #[must_use]
+    pub fn contains(&self, at: Tick) -> bool {
+        self.iter().any(|t| t == at)
+    }
+}
+
+// Equality is the arrival sequence; the inline/spill split and any
+// stale inline slots beyond `inline_len` are representation details.
+impl PartialEq for Arrivals {
+    fn eq(&self, other: &Self) -> bool {
+        self.iter().eq(other.iter())
+    }
+}
+
+impl Eq for Arrivals {}
+
+impl FromIterator<Tick> for Arrivals {
+    fn from_iter<I: IntoIterator<Item = Tick>>(iter: I) -> Self {
+        let mut a = Self::new();
+        for t in iter {
+            a.push(t);
+        }
+        a
+    }
+}
+
 /// The fate of one transmission attempt on a channel.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ChannelOutcome {
     /// Ticks at which copies of the frame arrive (empty = lost;
     /// more than one = duplicated; later than `now` = delayed).
-    pub arrivals: Vec<Tick>,
+    pub arrivals: Arrivals,
     /// True when the frame was dropped because the link is inside a
     /// scheduled partition window.
     pub partitioned: bool,
@@ -78,7 +183,7 @@ impl ChannelOutcome {
     #[must_use]
     pub fn delivered(at: Tick) -> Self {
         Self {
-            arrivals: vec![at],
+            arrivals: Arrivals::once(at),
             partitioned: false,
         }
     }
@@ -93,7 +198,7 @@ impl ChannelOutcome {
     /// the requirement for latency-bound exchanges like auctions).
     #[must_use]
     pub fn arrives_at(&self, now: Tick) -> bool {
-        self.arrivals.contains(&now)
+        self.arrivals.contains(now)
     }
 }
 
@@ -241,13 +346,16 @@ pub struct Delivered<M> {
     pub payload: M,
 }
 
-#[derive(Debug, Clone, PartialEq, Eq)]
-struct Flight<M> {
+/// A data frame in the air. Payload bodies live in the network's
+/// [`PayloadSlab`]; flights carry only the slot index, so duplicating
+/// a frame across arrival ticks copies nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Flight {
     src: usize,
     dst: usize,
     seq: u64,
     wire_seq: u64,
-    payload: M,
+    slot: u32,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -257,35 +365,160 @@ struct AckFlight {
     seq: u64,
 }
 
-#[derive(Debug, Clone, PartialEq)]
-struct Pending<M> {
-    payload: M,
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Pending {
+    slot: u32,
     sent_at: u64,
     next_retry: u64,
     attempts: u32,
 }
 
-/// Receiver-side dedup with a bounded memory: sequence numbers below
-/// the moving floor are treated as already seen.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+/// Words in the dedup bitmap ([`SEEN_WINDOW`] bits).
+const SEEN_WORDS: usize = SEEN_WINDOW / 64;
+
+/// Receiver-side dedup with bounded memory: a sliding bitmap covering
+/// the [`SEEN_WINDOW`] sequence numbers from `floor` up; anything
+/// below the floor is treated as already seen. A flat bitmap rather
+/// than a `BTreeSet` keeps the per-frame dedup check allocation-free
+/// (ascending inserts split a B-tree node roughly every eleven
+/// sequence numbers).
+#[derive(Debug, Clone, PartialEq, Eq)]
 struct SeenWindow {
     floor: u64,
-    recent: BTreeSet<u64>,
+    bits: [u64; SEEN_WORDS],
+}
+
+impl Default for SeenWindow {
+    fn default() -> Self {
+        Self {
+            floor: 0,
+            bits: [0; SEEN_WORDS],
+        }
+    }
 }
 
 impl SeenWindow {
     /// Marks `seq` as seen; returns true when it was fresh.
     fn mark(&mut self, seq: u64) -> bool {
-        if seq < self.floor || !self.recent.insert(seq) {
+        if seq < self.floor {
             return false;
         }
-        while self.recent.len() > SEEN_WINDOW {
-            if let Some(&min) = self.recent.iter().next() {
-                self.recent.remove(&min);
-                self.floor = min + 1;
+        let width = SEEN_WINDOW as u64;
+        if seq - self.floor >= width {
+            // Slide the window up so `seq` becomes its newest bit;
+            // whatever falls off the bottom counts as seen.
+            let advance = seq - self.floor - (width - 1);
+            self.shift_down(advance);
+            self.floor += advance;
+        }
+        let off = (seq - self.floor) as usize;
+        let (word, bit) = (off / 64, off % 64);
+        let mask = 1u64 << bit;
+        if self.bits[word] & mask != 0 {
+            return false;
+        }
+        self.bits[word] |= mask;
+        true
+    }
+
+    /// Shifts the bitmap toward lower positions by `by`: the bit for
+    /// sequence `floor + by + i` moves to position `i`, the lowest
+    /// `by` bits drop off.
+    fn shift_down(&mut self, by: u64) {
+        if by >= SEEN_WINDOW as u64 {
+            self.bits = [0; SEEN_WORDS];
+            return;
+        }
+        let by = by as usize;
+        let (words, bits) = (by / 64, by % 64);
+        let mut next = [0u64; SEEN_WORDS];
+        for (i, slot) in next.iter_mut().enumerate().take(SEEN_WORDS - words) {
+            let lo = self.bits[i + words] >> bits;
+            let hi = if bits == 0 || i + words + 1 >= SEEN_WORDS {
+                0
+            } else {
+                self.bits[i + words + 1] << (64 - bits)
+            };
+            *slot = lo | hi;
+        }
+        self.bits = next;
+    }
+}
+
+/// Reference-counted payload arena: one copy of each message body,
+/// shared by every in-flight duplicate and the retry buffer, indexed
+/// by `u32` slot. Freed slots are recycled through an intrusive free
+/// list, so the steady-state send/deliver/ack cycle allocates
+/// nothing.
+#[derive(Debug, Clone, PartialEq)]
+enum PayloadSlot<M> {
+    Free { next: Option<u32> },
+    Full { payload: M, refs: u32 },
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct PayloadSlab<M> {
+    slots: Vec<PayloadSlot<M>>,
+    free_head: Option<u32>,
+}
+
+impl<M> PayloadSlab<M> {
+    const fn new() -> Self {
+        Self {
+            slots: Vec::new(),
+            free_head: None,
+        }
+    }
+
+    /// Stores `payload` with one reference; returns its slot index.
+    fn insert(&mut self, payload: M) -> u32 {
+        match self.free_head {
+            Some(i) => {
+                let slot = &mut self.slots[i as usize];
+                self.free_head = match slot {
+                    PayloadSlot::Free { next } => *next,
+                    // Unreachable: only freed slots enter the list.
+                    PayloadSlot::Full { .. } => None,
+                };
+                *slot = PayloadSlot::Full { payload, refs: 1 };
+                i
+            }
+            None => {
+                debug_assert!(self.slots.len() < u32::MAX as usize);
+                let i = self.slots.len() as u32;
+                self.slots.push(PayloadSlot::Full { payload, refs: 1 });
+                i
             }
         }
-        true
+    }
+
+    /// The payload stored in `slot`.
+    fn get(&self, slot: u32) -> &M {
+        match &self.slots[slot as usize] {
+            PayloadSlot::Full { payload, .. } => payload,
+            PayloadSlot::Free { .. } => unreachable!("comms payload slot {slot} is free"),
+        }
+    }
+
+    /// Adds a reference (another in-flight copy of the message).
+    fn incref(&mut self, slot: u32) {
+        if let PayloadSlot::Full { refs, .. } = &mut self.slots[slot as usize] {
+            *refs += 1;
+        }
+    }
+
+    /// Drops one reference; recycles the slot when none remain.
+    fn decref(&mut self, slot: u32) {
+        let entry = &mut self.slots[slot as usize];
+        if let PayloadSlot::Full { refs, .. } = entry {
+            *refs -= 1;
+            if *refs == 0 {
+                *entry = PayloadSlot::Free {
+                    next: self.free_head,
+                };
+                self.free_head = Some(slot);
+            }
+        }
     }
 }
 
@@ -298,13 +531,20 @@ impl SeenWindow {
 pub struct CommsNetwork<M> {
     policy: CommsPolicy,
     seq: BTreeMap<(usize, usize), u64>,
-    data: DeliveryQueue<Flight<M>>,
+    payloads: PayloadSlab<M>,
+    data: DeliveryQueue<Flight>,
     acks: DeliveryQueue<AckFlight>,
-    pending: BTreeMap<(usize, usize, u64), Pending<M>>,
+    pending: BTreeMap<(usize, usize, u64), Pending>,
     seen: BTreeMap<(usize, usize), SeenWindow>,
     last_heard: BTreeMap<(usize, usize), u64>,
     partitioned_links: BTreeSet<(usize, usize)>,
     stats: CommsStats,
+    // Scratch buffers reused across `step` calls. Always drained
+    // empty before a call returns, so the derived `PartialEq` (which
+    // sees only empty vectors) and `Clone` stay honest.
+    flight_scratch: Vec<Flight>,
+    ack_scratch: Vec<AckFlight>,
+    retry_scratch: Vec<(usize, usize, u64)>,
 }
 
 impl<M: Clone> CommsNetwork<M> {
@@ -314,6 +554,7 @@ impl<M: Clone> CommsNetwork<M> {
         Self {
             policy,
             seq: BTreeMap::new(),
+            payloads: PayloadSlab::new(),
             data: DeliveryQueue::new(),
             acks: DeliveryQueue::new(),
             pending: BTreeMap::new(),
@@ -321,6 +562,9 @@ impl<M: Clone> CommsNetwork<M> {
             last_heard: BTreeMap::new(),
             partitioned_links: BTreeSet::new(),
             stats: CommsStats::default(),
+            flight_scratch: Vec::new(),
+            ack_scratch: Vec::new(),
+            retry_scratch: Vec::new(),
         }
     }
 
@@ -363,18 +607,18 @@ impl<M: Clone> CommsNetwork<M> {
         if o.partitioned {
             self.stats.partition_hits += 1;
             if self.partitioned_links.insert((src, dst)) {
-                log.record(
+                log.record_with(|| {
                     Explanation::new(now, format!("comms:partition:{src}->{dst}"))
                         .because("src", src as f64)
-                        .because("dst", dst as f64),
-                );
+                        .because("dst", dst as f64)
+                });
             }
         } else if self.partitioned_links.remove(&(src, dst)) {
-            log.record(
+            log.record_with(|| {
                 Explanation::new(now, format!("comms:heal:{src}->{dst}"))
                     .because("src", src as f64)
-                    .because("dst", dst as f64),
-            );
+                    .because("dst", dst as f64)
+            });
         }
         o
     }
@@ -387,14 +631,17 @@ impl<M: Clone> CommsNetwork<M> {
         dst: usize,
         seq: u64,
         attempt: u32,
-        payload: &M,
+        slot: u32,
         now: Tick,
         log: &mut ExplanationLog,
     ) {
         self.stats.sent += 1;
         let wire_seq = seq | (u64::from(attempt) << ATTEMPT_SHIFT);
         let o = self.transmit_logged(ch, src, dst, wire_seq, now, log);
-        for &at in &o.arrivals {
+        for at in o.arrivals.iter() {
+            // Each airborne copy holds one slab reference; the body
+            // itself is never duplicated.
+            self.payloads.incref(slot);
             self.data.schedule(
                 at,
                 Flight {
@@ -402,7 +649,7 @@ impl<M: Clone> CommsNetwork<M> {
                     dst,
                     seq,
                     wire_seq,
-                    payload: payload.clone(),
+                    slot,
                 },
             );
         }
@@ -411,6 +658,10 @@ impl<M: Clone> CommsNetwork<M> {
     /// Sends `payload` from `src` to `dst`. Returns the per-link
     /// sequence number. In reliable mode the message is tracked until
     /// acked, expired, or out of retry budget.
+    ///
+    /// The payload is stored once in a reference-counted slab shared
+    /// by every in-flight duplicate and the retry buffer: sending and
+    /// retrying never clone the message body.
     pub fn send<C: Channel + ?Sized>(
         &mut self,
         ch: &C,
@@ -422,11 +673,14 @@ impl<M: Clone> CommsNetwork<M> {
     ) -> u64 {
         let _span = obs::span("comms");
         let seq = self.bump_seq(src, dst);
+        let slot = self.payloads.insert(payload);
         if let CommsPolicy::Reliable(cfg) = self.policy {
+            // The slab reference created by `insert` transfers to the
+            // pending entry (released on ack or expiry).
             self.pending.insert(
                 (src, dst, seq),
                 Pending {
-                    payload: payload.clone(),
+                    slot,
                     sent_at: now.0,
                     // Saturating: `retry_backoff` is caller-supplied
                     // and may be huge; a saturated deadline simply
@@ -435,8 +689,13 @@ impl<M: Clone> CommsNetwork<M> {
                     attempts: 1,
                 },
             );
+            self.launch(ch, src, dst, seq, 0, slot, now, log);
+        } else {
+            self.launch(ch, src, dst, seq, 0, slot, now, log);
+            // Fire-and-forget: only airborne copies keep the body
+            // alive, so a lost frame frees its slot immediately.
+            self.payloads.decref(slot);
         }
-        self.launch(ch, src, dst, seq, 0, &payload, now, log);
         seq
     }
 
@@ -452,6 +711,23 @@ impl<M: Clone> CommsNetwork<M> {
         now: Tick,
         log: &mut ExplanationLog,
     ) -> Vec<Delivered<M>> {
+        let mut out = Vec::new();
+        self.step_into(ch, now, log, &mut out);
+        out
+    }
+
+    /// Like [`CommsNetwork::step`], but appends deliveries to a
+    /// caller-supplied buffer instead of allocating a fresh `Vec`
+    /// (`out` is *not* cleared first). With a reused buffer the
+    /// steady-state send/deliver/ack cycle performs no heap
+    /// allocation per message.
+    pub fn step_into<C: Channel + ?Sized>(
+        &mut self,
+        ch: &C,
+        now: Tick,
+        log: &mut ExplanationLog,
+        out: &mut Vec<Delivered<M>>,
+    ) {
         let _span = obs::span("comms");
         // 1. Acks coming home confirm pending messages (before the
         // retry scan, so an acked message never retries this tick).
@@ -463,8 +739,9 @@ impl<M: Clone> CommsNetwork<M> {
 
         // 3. Data frames landing now.
         let reliable = matches!(self.policy, CommsPolicy::Reliable(_));
-        let mut out = Vec::new();
-        for f in self.data.due(now) {
+        let mut flights = std::mem::take(&mut self.flight_scratch);
+        self.data.drain_due_into(now, &mut flights);
+        for f in flights.drain(..) {
             let fresh = if reliable {
                 self.seen.entry((f.src, f.dst)).or_default().mark(f.seq)
             } else {
@@ -477,17 +754,21 @@ impl<M: Clone> CommsNetwork<M> {
                     src: f.src,
                     dst: f.dst,
                     seq: f.seq,
-                    payload: f.payload,
+                    // The one deliberate copy: the receiver owns its
+                    // message (trivial for the `Copy` payloads the
+                    // substrates use).
+                    payload: self.payloads.get(f.slot).clone(),
                 });
             } else {
                 self.stats.duplicates += 1;
             }
+            self.payloads.decref(f.slot);
             if reliable {
                 // Ack every copy (the ack for an earlier copy may
                 // itself have been lost); the ack rides the reverse
                 // link and is just as mortal as the data was.
                 let o = self.transmit_logged(ch, f.dst, f.src, f.wire_seq | ACK_BIT, now, log);
-                if let Some(&at) = o.arrivals.first() {
+                if let Some(at) = o.arrivals.first() {
                     self.acks.schedule(
                         at,
                         AckFlight {
@@ -499,86 +780,97 @@ impl<M: Clone> CommsNetwork<M> {
                 }
             }
         }
+        self.flight_scratch = flights;
 
         // 4. Acks generated by this tick's deliveries may arrive in
         // the same tick on a zero-delay link; land them now so an
         // ideal channel leaves nothing pending across ticks.
         self.land_acks(now);
-        out
     }
 
     fn land_acks(&mut self, now: Tick) {
-        for a in self.acks.due(now) {
-            if self.pending.remove(&(a.src, a.dst, a.seq)).is_some() {
+        let mut acks = std::mem::take(&mut self.ack_scratch);
+        self.acks.drain_due_into(now, &mut acks);
+        for a in acks.drain(..) {
+            if let Some(p) = self.pending.remove(&(a.src, a.dst, a.seq)) {
                 self.stats.acked += 1;
                 self.last_heard.insert((a.src, a.dst), now.0);
+                self.payloads.decref(p.slot);
             }
         }
+        self.ack_scratch = acks;
     }
 
     fn drive_pending<C: Channel + ?Sized>(&mut self, ch: &C, now: Tick, log: &mut ExplanationLog) {
-        if let CommsPolicy::Reliable(cfg) = self.policy {
-            let due: Vec<(usize, usize, u64)> = self
-                .pending
+        let CommsPolicy::Reliable(cfg) = self.policy else {
+            return;
+        };
+        let mut due = std::mem::take(&mut self.retry_scratch);
+        due.extend(
+            self.pending
                 .iter()
                 .filter(|(_, p)| p.next_retry <= now.0)
-                .map(|(k, _)| *k)
-                .collect();
-            for key in due {
-                let (expired, info) = match self.pending.get_mut(&key) {
-                    None => continue,
-                    Some(p) => {
-                        if p.attempts >= cfg.retry_budget
-                            || now.0.saturating_sub(p.sent_at) >= cfg.send_timeout
-                        {
-                            (true, None)
-                        } else {
-                            let attempt = p.attempts;
-                            p.attempts += 1;
-                            // `1 << attempt.min(16)` cannot overflow:
-                            // the literal is inferred as u64 from the
-                            // `saturating_mul` receiver, and the
-                            // shift amount is clamped to 16 ≪ 64, so
-                            // the factor is at most 2¹⁶. The multiply
-                            // saturates, and the deadline add below
-                            // must too — `backoff_max` is
-                            // caller-supplied and may be near
-                            // `u64::MAX`, where `now + backoff`
-                            // would overflow (a panic in debug, a
-                            // *past-due* wrapped deadline in release;
-                            // the regression tests cover both).
-                            let backoff = cfg
-                                .retry_backoff
-                                .saturating_mul(1 << attempt.min(16))
-                                .min(cfg.backoff_max.max(1));
-                            p.next_retry = now.0.saturating_add(backoff);
-                            (false, Some((p.payload.clone(), attempt, backoff)))
-                        }
+                .map(|(k, _)| *k),
+        );
+        for &key in &due {
+            let (expired, info) = match self.pending.get_mut(&key) {
+                None => continue,
+                Some(p) => {
+                    if p.attempts >= cfg.retry_budget
+                        || now.0.saturating_sub(p.sent_at) >= cfg.send_timeout
+                    {
+                        (true, None)
+                    } else {
+                        let attempt = p.attempts;
+                        p.attempts += 1;
+                        // `1 << attempt.min(16)` cannot overflow:
+                        // the literal is inferred as u64 from the
+                        // `saturating_mul` receiver, and the
+                        // shift amount is clamped to 16 ≪ 64, so
+                        // the factor is at most 2¹⁶. The multiply
+                        // saturates, and the deadline add below
+                        // must too — `backoff_max` is
+                        // caller-supplied and may be near
+                        // `u64::MAX`, where `now + backoff`
+                        // would overflow (a panic in debug, a
+                        // *past-due* wrapped deadline in release;
+                        // the regression tests cover both).
+                        let backoff = cfg
+                            .retry_backoff
+                            .saturating_mul(1 << attempt.min(16))
+                            .min(cfg.backoff_max.max(1));
+                        p.next_retry = now.0.saturating_add(backoff);
+                        (false, Some((p.slot, attempt, backoff)))
                     }
-                };
-                let (src, dst, seq) = key;
-                if expired {
-                    if let Some(p) = self.pending.remove(&key) {
-                        self.stats.expired += 1;
-                        log.record(
-                            Explanation::new(now, format!("comms:expire:{src}->{dst}"))
-                                .because("seq", seq as f64)
-                                .because("attempts", f64::from(p.attempts))
-                                .because("age", now.0.saturating_sub(p.sent_at) as f64),
-                        );
-                    }
-                } else if let Some((payload, attempt, backoff)) = info {
-                    self.stats.retries += 1;
-                    log.record(
-                        Explanation::new(now, format!("comms:retry:{src}->{dst}"))
-                            .because("seq", seq as f64)
-                            .because("attempt", f64::from(attempt))
-                            .because("backoff", backoff as f64),
-                    );
-                    self.launch(ch, src, dst, seq, attempt, &payload, now, log);
                 }
+            };
+            let (src, dst, seq) = key;
+            if expired {
+                if let Some(p) = self.pending.remove(&key) {
+                    self.stats.expired += 1;
+                    self.payloads.decref(p.slot);
+                    log.record_with(|| {
+                        Explanation::new(now, format!("comms:expire:{src}->{dst}"))
+                            .because("seq", seq as f64)
+                            .because("attempts", f64::from(p.attempts))
+                            .because("age", now.0.saturating_sub(p.sent_at) as f64)
+                    });
+                }
+            } else if let Some((slot, attempt, backoff)) = info {
+                self.stats.retries += 1;
+                log.record_with(|| {
+                    Explanation::new(now, format!("comms:retry:{src}->{dst}"))
+                        .because("seq", seq as f64)
+                        .because("attempt", f64::from(attempt))
+                        .because("backoff", backoff as f64)
+                });
+                // Retransmits straight out of the slab: no payload
+                // clone, however many attempts the budget allows.
+                self.launch(ch, src, dst, seq, attempt, slot, now, log);
             }
         }
+        due.clear();
+        self.retry_scratch = due;
     }
 
     /// A latency-bound request/response exchange (`a` asks, `b`
@@ -736,7 +1028,7 @@ mod tests {
         fn transmit(&self, src: usize, dst: usize, seq: u64, now: Tick) -> ChannelOutcome {
             if self.partition_all {
                 return ChannelOutcome {
-                    arrivals: vec![],
+                    arrivals: Arrivals::new(),
                     partitioned: true,
                 };
             }
@@ -790,7 +1082,7 @@ mod tests {
         impl Channel for Dup {
             fn transmit(&self, _s: usize, _d: usize, _q: u64, now: Tick) -> ChannelOutcome {
                 ChannelOutcome {
-                    arrivals: vec![now, Tick(now.0 + 1)],
+                    arrivals: [now, Tick(now.0 + 1)].into_iter().collect(),
                     partitioned: false,
                 }
             }
@@ -925,5 +1217,82 @@ mod tests {
         assert!(!w.mark(0));
         assert!(!w.mark(5));
         assert!(w.mark(SEEN_WINDOW as u64 + 50));
+    }
+
+    #[test]
+    fn seen_window_tracks_reordered_and_far_jumps() {
+        let mut w = SeenWindow::default();
+        assert!(w.mark(3));
+        assert!(w.mark(1));
+        assert!(w.mark(2));
+        assert!(!w.mark(3));
+        assert!(!w.mark(1));
+        // A far jump slides the window; in-window history survives
+        // the shift, out-of-window history falls below the floor.
+        let far = 3 + SEEN_WINDOW as u64 - 1;
+        assert!(w.mark(far));
+        assert!(!w.mark(3), "still inside the window after the slide");
+        assert!(w.mark(4), "unseen in-window seq stays fresh");
+        // Jump beyond the whole window: everything old is below floor.
+        assert!(w.mark(far + 3 * SEEN_WINDOW as u64));
+        assert!(!w.mark(far));
+        assert!(!w.mark(4));
+    }
+
+    #[test]
+    fn arrivals_inline_spill_and_equality() {
+        let mut a = Arrivals::new();
+        assert!(a.is_empty());
+        assert_eq!(a.first(), None);
+        for t in 0..5 {
+            a.push(Tick(t));
+        }
+        assert_eq!(a.len(), 5);
+        assert_eq!(a.first(), Some(Tick(0)));
+        assert!(a.contains(Tick(4)));
+        assert!(!a.contains(Tick(9)));
+        let collected: Arrivals = (0..5).map(Tick).collect();
+        assert_eq!(a, collected);
+        assert_ne!(a, Arrivals::once(Tick(0)));
+        let ticks: Vec<Tick> = a.iter().collect();
+        assert_eq!(ticks, (0..5).map(Tick).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn payload_slab_recycles_slots() {
+        let mut slab: PayloadSlab<u32> = PayloadSlab::new();
+        let a = slab.insert(10);
+        let b = slab.insert(20);
+        assert_ne!(a, b);
+        slab.incref(a);
+        slab.decref(a);
+        assert_eq!(*slab.get(a), 10, "still alive while referenced");
+        slab.decref(a);
+        // Freed slot is recycled before the backing Vec grows.
+        let c = slab.insert(30);
+        assert_eq!(c, a);
+        assert_eq!(*slab.get(c), 30);
+        assert_eq!(*slab.get(b), 20);
+        assert_eq!(slab.slots.len(), 2);
+    }
+
+    #[test]
+    fn reliable_cycle_reuses_payload_slots() {
+        // A long steady-state conversation must not grow the slab:
+        // every send/deliver/ack cycle returns its slot.
+        let mut net: CommsNetwork<u64> = CommsNetwork::new(CommsPolicy::default());
+        let mut l = log();
+        for t in 0..200u64 {
+            net.send(&IdealChannel, 0, 1, t, Tick(t), &mut l);
+            let got = net.step(&IdealChannel, Tick(t), &mut l);
+            assert_eq!(got.len(), 1);
+            assert_eq!(got[0].payload, t);
+        }
+        assert_eq!(net.unacked(), 0);
+        assert_eq!(
+            net.payloads.slots.len(),
+            1,
+            "steady state should recycle a single slot"
+        );
     }
 }

@@ -200,6 +200,7 @@ pub struct ExplanationLog {
     capacity: usize,
     recorded: u64,
     dropped: u64,
+    enabled: bool,
 }
 
 impl Default for ExplanationLog {
@@ -222,18 +223,48 @@ impl ExplanationLog {
             capacity,
             recorded: 0,
             dropped: 0,
+            enabled: true,
         }
     }
 
     /// Appends an explanation, evicting the oldest retained entry (and
-    /// counting it as dropped) once the ring is full.
+    /// counting it as dropped) once the ring is full. A no-op (nothing
+    /// retained, nothing counted) while the log is disabled.
     pub fn record(&mut self, e: Explanation) {
+        if !self.enabled {
+            return;
+        }
         if self.entries.len() == self.capacity {
             self.entries.pop_front();
             self.dropped += 1;
         }
         self.entries.push_back(e);
         self.recorded += 1;
+    }
+
+    /// Builds and appends an explanation only when the log is enabled.
+    ///
+    /// Hot paths pay for explanation text (`format!`, factor vectors)
+    /// even when no operator will ever read it; routing construction
+    /// through a closure makes the disabled path allocation-free while
+    /// keeping the recorded entry byte-identical when enabled.
+    pub fn record_with(&mut self, make: impl FnOnce() -> Explanation) {
+        if self.enabled {
+            self.record(make());
+        }
+    }
+
+    /// Turns recording on or off (on by default). While disabled,
+    /// [`ExplanationLog::record`] and [`ExplanationLog::record_with`]
+    /// do nothing; retained entries and counters are left untouched.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Whether the log is currently recording.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
     }
 
     /// Changes the retention bound in place, evicting oldest entries
@@ -409,6 +440,27 @@ mod tests {
         assert_eq!(log.find_by_action("scale").len(), 2);
         assert_eq!(log.find_by_action("hold").len(), 1);
         assert!(log.find_by_action("reboot").is_empty());
+    }
+
+    #[test]
+    fn disabled_log_records_nothing_and_reenables() {
+        let mut log = ExplanationLog::new(4);
+        assert!(log.is_enabled());
+        log.record(sample(0, "kept"));
+        log.set_enabled(false);
+        log.record(sample(1, "dropped-eager"));
+        let mut built = false;
+        log.record_with(|| {
+            built = true;
+            sample(2, "dropped-lazy")
+        });
+        assert!(!built, "record_with must not build while disabled");
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.recorded_count(), 1);
+        log.set_enabled(true);
+        log.record_with(|| sample(3, "kept-lazy"));
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.latest().unwrap().action, "kept-lazy");
     }
 
     #[test]

@@ -98,8 +98,8 @@ pub mod prelude {
     pub use crate::architecture::{describe, validate, SelfDescription};
     pub use crate::attention::AttentionAllocator;
     pub use crate::comms::{
-        Channel, ChannelOutcome, CommsNetwork, CommsPolicy, CommsStats, Delivered, IdealChannel,
-        ReliableConfig, StalenessWeighted,
+        Arrivals, Channel, ChannelOutcome, CommsNetwork, CommsPolicy, CommsStats, Delivered,
+        IdealChannel, ReliableConfig, StalenessWeighted,
     };
     pub use crate::error::SelfAwareError;
     pub use crate::explain::{Explanation, ExplanationLog};

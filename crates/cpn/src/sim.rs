@@ -294,6 +294,8 @@ pub fn run_cpn(cfg: &CpnConfig, seeds: &SeedTree) -> CpnResult {
     // goes stale, and the comms policy decides how routing copes.
     let ctrl = graph.len();
     let mut comms_net: CommsNetwork<Vec<usize>> = CommsNetwork::new(cfg.comms);
+    // Delivery buffer reused every tick (no per-tick allocation).
+    let mut comms_inbox: Vec<selfaware::comms::Delivered<Vec<usize>>> = Vec::new();
     let mut comms_log = ExplanationLog::new(2048);
     let ideal = cfg.channel.is_ideal();
     let aware = !cfg.comms.is_naive();
@@ -594,7 +596,9 @@ pub fn run_cpn(cfg: &CpnConfig, seeds: &SeedTree) -> CpnResult {
                 comms_net.send(&cfg.channel, u, ctrl, report, now, &mut comms_log);
             }
         }
-        for d in comms_net.step(&cfg.channel, now, &mut comms_log) {
+        comms_inbox.clear();
+        comms_net.step_into(&cfg.channel, now, &mut comms_log, &mut comms_inbox);
+        for d in comms_inbox.drain(..) {
             if d.dst == ctrl && last_report_seq[d.src].is_none_or(|s| d.seq > s) {
                 last_report_seq[d.src] = Some(d.seq);
                 believed[d.src] = d.payload;

@@ -30,13 +30,36 @@
 use crate::clock::Tick;
 use std::collections::BTreeMap;
 
+/// Spent per-tick batch buffers retained for reuse (see
+/// [`DeliveryQueue::drain_due_into`]); bounded so a burst cannot pin
+/// memory forever.
+const POOL_LIMIT: usize = 32;
+
 /// A deterministic "in flight" buffer: payloads scheduled for future
 /// ticks, drained in (arrival tick, insertion order) order.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Emptied per-tick buffers are recycled into future [`schedule`]
+/// calls, so a steady-state schedule/drain cycle performs no heap
+/// allocation (the comms layer's zero-alloc hot path depends on
+/// this).
+///
+/// [`schedule`]: DeliveryQueue::schedule
+#[derive(Debug, Clone)]
 pub struct DeliveryQueue<T> {
     slots: BTreeMap<u64, Vec<T>>,
     len: usize,
+    pool: Vec<Vec<T>>,
 }
+
+// The recycling pool is invisible state: equality is defined by what
+// is in flight, not by how many spare buffers are cached.
+impl<T: PartialEq> PartialEq for DeliveryQueue<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.slots == other.slots
+    }
+}
+
+impl<T: Eq> Eq for DeliveryQueue<T> {}
 
 impl<T> Default for DeliveryQueue<T> {
     fn default() -> Self {
@@ -51,12 +74,17 @@ impl<T> DeliveryQueue<T> {
         Self {
             slots: BTreeMap::new(),
             len: 0,
+            pool: Vec::new(),
         }
     }
 
     /// Files `item` for visibility at tick `at` (inclusive).
     pub fn schedule(&mut self, at: Tick, item: T) {
-        self.slots.entry(at.0).or_default().push(item);
+        let pool = &mut self.pool;
+        self.slots
+            .entry(at.0)
+            .or_insert_with(|| pool.pop().unwrap_or_default())
+            .push(item);
         self.len += 1;
     }
 
@@ -64,18 +92,31 @@ impl<T> DeliveryQueue<T> {
     /// ordered by (arrival tick, insertion order).
     pub fn due(&mut self, now: Tick) -> Vec<T> {
         let mut out = Vec::new();
-        // At `now = u64::MAX` everything is due; splitting at
-        // `now + 1` would overflow (hit by comms configs whose
-        // saturated retry deadlines step the protocol at Tick MAX).
-        let later = now
-            .0
-            .checked_add(1)
-            .map_or_else(BTreeMap::new, |bound| self.slots.split_off(&bound));
-        for (_, mut batch) in std::mem::replace(&mut self.slots, later) {
-            out.append(&mut batch);
-        }
-        self.len -= out.len();
+        self.drain_due_into(now, &mut out);
         out
+    }
+
+    /// Appends every item whose arrival tick is `<= now` to `out`, in
+    /// (arrival tick, insertion order) order; `out` is *not* cleared
+    /// first. The emptied per-tick buffers are kept for future
+    /// [`DeliveryQueue::schedule`] calls, so callers that reuse `out`
+    /// get an allocation-free steady state.
+    pub fn drain_due_into(&mut self, now: Tick, out: &mut Vec<T>) {
+        // Removing one tick at a time sidesteps the `now + 1`
+        // overflow a `split_off` bound would hit at `Tick(u64::MAX)`
+        // (where everything is due).
+        while let Some((&t, _)) = self.slots.first_key_value() {
+            if t > now.0 {
+                break;
+            }
+            if let Some(mut batch) = self.slots.remove(&t) {
+                self.len -= batch.len();
+                out.append(&mut batch);
+                if self.pool.len() < POOL_LIMIT {
+                    self.pool.push(batch);
+                }
+            }
+        }
     }
 
     /// Earliest arrival tick still queued, if any.
@@ -131,6 +172,33 @@ mod tests {
         q.schedule(Tick(u64::MAX), "b");
         assert_eq!(q.due(Tick(u64::MAX)), vec!["a", "b"]);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn drain_due_into_appends_without_clearing_and_recycles() {
+        let mut q = DeliveryQueue::new();
+        q.schedule(Tick(1), 10u32);
+        q.schedule(Tick(2), 20);
+        let mut out = vec![5u32];
+        q.drain_due_into(Tick(1), &mut out);
+        assert_eq!(out, vec![5, 10]);
+        // The emptied tick-1 buffer is recycled by later schedules;
+        // drain order and contents are unaffected.
+        q.schedule(Tick(3), 30);
+        out.clear();
+        q.drain_due_into(Tick(u64::MAX), &mut out);
+        assert_eq!(out, vec![20, 30]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pool_does_not_affect_equality() {
+        let mut a = DeliveryQueue::new();
+        let b = DeliveryQueue::<u32>::new();
+        a.schedule(Tick(0), 1);
+        let _ = a.due(Tick(0));
+        // `a` now holds a recycled buffer, `b` never allocated one.
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -647,6 +647,27 @@ impl PhaseProfile {
 }
 
 // ---------------------------------------------------------------------------
+// Process resource sampling
+// ---------------------------------------------------------------------------
+
+/// Peak resident-set size of the current process in **bytes**, read
+/// from `/proc/self/status` (`VmHWM`). Returns `None` on platforms
+/// without procfs (or when the field is absent/unparseable), so
+/// consumers like `perfbench` can stay schema-stable cross-platform
+/// by emitting an explicit null instead of a bogus number.
+#[must_use]
+pub fn read_peak_rss() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kib: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kib.saturating_mul(1024));
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
 // Per-replicate sink
 // ---------------------------------------------------------------------------
 
@@ -835,6 +856,22 @@ impl TraceWriter {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn peak_rss_is_positive_on_linux_and_none_elsewhere() {
+        match read_peak_rss() {
+            // A process that got this far has touched megabytes; the
+            // value is in bytes, so it must comfortably exceed a page.
+            Some(bytes) => assert!(bytes >= 4096, "implausible peak RSS: {bytes}"),
+            // Non-Linux (no procfs): the helper must degrade to None
+            // rather than fabricate a number.
+            None => {
+                if cfg!(target_os = "linux") {
+                    panic!("Linux with procfs should report VmHWM");
+                }
+            }
+        }
+    }
 
     #[test]
     fn json_renders_compact() {

@@ -8,7 +8,7 @@
 //! the comparisons the paper's hypothesis calls for).
 
 use crate::obs::{self, Json, PhaseProfile, ReplicateObs};
-use crate::parallel::{panic_message, par_map_index, worker_count};
+use crate::parallel::{panic_message, par_map_index_chunked, replication_chunk, worker_count};
 use crate::rng::SeedTree;
 use crate::stats::OnlineStats;
 use std::borrow::Cow;
@@ -501,7 +501,8 @@ impl Replications {
     {
         timed(
             || {
-                let cells = par_map_index(self.count as usize, threads, |k| {
+                let n = self.count as usize;
+                let cells = par_map_index_chunked(n, threads, replication_chunk(n, threads), |k| {
                     self.guarded_cell(k as u32, &scenario)
                 });
                 report_from(cells)
@@ -546,10 +547,15 @@ impl Replications {
         let cells = arms.len() * reps;
         timed(
             || {
-                let outcomes = par_map_index(cells, threads, |cell| {
-                    let (arm, k) = (cell / reps, cell % reps);
-                    self.guarded_cell(k as u32, &|seeds| scenario(&arms[arm], seeds))
-                });
+                let outcomes = par_map_index_chunked(
+                    cells,
+                    threads,
+                    replication_chunk(cells, threads),
+                    |cell| {
+                        let (arm, k) = (cell / reps, cell % reps);
+                        self.guarded_cell(k as u32, &|seeds| scenario(&arms[arm], seeds))
+                    },
+                );
                 let mut arm_outcomes: Vec<Vec<Cell>> = Vec::with_capacity(arms.len());
                 let mut it = outcomes.into_iter();
                 for _ in 0..arms.len() {

@@ -12,7 +12,7 @@
 //! same reason.
 
 use rand::Rng as _;
-use selfaware::comms::{Channel, ChannelOutcome};
+use selfaware::comms::{Arrivals, Channel, ChannelOutcome};
 use serde::{Deserialize, Serialize};
 use simkernel::rng::{Rng, SeedTree};
 use simkernel::Tick;
@@ -672,7 +672,7 @@ impl Channel for ChannelPlan {
     fn transmit(&self, src: usize, dst: usize, seq: u64, now: Tick) -> ChannelOutcome {
         if self.partitioned_at(src, dst, now) {
             return ChannelOutcome {
-                arrivals: vec![],
+                arrivals: Arrivals::new(),
                 partitioned: true,
             };
         }
@@ -690,7 +690,7 @@ impl Channel for ChannelPlan {
                 0
             }
         };
-        let mut arrivals = vec![Tick(now.0 + delay_of(DRAW_DELAY, DRAW_DELAY_TICKS))];
+        let mut arrivals = Arrivals::once(Tick(now.0 + delay_of(DRAW_DELAY, DRAW_DELAY_TICKS)));
         if self.unit(src, dst, seq, DRAW_DUP) < m.dup {
             arrivals.push(Tick(now.0 + delay_of(DRAW_DUP_DELAY, DRAW_DUP_TICKS)));
         }
@@ -866,7 +866,7 @@ mod tests {
             let a = plan.transmit(1, 2, seq, Tick(10));
             let b = plan.transmit(1, 2, seq, Tick(10));
             assert_eq!(a, b, "same frame, same fate");
-            for &at in &a.arrivals {
+            for at in a.arrivals.iter() {
                 assert!(at.value() >= 10 && at.value() <= 15);
             }
         }
