@@ -30,6 +30,18 @@ SAS_THREADS=4 cargo test -q --offline -p sas-bench -p simkernel
 echo "==> cargo bench -p sas-bench --bench f8_comms_loss (F8_STEPS=600)"
 F8_STEPS=600 cargo bench --offline -p sas-bench --bench f8_comms_loss
 
+# F9 smoke: the composed smart-city cascade end-to-end at reduced
+# length, observability on, and schema-validate its emitted run trace
+# — the composition layer's cross-substrate wiring and the F9 trace
+# are both gated here.
+echo "==> SAS_OBS=1 cargo bench -p sas-bench --bench f9_smart_city (F9_STEPS=300)"
+rm -rf target/obs
+SAS_OBS=1 F9_STEPS=300 cargo bench --offline -p sas-bench --bench f9_smart_city
+
+echo "==> cargo run -p sas-bench --bin obs_validate (F9 trace)"
+cargo run --offline -p sas-bench --bin obs_validate
+rm -rf target/obs
+
 # Observability smoke: one real experiment under SAS_OBS=1 must emit
 # a parseable JSONL run trace with the expected schema (provenance,
 # arm aggregates + phase profile, per-replicate records). target/obs

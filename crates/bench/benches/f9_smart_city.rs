@@ -1,0 +1,28 @@
+//! Regenerates Table F9 (composed smart-city cascade) and the F9b
+//! learned-router breaking-point sweep. See EXPERIMENTS.md. `F9_STEPS`
+//! overrides the horizon (default 3000) for quick smoke runs.
+fn main() {
+    let steps = std::env::var("F9_STEPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3_000);
+    let start = std::time::Instant::now();
+    let table = sas_bench::run_f9(sas_bench::REPS, steps);
+    println!("{table}");
+    let (sweep, breaking) = sas_bench::f9_breaking_point(sas_bench::REPS, steps);
+    println!("{sweep}");
+    match breaking {
+        Some(loss) => println!(
+            "breaking point: learned-router delivery drops >5% below clean at {:.0}% report loss",
+            loss * 100.0
+        ),
+        None => println!(
+            "breaking point: not reached — the learned router held within 5% of clean delivery across the whole sweep"
+        ),
+    }
+    eprintln!(
+        "regenerated in {:.2?} on {} worker thread(s)",
+        start.elapsed(),
+        simkernel::worker_count(usize::MAX)
+    );
+}

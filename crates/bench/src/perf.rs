@@ -2,7 +2,7 @@
 //! `BENCH_<n>.json`.
 //!
 //! The repo's self-awareness loop is only credible at scale if its own
-//! runtime cost is measured and held: this module runs the F5–F8
+//! runtime cost is measured and held: this module runs the F5–F9
 //! experiment scenarios under forced observability (`SAS_OBS=1`
 //! semantics via [`obs::set_override`]) with **fixed seeds, steps and
 //! replicate counts**, and renders one JSON document containing, per
@@ -23,12 +23,13 @@
 //! variant and validates **schema only** — timings are
 //! machine-dependent and must never gate a build.
 //!
-//! Arm labels are exactly the labels `run_f5`..`run_f8` print, so
+//! Arm labels are exactly the labels `run_f5`..`run_f9` print, so
 //! benchmark arms and experiment arms cannot silently diverge (see
 //! EXPERIMENTS.md).
 
 use crate::experiments::{
-    f5_scenario, f6_scenario, f7_fault_plan, f7_scenario, f8_arms, f8_scenario, F7Arm,
+    f5_scenario, f6_scenario, f7_fault_plan, f7_scenario, f8_arms, f8_scenario, f9_scenario, F7Arm,
+    F9Arm,
 };
 use simkernel::obs::{self, Json};
 use simkernel::{MetricSet, Replications, SeedTree};
@@ -111,6 +112,15 @@ fn experiment_specs(smoke: bool) -> Vec<ExpSpec> {
         })
         .collect();
 
+    let f9_steps = pick(1_500, 150);
+    let f9_arm_specs: Vec<ArmSpec> = F9Arm::all()
+        .into_iter()
+        .map(|arm| ArmSpec {
+            label: arm.label(),
+            run: Box::new(move |seeds| f9_scenario(arm, seeds, f9_steps)),
+        })
+        .collect();
+
     vec![
         ExpSpec {
             name: "f5",
@@ -135,6 +145,12 @@ fn experiment_specs(smoke: bool) -> Vec<ExpSpec> {
             seed: 0xF8,
             steps: f8_steps,
             arms: f8_arm_specs,
+        },
+        ExpSpec {
+            name: "f9",
+            seed: 0xF9,
+            steps: f9_steps,
+            arms: f9_arm_specs,
         },
     ]
 }
@@ -240,7 +256,8 @@ fn require_num(obj: &Json, key: &str, what: &str) -> Result<f64, String> {
 
 /// Validates a benchmark document against the `perfbench` schema.
 ///
-/// Checks structure only — record tag, experiment coverage (F5–F8),
+/// Checks structure only — record tag, experiment coverage (at least
+/// F5–F8; newer documents also carry F9),
 /// per-arm wall-clock/throughput maps over exactly
 /// [`BENCH_THREADS`], phase-profile summaries with histogram arrays,
 /// and a numeric-or-null peak RSS. Deliberately says nothing about

@@ -307,3 +307,52 @@ fn f6_like(plan: &FaultPlan, guarded: bool, seeds: SeedTree) -> u64 {
     }
     err.to_bits()
 }
+
+/// An arbitrary zone outage over the F9 world's 9 backend machines
+/// (3 zones × 3 cores).
+fn zone_outage_event() -> impl Strategy<Value = FaultEvent> {
+    (0usize..9, 1usize..4, 0u64..STEPS, 1u64..STEPS / 2)
+        .prop_map(|(first, count, at, dur)| FaultEvent::zone_outage(Tick(at), first, count, dur))
+}
+
+proptest! {
+    #[test]
+    fn any_fault_campaign_is_parity_clean(
+        zones in proptest::collection::vec(zone_outage_event(), 0..3),
+        links in proptest::collection::vec(link_outage(), 0..3),
+        sensors in proptest::collection::vec(sensor_fault(), 0..3),
+        corruptions in proptest::collection::vec(model_corruption(), 0..2),
+        model in link_model(),
+        part in partition_spec(),
+        naive in any::<bool>(),
+    ) {
+        // The F9 composition is the union of every fault surface:
+        // random composed campaigns (zone outages + CPN link cuts +
+        // sensor faults + model corruption + an arbitrary lossy /
+        // partitioned command channel) over the composed city must
+        // never panic, never wedge the delivery queue, and stay
+        // bit-identical between the sequential and parallel
+        // replication engines at both stack policies.
+        let plan = FaultPlan::new(
+            zones
+                .into_iter()
+                .chain(links.into_iter().flatten())
+                .chain(sensors)
+                .chain(corruptions)
+                .collect(),
+        );
+        let policy = if naive {
+            compose::CityPolicy::all_naive()
+        } else {
+            compose::CityPolicy::supervised()
+        };
+        check_parity(0x9A9, |seeds| {
+            let city_seeds = seeds.child("city");
+            let mut cfg = compose::CityConfig::standard(policy.clone(), STEPS, &city_seeds);
+            cfg.campaign = workloads::FaultCampaign::new("prop", &city_seeds)
+                .with_faults(&plan)
+                .with_channel(channel_of(&city_seeds, model, &part));
+            compose::run_city(&cfg, &city_seeds).metrics
+        }, &format!("proptest/f9-campaign/naive={naive}"));
+    }
+}

@@ -170,3 +170,17 @@ fn exported_run_trace_parses_and_carries_replicate_events() {
     }
     std::fs::remove_dir_all(&root).ok();
 }
+
+#[test]
+fn f9_scenario_obs_parity() {
+    use sas_bench::experiments::{f9_scenario, F9Arm};
+    let _guard = obs_lock();
+    // The composed city emits the full structured record (metrics +
+    // per-link comms maps + explanations); none of it may feed back
+    // into the simulation at any thread count.
+    check_obs_parity(
+        0xF9,
+        |seeds| f9_scenario(F9Arm::Supervised, seeds, 400),
+        "f9/supervised",
+    );
+}

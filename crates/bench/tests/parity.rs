@@ -415,3 +415,20 @@ fn f8_lossy_comms_scenarios_are_parity_clean() {
         }
     }
 }
+
+#[test]
+fn f9_composed_city_scenarios_are_parity_clean() {
+    use sas_bench::experiments::{f9_scenario, F9Arm};
+    // The composed world crosses every substrate boundary in one
+    // tick; the cascade campaign (zone outage + healing-inside-outage
+    // partition + sensor bias + model scramble + lossy command links)
+    // exercises all of them at once. Both the full stack and the
+    // all-naive ablation must be bit-identical seq vs parallel.
+    for arm in [F9Arm::Supervised, F9Arm::AllNaive] {
+        check_parity(
+            0xF9,
+            |seeds| f9_scenario(arm, seeds, STEPS),
+            &format!("compose/f9/{}", arm.label()),
+        );
+    }
+}

@@ -5,7 +5,7 @@ use crate::cluster::Cluster;
 use crate::node::NodeSpec;
 use crate::request::{Request, RequestOutcome};
 use crate::strategy::Strategy;
-use selfaware::comms::{CommsNetwork, CommsPolicy, CommsStats, Delivered};
+use selfaware::comms::{Channel, ChannelOutcome, CommsNetwork, CommsPolicy, CommsStats, Delivered};
 use selfaware::explain::ExplanationLog;
 use selfaware::goals::{Direction, Goal, Objective};
 use simkernel::obs;
@@ -65,6 +65,40 @@ struct ZonedPlane {
     last_report_seq: Vec<Option<u64>>,
     /// Delivery buffer reused every tick (no per-tick allocation).
     inbox: Vec<Delivered<usize>>,
+    /// Per-zone liveness, refreshed each tick from the fault plan: a
+    /// zone is dead while *all* its nodes sit inside an active
+    /// `ZoneOutage` window. Reused buffer, no per-tick allocation.
+    dead: Vec<bool>,
+}
+
+/// Channel adapter that silences a dead zone's agent: while a zone's
+/// entire node block is inside an active [`FaultKind::ZoneOutage`]
+/// window, frames to or from that agent are lost regardless of what
+/// the underlying [`ChannelPlan`] says. This is the restore-ordering
+/// fix for overlapping outage and [`workloads::NetPartition`]
+/// windows: a partition healing mid-outage re-opens the *link*, but
+/// the agent behind it is still off, so retransmits and acks must
+/// keep dying until the outage itself lifts. Without this, the heal
+/// would resurrect delivery to a zone with nobody home.
+///
+/// Only constructed when the fault plan actually schedules zone
+/// outages, so outage-free scenarios keep their exact channel
+/// behaviour (and bit-identical traces).
+struct ZoneLiveChannel<'a> {
+    inner: &'a ChannelPlan,
+    /// Per-agent liveness for the current tick; controller (id ==
+    /// `dead.len()`) is always alive.
+    dead: &'a [bool],
+}
+
+impl Channel for ZoneLiveChannel<'_> {
+    fn transmit(&self, src: usize, dst: usize, seq: u64, now: Tick) -> ChannelOutcome {
+        let gone = |id: usize| self.dead.get(id).copied().unwrap_or(false);
+        if gone(src) || gone(dst) {
+            return ChannelOutcome::lost();
+        }
+        self.inner.transmit(src, dst, seq, now)
+    }
 }
 
 impl ZonedPlane {
@@ -90,6 +124,7 @@ impl ZonedPlane {
             last_cmd_seq: vec![None; zones],
             last_report_seq: vec![None; zones],
             inbox: Vec::new(),
+            dead: vec![false; zones],
         }
     }
 
@@ -145,13 +180,45 @@ impl ZonedPlane {
         targets
     }
 
-    /// One command-plane tick: issue changed (or overdue) targets,
-    /// flow agent reports, land deliveries, apply commands.
+    /// One command-plane tick: refresh zone liveness from the fault
+    /// plan, then issue changed (or overdue) targets, flow agent
+    /// reports, land deliveries, apply commands.
     fn tick(
         &mut self,
         desired: Option<usize>,
         cluster: &mut Cluster,
         channel: &ChannelPlan,
+        faults: &FaultPlan,
+        now: Tick,
+        log: &mut ExplanationLog,
+    ) {
+        // Taken out of `self` (inbox pattern) so the adapter can
+        // borrow it while `tick_inner` mutates the rest of the plane.
+        let mut dead = std::mem::take(&mut self.dead);
+        let mut any_dead = false;
+        for (z, flag) in dead.iter_mut().enumerate() {
+            let r = z * self.n / self.zones..(z + 1) * self.n / self.zones;
+            *flag = !r.is_empty() && r.clone().all(|i| faults.zone_down_at(i, now));
+            any_dead |= *flag;
+        }
+        if any_dead {
+            let live = ZoneLiveChannel {
+                inner: channel,
+                dead: &dead,
+            };
+            self.tick_inner(desired, cluster, &live, &dead, now, log);
+        } else {
+            self.tick_inner(desired, cluster, channel, &dead, now, log);
+        }
+        self.dead = dead;
+    }
+
+    fn tick_inner<C: Channel + ?Sized>(
+        &mut self,
+        desired: Option<usize>,
+        cluster: &mut Cluster,
+        channel: &C,
+        dead: &[bool],
         now: Tick,
         log: &mut ExplanationLog,
     ) {
@@ -178,8 +245,12 @@ impl ZonedPlane {
                 }
             }
         }
-        // Zone agents report their applied targets every tick.
-        for z in 0..self.zones {
+        // Zone agents report their applied targets every tick — but a
+        // dead zone's agent is off with its nodes and sends nothing.
+        for (z, &zone_dead) in dead.iter().enumerate().take(self.zones) {
+            if zone_dead {
+                continue;
+            }
             self.net.send(channel, z, ctrl, self.applied[z], now, log);
         }
         // Land deliveries into the reused inbox (taken out of `self`
@@ -189,9 +260,17 @@ impl ZonedPlane {
         self.net.step_into(channel, now, log, &mut inbox);
         for d in inbox.drain(..) {
             if d.dst == ctrl {
+                // Reports from a now-dead zone were sent before it
+                // died; they are stale but true, so land them.
                 if newest(&mut self.last_report_seq[d.src], d.seq) {
                     self.believed[d.src] = d.payload;
                 }
+            } else if dead[d.dst] {
+                // Nobody home: a command that slipped through (sent
+                // pre-death, arriving now) is not applied, and the
+                // watermark is *not* bumped — when the zone comes
+                // back, the aware plane's re-issue (fresh, higher
+                // seq) must still be accepted.
             } else if newest(&mut self.last_cmd_seq[d.dst], d.seq) {
                 self.applied[d.dst] = d.payload;
                 let range = self.zone_range(d.dst);
@@ -398,7 +477,14 @@ pub fn run_scenario(cfg: &ScenarioConfig, seeds: &SeedTree) -> ScenarioResult {
             None => controller.begin_tick(&mut cluster, count, now, &mut strat_rng),
             Some(p) => {
                 let desired = controller.desired_pool(&cluster, count, now);
-                p.tick(desired, &mut cluster, &cfg.channel, now, &mut comms_log);
+                p.tick(
+                    desired,
+                    &mut cluster,
+                    &cfg.channel,
+                    &cfg.faults,
+                    now,
+                    &mut comms_log,
+                );
             }
         }
         drop(decide_span);
@@ -783,6 +869,187 @@ mod tests {
         assert!(
             !r.comms_log.find_by_action("comms:partition").is_empty(),
             "partition onset must be explained"
+        );
+    }
+
+    /// Drives a [`ZonedPlane`] directly over 6 reliable nodes in 3
+    /// zones (2 nodes each; zone 1 owns nodes 2..4, comms agent id 1,
+    /// controller id 3). Returns every `(tick, new_applied)` change of
+    /// zone 1's applied target, so the overlap tests can pin down
+    /// exactly *when* delivery to that zone resumes.
+    ///
+    /// `desired(t)` drives the total rent target; `outage` is an
+    /// `(at, duration)` [`FaultKind::ZoneOutage`] over nodes 2..4;
+    /// `partition` is an `(at, duration)` [`NetPartition`] isolating
+    /// comms node 1.
+    fn zone1_applied_history(
+        desired: impl Fn(u64) -> usize,
+        outage: Option<(u64, u64)>,
+        partition: Option<(u64, u64)>,
+        steps: u64,
+    ) -> Vec<(u64, usize)> {
+        use workloads::faults::FaultEvent;
+        let seeds = SeedTree::new(99);
+        let specs: Vec<NodeSpec> = (0..6).map(|_| NodeSpec::reliable(1.0)).collect();
+        let mut cluster = Cluster::new(specs, &seeds);
+        let mut plan = ChannelPlan::ideal();
+        if let Some((at, duration)) = partition {
+            plan = plan.with_partition(at, duration, vec![1]);
+        }
+        let mut faults = FaultPlan::none();
+        if let Some((at, duration)) = outage {
+            faults = faults.and(FaultEvent::zone_outage(Tick(at), 2, 2, duration));
+        }
+        let mut plane = ZonedPlane::new(3, 6, CommsPolicy::default());
+        let mut log = ExplanationLog::new(64);
+        let mut history = vec![(0, plane.applied[1])];
+        for t in 0..steps {
+            plane.tick(
+                Some(desired(t)),
+                &mut cluster,
+                &plan,
+                &faults,
+                Tick(t),
+                &mut log,
+            );
+            if plane.applied[1] != history[history.len() - 1].1 {
+                history.push((t, plane.applied[1]));
+            }
+        }
+        history
+    }
+
+    /// Asserts zone 1's applied target never changes inside
+    /// `quiet` and changes to `expect` within `window`.
+    fn assert_resumes_in(
+        history: &[(u64, usize)],
+        quiet: std::ops::Range<u64>,
+        window: std::ops::Range<u64>,
+        expect: usize,
+    ) {
+        assert!(
+            !history.iter().any(|&(t, _)| quiet.contains(&t)),
+            "delivery resurrected inside {quiet:?}: {history:?}"
+        );
+        assert!(
+            history
+                .iter()
+                .any(|&(t, v)| window.contains(&t) && v == expect),
+            "applied never became {expect} in {window:?}: {history:?}"
+        );
+    }
+
+    // Overlap matrix for ZoneOutage × NetPartition restore ordering.
+    // Zone 1 (nodes 2..4) starts with applied target 2; the desired
+    // total drops 6 → 3 at tick 250, so its new target is 1. The
+    // commanding question in each case: when is that 1 allowed to
+    // land? Never while the zone is dead, never while the partition
+    // cuts the link — only after *both* windows have closed.
+
+    #[test]
+    fn partition_heal_inside_outage_does_not_resurrect_dead_zone() {
+        // Outage [200,400), partition [150,300): the heal at 300
+        // re-opens the link while nobody is home; delivery must wait
+        // for the outage to lift at 400.
+        let h = zone1_applied_history(
+            |t| if t < 250 { 6 } else { 3 },
+            Some((200, 200)),
+            Some((150, 150)),
+            600,
+        );
+        assert_resumes_in(&h, 150..400, 400..520, 1);
+    }
+
+    #[test]
+    fn outage_inside_partition_waits_for_the_heal() {
+        // Outage [200,300) nested in partition [150,400): the zone
+        // comes back at 300 but stays unreachable until the heal.
+        let h = zone1_applied_history(
+            |t| if t < 250 { 6 } else { 3 },
+            Some((200, 100)),
+            Some((150, 250)),
+            600,
+        );
+        assert_resumes_in(&h, 150..400, 400..520, 1);
+    }
+
+    #[test]
+    fn staggered_overlap_waits_for_the_later_window() {
+        // Partition [150,250) then outage [200,400): windows overlap
+        // in [200,250); delivery resumes only after the outage.
+        let h = zone1_applied_history(
+            |t| if t < 250 { 6 } else { 3 },
+            Some((200, 200)),
+            Some((150, 100)),
+            600,
+        );
+        assert_resumes_in(&h, 150..400, 400..520, 1);
+    }
+
+    #[test]
+    fn disjoint_windows_each_block_alone() {
+        // Partition [150,200) blocks the 6→3 command issued at 160;
+        // it lands after the heal, inside [200,300). A second switch
+        // (3→6) at 320 falls inside the outage [300,400) and lands
+        // only after it lifts.
+        let h = zone1_applied_history(
+            |t| {
+                if t < 160 {
+                    6
+                } else if t < 320 {
+                    3
+                } else {
+                    6
+                }
+            },
+            Some((300, 100)),
+            Some((150, 50)),
+            600,
+        );
+        assert_resumes_in(&h, 150..200, 200..300, 1);
+        assert_resumes_in(&h, 300..400, 400..520, 2);
+    }
+
+    #[test]
+    fn dead_zone_burns_retry_budget_on_its_links() {
+        // While zone 1 is dead its agent sends nothing, and the
+        // controller's re-issues die on the silenced link: the retry
+        // budget burns out and the per-link expiry counters must
+        // attribute the loss to ctrl(3)→agent(1).
+        use selfaware::comms::ReliableConfig;
+        use workloads::faults::FaultEvent;
+        let seeds = SeedTree::new(7);
+        let specs: Vec<NodeSpec> = (0..6).map(|_| NodeSpec::reliable(1.0)).collect();
+        let mut cluster = Cluster::new(specs, &seeds);
+        let plan = ChannelPlan::ideal();
+        let faults = FaultPlan::none().and(FaultEvent::zone_outage(Tick(100), 2, 2, 300));
+        // Generous timeout so the retry *budget* is what gives up.
+        let policy = CommsPolicy::Reliable(ReliableConfig {
+            send_timeout: 10_000,
+            ..ReliableConfig::default()
+        });
+        let mut plane = ZonedPlane::new(3, 6, policy);
+        let mut log = ExplanationLog::new(64);
+        for t in 0..420 {
+            let desired = if t < 150 { 6 } else { 3 };
+            plane.tick(
+                Some(desired),
+                &mut cluster,
+                &plan,
+                &faults,
+                Tick(t),
+                &mut log,
+            );
+        }
+        let stats = plane.net.stats_ref();
+        assert!(
+            stats.link_budget_exhausted(3, 1) >= 1,
+            "ctrl→dead-zone sends must exhaust their retry budget: {stats:?}"
+        );
+        assert_eq!(
+            stats.link_expired(3, 0),
+            0,
+            "live zones must not expire anything: {stats:?}"
         );
     }
 

@@ -1,0 +1,1101 @@
+//! The composed smart-city run loop: cameras → CPN → zoned multicore
+//! backend, coordinated over one command plane, under one
+//! [`workloads::FaultCampaign`].
+//!
+//! Cascade semantics (the headline F9 scenario): a `ZoneOutage` kills
+//! a zone's backend machines *and* silences its zone agent. A naive
+//! stack keeps streaming detections at the dead zone's gateway, where
+//! they are rejected after consuming path bandwidth — the network
+//! congests, queues upstream fill, and camera traffic for *live*
+//! zones starves. The self-aware stack climbs the degradation ladder
+//! instead: the controller notices the agent's silence through comms
+//! staleness and re-homes the zone's detections; believed gateway
+//! pressure sheds camera quality; zone agents throttle admission
+//! before their backlog breaches the SLA.
+
+use crate::world::{CityConfig, CityEvent};
+use camnet::Camera;
+use cpn::graph::Graph;
+use cpn::routing::{Router, RoutingStrategy};
+use multicore::{Core, CoreSpec};
+use rand::Rng as _;
+use selfaware::comms::{Channel, ChannelOutcome, CommsNetwork, CommsStats, Delivered};
+use selfaware::explain::ExplanationLog;
+use selfaware::goals::{Direction, Goal, Objective};
+use selfaware::health::SensorHealth;
+use selfaware::supervision::{Evidence, Supervisor, Verdict};
+use simkernel::obs;
+use simkernel::rng::SeedTree;
+use simkernel::{MetricSet, Tick};
+use std::collections::{BTreeMap, VecDeque};
+use workloads::faults::{ChannelPlan, FaultKind, ModelCorruptionKind};
+use workloads::rates::{DiurnalRate, RateFn};
+use workloads::tasks::{Task, TaskClass};
+use workloads::trajectories::{Point, Wanderer};
+
+/// Per-link packet queue capacity.
+const QUEUE_CAP: usize = 60;
+/// Packets a link moves per tick.
+const BANDWIDTH: usize = 3;
+/// Hop budget per packet.
+const TTL: u32 = 48;
+/// Believed gateway pressure at which the controller sheds camera
+/// rate (level 1) and additionally resolution (level 2).
+const SHED1: u64 = 18;
+const SHED2: u64 = 40;
+/// Zone-agent admission throttle watermarks (backend backlog).
+const THR_HI: u64 = 14;
+const THR_LO: u64 = 6;
+/// Hard backend buffer: a zone never queues more than this.
+const ADMIT_CAP: u64 = 24;
+/// Controller freshness below which a zone is believed unreachable.
+const REHOME_FRESH: f64 = 0.5;
+/// Period (ticks) of the controller's throttle-command refresh to
+/// each zone agent.
+const THROTTLE_REFRESH: u64 = 8;
+
+/// Result of one composed run.
+#[derive(Debug, Clone)]
+pub struct CityResult {
+    /// Scalar metrics (see [`run_city`] docs for keys).
+    pub metrics: MetricSet,
+    /// Command-plane comms statistics, including the per-link expiry
+    /// and retry-budget-exhaustion maps for the degradation report.
+    pub comms_stats: CommsStats,
+    /// Explanation log of command-plane and supervision decisions.
+    pub log: ExplanationLog,
+}
+
+/// The city's multi-objective goal: get detections processed *on
+/// time*, keep reported qualities honest, keep the square covered.
+///
+/// The service objective is `on_time_ratio` — detections serviced
+/// within the SLA deadline over detections emitted — so a lost
+/// detection and a late one cost the same. (Scoring `violation_rate`
+/// over *serviced* work instead would reward an arm for dropping
+/// traffic it cannot serve on time.)
+#[must_use]
+pub fn city_goal() -> Goal {
+    Goal::new("city-service-vs-fidelity")
+        .objective(Objective::new(
+            "on_time_ratio",
+            Direction::Maximize,
+            1.0,
+            2.5,
+        ))
+        .objective(Objective::new(
+            "tracking_error",
+            Direction::Minimize,
+            0.25,
+            1.0,
+        ))
+        .objective(Objective::new("coverage", Direction::Maximize, 1.0, 0.5))
+}
+
+/// A detection in flight over the CPN.
+struct Pkt {
+    /// Destination gateway node.
+    dst: usize,
+    /// Destination zone (after any re-homing at emission).
+    zone: usize,
+    /// Reported quality (post sensor fault / health substitution /
+    /// shed resolution).
+    quality: f64,
+    /// Ground-truth quality at the owning camera.
+    q_true: f64,
+    created: Tick,
+    smart: bool,
+    prev: Option<usize>,
+    ttl: u32,
+    /// `(node, tick entered that node's queue)` per hop, for
+    /// delivery reinforcement.
+    hop_log: Vec<(usize, Tick)>,
+}
+
+/// Channel adapter silencing dead zone agents (same restore-ordering
+/// contract as cloudsim's zoned plane: a partition healing inside a
+/// `ZoneOutage` must not resurrect delivery to a zone with nobody
+/// home). Ids `>= dead.len()` (controller, camera head) never die.
+struct AgentLiveChannel<'a> {
+    inner: &'a ChannelPlan,
+    dead: &'a [bool],
+}
+
+impl Channel for AgentLiveChannel<'_> {
+    fn transmit(&self, src: usize, dst: usize, seq: u64, now: Tick) -> ChannelOutcome {
+        let gone = |id: usize| self.dead.get(id).copied().unwrap_or(false);
+        if gone(src) || gone(dst) {
+            return ChannelOutcome::lost();
+        }
+        self.inner.transmit(src, dst, seq, now)
+    }
+}
+
+/// Meta-self-awareness over the detection-transport router, mirroring
+/// `cpn::sim`: the supervisor checkpoints the learned router, scores
+/// its route-delay estimates against realized transit delays, and
+/// benches it onto a periodic table when it misbehaves.
+struct CitySupervision {
+    sup: Supervisor<Router>,
+    baseline: Router,
+    realized: Option<f64>,
+}
+
+/// Runs one composed city scenario. Metric keys:
+///
+/// * `detections`, `serviced`, `service_ratio` — end-to-end outcome;
+/// * `coverage` — emitted detections / active wanderer-ticks (camera
+///   starvation shows up here);
+/// * `violation_rate`, `mean_latency` — SLA health of serviced
+///   detections (camera shutter → backend completion);
+/// * `tracking_quality`, `tracking_error` — mean delivered quality
+///   and mean |reported − true| fidelity loss;
+/// * `net_dropped`, `rejected`, `tasks_lost` — where detections die
+///   (network, admission, backend outage);
+/// * `rehomed`, `shed_ticks`, `throttled_ticks` — ladder activity;
+/// * `comms_sent`, `comms_retries`, `comms_expired`,
+///   `comms_budget_exhausted`, `comms_partition_hits`,
+///   `comms_dead_zone_expired` — command-plane health;
+/// * `model_rollbacks`, `model_fallbacks`, `quarantines` —
+///   supervision and sensor-health interventions;
+/// * `energy` — backend energy;
+/// * `utility` — [`city_goal`] scalarisation.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn run_city(cfg: &CityConfig, seeds: &SeedTree) -> CityResult {
+    assert!(cfg.zones >= 2, "need at least two zones to re-home");
+    assert!(cfg.rows >= 2 && cfg.cols >= cfg.zones, "grid too small");
+    let mut graph = Graph::grid(cfg.rows, cfg.cols);
+    let n = graph.len();
+    let mut router = cfg.policy.router.build(&graph);
+    let mut supervision =
+        matches!(cfg.policy.router, RoutingStrategy::SupervisedCpn { .. }).then(|| {
+            Box::new(CitySupervision {
+                sup: Supervisor::new("city-routing", router.clone()),
+                baseline: RoutingStrategy::Periodic { period: 25 }.build(&graph),
+                realized: None,
+            })
+        });
+    let mut frozen_until: Option<Tick> = None;
+
+    let mut wander_rng = seeds.rng("wander");
+    let mut work_rng = seeds.rng("work");
+    let mut sensor_rng = seeds.rng("sensor");
+    let mut route_rng = seeds.rng("route");
+    let mut log = ExplanationLog::new(1024);
+
+    // Cameras in two rows over the square, overlapping fields of view.
+    let cam_cols = cfg.cameras.div_ceil(2);
+    let cameras: Vec<Camera> = (0..cfg.cameras)
+        .map(|c| {
+            let gx = c % cam_cols;
+            let gy = c / cam_cols;
+            let pos = Point::new(
+                (gx as f64 + 0.5) / cam_cols as f64,
+                if gy == 0 { 0.28 } else { 0.72 },
+            );
+            Camera::new(c, pos, 0.4, cfg.cameras)
+        })
+        .collect();
+    let ingress: Vec<usize> = cameras
+        .iter()
+        .map(|c| cfg.ingress(c.position().x))
+        .collect();
+    let mut camera_down = vec![false; cfg.cameras];
+    let mut held = vec![0.5f64; cfg.cameras];
+    let mut cam_degraded = vec![false; cfg.cameras];
+    let mut health = cfg.policy.health.then(SensorHealth::default);
+
+    // Wanderer population: diurnal subset of the base plus the flash
+    // crowd. All of them step every tick so the trajectory stream is
+    // identical whatever subset is active. The crowd gathers in the
+    // middle zone — the F9 headline points the surge at the zone the
+    // cascade campaign takes down.
+    let total_pop = cfg.wanderers + cfg.crowd_extra;
+    let crowd_home = Point::new(0.5, 0.5);
+    let mut wanderers: Vec<Wanderer> = (0..total_pop)
+        .map(|i| {
+            let w = Wanderer::new(0.02, &mut wander_rng);
+            if i >= cfg.wanderers {
+                w.with_home(crowd_home, 0.15)
+            } else {
+                w
+            }
+        })
+        .collect();
+    let mut diurnal = DiurnalRate::new(
+        cfg.wanderers as f64 * 0.65,
+        cfg.wanderers as f64 * 0.35,
+        (cfg.steps / 2).max(1) as f64,
+    );
+
+    // Zone backends: big + little cores per zone.
+    let mut cores: Vec<Vec<Core>> = (0..cfg.zones)
+        .map(|_| {
+            (0..cfg.cores_per_zone)
+                .map(|k| {
+                    Core::new(if k == 0 {
+                        CoreSpec::big()
+                    } else {
+                        CoreSpec::little()
+                    })
+                })
+                .collect()
+        })
+        .collect();
+    let mut machine_down = vec![false; cfg.zones * cfg.cores_per_zone];
+    let mut zone_dead = vec![false; cfg.zones];
+    let mut throttled = vec![false; cfg.zones];
+
+    // Per-link queues: queues[u][k] feeds u's k-th neighbour.
+    let mut queues: Vec<Vec<VecDeque<Pkt>>> = (0..n)
+        .map(|u| {
+            (0..graph.neighbours(u).len())
+                .map(|_| VecDeque::new())
+                .collect()
+        })
+        .collect();
+
+    // Command plane: agents 0..zones, controller, camera head.
+    let ctrl = cfg.zones;
+    let cam_head = cfg.zones + 1;
+    let mut comms: CommsNetwork<CityEvent> = CommsNetwork::new(cfg.policy.comms);
+    let mut comms_inbox: Vec<Delivered<CityEvent>> = Vec::new();
+    let mut believed_backlog = vec![0u64; cfg.zones];
+    let mut believed_pressure = vec![0u64; cfg.zones];
+    let mut last_report_seq: Vec<Option<u64>> = vec![None; cfg.zones];
+    let mut last_throttle_seq: Vec<Option<u64>> = vec![None; cfg.zones];
+    let mut ctrl_throttle = vec![false; cfg.zones];
+    let mut last_directive_seq: Option<u64> = None;
+    let mut sent_directive: Option<(u8, Vec<Option<u8>>)> = None;
+    let mut head_shed: u8 = 0;
+    let mut head_rehome: Vec<Option<u8>> = vec![None; cfg.zones];
+
+    // In-flight detections' qualities, keyed by task id.
+    let mut task_quality: BTreeMap<u64, (f64, f64)> = BTreeMap::new();
+    let mut next_task_id: u64 = 0;
+
+    // Counters.
+    let (mut detections, mut serviced, mut violations) = (0u64, 0u64, 0u64);
+    let (mut net_dropped, mut rejected, mut tasks_lost) = (0u64, 0u64, 0u64);
+    let (mut rehomed, mut shed_ticks, mut throttled_ticks) = (0u64, 0u64, 0u64);
+    let (mut active_ticks, mut quarantine_subs) = (0u64, 0u64);
+    let (mut lat_sum, mut qual_sum, mut err_sum) = (0.0f64, 0.0f64, 0.0f64);
+    let mut injected_net = 0u64;
+    let mut delivered_net = 0u64;
+
+    let faults = cfg.campaign.faults().clone();
+    let channel = cfg.campaign.channel().clone();
+
+    for t in 0..cfg.steps {
+        let now = Tick(t);
+        let sense_span = obs::span("city:sense");
+
+        // --- Faults: machines, cameras, links, models. -------------
+        for z in 0..cfg.zones {
+            let mut all_down = true;
+            for m in cfg.machine_range(z) {
+                let down = faults.zone_down_at(m, now);
+                let k = m - z * cfg.cores_per_zone;
+                if down && !machine_down[m] {
+                    let orphans = cores[z][k].fail();
+                    for task in &orphans {
+                        task_quality.remove(&task.id);
+                        tasks_lost += 1;
+                    }
+                } else if !down && machine_down[m] {
+                    cores[z][k].recover();
+                }
+                machine_down[m] = down;
+                all_down &= down;
+            }
+            zone_dead[z] = all_down;
+        }
+        for ev in faults.events_at(now) {
+            match ev.kind {
+                FaultKind::CameraFail { camera } if camera < cfg.cameras => {
+                    camera_down[camera] = true;
+                }
+                FaultKind::CameraRecover { camera } if camera < cfg.cameras => {
+                    camera_down[camera] = false;
+                }
+                FaultKind::LinkCut { a, b } => {
+                    graph.remove_edge(a, b);
+                }
+                FaultKind::LinkRestore { a, b } => {
+                    graph.restore_edge(a, b);
+                }
+                FaultKind::ModelCorruption { kind, .. } => match kind {
+                    ModelCorruptionKind::NanPoison => router.poison_model(),
+                    ModelCorruptionKind::WeightScramble { gain } => router.scramble_model(gain),
+                    ModelCorruptionKind::StateFreeze { duration } => {
+                        frozen_until = Some(Tick(t + duration));
+                    }
+                },
+                _ => {}
+            }
+        }
+        let frozen = frozen_until.is_some_and(|until| now.value() < until.value());
+        let benched = supervision.as_ref().is_some_and(|s| s.sup.is_fallback());
+
+        // --- Population: diurnal activity plus the flash crowd. ----
+        let in_crowd = t >= cfg.crowd_window.0 && t < cfg.crowd_window.1;
+        let n_active = (diurnal.rate(now).round() as usize).clamp(1, cfg.wanderers);
+        let mut positions: Vec<Point> = Vec::with_capacity(total_pop);
+        for w in &mut wanderers {
+            positions.push(w.step(&mut wander_rng));
+        }
+        let active = |i: usize| i < n_active || (in_crowd && i >= cfg.wanderers);
+        drop(sense_span);
+
+        // --- Routing decisions from live local queue sensing. ------
+        let decide_span = obs::span("city:decide");
+        let qlen = |u: usize, v: usize| {
+            graph
+                .neighbours(u)
+                .iter()
+                .position(|&x| x == v)
+                .map_or(0, |k| queues[u][k].len())
+        };
+        if !frozen {
+            router.maintain(&graph, now, qlen);
+        }
+        if let Some(s) = &mut supervision {
+            s.baseline.maintain(&graph, now, qlen);
+        }
+        let cutoff = QUEUE_CAP / 2;
+        let congestion: Vec<f64> = (0..n)
+            .map(|u| queues[u].iter().map(VecDeque::len).max().unwrap_or(0))
+            .map(|c| if c >= cutoff { c as f64 } else { 0.0 })
+            .collect();
+        router.set_congestion(&congestion);
+        if let Some(s) = &mut supervision {
+            s.baseline.set_congestion(&congestion);
+        }
+        drop(decide_span);
+
+        // --- Cameras: own, corrupt, heal, shed, emit. --------------
+        let act_span = obs::span("city:act");
+        if head_shed > 0 {
+            shed_ticks += 1;
+        }
+        let shutter = |c: usize| match head_shed {
+            0 => true,
+            1 => (t + c as u64).is_multiple_of(2),
+            _ => (t + c as u64).is_multiple_of(4),
+        };
+        let qmul = if head_shed >= 2 { 0.8 } else { 1.0 };
+        // Ownership: each active wanderer is owned by the best-quality
+        // live, shuttered camera that sees it.
+        let mut owned: Vec<Vec<(usize, f64)>> = vec![Vec::new(); cfg.cameras];
+        for (i, &pos) in positions.iter().enumerate() {
+            if !active(i) {
+                continue;
+            }
+            active_ticks += 1;
+            let mut best: Option<(usize, f64)> = None;
+            for (c, cam) in cameras.iter().enumerate() {
+                if camera_down[c] || !shutter(c) || !cam.sees(pos) {
+                    continue;
+                }
+                let q = cam.quality(pos);
+                if best.is_none_or(|(_, b)| q > b) {
+                    best = Some((c, q));
+                }
+            }
+            if let Some((c, q)) = best {
+                owned[c].push((i, q));
+            }
+        }
+        let mut tick_transit_sum = 0.0f64;
+        let mut tick_transit_n = 0u32;
+        // Pass 1 — per-camera mean quality readings, with any sensor
+        // fault applied. `held` is the last clean mean (StuckAt holds
+        // it; it also stands in when a naive stack gets a dropout).
+        let mut cam_readings: Vec<Option<(f64, Option<f64>)>> = vec![None; cfg.cameras];
+        for (c, dets) in owned.iter().enumerate() {
+            if dets.is_empty() {
+                continue;
+            }
+            let raw_mean = dets.iter().map(|&(_, q)| q).sum::<f64>() / dets.len() as f64;
+            let corrupted = match faults.sensor_fault_at(c, now) {
+                None => {
+                    held[c] = raw_mean;
+                    Some(raw_mean)
+                }
+                Some(kind) => kind.corrupt(raw_mean, held[c], &mut sensor_rng),
+            };
+            cam_readings[c] = Some((raw_mean, corrupted));
+        }
+        // Cluster consensus over cameras trusted as of last tick —
+        // the collective reference a quarantined camera is checked
+        // against and substituted with (a frozen per-camera model
+        // drifts over a long quarantine; the cluster does not).
+        let (cons_sum, cons_n) = (0..cfg.cameras)
+            .filter(|&c| !cam_degraded[c])
+            .filter_map(|c| cam_readings[c].and_then(|(_, cor)| cor.map(|v| (c, v))))
+            .fold((0.0f64, 0u32), |(s, k), (_, v)| (s + v, k + 1));
+        let consensus: Vec<Option<f64>> = (0..cfg.cameras)
+            .map(|c| {
+                let own = (!cam_degraded[c])
+                    .then(|| cam_readings[c].and_then(|(_, cor)| cor))
+                    .flatten();
+                let (s, k) = match own {
+                    Some(v) => (cons_sum - v, cons_n - 1),
+                    None => (cons_sum, cons_n),
+                };
+                (k > 0).then(|| s / f64::from(k))
+            })
+            .collect();
+        // Pass 2 — health monitoring and detection emission. The
+        // camera-level mean is the monitored signal; a quarantined or
+        // dropped-out camera's detections carry the consensus (else
+        // the model substitute) instead of the raw reading.
+        for (c, dets) in owned.iter().enumerate() {
+            let Some((raw_mean, corrupted)) = cam_readings[c] else {
+                continue;
+            };
+            let used_mean = match &mut health {
+                Some(h) => {
+                    let reference = consensus[c];
+                    let reading = h.observe_with_reference(
+                        &format!("cam{c}"),
+                        corrupted,
+                        reference,
+                        now,
+                        &mut log,
+                    );
+                    cam_degraded[c] = reading.degraded;
+                    if reading.substituted {
+                        quarantine_subs += 1;
+                        reference.unwrap_or(reading.value).clamp(0.0, 1.0)
+                    } else {
+                        reading.value.clamp(0.0, 1.0)
+                    }
+                }
+                None => corrupted.unwrap_or(held[c]),
+            };
+            for &(i, q_true) in dets {
+                detections += 1;
+                let q_used = ((q_true + (used_mean - raw_mean)) * qmul).clamp(0.0, 1.0);
+                let q_true_shed = q_true * qmul;
+                let mut zone = cfg.zone_of(positions[i].x);
+                if let Some(to) = head_rehome[zone] {
+                    zone = (to as usize).min(cfg.zones - 1);
+                    rehomed += 1;
+                }
+                let dst = cfg.gateway(zone);
+                let src = ingress[c];
+                injected_net += 1;
+                if src == dst {
+                    // Camera co-located with the gateway: no transit.
+                    delivered_net += 1;
+                    admit(
+                        cfg,
+                        &mut cores,
+                        &zone_dead,
+                        &throttled,
+                        zone,
+                        q_used,
+                        q_true_shed,
+                        now,
+                        &mut work_rng,
+                        &mut next_task_id,
+                        &mut task_quality,
+                        &mut rejected,
+                        i,
+                    );
+                    continue;
+                }
+                let smart = !benched && router.is_smart(&mut route_rng);
+                let hop = if benched {
+                    supervision
+                        .as_ref()
+                        .expect("benched implies supervised")
+                        .baseline
+                        .next_hop(&graph, src, dst, None, false, &mut route_rng)
+                } else {
+                    router.next_hop(&graph, src, dst, None, smart, &mut route_rng)
+                };
+                let Some(v) = hop else {
+                    net_dropped += 1;
+                    continue;
+                };
+                let Some(k) = graph.neighbours(src).iter().position(|&x| x == v) else {
+                    net_dropped += 1;
+                    continue;
+                };
+                if queues[src][k].len() >= QUEUE_CAP {
+                    net_dropped += 1;
+                    if !frozen {
+                        router.reinforce_drop(&graph, src, v, dst);
+                    }
+                    continue;
+                }
+                queues[src][k].push_back(Pkt {
+                    dst,
+                    zone,
+                    quality: q_used,
+                    q_true: q_true_shed,
+                    created: now,
+                    smart,
+                    prev: None,
+                    ttl: TTL,
+                    hop_log: vec![(src, now)],
+                });
+            }
+        }
+
+        // --- CPN: move packets, deliver at gateways. ---------------
+        let mut arrivals: Vec<(usize, usize, Pkt)> = Vec::new();
+        for (u, links) in queues.iter_mut().enumerate() {
+            for (k, q) in links.iter_mut().enumerate() {
+                let v = graph.neighbours(u)[k];
+                if graph.link_down(u, v) {
+                    continue;
+                }
+                for _ in 0..BANDWIDTH {
+                    match q.pop_front() {
+                        Some(p) => arrivals.push((u, v, p)),
+                        None => break,
+                    }
+                }
+            }
+        }
+        for (u, v, mut pkt) in arrivals {
+            let entered = pkt.hop_log.last().map_or(now, |&(_, at)| at);
+            let hop_delay = (now.value().saturating_sub(entered.value())).max(1) as f64;
+            if !frozen {
+                router.reinforce_hop(&graph, u, v, pkt.dst, hop_delay);
+            }
+            if v == pkt.dst && zone_dead[pkt.zone] {
+                // Nobody home: a dead backend cannot consume the
+                // packet, so it bounces back into the mesh and
+                // wanders until its TTL burns out. Undeliverable
+                // traffic clogging the links around a dead gateway is
+                // the heart of the F9 cascade — the aware stack
+                // avoids creating it by re-homing at emission.
+                pkt.ttl = pkt.ttl.saturating_sub(1);
+                if pkt.ttl == 0 {
+                    net_dropped += 1;
+                    if !frozen {
+                        router.reinforce_drop(&graph, u, v, pkt.dst);
+                    }
+                    continue;
+                }
+                let back = (0..queues[v].len()).min_by_key(|&k| (queues[v][k].len(), k));
+                match back {
+                    Some(k) if queues[v][k].len() < QUEUE_CAP => {
+                        pkt.prev = Some(u);
+                        pkt.hop_log.push((v, now));
+                        queues[v][k].push_back(pkt);
+                    }
+                    _ => {
+                        net_dropped += 1;
+                    }
+                }
+                continue;
+            }
+            if v == pkt.dst {
+                delivered_net += 1;
+                tick_transit_sum += now.value().saturating_sub(pkt.created.value()) as f64;
+                tick_transit_n += 1;
+                if !frozen {
+                    router.reinforce_delivery(&graph, pkt.dst, &pkt.hop_log);
+                }
+                admit(
+                    cfg,
+                    &mut cores,
+                    &zone_dead,
+                    &throttled,
+                    pkt.zone,
+                    pkt.quality,
+                    pkt.q_true,
+                    pkt.created,
+                    &mut work_rng,
+                    &mut next_task_id,
+                    &mut task_quality,
+                    &mut rejected,
+                    pkt.ttl as usize,
+                );
+                continue;
+            }
+            pkt.ttl -= 1;
+            if pkt.ttl == 0 {
+                net_dropped += 1;
+                if !frozen {
+                    router.reinforce_drop(&graph, u, v, pkt.dst);
+                }
+                continue;
+            }
+            let hop = if benched {
+                supervision
+                    .as_ref()
+                    .expect("benched implies supervised")
+                    .baseline
+                    .next_hop(&graph, v, pkt.dst, Some(u), false, &mut route_rng)
+            } else {
+                router.next_hop(&graph, v, pkt.dst, Some(u), pkt.smart, &mut route_rng)
+            };
+            let Some(w) = hop else {
+                net_dropped += 1;
+                if !frozen {
+                    router.reinforce_drop(&graph, u, v, pkt.dst);
+                }
+                continue;
+            };
+            let Some(k) = graph.neighbours(v).iter().position(|&x| x == w) else {
+                net_dropped += 1;
+                continue;
+            };
+            if queues[v][k].len() >= QUEUE_CAP {
+                net_dropped += 1;
+                if !frozen {
+                    router.reinforce_drop(&graph, v, w, pkt.dst);
+                }
+                continue;
+            }
+            pkt.prev = Some(u);
+            pkt.hop_log.push((v, now));
+            queues[v][k].push_back(pkt);
+        }
+
+        // --- Backend: service detections. --------------------------
+        for zone_cores in cores.iter_mut() {
+            for core in zone_cores.iter_mut() {
+                for (task, latency) in core.step(now) {
+                    let Some((q_used, q_true)) = task_quality.remove(&task.id) else {
+                        continue;
+                    };
+                    serviced += 1;
+                    lat_sum += latency as f64;
+                    qual_sum += q_true;
+                    err_sum += (q_used - q_true).abs();
+                    if latency > cfg.deadline {
+                        violations += 1;
+                    }
+                }
+            }
+        }
+
+        // --- Command plane: reports, directives, delivery. ---------
+        let comms_span = obs::span("city:comms");
+        // The outage-aware channel view is only substituted when a
+        // zone is actually dark, so fault-free runs transmit over the
+        // campaign's channel byte-for-byte.
+        let any_dead = zone_dead.iter().any(|&d| d);
+        let live = AgentLiveChannel {
+            inner: &channel,
+            dead: &zone_dead,
+        };
+        let plane: &dyn Channel = if any_dead { &live } else { &channel };
+        for z in 0..cfg.zones {
+            if throttled[z] && !zone_dead[z] {
+                throttled_ticks += 1;
+            }
+            if zone_dead[z] {
+                continue;
+            }
+            let backlog: u64 = cores[z].iter().map(|c| c.queue_len() as u64).sum();
+            let gw = cfg.gateway(z);
+            let pressure: u64 = (0..n)
+                .map(|u| {
+                    graph
+                        .neighbours(u)
+                        .iter()
+                        .position(|&x| x == gw)
+                        .map_or(0, |k| queues[u][k].len() as u64)
+                })
+                .sum();
+            let event = CityEvent::Report {
+                backlog,
+                gateway_pressure: pressure,
+            };
+            comms.send(plane, z, ctrl, event, now, &mut log);
+        }
+        if cfg.policy.ladder {
+            let pressure_total: u64 = believed_pressure.iter().sum();
+            let shed = if pressure_total >= SHED2 {
+                2
+            } else {
+                u8::from(pressure_total >= SHED1)
+            };
+            let aware = !cfg.policy.comms.is_naive();
+            let rehome: Vec<Option<u8>> = (0..cfg.zones)
+                .map(|z| {
+                    if !aware || comms.freshness(ctrl, z, now) >= REHOME_FRESH {
+                        return None;
+                    }
+                    // Nearest zone the controller still hears from.
+                    (0..cfg.zones)
+                        .filter(|&o| o != z && comms.freshness(ctrl, o, now) >= REHOME_FRESH)
+                        .min_by_key(|&o| (z.abs_diff(o), o))
+                        .map(|o| o as u8)
+                })
+                .collect();
+            let directive = (shed, rehome.clone());
+            if sent_directive.as_ref() != Some(&directive) {
+                let event = CityEvent::Directive { shed, rehome };
+                comms.send(plane, ctrl, cam_head, event, now, &mut log);
+                sent_directive = Some(directive);
+            }
+            // Admission throttling is controller-commanded from the
+            // *believed* backlog (hysteresis), refreshed periodically
+            // so command traffic keeps probing every zone — including
+            // one that has gone dark, where the retries burn the
+            // reliable plane's budget and show up in the per-link
+            // expiry counters.
+            for z in 0..cfg.zones {
+                let want = if believed_backlog[z] > THR_HI {
+                    true
+                } else if believed_backlog[z] < THR_LO {
+                    false
+                } else {
+                    ctrl_throttle[z]
+                };
+                let refresh = t % THROTTLE_REFRESH == z as u64 % THROTTLE_REFRESH;
+                if want != ctrl_throttle[z] || refresh {
+                    ctrl_throttle[z] = want;
+                    comms.send(
+                        plane,
+                        ctrl,
+                        z,
+                        CityEvent::Throttle { on: want },
+                        now,
+                        &mut log,
+                    );
+                }
+            }
+        }
+        comms_inbox.clear();
+        comms.step_into(plane, now, &mut log, &mut comms_inbox);
+        for d in comms_inbox.drain(..) {
+            match d.payload {
+                CityEvent::Report {
+                    backlog,
+                    gateway_pressure,
+                } if d.dst == ctrl => {
+                    let src = d.src.min(cfg.zones - 1);
+                    if last_report_seq[src].is_none_or(|s| d.seq > s) {
+                        last_report_seq[src] = Some(d.seq);
+                        believed_backlog[src] = backlog;
+                        believed_pressure[src] = gateway_pressure;
+                    }
+                }
+                CityEvent::Directive { shed, rehome }
+                    if d.dst == cam_head && last_directive_seq.is_none_or(|s| d.seq > s) =>
+                {
+                    last_directive_seq = Some(d.seq);
+                    head_shed = shed;
+                    head_rehome = rehome;
+                    head_rehome.resize(cfg.zones, None);
+                }
+                CityEvent::Throttle { on }
+                    if d.dst < cfg.zones && last_throttle_seq[d.dst].is_none_or(|s| d.seq > s) =>
+                {
+                    last_throttle_seq[d.dst] = Some(d.seq);
+                    throttled[d.dst] = on;
+                }
+                _ => {}
+            }
+        }
+        drop(comms_span);
+        drop(act_span);
+
+        // --- Meta-self-awareness over the router. ------------------
+        if let Some(s) = &mut supervision {
+            if tick_transit_n > 0 {
+                let mean = tick_transit_sum / f64::from(tick_transit_n);
+                s.realized = Some(match s.realized {
+                    Some(r) => 0.9 * r + 0.1 * mean,
+                    None => mean,
+                });
+            }
+            let realized = s.realized.unwrap_or(0.0);
+            let mut est_sum = 0.0;
+            let mut est_n = 0u32;
+            for (c, cam) in cameras.iter().enumerate() {
+                let home = cfg.zone_of(cam.position().x);
+                if let Some(e) = router.route_estimate(ingress[c], cfg.gateway(home)) {
+                    est_sum += e;
+                    est_n += 1;
+                }
+            }
+            let estimate = if est_n > 0 {
+                est_sum / f64::from(est_n)
+            } else {
+                realized
+            };
+            let error = (estimate - realized).abs();
+            s.sup.set_model(router.clone());
+            let verdict = s.sup.observe(
+                now,
+                Evidence::scored(estimate, error).with_input(realized),
+                &mut log,
+            );
+            if matches!(verdict, Verdict::RolledBack(_) | Verdict::FellBack(_)) {
+                router = s.sup.model().clone();
+            }
+        }
+    }
+
+    // --- Metrics. ----------------------------------------------------
+    let stats = comms.stats();
+    let mut metrics = MetricSet::new();
+    let det_f = detections.max(1) as f64;
+    let srv_f = serviced.max(1) as f64;
+    metrics.set("detections", detections as f64);
+    metrics.set("serviced", serviced as f64);
+    metrics.set("service_ratio", serviced as f64 / det_f);
+    metrics.set(
+        "on_time_ratio",
+        serviced.saturating_sub(violations) as f64 / det_f,
+    );
+    metrics.set("coverage", detections as f64 / active_ticks.max(1) as f64);
+    metrics.set("violation_rate", violations as f64 / srv_f);
+    metrics.set("mean_latency", lat_sum / srv_f);
+    metrics.set("tracking_quality", qual_sum / srv_f);
+    metrics.set("tracking_error", err_sum / srv_f);
+    metrics.set("net_dropped", net_dropped as f64);
+    metrics.set("rejected", rejected as f64);
+    metrics.set("tasks_lost", tasks_lost as f64);
+    metrics.set("rehomed", rehomed as f64);
+    metrics.set("shed_ticks", shed_ticks as f64);
+    metrics.set("throttled_ticks", throttled_ticks as f64);
+    metrics.set("cpn_injected", injected_net as f64);
+    metrics.set("cpn_delivered", delivered_net as f64);
+    metrics.set(
+        "cpn_delivery_ratio",
+        delivered_net as f64 / injected_net.max(1) as f64,
+    );
+    metrics.set("comms_sent", stats.sent as f64);
+    metrics.set("comms_retries", stats.retries as f64);
+    metrics.set("comms_expired", stats.expired as f64);
+    metrics.set("comms_budget_exhausted", stats.budget_exhausted as f64);
+    metrics.set("comms_partition_hits", stats.partition_hits as f64);
+    let dead_zone_expired: u64 = (0..cfg.zones)
+        .map(|z| stats.link_expired(ctrl, z) + stats.link_expired(z, ctrl))
+        .sum();
+    metrics.set("comms_dead_zone_expired", dead_zone_expired as f64);
+    let sup_stats = supervision
+        .as_ref()
+        .map(|s| s.sup.stats())
+        .unwrap_or_default();
+    metrics.set("model_rollbacks", f64::from(sup_stats.rollbacks));
+    metrics.set("model_fallbacks", f64::from(sup_stats.fallbacks));
+    metrics.set(
+        "quarantines",
+        health
+            .as_ref()
+            .map_or(0.0, |h| h.quarantine_events() as f64),
+    );
+    metrics.set("quarantine_substitutions", quarantine_subs as f64);
+    metrics.set(
+        "energy",
+        cores.iter().flatten().map(Core::energy).sum::<f64>(),
+    );
+    let utility = city_goal().utility(|k| metrics.get(k));
+    metrics.set("utility", utility);
+
+    CityResult {
+        metrics,
+        comms_stats: stats,
+        log,
+    }
+}
+
+/// Gateway admission: a detection becomes a backend task if the zone
+/// is alive, not throttled, and under its buffer cap; otherwise it is
+/// rejected after having consumed its path's bandwidth — the
+/// mechanism by which a dead or saturated zone congests the network.
+#[allow(clippy::too_many_arguments)]
+fn admit(
+    cfg: &CityConfig,
+    cores: &mut [Vec<Core>],
+    zone_dead: &[bool],
+    throttled: &[bool],
+    zone: usize,
+    q_used: f64,
+    q_true: f64,
+    created: Tick,
+    work_rng: &mut simkernel::rng::Rng,
+    next_task_id: &mut u64,
+    task_quality: &mut BTreeMap<u64, (f64, f64)>,
+    rejected: &mut u64,
+    class_salt: usize,
+) {
+    let backlog: u64 = cores[zone].iter().map(|c| c.queue_len() as u64).sum();
+    let open = !zone_dead[zone] && !throttled[zone] && backlog < ADMIT_CAP;
+    // The work draw happens whether or not the detection is admitted,
+    // so every arm at the same seed sees the same demand stream.
+    let u: f64 = work_rng.gen::<f64>();
+    if !open {
+        *rejected += 1;
+        return;
+    }
+    let target = cores[zone]
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.is_online())
+        .min_by(|(_, a), (_, b)| {
+            a.backlog()
+                .partial_cmp(&b.backlog())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .map(|(k, _)| k);
+    let Some(k) = target else {
+        *rejected += 1;
+        return;
+    };
+    let class = match class_salt % 3 {
+        0 => TaskClass::Compute,
+        1 => TaskClass::Memory,
+        _ => TaskClass::Interactive,
+    };
+    let id = *next_task_id;
+    *next_task_id += 1;
+    let work = cfg.mean_work * -(u.max(1e-12)).ln();
+    task_quality.insert(id, (q_used, q_true));
+    cores[zone][k].enqueue(Task {
+        id,
+        class,
+        work,
+        arrived: created,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::CityPolicy;
+    use simkernel::Tick;
+    use workloads::faults::SensorFaultKind;
+    use workloads::FaultCampaign;
+
+    fn run(policy: CityPolicy, steps: u64, seed: u64) -> CityResult {
+        let seeds = SeedTree::new(seed);
+        let cfg = CityConfig::standard(policy, steps, &seeds);
+        run_city(&cfg, &seeds)
+    }
+
+    #[test]
+    fn benign_run_services_most_detections() {
+        let r = run(CityPolicy::supervised(), 800, 1);
+        let m = &r.metrics;
+        assert!(m.get("detections").unwrap() > 500.0, "{m:?}");
+        let sr = m.get("service_ratio").unwrap();
+        assert!(sr > 0.6, "benign service ratio too low: {m:?}");
+        let cov = m.get("coverage").unwrap();
+        assert!((0.0..=1.0).contains(&cov) && cov > 0.5, "{m:?}");
+        assert!(m.get("tracking_quality").unwrap() > 0.2, "{m:?}");
+        assert!(m.get("utility").is_some());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run(CityPolicy::supervised(), 500, 9);
+        let b = run(CityPolicy::supervised(), 500, 9);
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.comms_stats, b.comms_stats);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = run(CityPolicy::supervised(), 500, 1);
+        let b = run(CityPolicy::supervised(), 500, 2);
+        assert_ne!(a.metrics.get("serviced"), b.metrics.get("serviced"));
+    }
+
+    fn cascade_campaign(steps: u64, seeds: &SeedTree) -> FaultCampaign {
+        // Zone 1's backend machines (one zone of three) go dark for
+        // the middle of the run, overlapping the flash crowd; a net
+        // partition on agent 1 heals *inside* the outage.
+        FaultCampaign::new("cascade", seeds)
+            .zone_outage(Tick(steps * 2 / 5), 3, 3, steps * 2 / 5)
+            .net_partition(steps * 2 / 5 + 10, steps / 5, vec![1])
+    }
+
+    #[test]
+    fn zone_outage_cascade_degrades_naive_more_than_supervised() {
+        let steps = 1200;
+        let arm = |policy: CityPolicy, seed: u64| {
+            let seeds = SeedTree::new(seed);
+            let mut cfg = CityConfig::standard(policy, steps, &seeds);
+            cfg.campaign = cascade_campaign(steps, &seeds);
+            run_city(&cfg, &seeds)
+        };
+        let mut aware_wins = 0;
+        for seed in [3u64, 4, 5] {
+            let sup = arm(CityPolicy::supervised(), seed);
+            let naive = arm(CityPolicy::all_naive(), seed);
+            if sup.metrics.get("utility") > naive.metrics.get("utility") {
+                aware_wins += 1;
+            }
+            if seed == 3 {
+                assert!(
+                    sup.metrics.get("rehomed").unwrap() > 0.0,
+                    "aware stack never re-homed: {:?}",
+                    sup.metrics
+                );
+                assert_eq!(
+                    naive.metrics.get("rehomed"),
+                    Some(0.0),
+                    "naive stack must not re-home"
+                );
+            }
+        }
+        assert!(aware_wins >= 2, "supervised won only {aware_wins}/3 seeds");
+    }
+
+    #[test]
+    fn dead_zone_agent_burns_ctrl_link_budget() {
+        let steps = 1000;
+        let seeds = SeedTree::new(11);
+        let mut cfg = CityConfig::standard(CityPolicy::supervised(), steps, &seeds);
+        cfg.campaign = FaultCampaign::new("outage-only", &seeds).zone_outage(
+            Tick(steps / 4),
+            cfg.cores_per_zone,
+            cfg.cores_per_zone,
+            steps / 2,
+        );
+        let r = run_city(&cfg, &seeds);
+        assert!(
+            r.metrics.get("comms_dead_zone_expired").unwrap() > 0.0,
+            "outage must expire command-plane traffic on the dead links: {:?}",
+            r.metrics
+        );
+        assert!(
+            r.comms_stats.link_expired(cfg.zones, 1) > 0,
+            "per-link attribution missing: {:?}",
+            r.comms_stats
+        );
+    }
+
+    #[test]
+    fn sensor_health_cuts_tracking_error_under_bias() {
+        let steps = 1000;
+        let arm = |health: bool| {
+            let seeds = SeedTree::new(21);
+            let mut policy = CityPolicy::supervised();
+            policy.health = health;
+            let mut cfg = CityConfig::standard(policy, steps, &seeds);
+            cfg.campaign =
+                FaultCampaign::new("bias", &seeds).fault(workloads::FaultEvent::sensor_fault(
+                    Tick(steps / 4),
+                    2,
+                    SensorFaultKind::Bias { offset: 0.9 },
+                    steps / 2,
+                ));
+            run_city(&cfg, &seeds)
+        };
+        let healed = arm(true);
+        let raw = arm(false);
+        assert!(
+            healed.metrics.get("tracking_error").unwrap()
+                < raw.metrics.get("tracking_error").unwrap(),
+            "health layer must cut fidelity error: {:?} vs {:?}",
+            healed.metrics,
+            raw.metrics
+        );
+    }
+}

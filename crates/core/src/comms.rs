@@ -296,7 +296,14 @@ impl CommsPolicy {
 }
 
 /// Lifetime counters for a [`CommsNetwork`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Alongside the flat totals, two per-link maps attribute abandoned
+/// sends to the `(src, dst)` link that lost them: a degradation report
+/// that only shows "expired = 741" hides *which* edge of the collective
+/// went dark, which is exactly the signal cascade diagnosis needs.
+/// Per-link entries are created lazily on the first expiry of a link,
+/// so the steady-state send/deliver/ack cycle stays allocation-free.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CommsStats {
     /// Frames handed to the channel (retransmissions included).
     pub sent: u64,
@@ -310,13 +317,42 @@ pub struct CommsStats {
     pub acked: u64,
     /// Messages abandoned (budget or timeout exhausted).
     pub expired: u64,
+    /// Messages abandoned specifically because the retry budget ran
+    /// out (a subset of [`CommsStats::expired`]; the rest timed out).
+    pub budget_exhausted: u64,
     /// Frames dropped inside a partition window.
     pub partition_hits: u64,
     /// Same-tick exchanges (probe/fire) that failed.
     pub exchange_failures: u64,
+    /// Expired sends per `(src, dst)` link (all causes).
+    pub expired_by_link: BTreeMap<(usize, usize), u64>,
+    /// Retry-budget exhaustions per `(src, dst)` link.
+    pub budget_exhausted_by_link: BTreeMap<(usize, usize), u64>,
 }
 
 impl CommsStats {
+    /// Expired sends on the `src → dst` link (all causes).
+    #[must_use]
+    pub fn link_expired(&self, src: usize, dst: usize) -> u64 {
+        self.expired_by_link.get(&(src, dst)).copied().unwrap_or(0)
+    }
+
+    /// Retry-budget exhaustions on the `src → dst` link.
+    #[must_use]
+    pub fn link_budget_exhausted(&self, src: usize, dst: usize) -> u64 {
+        self.budget_exhausted_by_link
+            .get(&(src, dst))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    fn link_map_json(map: &BTreeMap<(usize, usize), u64>) -> Json {
+        Json::obj(
+            map.iter()
+                .map(|(&(src, dst), &n)| (format!("{src}->{dst}"), Json::from(n))),
+        )
+    }
+
     /// Structured export for run traces (see [`simkernel::obs`]).
     #[must_use]
     pub fn to_json(&self) -> Json {
@@ -327,8 +363,17 @@ impl CommsStats {
             ("retries", Json::from(self.retries)),
             ("acked", Json::from(self.acked)),
             ("expired", Json::from(self.expired)),
+            ("budget_exhausted", Json::from(self.budget_exhausted)),
             ("partition_hits", Json::from(self.partition_hits)),
             ("exchange_failures", Json::from(self.exchange_failures)),
+            (
+                "expired_by_link",
+                Self::link_map_json(&self.expired_by_link),
+            ),
+            (
+                "budget_exhausted_by_link",
+                Self::link_map_json(&self.budget_exhausted_by_link),
+            ),
         ])
     }
 }
@@ -574,10 +619,18 @@ impl<M: Clone> CommsNetwork<M> {
         &self.policy
     }
 
-    /// Lifetime counters.
+    /// Lifetime counters. Cloned out — the per-link attribution maps
+    /// make [`CommsStats`] non-`Copy`; use [`CommsNetwork::stats_ref`]
+    /// on hot paths.
     #[must_use]
     pub fn stats(&self) -> CommsStats {
-        self.stats
+        self.stats.clone()
+    }
+
+    /// Borrowed view of the lifetime counters (no clone).
+    #[must_use]
+    pub fn stats_ref(&self) -> &CommsStats {
+        &self.stats
     }
 
     /// Messages sent but not yet acknowledged (reliable mode).
@@ -813,13 +866,18 @@ impl<M: Clone> CommsNetwork<M> {
                 .map(|(k, _)| *k),
         );
         for &key in &due {
+            // `expired` distinguishes the two abandonment causes so
+            // the stats can attribute them: `Some(true)` = retry
+            // budget exhausted (checked first — the crisper signal
+            // when both trip on the same tick), `Some(false)` = send
+            // timeout.
             let (expired, info) = match self.pending.get_mut(&key) {
                 None => continue,
                 Some(p) => {
-                    if p.attempts >= cfg.retry_budget
-                        || now.0.saturating_sub(p.sent_at) >= cfg.send_timeout
-                    {
-                        (true, None)
+                    if p.attempts >= cfg.retry_budget {
+                        (Some(true), None)
+                    } else if now.0.saturating_sub(p.sent_at) >= cfg.send_timeout {
+                        (Some(false), None)
                     } else {
                         let attempt = p.attempts;
                         p.attempts += 1;
@@ -840,20 +898,30 @@ impl<M: Clone> CommsNetwork<M> {
                             .saturating_mul(1 << attempt.min(16))
                             .min(cfg.backoff_max.max(1));
                         p.next_retry = now.0.saturating_add(backoff);
-                        (false, Some((p.slot, attempt, backoff)))
+                        (None, Some((p.slot, attempt, backoff)))
                     }
                 }
             };
             let (src, dst, seq) = key;
-            if expired {
+            if let Some(out_of_budget) = expired {
                 if let Some(p) = self.pending.remove(&key) {
                     self.stats.expired += 1;
+                    *self.stats.expired_by_link.entry((src, dst)).or_insert(0) += 1;
+                    if out_of_budget {
+                        self.stats.budget_exhausted += 1;
+                        *self
+                            .stats
+                            .budget_exhausted_by_link
+                            .entry((src, dst))
+                            .or_insert(0) += 1;
+                    }
                     self.payloads.decref(p.slot);
                     log.record_with(|| {
                         Explanation::new(now, format!("comms:expire:{src}->{dst}"))
                             .because("seq", seq as f64)
                             .because("attempts", f64::from(p.attempts))
                             .because("age", now.0.saturating_sub(p.sent_at) as f64)
+                            .because("out_of_budget", f64::from(u8::from(out_of_budget)))
                     });
                 }
             } else if let Some((slot, attempt, backoff)) = info {
@@ -1137,11 +1205,53 @@ mod tests {
         assert!(net.stats().partition_hits >= 3);
         assert_eq!(l.find_by_action("comms:partition:2->3").len(), 1);
         assert!(!l.find_by_action("comms:expire").is_empty());
+        // A 3-retry budget runs out long before the 100-tick timeout,
+        // and the loss is attributed to the 2→3 link.
+        assert_eq!(net.stats().budget_exhausted, 1);
+        assert_eq!(net.stats().link_expired(2, 3), 1);
+        assert_eq!(net.stats().link_budget_exhausted(2, 3), 1);
+        assert_eq!(net.stats().link_expired(3, 2), 0);
 
         // Healing is logged once the link carries a frame again.
         ch.partition_all = false;
         net.send(&ch, 2, 3, 2, Tick(50), &mut l);
         assert_eq!(l.find_by_action("comms:heal:2->3").len(), 1);
+    }
+
+    #[test]
+    fn timeout_expiry_is_not_counted_as_budget_exhaustion() {
+        // A generous retry budget with a tight send timeout: the
+        // message expires by age, so the aggregate `expired` counter
+        // and the per-link map tick but `budget_exhausted` stays 0.
+        let mut ch = ScriptChannel {
+            partition_all: true,
+            ..ScriptChannel::default()
+        };
+        let cfg = ReliableConfig {
+            retry_budget: 1_000,
+            retry_backoff: 1,
+            backoff_max: 1,
+            send_timeout: 5,
+            ..ReliableConfig::default()
+        };
+        let mut net: CommsNetwork<u32> = CommsNetwork::new(CommsPolicy::Reliable(cfg));
+        let mut l = log();
+        net.send(&ch, 7, 8, 1, Tick(0), &mut l);
+        for t in 0..20 {
+            net.step(&ch, Tick(t), &mut l);
+        }
+        let s = net.stats();
+        assert_eq!(s.expired, 1);
+        assert_eq!(s.budget_exhausted, 0);
+        assert_eq!(s.link_expired(7, 8), 1);
+        assert_eq!(s.link_budget_exhausted(7, 8), 0);
+        // The healed link carries traffic again without phantom
+        // attribution to other links.
+        ch.partition_all = false;
+        net.send(&ch, 8, 7, 2, Tick(30), &mut l);
+        net.step(&ch, Tick(30), &mut l);
+        assert_eq!(net.stats().link_expired(8, 7), 0);
+        assert!(s.to_json().get("expired_by_link").is_some());
     }
 
     #[test]

@@ -349,6 +349,38 @@ impl FaultPlan {
         })
     }
 
+    /// Whether node `node` is inside an active
+    /// [`FaultKind::ZoneOutage`] window at `t`. This is the plan-side
+    /// truth a zoned command plane consults so that *communication*
+    /// recovery (a [`NetPartition`] healing) cannot be mistaken for
+    /// *zone* recovery: delivery to a zone must stay suppressed while
+    /// the zone's nodes are still scheduled dead, whatever the channel
+    /// is doing (see the overlap-matrix tests in `cloudsim::sim`).
+    #[must_use]
+    pub fn zone_down_at(&self, node: usize, t: Tick) -> bool {
+        self.events.iter().any(|e| match e.kind {
+            FaultKind::ZoneOutage {
+                first,
+                count,
+                duration,
+            } => {
+                node >= first
+                    && node < first.saturating_add(count)
+                    && e.at <= t
+                    && t.value() < e.at.value().saturating_add(duration)
+            }
+            _ => false,
+        })
+    }
+
+    /// Merges another plan's events into this one (builder style).
+    #[must_use]
+    pub fn merged(mut self, other: &Self) -> Self {
+        self.events.extend(other.events.iter().cloned());
+        self.events.sort_by_key(|e| e.at.value());
+        self
+    }
+
     /// A seed-derived plan of `outages` random camera fail/recover
     /// pairs: each picks a camera in `0..cameras` and an onset in
     /// `[window.0, window.1)`, recovering `downtime` ticks later.
@@ -594,6 +626,19 @@ impl ChannelPlan {
         }
     }
 
+    /// Replaces the default (all-links) model, keeping the salt, link
+    /// overrides and scheduled partitions (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a probability in `model` is outside `[0, 1]`.
+    #[must_use]
+    pub fn with_default(mut self, model: LinkModel) -> Self {
+        model.validate();
+        self.default = model;
+        self
+    }
+
     /// Overrides the model for the directed link `src → dst` (builder
     /// style; the last override for a link wins).
     ///
@@ -705,6 +750,123 @@ impl Channel for ChannelPlan {
     }
 }
 
+/// A named, composed fault scenario: scheduled hardware/model faults
+/// ([`FaultPlan`] — zone outages, camera and core failures, model
+/// corruption) riding on an unreliable medium ([`ChannelPlan`] — loss,
+/// duplication, delay, partitions). One campaign describes everything
+/// that goes wrong in one run of a composed world, so cascading
+/// scenarios ("the zone dies, the network jams, the cameras starve")
+/// are built once and handed to the simulator whole.
+///
+/// Both halves keep their independent determinism contracts: fault
+/// events are an explicit schedule, channel draws are stateless hashes
+/// of the plan salt — so any campaign preserves seq-vs-parallel
+/// bit-identity.
+///
+/// ```
+/// use simkernel::{SeedTree, Tick};
+/// use workloads::faults::{FaultCampaign, FaultEvent, LinkModel};
+///
+/// let seeds = SeedTree::new(7);
+/// let campaign = FaultCampaign::new("demo", &seeds)
+///     .with_loss(LinkModel::lossy(0.2))
+///     .zone_outage(Tick(100), 0, 4, 50)
+///     .net_partition(120, 60, vec![2])
+///     .fault(FaultEvent::camera_fail(Tick(130), 1));
+/// assert!(campaign.faults().zone_down_at(2, Tick(120)));
+/// assert!(campaign.channel().partitioned_at(2, 9, Tick(130)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultCampaign {
+    name: String,
+    faults: FaultPlan,
+    channel: ChannelPlan,
+}
+
+impl FaultCampaign {
+    /// An empty campaign: no faults, and a channel that is ideal but
+    /// already salted from `seeds` so later [`FaultCampaign::with_loss`]
+    /// calls stay deterministic per seed subtree.
+    #[must_use]
+    pub fn new(name: impl Into<String>, seeds: &SeedTree) -> Self {
+        Self {
+            name: name.into(),
+            faults: FaultPlan::none(),
+            channel: ChannelPlan::uniform(seeds, LinkModel::ideal()),
+        }
+    }
+
+    /// The campaign's display name (table rows, trace records).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The scheduled fault events.
+    #[must_use]
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// The channel model the campaign's traffic crosses.
+    #[must_use]
+    pub fn channel(&self) -> &ChannelPlan {
+        &self.channel
+    }
+
+    /// Adds one fault event.
+    #[must_use]
+    pub fn fault(mut self, e: FaultEvent) -> Self {
+        self.faults = self.faults.and(e);
+        self
+    }
+
+    /// Merges a whole fault plan into the campaign.
+    #[must_use]
+    pub fn with_faults(mut self, plan: &FaultPlan) -> Self {
+        self.faults = self.faults.merged(plan);
+        self
+    }
+
+    /// Sets the default link model on every channel link (keeps the
+    /// campaign's salt and any scheduled partitions).
+    #[must_use]
+    pub fn with_loss(mut self, model: LinkModel) -> Self {
+        self.channel = self.channel.with_default(model);
+        self
+    }
+
+    /// Replaces the channel plan wholesale (for link-level overrides
+    /// built directly on [`ChannelPlan`]).
+    #[must_use]
+    pub fn with_channel(mut self, channel: ChannelPlan) -> Self {
+        self.channel = channel;
+        self
+    }
+
+    /// Schedules a zone outage: backend nodes
+    /// `first .. first + count` dead for `duration` ticks from `at`.
+    #[must_use]
+    pub fn zone_outage(self, at: Tick, first: usize, count: usize, duration: u64) -> Self {
+        self.fault(FaultEvent::zone_outage(at, first, count, duration))
+    }
+
+    /// Schedules a network partition silencing `nodes` for
+    /// `duration` ticks from `start` (channel-side: frames are
+    /// dropped, not delayed).
+    #[must_use]
+    pub fn net_partition(mut self, start: u64, duration: u64, nodes: Vec<usize>) -> Self {
+        self.channel = self.channel.with_partition(start, duration, nodes);
+        self
+    }
+
+    /// Schedules a model corruption against `controller`.
+    #[must_use]
+    pub fn corruption(self, at: Tick, controller: usize, kind: ModelCorruptionKind) -> Self {
+        self.fault(FaultEvent::model_corruption(at, controller, kind))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -737,6 +899,58 @@ mod tests {
         let plan = FaultPlan::none().and(FaultEvent::zone_outage(Tick(100), 0, 4, 50));
         assert!(plan.changes_in(Tick(0), Tick(101)));
         assert!(!plan.changes_in(Tick(101), Tick(500)));
+    }
+
+    #[test]
+    fn zone_down_window_and_bounds() {
+        let plan = FaultPlan::none().and(FaultEvent::zone_outage(Tick(100), 2, 3, 50));
+        // Half-open in both node range and time.
+        assert!(!plan.zone_down_at(2, Tick(99)));
+        assert!(plan.zone_down_at(2, Tick(100)));
+        assert!(plan.zone_down_at(4, Tick(149)));
+        assert!(!plan.zone_down_at(4, Tick(150)));
+        assert!(!plan.zone_down_at(1, Tick(120)));
+        assert!(!plan.zone_down_at(5, Tick(120)));
+        // Overlapping outages union.
+        let plan = plan.and(FaultEvent::zone_outage(Tick(140), 4, 2, 30));
+        assert!(plan.zone_down_at(4, Tick(160)));
+        assert!(plan.zone_down_at(5, Tick(145)));
+        assert!(!plan.zone_down_at(2, Tick(160)));
+    }
+
+    #[test]
+    fn merged_plans_stay_sorted() {
+        let a = FaultPlan::none().and(FaultEvent::core_fail(Tick(50), 0));
+        let b = FaultPlan::none().and(FaultEvent::core_fail(Tick(10), 1));
+        let m = a.merged(&b);
+        assert_eq!(m.events().len(), 2);
+        assert_eq!(m.events()[0].at, Tick(10));
+    }
+
+    #[test]
+    fn fault_campaign_composes_faults_and_channel() {
+        use simkernel::SeedTree;
+        let seeds = SeedTree::new(11);
+        let c = FaultCampaign::new("cascade", &seeds)
+            .with_loss(LinkModel::lossy(0.3))
+            .zone_outage(Tick(100), 0, 4, 50)
+            .net_partition(120, 60, vec![2])
+            .corruption(Tick(130), 0, ModelCorruptionKind::NanPoison)
+            .fault(FaultEvent::camera_fail(Tick(5), 1));
+        assert_eq!(c.name(), "cascade");
+        assert_eq!(c.faults().events().len(), 3);
+        assert!(c.faults().zone_down_at(3, Tick(110)));
+        assert!(c.channel().partitioned_at(2, 7, Tick(130)));
+        assert!(!c.channel().is_ideal());
+        // Channel draws are salted from the seed subtree: same seed,
+        // same campaign, same per-frame fates.
+        let c2 = FaultCampaign::new("cascade", &SeedTree::new(11)).with_loss(LinkModel::lossy(0.3));
+        let fate = |p: &ChannelPlan| {
+            (0..64)
+                .map(|s| p.transmit(0, 1, s, Tick(0)).arrivals.iter().count())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(fate(c.channel()), fate(c2.channel()));
     }
 
     #[test]

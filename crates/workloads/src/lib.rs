@@ -38,7 +38,8 @@ pub mod trajectories;
 
 pub use disturbance::{Disturbance, DisturbanceKind, Schedule};
 pub use faults::{
-    ChannelPlan, FaultEvent, FaultKind, FaultPlan, LinkModel, NetPartition, SensorFaultKind,
+    ChannelPlan, FaultCampaign, FaultEvent, FaultKind, FaultPlan, LinkModel, NetPartition,
+    SensorFaultKind,
 };
 pub use rates::{DiurnalRate, DriftingRate, MmppRate, PoissonArrivals, RateFn};
 pub use signal::{SignalGen, SignalSpec};
