@@ -42,6 +42,19 @@ echo "==> cargo run -p sas-bench --bin obs_validate (F9 trace)"
 cargo run --offline -p sas-bench --bin obs_validate
 rm -rf target/obs
 
+# F10 smoke: counterfactual replay end-to-end at reduced length. The
+# bench binary exits non-zero if the intervention-regression gate
+# fails (an intervention class with negative measured benefit on its
+# canonical campaign), and the emitted trace — including the typed
+# `counterfactual` records — is schema-validated.
+echo "==> SAS_OBS=1 cargo bench -p sas-bench --bench f10_counterfactual (F10_STEPS=600)"
+rm -rf target/obs
+SAS_OBS=1 F10_STEPS=600 cargo bench --offline -p sas-bench --bench f10_counterfactual
+
+echo "==> cargo run -p sas-bench --bin obs_validate (F10 trace)"
+cargo run --offline -p sas-bench --bin obs_validate
+rm -rf target/obs
+
 # Observability smoke: one real experiment under SAS_OBS=1 must emit
 # a parseable JSONL run trace with the expected schema (provenance,
 # arm aggregates + phase profile, per-replicate records). target/obs
@@ -56,7 +69,7 @@ rm -rf target/obs
 
 # Perf-trajectory smoke: regenerate the macro-bench document at
 # reduced steps/reps and schema-check both it and the committed
-# BENCH_6.json. This gates on SCHEMA DRIFT only — a renamed arm,
+# BENCH_8.json. This gates on SCHEMA DRIFT only — a renamed arm,
 # missing field, or malformed histogram fails here; machine-local
 # timing differences never do.
 echo "==> cargo run -p sas-bench --bin perfbench -- --smoke"
@@ -64,8 +77,8 @@ PERF_SMOKE_OUT="$(mktemp -t perfbench_smoke.XXXXXX.json)"
 trap 'rm -f "$PERF_SMOKE_OUT"' EXIT
 cargo run --offline --release -p sas-bench --bin perfbench -- --smoke --out "$PERF_SMOKE_OUT"
 cargo run --offline --release -p sas-bench --bin perfbench -- --validate "$PERF_SMOKE_OUT"
-echo "==> perfbench --validate BENCH_6.json (committed trajectory)"
-cargo run --offline --release -p sas-bench --bin perfbench -- --validate BENCH_6.json
+echo "==> perfbench --validate BENCH_8.json (committed trajectory)"
+cargo run --offline --release -p sas-bench --bin perfbench -- --validate BENCH_8.json
 
 echo "==> cargo fmt --check"
 cargo fmt --check

@@ -1,0 +1,39 @@
+//! Regenerates Table F10 (counterfactual-replay explanation fidelity)
+//! and runs the intervention-regression gate. See EXPERIMENTS.md.
+//! `F10_STEPS` overrides the horizon (default 3000) for quick smoke
+//! runs. Exits non-zero when the gate fails — CI treats any
+//! intervention class with negative measured benefit on its canonical
+//! campaign as a regression.
+fn main() {
+    let steps = std::env::var("F10_STEPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3_000);
+    let start = std::time::Instant::now();
+    let report = sas_bench::run_f10(sas_bench::REPS, steps);
+    println!("{}", report.table);
+    println!("{}", report.fidelity);
+    if !report.headlines.is_empty() {
+        println!("replicate-0 headlines:");
+        for line in &report.headlines {
+            println!("  {line}");
+        }
+    }
+    for flag in &report.truncation_flags {
+        println!("WARNING {flag}");
+    }
+    eprintln!(
+        "regenerated in {:.2?} on {} worker thread(s)",
+        start.elapsed(),
+        simkernel::worker_count(usize::MAX)
+    );
+    if report.gate_failures.is_empty() {
+        println!("intervention-regression gate: PASS");
+    } else {
+        for failure in &report.gate_failures {
+            eprintln!("GATE {failure}");
+        }
+        eprintln!("intervention-regression gate: FAIL");
+        std::process::exit(1);
+    }
+}

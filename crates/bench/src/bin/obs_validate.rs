@@ -8,8 +8,9 @@
 //! for each one, that every line parses as JSON and that the records
 //! follow the trace schema: a leading `provenance` record with the
 //! expected keys, then `arm` records carrying aggregates and phase
-//! profiles, each followed by its `replicate` records. Exits non-zero
-//! on the first malformed artifact — CI runs this after a
+//! profiles, each followed by its `replicate` records and any
+//! `counterfactual` records lifted from replay probes (F10). Exits
+//! non-zero on the first malformed artifact — CI runs this after a
 //! `SAS_OBS=1` smoke experiment.
 
 use simkernel::obs::{self, Json};
@@ -47,7 +48,7 @@ fn require_keys(record: &Json, keys: &[&str], what: &str) -> Result<(), String> 
 /// human-readable error naming the offending line on failure.
 fn validate(path: &Path) -> Result<String, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("unreadable: {e}"))?;
-    let (mut arms, mut replicates) = (0usize, 0usize);
+    let (mut arms, mut replicates, mut counterfactuals) = (0usize, 0usize, 0usize);
     let mut saw_provenance = false;
     for (i, line) in text.lines().enumerate() {
         let record = obs::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
@@ -85,6 +86,29 @@ fn validate(path: &Path) -> Result<String, String> {
                 replicates += 1;
                 require_keys(&record, &["arm", "index", "events"], "replicate")
             }
+            "counterfactual" => {
+                counterfactuals += 1;
+                require_keys(
+                    &record,
+                    &[
+                        "arm",
+                        "replicate",
+                        "campaign",
+                        "headline",
+                        "class",
+                        "metric",
+                        "factual",
+                        "counterfactual",
+                        "benefit",
+                        "events",
+                        "anchor_tick",
+                        "anchor_action",
+                        "log_dropped",
+                        "truncated",
+                    ],
+                    "counterfactual",
+                )
+            }
             other => Err(format!("unknown record kind {other:?}")),
         };
         check.map_err(|e| format!("line {}: {e}", i + 1))?;
@@ -95,7 +119,9 @@ fn validate(path: &Path) -> Result<String, String> {
     if arms == 0 {
         return Err("no arm records".to_string());
     }
-    Ok(format!("{arms} arm(s), {replicates} replicate record(s)"))
+    Ok(format!(
+        "{arms} arm(s), {replicates} replicate record(s), {counterfactuals} counterfactual record(s)"
+    ))
 }
 
 fn main() -> ExitCode {

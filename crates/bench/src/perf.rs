@@ -2,7 +2,7 @@
 //! `BENCH_<n>.json`.
 //!
 //! The repo's self-awareness loop is only credible at scale if its own
-//! runtime cost is measured and held: this module runs the F5–F9
+//! runtime cost is measured and held: this module runs the F5–F10
 //! experiment scenarios under forced observability (`SAS_OBS=1`
 //! semantics via [`obs::set_override`]) with **fixed seeds, steps and
 //! replicate counts**, and renders one JSON document containing, per
@@ -23,13 +23,13 @@
 //! variant and validates **schema only** — timings are
 //! machine-dependent and must never gate a build.
 //!
-//! Arm labels are exactly the labels `run_f5`..`run_f9` print, so
+//! Arm labels are exactly the labels `run_f5`..`run_f10` print, so
 //! benchmark arms and experiment arms cannot silently diverge (see
 //! EXPERIMENTS.md).
 
 use crate::experiments::{
-    f5_scenario, f6_scenario, f7_fault_plan, f7_scenario, f8_arms, f8_scenario, f9_scenario, F7Arm,
-    F9Arm,
+    f10_scenario, f5_scenario, f6_scenario, f7_fault_plan, f7_scenario, f8_arms, f8_scenario,
+    f9_scenario, F10Campaign, F7Arm, F9Arm, F10_SEED,
 };
 use simkernel::obs::{self, Json};
 use simkernel::{MetricSet, Replications, SeedTree};
@@ -43,8 +43,8 @@ pub const FULL_REPS: u32 = 5;
 /// Replicates per arm in `--smoke` mode.
 pub const SMOKE_REPS: u32 = 2;
 /// Sequence number of the committed benchmark document this code
-/// emits (`BENCH_6.json`).
-pub const BENCH_VERSION: u64 = 6;
+/// emits (`BENCH_8.json`).
+pub const BENCH_VERSION: u64 = 8;
 
 /// One benchmark arm: a label (identical to the experiment table's
 /// arm label) and the replicate scenario behind it.
@@ -121,6 +121,18 @@ fn experiment_specs(smoke: bool) -> Vec<ExpSpec> {
         })
         .collect();
 
+    // Each F10 replicate re-executes the city once per intervention
+    // class plus the factual run (10 full simulations), so the horizon
+    // is kept short relative to F9.
+    let f10_steps = pick(600, 100);
+    let f10_arm_specs: Vec<ArmSpec> = F10Campaign::all()
+        .into_iter()
+        .map(|campaign| ArmSpec {
+            label: campaign.label().to_string(),
+            run: Box::new(move |seeds| f10_scenario(campaign, seeds, f10_steps)),
+        })
+        .collect();
+
     vec![
         ExpSpec {
             name: "f5",
@@ -151,6 +163,12 @@ fn experiment_specs(smoke: bool) -> Vec<ExpSpec> {
             seed: 0xF9,
             steps: f9_steps,
             arms: f9_arm_specs,
+        },
+        ExpSpec {
+            name: "f10",
+            seed: F10_SEED,
+            steps: f10_steps,
+            arms: f10_arm_specs,
         },
     ]
 }
@@ -237,7 +255,7 @@ pub fn repo_root() -> Option<PathBuf> {
         .map(Path::to_path_buf)
 }
 
-/// The default output path, `<repo root>/BENCH_6.json`.
+/// The default output path, `<repo root>/BENCH_8.json`.
 #[must_use]
 pub fn default_bench_path() -> Option<PathBuf> {
     repo_root().map(|r| r.join(format!("BENCH_{BENCH_VERSION}.json")))

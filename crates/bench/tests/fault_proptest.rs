@@ -355,4 +355,58 @@ proptest! {
             compose::run_city(&cfg, &city_seeds).metrics
         }, &format!("proptest/f9-campaign/naive={naive}"));
     }
+
+    #[test]
+    fn any_single_flip_mask_is_parity_clean_and_factual_mask_is_identity(
+        zones in proptest::collection::vec(zone_outage_event(), 0..2),
+        links in proptest::collection::vec(link_outage(), 0..2),
+        sensors in proptest::collection::vec(sensor_fault(), 0..3),
+        corruptions in proptest::collection::vec(model_corruption(), 0..2),
+        model in link_model(),
+        class_idx in 0usize..selfaware::replay::InterventionClass::ALL.len(),
+    ) {
+        // The counterfactual-replay contract (F10): suppressing any
+        // single intervention class must leave the composed-city run
+        // (a) bit-identical between the sequential engine and the
+        // parallel engine at 1 and 4 threads — masked branches consume
+        // no RNG, so masking cannot perturb replicate seed streams —
+        // and (b) the factual (all-bits-off) mask must reproduce the
+        // unmasked original run bit-exactly.
+        use selfaware::replay::{InterventionClass, InterventionMask};
+        let plan = FaultPlan::new(
+            zones
+                .into_iter()
+                .chain(links.into_iter().flatten())
+                .chain(sensors)
+                .chain(corruptions)
+                .collect(),
+        );
+        let run = |seeds: SeedTree, mask: Option<InterventionMask>| {
+            let city_seeds = seeds.child("city");
+            let mut cfg = compose::CityConfig::standard(
+                compose::CityPolicy::supervised(),
+                STEPS,
+                &city_seeds,
+            );
+            let mut campaign = workloads::FaultCampaign::new("prop-mask", &city_seeds)
+                .with_faults(&plan)
+                .with_channel(channel_of(&city_seeds, model, &None));
+            if let Some(m) = mask {
+                campaign = campaign.with_mask(m);
+            }
+            cfg.campaign = campaign;
+            compose::run_city(&cfg, &city_seeds).metrics
+        };
+
+        let flipped = InterventionMask::suppressing(InterventionClass::ALL[class_idx]);
+        let reps = Replications::new(0x9AB, REPS);
+        let masked = |seeds: SeedTree| run(seeds, Some(flipped));
+        let seq = reps.run(&masked);
+        assert_bitwise_equal(&reps.run_par_threads(1, masked), &seq, "proptest/mask/par1");
+        assert_bitwise_equal(&reps.run_par_threads(4, masked), &seq, "proptest/mask/par4");
+
+        let factual = reps.run(|seeds| run(seeds, Some(InterventionMask::allow_all())));
+        let original = reps.run(|seeds| run(seeds, None));
+        assert_bitwise_equal(&factual, &original, "proptest/mask/factual-identity");
+    }
 }

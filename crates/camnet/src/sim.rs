@@ -8,6 +8,7 @@ use rand::Rng as _;
 use selfaware::comms::{CommsNetwork, CommsPolicy};
 use selfaware::explain::ExplanationLog;
 use selfaware::goals::{Direction, Goal, Objective};
+use selfaware::replay::InterventionMask;
 use selfaware::supervision::{ControlSource, Evidence, Supervisor, Verdict};
 use simkernel::obs;
 use simkernel::rng::SeedTree;
@@ -61,6 +62,10 @@ pub struct CamnetConfig {
     /// protocol that refuses to unlearn unreachable peers and aborts
     /// undeliverable handovers.
     pub comms: CommsPolicy,
+    /// Counterfactual-replay intervention mask (see
+    /// [`selfaware::replay`]), applied to the affinity supervisor and
+    /// the comms layer. Factual (everything allowed) by default.
+    pub mask: InterventionMask,
 }
 
 impl CamnetConfig {
@@ -81,6 +86,7 @@ impl CamnetConfig {
             supervise: false,
             channel: ChannelPlan::ideal(),
             comms: CommsPolicy::default(),
+            mask: InterventionMask::allow_all(),
         }
     }
 }
@@ -177,7 +183,7 @@ pub fn run_camnet(cfg: &CamnetConfig, seeds: &SeedTree) -> CamnetResult {
     }
     let mut supervision = cfg.supervise.then(|| {
         Box::new(AffinitySupervision {
-            sup: Supervisor::new("camera-affinities", table.snapshot()),
+            sup: Supervisor::new("camera-affinities", table.snapshot()).with_mask(cfg.mask),
             log: ExplanationLog::new(512),
         })
     });
@@ -188,7 +194,7 @@ pub fn run_camnet(cfg: &CamnetConfig, seeds: &SeedTree) -> CamnetResult {
     // are a pure function of the channel plan, so the ideal default
     // leaves every exchange — and every downstream number — exactly
     // as the perfect-network code produced it.
-    let mut comms: CommsNetwork<()> = CommsNetwork::new(cfg.comms);
+    let mut comms: CommsNetwork<()> = CommsNetwork::new(cfg.comms).with_mask(cfg.mask);
     let mut comms_log = ExplanationLog::new(2048);
     let ideal = cfg.channel.is_ideal();
     let aware = !cfg.comms.is_naive();

@@ -6,8 +6,9 @@ use crate::node::NodeSpec;
 use crate::request::{Request, RequestOutcome};
 use crate::strategy::Strategy;
 use selfaware::comms::{Channel, ChannelOutcome, CommsNetwork, CommsPolicy, CommsStats, Delivered};
-use selfaware::explain::ExplanationLog;
+use selfaware::explain::{Explanation, ExplanationLog};
 use selfaware::goals::{Direction, Goal, Objective};
+use selfaware::replay::{InterventionClass, InterventionMask};
 use simkernel::obs;
 use simkernel::rng::SeedTree;
 use simkernel::stats::Percentiles;
@@ -52,6 +53,7 @@ struct ZonedPlane {
     zones: usize,
     n: usize,
     aware: bool,
+    mask: InterventionMask,
     net: CommsNetwork<usize>,
     /// Target each zone agent has actually applied (ground truth).
     applied: Vec<usize>,
@@ -102,7 +104,7 @@ impl Channel for ZoneLiveChannel<'_> {
 }
 
 impl ZonedPlane {
-    fn new(zones: usize, n: usize, policy: CommsPolicy) -> Self {
+    fn new(zones: usize, n: usize, policy: CommsPolicy, mask: InterventionMask) -> Self {
         assert!(
             zones >= 1 && zones <= n,
             "zone count must be in 1..=node count"
@@ -116,7 +118,8 @@ impl ZonedPlane {
             zones,
             n,
             aware: !policy.is_naive(),
-            net: CommsNetwork::new(policy),
+            mask,
+            net: CommsNetwork::new(policy).with_mask(mask),
             applied: sizes.clone(),
             believed: sizes,
             issued: vec![None; zones],
@@ -231,10 +234,20 @@ impl ZonedPlane {
                 // report disagrees with the standing order — that is
                 // how a command abandoned by the retry budget during a
                 // partition eventually gets through after the heal.
+                // A masked counterfactual run suppresses exactly these
+                // overdue re-issues; changed-triggered sends stay.
                 let overdue = self.aware
+                    && self.mask.allows(InterventionClass::CommsReissue)
                     && self.believed[z] != target
                     && now.0.saturating_sub(self.issued_at[z]) >= REISSUE_INTERVAL;
                 if changed || overdue {
+                    if !changed {
+                        log.record_with(|| {
+                            Explanation::new(now, format!("comms:reissue:{ctrl}->{z}"))
+                                .because("target", target as f64)
+                                .because("believed", self.believed[z] as f64)
+                        });
+                    }
                     self.net.send(channel, ctrl, z, target, now, log);
                     self.issued[z] = Some(target);
                     self.issued_at[z] = now.0;
@@ -329,6 +342,11 @@ pub struct ScenarioConfig {
     pub comms: CommsPolicy,
     /// How autoscaling decisions reach the pool.
     pub command_plane: CommandPlane,
+    /// Counterfactual intervention mask, applied to the arrival-model
+    /// supervisor and the zoned command plane (retries, overdue
+    /// re-issues). [`InterventionMask::allow_all`] (the default)
+    /// reproduces historical behaviour bit for bit.
+    pub mask: InterventionMask,
 }
 
 impl ScenarioConfig {
@@ -367,6 +385,7 @@ impl ScenarioConfig {
             channel: ChannelPlan::ideal(),
             comms: CommsPolicy::default(),
             command_plane: CommandPlane::Direct,
+            mask: InterventionMask::allow_all(),
         }
     }
 }
@@ -420,6 +439,7 @@ pub fn run_scenario(cfg: &ScenarioConfig, seeds: &SeedTree) -> ScenarioResult {
     let n = cfg.specs.len();
     let mut cluster = Cluster::new(cfg.specs.clone(), seeds);
     let mut controller = cfg.strategy.build(n);
+    controller.set_mask(cfg.mask);
     let mut rate_fn = DiurnalRate::new(cfg.base_rate, cfg.amplitude, cfg.period);
     let mut arrivals_rng = seeds.rng("arrivals");
     let mut work_rng = seeds.rng("work");
@@ -436,7 +456,7 @@ pub fn run_scenario(cfg: &ScenarioConfig, seeds: &SeedTree) -> ScenarioResult {
     let mut comms_log = ExplanationLog::new(2048);
     let mut plane = match cfg.command_plane {
         CommandPlane::Direct => None,
-        CommandPlane::Zoned { zones } => Some(ZonedPlane::new(zones, n, cfg.comms)),
+        CommandPlane::Zoned { zones } => Some(ZonedPlane::new(zones, n, cfg.comms, cfg.mask)),
     };
 
     // Reused across ticks: outcome pushes land in warm capacity
@@ -900,7 +920,8 @@ mod tests {
         if let Some((at, duration)) = outage {
             faults = faults.and(FaultEvent::zone_outage(Tick(at), 2, 2, duration));
         }
-        let mut plane = ZonedPlane::new(3, 6, CommsPolicy::default());
+        let mut plane =
+            ZonedPlane::new(3, 6, CommsPolicy::default(), InterventionMask::allow_all());
         let mut log = ExplanationLog::new(64);
         let mut history = vec![(0, plane.applied[1])];
         for t in 0..steps {
@@ -1028,7 +1049,7 @@ mod tests {
             send_timeout: 10_000,
             ..ReliableConfig::default()
         });
-        let mut plane = ZonedPlane::new(3, 6, policy);
+        let mut plane = ZonedPlane::new(3, 6, policy, InterventionMask::allow_all());
         let mut log = ExplanationLog::new(64);
         for t in 0..420 {
             let desired = if t < 150 { 6 } else { 3 };

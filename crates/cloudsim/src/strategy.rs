@@ -24,6 +24,7 @@ use selfaware::models::drift::{DriftDetector, PageHinkley};
 use selfaware::models::ewma::Ewma;
 use selfaware::models::holt::Holt;
 use selfaware::models::{Forecaster, OnlineModel};
+use selfaware::replay::InterventionMask;
 use selfaware::supervision::{ControlSource, Evidence, SupervisionStats, Supervisor};
 use simkernel::rng::Rng;
 use simkernel::Tick;
@@ -125,6 +126,17 @@ pub struct Controller {
 }
 
 impl Controller {
+    /// Applies a counterfactual intervention mask to the arrival-model
+    /// supervisor (no-op for unsupervised strategies). Masked paths
+    /// consume no randomness, so this never perturbs seed streams.
+    pub fn set_mask(&mut self, mask: InterventionMask) {
+        if let Kind::SelfAware(state) = &mut self.kind {
+            if let Some(svc) = &mut state.supervision {
+                svc.sup.set_mask(mask);
+            }
+        }
+    }
+
     /// Called once per tick before dispatching, with the number of
     /// arrivals observed this tick. Autoscaling strategies resize the
     /// rented pool here.

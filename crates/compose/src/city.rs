@@ -20,9 +20,10 @@ use cpn::routing::{Router, RoutingStrategy};
 use multicore::{Core, CoreSpec};
 use rand::Rng as _;
 use selfaware::comms::{Channel, ChannelOutcome, CommsNetwork, CommsStats, Delivered};
-use selfaware::explain::ExplanationLog;
+use selfaware::explain::{Explanation, ExplanationLog};
 use selfaware::goals::{Direction, Goal, Objective};
 use selfaware::health::SensorHealth;
+use selfaware::replay::InterventionClass;
 use selfaware::supervision::{Evidence, Supervisor, Verdict};
 use simkernel::obs;
 use simkernel::rng::SeedTree;
@@ -167,11 +168,12 @@ pub fn run_city(cfg: &CityConfig, seeds: &SeedTree) -> CityResult {
     assert!(cfg.rows >= 2 && cfg.cols >= cfg.zones, "grid too small");
     let mut graph = Graph::grid(cfg.rows, cfg.cols);
     let n = graph.len();
+    let mask = cfg.campaign.mask();
     let mut router = cfg.policy.router.build(&graph);
     let mut supervision =
         matches!(cfg.policy.router, RoutingStrategy::SupervisedCpn { .. }).then(|| {
             Box::new(CitySupervision {
-                sup: Supervisor::new("city-routing", router.clone()),
+                sup: Supervisor::new("city-routing", router.clone()).with_mask(mask),
                 baseline: RoutingStrategy::Periodic { period: 25 }.build(&graph),
                 realized: None,
             })
@@ -204,7 +206,10 @@ pub fn run_city(cfg: &CityConfig, seeds: &SeedTree) -> CityResult {
     let mut camera_down = vec![false; cfg.cameras];
     let mut held = vec![0.5f64; cfg.cameras];
     let mut cam_degraded = vec![false; cfg.cameras];
-    let mut health = cfg.policy.health.then(SensorHealth::default);
+    let mut health = cfg
+        .policy
+        .health
+        .then(|| SensorHealth::default().with_mask(mask));
 
     // Wanderer population: diurnal subset of the base plus the flash
     // crowd. All of them step every tick so the trajectory stream is
@@ -259,7 +264,7 @@ pub fn run_city(cfg: &CityConfig, seeds: &SeedTree) -> CityResult {
     // Command plane: agents 0..zones, controller, camera head.
     let ctrl = cfg.zones;
     let cam_head = cfg.zones + 1;
-    let mut comms: CommsNetwork<CityEvent> = CommsNetwork::new(cfg.policy.comms);
+    let mut comms: CommsNetwork<CityEvent> = CommsNetwork::new(cfg.policy.comms).with_mask(mask);
     let mut comms_inbox: Vec<Delivered<CityEvent>> = Vec::new();
     let mut believed_backlog = vec![0u64; cfg.zones];
     let mut believed_pressure = vec![0u64; cfg.zones];
@@ -715,7 +720,13 @@ pub fn run_city(cfg: &CityConfig, seeds: &SeedTree) -> CityResult {
         }
         if cfg.policy.ladder {
             let pressure_total: u64 = believed_pressure.iter().sum();
-            let shed = if pressure_total >= SHED2 {
+            // Counterfactual masking forces a rung off *after* the
+            // believed state is computed, so the suppressed rung's
+            // inputs (and every RNG stream) evolve exactly as in the
+            // factual run.
+            let shed = if mask.suppresses(InterventionClass::ComposeShed) {
+                0
+            } else if pressure_total >= SHED2 {
                 2
             } else {
                 u8::from(pressure_total >= SHED1)
@@ -723,7 +734,10 @@ pub fn run_city(cfg: &CityConfig, seeds: &SeedTree) -> CityResult {
             let aware = !cfg.policy.comms.is_naive();
             let rehome: Vec<Option<u8>> = (0..cfg.zones)
                 .map(|z| {
-                    if !aware || comms.freshness(ctrl, z, now) >= REHOME_FRESH {
+                    if mask.suppresses(InterventionClass::ComposeRehome)
+                        || !aware
+                        || comms.freshness(ctrl, z, now) >= REHOME_FRESH
+                    {
                         return None;
                     }
                     // Nearest zone the controller still hears from.
@@ -735,6 +749,22 @@ pub fn run_city(cfg: &CityConfig, seeds: &SeedTree) -> CityResult {
                 .collect();
             let directive = (shed, rehome.clone());
             if sent_directive.as_ref() != Some(&directive) {
+                // Anchor the ladder transitions so counterfactual
+                // deltas can point at the tick a rung engaged.
+                let prev = sent_directive.as_ref();
+                if prev.map_or(shed > 0, |(s, _)| *s != shed) {
+                    log.record_with(|| {
+                        Explanation::new(now, "ladder:shed")
+                            .because("level", f64::from(shed))
+                            .because("pressure", pressure_total as f64)
+                    });
+                }
+                if prev.map_or(rehome.iter().any(Option::is_some), |(_, r)| *r != rehome) {
+                    log.record_with(|| {
+                        Explanation::new(now, "ladder:rehome")
+                            .because("zones", rehome.iter().flatten().count() as f64)
+                    });
+                }
                 let event = CityEvent::Directive { shed, rehome };
                 comms.send(plane, ctrl, cam_head, event, now, &mut log);
                 sent_directive = Some(directive);
@@ -746,14 +776,36 @@ pub fn run_city(cfg: &CityConfig, seeds: &SeedTree) -> CityResult {
             // reliable plane's budget and show up in the per-link
             // expiry counters.
             for z in 0..cfg.zones {
-                let want = if believed_backlog[z] > THR_HI {
+                let want = if mask.suppresses(InterventionClass::ComposeThrottle) {
+                    false
+                } else if believed_backlog[z] > THR_HI {
                     true
                 } else if believed_backlog[z] < THR_LO {
                     false
                 } else {
                     ctrl_throttle[z]
                 };
-                let refresh = t % THROTTLE_REFRESH == z as u64 % THROTTLE_REFRESH;
+                // The periodic refresh is the command plane's re-issue
+                // mechanism; masking `CommsReissue` leaves only
+                // change-triggered sends.
+                let refresh = mask.allows(InterventionClass::CommsReissue)
+                    && t % THROTTLE_REFRESH == z as u64 % THROTTLE_REFRESH;
+                if want != ctrl_throttle[z] {
+                    log.record_with(|| {
+                        Explanation::new(now, "ladder:throttle")
+                            .because("zone", z as f64)
+                            .because("on", f64::from(u8::from(want)))
+                            .because("believed_backlog", believed_backlog[z] as f64)
+                    });
+                } else if refresh && want {
+                    // Anchor only the re-issues that keep an *active*
+                    // throttle alive — the consequential ones — so the
+                    // shared ring is not flooded in benign stretches.
+                    log.record_with(|| {
+                        Explanation::new(now, format!("comms:reissue:{ctrl}->{z}"))
+                            .because("on", 1.0)
+                    });
+                }
                 if want != ctrl_throttle[z] || refresh {
                     ctrl_throttle[z] = want;
                     comms.send(

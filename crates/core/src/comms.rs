@@ -56,6 +56,7 @@
 //! ```
 
 use crate::explain::{Explanation, ExplanationLog};
+use crate::replay::{InterventionClass, InterventionMask};
 use serde::{Deserialize, Serialize};
 use simkernel::delivery::DeliveryQueue;
 use simkernel::obs::{self, Json};
@@ -584,6 +585,7 @@ pub struct CommsNetwork<M> {
     last_heard: BTreeMap<(usize, usize), u64>,
     partitioned_links: BTreeSet<(usize, usize)>,
     stats: CommsStats,
+    mask: InterventionMask,
     // Scratch buffers reused across `step` calls. Always drained
     // empty before a call returns, so the derived `PartialEq` (which
     // sees only empty vectors) and `Clone` stay honest.
@@ -607,10 +609,28 @@ impl<M: Clone> CommsNetwork<M> {
             last_heard: BTreeMap::new(),
             partitioned_links: BTreeSet::new(),
             stats: CommsStats::default(),
+            mask: InterventionMask::allow_all(),
             flight_scratch: Vec::new(),
             ack_scratch: Vec::new(),
             retry_scratch: Vec::new(),
         }
+    }
+
+    /// Sets the counterfactual-replay intervention mask (see
+    /// [`crate::replay`]). With `CommsRetry` suppressed, pending
+    /// messages still age, back off and expire on exactly the factual
+    /// schedule — only the retransmission itself (and its stats/log
+    /// footprint) is withheld. The network consumes no randomness
+    /// either way.
+    pub fn set_mask(&mut self, mask: InterventionMask) {
+        self.mask = mask;
+    }
+
+    /// Builder-style [`CommsNetwork::set_mask`].
+    #[must_use]
+    pub fn with_mask(mut self, mask: InterventionMask) -> Self {
+        self.set_mask(mask);
+        self
     }
 
     /// The active policy.
@@ -925,6 +945,13 @@ impl<M: Clone> CommsNetwork<M> {
                     });
                 }
             } else if let Some((slot, attempt, backoff)) = info {
+                // Masked retry (counterfactual replay): the pending
+                // entry above already aged and backed off exactly as
+                // in the factual run — withholding only the wire
+                // attempt keeps expiry timing bit-identical.
+                if self.mask.suppresses(InterventionClass::CommsRetry) {
+                    continue;
+                }
                 self.stats.retries += 1;
                 log.record_with(|| {
                     Explanation::new(now, format!("comms:retry:{src}->{dst}"))

@@ -26,6 +26,7 @@ use crate::explain::{Explanation, ExplanationLog};
 use crate::meta::ResidualTracker;
 use crate::models::holt::Holt;
 use crate::models::{Forecaster, OnlineModel};
+use crate::replay::{InterventionClass, InterventionMask};
 use std::collections::BTreeMap;
 
 use simkernel::obs::Json;
@@ -252,6 +253,7 @@ pub struct SensorHealth {
     monitors: BTreeMap<String, Monitor>,
     quarantine_events: u64,
     restore_events: u64,
+    mask: InterventionMask,
 }
 
 impl Default for SensorHealth {
@@ -269,7 +271,22 @@ impl SensorHealth {
             monitors: BTreeMap::new(),
             quarantine_events: 0,
             restore_events: 0,
+            mask: InterventionMask::allow_all(),
         }
+    }
+
+    /// Sets the counterfactual-replay intervention mask (see
+    /// [`crate::replay`]): with `SensorQuarantine` suppressed,
+    /// readings pass through raw and no quarantine ever fires.
+    pub fn set_mask(&mut self, mask: InterventionMask) {
+        self.mask = mask;
+    }
+
+    /// Builder-style [`SensorHealth::set_mask`].
+    #[must_use]
+    pub fn with_mask(mut self, mask: InterventionMask) -> Self {
+        self.set_mask(mask);
+        self
     }
 
     /// Processes one reading from sensor `key` and returns the value
@@ -306,6 +323,24 @@ impl SensorHealth {
             .monitors
             .entry(key.to_string())
             .or_insert_with(|| Monitor::new(cfg.residual_alpha));
+
+        // Masked quarantine (counterfactual replay, see
+        // [`crate::replay`]): readings pass through raw, holding the
+        // last seen value over dropouts — exactly what a consumer
+        // without this layer would do. The monitor keeps tracking
+        // `last_raw` (and nothing here draws randomness), so flipping
+        // the mask cannot perturb the host's seed streams.
+        if self.mask.suppresses(InterventionClass::SensorQuarantine) {
+            if let Some(x) = raw {
+                m.last_raw = Some(x);
+            }
+            return HealthReading {
+                value: raw.or(m.last_raw).unwrap_or(0.0),
+                raw,
+                substituted: false,
+                degraded: false,
+            };
+        }
 
         if m.quarantined {
             if let Some(x) = raw {

@@ -84,6 +84,7 @@ pub mod knowledge;
 pub mod levels;
 pub mod meta;
 pub mod models;
+pub mod replay;
 pub mod sensors;
 pub mod supervision;
 pub mod whatif;
@@ -119,6 +120,10 @@ pub mod prelude {
     pub use crate::models::qlearn::QLearner;
     pub use crate::models::seasonal::HoltWinters;
     pub use crate::models::{Forecaster, OnlineModel};
+    pub use crate::replay::{
+        CounterfactualDelta, CounterfactualReport, CounterfactualRun, InterventionClass,
+        InterventionMask, ReplayOutcome,
+    };
     pub use crate::sensors::{FnSensor, Percept, Scope, Sensor, SensorHub};
     pub use crate::supervision::{
         Anomaly, ControlSource, Evidence, SupervisionStats, Supervisor, SupervisorConfig, Verdict,

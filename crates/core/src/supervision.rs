@@ -30,6 +30,7 @@
 use crate::explain::{Explanation, ExplanationLog};
 use crate::meta::ResidualTracker;
 use crate::models::drift::{DriftDetector, PageHinkley};
+use crate::replay::{InterventionClass, InterventionMask};
 use simkernel::obs::Json;
 use simkernel::Tick;
 use std::sync::Arc;
@@ -297,6 +298,7 @@ pub struct Supervisor<C: Clone> {
     probe_quiet: u32,
     backoff: u64,
     stats: SupervisionStats,
+    mask: InterventionMask,
 }
 
 impl<C: Clone> Supervisor<C> {
@@ -337,7 +339,25 @@ impl<C: Clone> Supervisor<C> {
             probe_quiet: 0,
             backoff,
             stats: SupervisionStats::default(),
+            mask: InterventionMask::allow_all(),
         }
+    }
+
+    /// Sets the counterfactual-replay intervention mask (see
+    /// [`crate::replay`]). Masked escalation rungs never fire; all
+    /// watchdog state (residual trackers, drift detector, warn/quiet
+    /// streaks, backoff timers) still advances identically, and no
+    /// RNG is consumed either way, so masking cannot perturb the
+    /// host simulation's seed streams.
+    pub fn set_mask(&mut self, mask: InterventionMask) {
+        self.mask = mask;
+    }
+
+    /// Builder-style [`Supervisor::set_mask`].
+    #[must_use]
+    pub fn with_mask(mut self, mask: InterventionMask) -> Self {
+        self.set_mask(mask);
+        self
     }
 
     /// The supervised model.
@@ -515,7 +535,10 @@ impl<C: Clone> Supervisor<C> {
             .last_rollback
             .is_some_and(|t| now.0.saturating_sub(t) <= self.cfg.relapse_window);
 
-        if self.checkpoint.is_some() && !relapse {
+        if self.checkpoint.is_some()
+            && !relapse
+            && self.mask.allows(InterventionClass::SupervisorRollback)
+        {
             // Clone-on-restore: the restored state is shared with the
             // checkpoint and only deep-copied on the next write.
             if let Some(cp) = &self.checkpoint {
@@ -531,6 +554,12 @@ impl<C: Clone> Supervisor<C> {
             );
             Verdict::RolledBack(a)
         } else {
+            // Masked fallback: the anomaly stays visible as a warning
+            // but the model keeps control — the counterfactual world
+            // where the supervisor never benches it.
+            if self.mask.suppresses(InterventionClass::SupervisorFallback) {
+                return Verdict::Warned(a);
+            }
             // Restore the checkpoint too (when one exists) so the
             // benched model relearns from a sane state rather than
             // from the corrupted one.
@@ -581,7 +610,9 @@ impl<C: Clone> Supervisor<C> {
             }
             None => {
                 self.probe_quiet += 1;
-                if self.fallback_elapsed >= self.backoff && self.probe_quiet >= self.cfg.quiet_ticks
+                if self.fallback_elapsed >= self.backoff
+                    && self.probe_quiet >= self.cfg.quiet_ticks
+                    && self.mask.allows(InterventionClass::SupervisorRepromote)
                 {
                     self.source = ControlSource::Model;
                     self.checkpoint = Some(Arc::clone(&self.controller));
@@ -940,6 +971,60 @@ mod tests {
         });
         assert_eq!(clones.get(), 1, "set_model never clones old state");
         assert!((sup.model().value - 9.0).abs() < 1e-12);
+    }
+
+    /// Checkpoint-anchored replay: cloning a supervisor mid-run and
+    /// feeding the clone the same evidence stream must reproduce the
+    /// suffix of the full run bit-exactly. The clone shares its
+    /// checkpoint `Arc` with the original, so this also guards the
+    /// copy-on-write restore path: both worlds roll back through the
+    /// *same* shared checkpoint and must still diverge nowhere.
+    #[test]
+    fn cloned_supervisor_replays_suffix_bit_exactly() {
+        let mut l = log();
+        let mut sup = Supervisor::new("m", Holt::new(0.3, 0.1));
+        warm_up(&mut sup, &mut l, 0, 150);
+        assert!(sup.stats().checkpoints > 0, "anchor needs a checkpoint");
+
+        // Anchor: a mid-run snapshot, Arc-shared with the original.
+        let mut replica = sup.clone();
+        let mut replica_log = log();
+
+        // Drive both worlds over the identical suffix: clean ramp,
+        // then a NaN injection (forcing a rollback through the shared
+        // checkpoint), then recovery.
+        let drive = |sup: &mut Supervisor<Holt>, log: &mut ExplanationLog| -> Vec<Verdict> {
+            let mut verdicts = Vec::new();
+            for t in 150..400u64 {
+                let x = t as f64;
+                if t == 200 {
+                    sup.model_mut().set_state(f64::NAN, f64::NAN);
+                }
+                sup.model_mut().observe(x);
+                let out = sup.model().forecast().unwrap_or(x);
+                verdicts.push(sup.observe(Tick(t), Evidence::forecast(x, out), log));
+            }
+            verdicts
+        };
+        let original = drive(&mut sup, &mut l);
+        let replayed = drive(&mut replica, &mut replica_log);
+
+        assert!(
+            original.contains(&Verdict::RolledBack(Anomaly::NonFinite)),
+            "suffix must exercise the shared-checkpoint restore"
+        );
+        assert_eq!(original, replayed, "verdict streams must match");
+        assert_eq!(sup.stats(), replica.stats());
+        assert_eq!(sup.source(), replica.source());
+        assert_eq!(
+            sup.model().level().to_bits(),
+            replica.model().level().to_bits(),
+            "replayed model state must be bit-identical"
+        );
+        assert_eq!(
+            l.find_by_action("supervise:m:rollback").len(),
+            replica_log.find_by_action("supervise:m:rollback").len()
+        );
     }
 
     #[test]

@@ -5,6 +5,7 @@ use crate::graph::Graph;
 use crate::routing::{Router, RoutingStrategy};
 use selfaware::comms::{CommsNetwork, CommsPolicy};
 use selfaware::explain::ExplanationLog;
+use selfaware::replay::InterventionMask;
 use selfaware::supervision::{Evidence, Supervisor, Verdict};
 use simkernel::obs;
 use simkernel::rng::SeedTree;
@@ -130,6 +131,10 @@ pub struct CpnConfig {
     /// registers; sparser cadences make each report carry real
     /// information and each loss cost real staleness.
     pub report_every: u64,
+    /// Counterfactual intervention mask, applied to the routing
+    /// supervisor and the comms layer. [`InterventionMask::allow_all`]
+    /// (the default) reproduces historical behaviour bit for bit.
+    pub mask: InterventionMask,
 }
 
 impl CpnConfig {
@@ -166,6 +171,7 @@ impl CpnConfig {
             channel: ChannelPlan::ideal(),
             comms: CommsPolicy::default(),
             report_every: 1,
+            mask: InterventionMask::allow_all(),
         }
     }
 
@@ -265,7 +271,7 @@ pub fn run_cpn(cfg: &CpnConfig, seeds: &SeedTree) -> CpnResult {
     let mut supervision =
         matches!(cfg.strategy, RoutingStrategy::SupervisedCpn { .. }).then(|| {
             Box::new(CpnSupervision {
-                sup: Supervisor::new("cpn-routing", router.clone()),
+                sup: Supervisor::new("cpn-routing", router.clone()).with_mask(cfg.mask),
                 log: ExplanationLog::new(512),
                 baseline: RoutingStrategy::Periodic { period: 25 }.build(&graph),
                 realized: None,
@@ -293,7 +299,7 @@ pub fn run_cpn(cfg: &CpnConfig, seeds: &SeedTree) -> CpnResult {
     // unchanged bit for bit. On a lossy channel the believed state
     // goes stale, and the comms policy decides how routing copes.
     let ctrl = graph.len();
-    let mut comms_net: CommsNetwork<Vec<usize>> = CommsNetwork::new(cfg.comms);
+    let mut comms_net: CommsNetwork<Vec<usize>> = CommsNetwork::new(cfg.comms).with_mask(cfg.mask);
     // Delivery buffer reused every tick (no per-tick allocation).
     let mut comms_inbox: Vec<selfaware::comms::Delivered<Vec<usize>>> = Vec::new();
     let mut comms_log = ExplanationLog::new(2048);
@@ -722,6 +728,7 @@ mod tests {
             channel: ChannelPlan::ideal(),
             comms: CommsPolicy::default(),
             report_every: 1,
+            mask: InterventionMask::allow_all(),
         };
         let r = run_cpn(&cfg, &SeedTree::new(1));
         assert!(r.metrics.get("delivery_ratio").unwrap() > 0.95);
@@ -787,6 +794,7 @@ mod tests {
             channel: ChannelPlan::ideal(),
             comms: CommsPolicy::default(),
             report_every: 1,
+            mask: InterventionMask::allow_all(),
         };
         let stat = run_cpn(&faulty(RoutingStrategy::StaticShortest), &SeedTree::new(9));
         let cpn = run_cpn(&faulty(RoutingStrategy::cpn_default()), &SeedTree::new(9));
@@ -813,6 +821,7 @@ mod tests {
             channel: ChannelPlan::ideal(),
             comms: CommsPolicy::default(),
             report_every: 1,
+            mask: InterventionMask::allow_all(),
         };
         let r = run_cpn(&cfg, &SeedTree::new(9));
         // The cut is permanent, but a 50-tick recompute horizon keeps

@@ -19,6 +19,7 @@ use selfaware::meta::ExplorationGovernor;
 use selfaware::models::holt::Holt;
 use selfaware::models::qlearn::QLearner;
 use selfaware::models::{Forecaster, OnlineModel};
+use selfaware::replay::InterventionMask;
 use selfaware::supervision::{ControlSource, Evidence, SupervisionStats, Supervisor};
 use simkernel::rng::Rng;
 use simkernel::Tick;
@@ -81,6 +82,17 @@ pub struct SchedController {
 }
 
 impl SchedController {
+    /// Applies a counterfactual intervention mask to the thermal
+    /// supervisor (no-op for unsupervised schedulers). Masked paths
+    /// consume no randomness, so this never perturbs seed streams.
+    pub fn set_mask(&mut self, mask: InterventionMask) {
+        if let Some(state) = &mut self.state {
+            if let Some(svc) = &mut state.supervision {
+                svc.sup.set_mask(mask);
+            }
+        }
+    }
+
     /// Per-tick pre-processing: DVFS governance (self-aware only).
     pub fn begin_tick(&mut self, cores: &mut [Core], now: Tick) {
         match self.kind {

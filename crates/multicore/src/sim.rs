@@ -4,6 +4,7 @@
 use crate::core::{Core, CoreSpec};
 use crate::sched::Scheduler;
 use selfaware::goals::{Direction, Goal, Objective};
+use selfaware::replay::InterventionMask;
 use simkernel::obs;
 use simkernel::rng::SeedTree;
 use simkernel::{MetricSet, Tick, TimeSeries};
@@ -32,6 +33,10 @@ pub struct MulticoreConfig {
     pub faults: FaultPlan,
     /// Scheduler under test.
     pub scheduler: Scheduler,
+    /// Counterfactual intervention mask, applied to the thermal
+    /// supervisor. [`InterventionMask::allow_all`] (the default)
+    /// reproduces historical behaviour bit for bit.
+    pub mask: InterventionMask,
 }
 
 impl MulticoreConfig {
@@ -53,6 +58,7 @@ impl MulticoreConfig {
             interactive_deadline: 8,
             faults: FaultPlan::none(),
             scheduler,
+            mask: InterventionMask::allow_all(),
         }
     }
 }
@@ -122,6 +128,7 @@ pub fn run_multicore(cfg: &MulticoreConfig, seeds: &SeedTree) -> MulticoreResult
         .collect();
     let mut stream = TaskStream::new(cfg.phases.clone(), seeds.rng("tasks"));
     let mut controller = cfg.scheduler.build(cores.len());
+    controller.set_mask(cfg.mask);
     let mut sched_rng = seeds.rng("sched");
 
     let mut arrived = 0u64;

@@ -511,6 +511,41 @@ impl Replications {
         )
     }
 
+    /// Runs `scenario` once per replicate sequentially and returns the
+    /// raw per-replicate values in replicate order.
+    ///
+    /// This is the paired common-random-number hook for counterfactual
+    /// replay: replicate `k` always runs on
+    /// [`Replications::seeds_for`]`(k)`, so two `collect` calls with
+    /// different scenario closures (factual vs intervention-masked)
+    /// yield positionally paired samples whose per-index differences
+    /// isolate the intervention's effect from sampling noise.
+    pub fn collect<T, F>(&self, mut scenario: F) -> Vec<T>
+    where
+        F: FnMut(SeedTree) -> T,
+    {
+        (0..self.count)
+            .map(|k| scenario(self.seeds_for(k)))
+            .collect()
+    }
+
+    /// [`Replications::collect`] fanned out over an explicit worker
+    /// count. Values land in replicate order regardless of which
+    /// worker produced them first, so the result is bit-identical to
+    /// the sequential [`Replications::collect`]. Panics propagate
+    /// (no per-replicate retry: replay drivers must see every
+    /// replicate or none).
+    pub fn collect_par_threads<T, F>(&self, threads: usize, scenario: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(SeedTree) -> T + Sync,
+    {
+        let n = self.count as usize;
+        par_map_index_chunked(n, threads, replication_chunk(n, threads), |k| {
+            scenario(self.seeds_for(k as u32))
+        })
+    }
+
     /// Fans a whole *strategy × replicate* matrix out over the worker
     /// pool and returns one [`RunReport`] per arm, in arm order.
     ///

@@ -13,6 +13,7 @@
 
 use rand::Rng as _;
 use selfaware::comms::{Arrivals, Channel, ChannelOutcome};
+use selfaware::replay::InterventionMask;
 use serde::{Deserialize, Serialize};
 use simkernel::rng::{Rng, SeedTree};
 use simkernel::Tick;
@@ -781,18 +782,21 @@ pub struct FaultCampaign {
     name: String,
     faults: FaultPlan,
     channel: ChannelPlan,
+    mask: InterventionMask,
 }
 
 impl FaultCampaign {
-    /// An empty campaign: no faults, and a channel that is ideal but
+    /// An empty campaign: no faults, a channel that is ideal but
     /// already salted from `seeds` so later [`FaultCampaign::with_loss`]
-    /// calls stay deterministic per seed subtree.
+    /// calls stay deterministic per seed subtree, and the factual
+    /// (allow-everything) intervention mask.
     #[must_use]
     pub fn new(name: impl Into<String>, seeds: &SeedTree) -> Self {
         Self {
             name: name.into(),
             faults: FaultPlan::none(),
             channel: ChannelPlan::uniform(seeds, LinkModel::ideal()),
+            mask: InterventionMask::allow_all(),
         }
     }
 
@@ -800,6 +804,23 @@ impl FaultCampaign {
     #[must_use]
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The counterfactual-replay intervention mask substrates run
+    /// this campaign under (see [`selfaware::replay`]). Factual by
+    /// default.
+    #[must_use]
+    pub fn mask(&self) -> InterventionMask {
+        self.mask
+    }
+
+    /// Sets the intervention mask: re-running an otherwise identical
+    /// campaign with one class suppressed is the single-flip
+    /// counterfactual the F10 harness measures.
+    #[must_use]
+    pub fn with_mask(mut self, mask: InterventionMask) -> Self {
+        self.mask = mask;
+        self
     }
 
     /// The scheduled fault events.
