@@ -55,6 +55,21 @@ echo "==> cargo run -p sas-bench --bin obs_validate (F10 trace)"
 cargo run --offline -p sas-bench --bin obs_validate
 rm -rf target/obs
 
+# F11 smoke: the wall-clock live-traffic server end-to-end — seeded
+# chaos replayed against an ephemeral-port TCP server, governed by the
+# supervised autoscaler. The bench binary asserts the robustness gates
+# (clean shutdown, zero leaked threads, a shed→recover cycle, the
+# poisoned arrival model noticed); F11_SMOKE=1 skips only the
+# statistical CI-separation gates, which need full-length runs. The
+# emitted trace (including live:* transitions) is schema-validated.
+echo "==> SAS_OBS=1 F11_SMOKE=1 cargo bench -p sas-bench --bench f11_live_traffic (F11_TICKS=250, F11_REPS=1)"
+rm -rf target/obs
+SAS_OBS=1 F11_SMOKE=1 F11_TICKS=250 F11_REPS=1 cargo bench --offline -p sas-bench --bench f11_live_traffic
+
+echo "==> cargo run -p sas-bench --bin obs_validate (F11 trace)"
+cargo run --offline -p sas-bench --bin obs_validate
+rm -rf target/obs
+
 # Observability smoke: one real experiment under SAS_OBS=1 must emit
 # a parseable JSONL run trace with the expected schema (provenance,
 # arm aggregates + phase profile, per-replicate records). target/obs
@@ -69,7 +84,7 @@ rm -rf target/obs
 
 # Perf-trajectory smoke: regenerate the macro-bench document at
 # reduced steps/reps and schema-check both it and the committed
-# BENCH_8.json. This gates on SCHEMA DRIFT only — a renamed arm,
+# BENCH_9.json. This gates on SCHEMA DRIFT only — a renamed arm,
 # missing field, or malformed histogram fails here; machine-local
 # timing differences never do.
 echo "==> cargo run -p sas-bench --bin perfbench -- --smoke"
@@ -77,8 +92,8 @@ PERF_SMOKE_OUT="$(mktemp -t perfbench_smoke.XXXXXX.json)"
 trap 'rm -f "$PERF_SMOKE_OUT"' EXIT
 cargo run --offline --release -p sas-bench --bin perfbench -- --smoke --out "$PERF_SMOKE_OUT"
 cargo run --offline --release -p sas-bench --bin perfbench -- --validate "$PERF_SMOKE_OUT"
-echo "==> perfbench --validate BENCH_8.json (committed trajectory)"
-cargo run --offline --release -p sas-bench --bin perfbench -- --validate BENCH_8.json
+echo "==> perfbench --validate BENCH_9.json (committed trajectory)"
+cargo run --offline --release -p sas-bench --bin perfbench -- --validate BENCH_9.json
 
 echo "==> cargo fmt --check"
 cargo fmt --check
@@ -89,7 +104,7 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 # No panic paths in shipped library code: every first-party lib carries
 # #![warn(clippy::unwrap_used, clippy::panic)], promoted to errors here
 # (tests are exempted via clippy.toml allow-*-in-tests).
-FIRST_PARTY="-p simkernel -p selfaware -p workloads -p camnet -p cloudsim -p multicore -p cpn -p sas-bench"
+FIRST_PARTY="-p simkernel -p selfaware -p workloads -p camnet -p cloudsim -p multicore -p cpn -p compose -p liveserve -p sas-bench"
 echo "==> cargo clippy --offline \$FIRST_PARTY --lib -- -D warnings"
 # shellcheck disable=SC2086
 cargo clippy --offline $FIRST_PARTY --lib -- -D warnings

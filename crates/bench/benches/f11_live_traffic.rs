@@ -1,0 +1,46 @@
+//! Regenerates Table F11 (live-traffic chaos: supervised vs naive
+//! provisioning on a real TCP server). See EXPERIMENTS.md.
+//!
+//! `F11_TICKS` overrides the horizon in 10 ms governor quanta
+//! (default 800 ≈ 8 s of offered load per arm-replicate); `F11_REPS`
+//! overrides the replicate count (default 3). Exits non-zero when any
+//! acceptance check fails: unclean shutdown or leaked threads on any
+//! replicate, a supervised run with no shed→recover cycle or an
+//! unnoticed model poisoning, or supervised failing to beat naive on
+//! goodput and p99 with non-overlapping 95% CIs. `F11_SMOKE=1` (the CI
+//! smoke, which runs short horizons) skips only the two statistical
+//! CI-separation gates; the robustness gates always apply.
+
+fn main() {
+    let ticks = std::env::var("F11_TICKS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(800);
+    let reps = std::env::var("F11_REPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+    let strict = std::env::var("F11_SMOKE").map_or(true, |v| v != "1");
+    let start = std::time::Instant::now();
+    let report = sas_bench::run_f11(reps, ticks, strict);
+    println!("{}", report.table);
+    if !report.transitions.is_empty() {
+        println!("replicate-0 supervised transitions:");
+        for line in &report.transitions {
+            println!("  {line}");
+        }
+    }
+    eprintln!(
+        "regenerated in {:.2?} (wall-clock scenario)",
+        start.elapsed()
+    );
+    if report.failures.is_empty() {
+        println!("live-traffic acceptance: PASS");
+    } else {
+        for failure in &report.failures {
+            eprintln!("GATE {failure}");
+        }
+        eprintln!("live-traffic acceptance: FAIL");
+        std::process::exit(1);
+    }
+}

@@ -1,11 +1,11 @@
 //! Regenerates (or validates) the committed perf envelope,
-//! `BENCH_8.json`. See `sas_bench::perf` for the schema and DESIGN.md
+//! `BENCH_9.json`. See `sas_bench::perf` for the schema and DESIGN.md
 //! ("Performance") for the rules it enforces.
 //!
 //! Usage:
 //!
 //! * `cargo run --release -p sas-bench --bin perfbench`
-//!   — full run; writes `BENCH_8.json` at the repo root.
+//!   — full run; writes `BENCH_9.json` at the repo root.
 //! * `... -- --smoke [--out PATH]`
 //!   — reduced steps/reps (CI); same schema, machine-local timings.
 //! * `... -- --validate PATH`

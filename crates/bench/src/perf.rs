@@ -17,7 +17,12 @@
 //!   histograms, taken from the single-worker run;
 //!
 //! plus process-wide peak RSS ([`obs::read_peak_rss`], `null` off
-//! Linux). The document is committed at the repo root as
+//! Linux). Since bench 9 the document also carries a `live` section:
+//! the F11 wall-clock server arms (supervised vs naive) measured
+//! **sequentially at one worker only** — real-time arms must never
+//! time-share the machine — reporting served requests/sec and
+//! client-observed p50/p99 latency instead of replicate throughput.
+//! The document is committed at the repo root as
 //! `BENCH_<n>.json` so every future PR claiming a speedup (or risking
 //! a slowdown) has a trajectory to cite. CI regenerates a `--smoke`
 //! variant and validates **schema only** — timings are
@@ -28,8 +33,8 @@
 //! EXPERIMENTS.md).
 
 use crate::experiments::{
-    f10_scenario, f5_scenario, f6_scenario, f7_fault_plan, f7_scenario, f8_arms, f8_scenario,
-    f9_scenario, F10Campaign, F7Arm, F9Arm, F10_SEED,
+    f10_scenario, f11_scenario, f5_scenario, f6_scenario, f7_fault_plan, f7_scenario, f8_arms,
+    f8_scenario, f9_scenario, F10Campaign, F7Arm, F9Arm, F10_SEED, F11_SEED,
 };
 use simkernel::obs::{self, Json};
 use simkernel::{MetricSet, Replications, SeedTree};
@@ -43,8 +48,8 @@ pub const FULL_REPS: u32 = 5;
 /// Replicates per arm in `--smoke` mode.
 pub const SMOKE_REPS: u32 = 2;
 /// Sequence number of the committed benchmark document this code
-/// emits (`BENCH_8.json`).
-pub const BENCH_VERSION: u64 = 8;
+/// emits (`BENCH_9.json`).
+pub const BENCH_VERSION: u64 = 9;
 
 /// One benchmark arm: a label (identical to the experiment table's
 /// arm label) and the replicate scenario behind it.
@@ -177,6 +182,49 @@ fn thread_key(threads: usize) -> String {
     format!("t{threads}")
 }
 
+/// Runs the F11 wall-clock server arms and renders the `live` section.
+///
+/// Unlike the simulated experiments this measures a real TCP server on
+/// real time, so it runs **sequentially and at one worker only**:
+/// scaling wall-clock arms over a thread matrix would make the arms
+/// time-share the machine and corrupt each other's latencies. Per arm
+/// it reports served requests/sec, client-observed p50/p99 (ms),
+/// goodput (on-SLA 200s/sec) and error rate, averaged over `reps`
+/// seed-deterministic chaos replays.
+fn run_live_section(smoke: bool, progress: &mut impl FnMut(&str)) -> Json {
+    liveserve::install_quiet_panic_hook();
+    let ticks = if smoke { 120 } else { 500 };
+    let reps = if smoke { 1 } else { 3 };
+    let replications = Replications::new(F11_SEED, reps);
+    let mut arm_objs = Vec::new();
+    for arm in [liveserve::Arm::Supervised, liveserve::Arm::Naive] {
+        let report = replications.run_par_threads(1, |seeds| f11_scenario(arm, seeds, ticks));
+        progress(&format!("f11/{}: done", arm.label()));
+        arm_objs.push(Json::obj([
+            ("label", Json::str(arm.label())),
+            ("wall_secs", Json::from(report.wall_secs())),
+            (
+                "requests_per_sec",
+                Json::from(report.aggregate().mean("requests_per_sec")),
+            ),
+            ("p50_ms", Json::from(report.aggregate().mean("p50_ms"))),
+            ("p99_ms", Json::from(report.aggregate().mean("p99_ms"))),
+            ("goodput", Json::from(report.aggregate().mean("goodput"))),
+            (
+                "error_rate",
+                Json::from(report.aggregate().mean("error_rate")),
+            ),
+        ]));
+    }
+    Json::obj([
+        ("experiment", Json::str("f11")),
+        ("seed", Json::from(F11_SEED)),
+        ("ticks", Json::from(ticks)),
+        ("reps", Json::from(reps)),
+        ("arms", Json::Arr(arm_objs)),
+    ])
+}
+
 /// Runs the full harness and renders the benchmark document.
 ///
 /// `progress` receives one human-readable line per finished
@@ -223,6 +271,7 @@ pub fn run_perfbench(smoke: bool, mut progress: impl FnMut(&str)) -> Json {
             ("arms", Json::Arr(arm_objs)),
         ]));
     }
+    let live = run_live_section(smoke, &mut progress);
     obs::set_override(None);
     Json::obj([
         ("record", Json::str("perfbench")),
@@ -242,6 +291,7 @@ pub fn run_perfbench(smoke: bool, mut progress: impl FnMut(&str)) -> Json {
             obs::read_peak_rss().map_or(Json::Null, Json::from),
         ),
         ("experiments", Json::Arr(experiments)),
+        ("live", live),
     ])
 }
 
@@ -255,7 +305,7 @@ pub fn repo_root() -> Option<PathBuf> {
         .map(Path::to_path_buf)
 }
 
-/// The default output path, `<repo root>/BENCH_8.json`.
+/// The default output path, `<repo root>/BENCH_9.json`.
 #[must_use]
 pub fn default_bench_path() -> Option<PathBuf> {
     repo_root().map(|r| r.join(format!("BENCH_{BENCH_VERSION}.json")))
@@ -275,7 +325,8 @@ fn require_num(obj: &Json, key: &str, what: &str) -> Result<f64, String> {
 /// Validates a benchmark document against the `perfbench` schema.
 ///
 /// Checks structure only — record tag, experiment coverage (at least
-/// F5–F8; newer documents also carry F9),
+/// F5–F8; newer documents also carry F9/F10, and bench ≥ 9 must carry
+/// the wall-clock `live` F11 section with both serving arms),
 /// per-arm wall-clock/throughput maps over exactly
 /// [`BENCH_THREADS`], phase-profile summaries with histogram arrays,
 /// and a numeric-or-null peak RSS. Deliberately says nothing about
@@ -367,6 +418,50 @@ pub fn validate_bench(doc: &Json) -> Result<(), String> {
     for expected in ["f5", "f6", "f7", "f8"] {
         if !names.contains(&expected) {
             return Err(format!("missing experiment `{expected}`"));
+        }
+    }
+    // Bench 9 introduced the wall-clock `live` (F11) section; older
+    // committed documents legitimately lack it.
+    let bench = require_num(doc, "bench", "top-level")?;
+    match doc.get("live") {
+        None if bench >= 9.0 => return Err("bench >= 9 document missing `live` section".into()),
+        None => {}
+        Some(live) => {
+            if require(live, "experiment", "live")?.as_str() != Some("f11") {
+                return Err("live: `experiment` must be \"f11\"".into());
+            }
+            require_num(live, "seed", "live")?;
+            require_num(live, "ticks", "live")?;
+            require_num(live, "reps", "live")?;
+            let arms = require(live, "arms", "live")?
+                .as_arr()
+                .ok_or_else(|| "live: `arms` is not an array".to_string())?;
+            let mut labels = Vec::new();
+            for arm in arms {
+                let label = require(arm, "label", "live arm")?
+                    .as_str()
+                    .ok_or_else(|| "live arm: label is not a string".to_string())?;
+                labels.push(label);
+                let what = format!("live/{label}");
+                for key in [
+                    "wall_secs",
+                    "requests_per_sec",
+                    "p50_ms",
+                    "p99_ms",
+                    "goodput",
+                    "error_rate",
+                ] {
+                    let v = require_num(arm, key, &what)?;
+                    if !v.is_finite() || v < 0.0 {
+                        return Err(format!("{what}.{key}: non-finite or negative"));
+                    }
+                }
+            }
+            for expected in ["supervised", "naive"] {
+                if !labels.contains(&expected) {
+                    return Err(format!("live: missing arm `{expected}`"));
+                }
+            }
         }
     }
     Ok(())

@@ -24,12 +24,14 @@
 #![deny(clippy::unwrap_used, clippy::panic)]
 #![warn(missing_docs)]
 
+pub mod autoscale;
 pub mod cluster;
 pub mod node;
 pub mod request;
 pub mod sim;
 pub mod strategy;
 
+pub use autoscale::AutoscaleCore;
 pub use cluster::Cluster;
 pub use node::{EnqueueError, Node, NodeSpec};
 pub use request::{Request, RequestOutcome};

@@ -15,6 +15,7 @@
 //! [`Strategy::RoundRobin`], [`Strategy::LeastLoaded`],
 //! [`Strategy::StaticRanked`]) bracket the comparison in T1 and F4.
 
+use crate::autoscale::AutoscaleCore;
 use crate::cluster::Cluster;
 use crate::request::{Request, RequestOutcome};
 use rand::Rng as _;
@@ -22,10 +23,9 @@ use selfaware::explain::ExplanationLog;
 use selfaware::levels::{Level, LevelSet};
 use selfaware::models::drift::{DriftDetector, PageHinkley};
 use selfaware::models::ewma::Ewma;
-use selfaware::models::holt::Holt;
-use selfaware::models::{Forecaster, OnlineModel};
+use selfaware::models::OnlineModel;
 use selfaware::replay::InterventionMask;
-use selfaware::supervision::{ControlSource, Evidence, SupervisionStats, Supervisor};
+use selfaware::supervision::{ControlSource, SupervisionStats};
 use simkernel::rng::Rng;
 use simkernel::Tick;
 use workloads::faults::ModelCorruptionKind;
@@ -131,9 +131,7 @@ impl Controller {
     /// consume no randomness, so this never perturbs seed streams.
     pub fn set_mask(&mut self, mask: InterventionMask) {
         if let Kind::SelfAware(state) = &mut self.kind {
-            if let Some(svc) = &mut state.supervision {
-                svc.sup.set_mask(mask);
-            }
+            state.core.set_mask(mask);
         }
     }
 
@@ -231,7 +229,7 @@ impl Controller {
     #[must_use]
     pub fn safety_margin(&self) -> Option<f64> {
         match &self.kind {
-            Kind::SelfAware(s) if s.levels.contains(Level::Time) => Some(s.safety),
+            Kind::SelfAware(s) if s.levels.contains(Level::Time) => Some(s.core.safety()),
             _ => None,
         }
     }
@@ -258,7 +256,7 @@ impl Controller {
     #[must_use]
     pub fn supervision_stats(&self) -> Option<SupervisionStats> {
         match &self.kind {
-            Kind::SelfAware(s) => s.supervision.as_ref().map(|svc| svc.sup.stats()),
+            Kind::SelfAware(s) => s.core.supervision_stats(),
             _ => None,
         }
     }
@@ -268,7 +266,7 @@ impl Controller {
     #[must_use]
     pub fn explanations(&self) -> Option<&ExplanationLog> {
         match &self.kind {
-            Kind::SelfAware(s) => s.supervision.as_deref().map(|svc| &svc.log),
+            Kind::SelfAware(s) => s.core.explanations(),
             _ => None,
         }
     }
@@ -278,7 +276,7 @@ impl Controller {
     #[must_use]
     pub fn control_source(&self) -> Option<ControlSource> {
         match &self.kind {
-            Kind::SelfAware(s) => s.supervision.as_ref().map(|svc| svc.sup.source()),
+            Kind::SelfAware(s) => s.core.control_source(),
             _ => None,
         }
     }
@@ -298,36 +296,24 @@ impl std::fmt::Debug for Controller {
 }
 
 /// Internal state of the level-gated self-aware controller.
+///
+/// Demand forecasting, supervision, and safety adaptation live in the
+/// reusable [`AutoscaleCore`] (also the `liveserve` governor policy);
+/// this struct adds the dispatch-side state the core doesn't need —
+/// per-node success beliefs, meta-level exploration, drift reaction.
 struct SelfAwareState {
     levels: LevelSet,
     n: usize,
     round_robin_next: usize,
-    // time awareness
-    arrival_forecast: Holt,
-    work_estimate: Ewma,
+    core: AutoscaleCore,
+    // time awareness (dispatch side)
     success: Vec<Ewma>,
-    // goal awareness
-    safety: f64,
-    violation_ewma: Ewma,
     // meta awareness
     detector: PageHinkley,
     epsilon: f64,
     drift_events: u32,
-    // meta-self-awareness (supervision of the arrival model)
-    supervision: Option<Box<SupervisionState>>,
-    frozen_until: Option<Tick>,
 }
 
-/// Watchdog wrapper around the arrival model: the supervised variant
-/// learns through `sup.model_mut()` instead of `arrival_forecast`, so
-/// checkpoint/rollback and fallback decisions apply to the live model.
-struct SupervisionState {
-    sup: Supervisor<Holt>,
-    log: ExplanationLog,
-}
-
-const SAFETY_DEFAULT: f64 = 1.3;
-const SAFETY_MAX: f64 = 3.0;
 const RISK_PENALTY: f64 = 25.0;
 const SUCCESS_PRIOR: f64 = 0.9;
 
@@ -337,8 +323,7 @@ impl SelfAwareState {
             levels,
             n,
             round_robin_next: 0,
-            arrival_forecast: Holt::new(0.2, 0.05),
-            work_estimate: Ewma::new(0.05),
+            core: AutoscaleCore::new("cloud-arrivals"),
             success: (0..n)
                 .map(|_| {
                     let mut e = Ewma::new(0.08);
@@ -346,74 +331,19 @@ impl SelfAwareState {
                     e
                 })
                 .collect(),
-            safety: SAFETY_DEFAULT,
-            violation_ewma: Ewma::new(0.05),
             detector: PageHinkley::new(0.02, 4.0),
             epsilon: 0.05,
             drift_events: 0,
-            supervision: None,
-            frozen_until: None,
         }
     }
 
     fn supervised(mut self) -> Self {
-        self.supervision = Some(Box::new(SupervisionState {
-            sup: Supervisor::new("cloud-arrivals", Holt::new(0.2, 0.05)),
-            log: ExplanationLog::new(512),
-        }));
+        self.core = self.core.supervised();
         self
     }
 
     fn inject_model_corruption(&mut self, kind: ModelCorruptionKind, now: Tick) {
-        match kind {
-            ModelCorruptionKind::StateFreeze { duration } => {
-                self.frozen_until = Some(Tick(now.0 + duration));
-            }
-            _ => {
-                let model = match &mut self.supervision {
-                    Some(svc) => svc.sup.model_mut(),
-                    None => &mut self.arrival_forecast,
-                };
-                match kind {
-                    ModelCorruptionKind::NanPoison => model.set_state(f64::NAN, f64::NAN),
-                    ModelCorruptionKind::WeightScramble { gain } => {
-                        let (level, trend) = (model.level(), model.trend());
-                        model.set_state(level * gain, -trend * gain - gain);
-                    }
-                    ModelCorruptionKind::StateFreeze { .. } => unreachable!("handled above"),
-                }
-            }
-        }
-    }
-
-    /// Observes the tick's arrivals into the (possibly supervised)
-    /// model and returns the demand-rate estimate to autoscale on.
-    fn demand_rate(&mut self, arrivals: f64, now: Tick) -> f64 {
-        let frozen = self.frozen_until.is_some_and(|until| now.0 < until.0);
-        match &mut self.supervision {
-            Some(svc) => {
-                if !frozen {
-                    svc.sup.model_mut().observe(arrivals);
-                }
-                let out = svc.sup.model().forecast_h(1).unwrap_or(arrivals);
-                svc.sup
-                    .observe(now, Evidence::forecast(arrivals, out), &mut svc.log);
-                let forecast = svc.sup.model().forecast_h(5).unwrap_or(arrivals);
-                if svc.sup.source() == ControlSource::Model && forecast.is_finite() {
-                    forecast
-                } else {
-                    // Benched: fall back to reactive provisioning on
-                    // the raw arrival stimulus.
-                    arrivals
-                }
-            }
-            None => {
-                if !frozen {
-                    self.arrival_forecast.observe(arrivals);
-                }
-                self.arrival_forecast.forecast_h(5).unwrap_or(arrivals)
-            }
-        }
+        self.core.inject_model_corruption(kind, now);
     }
 
     /// Observes the tick's arrivals and returns the pool size the
@@ -422,35 +352,23 @@ impl SelfAwareState {
         if !self.levels.contains(Level::Time) {
             return None; // no history/forecast → no autoscaling
         }
-        let rate = self.demand_rate(f64::from(arrivals), now).max(0.0);
+        let rate = self.core.demand_rate(f64::from(arrivals), now).max(0.0);
 
         // Goal awareness: adapt the safety margin from the live
-        // violation-vs-cost trade-off. The response is deliberately
-        // asymmetric — react fast to rising violations (SLA risk is
-        // expensive) and relax the margin only very slowly (cost is
-        // cheap per tick), which keeps the adaptation from
-        // oscillating between under- and over-provisioning.
+        // violation-vs-cost trade-off (asymmetric: react fast to
+        // rising violations, relax slowly — see
+        // [`AutoscaleCore::adapt_safety`]).
         if self.levels.contains(Level::Goal) {
-            let v = self.violation_ewma.level();
-            // The goal weights SLA violations steeply (scale 0.25,
-            // weight 2) relative to cost (scale 1, weight 1), so the
-            // rational adaptation is one-sided: treat the default
-            // margin as a floor and buy extra headroom whenever the
-            // violation objective is being hurt.
-            if v > 0.05 {
-                self.safety = (self.safety * 1.03).min(SAFETY_MAX);
-            } else if v < 0.01 {
-                self.safety = (self.safety * 0.9995).max(SAFETY_DEFAULT);
-            }
+            self.core.adapt_safety();
         }
 
         // Size the pool from the demand estimate in work units.
-        let mean_work = self.work_estimate.forecast().unwrap_or(3.0);
+        let mean_work = self.core.mean_work(3.0);
         let mean_cap = (0..self.n)
             .map(|i| cluster.node(i).spec().capacity)
             .sum::<f64>()
             / self.n as f64;
-        let needed = ((rate * mean_work * self.safety) / mean_cap).ceil() as usize;
+        let needed = ((rate * mean_work * self.core.safety()) / mean_cap).ceil() as usize;
         Some(needed.clamp(2, self.n))
     }
 
@@ -463,7 +381,7 @@ impl SelfAwareState {
     }
 
     fn dispatch(&mut self, cluster: &Cluster, req: &Request, rng: &mut Rng) -> Option<usize> {
-        self.work_estimate.observe(req.work);
+        self.core.observe_work(req.work);
         let cands = self.candidates(cluster);
         if cands.is_empty() {
             return None;
@@ -499,8 +417,7 @@ impl SelfAwareState {
 
     fn feedback(&mut self, outcome: &RequestOutcome, _now: Tick) {
         let violated = outcome.violates_sla();
-        self.violation_ewma
-            .observe(if violated { 1.0 } else { 0.0 });
+        self.core.observe_outcome(violated);
         if self.levels.contains(Level::Time) {
             if let Some(node) = outcome.node() {
                 let signal = match outcome {
@@ -518,7 +435,7 @@ impl SelfAwareState {
                 self.drift_events += 1;
                 // The world changed: our node beliefs may be stale.
                 self.epsilon = 0.3;
-                self.safety = self.safety.max(2.0);
+                self.core.raise_safety_floor(2.0);
                 for s in &mut self.success {
                     // Soften beliefs toward the prior.
                     let softened = 0.5 * s.level() + 0.5 * SUCCESS_PRIOR;
@@ -536,6 +453,7 @@ impl SelfAwareState {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::autoscale::SAFETY_DEFAULT;
     use crate::node::NodeSpec;
     use simkernel::SeedTree;
 

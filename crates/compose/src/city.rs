@@ -23,11 +23,12 @@ use selfaware::comms::{Channel, ChannelOutcome, CommsNetwork, CommsStats, Delive
 use selfaware::explain::{Explanation, ExplanationLog};
 use selfaware::goals::{Direction, Goal, Objective};
 use selfaware::health::SensorHealth;
+use selfaware::pressure::{HysteresisGate, HysteresisGateConfig};
 use selfaware::replay::InterventionClass;
 use selfaware::supervision::{Evidence, Supervisor, Verdict};
 use simkernel::obs;
 use simkernel::rng::SeedTree;
-use simkernel::{MetricSet, Tick};
+use simkernel::{Clock, ClockSource, MetricSet, Tick};
 use std::collections::{BTreeMap, VecDeque};
 use workloads::faults::{ChannelPlan, FaultKind, ModelCorruptionKind};
 use workloads::rates::{DiurnalRate, RateFn};
@@ -51,9 +52,26 @@ const THR_LO: u64 = 6;
 const ADMIT_CAP: u64 = 24;
 /// Controller freshness below which a zone is believed unreachable.
 const REHOME_FRESH: f64 = 0.5;
+/// Consecutive failed one-shot control-plane probes required before a
+/// silent zone may be declared dark (re-home corroboration, link 1).
+const PROBE_CONFIRM: u64 = 3;
+/// Data-plane dark evidence — an EWMA of packets bounced by the
+/// zone's gateway — required to corroborate a re-home (link 2). A
+/// partitioned-but-alive zone keeps consuming its packets, so pure
+/// message loss never accumulates bounce evidence; only a backend
+/// with nobody home does.
+const DARK_EVIDENCE_MIN: f64 = 1.5;
+/// Per-tick decay of the bounce-evidence EWMA.
+const DARK_DECAY: f64 = 0.8;
 /// Period (ticks) of the controller's throttle-command refresh to
 /// each zone agent.
 const THROTTLE_REFRESH: u64 = 8;
+/// Slope weighting for the pressure-proportional throttle band: one
+/// believed-backlog unit per tick of slope tilts the engage/release
+/// thresholds by this many units (clamped to `THROTTLE_MAX_TILT`).
+const THROTTLE_SLOPE_GAIN: f64 = 2.0;
+const THROTTLE_SLOPE_ALPHA: f64 = 0.3;
+const THROTTLE_MAX_TILT: f64 = 3.5;
 
 /// Result of one composed run.
 #[derive(Debug, Clone)]
@@ -162,8 +180,25 @@ struct CitySupervision {
 /// * `energy` — backend energy;
 /// * `utility` — [`city_goal`] scalarisation.
 #[must_use]
-#[allow(clippy::too_many_lines)]
 pub fn run_city(cfg: &CityConfig, seeds: &SeedTree) -> CityResult {
+    run_city_with_clock(cfg, seeds, &mut Clock::new())
+}
+
+/// [`run_city`] against an explicit [`ClockSource`].
+///
+/// With the simulated [`Clock`] this is bit-identical to the
+/// `for t in 0..steps` loop it replaced (every parity suite runs
+/// through this path); with a [`simkernel::WallClock`] each tick is
+/// pinned to a real-time quantum and overrun ticks are skipped rather
+/// than replayed, so the same composed world can be driven in live
+/// time.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn run_city_with_clock<K: ClockSource>(
+    cfg: &CityConfig,
+    seeds: &SeedTree,
+    clock: &mut K,
+) -> CityResult {
     assert!(cfg.zones >= 2, "need at least two zones to re-home");
     assert!(cfg.rows >= 2 && cfg.cols >= cfg.zones, "grid too small");
     let mut graph = Graph::grid(cfg.rows, cfg.cols);
@@ -289,11 +324,32 @@ pub fn run_city(cfg: &CityConfig, seeds: &SeedTree) -> CityResult {
     let mut injected_net = 0u64;
     let mut delivered_net = 0u64;
 
+    // Re-home corroboration and pressure-proportional throttle state.
+    let mut bounce_now = vec![0u64; cfg.zones];
+    let mut dark_evidence = vec![0.0f64; cfg.zones];
+    let mut probe_fail_streak = vec![0u64; cfg.zones];
+    let mut rehome_latched = vec![false; cfg.zones];
+    let mut throttle_gates: Vec<HysteresisGate> = (0..cfg.zones)
+        .map(|_| {
+            HysteresisGate::new(HysteresisGateConfig {
+                engage: THR_HI as f64,
+                release: THR_LO as f64,
+                slope_gain: THROTTLE_SLOPE_GAIN,
+                slope_alpha: THROTTLE_SLOPE_ALPHA,
+                max_tilt: THROTTLE_MAX_TILT,
+            })
+        })
+        .collect();
+
     let faults = cfg.campaign.faults().clone();
     let channel = cfg.campaign.channel().clone();
 
-    for t in 0..cfg.steps {
-        let now = Tick(t);
+    loop {
+        let now = clock.now();
+        if now.value() >= cfg.steps {
+            break;
+        }
+        let t = now.value();
         let sense_span = obs::span("city:sense");
 
         // --- Faults: machines, cameras, links, models. -------------
@@ -579,7 +635,11 @@ pub fn run_city(cfg: &CityConfig, seeds: &SeedTree) -> CityResult {
                 // wanders until its TTL burns out. Undeliverable
                 // traffic clogging the links around a dead gateway is
                 // the heart of the F9 cascade — the aware stack
-                // avoids creating it by re-homing at emission.
+                // avoids creating it by re-homing at emission. The
+                // bounce itself is observable mesh telemetry (like the
+                // queue lengths the router senses) and feeds the
+                // controller's dark-zone evidence.
+                bounce_now[pkt.zone] += 1;
                 pkt.ttl = pkt.ttl.saturating_sub(1);
                 if pkt.ttl == 0 {
                     net_dropped += 1;
@@ -718,6 +778,11 @@ pub fn run_city(cfg: &CityConfig, seeds: &SeedTree) -> CityResult {
             };
             comms.send(plane, z, ctrl, event, now, &mut log);
         }
+        // Decay the per-zone dark evidence with this tick's bounces.
+        for z in 0..cfg.zones {
+            dark_evidence[z] = DARK_DECAY * dark_evidence[z] + bounce_now[z] as f64;
+            bounce_now[z] = 0;
+        }
         if cfg.policy.ladder {
             let pressure_total: u64 = believed_pressure.iter().sum();
             // Counterfactual masking forces a rung off *after* the
@@ -732,21 +797,48 @@ pub fn run_city(cfg: &CityConfig, seeds: &SeedTree) -> CityResult {
                 u8::from(pressure_total >= SHED1)
             };
             let aware = !cfg.policy.comms.is_naive();
-            let rehome: Vec<Option<u8>> = (0..cfg.zones)
-                .map(|z| {
-                    if mask.suppresses(InterventionClass::ComposeRehome)
-                        || !aware
-                        || comms.freshness(ctrl, z, now) >= REHOME_FRESH
-                    {
-                        return None;
+            // Re-homing needs corroboration beyond command-plane
+            // staleness (F10 measured −0.041 on-time when loss alone
+            // tripped the freshness gate with every zone alive): a
+            // streak of failed one-shot probes *and* data-plane
+            // evidence that the zone's gateway is bouncing packets.
+            // Once latched, a re-home holds until the agent is heard
+            // from again, so decaying bounce telemetry (traffic has
+            // been re-homed away) cannot flap the directive.
+            let mut rehome: Vec<Option<u8>> = vec![None; cfg.zones];
+            if aware && !mask.suppresses(InterventionClass::ComposeRehome) {
+                for z in 0..cfg.zones {
+                    if comms.freshness(ctrl, z, now) >= REHOME_FRESH {
+                        rehome_latched[z] = false;
+                        probe_fail_streak[z] = 0;
+                        continue;
+                    }
+                    if !rehome_latched[z] {
+                        if comms.fire_once(plane, ctrl, z, now, &mut log) {
+                            probe_fail_streak[z] = 0;
+                        } else {
+                            probe_fail_streak[z] += 1;
+                        }
+                        let dark = probe_fail_streak[z] >= PROBE_CONFIRM
+                            && dark_evidence[z] >= DARK_EVIDENCE_MIN;
+                        if !dark {
+                            continue;
+                        }
+                        log.record_with(|| {
+                            Explanation::new(now, "ladder:zone-dark")
+                                .because("zone", z as f64)
+                                .because("probe_failures", probe_fail_streak[z] as f64)
+                                .because("bounce_evidence", dark_evidence[z])
+                        });
+                        rehome_latched[z] = true;
                     }
                     // Nearest zone the controller still hears from.
-                    (0..cfg.zones)
+                    rehome[z] = (0..cfg.zones)
                         .filter(|&o| o != z && comms.freshness(ctrl, o, now) >= REHOME_FRESH)
                         .min_by_key(|&o| (z.abs_diff(o), o))
-                        .map(|o| o as u8)
-                })
-                .collect();
+                        .map(|o| o as u8);
+                }
+            }
             let directive = (shed, rehome.clone());
             if sent_directive.as_ref() != Some(&directive) {
                 // Anchor the ladder transitions so counterfactual
@@ -770,21 +862,20 @@ pub fn run_city(cfg: &CityConfig, seeds: &SeedTree) -> CityResult {
                 sent_directive = Some(directive);
             }
             // Admission throttling is controller-commanded from the
-            // *believed* backlog (hysteresis), refreshed periodically
-            // so command traffic keeps probing every zone — including
-            // one that has gone dark, where the retries burn the
-            // reliable plane's budget and show up in the per-link
-            // expiry counters.
+            // *believed* backlog through a pressure-proportional
+            // hysteresis band (the F10 fix for throttle's small
+            // negative deltas: a fast-rising backlog engages before
+            // the static watermark, a collapsing one releases inside
+            // it), refreshed periodically so command traffic keeps
+            // probing every zone — including one that has gone dark,
+            // where the retries burn the reliable plane's budget and
+            // show up in the per-link expiry counters.
             for z in 0..cfg.zones {
-                let want = if mask.suppresses(InterventionClass::ComposeThrottle) {
-                    false
-                } else if believed_backlog[z] > THR_HI {
-                    true
-                } else if believed_backlog[z] < THR_LO {
-                    false
-                } else {
-                    ctrl_throttle[z]
-                };
+                // The gate observes the believed signal every tick —
+                // masked runs included — so its slope state never
+                // depends on whether the intervention is suppressed.
+                let gate_on = throttle_gates[z].observe(believed_backlog[z] as f64);
+                let want = !mask.suppresses(InterventionClass::ComposeThrottle) && gate_on;
                 // The periodic refresh is the command plane's re-issue
                 // mechanism; masking `CommsReissue` leaves only
                 // change-triggered sends.
@@ -796,6 +887,7 @@ pub fn run_city(cfg: &CityConfig, seeds: &SeedTree) -> CityResult {
                             .because("zone", z as f64)
                             .because("on", f64::from(u8::from(want)))
                             .because("believed_backlog", believed_backlog[z] as f64)
+                            .because("backlog_slope", throttle_gates[z].slope())
                     });
                 } else if refresh && want {
                     // Anchor only the re-issues that keep an *active*
@@ -889,6 +981,8 @@ pub fn run_city(cfg: &CityConfig, seeds: &SeedTree) -> CityResult {
                 router = s.sup.model().clone();
             }
         }
+
+        clock.wait_until(now + Tick(1));
     }
 
     // --- Metrics. ----------------------------------------------------

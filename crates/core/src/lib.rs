@@ -84,7 +84,9 @@ pub mod knowledge;
 pub mod levels;
 pub mod meta;
 pub mod models;
+pub mod pressure;
 pub mod replay;
+pub mod runtime;
 pub mod sensors;
 pub mod supervision;
 pub mod whatif;
@@ -120,10 +122,12 @@ pub mod prelude {
     pub use crate::models::qlearn::QLearner;
     pub use crate::models::seasonal::HoltWinters;
     pub use crate::models::{Forecaster, OnlineModel};
+    pub use crate::pressure::{HysteresisGate, HysteresisGateConfig};
     pub use crate::replay::{
         CounterfactualDelta, CounterfactualReport, CounterfactualRun, InterventionClass,
         InterventionMask, ReplayOutcome,
     };
+    pub use crate::runtime::{drive, ControlLoop};
     pub use crate::sensors::{FnSensor, Percept, Scope, Sensor, SensorHub};
     pub use crate::supervision::{
         Anomaly, ControlSource, Evidence, SupervisionStats, Supervisor, SupervisorConfig, Verdict,

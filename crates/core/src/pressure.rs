@@ -1,0 +1,246 @@
+//! Pressure-proportional hysteresis for degradation ladders.
+//!
+//! The compose ladder (PR 7) and the live server (PR 9) both gate
+//! expensive interventions — throttling a producer, shedding load —
+//! behind a two-threshold hysteresis band on a believed pressure
+//! signal (backlog, queue depth). F10's counterfactual gate showed the
+//! *fixed* band misfires in a characteristic way: with static
+//! engage/release thresholds the intervention engages exactly as late
+//! under a fast-rising backlog as under a slow drift, and then hangs
+//! on after the pressure has already collapsed, so across every
+//! campaign the throttle class measured slightly *negative* utility.
+//!
+//! [`HysteresisGate`] keeps the band but tilts it by the believed
+//! backlog **slope** (an EWMA of per-tick deltas): rising pressure
+//! pulls the engage threshold down (intervene earlier, before the
+//! backlog peaks), falling pressure pulls the release threshold up
+//! (let go sooner, once the trend has clearly turned). The tilt is
+//! clamped so the band never inverts, and the whole computation is
+//! pure `f64` arithmetic off the signal the caller already believes —
+//! no RNG draws, so masked counterfactual replays stay bit-identical.
+
+use serde::{Deserialize, Serialize};
+
+/// Two-threshold hysteresis whose band tilts with the signal's slope.
+///
+/// # Example
+///
+/// ```
+/// use selfaware::pressure::{HysteresisGate, HysteresisGateConfig};
+/// let mut gate = HysteresisGate::new(HysteresisGateConfig {
+///     engage: 14.0,
+///     release: 6.0,
+///     slope_gain: 2.0,
+///     slope_alpha: 0.3,
+///     max_tilt: 6.0,
+/// });
+/// // Fast-rising backlog engages before the static threshold…
+/// let mut on = false;
+/// for step in 0..8 {
+///     on = gate.observe(step as f64 * 2.5);
+///     if on {
+///         break;
+///     }
+/// }
+/// assert!(on, "rising pressure should engage early");
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HysteresisGate {
+    cfg: HysteresisGateConfig,
+    engaged: bool,
+    slope: f64,
+    last: Option<f64>,
+}
+
+/// Static band plus slope-proportional tilt parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct HysteresisGateConfig {
+    /// Static engage threshold (signal above ⇒ turn on).
+    pub engage: f64,
+    /// Static release threshold (signal below ⇒ turn off); must be
+    /// below `engage`.
+    pub release: f64,
+    /// How many threshold units one unit of per-tick slope is worth.
+    pub slope_gain: f64,
+    /// EWMA smoothing for the slope estimate (0 < α ≤ 1).
+    pub slope_alpha: f64,
+    /// Cap on the tilt in either direction, in threshold units.
+    pub max_tilt: f64,
+}
+
+impl HysteresisGate {
+    /// Creates a gate in the released state with no slope history.
+    #[must_use]
+    pub fn new(cfg: HysteresisGateConfig) -> Self {
+        Self {
+            cfg,
+            engaged: false,
+            slope: 0.0,
+            last: None,
+        }
+    }
+
+    /// Feeds one pressure sample; returns the gate's new state.
+    ///
+    /// Rising pressure (positive slope) lowers the effective engage
+    /// threshold and raises the effective release threshold (engage
+    /// earlier, hold on while still climbing); falling pressure does
+    /// the reverse (engage later, release earlier). The tilt is
+    /// clamped to `max_tilt` and the band is kept non-inverted.
+    pub fn observe(&mut self, signal: f64) -> bool {
+        if let Some(prev) = self.last {
+            let delta = signal - prev;
+            let a = self.cfg.slope_alpha.clamp(0.0, 1.0);
+            self.slope += a * (delta - self.slope);
+        }
+        self.last = Some(signal);
+
+        let tilt = (self.slope * self.cfg.slope_gain).clamp(-self.cfg.max_tilt, self.cfg.max_tilt);
+        let (engage_at, release_at) = self.band(tilt);
+
+        if self.engaged {
+            if signal < release_at {
+                self.engaged = false;
+            }
+        } else if signal > engage_at {
+            self.engaged = true;
+        }
+        self.engaged
+    }
+
+    /// The effective (engage, release) thresholds for a given tilt,
+    /// kept non-inverted: a rising signal engages earlier and releases
+    /// later, a falling signal the reverse, but engage never drops to
+    /// or below release.
+    fn band(&self, tilt: f64) -> (f64, f64) {
+        let mut engage_at = self.cfg.engage - tilt;
+        let mut release_at = self.cfg.release - tilt;
+        // Never let the band invert or collapse past the midpoint.
+        let mid = 0.5 * (self.cfg.engage + self.cfg.release);
+        if engage_at < mid {
+            engage_at = mid;
+        }
+        if release_at > mid {
+            release_at = mid;
+        }
+        (engage_at, release_at)
+    }
+
+    /// Current gate state without feeding a sample.
+    #[must_use]
+    pub fn engaged(&self) -> bool {
+        self.engaged
+    }
+
+    /// Current smoothed slope estimate (signal units per tick).
+    #[must_use]
+    pub fn slope(&self) -> f64 {
+        self.slope
+    }
+
+    /// Resets state (released, no history) keeping the configuration.
+    pub fn reset(&mut self) {
+        self.engaged = false;
+        self.slope = 0.0;
+        self.last = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gate() -> HysteresisGate {
+        HysteresisGate::new(HysteresisGateConfig {
+            engage: 14.0,
+            release: 6.0,
+            slope_gain: 2.0,
+            slope_alpha: 0.5,
+            max_tilt: 3.5,
+        })
+    }
+
+    #[test]
+    fn static_behaviour_matches_plain_hysteresis_at_zero_slope() {
+        let mut g = gate();
+        // Flat signals have zero slope: plain two-threshold logic.
+        for _ in 0..5 {
+            assert!(!g.observe(10.0), "flat mid-band signal must stay off");
+        }
+        for _ in 0..3 {
+            g.observe(16.0);
+        }
+        assert!(g.engaged(), "flat above-engage signal must turn on");
+        for _ in 0..3 {
+            g.observe(16.0);
+        }
+        assert!(g.engaged(), "flat high signal must hold");
+        for _ in 0..5 {
+            g.observe(3.0);
+        }
+        assert!(!g.engaged(), "flat below-release signal must turn off");
+    }
+
+    #[test]
+    fn rising_pressure_engages_before_static_threshold() {
+        let mut g = gate();
+        // Climb at +3/tick; static gate would wait for >14.
+        let mut engaged_at = None;
+        for (i, s) in [0.0, 3.0, 6.0, 9.0, 12.0, 15.0].iter().enumerate() {
+            if g.observe(*s) {
+                engaged_at = Some(i);
+                break;
+            }
+        }
+        let at = engaged_at.expect("must engage during the climb");
+        // Tilt of up to 3.5 lowers the threshold toward 10.5, so the
+        // 12.0 sample (index 4) engages where a static gate waits for
+        // the 15.0 sample (index 5).
+        assert!(at <= 4, "engaged at sample {at}, expected early engage");
+    }
+
+    #[test]
+    fn falling_pressure_releases_before_static_threshold() {
+        let mut g = gate();
+        for s in [16.0, 16.0, 16.0] {
+            g.observe(s);
+        }
+        assert!(g.engaged());
+        // Collapse at -4/tick: the release threshold tilts up toward
+        // the mid-band, so 8.0 (inside the static 6..14 band, where a
+        // static gate would hold) releases.
+        g.observe(12.0);
+        let on = g.observe(8.0);
+        assert!(!on, "fast-falling signal should release inside the band");
+    }
+
+    #[test]
+    fn band_never_inverts() {
+        let g = gate();
+        let (e, r) = g.band(1e9);
+        assert!(e >= r);
+        let (e, r) = g.band(-1e9);
+        assert!(e >= r);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut g = gate();
+        g.observe(20.0);
+        g.observe(20.0);
+        assert!(g.engaged());
+        g.reset();
+        assert!(!g.engaged());
+        assert_eq!(g.slope(), 0.0);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let run = |sig: &[f64]| -> Vec<bool> {
+            let mut g = gate();
+            sig.iter().map(|s| g.observe(*s)).collect()
+        };
+        let sig: Vec<f64> = (0..50).map(|i| ((i * 37) % 23) as f64).collect();
+        assert_eq!(run(&sig), run(&sig));
+    }
+}

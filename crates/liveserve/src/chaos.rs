@@ -1,0 +1,250 @@
+//! Deterministic-seeded chaos: the request schedule *is* the fault
+//! plan.
+//!
+//! Live-traffic chaos cannot be replayed tick-for-tick the way the
+//! simulators are (wall time jitters), but it can be made
+//! seed-deterministic at the *plan* level: every arrival instant,
+//! service time, stall, injected panic, dropped connection and
+//! model-poisoning tick is drawn up front from a [`SeedTree`] into a
+//! [`RequestSpec`] schedule. Two runs with the same seed replay the
+//! same offered load and the same faults; only scheduler noise
+//! differs, which is exactly the noise the F11 replications average
+//! over.
+//!
+//! The fault vocabulary deliberately reuses the workspace's existing
+//! kinds: handler stalls are the live analogue of
+//! `SensorFaultKind::Stuck` windows, connection drops of lossy links,
+//! and the controller poison event reuses
+//! [`workloads::faults::ModelCorruptionKind`] verbatim — the same
+//! corruption the F6/F10 campaigns inject into simulated controllers.
+
+use rand::Rng as _;
+use simkernel::SeedTree;
+use workloads::faults::ModelCorruptionKind;
+
+/// A half-open window `[start, start+len)` in governor ticks.
+#[derive(Debug, Clone, Copy, serde::Serialize)]
+pub struct Window {
+    /// First tick of the window.
+    pub start: u64,
+    /// Length in ticks.
+    pub len: u64,
+}
+
+impl Window {
+    /// Is `tick` inside the window?
+    #[must_use]
+    pub fn contains(&self, tick: u64) -> bool {
+        tick >= self.start && tick < self.start + self.len
+    }
+}
+
+/// The full chaos campaign for one live run.
+#[derive(Debug, Clone)]
+pub struct ChaosPlan {
+    /// Run length in governor ticks.
+    pub ticks: u64,
+    /// Milliseconds per governor tick (must match the governor's
+    /// quantum).
+    pub quantum_ms: u64,
+    /// Baseline offered load, requests per second.
+    pub base_rps: f64,
+    /// Mean handler service time, milliseconds.
+    pub service_ms: f64,
+    /// Flash crowd: offered load is multiplied by `burst_mult` here.
+    pub burst: Window,
+    /// Burst multiplier.
+    pub burst_mult: f64,
+    /// Slow-handler window: requests add `stall_ms` of service time.
+    pub stall: Window,
+    /// Extra per-request service during the stall window, ms.
+    pub stall_ms: u64,
+    /// Window in which clients abandon connections mid-request.
+    pub drops: Window,
+    /// Per-request drop probability inside the window.
+    pub drop_prob: f64,
+    /// Window in which requests ask the handler to panic.
+    pub panics: Window,
+    /// Per-request panic probability inside the window.
+    pub panic_prob: f64,
+    /// Corrupt the governor's arrival model at this tick.
+    pub poison: Option<(u64, ModelCorruptionKind)>,
+}
+
+impl ChaosPlan {
+    /// The standard F11 campaign over `ticks` quanta: a flash crowd
+    /// and a slow-handler stall that *overlap* (the hard case: demand
+    /// spikes exactly while capacity craters), plus connection drops,
+    /// handler panics, and a NaN poisoning of the arrival model early
+    /// in the run.
+    #[must_use]
+    pub fn standard(ticks: u64) -> Self {
+        Self {
+            ticks,
+            quantum_ms: 10,
+            base_rps: 60.0,
+            service_ms: 4.0,
+            burst: Window {
+                start: ticks * 2 / 5,
+                len: ticks / 4,
+            },
+            burst_mult: 4.0,
+            stall: Window {
+                start: ticks * 9 / 20,
+                len: ticks / 4,
+            },
+            stall_ms: 60,
+            drops: Window {
+                start: ticks / 8,
+                len: ticks / 8,
+            },
+            drop_prob: 0.10,
+            panics: Window {
+                start: ticks * 3 / 4,
+                len: ticks / 10,
+            },
+            panic_prob: 0.15,
+            poison: Some((ticks / 5, ModelCorruptionKind::NanPoison)),
+        }
+    }
+
+    /// A calm plan (no faults, steady load) for smoke tests.
+    #[must_use]
+    pub fn calm(ticks: u64, rps: f64) -> Self {
+        let none = Window {
+            start: ticks,
+            len: 0,
+        };
+        Self {
+            ticks,
+            quantum_ms: 10,
+            base_rps: rps,
+            service_ms: 3.0,
+            burst: none,
+            burst_mult: 1.0,
+            stall: none,
+            stall_ms: 0,
+            drops: none,
+            drop_prob: 0.0,
+            panics: none,
+            panic_prob: 0.0,
+            poison: None,
+        }
+    }
+
+    /// Offered rate (requests/ms) at `tick`.
+    #[must_use]
+    pub fn rate_per_ms(&self, tick: u64) -> f64 {
+        let mult = if self.burst.contains(tick) {
+            self.burst_mult
+        } else {
+            1.0
+        };
+        self.base_rps * mult / 1000.0
+    }
+
+    /// Draws the full request schedule from `seeds`. Deterministic:
+    /// same seed, same plan → byte-identical schedule.
+    #[must_use]
+    pub fn schedule(&self, seeds: &SeedTree) -> Vec<RequestSpec> {
+        let mut arrivals = seeds.child("chaos").rng("arrivals");
+        let mut shape = seeds.child("chaos").rng("shape");
+        let mut out = Vec::new();
+        let horizon_ms = self.ticks * self.quantum_ms;
+        let mut t_ms = 0.0_f64;
+        loop {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            let tick = (t_ms as u64) / self.quantum_ms.max(1);
+            let rate = self.rate_per_ms(tick).max(1e-9);
+            // Exponential inter-arrival via inverse CDF.
+            let u: f64 = arrivals.gen_range(1e-12..1.0);
+            t_ms += -u.ln() / rate;
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            let at_ms = t_ms as u64;
+            if at_ms >= horizon_ms {
+                break;
+            }
+            let tick = at_ms / self.quantum_ms.max(1);
+            let service = shape.gen_range(0.5..1.5) * self.service_ms;
+            let stall_ms = if self.stall.contains(tick) {
+                self.stall_ms
+            } else {
+                0
+            };
+            let panic = self.panics.contains(tick) && shape.gen_bool(self.panic_prob);
+            let drop = self.drops.contains(tick) && shape.gen_bool(self.drop_prob);
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            out.push(RequestSpec {
+                at_ms,
+                service_ms: (service.max(1.0)) as u64,
+                stall_ms,
+                panic,
+                drop,
+            });
+        }
+        out
+    }
+}
+
+/// One scheduled client request.
+#[derive(Debug, Clone, Copy, serde::Serialize)]
+pub struct RequestSpec {
+    /// Send instant, ms from run start.
+    pub at_ms: u64,
+    /// Requested handler service time, ms.
+    pub service_ms: u64,
+    /// Extra chaos stall the handler will add, ms.
+    pub stall_ms: u64,
+    /// Ask the handler to panic.
+    pub panic: bool,
+    /// Client abandons the connection right after sending.
+    pub drop: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_seed_deterministic() {
+        let plan = ChaosPlan::standard(300);
+        let a = plan.schedule(&SeedTree::new(42));
+        let b = plan.schedule(&SeedTree::new(42));
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.at_ms, y.at_ms);
+            assert_eq!(x.service_ms, y.service_ms);
+            assert_eq!(x.panic, y.panic);
+            assert_eq!(x.drop, y.drop);
+        }
+        let c = plan.schedule(&SeedTree::new(43));
+        assert_ne!(
+            a.iter().map(|r| r.at_ms).collect::<Vec<_>>(),
+            c.iter().map(|r| r.at_ms).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn burst_window_densifies_arrivals() {
+        let plan = ChaosPlan::standard(500);
+        let sched = plan.schedule(&SeedTree::new(7));
+        let ms_per_tick = plan.quantum_ms;
+        let in_burst = |r: &RequestSpec| plan.burst.contains(r.at_ms / ms_per_tick);
+        let burst_n = sched.iter().filter(|r| in_burst(r)).count() as f64;
+        let burst_ms = (plan.burst.len * ms_per_tick) as f64;
+        let calm_n = sched.iter().filter(|r| !in_burst(r)).count() as f64;
+        let calm_ms = (plan.ticks * ms_per_tick) as f64 - burst_ms;
+        assert!(
+            burst_n / burst_ms > 2.0 * calm_n / calm_ms,
+            "burst {burst_n}/{burst_ms}ms vs calm {calm_n}/{calm_ms}ms"
+        );
+    }
+
+    #[test]
+    fn calm_plan_has_no_faults() {
+        let plan = ChaosPlan::calm(200, 40.0);
+        let sched = plan.schedule(&SeedTree::new(1));
+        assert!(!sched.is_empty());
+        assert!(sched.iter().all(|r| !r.panic && !r.drop && r.stall_ms == 0));
+    }
+}

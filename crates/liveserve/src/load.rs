@@ -1,0 +1,320 @@
+//! Seeded open-loop load generator and its outcome report.
+//!
+//! The generator replays a [`crate::chaos::RequestSpec`] schedule
+//! against a live server: a pool of client threads pulls specs from a
+//! shared cursor, sleeps until each spec's send instant, and issues
+//! the request. Clients honour the server's self-expression — a `429`
+//! with `Retry-After-Ms` is retried after the advertised delay (a
+//! bounded number of times), which is the cooperative half of the
+//! backpressure protocol. Latency is measured from the *first* send
+//! attempt, so shed-and-retry time counts against the SLA: shedding
+//! only wins the experiment if the advertised retry delays actually
+//! land requests in servable windows.
+//!
+//! The pool is open-loop up to its thread count: a spec whose send
+//! instant has already passed (all clients busy) is sent immediately,
+//! so sustained overload shows up as queueing at the server, not as a
+//! silently thinned offered load.
+
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::chaos::RequestSpec;
+
+/// Terminal status of one scheduled request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub enum Status {
+    /// Served `200` (may have been shed and retried first).
+    Ok,
+    /// Still `429` after all retries.
+    Shed,
+    /// `503` — deadline exceeded at the server.
+    Unavailable,
+    /// `500` — handler panic.
+    Failed,
+    /// Connection/read error.
+    ConnError,
+    /// Chaos: the client abandoned the connection on purpose.
+    Abandoned,
+}
+
+/// One scheduled request's outcome.
+#[derive(Debug, Clone, Copy, serde::Serialize)]
+pub struct Outcome {
+    /// Terminal status.
+    pub status: Status,
+    /// First-send → final-response latency, ms.
+    pub latency_ms: f64,
+    /// Send attempts (1 = no retry).
+    pub attempts: u32,
+}
+
+/// Load-generator tuning.
+#[derive(Debug, Clone)]
+pub struct LoadOptions {
+    /// Client threads (bounds in-flight requests; they mostly sleep).
+    pub clients: usize,
+    /// A `200` under this first-send latency counts as on-time.
+    pub sla_ms: u64,
+    /// Retries allowed after a `429` before giving up.
+    pub max_retries: u32,
+    /// Per-socket connect/read/write timeout.
+    pub io_timeout: Duration,
+}
+
+impl Default for LoadOptions {
+    fn default() -> Self {
+        Self {
+            clients: 48,
+            sla_ms: 300,
+            max_retries: 2,
+            io_timeout: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Aggregated load-run results.
+#[derive(Debug, Clone, Default, serde::Serialize)]
+pub struct LoadReport {
+    /// Scheduled requests offered (excluding deliberate abandons).
+    pub offered: u64,
+    /// Requests that ended `200`.
+    pub ok: u64,
+    /// `200`s under the SLA measured from first send.
+    pub on_time: u64,
+    /// Requests still shed after retries.
+    pub shed: u64,
+    /// `503`s (server-side deadline).
+    pub unavailable: u64,
+    /// `500`s (handler panics).
+    pub failed: u64,
+    /// Connection errors.
+    pub conn_errors: u64,
+    /// Deliberately abandoned connections (chaos drops).
+    pub abandoned: u64,
+    /// Total retry attempts beyond the first send.
+    pub retries: u64,
+    /// Wall time of the whole run, seconds.
+    pub wall_secs: f64,
+    /// First-send latencies of `200` responses, ms (unsorted).
+    pub latencies_ms: Vec<f64>,
+}
+
+impl LoadReport {
+    /// On-time `200`s per wall second — the headline goodput metric.
+    #[must_use]
+    pub fn goodput(&self) -> f64 {
+        if self.wall_secs <= 0.0 {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        {
+            self.on_time as f64 / self.wall_secs
+        }
+    }
+
+    /// Fraction of offered requests that terminally failed
+    /// (`500` + `503` + connection errors + exhausted sheds).
+    #[must_use]
+    pub fn error_rate(&self) -> f64 {
+        if self.offered == 0 {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        {
+            (self.failed + self.unavailable + self.conn_errors + self.shed) as f64
+                / self.offered as f64
+        }
+    }
+
+    /// Latency percentile over `200` responses (`p` in `[0, 1]`), ms.
+    #[must_use]
+    pub fn latency_percentile(&self, p: f64) -> f64 {
+        if self.latencies_ms.is_empty() {
+            return f64::NAN;
+        }
+        let mut sorted = self.latencies_ms.clone();
+        sorted.sort_by(f64::total_cmp);
+        #[allow(
+            clippy::cast_precision_loss,
+            clippy::cast_possible_truncation,
+            clippy::cast_sign_loss
+        )]
+        let idx = ((sorted.len() - 1) as f64 * p.clamp(0.0, 1.0)).round() as usize;
+        sorted[idx]
+    }
+}
+
+/// Replays `schedule` against `addr` and blocks until every request
+/// has a terminal outcome.
+#[must_use]
+pub fn run_load(addr: SocketAddr, schedule: &[RequestSpec], opts: &LoadOptions) -> LoadReport {
+    let schedule: Arc<Vec<RequestSpec>> = Arc::new(schedule.to_vec());
+    let cursor = Arc::new(AtomicUsize::new(0));
+    let epoch = Instant::now();
+
+    let mut workers = Vec::new();
+    for c in 0..opts.clients.max(1) {
+        let schedule = Arc::clone(&schedule);
+        let cursor = Arc::clone(&cursor);
+        let opts = opts.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("live-client-{c}"))
+            .spawn(move || client_loop(addr, &schedule, &cursor, epoch, &opts));
+        if let Ok(h) = handle {
+            workers.push(h);
+        }
+    }
+
+    let mut outcomes: Vec<Outcome> = Vec::with_capacity(schedule.len());
+    for w in workers {
+        if let Ok(mut part) = w.join() {
+            outcomes.append(&mut part);
+        }
+    }
+
+    let mut report = LoadReport {
+        wall_secs: epoch.elapsed().as_secs_f64(),
+        ..LoadReport::default()
+    };
+    for o in &outcomes {
+        report.retries += u64::from(o.attempts.saturating_sub(1));
+        match o.status {
+            Status::Abandoned => report.abandoned += 1,
+            Status::Ok => {
+                report.offered += 1;
+                report.ok += 1;
+                #[allow(clippy::cast_precision_loss)]
+                if o.latency_ms <= opts.sla_ms as f64 {
+                    report.on_time += 1;
+                }
+                report.latencies_ms.push(o.latency_ms);
+            }
+            Status::Shed => {
+                report.offered += 1;
+                report.shed += 1;
+            }
+            Status::Unavailable => {
+                report.offered += 1;
+                report.unavailable += 1;
+            }
+            Status::Failed => {
+                report.offered += 1;
+                report.failed += 1;
+            }
+            Status::ConnError => {
+                report.offered += 1;
+                report.conn_errors += 1;
+            }
+        }
+    }
+    report
+}
+
+fn client_loop(
+    addr: SocketAddr,
+    schedule: &[RequestSpec],
+    cursor: &AtomicUsize,
+    epoch: Instant,
+    opts: &LoadOptions,
+) -> Vec<Outcome> {
+    let mut out = Vec::new();
+    loop {
+        let idx = cursor.fetch_add(1, Ordering::Relaxed);
+        let Some(spec) = schedule.get(idx) else {
+            return out;
+        };
+        let target = Duration::from_millis(spec.at_ms);
+        let elapsed = epoch.elapsed();
+        if target > elapsed {
+            std::thread::sleep(target - elapsed);
+        }
+        out.push(issue(addr, spec, opts));
+    }
+}
+
+fn issue(addr: SocketAddr, spec: &RequestSpec, opts: &LoadOptions) -> Outcome {
+    let first_send = Instant::now();
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        let resp = one_attempt(addr, spec, opts);
+        let latency_ms = first_send.elapsed().as_secs_f64() * 1000.0;
+        let status = match resp {
+            Attempt::Status(200) => Status::Ok,
+            Attempt::Status(429) => Status::Shed,
+            Attempt::Status(503) => Status::Unavailable,
+            Attempt::Status(_) => Status::Failed,
+            Attempt::RetryAfter(delay_ms) => {
+                if attempts <= opts.max_retries {
+                    // Advertised delay scaled by the attempt number:
+                    // persistent overload pushes retries further out.
+                    let backoff = delay_ms.saturating_mul(u64::from(attempts));
+                    std::thread::sleep(Duration::from_millis(backoff.min(2500)));
+                    continue;
+                }
+                Status::Shed
+            }
+            Attempt::ConnError => Status::ConnError,
+            Attempt::Abandoned => Status::Abandoned,
+        };
+        return Outcome {
+            status,
+            latency_ms,
+            attempts,
+        };
+    }
+}
+
+enum Attempt {
+    /// Final HTTP status code.
+    Status(u16),
+    /// Shed with an advertised retry delay (ms); retry budget permitting.
+    RetryAfter(u64),
+    ConnError,
+    Abandoned,
+}
+
+fn one_attempt(addr: SocketAddr, spec: &RequestSpec, opts: &LoadOptions) -> Attempt {
+    let Ok(mut stream) = TcpStream::connect_timeout(&addr, opts.io_timeout) else {
+        return Attempt::ConnError;
+    };
+    let _ = stream.set_read_timeout(Some(opts.io_timeout));
+    let _ = stream.set_write_timeout(Some(opts.io_timeout));
+    let _ = stream.set_nodelay(true);
+    let req = format!(
+        "GET /work?ms={}&stall={}&panic={} HTTP/1.0\r\n\r\n",
+        spec.service_ms,
+        spec.stall_ms,
+        u8::from(spec.panic)
+    );
+    if stream.write_all(req.as_bytes()).is_err() {
+        return Attempt::ConnError;
+    }
+    if spec.drop {
+        // Chaos: abandon the connection mid-request.
+        drop(stream);
+        return Attempt::Abandoned;
+    }
+    let mut body = String::new();
+    if stream.read_to_string(&mut body).is_err() || body.is_empty() {
+        return Attempt::ConnError;
+    }
+    let code: u16 = body
+        .split_whitespace()
+        .nth(1)
+        .and_then(|c| c.parse().ok())
+        .unwrap_or(0);
+    if code == 429 {
+        let delay = body
+            .lines()
+            .find_map(|l| l.strip_prefix("Retry-After-Ms: "))
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(100);
+        return Attempt::RetryAfter(delay);
+    }
+    Attempt::Status(code)
+}

@@ -10,8 +10,11 @@
 //!
 //! * [`rng`] — hierarchical, label-addressed seed derivation on top of a
 //!   portable ChaCha stream cipher RNG;
-//! * [`clock`] — a time-stepped simulation clock ([`clock::Clock`]) and
-//!   the [`clock::Tick`] newtype used as the workspace-wide time unit;
+//! * [`clock`] — a time-stepped simulation clock ([`clock::Clock`]),
+//!   the [`clock::Tick`] newtype used as the workspace-wide time unit,
+//!   and the [`clock::ClockSource`] trait that lets control loops run
+//!   against either simulated ticks or real elapsed time
+//!   ([`clock::WallClock`]);
 //! * [`events`] — a deterministic discrete-event queue with stable
 //!   FIFO ordering among simultaneous events;
 //! * [`delivery`] — a tick-indexed in-flight buffer for message copies
@@ -64,7 +67,7 @@ pub mod series;
 pub mod stats;
 pub mod table;
 
-pub use clock::{Clock, Tick};
+pub use clock::{Clock, ClockSource, Tick, WallClock};
 pub use delivery::DeliveryQueue;
 pub use events::EventQueue;
 pub use obs::{Json, PhaseProfile};
