@@ -70,6 +70,20 @@ echo "==> cargo run -p sas-bench --bin obs_validate (F11 trace)"
 cargo run --offline -p sas-bench --bin obs_validate
 rm -rf target/obs
 
+# F12 smoke: the discrete-event substrates end-to-end at reduced
+# scale. The bench binary exits non-zero if any non-timing gate fails
+# (dense-vs-sparse bit-identity, seq-vs-parallel bit-identity);
+# F12_SMOKE=1 skips only the full-scale floors and the wall-clock
+# speedup gate, which need full-scale runs. The emitted trace is
+# schema-validated.
+echo "==> SAS_OBS=1 F12_SMOKE=1 cargo bench -p sas-bench --bench f12_des_scale"
+rm -rf target/obs
+SAS_OBS=1 F12_SMOKE=1 cargo bench --offline -p sas-bench --bench f12_des_scale
+
+echo "==> cargo run -p sas-bench --bin obs_validate (F12 trace)"
+cargo run --offline -p sas-bench --bin obs_validate
+rm -rf target/obs
+
 # Observability smoke: one real experiment under SAS_OBS=1 must emit
 # a parseable JSONL run trace with the expected schema (provenance,
 # arm aggregates + phase profile, per-replicate records). target/obs
@@ -83,17 +97,18 @@ cargo run --offline -p sas-bench --bin obs_validate
 rm -rf target/obs
 
 # Perf-trajectory smoke: regenerate the macro-bench document at
-# reduced steps/reps and schema-check both it and the committed
-# BENCH_9.json. This gates on SCHEMA DRIFT only — a renamed arm,
-# missing field, or malformed histogram fails here; machine-local
-# timing differences never do.
+# reduced steps/reps and schema-check it, then schema-check EVERY
+# committed BENCH_<n>.json and print the cross-PR wall-clock delta
+# table. This gates on SCHEMA DRIFT only — a renamed arm, missing
+# field, malformed histogram, or a deleted historical document fails
+# here; machine-local timing differences never do.
 echo "==> cargo run -p sas-bench --bin perfbench -- --smoke"
 PERF_SMOKE_OUT="$(mktemp -t perfbench_smoke.XXXXXX.json)"
 trap 'rm -f "$PERF_SMOKE_OUT"' EXIT
 cargo run --offline --release -p sas-bench --bin perfbench -- --smoke --out "$PERF_SMOKE_OUT"
 cargo run --offline --release -p sas-bench --bin perfbench -- --validate "$PERF_SMOKE_OUT"
-echo "==> perfbench --validate BENCH_9.json (committed trajectory)"
-cargo run --offline --release -p sas-bench --bin perfbench -- --validate BENCH_9.json
+echo "==> perfbench --validate-all (committed trajectory)"
+cargo run --offline --release -p sas-bench --bin perfbench -- --validate-all
 
 echo "==> cargo fmt --check"
 cargo fmt --check

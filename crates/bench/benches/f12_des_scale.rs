@@ -1,0 +1,31 @@
+//! Regenerates Table F12 (discrete-event substrate scale) and runs
+//! its acceptance gate. See EXPERIMENTS.md. `F12_SMOKE=1` switches to
+//! the reduced CI scale, which keeps every bit-identity check but
+//! skips the wall-clock gates (scale floors, ≥10× per-entity-tick
+//! speedup) — timing claims need the full scale to mean anything.
+//! Exits non-zero when the gate fails.
+fn main() {
+    let smoke = std::env::var("F12_SMOKE").is_ok_and(|v| v != "0");
+    let start = std::time::Instant::now();
+    let report = sas_bench::run_f12(smoke, |line| eprintln!("  {line}"));
+    println!("{}", report.table);
+    for (substrate, speedup) in &report.speedups {
+        println!(
+            "{substrate}: sparse@full runs {speedup:.0}× faster per entity-tick than dense@reduced"
+        );
+    }
+    eprintln!(
+        "regenerated in {:.2?} on {} worker thread(s)",
+        start.elapsed(),
+        simkernel::worker_count(usize::MAX)
+    );
+    if report.failures.is_empty() {
+        println!("F12 scale gate: PASS");
+    } else {
+        for failure in &report.failures {
+            eprintln!("GATE {failure}");
+        }
+        eprintln!("F12 scale gate: FAIL");
+        std::process::exit(1);
+    }
+}

@@ -1,16 +1,21 @@
 //! Regenerates (or validates) the committed perf envelope,
-//! `BENCH_9.json`. See `sas_bench::perf` for the schema and DESIGN.md
-//! ("Performance") for the rules it enforces.
+//! `BENCH_<n>.json`. See `sas_bench::perf` for the schema and
+//! DESIGN.md ("Performance") for the rules it enforces.
 //!
 //! Usage:
 //!
 //! * `cargo run --release -p sas-bench --bin perfbench`
-//!   — full run; writes `BENCH_9.json` at the repo root.
+//!   — full run; writes `BENCH_<n>.json` at the repo root.
 //! * `... -- --smoke [--out PATH]`
 //!   — reduced steps/reps (CI); same schema, machine-local timings.
 //! * `... -- --validate PATH`
 //!   — schema-check an existing document; exits non-zero on drift.
 //!   No benchmarks run in this mode.
+//! * `... -- --validate-all`
+//!   — schema-check **every** committed `BENCH_<n>.json` at the repo
+//!   root and print the cross-PR wall-clock delta table for arms
+//!   present in two or more documents. Exits non-zero on drift in any
+//!   document (timings stay informational). No benchmarks run.
 //!
 //! `--out PATH` overrides the output path in the generating modes.
 
@@ -23,6 +28,7 @@ struct Args {
     smoke: bool,
     out: Option<PathBuf>,
     validate: Option<PathBuf>,
+    validate_all: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -30,6 +36,7 @@ fn parse_args() -> Result<Args, String> {
         smoke: false,
         out: None,
         validate: None,
+        validate_all: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -45,10 +52,53 @@ fn parse_args() -> Result<Args, String> {
                     it.next().ok_or("--validate requires a path".to_string())?,
                 ));
             }
+            "--validate-all" => args.validate_all = true,
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
     Ok(args)
+}
+
+/// Validates every committed `BENCH_<n>.json` and prints the cross-PR
+/// wall-clock trajectory. Fails on schema drift in any document or
+/// when no documents are found at all (the trajectory must never
+/// silently vanish); timing differences are printed, never gated.
+fn validate_all() -> ExitCode {
+    let paths = perf::bench_history_paths();
+    if paths.is_empty() {
+        eprintln!("perfbench: no BENCH_<n>.json documents found at the repo root");
+        return ExitCode::FAILURE;
+    }
+    let mut history = Vec::new();
+    for (version, path) in paths {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("perfbench: cannot read {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let doc = match obs::parse(&text) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("perfbench: {} is not valid JSON: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = perf::validate_bench(&doc) {
+            eprintln!("perfbench: schema drift in {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("perfbench: {} conforms to the schema", path.display());
+        history.push((version, doc));
+    }
+    let table = perf::bench_delta_table(&history);
+    if table.is_empty() {
+        println!("perfbench: no arm appears in two or more documents yet — no delta table");
+    } else {
+        println!("{table}");
+    }
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
@@ -59,6 +109,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    if args.validate_all {
+        return validate_all();
+    }
 
     if let Some(path) = args.validate {
         let text = match std::fs::read_to_string(&path) {

@@ -2425,6 +2425,15 @@ pub enum F10Campaign {
     /// two fifths; the degradation ladder (re-home, shed, throttle) is
     /// on trial. Headline: `utility` (maximise).
     Outage,
+    /// Capacity brownout (ROADMAP item 5): two of zone 1's three
+    /// backend machines die for the middle three fifths while the
+    /// zone — and its agent — stay alive. Re-homing never triggers
+    /// (the zone is not dark) and gateway pressure stays under the
+    /// shed threshold, so admission throttling is the *only* defence
+    /// that can keep the surviving core's queueing delay inside the
+    /// SLA. This is the campaign where throttle pays; the gate pins
+    /// its benefit positive. Headline: `on_time_ratio` (maximise).
+    Brownout,
     /// The full F9 cascading campaign ([`f9_campaign`]): everything at
     /// once. Headline: `utility` (maximise).
     Cascade,
@@ -2439,6 +2448,7 @@ impl F10Campaign {
             F10Campaign::Corruption,
             F10Campaign::Loss,
             F10Campaign::Outage,
+            F10Campaign::Brownout,
             F10Campaign::Cascade,
         ]
     }
@@ -2451,6 +2461,7 @@ impl F10Campaign {
             F10Campaign::Corruption => "corruption",
             F10Campaign::Loss => "loss",
             F10Campaign::Outage => "outage",
+            F10Campaign::Brownout => "brownout",
             F10Campaign::Cascade => "cascade",
         }
     }
@@ -2460,7 +2471,7 @@ impl F10Campaign {
     pub fn metric(self) -> (&'static str, Direction) {
         match self {
             F10Campaign::Bias => ("tracking_error", Direction::Minimize),
-            F10Campaign::Loss => ("on_time_ratio", Direction::Maximize),
+            F10Campaign::Loss | F10Campaign::Brownout => ("on_time_ratio", Direction::Maximize),
             F10Campaign::Corruption | F10Campaign::Outage | F10Campaign::Cascade => {
                 ("utility", Direction::Maximize)
             }
@@ -2515,6 +2526,17 @@ impl F10Campaign {
                 3,
                 steps * 2 / 5,
             ),
+            // Zones 1 and 2 each lose their big core and one little
+            // for the long middle window; one little core (40% of the
+            // big's speed) survives per zone, so neither zone goes
+            // dark and both keep admitting. A backlog at the
+            // admission cap takes a lone little longer than the SLA
+            // deadline to drain, so detections serviced from a
+            // saturated queue violate — unless throttling holds the
+            // queue short.
+            F10Campaign::Brownout => workloads::FaultCampaign::new("brownout", seeds)
+                .zone_outage(Tick(steps / 8), 3, 2, steps * 3 / 4)
+                .zone_outage(Tick(steps / 8), 6, 2, steps * 3 / 4),
             F10Campaign::Cascade => f9_campaign(seeds, steps),
         }
     }
@@ -2602,10 +2624,17 @@ pub fn f10_canonical(class: InterventionClass) -> F10Campaign {
         | InterventionClass::SupervisorFallback
         | InterventionClass::SupervisorRepromote => F10Campaign::Corruption,
         InterventionClass::CommsRetry => F10Campaign::Loss,
+        // Throttle's canonical home is the brownout (ROADMAP item 5):
+        // on the cascade its measured delta sat at ≈ 0 because the
+        // zone either dies (re-home takes over) or survives with
+        // enough capacity that the admission cap alone bounds
+        // latency. The brownout leaves a crippled-but-alive zone
+        // where holding the queue short is the only defence, so the
+        // gate can demand a strictly positive delta.
+        InterventionClass::ComposeThrottle => F10Campaign::Brownout,
         InterventionClass::CommsReissue
         | InterventionClass::ComposeShed
-        | InterventionClass::ComposeRehome
-        | InterventionClass::ComposeThrottle => F10Campaign::Cascade,
+        | InterventionClass::ComposeRehome => F10Campaign::Cascade,
     }
 }
 
@@ -2627,6 +2656,13 @@ pub struct F10Cell {
     /// campaign where the class historically misfired, so not firing
     /// is the desired outcome and only negative benefit fails.
     pub require_fire: bool,
+    /// Whether the cell must show *strictly positive* mean benefit,
+    /// not merely non-negative. Set on a class whose canonical
+    /// campaign was built specifically so the class pays (ROADMAP
+    /// item 5: throttle on the brownout) — a zero there means the
+    /// campaign no longer exercises the class and the cell has
+    /// silently decayed into a tautology.
+    pub require_positive: bool,
 }
 
 /// The intervention-regression gate, pure over aggregated cells: a
@@ -2653,6 +2689,14 @@ pub fn f10_gate_failures(cells: &[F10Cell]) -> Vec<String> {
                 cell.benefit,
                 cell.campaign,
                 F10_EPSILON
+            ));
+        } else if cell.require_positive && cell.benefit <= 0.0 {
+            failures.push(format!(
+                "{} shows no positive benefit ({:.4}) on canonical campaign `{}` — \
+                 the campaign was built so this class pays",
+                cell.class.label(),
+                cell.benefit,
+                cell.campaign
             ));
         }
     }
@@ -2793,6 +2837,9 @@ pub fn run_f10(reps: u32, steps: u64) -> F10Report {
                 benefit: aggs[idx].mean(&format!("benefit:{}", class.label())),
                 events: aggs[idx].mean(&format!("events:{}", class.label())),
                 require_fire: true,
+                // The brownout exists so throttle pays (ROADMAP item
+                // 5); its cell must show a strictly positive delta.
+                require_positive: class == InterventionClass::ComposeThrottle,
             }
         })
         .collect();
@@ -2809,6 +2856,23 @@ pub fn run_f10(reps: u32, steps: u64) -> F10Report {
             benefit: aggs[idx].mean(&format!("benefit:{label}")),
             events: aggs[idx].mean(&format!("events:{label}")),
             require_fire: false,
+            require_positive: false,
+        });
+    }
+    // Restraint cell (this PR, ROADMAP item 5): the cascade is where
+    // throttle historically idled at ≈ 0 measured benefit. Now that
+    // its canonical (positive) home is the brownout, the cascade cell
+    // only polices harm: throttle may hold fire there or fire with
+    // non-negative delta, but a harmful firing fails.
+    if let Some(idx) = campaigns.iter().position(|c| *c == F10Campaign::Cascade) {
+        let label = InterventionClass::ComposeThrottle.label();
+        cells.push(F10Cell {
+            class: InterventionClass::ComposeThrottle,
+            campaign: F10Campaign::Cascade.label(),
+            benefit: aggs[idx].mean(&format!("benefit:{label}")),
+            events: aggs[idx].mean(&format!("events:{label}")),
+            require_fire: false,
+            require_positive: false,
         });
     }
     let gate_failures = f10_gate_failures(&cells);
@@ -2916,6 +2980,7 @@ mod f10_tests {
                 benefit: 0.5,
                 events: 2.0,
                 require_fire: true,
+                require_positive: false,
             },
             F10Cell {
                 class: InterventionClass::CommsRetry,
@@ -2923,6 +2988,7 @@ mod f10_tests {
                 benefit: -0.5,
                 events: 3.0,
                 require_fire: true,
+                require_positive: false,
             },
             F10Cell {
                 class: InterventionClass::ComposeShed,
@@ -2930,6 +2996,7 @@ mod f10_tests {
                 benefit: 0.0,
                 events: 0.0,
                 require_fire: true,
+                require_positive: false,
             },
         ];
         let failures = f10_gate_failures(&cells);
@@ -2944,6 +3011,7 @@ mod f10_tests {
             benefit: -F10_EPSILON / 2.0,
             events: 1.0,
             require_fire: true,
+            require_positive: false,
         }]);
         assert!(ok.is_empty(), "{ok:?}");
     }
@@ -2958,6 +3026,7 @@ mod f10_tests {
             benefit: 0.0,
             events: 0.0,
             require_fire: false,
+            require_positive: false,
         };
         assert!(f10_gate_failures(&[silent]).is_empty());
         // …and still fails when it fires with measured harm.
@@ -2967,10 +3036,63 @@ mod f10_tests {
             benefit: -0.4,
             events: 2.0,
             require_fire: false,
+            require_positive: false,
         };
         let failures = f10_gate_failures(&[harmful]);
         assert_eq!(failures.len(), 1, "{failures:?}");
         assert!(failures[0].contains("compose-rehome"));
+    }
+
+    #[test]
+    fn positive_cells_fail_at_zero_benefit() {
+        // ROADMAP item 5's closure is enforced, not prose: the
+        // throttle cell on the brownout demands a strictly positive
+        // measured delta, so a relapse to the old ≈ 0 misfire fails
+        // the gate even though 0 is within the negative tolerance.
+        let flat = F10Cell {
+            class: InterventionClass::ComposeThrottle,
+            campaign: "brownout",
+            benefit: 0.0,
+            events: 40.0,
+            require_fire: true,
+            require_positive: true,
+        };
+        let failures = f10_gate_failures(std::slice::from_ref(&flat));
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("no positive benefit"), "{failures:?}");
+        // Any strictly positive mean passes…
+        let paying = F10Cell {
+            benefit: 0.015,
+            ..flat.clone()
+        };
+        assert!(f10_gate_failures(&[paying]).is_empty());
+        // …and silence still trips the require_fire arm first.
+        let silent = F10Cell {
+            benefit: 0.0,
+            events: 0.0,
+            ..flat
+        };
+        let failures = f10_gate_failures(&[silent]);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("never fired"), "{failures:?}");
+    }
+
+    #[test]
+    fn throttle_is_canonically_homed_on_the_brownout() {
+        assert_eq!(
+            f10_canonical(InterventionClass::ComposeThrottle),
+            F10Campaign::Brownout
+        );
+        // The brownout keeps both browned-out zones alive: no machine
+        // set covers a whole zone, so re-home never has a dark zone
+        // to move (the throttle delta is not confounded).
+        let seeds = SeedTree::new(1);
+        let campaign = F10Campaign::Brownout.build(&seeds, 1000);
+        let plan = campaign.faults();
+        for z in 0..3usize {
+            let all_down = (0..3).all(|k| plan.zone_down_at(z * 3 + k, Tick(500)));
+            assert!(!all_down, "zone {z} fully dark mid-brownout");
+        }
     }
 
     #[test]
@@ -3246,5 +3368,531 @@ mod f11_tests {
             "short run must shut down cleanly"
         );
         assert!(m.get("threads_leaked").unwrap_or(1.0).abs() < f64::EPSILON);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// F12 — discrete-event substrate scale.
+// ---------------------------------------------------------------------------
+
+/// Root seed of the F12 replication tree.
+pub const F12_SEED: u64 = 0xF12;
+
+/// Scale floors the full-mode F12 gate enforces: the tentpole claim
+/// is a ≥10k-camera network and a ≥1M-request cloud trace, simulated
+/// whole.
+pub const F12_MIN_CAMERAS: u64 = 10_000;
+/// Minimum arrived requests for the full-mode cloud arm.
+pub const F12_MIN_REQUESTS: f64 = 1_000_000.0;
+/// Minimum wall-clock-per-entity-tick improvement of sparse\@full over
+/// dense\@reduced the full-mode gate demands, per substrate.
+pub const F12_MIN_SPEEDUP: f64 = 10.0;
+
+/// One measured F12 arm: a (substrate, drive, scale) cell with its
+/// wall clock normalised per *potential* entity-tick — `entities ×
+/// steps`, the work a dense loop must do regardless of activity. The
+/// sparse arms also report how many entity visits actually happened,
+/// which is the point: cost tracks activity, not population.
+#[derive(Debug, Clone)]
+pub struct DesMeasurement {
+    /// `"camnet"` or `"cloud"`.
+    pub substrate: &'static str,
+    /// `"dense@reduced"`, `"sparse@reduced"` or `"sparse@full"`.
+    pub arm: &'static str,
+    /// Entity count (cameras / nodes) at this scale.
+    pub entities: u64,
+    /// Simulated horizon in ticks.
+    pub steps: u64,
+    /// `entities × steps` — the dense-equivalent workload.
+    pub potential_entity_ticks: u64,
+    /// Entity visits the drive mode actually performed.
+    pub visits: f64,
+    /// Scheduler wake events consumed (0 in dense mode).
+    pub wakes: f64,
+    /// Requests arrived (cloud substrate; 0 for camnet).
+    pub requests: f64,
+    /// Wall-clock seconds for the measurement run (1 replicate, 1
+    /// worker).
+    pub wall_secs: f64,
+    /// `wall_secs × 1e9 / potential_entity_ticks`.
+    pub ns_per_entity_tick: f64,
+}
+
+/// The F12 scale matrix. Dense arms run only at *reduced* scale — at
+/// full scale the dense camnet loop alone is ~5×10¹⁰ distance tests —
+/// and the per-entity-tick comparison leans on the dense loop's cost
+/// being linear in the population: per tick it does O(objects) work
+/// per camera and O(1) work per node, both independent of how many
+/// other entities exist, so ns-per-entity-tick measured at reduced
+/// scale transfers to full scale (the extrapolation EXPERIMENTS.md
+/// documents).
+struct F12Scales {
+    cam_side_full: usize,
+    cam_side_reduced: usize,
+    cam_objects: usize,
+    cam_steps_full: u64,
+    cam_steps_reduced: u64,
+    cloud_nodes_full: usize,
+    cloud_nodes_reduced: usize,
+    cloud_steps_full: u64,
+    cloud_steps_reduced: u64,
+    cloud_rate: f64,
+}
+
+impl F12Scales {
+    fn new(smoke: bool) -> Self {
+        if smoke {
+            Self {
+                cam_side_full: 12,
+                cam_side_reduced: 8,
+                cam_objects: 32,
+                cam_steps_full: 300,
+                cam_steps_reduced: 120,
+                cloud_nodes_full: 512,
+                cloud_nodes_reduced: 128,
+                cloud_steps_full: 4_000,
+                cloud_steps_reduced: 1_000,
+                cloud_rate: 4.0,
+            }
+        } else {
+            Self {
+                // 141² = 19 881 cameras — ~2× the 10k floor. The
+                // woken-camera count per tick depends on objects ×
+                // coverage, not on the grid size, so the sparse
+                // advantage grows with the population.
+                cam_side_full: 141,
+                cam_side_reduced: 20,
+                cam_objects: 256,
+                cam_steps_full: 2_000,
+                cam_steps_reduced: 250,
+                cloud_nodes_full: 32_768,
+                cloud_nodes_reduced: 1_024,
+                cloud_steps_full: 150_000,
+                cloud_steps_reduced: 20_000,
+                cloud_rate: 8.0,
+            }
+        }
+    }
+}
+
+/// The F12 camnet fault campaign: a handful of camera failures and
+/// recoveries so the at-scale run exercises the scheduler's fault
+/// class, scaled to the grid.
+fn f12_camnet_faults(side: usize, steps: u64) -> workloads::faults::FaultPlan {
+    let n = side * side;
+    let mut plan = workloads::faults::FaultPlan::none();
+    for k in 0..4usize {
+        let cam = (k * n) / 4 + side / 2;
+        plan = plan
+            .and(workloads::FaultEvent::camera_fail(Tick(steps / 4), cam))
+            .and(workloads::FaultEvent::camera_recover(
+                Tick(steps * 3 / 4),
+                cam,
+            ));
+    }
+    plan
+}
+
+/// The F12 cloud fault campaign: one mid-run rack outage over an
+/// eighth of the fleet.
+fn f12_cloud_faults(nodes: usize, steps: u64) -> workloads::faults::FaultPlan {
+    workloads::faults::FaultPlan::none().and(workloads::FaultEvent::zone_outage(
+        Tick(steps / 3),
+        nodes / 4,
+        (nodes / 8).max(1),
+        steps / 4,
+    ))
+}
+
+fn f12_camnet_cfg(
+    scales: &F12Scales,
+    full: bool,
+    drive: simkernel::DriveMode,
+) -> camnet::DesCamnetConfig {
+    let side = if full {
+        scales.cam_side_full
+    } else {
+        scales.cam_side_reduced
+    };
+    let steps = if full {
+        scales.cam_steps_full
+    } else {
+        scales.cam_steps_reduced
+    };
+    let mut cfg = camnet::DesCamnetConfig::at_scale(side, scales.cam_objects, steps);
+    cfg.faults = f12_camnet_faults(side, steps);
+    cfg.drive = drive;
+    cfg
+}
+
+fn f12_cloud_cfg(
+    scales: &F12Scales,
+    full: bool,
+    drive: simkernel::DriveMode,
+) -> cloudsim::DesCloudConfig {
+    let nodes = if full {
+        scales.cloud_nodes_full
+    } else {
+        scales.cloud_nodes_reduced
+    };
+    let steps = if full {
+        scales.cloud_steps_full
+    } else {
+        scales.cloud_steps_reduced
+    };
+    let mut cfg = cloudsim::DesCloudConfig::at_scale(nodes, steps, scales.cloud_rate);
+    // Trace-scale churn: at 150k ticks the `at_scale` default flips
+    // every node ~150 times, which is availability chaos, not
+    // volunteer churn. A node here flips ~15 times per full trace.
+    // Applied at both scales so dense@reduced and sparse arms model
+    // the same fleet.
+    cfg.churn_off = 2e-4;
+    cfg.churn_on = 2e-3;
+    cfg.faults = f12_cloud_faults(nodes, steps);
+    cfg.drive = drive;
+    cfg
+}
+
+/// One F12 camnet replicate, flattened: world metrics plus the
+/// activation counters (deterministic, so they ride report equality).
+#[must_use]
+pub fn f12_camnet_scenario(cfg: &camnet::DesCamnetConfig, seeds: &SeedTree) -> MetricSet {
+    let r = camnet::run_des_camnet(cfg, seeds);
+    let mut m = r.metrics;
+    m.set("des_visits", r.perf.visits as f64);
+    m.set("des_wakes", r.perf.wakes as f64);
+    m.set("des_shed", r.perf.shed as f64);
+    m
+}
+
+/// One F12 cloud replicate, flattened like
+/// [`f12_camnet_scenario`].
+#[must_use]
+pub fn f12_cloud_scenario(cfg: &cloudsim::DesCloudConfig, seeds: &SeedTree) -> MetricSet {
+    let r = cloudsim::run_des_cloud(cfg, seeds);
+    let mut m = r.metrics;
+    m.set("des_visits", r.perf.visits as f64);
+    m.set("des_wakes", r.perf.wakes as f64);
+    m.set("des_shed", r.perf.shed as f64);
+    m
+}
+
+/// Runs the six F12 measurement arms (per substrate: dense\@reduced,
+/// sparse\@reduced, sparse\@full), one replicate at one worker each —
+/// these are wall-clock measurements, so they never time-share.
+/// `progress` receives one line per finished arm.
+#[must_use]
+pub fn f12_measurements(smoke: bool, progress: &mut impl FnMut(&str)) -> Vec<DesMeasurement> {
+    f12_measured_arms(smoke, progress)
+        .into_iter()
+        .map(|(m, _)| m)
+        .collect()
+}
+
+/// [`f12_measurements`] keeping each arm's [`RunReport`] for the run
+/// trace.
+fn f12_measured_arms(
+    smoke: bool,
+    progress: &mut impl FnMut(&str),
+) -> Vec<(DesMeasurement, RunReport)> {
+    let scales = F12Scales::new(smoke);
+    let runs = Replications::new(F12_SEED, 1);
+    let mut out = Vec::new();
+    let arms = [
+        ("dense@reduced", false, simkernel::DriveMode::Dense),
+        ("sparse@reduced", false, simkernel::DriveMode::Sparse),
+        ("sparse@full", true, simkernel::DriveMode::Sparse),
+    ];
+    for (arm, full, drive) in arms {
+        let cfg = f12_camnet_cfg(&scales, full, drive);
+        let entities = (cfg.side * cfg.side) as u64;
+        let steps = cfg.steps;
+        let report = runs.run_par_threads(1, {
+            let cfg = cfg.clone();
+            move |seeds| f12_camnet_scenario(&cfg, &seeds)
+        });
+        out.push((
+            des_measurement("camnet", arm, entities, steps, &report),
+            report,
+        ));
+        progress(&format!("f12/camnet/{arm}: done"));
+    }
+    for (arm, full, drive) in arms {
+        let cfg = f12_cloud_cfg(&scales, full, drive);
+        let entities = cfg.nodes as u64;
+        let steps = cfg.steps;
+        let report = runs.run_par_threads(1, {
+            let cfg = cfg.clone();
+            move |seeds| f12_cloud_scenario(&cfg, &seeds)
+        });
+        out.push((
+            des_measurement("cloud", arm, entities, steps, &report),
+            report,
+        ));
+        progress(&format!("f12/cloud/{arm}: done"));
+    }
+    out
+}
+
+fn des_measurement(
+    substrate: &'static str,
+    arm: &'static str,
+    entities: u64,
+    steps: u64,
+    report: &RunReport,
+) -> DesMeasurement {
+    let potential = entities * steps;
+    let wall = report.wall_secs();
+    DesMeasurement {
+        substrate,
+        arm,
+        entities,
+        steps,
+        potential_entity_ticks: potential,
+        visits: report.aggregate().mean("des_visits"),
+        wakes: report.aggregate().mean("des_wakes"),
+        requests: report.aggregate().mean("arrived"),
+        wall_secs: wall,
+        ns_per_entity_tick: wall * 1e9 / potential.max(1) as f64,
+    }
+}
+
+/// Per-substrate speedup: dense\@reduced ns-per-entity-tick over
+/// sparse\@full ns-per-entity-tick. Empty if either arm is missing.
+#[must_use]
+pub fn f12_speedups(measurements: &[DesMeasurement]) -> Vec<(&'static str, f64)> {
+    let mut out = Vec::new();
+    for substrate in ["camnet", "cloud"] {
+        let find = |arm: &str| {
+            measurements
+                .iter()
+                .find(|m| m.substrate == substrate && m.arm == arm)
+        };
+        if let (Some(dense), Some(sparse)) = (find("dense@reduced"), find("sparse@full")) {
+            out.push((
+                dense.substrate,
+                dense.ns_per_entity_tick / sparse.ns_per_entity_tick.max(f64::MIN_POSITIVE),
+            ));
+        }
+    }
+    out
+}
+
+/// Everything `run_f12` measured plus its acceptance verdicts.
+#[derive(Debug)]
+pub struct F12Report {
+    /// Per-arm measurement table.
+    pub table: Table,
+    /// (substrate, dense\@reduced ÷ sparse\@full ns-per-entity-tick).
+    pub speedups: Vec<(&'static str, f64)>,
+    /// Gate failures (empty == pass): dense-vs-sparse and 1-vs-4-worker
+    /// bit-identity always; scale floors and the ≥10× speedup in full
+    /// mode only (smoke horizons are too short to time meaningfully).
+    pub failures: Vec<String>,
+}
+
+/// F12 — discrete-event substrate scale. The tentpole claim: driving
+/// the substrates through [`simkernel::SimScheduler`] with sparse
+/// activation simulates a ≥10k-camera network and a ≥1M-request cloud
+/// trace whole, at wall-clock-per-entity-tick ≥10× better than the
+/// dense loops, while staying **bit-identical** to them — same
+/// metrics dense vs sparse, same aggregates at 1 and 4 workers.
+#[must_use]
+pub fn run_f12(smoke: bool, mut progress: impl FnMut(&str)) -> F12Report {
+    let scales = F12Scales::new(smoke);
+    let mut failures = Vec::new();
+
+    // Bit-identity: dense vs sparse at reduced scale, and 1 vs 4
+    // workers on the sparse full-scale arm (the one the scale claim
+    // rests on). 3 replicates each.
+    let parity_runs = Replications::new(F12_SEED, 3);
+    {
+        // World metrics only: the activation counters differ between
+        // drive modes by design (sparse visits ≪ dense visits), so
+        // the dense-vs-sparse contract is over `.metrics` alone.
+        let dense_cfg = f12_camnet_cfg(&scales, false, simkernel::DriveMode::Dense);
+        let sparse_cfg = f12_camnet_cfg(&scales, false, simkernel::DriveMode::Sparse);
+        let dense = parity_runs.run_par_threads(1, move |seeds| {
+            camnet::run_des_camnet(&dense_cfg, &seeds).metrics
+        });
+        let sparse = parity_runs.run_par_threads(1, move |seeds| {
+            camnet::run_des_camnet(&sparse_cfg, &seeds).metrics
+        });
+        if dense != sparse {
+            failures.push("camnet: dense and sparse drives disagree at reduced scale".into());
+        }
+        let full_cfg = f12_camnet_cfg(&scales, true, simkernel::DriveMode::Sparse);
+        let t1 = parity_runs.run_par_threads(1, {
+            let cfg = full_cfg.clone();
+            move |seeds| f12_camnet_scenario(&cfg, &seeds)
+        });
+        let t4 =
+            parity_runs.run_par_threads(4, move |seeds| f12_camnet_scenario(&full_cfg, &seeds));
+        if t1 != t4 {
+            failures
+                .push("camnet: sparse full-scale aggregates differ between 1 and 4 workers".into());
+        }
+        progress("f12/camnet: parity checks done");
+    }
+    {
+        let dense_cfg = f12_cloud_cfg(&scales, false, simkernel::DriveMode::Dense);
+        let sparse_cfg = f12_cloud_cfg(&scales, false, simkernel::DriveMode::Sparse);
+        let dense = parity_runs.run_par_threads(1, move |seeds| {
+            cloudsim::run_des_cloud(&dense_cfg, &seeds).metrics
+        });
+        let sparse = parity_runs.run_par_threads(1, move |seeds| {
+            cloudsim::run_des_cloud(&sparse_cfg, &seeds).metrics
+        });
+        if dense != sparse {
+            failures.push("cloud: dense and sparse drives disagree at reduced scale".into());
+        }
+        let full_cfg = f12_cloud_cfg(&scales, true, simkernel::DriveMode::Sparse);
+        let t1 = parity_runs.run_par_threads(1, {
+            let cfg = full_cfg.clone();
+            move |seeds| f12_cloud_scenario(&cfg, &seeds)
+        });
+        let t4 = parity_runs.run_par_threads(4, move |seeds| f12_cloud_scenario(&full_cfg, &seeds));
+        if t1 != t4 {
+            failures
+                .push("cloud: sparse full-scale aggregates differ between 1 and 4 workers".into());
+        }
+        progress("f12/cloud: parity checks done");
+    }
+
+    // Wall-clock measurements (also exported as the benchmark
+    // document's `des` section by `run_perfbench`).
+    let measured = f12_measured_arms(smoke, &mut progress);
+    let measurements: Vec<DesMeasurement> = measured.iter().map(|(m, _)| m.clone()).collect();
+    let speedups = f12_speedups(&measurements);
+
+    // Run trace: the six measurement arms' metric aggregates.
+    let labels: Vec<String> = measurements
+        .iter()
+        .map(|m| format!("{}:{}", m.substrate, m.arm))
+        .collect();
+    let reports: Vec<RunReport> = measured.into_iter().map(|(_, r)| r).collect();
+    RunTrace {
+        experiment: "f12",
+        seed: F12_SEED,
+        replicates: 1,
+        steps: scales.cam_steps_full.max(scales.cloud_steps_full),
+        config: &format!(
+            "f12 smoke={smoke} camnet side {}/{} objects {} cloud nodes {}/{} rate {}",
+            scales.cam_side_reduced,
+            scales.cam_side_full,
+            scales.cam_objects,
+            scales.cloud_nodes_reduced,
+            scales.cloud_nodes_full,
+            scales.cloud_rate
+        ),
+        arms: &labels,
+        reports: &reports,
+    }
+    .export();
+
+    let mut table = Table::new(
+        format!(
+            "F12: discrete-event substrate scale ({} mode, 1 rep, 1 worker)",
+            if smoke { "smoke" } else { "full" }
+        ),
+        &[
+            "arm",
+            "entities",
+            "ticks",
+            "entity-ticks",
+            "visits",
+            "wall s",
+            "ns/entity-tick",
+        ],
+    );
+    for m in &measurements {
+        table.row_owned(vec![
+            format!("{}:{}", m.substrate, m.arm),
+            m.entities.to_string(),
+            m.steps.to_string(),
+            m.potential_entity_ticks.to_string(),
+            format!("{:.0}", m.visits),
+            format!("{:.3}", m.wall_secs),
+            format!("{:.1}", m.ns_per_entity_tick),
+        ]);
+    }
+
+    if !smoke {
+        let cam_full = measurements
+            .iter()
+            .find(|m| m.substrate == "camnet" && m.arm == "sparse@full");
+        if let Some(m) = cam_full {
+            if m.entities < F12_MIN_CAMERAS {
+                failures.push(format!(
+                    "camnet full scale is {} cameras, below the {F12_MIN_CAMERAS} floor",
+                    m.entities
+                ));
+            }
+        }
+        let cloud_full = measurements
+            .iter()
+            .find(|m| m.substrate == "cloud" && m.arm == "sparse@full");
+        if let Some(m) = cloud_full {
+            if m.requests < F12_MIN_REQUESTS {
+                failures.push(format!(
+                    "cloud full scale arrived {:.0} requests, below the {F12_MIN_REQUESTS:.0} floor",
+                    m.requests
+                ));
+            }
+        }
+        for (substrate, speedup) in &speedups {
+            if *speedup < F12_MIN_SPEEDUP {
+                failures.push(format!(
+                    "{substrate}: sparse@full is only {speedup:.1}× dense@reduced per entity-tick (gate {F12_MIN_SPEEDUP}×)"
+                ));
+            }
+        }
+    }
+
+    F12Report {
+        table,
+        speedups,
+        failures,
+    }
+}
+
+#[cfg(test)]
+mod f12_tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_passes_every_non_timing_gate() {
+        // Smoke mode skips the wall-clock gates but keeps every
+        // bit-identity check; any parity failure surfaces here.
+        let report = run_f12(true, |_| ());
+        assert!(report.failures.is_empty(), "{:?}", report.failures);
+        assert_eq!(report.speedups.len(), 2);
+    }
+
+    #[test]
+    fn measurements_cover_both_substrates_and_all_arms() {
+        let ms = f12_measurements(true, &mut |_| ());
+        assert_eq!(ms.len(), 6);
+        for substrate in ["camnet", "cloud"] {
+            for arm in ["dense@reduced", "sparse@reduced", "sparse@full"] {
+                assert!(
+                    ms.iter().any(|m| m.substrate == substrate && m.arm == arm),
+                    "missing {substrate}:{arm}"
+                );
+            }
+        }
+        // The point of sparse activation: at the full (larger) scale
+        // the visit count stays tied to activity, far below the
+        // dense-equivalent entity-tick count.
+        let sparse_full = ms
+            .iter()
+            .find(|m| m.substrate == "cloud" && m.arm == "sparse@full")
+            .expect("cloud sparse@full");
+        assert!(
+            sparse_full.visits < sparse_full.potential_entity_ticks as f64 / 10.0,
+            "visits {} vs potential {}",
+            sparse_full.visits,
+            sparse_full.potential_entity_ticks
+        );
     }
 }

@@ -22,22 +22,29 @@
 //! **sequentially at one worker only** — real-time arms must never
 //! time-share the machine — reporting served requests/sec and
 //! client-observed p50/p99 latency instead of replicate throughput.
+//! Since bench 10 it also carries a `des` section: the F12
+//! discrete-event substrate arms (dense/sparse × reduced/full scale
+//! per substrate) with wall clock normalised per potential
+//! entity-tick, plus the per-substrate sparse-activation speedups.
 //! The document is committed at the repo root as
 //! `BENCH_<n>.json` so every future PR claiming a speedup (or risking
-//! a slowdown) has a trajectory to cite. CI regenerates a `--smoke`
-//! variant and validates **schema only** — timings are
-//! machine-dependent and must never gate a build.
+//! a slowdown) has a trajectory to cite — every prior `BENCH_<n>.json`
+//! stays committed, and [`bench_delta_table`] renders the cross-PR
+//! wall-clock deltas for arms present in two or more documents. CI
+//! regenerates a `--smoke` variant and validates **schema only** —
+//! timings are machine-dependent and must never gate a build.
 //!
 //! Arm labels are exactly the labels `run_f5`..`run_f10` print, so
 //! benchmark arms and experiment arms cannot silently diverge (see
 //! EXPERIMENTS.md).
 
 use crate::experiments::{
-    f10_scenario, f11_scenario, f5_scenario, f6_scenario, f7_fault_plan, f7_scenario, f8_arms,
-    f8_scenario, f9_scenario, F10Campaign, F7Arm, F9Arm, F10_SEED, F11_SEED,
+    f10_scenario, f11_scenario, f12_measurements, f12_speedups, f5_scenario, f6_scenario,
+    f7_fault_plan, f7_scenario, f8_arms, f8_scenario, f9_scenario, F10Campaign, F7Arm, F9Arm,
+    F10_SEED, F11_SEED, F12_SEED,
 };
 use simkernel::obs::{self, Json};
-use simkernel::{MetricSet, Replications, SeedTree};
+use simkernel::{MetricSet, Replications, SeedTree, Table};
 use std::path::{Path, PathBuf};
 
 /// Worker counts the harness scales over.
@@ -48,8 +55,10 @@ pub const FULL_REPS: u32 = 5;
 /// Replicates per arm in `--smoke` mode.
 pub const SMOKE_REPS: u32 = 2;
 /// Sequence number of the committed benchmark document this code
-/// emits (`BENCH_9.json`).
-pub const BENCH_VERSION: u64 = 9;
+/// emits (`BENCH_10.json`). Every prior `BENCH_<n>.json` stays
+/// committed from bench 10 on — the trajectory, not just the latest
+/// point, is the artifact (see [`bench_history_paths`]).
+pub const BENCH_VERSION: u64 = 10;
 
 /// One benchmark arm: a label (identical to the experiment table's
 /// arm label) and the replicate scenario behind it.
@@ -225,6 +234,52 @@ fn run_live_section(smoke: bool, progress: &mut impl FnMut(&str)) -> Json {
     ])
 }
 
+/// Runs the F12 discrete-event substrate arms and renders the `des`
+/// section.
+///
+/// Wall clock is normalised per *potential* entity-tick (`entities ×
+/// steps`, the dense-equivalent workload) so the dense arm at reduced
+/// scale and the sparse arm at full scale are directly comparable;
+/// the per-substrate `speedups` are the F12 tentpole numbers. Like
+/// the `live` section these are wall-clock measurements, so the arms
+/// run sequentially at one worker.
+fn run_des_section(smoke: bool, progress: &mut impl FnMut(&str)) -> Json {
+    let measurements = f12_measurements(smoke, progress);
+    let speedups = f12_speedups(&measurements);
+    let arm_objs = measurements
+        .iter()
+        .map(|m| {
+            Json::obj([
+                ("substrate", Json::str(m.substrate)),
+                ("arm", Json::str(m.arm)),
+                ("label", Json::str(format!("{}:{}", m.substrate, m.arm))),
+                ("entities", Json::from(m.entities)),
+                ("steps", Json::from(m.steps)),
+                ("entity_ticks", Json::from(m.potential_entity_ticks)),
+                ("visits", Json::from(m.visits)),
+                ("wakes", Json::from(m.wakes)),
+                ("requests", Json::from(m.requests)),
+                ("wall_secs", Json::from(m.wall_secs)),
+                ("ns_per_entity_tick", Json::from(m.ns_per_entity_tick)),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("experiment", Json::str("f12")),
+        ("seed", Json::from(F12_SEED)),
+        ("arms", Json::Arr(arm_objs)),
+        (
+            "speedups",
+            Json::Obj(
+                speedups
+                    .into_iter()
+                    .map(|(substrate, speedup)| (substrate.to_string(), Json::from(speedup)))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
 /// Runs the full harness and renders the benchmark document.
 ///
 /// `progress` receives one human-readable line per finished
@@ -272,6 +327,7 @@ pub fn run_perfbench(smoke: bool, mut progress: impl FnMut(&str)) -> Json {
         ]));
     }
     let live = run_live_section(smoke, &mut progress);
+    let des = run_des_section(smoke, &mut progress);
     obs::set_override(None);
     Json::obj([
         ("record", Json::str("perfbench")),
@@ -292,6 +348,7 @@ pub fn run_perfbench(smoke: bool, mut progress: impl FnMut(&str)) -> Json {
         ),
         ("experiments", Json::Arr(experiments)),
         ("live", live),
+        ("des", des),
     ])
 }
 
@@ -305,10 +362,144 @@ pub fn repo_root() -> Option<PathBuf> {
         .map(Path::to_path_buf)
 }
 
-/// The default output path, `<repo root>/BENCH_9.json`.
+/// The default output path, `<repo root>/BENCH_<BENCH_VERSION>.json`.
 #[must_use]
 pub fn default_bench_path() -> Option<PathBuf> {
     repo_root().map(|r| r.join(format!("BENCH_{BENCH_VERSION}.json")))
+}
+
+/// Discovers every committed `BENCH_<n>.json` at the repo root,
+/// sorted by bench number. Empty when the root (or any document) is
+/// missing — discovery never fails, validation of the individual
+/// files is the caller's job (`perfbench --validate-all`).
+#[must_use]
+pub fn bench_history_paths() -> Vec<(u64, PathBuf)> {
+    let Some(root) = repo_root() else {
+        return Vec::new();
+    };
+    let Ok(entries) = std::fs::read_dir(&root) else {
+        return Vec::new();
+    };
+    let mut out: Vec<(u64, PathBuf)> = entries
+        .flatten()
+        .filter_map(|entry| {
+            let name = entry.file_name();
+            let version = name
+                .to_str()?
+                .strip_prefix("BENCH_")?
+                .strip_suffix(".json")?
+                .parse::<u64>()
+                .ok()?;
+            Some((version, entry.path()))
+        })
+        .collect();
+    out.sort_by_key(|(version, _)| *version);
+    out
+}
+
+/// Extracts the comparable wall-clock series from one benchmark
+/// document: `(arm key, seconds)` pairs keyed `f5/broadcast`
+/// (single-worker wall), `live/supervised`, or
+/// `des/camnet:sparse@full`, so the same arm lines up across bench
+/// versions regardless of which sections a document carries.
+#[must_use]
+pub fn bench_wall_rows(doc: &Json) -> Vec<(String, f64)> {
+    let mut rows = Vec::new();
+    if let Some(exps) = doc.get("experiments").and_then(Json::as_arr) {
+        for exp in exps {
+            let Some(name) = exp.get("experiment").and_then(Json::as_str) else {
+                continue;
+            };
+            let Some(arms) = exp.get("arms").and_then(Json::as_arr) else {
+                continue;
+            };
+            for arm in arms {
+                let Some(label) = arm.get("label").and_then(Json::as_str) else {
+                    continue;
+                };
+                let wall = arm
+                    .get("wall_secs")
+                    .and_then(|w| w.get(&thread_key(1)))
+                    .and_then(Json::as_num);
+                if let Some(wall) = wall {
+                    rows.push((format!("{name}/{label}"), wall));
+                }
+            }
+        }
+    }
+    for (section, key) in [("live", "label"), ("des", "label")] {
+        let Some(arms) = doc
+            .get(section)
+            .and_then(|s| s.get("arms"))
+            .and_then(Json::as_arr)
+        else {
+            continue;
+        };
+        for arm in arms {
+            let Some(label) = arm.get(key).and_then(Json::as_str) else {
+                continue;
+            };
+            if let Some(wall) = arm.get("wall_secs").and_then(Json::as_num) {
+                rows.push((format!("{section}/{label}"), wall));
+            }
+        }
+    }
+    rows
+}
+
+/// Renders the cross-PR wall-clock trajectory: one row per arm
+/// appearing in **two or more** committed benchmark documents, one
+/// column per bench version, plus the relative delta between the two
+/// most recent documents carrying that arm. Purely informational —
+/// timings are machine-dependent and the table never gates anything.
+#[must_use]
+pub fn bench_delta_table(history: &[(u64, Json)]) -> Table {
+    let mut header: Vec<String> = vec!["arm".to_string()];
+    header.extend(history.iter().map(|(v, _)| format!("bench {v} (s)")));
+    header.push("Δ latest".to_string());
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        "cross-PR wall-clock trajectory (single-worker seconds)",
+        &header_refs,
+    );
+    let per_doc: Vec<Vec<(String, f64)>> = history
+        .iter()
+        .map(|(_, doc)| bench_wall_rows(doc))
+        .collect();
+    let mut arm_keys: Vec<String> = Vec::new();
+    for rows in &per_doc {
+        for (key, _) in rows {
+            if !arm_keys.contains(key) {
+                arm_keys.push(key.clone());
+            }
+        }
+    }
+    for key in arm_keys {
+        let series: Vec<Option<f64>> = per_doc
+            .iter()
+            .map(|rows| rows.iter().find(|(k, _)| *k == key).map(|(_, wall)| *wall))
+            .collect();
+        let sightings: Vec<f64> = series.iter().filter_map(|v| *v).collect();
+        if sightings.len() < 2 {
+            continue;
+        }
+        let prev = sightings[sightings.len() - 2];
+        let last = sightings[sightings.len() - 1];
+        let delta = if prev > 0.0 {
+            format!("{:+.1}%", (last - prev) / prev * 100.0)
+        } else {
+            "-".to_string()
+        };
+        let mut cells = vec![key];
+        cells.extend(
+            series
+                .iter()
+                .map(|v| v.map_or_else(|| "-".to_string(), |wall| format!("{wall:.3}"))),
+        );
+        cells.push(delta);
+        table.row_owned(cells);
+    }
+    table
 }
 
 fn require<'a>(obj: &'a Json, key: &str, what: &str) -> Result<&'a Json, String> {
@@ -325,13 +516,14 @@ fn require_num(obj: &Json, key: &str, what: &str) -> Result<f64, String> {
 /// Validates a benchmark document against the `perfbench` schema.
 ///
 /// Checks structure only — record tag, experiment coverage (at least
-/// F5–F8; newer documents also carry F9/F10, and bench ≥ 9 must carry
-/// the wall-clock `live` F11 section with both serving arms),
-/// per-arm wall-clock/throughput maps over exactly
-/// [`BENCH_THREADS`], phase-profile summaries with histogram arrays,
-/// and a numeric-or-null peak RSS. Deliberately says nothing about
-/// the *values* of timings: those are machine-dependent and must not
-/// gate CI.
+/// F5–F8; newer documents also carry F9/F10, bench ≥ 9 must carry
+/// the wall-clock `live` F11 section with both serving arms, and
+/// bench ≥ 10 must carry the `des` F12 section with both substrates
+/// at all three drive×scale arms), per-arm wall-clock/throughput maps
+/// over exactly [`BENCH_THREADS`], phase-profile summaries with
+/// histogram arrays, and a numeric-or-null peak RSS. Deliberately
+/// says nothing about the *values* of timings: those are
+/// machine-dependent and must not gate CI.
 pub fn validate_bench(doc: &Json) -> Result<(), String> {
     if doc.get("record").and_then(Json::as_str) != Some("perfbench") {
         return Err("top-level: `record` must be \"perfbench\"".into());
@@ -464,6 +656,66 @@ pub fn validate_bench(doc: &Json) -> Result<(), String> {
             }
         }
     }
+    // Bench 10 introduced the discrete-event `des` (F12) section;
+    // older committed documents legitimately lack it.
+    match doc.get("des") {
+        None if bench >= 10.0 => return Err("bench >= 10 document missing `des` section".into()),
+        None => {}
+        Some(des) => {
+            if require(des, "experiment", "des")?.as_str() != Some("f12") {
+                return Err("des: `experiment` must be \"f12\"".into());
+            }
+            require_num(des, "seed", "des")?;
+            let arms = require(des, "arms", "des")?
+                .as_arr()
+                .ok_or_else(|| "des: `arms` is not an array".to_string())?;
+            let mut labels = Vec::new();
+            for arm in arms {
+                let substrate = require(arm, "substrate", "des arm")?
+                    .as_str()
+                    .ok_or_else(|| "des arm: substrate is not a string".to_string())?;
+                let drive = require(arm, "arm", "des arm")?
+                    .as_str()
+                    .ok_or_else(|| "des arm: arm is not a string".to_string())?;
+                let label = format!("{substrate}:{drive}");
+                let what = format!("des/{label}");
+                if require(arm, "label", &what)?.as_str() != Some(label.as_str()) {
+                    return Err(format!("{what}: `label` disagrees with substrate:arm"));
+                }
+                for key in [
+                    "entities",
+                    "steps",
+                    "entity_ticks",
+                    "visits",
+                    "wakes",
+                    "requests",
+                    "wall_secs",
+                    "ns_per_entity_tick",
+                ] {
+                    let v = require_num(arm, key, &what)?;
+                    if !v.is_finite() || v < 0.0 {
+                        return Err(format!("{what}.{key}: non-finite or negative"));
+                    }
+                }
+                labels.push(label);
+            }
+            for substrate in ["camnet", "cloud"] {
+                for drive in ["dense@reduced", "sparse@reduced", "sparse@full"] {
+                    let expected = format!("{substrate}:{drive}");
+                    if !labels.contains(&expected) {
+                        return Err(format!("des: missing arm `{expected}`"));
+                    }
+                }
+            }
+            let speedups = require(des, "speedups", "des")?;
+            for substrate in ["camnet", "cloud"] {
+                let v = require_num(speedups, substrate, "des.speedups")?;
+                if !v.is_finite() || v < 0.0 {
+                    return Err(format!("des.speedups.{substrate}: non-finite or negative"));
+                }
+            }
+        }
+    }
     Ok(())
 }
 
@@ -487,6 +739,87 @@ mod tests {
             Some("full"),
             "the committed document must come from a full run, not --smoke"
         );
+    }
+
+    #[test]
+    fn every_committed_bench_document_matches_schema() {
+        // The perf-trajectory contract: every historical BENCH_<n>.json
+        // stays committed and stays schema-valid under its own
+        // version's rules.
+        for (version, path) in bench_history_paths() {
+            let text = std::fs::read_to_string(&path).expect("readable BENCH json");
+            let doc = obs::parse(&text).expect("well-formed JSON");
+            validate_bench(&doc)
+                .unwrap_or_else(|e| panic!("BENCH_{version}.json fails validation: {e}"));
+        }
+    }
+
+    #[test]
+    fn validator_requires_des_section_from_bench_10() {
+        let path = default_bench_path().expect("workspace root with Cargo.lock");
+        if !path.is_file() {
+            return;
+        }
+        let text = std::fs::read_to_string(&path).expect("readable BENCH json");
+        let doc = obs::parse(&text).expect("well-formed JSON");
+        let Json::Obj(pairs) = doc else {
+            return;
+        };
+        let stripped = Json::Obj(pairs.into_iter().filter(|(k, _)| k != "des").collect());
+        assert!(
+            validate_bench(&stripped).is_err(),
+            "a bench >= 10 document without `des` must be rejected"
+        );
+    }
+
+    fn wall_doc(wall: f64) -> Json {
+        Json::obj([
+            (
+                "experiments",
+                Json::Arr(vec![Json::obj([
+                    ("experiment", Json::str("f5")),
+                    (
+                        "arms",
+                        Json::Arr(vec![Json::obj([
+                            ("label", Json::str("broadcast")),
+                            ("wall_secs", Json::obj([("t1", Json::from(wall))])),
+                        ])]),
+                    ),
+                ])]),
+            ),
+            (
+                "des",
+                Json::obj([(
+                    "arms",
+                    Json::Arr(vec![Json::obj([
+                        ("label", Json::str("camnet:sparse@full")),
+                        ("wall_secs", Json::from(wall * 2.0)),
+                    ])]),
+                )]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn wall_rows_cover_experiment_and_section_arms() {
+        let rows = bench_wall_rows(&wall_doc(1.5));
+        assert!(rows.contains(&("f5/broadcast".to_string(), 1.5)));
+        assert!(rows.contains(&("des/camnet:sparse@full".to_string(), 3.0)));
+    }
+
+    #[test]
+    fn delta_table_needs_an_arm_in_two_documents() {
+        assert!(bench_delta_table(&[(9, wall_doc(1.0))]).is_empty());
+        let table = bench_delta_table(&[(9, wall_doc(1.0)), (10, wall_doc(0.5))]);
+        assert_eq!(table.len(), 2, "both arms appear in both documents");
+    }
+
+    #[test]
+    fn history_is_sorted_by_version() {
+        let versions: Vec<u64> = bench_history_paths().iter().map(|(v, _)| *v).collect();
+        let mut sorted = versions.clone();
+        sorted.sort_unstable();
+        assert_eq!(versions, sorted);
     }
 
     #[test]

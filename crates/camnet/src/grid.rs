@@ -1,0 +1,232 @@
+//! Uniform-grid spatial index over points in the unit square.
+//!
+//! The dense camera loop answers "which cameras see this object?" by
+//! scanning all `n` cameras — O(n) per object, O(n·m) per tick, the
+//! cost that caps the network at tens of cameras (ROADMAP item 1). The
+//! grid bins points into square cells of edge `cell ≥ query radius`,
+//! so a radius query inspects at most the 3×3 cell block around the
+//! centre: O(points in the neighbourhood), independent of the network
+//! size.
+//!
+//! Determinism contract: [`GridIndex::query_circle_into`] returns hits
+//! in **ascending id order** and filters by *exact* Euclidean distance
+//! (`d ≤ r`), so iterating the result set is bit-identical to the
+//! dense scan `(0..n).filter(|i| dist(i) <= r)` — the property the
+//! dense-vs-sparse parity proptests pin down. The index is cheap to
+//! rebuild (counting sort, O(points + cells)) so per-tick rebuilds
+//! over moving objects are fine.
+
+use workloads::trajectories::Point;
+
+/// A rebuildable uniform grid over points in `[0, 1] × [0, 1]`.
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    cell: f64,
+    cols: usize,
+    // CSR layout: ids of the points in cell c are
+    // `ids[starts[c] .. starts[c + 1]]`, ascending within each cell.
+    starts: Vec<u32>,
+    ids: Vec<u32>,
+    points: Vec<Point>,
+}
+
+impl GridIndex {
+    /// Builds an index over `points` with cells of edge `cell`.
+    ///
+    /// Radius queries are exact for any radius `r ≤ cell`; larger
+    /// radii would need a wider cell block than the 3×3 the query
+    /// visits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is not positive and finite.
+    #[must_use]
+    pub fn build(points: &[Point], cell: f64) -> Self {
+        assert!(cell > 0.0 && cell.is_finite(), "cell edge must be positive");
+        // Round the cell count DOWN so each actual cell is at least
+        // `cell` wide — a query with radius ≤ the requested edge must
+        // stay exact. At least one cell per axis; cap the grid so
+        // degenerate tiny cells cannot blow up memory (beyond 4096²
+        // the 3×3 block is already far below one point per cell for
+        // any realistic n).
+        let cols = (((1.0 / cell) + 1e-9).floor() as usize).clamp(1, 4096);
+        let ncells = cols * cols;
+        let mut counts = vec![0u32; ncells + 1];
+        let cell_of = |p: &Point| -> usize {
+            let cx = ((p.x * cols as f64) as usize).min(cols - 1);
+            let cy = ((p.y * cols as f64) as usize).min(cols - 1);
+            cy * cols + cx
+        };
+        for p in points {
+            counts[cell_of(p) + 1] += 1;
+        }
+        for c in 0..ncells {
+            counts[c + 1] += counts[c];
+        }
+        let starts = counts;
+        let mut cursor = starts.clone();
+        let mut ids = vec![0u32; points.len()];
+        // Points are inserted in id order, so ids ascend within each
+        // cell — the property the ordered query below relies on.
+        for (i, p) in points.iter().enumerate() {
+            let c = cell_of(p);
+            ids[cursor[c] as usize] = i as u32;
+            cursor[c] += 1;
+        }
+        Self {
+            cell: 1.0 / cols as f64,
+            cols,
+            starts,
+            ids,
+            points: points.to_vec(),
+        }
+    }
+
+    /// Number of indexed points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the index holds no points.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Collects into `out` the ids of all indexed points within exact
+    /// Euclidean distance `r` of `center`, in ascending id order.
+    /// `out` is cleared first; the caller reuses one buffer across
+    /// queries to keep the hot loop allocation-free.
+    ///
+    /// Exact only for `r ≤ cell` (see [`GridIndex::build`]); a larger
+    /// radius silently misses points outside the 3×3 block, so debug
+    /// builds assert against it.
+    pub fn query_circle_into(&self, center: Point, r: f64, out: &mut Vec<usize>) {
+        debug_assert!(
+            r <= self.cell * (1.0 + 1e-9),
+            "query radius {r} exceeds cell edge {}",
+            self.cell
+        );
+        out.clear();
+        let cx = ((center.x * self.cols as f64) as isize).clamp(0, self.cols as isize - 1);
+        let cy = ((center.y * self.cols as f64) as isize).clamp(0, self.cols as isize - 1);
+        for dy in -1..=1isize {
+            let y = cy + dy;
+            if y < 0 || y >= self.cols as isize {
+                continue;
+            }
+            for dx in -1..=1isize {
+                let x = cx + dx;
+                if x < 0 || x >= self.cols as isize {
+                    continue;
+                }
+                let c = y as usize * self.cols + x as usize;
+                let lo = self.starts[c] as usize;
+                let hi = self.starts[c + 1] as usize;
+                for &id in &self.ids[lo..hi] {
+                    let id = id as usize;
+                    if self.points[id].distance(center) <= r {
+                        out.push(id);
+                    }
+                }
+            }
+        }
+        // Cells are visited in row-major order, ids ascend only within
+        // a cell; one sort restores the global id order the parity
+        // contract requires. The result set is a handful of
+        // neighbours, so this is cheap.
+        out.sort_unstable();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng as _;
+    use simkernel::SeedTree;
+
+    fn dense_query(points: &[Point], center: Point, r: f64) -> Vec<usize> {
+        (0..points.len())
+            .filter(|&i| points[i].distance(center) <= r)
+            .collect()
+    }
+
+    #[test]
+    fn matches_dense_scan_on_random_points() {
+        let mut rng = SeedTree::new(7).rng("grid");
+        let points: Vec<Point> = (0..500).map(|_| Point::random(&mut rng)).collect();
+        let r = 0.05;
+        let grid = GridIndex::build(&points, r);
+        let mut out = Vec::new();
+        for _ in 0..200 {
+            let c = Point::random(&mut rng);
+            grid.query_circle_into(c, r, &mut out);
+            assert_eq!(out, dense_query(&points, c, r));
+        }
+    }
+
+    #[test]
+    fn results_are_id_sorted_and_buffer_is_cleared() {
+        let points = vec![
+            Point::new(0.52, 0.5),
+            Point::new(0.48, 0.5),
+            Point::new(0.5, 0.52),
+            Point::new(0.9, 0.9),
+        ];
+        let grid = GridIndex::build(&points, 0.1);
+        let mut out = vec![999]; // stale content must be cleared
+        grid.query_circle_into(Point::new(0.5, 0.5), 0.1, &mut out);
+        assert_eq!(out, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn boundary_points_are_indexed() {
+        let points = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.0, 1.0),
+        ];
+        let grid = GridIndex::build(&points, 0.25);
+        assert_eq!(grid.len(), 4);
+        let mut out = Vec::new();
+        grid.query_circle_into(Point::new(1.0, 1.0), 0.2, &mut out);
+        assert_eq!(out, vec![1]);
+        grid.query_circle_into(Point::new(0.0, 0.0), 0.2, &mut out);
+        assert_eq!(out, vec![0]);
+    }
+
+    #[test]
+    fn empty_index_answers_empty() {
+        let grid = GridIndex::build(&[], 0.1);
+        assert!(grid.is_empty());
+        let mut out = Vec::new();
+        grid.query_circle_into(Point::new(0.5, 0.5), 0.1, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn rebuild_tracks_moving_points() {
+        let mut rng = SeedTree::new(9).rng("move");
+        let mut points: Vec<Point> = (0..100).map(|_| Point::random(&mut rng)).collect();
+        let r = 0.08;
+        let mut out = Vec::new();
+        for _ in 0..20 {
+            for p in &mut points {
+                p.x = (p.x + rng.gen::<f64>() * 0.02).min(1.0);
+                p.y = (p.y + rng.gen::<f64>() * 0.02).min(1.0);
+            }
+            let grid = GridIndex::build(&points, r);
+            let c = Point::random(&mut rng);
+            grid.query_circle_into(c, r, &mut out);
+            assert_eq!(out, dense_query(&points, c, r));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cell edge must be positive")]
+    fn zero_cell_panics() {
+        let _ = GridIndex::build(&[], 0.0);
+    }
+}

@@ -20,7 +20,10 @@
 //! * [`strategy`] — handover strategies (broadcast, smooth, static,
 //!   self-aware learning);
 //! * [`diversity`] — the policy-divergence heterogeneity metric;
-//! * [`sim`] — the world: objects, ownership, auctions, metrics.
+//! * [`sim`] — the world: objects, ownership, auctions, metrics;
+//! * [`grid`] — a uniform-grid spatial index for FOV queries;
+//! * [`des`] — the event-driven F12 world at 10k-camera scale, with
+//!   sparse activation on [`simkernel::SimScheduler`].
 
 #![forbid(unsafe_code)]
 #![deny(clippy::unwrap_used, clippy::panic)]
@@ -28,12 +31,16 @@
 
 pub mod affinity;
 pub mod camera;
+pub mod des;
 pub mod diversity;
+pub mod grid;
 pub mod sim;
 pub mod strategy;
 
 pub use affinity::AffinityTable;
 pub use camera::Camera;
+pub use des::{run_des_camnet, DesCamnetConfig, DesCamnetResult};
 pub use diversity::policy_divergence;
+pub use grid::GridIndex;
 pub use sim::{run_camnet, CamnetConfig, CamnetResult};
 pub use strategy::HandoverStrategy;

@@ -26,6 +26,7 @@
 
 pub mod autoscale;
 pub mod cluster;
+pub mod des;
 pub mod node;
 pub mod request;
 pub mod sim;
@@ -33,6 +34,7 @@ pub mod strategy;
 
 pub use autoscale::AutoscaleCore;
 pub use cluster::Cluster;
+pub use des::{run_des_cloud, DesCloudConfig, DesCloudResult};
 pub use node::{EnqueueError, Node, NodeSpec};
 pub use request::{Request, RequestOutcome};
 pub use sim::{run_scenario, CommandPlane, ScenarioConfig, ScenarioResult};

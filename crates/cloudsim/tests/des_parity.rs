@@ -1,0 +1,100 @@
+//! Dense-vs-sparse equivalence for the F12 cloud-trace world.
+//!
+//! Random churn/outage campaigns must produce **bit-identical**
+//! metrics whether every node is visited every tick or only woken
+//! nodes are, at 1 worker and at 4 — the seq-vs-parallel contract
+//! extended to the DES core.
+
+use cloudsim::des::{run_des_cloud, DesCloudConfig};
+use proptest::prelude::*;
+use simkernel::{DriveMode, Replications, Tick};
+use workloads::faults::{FaultEvent, FaultPlan};
+
+/// A random zone-outage campaign over `nodes` nodes (F9-cascade
+/// style: overlapping rack failures allowed).
+fn campaign(nodes: usize, steps: u64) -> impl Strategy<Value = FaultPlan> {
+    proptest::collection::vec(
+        (
+            0..nodes,
+            1..nodes.max(2),
+            1..steps.max(2),
+            10..steps.max(11),
+        ),
+        0..4,
+    )
+    .prop_map(move |outages| {
+        let mut plan = FaultPlan::none();
+        for (first, count, at, duration) in outages {
+            plan = plan.and(FaultEvent::zone_outage(Tick(at), first, count, duration));
+        }
+        plan
+    })
+}
+
+fn cfg_with(
+    nodes: usize,
+    steps: u64,
+    rate: f64,
+    churn: (f64, f64),
+    faults: FaultPlan,
+    drive: DriveMode,
+) -> DesCloudConfig {
+    let mut cfg = DesCloudConfig::at_scale(nodes, steps, rate);
+    cfg.churn_off = churn.0;
+    cfg.churn_on = churn.1;
+    cfg.faults = faults;
+    cfg.drive = drive;
+    cfg
+}
+
+proptest! {
+
+    // Single-replicate bit-identity over random campaigns.
+    #[test]
+    fn random_campaigns_match_dense_bit_for_bit(
+        seed in 0u64..1000,
+        nodes in 16usize..80,
+        rate in 0.0f64..5.0,
+        churn_off in 0.0f64..0.05,
+        churn_on in 0.005f64..0.1,
+        faults in campaign(80, 300),
+    ) {
+        let steps = 300;
+        let dense = run_des_cloud(
+            &cfg_with(nodes, steps, rate, (churn_off, churn_on), faults.clone(), DriveMode::Dense),
+            &simkernel::SeedTree::new(seed),
+        );
+        let sparse = run_des_cloud(
+            &cfg_with(nodes, steps, rate, (churn_off, churn_on), faults, DriveMode::Sparse),
+            &simkernel::SeedTree::new(seed),
+        );
+        prop_assert_eq!(dense.metrics, sparse.metrics);
+    }
+
+    // Replicate fan-out at 1 and 4 workers agrees across drive
+    // modes.
+    #[test]
+    fn aggregates_are_thread_and_mode_invariant(
+        base_seed in 0u64..500,
+        faults in campaign(48, 200),
+    ) {
+        let runs = Replications::new(base_seed, 4);
+        let report = |drive: DriveMode, threads: usize| {
+            let faults = faults.clone();
+            runs.run_par_threads(threads, move |seeds| {
+                run_des_cloud(
+                    &cfg_with(48, 200, 2.0, (0.01, 0.05), faults.clone(), drive),
+                    &seeds,
+                )
+                .metrics
+            })
+        };
+        let d1 = report(DriveMode::Dense, 1);
+        let d4 = report(DriveMode::Dense, 4);
+        let s1 = report(DriveMode::Sparse, 1);
+        let s4 = report(DriveMode::Sparse, 4);
+        prop_assert_eq!(&d1, &d4);
+        prop_assert_eq!(&s1, &s4);
+        prop_assert_eq!(&d1, &s1);
+    }
+}

@@ -4,12 +4,27 @@
 //! delivered in insertion (FIFO) order, which keeps simulations
 //! deterministic regardless of heap internals. Used by the
 //! packet-level `cpn` simulator and by the churn process in `cloudsim`.
+//!
+//! Like [`crate::sched::SimScheduler`], the queue carries a per-tick
+//! same-tick delivery budget guarding the `pop_due` drain idiom
+//! against a handler that re-schedules at `now` forever: past the
+//! budget, debug builds panic and release builds shed the event (with
+//! an `events_shed` observability record) and end the drain. Equality
+//! is seq-counter-exclusive — two queues compare equal when they would
+//! deliver the same `(tick, event)` sequence, whatever their absolute
+//! FIFO counters — mirroring `DeliveryQueue`'s pool-exclusive
+//! equality, so queue state can be parity-compared between runs.
 
 use crate::clock::Tick;
+use crate::obs;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-#[derive(Debug)]
+/// Default per-tick same-tick delivery budget for
+/// [`EventQueue::pop_due`] drains.
+pub const DEFAULT_SAME_TICK_BUDGET: u64 = 1 << 20;
+
+#[derive(Debug, Clone)]
 struct Scheduled<E> {
     at: Tick,
     seq: u64,
@@ -55,20 +70,42 @@ impl<E> PartialOrd for Scheduled<E> {
 /// assert_eq!(q.pop(), Some((Tick(5), "c")));
 /// assert_eq!(q.pop(), None);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<Scheduled<E>>,
     next_seq: u64,
+    budget: u64,
+    drain_at: Tick,
+    drained: u64,
+    shed: u64,
 }
 
 impl<E> EventQueue<E> {
-    /// Creates an empty queue.
+    /// Creates an empty queue with the default same-tick budget.
     #[must_use]
     pub fn new() -> Self {
         Self {
             heap: BinaryHeap::new(),
             next_seq: 0,
+            budget: DEFAULT_SAME_TICK_BUDGET,
+            drain_at: Tick::ZERO,
+            drained: 0,
+            shed: 0,
         }
+    }
+
+    /// Replaces the per-tick same-tick delivery budget (min 1).
+    #[must_use]
+    pub fn with_same_tick_budget(mut self, budget: u64) -> Self {
+        self.budget = budget.max(1);
+        self
+    }
+
+    /// Events shed by the same-tick budget (always 0 in debug builds,
+    /// which panic instead).
+    #[must_use]
+    pub fn shed_count(&self) -> u64 {
+        self.shed
     }
 
     /// Schedules `event` to fire at time `at`.
@@ -86,12 +123,40 @@ impl<E> EventQueue<E> {
     /// Removes and returns the earliest event **only if** it is due at
     /// or before `now`. Used by time-stepped simulators that drain all
     /// events due in the current tick.
+    ///
+    /// Applies the same-tick budget: a drain loop that keeps producing
+    /// events due at `now` (a handler re-scheduling at the current
+    /// tick) panics in debug builds once the budget is exceeded; in
+    /// release builds the event is shed, one `events_shed`
+    /// observability record is emitted for the tick, and `None` is
+    /// returned so the drain terminates.
     pub fn pop_due(&mut self, now: Tick) -> Option<(Tick, E)> {
-        if self.heap.peek().is_some_and(|s| s.at <= now) {
-            self.pop()
-        } else {
-            None
+        if self.heap.peek().is_none_or(|s| s.at > now) {
+            return None;
         }
+        if self.drain_at != now {
+            self.drain_at = now;
+            self.drained = 0;
+        }
+        self.drained += 1;
+        if self.drained > self.budget {
+            debug_assert!(
+                false,
+                "EventQueue: same-tick event budget ({}) exceeded at {now} — \
+                 a handler is re-scheduling at `now` inside the drain loop",
+                self.budget
+            );
+            self.heap.pop();
+            self.shed += 1;
+            obs::emit(obs::Json::obj([
+                ("record", obs::Json::str("events_shed")),
+                ("at", obs::Json::from(now.value())),
+                ("budget", obs::Json::from(self.budget)),
+                ("shed_total", obs::Json::from(self.shed)),
+            ]));
+            return None;
+        }
+        self.pop()
     }
 
     /// Time of the next event, if any.
@@ -121,6 +186,27 @@ impl<E> EventQueue<E> {
 impl<E> Default for EventQueue<E> {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// Seq-counter-exclusive equality: two queues are equal when they
+/// would deliver the same `(tick, event)` sequence, regardless of the
+/// absolute values of their internal FIFO counters or their budget
+/// accounting (the same idiom as `DeliveryQueue`'s pool-exclusive
+/// equality).
+impl<E: PartialEq> PartialEq for EventQueue<E> {
+    fn eq(&self, other: &Self) -> bool {
+        if self.heap.len() != other.heap.len() {
+            return false;
+        }
+        let order = |a: &&Scheduled<E>, b: &&Scheduled<E>| (a.at, a.seq).cmp(&(b.at, b.seq));
+        let mut mine: Vec<&Scheduled<E>> = self.heap.iter().collect();
+        let mut theirs: Vec<&Scheduled<E>> = other.heap.iter().collect();
+        mine.sort_unstable_by(order);
+        theirs.sort_unstable_by(order);
+        mine.iter()
+            .zip(&theirs)
+            .all(|(a, b)| a.at == b.at && a.event == b.event)
     }
 }
 
@@ -169,6 +255,83 @@ mod tests {
         q.clear();
         assert!(q.is_empty());
         assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn eq_ignores_absolute_seq_values() {
+        let mut a = EventQueue::new();
+        a.schedule(Tick(1), "consumed");
+        assert!(a.pop().is_some()); // bumps a's seq counter past b's
+        let mut b = EventQueue::new();
+        for q in [&mut a, &mut b] {
+            q.schedule(Tick(4), "x");
+            q.schedule(Tick(4), "y");
+        }
+        assert_eq!(a, b);
+        b.schedule(Tick(5), "z");
+        assert_ne!(a, b);
+        // Same multiset, different same-tick delivery order: unequal.
+        let mut c = EventQueue::new();
+        c.schedule(Tick(4), "y");
+        c.schedule(Tick(4), "x");
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn clone_preserves_delivery_order() {
+        let mut a = EventQueue::new();
+        for i in 0..40u32 {
+            a.schedule(Tick(u64::from(i % 5)), i);
+        }
+        let mut b = a.clone();
+        assert_eq!(a, b);
+        while let Some(x) = a.pop() {
+            assert_eq!(Some(x), b.pop());
+        }
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "same-tick event budget")]
+    fn same_tick_reschedule_panics_in_debug() {
+        let mut q = EventQueue::new().with_same_tick_budget(8);
+        q.schedule(Tick(1), ());
+        while let Some((_, ())) = q.pop_due(Tick(1)) {
+            q.schedule(Tick(1), ()); // pathological handler
+        }
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn same_tick_reschedule_sheds_in_release() {
+        let mut q = EventQueue::new().with_same_tick_budget(8);
+        q.schedule(Tick(1), ());
+        let mut delivered = 0u64;
+        while let Some((_, ())) = q.pop_due(Tick(1)) {
+            delivered += 1;
+            q.schedule(Tick(1), ());
+        }
+        assert_eq!(delivered, 8);
+        assert_eq!(q.shed_count(), 1);
+        q.schedule(Tick(2), ());
+        assert!(q.pop_due(Tick(2)).is_some()); // next tick is clean
+    }
+
+    #[test]
+    fn budget_resets_each_tick() {
+        let mut q = EventQueue::new().with_same_tick_budget(3);
+        let mut popped = 0;
+        for t in 1..=5u64 {
+            for _ in 0..3 {
+                q.schedule(Tick(t), ());
+            }
+            while q.pop_due(Tick(t)).is_some() {
+                popped += 1;
+            }
+        }
+        assert_eq!(popped, 15);
+        assert_eq!(q.shed_count(), 0);
     }
 
     #[test]

@@ -17,6 +17,10 @@
 //!   ([`clock::WallClock`]);
 //! * [`events`] — a deterministic discrete-event queue with stable
 //!   FIFO ordering among simultaneous events;
+//! * [`sched`] — the discrete-event main-loop scheduler: sparse
+//!   activation via `wake_at`/`wake_on_input` with a deterministic
+//!   `(tick, priority class, FIFO seq)` delivery order and a
+//!   same-tick re-schedule budget;
 //! * [`delivery`] — a tick-indexed in-flight buffer for message copies
 //!   travelling through lossy/delaying channels, drained in a
 //!   deterministic (arrival tick, FIFO) order;
@@ -63,6 +67,7 @@ pub mod obs;
 pub mod parallel;
 pub mod rng;
 pub mod runner;
+pub mod sched;
 pub mod series;
 pub mod stats;
 pub mod table;
@@ -74,6 +79,7 @@ pub use obs::{Json, PhaseProfile};
 pub use parallel::{par_map, par_map_index, try_par_map_index, worker_count};
 pub use rng::SeedTree;
 pub use runner::{Aggregate, MetricKey, MetricSet, ReplicateError, Replications, RunReport};
+pub use sched::{ActivationStats, DriveMode, SimScheduler, WakeDedup};
 pub use series::TimeSeries;
 pub use stats::OnlineStats;
 pub use table::Table;

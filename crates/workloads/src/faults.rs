@@ -248,6 +248,26 @@ impl FaultEvent {
             kind: FaultKind::ModelCorruption { controller, kind },
         }
     }
+
+    /// For duration-carrying faults (zone outages, sensor faults,
+    /// state freezes), the first tick *after* the fault window — the
+    /// restore edge an event-driven simulator must also be woken at.
+    /// `None` for instantaneous events (their recovery, if any, is its
+    /// own event).
+    #[must_use]
+    pub fn end_tick(&self) -> Option<Tick> {
+        let duration = match self.kind {
+            FaultKind::ZoneOutage { duration, .. } | FaultKind::SensorFault { duration, .. } => {
+                duration
+            }
+            FaultKind::ModelCorruption {
+                kind: ModelCorruptionKind::StateFreeze { duration },
+                ..
+            } => duration,
+            _ => return None,
+        };
+        Some(Tick(self.at.value().saturating_add(duration)))
+    }
 }
 
 /// An ordered set of scheduled faults.
@@ -315,6 +335,43 @@ impl FaultPlan {
     #[must_use]
     pub fn changes_in(&self, from: Tick, to: Tick) -> bool {
         self.events.iter().any(|e| e.at >= from && e.at < to)
+    }
+
+    /// Registers this plan's events as wakes on a sparse-activation
+    /// scheduler, so event-driven simulators are *woken* by their
+    /// fault plan instead of polling [`FaultPlan::events_at`] every
+    /// tick. For each event, `keys_of` pushes the entity keys the
+    /// event touches (a zone outage expands to every node in the
+    /// block; events the simulator does not model push nothing); one
+    /// wake is scheduled per key at the event's onset and — for
+    /// duration-carrying faults — another at the window's end
+    /// ([`FaultEvent::end_tick`]) so the *restore* edge can never be
+    /// skipped by sparse activation either. Returns the number of
+    /// wakes scheduled.
+    pub fn schedule_wakes<K>(
+        &self,
+        sched: &mut simkernel::SimScheduler<K>,
+        class: u8,
+        mut keys_of: impl FnMut(&FaultEvent, &mut Vec<K>),
+    ) -> usize {
+        let mut keys = Vec::new();
+        let mut scheduled = 0;
+        for e in &self.events {
+            keys.clear();
+            keys_of(e, &mut keys);
+            for key in keys.drain(..) {
+                sched.wake_at(e.at, class, key);
+                scheduled += 1;
+            }
+            if let Some(end) = e.end_tick() {
+                keys_of(e, &mut keys);
+                for key in keys.drain(..) {
+                    sched.wake_at(end, class, key);
+                    scheduled += 1;
+                }
+            }
+        }
+        scheduled
     }
 
     /// The sensor fault governing `sensor` at time `t`, if any (the
@@ -1192,5 +1249,53 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn schedule_wakes_covers_onsets_and_restore_edges() {
+        use simkernel::SimScheduler;
+        let plan = FaultPlan::none()
+            .and(FaultEvent::camera_fail(Tick(10), 3))
+            .and(FaultEvent::camera_recover(Tick(40), 3))
+            .and(FaultEvent::zone_outage(Tick(20), 5, 2, 15));
+        let mut sched: SimScheduler<usize> = SimScheduler::new();
+        let n = plan.schedule_wakes(&mut sched, 0, |e, keys| match e.kind {
+            FaultKind::CameraFail { camera } | FaultKind::CameraRecover { camera } => {
+                keys.push(camera);
+            }
+            FaultKind::ZoneOutage { first, count, .. } => keys.extend(first..first + count),
+            _ => {}
+        });
+        // camera fail + recover (1 key each) + outage onset and end (2
+        // keys each) = 6 wakes.
+        assert_eq!(n, 6);
+        let mut fired = Vec::new();
+        while let Some((at, _, key)) = sched.pop_due(Tick(100)) {
+            fired.push((at, key));
+        }
+        assert_eq!(
+            fired,
+            vec![
+                (Tick(10), 3),
+                (Tick(20), 5),
+                (Tick(20), 6),
+                (Tick(35), 5), // restore edge: onset 20 + duration 15
+                (Tick(35), 6),
+                (Tick(40), 3),
+            ]
+        );
+    }
+
+    #[test]
+    fn end_tick_only_for_duration_faults() {
+        assert_eq!(FaultEvent::camera_fail(Tick(5), 0).end_tick(), None);
+        assert_eq!(
+            FaultEvent::zone_outage(Tick(5), 0, 1, 7).end_tick(),
+            Some(Tick(12))
+        );
+        assert_eq!(
+            FaultEvent::sensor_fault(Tick(3), 0, SensorFaultKind::StuckAt, 4).end_tick(),
+            Some(Tick(7))
+        );
     }
 }
